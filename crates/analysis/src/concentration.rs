@@ -1,0 +1,116 @@
+//! Chernoff-style occupancy concentration checks.
+//!
+//! Section 3 of the paper uses the Chernoff bound to argue that when the unit
+//! square is partitioned into `~√n` cells, every cell's population is within
+//! 10% of its expectation w.h.p. Experiment E7 measures how the worst-case
+//! relative deviation shrinks with `n`; this module holds the bookkeeping.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of checking the occupancy of a collection of cells against their
+/// common expected population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OccupancyCheck {
+    /// Number of cells examined.
+    pub cells: usize,
+    /// Expected population per cell.
+    pub expected: f64,
+    /// Worst relative deviation `max_i |#(□_i)/E# − 1|`.
+    pub max_relative_deviation: f64,
+    /// Mean relative deviation.
+    pub mean_relative_deviation: f64,
+    /// Number of empty cells.
+    pub empty_cells: usize,
+    /// Number of cells violating the paper's 10% tolerance.
+    pub cells_beyond_ten_percent: usize,
+}
+
+impl OccupancyCheck {
+    /// Builds the check from observed per-cell counts and the common expected
+    /// population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expected` is not strictly positive or `counts` is empty.
+    pub fn from_counts(counts: &[usize], expected: f64) -> Self {
+        assert!(expected > 0.0, "expected population must be positive");
+        assert!(!counts.is_empty(), "occupancy check needs at least one cell");
+        let deviations: Vec<f64> = counts
+            .iter()
+            .map(|&c| (c as f64 / expected - 1.0).abs())
+            .collect();
+        OccupancyCheck {
+            cells: counts.len(),
+            expected,
+            max_relative_deviation: deviations.iter().copied().fold(0.0, f64::max),
+            mean_relative_deviation: deviations.iter().sum::<f64>() / deviations.len() as f64,
+            empty_cells: counts.iter().filter(|&&c| c == 0).count(),
+            cells_beyond_ten_percent: deviations.iter().filter(|&&d| d > 0.1).count(),
+        }
+    }
+
+    /// Whether every cell satisfied the paper's `|#/E# − 1| < 1/10` condition.
+    pub fn satisfies_paper_bound(&self) -> bool {
+        self.cells_beyond_ten_percent == 0
+    }
+
+    /// The Chernoff upper bound on the probability that a single cell deviates
+    /// by more than `tolerance` from an expectation of `expected`:
+    /// `2·exp(−expected·tolerance²/3)`, union-bounded over `cells` cells.
+    ///
+    /// This is the quantity the paper's "w.h.p." appeals to; the experiment
+    /// reports it next to the observed violation counts.
+    pub fn chernoff_union_bound(&self, tolerance: f64) -> f64 {
+        let single = 2.0 * (-self.expected * tolerance * tolerance / 3.0).exp();
+        (single * self.cells as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_occupancy_has_zero_deviation() {
+        let check = OccupancyCheck::from_counts(&[10, 10, 10], 10.0);
+        assert_eq!(check.max_relative_deviation, 0.0);
+        assert_eq!(check.mean_relative_deviation, 0.0);
+        assert!(check.satisfies_paper_bound());
+        assert_eq!(check.empty_cells, 0);
+    }
+
+    #[test]
+    fn deviations_are_measured_relative_to_expectation() {
+        let check = OccupancyCheck::from_counts(&[5, 10, 15], 10.0);
+        assert!((check.max_relative_deviation - 0.5).abs() < 1e-12);
+        assert_eq!(check.cells_beyond_ten_percent, 2);
+        assert!(!check.satisfies_paper_bound());
+    }
+
+    #[test]
+    fn empty_cells_are_counted() {
+        let check = OccupancyCheck::from_counts(&[0, 20], 10.0);
+        assert_eq!(check.empty_cells, 1);
+        assert!((check.max_relative_deviation - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chernoff_bound_decreases_with_expectation() {
+        let small = OccupancyCheck::from_counts(&[10; 4], 10.0);
+        let large = OccupancyCheck::from_counts(&[1000; 4], 1000.0);
+        assert!(large.chernoff_union_bound(0.1) < small.chernoff_union_bound(0.1));
+        assert!(small.chernoff_union_bound(0.1) <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_expectation_rejected() {
+        let _ = OccupancyCheck::from_counts(&[1], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn empty_counts_rejected() {
+        let _ = OccupancyCheck::from_counts(&[], 1.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Statistics, regression and table rendering for the gossip experiments.
+//!
+//! Every experiment in EXPERIMENTS.md reduces simulation output to one of a
+//! few statistical summaries:
+//!
+//! * [`stats`] — streaming mean/variance/min/max, quantiles, and confidence
+//!   intervals over repeated trials;
+//! * [`regression`] — ordinary least squares and log–log power-law fits, used
+//!   to extract the scaling exponents the paper's headline claim is about
+//!   (`~n²` vs `~n^1.5` vs `~n^{1+o(1)}`);
+//! * [`concentration`] — Chernoff-style occupancy checks for the partition
+//!   (Section 3's `|#(□_i)/√n − 1| < 1/10` claim);
+//! * [`table`] — plain-text/Markdown table rendering and CSV/JSON emission so
+//!   the benchmark binaries print exactly the rows quoted in EXPERIMENTS.md.
+//!
+//! # Example
+//!
+//! ```
+//! use geogossip_analysis::regression::fit_power_law;
+//! // Perfect n^1.5 data recovers exponent 1.5.
+//! let xs: [f64; 4] = [64.0, 128.0, 256.0, 512.0];
+//! let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x.powf(1.5)).collect();
+//! let fit = fit_power_law(&xs, &ys).unwrap();
+//! assert!((fit.exponent - 1.5).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod concentration;
+pub mod regression;
+pub mod stats;
+pub mod table;
+
+pub use concentration::OccupancyCheck;
+pub use regression::{fit_power_law, linear_fit, LinearFit, PowerLawFit};
+pub use stats::{ConfidenceInterval, Summary};
+pub use table::Table;

@@ -1,0 +1,189 @@
+//! Least-squares fits, in particular log–log power-law fits.
+//!
+//! The paper's headline comparison is about *scaling exponents*: the number of
+//! transmissions to ε-average grows like `n^2` for pairwise gossip, `n^{1.5}`
+//! for geographic gossip, and `n^{1+o(1)}` for the affine hierarchical
+//! protocol. Experiment E4 measures transmissions at a ladder of network sizes
+//! and fits `cost ≈ C·n^k` by ordinary least squares in log–log space; the
+//! fitted `k` values are the reproduction's headline numbers.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of an ordinary least-squares line fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination `R²` (1 = perfect fit, 0 = no better than
+    /// the mean).
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Predicted `y` at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Fits `y ≈ slope·x + intercept` by ordinary least squares.
+///
+/// Returns `None` when fewer than two points are given, when the slices have
+/// different lengths, or when all `x` values coincide (the slope would be
+/// undefined).
+///
+/// # Example
+///
+/// ```
+/// use geogossip_analysis::linear_fit;
+/// let fit = linear_fit(&[0.0, 1.0, 2.0], &[1.0, 3.0, 5.0]).unwrap();
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// assert!((fit.r_squared - 1.0).abs() < 1e-12);
+/// ```
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+/// Result of a power-law fit `y ≈ prefactor · x^exponent`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerLawFit {
+    /// Fitted exponent `k` in `y ≈ C·x^k`.
+    pub exponent: f64,
+    /// Fitted prefactor `C`.
+    pub prefactor: f64,
+    /// `R²` of the underlying log–log linear fit.
+    pub r_squared: f64,
+}
+
+impl PowerLawFit {
+    /// Predicted `y` at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.prefactor * x.powf(self.exponent)
+    }
+}
+
+/// Fits `y ≈ C·x^k` by least squares on `ln y` vs `ln x`.
+///
+/// Returns `None` for fewer than two points, mismatched lengths, or any
+/// non-positive coordinate (logarithms must exist).
+///
+/// # Example
+///
+/// ```
+/// use geogossip_analysis::fit_power_law;
+/// let xs = [100.0, 200.0, 400.0];
+/// let ys: Vec<f64> = xs.iter().map(|x| 0.5 * x * x).collect();
+/// let fit = fit_power_law(&xs, &ys).unwrap();
+/// assert!((fit.exponent - 2.0).abs() < 1e-9);
+/// assert!((fit.prefactor - 0.5).abs() < 1e-9);
+/// ```
+pub fn fit_power_law(xs: &[f64], ys: &[f64]) -> Option<PowerLawFit> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    if xs.iter().chain(ys).any(|v| *v <= 0.0 || !v.is_finite()) {
+        return None;
+    }
+    let log_x: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let log_y: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    let fit = linear_fit(&log_x, &log_y)?;
+    Some(PowerLawFit {
+        exponent: fit.slope,
+        prefactor: fit.intercept.exp(),
+        r_squared: fit.r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| -3.0 * x + 7.0).collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope + 3.0).abs() < 1e-12);
+        assert!((fit.intercept - 7.0).abs() < 1e-12);
+        assert!((fit.predict(10.0) + 23.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_rejects_degenerate_input() {
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+        assert!(linear_fit(&[1.0, 1.0], &[2.0, 3.0]).is_none());
+        assert!(linear_fit(&[1.0, 2.0], &[2.0]).is_none());
+    }
+
+    #[test]
+    fn noisy_linear_fit_has_reasonable_r_squared() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + if *x as i64 % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 2.0).abs() < 0.01);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn power_law_fit_recovers_known_exponents() {
+        for &k in &[1.0, 1.5, 2.0] {
+            let xs: [f64; 5] = [64.0, 128.0, 256.0, 512.0, 1024.0];
+            let ys: Vec<f64> = xs.iter().map(|&x| 2.5 * x.powf(k)).collect();
+            let fit = fit_power_law(&xs, &ys).unwrap();
+            assert!((fit.exponent - k).abs() < 1e-9, "failed for exponent {k}");
+            assert!((fit.prefactor - 2.5).abs() < 1e-6);
+            assert!((fit.r_squared - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn power_law_fit_rejects_nonpositive_data() {
+        assert!(fit_power_law(&[1.0, 2.0], &[0.0, 1.0]).is_none());
+        assert!(fit_power_law(&[-1.0, 2.0], &[1.0, 1.0]).is_none());
+        assert!(fit_power_law(&[1.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn power_law_prediction_interpolates() {
+        let xs: [f64; 3] = [10.0, 100.0, 1000.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| 4.0 * x.powf(1.2)).collect();
+        let fit = fit_power_law(&xs, &ys).unwrap();
+        assert!((fit.predict(50.0) - 4.0 * 50.0_f64.powf(1.2)).abs() / fit.predict(50.0) < 1e-6);
+    }
+
+    #[test]
+    fn constant_y_has_unit_r_squared() {
+        let fit = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Summary statistics over repeated trials.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming summary of a sample: count, mean, variance (Welford), extremes.
+///
+/// # Example
+///
+/// ```
+/// use geogossip_analysis::Summary;
+/// let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().copied().collect();
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.std_dev() - 2.138089935299395).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN (a NaN observation would silently poison every
+    /// downstream statistic).
+    pub fn push(&mut self, value: f64) {
+        assert!(!value.is_nan(), "summary observations must not be NaN");
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sample mean (0 for an empty summary).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+∞` for an empty summary).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−∞` for an empty summary).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Standard error of the mean.
+    pub fn standard_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Normal-approximation confidence interval around the mean at the given
+    /// z-score (1.96 ≈ 95%).
+    pub fn confidence_interval(&self, z: f64) -> ConfidenceInterval {
+        let half = z * self.standard_error();
+        ConfidenceInterval {
+            lower: self.mean() - half,
+            upper: self.mean() + half,
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Summary::new();
+        for v in iter {
+            s.push(v);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+/// A symmetric confidence interval around a mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Lower end of the interval.
+    pub lower: f64,
+    /// Upper end of the interval.
+    pub upper: f64,
+}
+
+impl ConfidenceInterval {
+    /// Whether `value` lies inside the interval (inclusive).
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lower && value <= self.upper
+    }
+
+    /// Width of the interval.
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of a sample by linear interpolation between
+/// order statistics. Returns `None` for an empty sample.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or the data contains NaN.
+///
+/// # Example
+///
+/// ```
+/// use geogossip_analysis::stats::quantile;
+/// let data = vec![1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(quantile(&data, 0.5), Some(2.5));
+/// assert_eq!(quantile(&data, 1.0), Some(4.0));
+/// ```
+pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    if data.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile data must not contain NaN"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median of a sample (`None` for an empty sample).
+pub fn median(data: &[f64]) -> Option<f64> {
+    quantile(data, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_defaults() {
+        let s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.standard_error(), 0.0);
+    }
+
+    #[test]
+    fn summary_matches_textbook_values() {
+        let s: Summary = [1.0, 2.0, 3.0, 4.0, 5.0].iter().copied().collect();
+        assert_eq!(s.count(), 5);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert!((s.variance() - 2.5).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn confidence_interval_contains_true_mean_of_constant_data() {
+        let s: Summary = std::iter::repeat(7.0).take(50).collect();
+        let ci = s.confidence_interval(1.96);
+        assert!(ci.contains(7.0));
+        assert!(ci.width() < 1e-12);
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut s = Summary::new();
+        s.extend([1.0, 3.0]);
+        s.extend([5.0]);
+        assert_eq!(s.count(), 3);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let data = vec![10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(quantile(&data, 0.0), Some(10.0));
+        assert_eq!(quantile(&data, 0.25), Some(20.0));
+        assert_eq!(median(&data), Some(30.0));
+        assert_eq!(quantile(&data, 1.0), Some(50.0));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn quantile_handles_unsorted_input() {
+        let data = vec![5.0, 1.0, 3.0];
+        assert_eq!(median(&data), Some(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_observations_rejected() {
+        let mut s = Summary::new();
+        s.push(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn quantile_range_checked() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+}

@@ -1,0 +1,117 @@
+//! Criterion micro-benchmarks for the primitives behind the experiments.
+//!
+//! One benchmark group per experiment family:
+//!
+//! * `graph_construction` — building `G(n, r)` (backs every experiment's setup
+//!   cost column).
+//! * `routing` — one greedy leader-to-leader routing (the per-round cost of
+//!   E3/E4/E5).
+//! * `updates` — one tick of the Lemma-1 dynamics and one pairwise/affine
+//!   exchange (E1/E2/E8).
+//! * `protocol_round` — one full top-level round of the round-based affine
+//!   protocol and one tick of each baseline (E3/E4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geogossip_core::model::AffineCompleteGraph;
+use geogossip_core::prelude::*;
+use geogossip_core::update::{affine_exchange, convex_average, AffineCoefficient};
+use geogossip_geometry::sampling::sample_unit_square;
+use geogossip_geometry::Point;
+use geogossip_graph::GeometricGraph;
+use geogossip_routing::greedy::route_to_position;
+use geogossip_sim::{AsyncEngine, SeedStream, StopCondition};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn graph_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_construction");
+    for &n in &[256usize, 1024, 4096] {
+        let pts = sample_unit_square(n, &mut ChaCha8Rng::seed_from_u64(1));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| GeometricGraph::build_at_connectivity_radius(pts.clone(), 2.0));
+        });
+    }
+    group.finish();
+}
+
+fn routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing");
+    for &n in &[1024usize, 4096] {
+        let pts = sample_unit_square(n, &mut ChaCha8Rng::seed_from_u64(2));
+        let graph = GeometricGraph::build_at_connectivity_radius(pts, 2.0);
+        let source = graph.nearest_node(Point::new(0.05, 0.05)).expect("non-empty");
+        group.bench_with_input(BenchmarkId::new("corner_to_corner", n), &graph, |b, g| {
+            b.iter(|| route_to_position(g, source, Point::new(0.95, 0.95)));
+        });
+    }
+    group.finish();
+}
+
+fn updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("updates");
+    group.bench_function("convex_average", |b| {
+        b.iter(|| convex_average(std::hint::black_box(0.3), std::hint::black_box(0.7)));
+    });
+    group.bench_function("affine_exchange_2sqrt_n_over_5", |b| {
+        let alpha = AffineCoefficient::paper_far(64.0);
+        b.iter(|| affine_exchange(std::hint::black_box(0.3), std::hint::black_box(0.7), alpha));
+    });
+    group.bench_function("lemma1_model_1000_ticks_n256", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            let mut model = AffineCompleteGraph::with_uniform_alpha(256, 0.4).expect("valid");
+            model
+                .set_centered_values((0..256).map(|i| i as f64).collect())
+                .expect("length matches");
+            model.run(1000, &mut rng);
+            model.squared_norm()
+        });
+    });
+    group.finish();
+}
+
+fn protocol_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_round");
+    group.sample_size(10);
+    let n = 512;
+    let seeds = SeedStream::new(4);
+    let pts = sample_unit_square(n, &mut seeds.stream("placement"));
+    let graph = GeometricGraph::build_at_connectivity_radius(pts, 2.0);
+    let values = InitialCondition::Spike.generate(n, &mut seeds.stream("values"));
+
+    group.bench_function("affine_idealized_to_5pct_n512", |b| {
+        b.iter(|| {
+            let mut protocol = RoundBasedAffineGossip::new(
+                &graph,
+                values.clone(),
+                RoundBasedConfig::idealized(n),
+            )
+            .expect("valid instance");
+            protocol.run_until(0.05, &mut seeds.stream("affine-run"))
+        });
+    });
+    group.bench_function("geographic_to_5pct_n512", |b| {
+        b.iter(|| {
+            let mut protocol = GeographicGossip::new(&graph, values.clone()).expect("valid instance");
+            AsyncEngine::new(n).run(
+                &mut protocol,
+                StopCondition::at_epsilon(0.05).with_max_ticks(10_000_000),
+                &mut seeds.stream("geo-run"),
+            )
+        });
+    });
+    group.bench_function("pairwise_to_20pct_n512", |b| {
+        b.iter(|| {
+            let mut protocol = PairwiseGossip::new(&graph, values.clone()).expect("valid instance");
+            AsyncEngine::new(n).run(
+                &mut protocol,
+                StopCondition::at_epsilon(0.2).with_max_ticks(10_000_000),
+                &mut seeds.stream("pw-run"),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, graph_construction, routing, updates, protocol_round);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Binary for experiment E3 — see EXPERIMENTS.md.
+//!
+//! Usage: `cargo run --release -p geogossip-bench --bin e3_convergence_trajectories [smoke|quick|full] [seed]`
+
+use geogossip_bench::experiments::{e03_trajectories, Scale, DEFAULT_SEED};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_arg(args.get(1).map(String::as_str));
+    let seed = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    let output = e03_trajectories::run(scale, seed);
+    println!("{}", output.render());
+}

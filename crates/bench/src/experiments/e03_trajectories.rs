@@ -1,0 +1,112 @@
+//! E3 — Convergence trajectories: ℓ₂ error versus transmissions.
+//!
+//! The figure-shaped experiment: on one fixed network instance, run every
+//! protocol and record the relative error as a function of the cumulative
+//! transmission count. The table prints the series at a fixed grid of error
+//! levels ("transmissions needed to first reach error ≤ x"), which is the
+//! textual form of the usual error-vs-cost figure.
+
+use super::{ExperimentOutput, Scale};
+use crate::workload::{standard_network, Field};
+use geogossip_analysis::Table;
+use geogossip_core::prelude::*;
+use geogossip_sim::{AsyncEngine, ConvergenceTrace, SeedStream, StopCondition};
+
+/// Error levels reported in the table (the "x axis" of the figure).
+pub const ERROR_LEVELS: [f64; 5] = [0.5, 0.2, 0.1, 0.05, 0.02];
+
+fn format_crossing(trace: &ConvergenceTrace, level: f64) -> String {
+    match trace.transmissions_to_reach(level) {
+        Some(tx) => tx.to_string(),
+        None => "—".into(),
+    }
+}
+
+/// Runs experiment E3.
+pub fn run(scale: Scale, seed: u64) -> ExperimentOutput {
+    let n = match scale {
+        Scale::Smoke => 128,
+        Scale::Quick => 512,
+        Scale::Full => 1024,
+    };
+    let epsilon = *ERROR_LEVELS.last().expect("levels are non-empty");
+    let seeds = SeedStream::new(seed);
+    let network = standard_network(n, &seeds, 3);
+    let values = Field::SpatialGradient.values(&network, &mut seeds.trial("values", 3));
+    let stop = StopCondition::at_epsilon(epsilon).with_max_ticks(100_000_000);
+
+    let mut pairwise = PairwiseGossip::new(&network, values.clone()).expect("valid instance");
+    let pairwise_trace = AsyncEngine::new(n)
+        .run(&mut pairwise, stop, &mut seeds.stream("e3-pairwise"))
+        .trace;
+
+    let mut geographic = GeographicGossip::new(&network, values.clone()).expect("valid instance");
+    let geographic_trace = AsyncEngine::new(n)
+        .run(&mut geographic, stop, &mut seeds.stream("e3-geographic"))
+        .trace;
+
+    let mut affine =
+        RoundBasedAffineGossip::new(&network, values.clone(), RoundBasedConfig::idealized(n))
+            .expect("valid instance");
+    let affine_trace = affine.run_until(epsilon, &mut seeds.stream("e3-affine")).trace;
+
+    let mut recursive =
+        RoundBasedAffineGossip::new(&network, values, RoundBasedConfig::practical(n))
+            .expect("valid instance");
+    let recursive_trace = recursive.run_until(epsilon, &mut seeds.stream("e3-recursive")).trace;
+
+    let mut table = Table::new(vec![
+        "error level",
+        "pairwise (Boyd) tx",
+        "geographic (Dimakis) tx",
+        "affine idealized tx",
+        "affine recursive tx",
+    ]);
+    for &level in &ERROR_LEVELS {
+        table.add_row(vec![
+            format!("{level}"),
+            format_crossing(&pairwise_trace, level),
+            format_crossing(&geographic_trace, level),
+            format_crossing(&affine_trace, level),
+            format_crossing(&recursive_trace, level),
+        ]);
+    }
+
+    let ordering_holds = match (
+        pairwise_trace.transmissions_to_reach(epsilon),
+        geographic_trace.transmissions_to_reach(epsilon),
+    ) {
+        (Some(pw), Some(geo)) => geo < pw,
+        _ => false,
+    };
+
+    ExperimentOutput {
+        id: "E3".into(),
+        title: format!("error-vs-transmissions trajectories on one G(n={n}, 1.5√(log n/n)) instance (east-west gradient field)"),
+        table,
+        summary: vec![
+            format!(
+                "geographic gossip beats pairwise gossip at the target error: {}",
+                if ordering_holds { "yes (as the paper's §1.1 comparison predicts)" } else { "NO" }
+            ),
+            "the affine columns show long-range cost dominated by control/local traffic at small n;".into(),
+            "their advantage is in the scaling exponent (experiment E4), not in absolute cost at laptop sizes.".into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_all_rows() {
+        let out = run(Scale::Smoke, 3);
+        assert_eq!(out.table.len(), ERROR_LEVELS.len());
+        // The pairwise-vs-geographic ordering is only expected to show at
+        // realistic sizes (Quick/Full); at the smoke size (n = 128) the radius
+        // is so large that the two baselines are close, so the smoke test only
+        // checks that the harness produced a verdict either way.
+        assert!(out.summary[0].contains("yes") || out.summary[0].contains("NO"));
+    }
+}

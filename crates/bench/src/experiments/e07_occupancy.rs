@@ -1,0 +1,86 @@
+//! E7 — Chernoff concentration of cell occupancy.
+//!
+//! Section 3 argues via the Chernoff bound that when the unit square is cut
+//! into `~√n` cells, every cell's population is within 10% of its expectation
+//! w.h.p. The experiment builds the top-level partition at increasing `n` and
+//! reports the worst relative deviation, the number of cells outside the 10%
+//! tolerance, and the Chernoff union bound for comparison.
+
+use super::{ExperimentOutput, Scale};
+use geogossip_analysis::{OccupancyCheck, Table};
+use geogossip_geometry::sampling::sample_unit_square;
+use geogossip_geometry::{PartitionConfig, SquarePartition};
+use geogossip_sim::SeedStream;
+
+/// Runs experiment E7.
+pub fn run(scale: Scale, seed: u64) -> ExperimentOutput {
+    let sizes: &[usize] = match scale {
+        Scale::Smoke => &[256, 1024],
+        Scale::Quick => &[256, 1024, 4096, 16384],
+        Scale::Full => &[256, 1024, 4096, 16384, 65536, 262144],
+    };
+    let seeds = SeedStream::new(seed);
+    let mut table = Table::new(vec![
+        "n",
+        "top-level cells",
+        "expected per cell",
+        "max |#/E# - 1|",
+        "cells beyond 10%",
+        "empty cells",
+        "Chernoff union bound (10%)",
+    ]);
+    let mut deviations = Vec::new();
+
+    for &n in sizes {
+        let points = sample_unit_square(n, &mut seeds.trial("e7", n as u64));
+        let partition = SquarePartition::build(&points, PartitionConfig::top_level_only(n));
+        let counts: Vec<usize> = partition
+            .cells_at_depth(1)
+            .map(|(_, c)| c.members().len())
+            .collect();
+        let expected = partition
+            .cells_at_depth(1)
+            .next()
+            .map(|(_, c)| c.expected_count())
+            .unwrap_or(1.0);
+        let check = OccupancyCheck::from_counts(&counts, expected);
+        deviations.push(check.max_relative_deviation);
+        table.add_row(vec![
+            n.to_string(),
+            check.cells.to_string(),
+            format!("{expected:.1}"),
+            format!("{:.3}", check.max_relative_deviation),
+            check.cells_beyond_ten_percent.to_string(),
+            check.empty_cells.to_string(),
+            format!("{:.2e}", check.chernoff_union_bound(0.1)),
+        ]);
+    }
+
+    let shrinking = deviations.windows(2).all(|w| w[1] <= w[0] * 1.25);
+    ExperimentOutput {
+        id: "E7".into(),
+        title: "occupancy concentration of the ~√n top-level cells".into(),
+        table,
+        summary: vec![
+            format!(
+                "worst-case relative deviation {} as n grows (paper's w.h.p. claim is asymptotic; the 10% tolerance needs E# ≳ 10³ sensors per cell)",
+                if shrinking { "shrinks" } else { "does not shrink monotonically" }
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_reports_deviations() {
+        let out = run(Scale::Smoke, 7);
+        assert_eq!(out.table.len(), 2);
+        // Larger n should have smaller relative deviation.
+        let first: f64 = out.table.rows()[0][3].parse().unwrap();
+        let last: f64 = out.table.rows()[1][3].parse().unwrap();
+        assert!(last <= first * 1.5);
+    }
+}

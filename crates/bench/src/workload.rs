@@ -1,0 +1,208 @@
+//! Shared workload generation for the experiments.
+//!
+//! All experiments build their instances through these helpers so that the
+//! network model (uniform placement, standard connectivity radius `c = 2`) and
+//! the seeding scheme are identical across experiments and across the
+//! protocols being compared.
+
+use geogossip_core::prelude::*;
+use geogossip_geometry::sampling::sample_unit_square;
+use geogossip_graph::GeometricGraph;
+use geogossip_sim::{AsyncEngine, EngineReport, SeedStream, StopCondition};
+
+/// Radius constant used by every experiment unless it sweeps the constant
+/// itself (experiment E6). Chosen just above the Gupta–Kumar connectivity
+/// threshold, as in the paper's `r = Θ(√(log n/n))` regime: a larger constant
+/// makes the graph needlessly dense and blurs the local-vs-long-range
+/// distinction the comparison is about.
+pub const RADIUS_CONSTANT: f64 = 1.5;
+
+/// The initial measurement field a comparison experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Field {
+    /// One of the position-independent [`InitialCondition`]s.
+    Condition(InitialCondition),
+    /// A spatially correlated field: every sensor measures its own
+    /// x-coordinate (an east–west gradient). Averaging this field requires
+    /// moving mass across the whole unit square, which is the regime where
+    /// the paper's long-range protocols pay off; position-independent fields
+    /// can be averaged mostly locally and understate the gap.
+    SpatialGradient,
+}
+
+impl Field {
+    /// Materialises the field for a concrete network.
+    pub fn values<R: rand::Rng + ?Sized>(self, network: &GeometricGraph, rng: &mut R) -> Vec<f64> {
+        match self {
+            Field::Condition(condition) => condition.generate(network.len(), rng),
+            Field::SpatialGradient => network.positions().iter().map(|p| p.x).collect(),
+        }
+    }
+}
+
+/// Builds the standard experiment network: `n` uniform sensors at radius
+/// `2·sqrt(log n / n)`, from the given seed stream.
+pub fn standard_network(n: usize, seeds: &SeedStream, trial: u64) -> GeometricGraph {
+    let positions = sample_unit_square(n, &mut seeds.trial("placement", trial));
+    GeometricGraph::build_at_connectivity_radius(positions, RADIUS_CONSTANT)
+}
+
+/// Builds the standard initial measurement vector for a network of `n`
+/// sensors.
+pub fn standard_values(
+    n: usize,
+    condition: InitialCondition,
+    seeds: &SeedStream,
+    trial: u64,
+) -> Vec<f64> {
+    condition.generate(n, &mut seeds.trial("values", trial))
+}
+
+/// Which protocol a comparison experiment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// Boyd et al. pairwise nearest-neighbor gossip.
+    Pairwise,
+    /// Dimakis et al. geographic gossip.
+    Geographic,
+    /// This paper, round-based with idealised (flood) local averaging.
+    AffineIdealized,
+    /// This paper, round-based with recursive gossip local averaging.
+    AffineRecursive,
+}
+
+impl ProtocolKind {
+    /// Human-readable name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Pairwise => "pairwise (Boyd)",
+            ProtocolKind::Geographic => "geographic (Dimakis)",
+            ProtocolKind::AffineIdealized => "affine (idealized local avg)",
+            ProtocolKind::AffineRecursive => "affine (recursive local avg)",
+        }
+    }
+
+    /// All protocols compared in E3/E4.
+    pub fn all() -> [ProtocolKind; 4] {
+        [
+            ProtocolKind::Pairwise,
+            ProtocolKind::Geographic,
+            ProtocolKind::AffineIdealized,
+            ProtocolKind::AffineRecursive,
+        ]
+    }
+}
+
+/// The cost outcome of one protocol run, reduced to the quantities the
+/// experiment tables report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunCost {
+    /// Whether the accuracy target was reached.
+    pub converged: bool,
+    /// Total one-hop transmissions used.
+    pub transmissions: u64,
+    /// "Rounds": clock ticks for tick-driven protocols, top-level rounds for
+    /// the round-based protocol.
+    pub rounds: u64,
+    /// Final relative ℓ₂ error.
+    pub final_error: f64,
+}
+
+impl RunCost {
+    fn from_engine_report(report: &EngineReport) -> Self {
+        RunCost {
+            converged: report.converged(),
+            transmissions: report.transmissions.total(),
+            rounds: report.ticks,
+            final_error: report.final_error,
+        }
+    }
+}
+
+/// Runs `protocol` on a standard instance of size `n` until the relative error
+/// drops below `epsilon` (or a generous budget runs out) and returns the cost.
+///
+/// # Panics
+///
+/// Panics if the instance is degenerate (protocol constructors reject it);
+/// the standard workload never is for `n ≥ 64`.
+pub fn run_protocol(
+    protocol: ProtocolKind,
+    n: usize,
+    epsilon: f64,
+    field: Field,
+    seeds: &SeedStream,
+    trial: u64,
+) -> RunCost {
+    let network = standard_network(n, seeds, trial);
+    let values = field.values(&network, &mut seeds.trial("values", trial));
+    let mut rng = seeds.trial("run", trial ^ (protocol as u64) << 32);
+    let stop = StopCondition::at_epsilon(epsilon).with_max_ticks(200_000_000);
+    match protocol {
+        ProtocolKind::Pairwise => {
+            let mut p = PairwiseGossip::new(&network, values).expect("standard workload is valid");
+            RunCost::from_engine_report(&AsyncEngine::new(n).run(&mut p, stop, &mut rng))
+        }
+        ProtocolKind::Geographic => {
+            let mut p = GeographicGossip::new(&network, values).expect("standard workload is valid");
+            RunCost::from_engine_report(&AsyncEngine::new(n).run(&mut p, stop, &mut rng))
+        }
+        ProtocolKind::AffineIdealized => {
+            let mut p = RoundBasedAffineGossip::new(&network, values, RoundBasedConfig::idealized(n))
+                .expect("standard workload is valid");
+            let report = p.run_until(epsilon, &mut rng);
+            RunCost {
+                converged: report.converged,
+                transmissions: report.transmissions.total(),
+                rounds: report.stats.top_rounds,
+                final_error: report.final_error,
+            }
+        }
+        ProtocolKind::AffineRecursive => {
+            let mut p = RoundBasedAffineGossip::new(&network, values, RoundBasedConfig::practical(n))
+                .expect("standard workload is valid");
+            let report = p.run_until(epsilon, &mut rng);
+            RunCost {
+                converged: report.converged,
+                transmissions: report.transmissions.total(),
+                rounds: report.stats.top_rounds,
+                final_error: report.final_error,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_network_is_connected_and_reproducible() {
+        let seeds = SeedStream::new(1);
+        let a = standard_network(256, &seeds, 0);
+        let b = standard_network(256, &seeds, 0);
+        assert!(a.is_connected());
+        assert_eq!(a.positions(), b.positions());
+        let c = standard_network(256, &seeds, 1);
+        assert_ne!(a.positions(), c.positions());
+    }
+
+    #[test]
+    fn all_protocols_converge_on_a_small_instance() {
+        let seeds = SeedStream::new(2);
+        for protocol in ProtocolKind::all() {
+            for field in [Field::Condition(InitialCondition::Spike), Field::SpatialGradient] {
+                let cost = run_protocol(protocol, 128, 0.1, field, &seeds, 0);
+                assert!(cost.converged, "{} did not converge on {field:?}", protocol.name());
+                assert!(cost.transmissions > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn protocol_names_are_distinct() {
+        let names: std::collections::HashSet<&str> =
+            ProtocolKind::all().iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), 4);
+    }
+}

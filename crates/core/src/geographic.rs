@@ -1,0 +1,278 @@
+//! The Dimakis et al. baseline: geographic gossip.
+//!
+//! On each clock tick the activated sensor draws a target *position* uniformly
+//! at random from the unit square, greedily routes a packet with its value to
+//! the node nearest that position, and the two nodes replace their values with
+//! the average (Section 1.1 of the paper, citing [5]). Each exchange costs a
+//! routed round trip of `Θ(sqrt(n / log n))` hops, but because the contacted
+//! partner is (roughly) uniform over the whole network, only `Õ(n)` exchanges
+//! are needed — `Õ(n^1.5)` transmissions in total.
+
+use crate::error::ProtocolError;
+use crate::state::GossipState;
+use crate::update::convex_average;
+use geogossip_graph::GeometricGraph;
+use geogossip_routing::greedy::{route_to_node, route_to_position};
+use geogossip_routing::target::TargetSelector;
+use geogossip_sim::clock::Tick;
+use geogossip_sim::engine::Activation;
+use geogossip_sim::metrics::TransmissionCounter;
+use rand::Rng;
+
+/// The geographic gossip protocol of Dimakis, Sarwate and Wainwright.
+///
+/// # Example
+///
+/// ```
+/// use geogossip_core::prelude::*;
+/// use geogossip_graph::GeometricGraph;
+/// use geogossip_geometry::sampling::sample_unit_square;
+/// use geogossip_sim::{AsyncEngine, StopCondition};
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(4);
+/// let pts = sample_unit_square(128, &mut rng);
+/// let graph = GeometricGraph::build_at_connectivity_radius(pts, 2.0);
+/// let values = InitialCondition::Spike.generate(graph.len(), &mut rng);
+/// let mut gossip = GeographicGossip::new(&graph, values)?;
+/// let report = AsyncEngine::new(graph.len())
+///     .run(&mut gossip, StopCondition::at_epsilon(0.2).with_max_ticks(200_000), &mut rng);
+/// assert!(report.converged());
+/// # Ok::<(), geogossip_core::ProtocolError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GeographicGossip<'a> {
+    graph: &'a GeometricGraph,
+    state: GossipState,
+    selector: TargetSelector,
+    exchanges: u64,
+    failed_routes: u64,
+}
+
+impl<'a> GeographicGossip<'a> {
+    /// Creates the protocol with the plain "nearest node to a uniform
+    /// position" partner selection (no rejection sampling).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::EmptyNetwork`] for an empty graph and
+    /// [`ProtocolError::ValueLengthMismatch`] when the value vector length
+    /// does not match the node count.
+    pub fn new(graph: &'a GeometricGraph, initial_values: Vec<f64>) -> Result<Self, ProtocolError> {
+        Self::with_selector(graph, initial_values, TargetSelector::NearestToUniformPosition)
+    }
+
+    /// Creates the protocol with an explicit partner-selection strategy
+    /// (e.g. [`TargetSelector::rejection_sampled`] as in the original paper,
+    /// or [`TargetSelector::UniformByIndex`] as an idealised reference).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GeographicGossip::new`].
+    pub fn with_selector(
+        graph: &'a GeometricGraph,
+        initial_values: Vec<f64>,
+        selector: TargetSelector,
+    ) -> Result<Self, ProtocolError> {
+        if graph.is_empty() {
+            return Err(ProtocolError::EmptyNetwork);
+        }
+        if initial_values.len() != graph.len() {
+            return Err(ProtocolError::ValueLengthMismatch {
+                nodes: graph.len(),
+                values: initial_values.len(),
+            });
+        }
+        Ok(GeographicGossip {
+            graph,
+            state: GossipState::new(initial_values),
+            selector,
+            exchanges: 0,
+            failed_routes: 0,
+        })
+    }
+
+    /// The current gossip state.
+    pub fn state(&self) -> &GossipState {
+        &self.state
+    }
+
+    /// Number of completed long-range exchanges.
+    pub fn exchanges(&self) -> u64 {
+        self.exchanges
+    }
+
+    /// Number of rounds whose return route dead-ended (the exchange is still
+    /// performed — the partner was reached — but the hop count reflects the
+    /// partial return path).
+    pub fn failed_routes(&self) -> u64 {
+        self.failed_routes
+    }
+}
+
+impl Activation for GeographicGossip<'_> {
+    fn on_tick<R: Rng + ?Sized>(&mut self, tick: Tick, tx: &mut TransmissionCounter, rng: &mut R) {
+        if self.graph.len() < 2 {
+            return;
+        }
+        let s = tick.node;
+        // 1. Pick the partner: either directly via the selector (uniform by
+        //    index / rejection sampled) or as "whoever greedy routing towards
+        //    a uniform position stops at".
+        let (partner, outbound_hops) = match &self.selector {
+            TargetSelector::NearestToUniformPosition => {
+                let target = geogossip_geometry::sampling::uniform_point_in(
+                    geogossip_geometry::unit_square(),
+                    rng,
+                );
+                let outcome = route_to_position(self.graph, s, target);
+                (outcome.terminus, outcome.hops)
+            }
+            selector => {
+                let Some(partner) = selector.draw(self.graph, s, rng) else {
+                    return;
+                };
+                let outcome = route_to_node(self.graph, s, partner);
+                if !outcome.delivered {
+                    self.failed_routes += 1;
+                }
+                (outcome.terminus, outcome.hops)
+            }
+        };
+        if partner == s {
+            // The random position landed in s's own Voronoi cell; the round is
+            // a no-op and costs nothing (no packet leaves s).
+            return;
+        }
+        // 2. The partner routes its value back to s.
+        let back = route_to_node(self.graph, partner, s);
+        if !back.delivered {
+            self.failed_routes += 1;
+        }
+        // 3. Both replace their values by the average.
+        let (new_s, new_p) = convex_average(self.state.value(s.index()), self.state.value(partner.index()));
+        self.state.set(s.index(), new_s);
+        self.state.set(partner.index(), new_p);
+        tx.charge_routing((outbound_hops + back.hops) as u64);
+        self.exchanges += 1;
+    }
+
+    fn relative_error(&self) -> f64 {
+        self.state.relative_error()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairwise::PairwiseGossip;
+    use crate::state::InitialCondition;
+    use geogossip_geometry::sampling::sample_unit_square;
+    use geogossip_sim::engine::{AsyncEngine, StopCondition};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn graph(n: usize, seed: u64) -> GeometricGraph {
+        let pts = sample_unit_square(n, &mut ChaCha8Rng::seed_from_u64(seed));
+        GeometricGraph::build_at_connectivity_radius(pts, 2.0)
+    }
+
+    #[test]
+    fn construction_validates_inputs() {
+        let g = graph(10, 1);
+        assert!(GeographicGossip::new(&g, vec![0.0; 10]).is_ok());
+        assert!(GeographicGossip::new(&g, vec![0.0; 11]).is_err());
+        let empty = GeometricGraph::build(Vec::new(), 0.1);
+        assert!(GeographicGossip::new(&empty, Vec::new()).is_err());
+    }
+
+    #[test]
+    fn converges_on_a_connected_graph() {
+        let g = graph(128, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let values = InitialCondition::Spike.generate(g.len(), &mut rng);
+        let mut gossip = GeographicGossip::new(&g, values).unwrap();
+        let report = AsyncEngine::new(g.len()).run(
+            &mut gossip,
+            StopCondition::at_epsilon(0.05).with_max_ticks(500_000),
+            &mut rng,
+        );
+        assert!(report.converged(), "stopped with error {}", report.final_error);
+        assert!(report.transmissions.routing() > 0);
+        assert_eq!(report.transmissions.local(), 0);
+    }
+
+    #[test]
+    fn conserves_the_mean() {
+        let g = graph(96, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let values = InitialCondition::Ramp.generate(g.len(), &mut rng);
+        let mut gossip = GeographicGossip::new(&g, values).unwrap();
+        let _ = AsyncEngine::new(g.len()).run(
+            &mut gossip,
+            StopCondition::at_epsilon(0.1).with_max_ticks(200_000),
+            &mut rng,
+        );
+        assert!(gossip.state().mass_drift() < 1e-9);
+    }
+
+    #[test]
+    fn uses_fewer_ticks_than_pairwise_on_the_same_instance() {
+        // Geographic gossip mixes like the complete graph, so it needs many
+        // fewer clock ticks (rounds) than nearest-neighbor gossip; that is the
+        // whole point of paying √n hops per round. The gap only opens up once
+        // the radius is genuinely local, so use a size where r ≈ 0.2.
+        let g = graph(512, 6);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let values = InitialCondition::Spike.generate(g.len(), &mut rng);
+        let stop = StopCondition::at_epsilon(0.1).with_max_ticks(10_000_000);
+
+        let mut geo = GeographicGossip::new(&g, values.clone()).unwrap();
+        let geo_report =
+            AsyncEngine::new(g.len()).run(&mut geo, stop, &mut ChaCha8Rng::seed_from_u64(8));
+
+        let mut pw = PairwiseGossip::new(&g, values).unwrap();
+        let pw_report =
+            AsyncEngine::new(g.len()).run(&mut pw, stop, &mut ChaCha8Rng::seed_from_u64(8));
+
+        assert!(geo_report.converged() && pw_report.converged());
+        assert!(
+            geo_report.ticks < pw_report.ticks,
+            "geographic gossip used {} ticks, pairwise {}",
+            geo_report.ticks,
+            pw_report.ticks
+        );
+    }
+
+    #[test]
+    fn rejection_sampled_selector_also_converges() {
+        let g = graph(128, 9);
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let selector = TargetSelector::rejection_sampled(&g, 10_000, 10, &mut rng);
+        let values = InitialCondition::Bimodal.generate(g.len(), &mut rng);
+        let mut gossip = GeographicGossip::with_selector(&g, values, selector).unwrap();
+        let report = AsyncEngine::new(g.len()).run(
+            &mut gossip,
+            StopCondition::at_epsilon(0.1).with_max_ticks(500_000),
+            &mut rng,
+        );
+        assert!(report.converged());
+    }
+
+    #[test]
+    fn single_node_network_is_a_noop() {
+        use geogossip_geometry::Point;
+        let g = GeometricGraph::build(vec![Point::new(0.5, 0.5)], 0.1);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut gossip = GeographicGossip::new(&g, vec![3.0]).unwrap();
+        let report = AsyncEngine::new(1).run(
+            &mut gossip,
+            StopCondition::at_epsilon(0.5).with_max_ticks(10),
+            &mut rng,
+        );
+        // A single node is already "averaged".
+        assert!(report.converged());
+        assert_eq!(report.transmissions.total(), 0);
+    }
+}

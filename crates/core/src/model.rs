@@ -1,0 +1,513 @@
+//! The complete-graph models behind Lemma 1 and Lemma 2 of the paper.
+//!
+//! The hierarchical protocol's convergence rests on an abstract fact about
+//! asymmetric affine gossip on the complete graph `K_n` (Appendix A):
+//!
+//! * **Lemma 1.** With per-node coefficients `α_i ∈ (1/3, 1/2)`, the update
+//!   `x_i ← (1−α_i)x_i + α_j x_j`, `x_j ← (1−α_j)x_j + α_i x_i` applied to a
+//!   uniformly random pair per clock tick satisfies
+//!   `E‖x(t)‖² < (1 − 1/2n)^t ‖x(0)‖²` (for sum-zero `x(0)`).
+//! * **Lemma 2.** The same dynamics with bounded additive perturbations
+//!   `±n(t)`, `|n(t)| < ε`, stays below
+//!   `n^{a/2}((1−1/2n)^{t/2}‖y(0)‖ + 8√2·n^{3/2}·ε)` with probability at least
+//!   `1 − 5/n^a`.
+//!
+//! In the full protocol the "nodes" of these models are the sub-squares of a
+//! cell and the perturbations are the residual errors of imperfect local
+//! averaging (Section 6). Experiments E1 and E2 check both statements
+//! directly against these reference implementations.
+
+use crate::error::ProtocolError;
+use geogossip_geometry::sampling::uniform_index_excluding;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Lower end of the coefficient range required by Lemma 1.
+pub const ALPHA_MIN: f64 = 1.0 / 3.0;
+/// Upper end of the coefficient range required by Lemma 1.
+pub const ALPHA_MAX: f64 = 0.5;
+
+/// The Lemma-1 dynamics: asymmetric affine gossip on the complete graph.
+///
+/// # Example
+///
+/// ```
+/// use geogossip_core::model::AffineCompleteGraph;
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(1);
+/// let mut model = AffineCompleteGraph::with_uniform_alpha(16, 0.4).unwrap();
+/// model.set_centered_values((0..16).map(|i| i as f64).collect()).unwrap();
+/// let before = model.squared_norm();
+/// model.run(1_000, &mut rng);
+/// assert!(model.squared_norm() < before);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AffineCompleteGraph {
+    alphas: Vec<f64>,
+    values: Vec<f64>,
+    initial_squared_norm: f64,
+    ticks: u64,
+}
+
+impl AffineCompleteGraph {
+    /// Creates the model with explicit per-node coefficients, all of which
+    /// must lie in the open interval `(1/3, 1/2)` required by Lemma 1.
+    /// Values start at zero; set them with [`Self::set_values`] or
+    /// [`Self::set_centered_values`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::EmptyNetwork`] for an empty coefficient vector
+    /// and [`ProtocolError::InvalidParameter`] when any coefficient is outside
+    /// `(1/3, 1/2)`.
+    pub fn new(alphas: Vec<f64>) -> Result<Self, ProtocolError> {
+        if alphas.is_empty() {
+            return Err(ProtocolError::EmptyNetwork);
+        }
+        if let Some(bad) = alphas
+            .iter()
+            .find(|a| !a.is_finite() || **a <= ALPHA_MIN || **a >= ALPHA_MAX)
+        {
+            return Err(ProtocolError::InvalidParameter {
+                name: "alpha",
+                reason: format!("coefficient {bad} outside the open interval (1/3, 1/2)"),
+            });
+        }
+        let n = alphas.len();
+        Ok(AffineCompleteGraph {
+            alphas,
+            values: vec![0.0; n],
+            initial_squared_norm: 0.0,
+            ticks: 0,
+        })
+    }
+
+    /// Creates the model with every coefficient equal to `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::new`].
+    pub fn with_uniform_alpha(n: usize, alpha: f64) -> Result<Self, ProtocolError> {
+        Self::new(vec![alpha; n])
+    }
+
+    /// Creates the model with coefficients drawn independently and uniformly
+    /// from the open interval `(1/3, 1/2)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::EmptyNetwork`] when `n == 0`.
+    pub fn with_random_alphas<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Result<Self, ProtocolError> {
+        if n == 0 {
+            return Err(ProtocolError::EmptyNetwork);
+        }
+        let width = ALPHA_MAX - ALPHA_MIN;
+        let alphas = (0..n)
+            .map(|_| ALPHA_MIN + width * (0.001 + 0.998 * rng.gen::<f64>()))
+            .collect();
+        Self::new(alphas)
+    }
+
+    /// Sets the value vector exactly as given.
+    ///
+    /// Lemma 1's bound concerns sum-zero vectors; use
+    /// [`Self::set_centered_values`] when reproducing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::ValueLengthMismatch`] when the length differs
+    /// from the number of nodes.
+    pub fn set_values(&mut self, values: Vec<f64>) -> Result<(), ProtocolError> {
+        if values.len() != self.alphas.len() {
+            return Err(ProtocolError::ValueLengthMismatch {
+                nodes: self.alphas.len(),
+                values: values.len(),
+            });
+        }
+        self.initial_squared_norm = values.iter().map(|v| v * v).sum();
+        self.values = values;
+        self.ticks = 0;
+        Ok(())
+    }
+
+    /// Sets the value vector after subtracting its mean, so the sum is zero as
+    /// the paper assumes w.l.o.g. (Section 2.1).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::set_values`].
+    pub fn set_centered_values(&mut self, mut values: Vec<f64>) -> Result<(), ProtocolError> {
+        if !values.is_empty() {
+            let mean = values.iter().sum::<f64>() / values.len() as f64;
+            for v in &mut values {
+                *v -= mean;
+            }
+        }
+        self.set_values(values)
+    }
+
+    /// Number of nodes `n`.
+    pub fn len(&self) -> usize {
+        self.alphas.len()
+    }
+
+    /// Whether the model has no nodes (never true for a constructed model).
+    pub fn is_empty(&self) -> bool {
+        self.alphas.is_empty()
+    }
+
+    /// The per-node coefficients.
+    pub fn alphas(&self) -> &[f64] {
+        &self.alphas
+    }
+
+    /// The current value vector.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of clock ticks applied since the values were last set.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Current `‖x(t)‖²`.
+    pub fn squared_norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum()
+    }
+
+    /// `‖x(0)‖²` at the time the values were last set.
+    pub fn initial_squared_norm(&self) -> f64 {
+        self.initial_squared_norm
+    }
+
+    /// Current sum of all values (conserved by the dynamics).
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Applies one clock tick: a uniformly random node `i` contacts a
+    /// uniformly random other node `j` and both update with their own
+    /// coefficients. Returns the pair `(i, j)`.
+    ///
+    /// Single-node models are a no-op (there is nobody to contact).
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> (usize, usize) {
+        self.ticks += 1;
+        let n = self.len();
+        if n < 2 {
+            return (0, 0);
+        }
+        let i = rng.gen_range(0..n);
+        let j = uniform_index_excluding(n, i, rng);
+        let (xi, xj) = (self.values[i], self.values[j]);
+        let (ai, aj) = (self.alphas[i], self.alphas[j]);
+        self.values[i] = (1.0 - ai) * xi + aj * xj;
+        self.values[j] = (1.0 - aj) * xj + ai * xi;
+        (i, j)
+    }
+
+    /// Applies `ticks` clock ticks.
+    pub fn run<R: Rng + ?Sized>(&mut self, ticks: u64, rng: &mut R) {
+        for _ in 0..ticks {
+            self.step(rng);
+        }
+    }
+
+    /// Lemma 1's bound on `E‖x(t)‖²` after `t` ticks: `(1 − 1/2n)^t ‖x(0)‖²`.
+    pub fn lemma1_bound(&self, t: u64) -> f64 {
+        let n = self.len() as f64;
+        (1.0 - 1.0 / (2.0 * n)).powi(t as i32) * self.initial_squared_norm
+    }
+}
+
+/// Bounded additive perturbations for the Lemma-2 dynamics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PerturbationKind {
+    /// Every perturbation is exactly `+magnitude` (worst case in one
+    /// direction).
+    Constant,
+    /// Perturbations are drawn uniformly from `[-magnitude, +magnitude]`.
+    UniformSymmetric,
+    /// Perturbations alternate sign: `+magnitude, -magnitude, …`.
+    Alternating,
+}
+
+/// The Lemma-2 dynamics: the Lemma-1 update plus a bounded perturbation
+/// `+n(t)` on the caller and `−n(t)` on the callee.
+///
+/// The perturbation models the residual error of imperfect local averaging
+/// inside the cells the two "nodes" stand for (Section 6 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use geogossip_core::model::{PerturbationKind, PerturbedAffineCompleteGraph};
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(2);
+/// let mut model = PerturbedAffineCompleteGraph::new(
+///     32, 0.4, 1e-6, PerturbationKind::UniformSymmetric,
+/// ).unwrap();
+/// model.set_centered_values((0..32).map(|i| (i % 5) as f64).collect()).unwrap();
+/// model.run(5_000, &mut rng);
+/// // The norm stays well below the Lemma-2 envelope for a = 1.
+/// assert!(model.norm() <= model.lemma2_bound(5_000, 1.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerturbedAffineCompleteGraph {
+    inner: AffineCompleteGraph,
+    magnitude: f64,
+    kind: PerturbationKind,
+    initial_norm: f64,
+    parity: bool,
+}
+
+impl PerturbedAffineCompleteGraph {
+    /// Creates the perturbed model with uniform coefficient `alpha`,
+    /// perturbation magnitude bound `magnitude` (the `ε` of Lemma 2), and the
+    /// chosen perturbation pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`AffineCompleteGraph::new`], plus
+    /// [`ProtocolError::InvalidParameter`] when `magnitude` is negative or not
+    /// finite.
+    pub fn new(
+        n: usize,
+        alpha: f64,
+        magnitude: f64,
+        kind: PerturbationKind,
+    ) -> Result<Self, ProtocolError> {
+        if !magnitude.is_finite() || magnitude < 0.0 {
+            return Err(ProtocolError::InvalidParameter {
+                name: "magnitude",
+                reason: "perturbation bound must be non-negative and finite".into(),
+            });
+        }
+        Ok(PerturbedAffineCompleteGraph {
+            inner: AffineCompleteGraph::with_uniform_alpha(n, alpha)?,
+            magnitude,
+            kind,
+            initial_norm: 0.0,
+            parity: false,
+        })
+    }
+
+    /// Sets the value vector after centering it (sum zero), as in Lemma 2's
+    /// use inside the protocol.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AffineCompleteGraph::set_values`].
+    pub fn set_centered_values(&mut self, values: Vec<f64>) -> Result<(), ProtocolError> {
+        self.inner.set_centered_values(values)?;
+        self.initial_norm = self.inner.squared_norm().sqrt();
+        Ok(())
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the model has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Current `‖y(t)‖`.
+    pub fn norm(&self) -> f64 {
+        self.inner.squared_norm().sqrt()
+    }
+
+    /// `‖y(0)‖` at the time the values were last set.
+    pub fn initial_norm(&self) -> f64 {
+        self.initial_norm
+    }
+
+    /// The current value vector.
+    pub fn values(&self) -> &[f64] {
+        self.inner.values()
+    }
+
+    /// Applies one perturbed clock tick.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let noise = match self.kind {
+            PerturbationKind::Constant => self.magnitude,
+            PerturbationKind::UniformSymmetric => (2.0 * rng.gen::<f64>() - 1.0) * self.magnitude,
+            PerturbationKind::Alternating => {
+                self.parity = !self.parity;
+                if self.parity {
+                    self.magnitude
+                } else {
+                    -self.magnitude
+                }
+            }
+        };
+        let (i, j) = self.inner.step(rng);
+        if i != j {
+            self.inner.values[i] += noise;
+            self.inner.values[j] -= noise;
+        }
+    }
+
+    /// Applies `ticks` perturbed clock ticks.
+    pub fn run<R: Rng + ?Sized>(&mut self, ticks: u64, rng: &mut R) {
+        for _ in 0..ticks {
+            self.step(rng);
+        }
+    }
+
+    /// Lemma 2's high-probability envelope on `‖y(t)‖` for exponent `a`:
+    /// `n^{a/2}·((1 − 1/2n)^{t/2}·‖y(0)‖ + 8√2·n^{3/2}·ε)`.
+    ///
+    /// The bound holds with probability at least `1 − 5/n^a`.
+    pub fn lemma2_bound(&self, t: u64, a: f64) -> f64 {
+        let n = self.len() as f64;
+        let decay = (1.0 - 1.0 / (2.0 * n)).powf(t as f64 / 2.0);
+        n.powf(a / 2.0) * (decay * self.initial_norm + 8.0 * (2.0_f64).sqrt() * n.powf(1.5) * self.magnitude)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn centered_ramp(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn rejects_out_of_range_alphas() {
+        assert!(AffineCompleteGraph::with_uniform_alpha(8, 0.2).is_err());
+        assert!(AffineCompleteGraph::with_uniform_alpha(8, 0.6).is_err());
+        assert!(AffineCompleteGraph::with_uniform_alpha(8, 1.0 / 3.0).is_err());
+        assert!(AffineCompleteGraph::with_uniform_alpha(8, 0.5).is_err());
+        assert!(AffineCompleteGraph::with_uniform_alpha(8, 0.4).is_ok());
+        assert!(AffineCompleteGraph::new(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn random_alphas_are_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let model = AffineCompleteGraph::with_random_alphas(100, &mut rng).unwrap();
+        assert!(model
+            .alphas()
+            .iter()
+            .all(|&a| a > ALPHA_MIN && a < ALPHA_MAX));
+    }
+
+    #[test]
+    fn value_length_must_match() {
+        let mut model = AffineCompleteGraph::with_uniform_alpha(4, 0.4).unwrap();
+        assert!(matches!(
+            model.set_values(vec![1.0; 3]),
+            Err(ProtocolError::ValueLengthMismatch { nodes: 4, values: 3 })
+        ));
+    }
+
+    #[test]
+    fn centering_makes_the_sum_zero_and_updates_preserve_it() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut model = AffineCompleteGraph::with_random_alphas(32, &mut rng).unwrap();
+        model.set_centered_values(centered_ramp(32)).unwrap();
+        assert!(model.sum().abs() < 1e-9);
+        model.run(2_000, &mut rng);
+        assert!(model.sum().abs() < 1e-7, "sum drifted to {}", model.sum());
+    }
+
+    #[test]
+    fn squared_norm_decays_roughly_as_lemma1_predicts() {
+        // Average over independent runs: the empirical mean of ‖x(t)‖² must
+        // stay below the Lemma-1 bound (it is an upper bound on the mean).
+        let n = 32;
+        let t = 2_000u64;
+        let trials = 40;
+        let mut total = 0.0;
+        let mut bound = 0.0;
+        for trial in 0..trials {
+            let mut rng = ChaCha8Rng::seed_from_u64(100 + trial);
+            let mut model = AffineCompleteGraph::with_random_alphas(n, &mut rng).unwrap();
+            model.set_centered_values(centered_ramp(n)).unwrap();
+            bound = model.lemma1_bound(t);
+            model.run(t, &mut rng);
+            total += model.squared_norm();
+        }
+        let mean = total / trials as f64;
+        assert!(
+            mean <= bound * 1.05,
+            "empirical mean {mean} exceeds Lemma-1 bound {bound}"
+        );
+        assert!(mean > 0.0);
+    }
+
+    #[test]
+    fn single_node_model_is_a_fixed_point() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut model = AffineCompleteGraph::with_uniform_alpha(1, 0.4).unwrap();
+        model.set_values(vec![5.0]).unwrap();
+        model.run(10, &mut rng);
+        assert_eq!(model.values(), &[5.0]);
+        assert_eq!(model.ticks(), 10);
+    }
+
+    #[test]
+    fn perturbed_model_with_zero_noise_matches_unperturbed() {
+        let mut rng_a = ChaCha8Rng::seed_from_u64(4);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(4);
+        let mut plain = AffineCompleteGraph::with_uniform_alpha(16, 0.4).unwrap();
+        plain.set_centered_values(centered_ramp(16)).unwrap();
+        let mut noisy =
+            PerturbedAffineCompleteGraph::new(16, 0.4, 0.0, PerturbationKind::Constant).unwrap();
+        noisy.set_centered_values(centered_ramp(16)).unwrap();
+        // The perturbed model consumes the same amount of randomness per step
+        // only for the Constant kind (no extra draws), so the trajectories
+        // coincide exactly.
+        plain.run(500, &mut rng_a);
+        noisy.run(500, &mut rng_b);
+        for (a, b) in plain.values().iter().zip(noisy.values()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn perturbed_model_stays_within_lemma2_envelope() {
+        let n = 32;
+        let t = 3_000u64;
+        let eps = 1e-5;
+        for (seed, kind) in [
+            (5u64, PerturbationKind::Constant),
+            (6, PerturbationKind::UniformSymmetric),
+            (7, PerturbationKind::Alternating),
+        ] {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut model = PerturbedAffineCompleteGraph::new(n, 0.45, eps, kind).unwrap();
+            model.set_centered_values(centered_ramp(n)).unwrap();
+            model.run(t, &mut rng);
+            let bound = model.lemma2_bound(t, 1.0);
+            assert!(
+                model.norm() <= bound,
+                "norm {} exceeded Lemma-2 envelope {bound} for {kind:?}",
+                model.norm()
+            );
+        }
+    }
+
+    #[test]
+    fn perturbation_magnitude_must_be_nonnegative() {
+        assert!(PerturbedAffineCompleteGraph::new(8, 0.4, -1.0, PerturbationKind::Constant).is_err());
+        assert!(PerturbedAffineCompleteGraph::new(8, 0.4, f64::NAN, PerturbationKind::Constant).is_err());
+    }
+
+    #[test]
+    fn lemma1_bound_decreases_with_time() {
+        let mut model = AffineCompleteGraph::with_uniform_alpha(10, 0.4).unwrap();
+        model.set_values(vec![1.0; 10]).unwrap();
+        assert!(model.lemma1_bound(10) > model.lemma1_bound(100));
+    }
+}

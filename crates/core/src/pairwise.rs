@@ -1,0 +1,214 @@
+//! The Boyd et al. baseline: pairwise gossip with a random neighbor.
+//!
+//! On each clock tick the activated sensor `s` sends its value to a neighbor
+//! `v` chosen uniformly at random from its adjacency list, receives `v`'s
+//! value, and both set their value to the average (Section 1.1 of the paper,
+//! citing Boyd et al. [1]). One round costs 2 transmissions. On a geometric
+//! random graph at the connectivity radius the number of transmissions to
+//! ε-average scales as `Õ(n²)` — the quantity experiment E4 measures.
+
+use crate::error::ProtocolError;
+use crate::state::GossipState;
+use crate::update::convex_average;
+use geogossip_graph::GeometricGraph;
+use geogossip_sim::clock::Tick;
+use geogossip_sim::engine::Activation;
+use geogossip_sim::metrics::TransmissionCounter;
+use rand::Rng;
+
+/// The pairwise (nearest-neighbor) gossip protocol.
+///
+/// Holds a reference to the network it runs on; the network never changes
+/// during a run.
+///
+/// # Example
+///
+/// ```
+/// use geogossip_core::prelude::*;
+/// use geogossip_graph::GeometricGraph;
+/// use geogossip_geometry::sampling::sample_unit_square;
+/// use geogossip_sim::{AsyncEngine, StopCondition};
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(3);
+/// let pts = sample_unit_square(128, &mut rng);
+/// let graph = GeometricGraph::build_at_connectivity_radius(pts, 2.0);
+/// let values = InitialCondition::Bimodal.generate(graph.len(), &mut rng);
+/// let mut gossip = PairwiseGossip::new(&graph, values)?;
+/// let report = AsyncEngine::new(graph.len())
+///     .run(&mut gossip, StopCondition::at_epsilon(0.2).with_max_ticks(500_000), &mut rng);
+/// assert!(report.converged());
+/// # Ok::<(), geogossip_core::ProtocolError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PairwiseGossip<'a> {
+    graph: &'a GeometricGraph,
+    state: GossipState,
+    exchanges: u64,
+    isolated_activations: u64,
+}
+
+impl<'a> PairwiseGossip<'a> {
+    /// Creates the protocol over `graph` with the given initial values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::EmptyNetwork`] for an empty graph and
+    /// [`ProtocolError::ValueLengthMismatch`] when the value vector length
+    /// does not match the node count.
+    pub fn new(graph: &'a GeometricGraph, initial_values: Vec<f64>) -> Result<Self, ProtocolError> {
+        if graph.is_empty() {
+            return Err(ProtocolError::EmptyNetwork);
+        }
+        if initial_values.len() != graph.len() {
+            return Err(ProtocolError::ValueLengthMismatch {
+                nodes: graph.len(),
+                values: initial_values.len(),
+            });
+        }
+        Ok(PairwiseGossip {
+            graph,
+            state: GossipState::new(initial_values),
+            exchanges: 0,
+            isolated_activations: 0,
+        })
+    }
+
+    /// The current gossip state.
+    pub fn state(&self) -> &GossipState {
+        &self.state
+    }
+
+    /// Number of completed neighbor exchanges.
+    pub fn exchanges(&self) -> u64 {
+        self.exchanges
+    }
+
+    /// Number of activations of sensors that had no neighbor to talk to.
+    pub fn isolated_activations(&self) -> u64 {
+        self.isolated_activations
+    }
+}
+
+impl Activation for PairwiseGossip<'_> {
+    fn on_tick<R: Rng + ?Sized>(&mut self, tick: Tick, tx: &mut TransmissionCounter, rng: &mut R) {
+        let s = tick.node.index();
+        let neighbors = self.graph.neighbors(tick.node);
+        if neighbors.is_empty() {
+            // An isolated sensor can only wait; the paper's connectivity
+            // assumption makes this a measure-zero event at the standard
+            // radius, but we count it rather than panic.
+            self.isolated_activations += 1;
+            return;
+        }
+        let v = neighbors[rng.gen_range(0..neighbors.len())];
+        let (new_s, new_v) = convex_average(self.state.value(s), self.state.value(v));
+        self.state.set(s, new_s);
+        self.state.set(v, new_v);
+        // One packet each way.
+        tx.charge_local(2);
+        self.exchanges += 1;
+    }
+
+    fn relative_error(&self) -> f64 {
+        self.state.relative_error()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::InitialCondition;
+    use geogossip_geometry::sampling::sample_unit_square;
+    use geogossip_geometry::Point;
+    use geogossip_sim::engine::{AsyncEngine, StopCondition};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn graph(n: usize, seed: u64) -> GeometricGraph {
+        let pts = sample_unit_square(n, &mut ChaCha8Rng::seed_from_u64(seed));
+        GeometricGraph::build_at_connectivity_radius(pts, 2.0)
+    }
+
+    #[test]
+    fn construction_validates_inputs() {
+        let g = graph(10, 1);
+        assert!(PairwiseGossip::new(&g, vec![0.0; 10]).is_ok());
+        assert!(matches!(
+            PairwiseGossip::new(&g, vec![0.0; 9]),
+            Err(ProtocolError::ValueLengthMismatch { .. })
+        ));
+        let empty = GeometricGraph::build(Vec::new(), 0.1);
+        assert!(matches!(
+            PairwiseGossip::new(&empty, Vec::new()),
+            Err(ProtocolError::EmptyNetwork)
+        ));
+    }
+
+    #[test]
+    fn converges_on_a_connected_graph() {
+        let g = graph(128, 2);
+        assert!(g.is_connected());
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let values = InitialCondition::Bimodal.generate(g.len(), &mut rng);
+        let mut gossip = PairwiseGossip::new(&g, values).unwrap();
+        let report = AsyncEngine::new(g.len()).run(
+            &mut gossip,
+            StopCondition::at_epsilon(0.05).with_max_ticks(2_000_000),
+            &mut rng,
+        );
+        assert!(report.converged(), "stopped with error {}", report.final_error);
+        // Every exchange costs exactly 2 local transmissions.
+        assert_eq!(report.transmissions.total(), 2 * gossip.exchanges());
+        assert_eq!(report.transmissions.routing(), 0);
+    }
+
+    #[test]
+    fn conserves_the_mean() {
+        let g = graph(64, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let values = InitialCondition::Uniform.generate(g.len(), &mut rng);
+        let mut gossip = PairwiseGossip::new(&g, values).unwrap();
+        let _ = AsyncEngine::new(g.len()).run(
+            &mut gossip,
+            StopCondition::at_epsilon(0.1).with_max_ticks(500_000),
+            &mut rng,
+        );
+        assert!(gossip.state().mass_drift() < 1e-9);
+    }
+
+    #[test]
+    fn isolated_sensors_are_counted_not_fatal() {
+        // Two sensors far apart, radius too small to connect them.
+        let g = GeometricGraph::build(vec![Point::new(0.1, 0.1), Point::new(0.9, 0.9)], 0.01);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut gossip = PairwiseGossip::new(&g, vec![0.0, 1.0]).unwrap();
+        let report = AsyncEngine::new(g.len()).run(
+            &mut gossip,
+            StopCondition::at_epsilon(0.01).with_max_ticks(100),
+            &mut rng,
+        );
+        assert!(!report.converged());
+        assert_eq!(gossip.isolated_activations(), 100);
+        assert_eq!(report.transmissions.total(), 0);
+    }
+
+    #[test]
+    fn error_is_monotonically_nonincreasing_under_convex_updates() {
+        let g = graph(64, 7);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let values = InitialCondition::Spike.generate(g.len(), &mut rng);
+        let mut gossip = PairwiseGossip::new(&g, values).unwrap();
+        let mut clock = geogossip_sim::GlobalPoissonClock::new(g.len());
+        let mut tx = TransmissionCounter::new();
+        let mut prev = gossip.relative_error();
+        for _ in 0..5_000 {
+            let tick = clock.next_tick(&mut rng);
+            gossip.on_tick(tick, &mut tx, &mut rng);
+            let cur = gossip.relative_error();
+            assert!(cur <= prev + 1e-12, "convex averaging increased the error");
+            prev = cur;
+        }
+    }
+}

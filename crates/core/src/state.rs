@@ -1,0 +1,328 @@
+//! Sensor value vectors and error metrics.
+//!
+//! A gossip protocol's entire job is to move the value vector `x(t)` towards
+//! the constant vector `x̄·1` while conserving the sum. [`GossipState`] holds
+//! the vector together with the quantities needed to measure progress:
+//! the initial deviation norm `‖x(0) − x̄·1‖` and the (invariant) mean.
+//! [`InitialCondition`] generates the initial vectors used across the
+//! experiments.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Initial value assignments used by the experiments.
+///
+/// The paper's guarantee is worst-case over `x(0)`; the experiment suite uses
+/// several qualitatively different initial conditions because gossip
+/// algorithms converge at visibly different speeds on smooth versus spiky
+/// fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InitialCondition {
+    /// One sensor holds 1, all others 0 — the hardest case for local
+    /// protocols ("measure at a single point").
+    Spike,
+    /// Values drawn i.i.d. uniformly from `[0, 1]`.
+    Uniform,
+    /// A linear field `x_i = position-independent ramp i/(n−1)` — smooth but
+    /// globally spread.
+    Ramp,
+    /// Half the sensors hold `+1`, the other half `−1` (by index parity) — a
+    /// balanced, high-variance field.
+    Bimodal,
+}
+
+impl InitialCondition {
+    /// Generates the value vector for `n` sensors.
+    ///
+    /// The `rng` is only consulted by the [`InitialCondition::Uniform`]
+    /// variant; the others are deterministic.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use geogossip_core::InitialCondition;
+    /// use rand::SeedableRng;
+    /// use rand_chacha::ChaCha8Rng;
+    /// let v = InitialCondition::Spike.generate(4, &mut ChaCha8Rng::seed_from_u64(0));
+    /// assert_eq!(v, vec![1.0, 0.0, 0.0, 0.0]);
+    /// ```
+    pub fn generate<R: Rng + ?Sized>(self, n: usize, rng: &mut R) -> Vec<f64> {
+        match self {
+            InitialCondition::Spike => {
+                let mut v = vec![0.0; n];
+                if n > 0 {
+                    v[0] = 1.0;
+                }
+                v
+            }
+            InitialCondition::Uniform => (0..n).map(|_| rng.gen::<f64>()).collect(),
+            InitialCondition::Ramp => {
+                if n <= 1 {
+                    vec![0.0; n]
+                } else {
+                    (0..n).map(|i| i as f64 / (n - 1) as f64).collect()
+                }
+            }
+            InitialCondition::Bimodal => (0..n)
+                .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+                .collect(),
+        }
+    }
+
+    /// All variants, for experiment sweeps.
+    pub fn all() -> [InitialCondition; 4] {
+        [
+            InitialCondition::Spike,
+            InitialCondition::Uniform,
+            InitialCondition::Ramp,
+            InitialCondition::Bimodal,
+        ]
+    }
+}
+
+impl std::fmt::Display for InitialCondition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            InitialCondition::Spike => "spike",
+            InitialCondition::Uniform => "uniform",
+            InitialCondition::Ramp => "ramp",
+            InitialCondition::Bimodal => "bimodal",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// The values held by all sensors, plus the bookkeeping needed to measure
+/// convergence.
+///
+/// The *relative error* tracked throughout the workspace is
+/// `‖x(t) − x̄·1‖₂ / ‖x(0) − x̄·1‖₂`, i.e. the paper's `‖x(t)‖/‖x(0)‖` after the
+/// usual centering (the paper assumes `∑x_i = 0` w.l.o.g.; centering performs
+/// that reduction explicitly).
+///
+/// # Example
+///
+/// ```
+/// use geogossip_core::GossipState;
+/// let mut s = GossipState::new(vec![1.0, 0.0, 0.0, 0.0]);
+/// assert!((s.mean() - 0.25).abs() < 1e-12);
+/// assert!((s.relative_error() - 1.0).abs() < 1e-12);
+/// // Perfectly averaging every entry drives the error to zero.
+/// for i in 0..4 { s.set(i, 0.25); }
+/// assert!(s.relative_error() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GossipState {
+    values: Vec<f64>,
+    mean: f64,
+    initial_deviation: f64,
+}
+
+impl GossipState {
+    /// Wraps an initial value vector.
+    ///
+    /// An all-equal (or empty) initial vector has zero deviation; its relative
+    /// error is defined as 0 so already-converged states report convergence.
+    pub fn new(values: Vec<f64>) -> Self {
+        let n = values.len();
+        let mean = if n == 0 { 0.0 } else { values.iter().sum::<f64>() / n as f64 };
+        let initial_deviation = deviation_norm(&values, mean);
+        GossipState {
+            values,
+            mean,
+            initial_deviation,
+        }
+    }
+
+    /// Number of sensors.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the state holds no sensors.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The current value vector.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The value held by sensor `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn value(&self, i: usize) -> f64 {
+        self.values[i]
+    }
+
+    /// Overwrites the value held by sensor `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set(&mut self, i: usize, value: f64) {
+        self.values[i] = value;
+    }
+
+    /// Mutable access to the underlying vector, for protocols that update many
+    /// entries at once. The caller is responsible for conserving the sum.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// The average of the initial values (which every sensor should converge
+    /// to). The mean is fixed at construction time: protocols are expected to
+    /// conserve it, and [`GossipState::mass_drift`] measures how well they did.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// `‖x(0) − x̄·1‖₂`, the denominator of the relative error.
+    pub fn initial_deviation(&self) -> f64 {
+        self.initial_deviation
+    }
+
+    /// `‖x(t) − x̄·1‖₂` for the current values.
+    pub fn deviation(&self) -> f64 {
+        deviation_norm(&self.values, self.mean)
+    }
+
+    /// The relative ℓ₂ error `‖x(t) − x̄·1‖ / ‖x(0) − x̄·1‖`.
+    ///
+    /// States that started with zero deviation report 0.
+    pub fn relative_error(&self) -> f64 {
+        if self.initial_deviation == 0.0 {
+            0.0
+        } else {
+            self.deviation() / self.initial_deviation
+        }
+    }
+
+    /// Absolute drift of the value sum relative to the initial sum, normalised
+    /// by `n`: `|mean(x(t)) − mean(x(0))|`.
+    ///
+    /// Exact conservation gives 0; floating-point rounding gives values on the
+    /// order of machine epsilon. Affine updates *do* conserve the sum
+    /// analytically, and tests use this to confirm the implementation does
+    /// too.
+    pub fn mass_drift(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let current = self.values.iter().sum::<f64>() / self.values.len() as f64;
+        (current - self.mean).abs()
+    }
+
+    /// Maximum absolute deviation of any single sensor from the target mean.
+    pub fn max_deviation(&self) -> f64 {
+        self.values
+            .iter()
+            .map(|v| (v - self.mean).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// `‖x − m·1‖₂`.
+fn deviation_norm(values: &[f64], m: f64) -> f64 {
+    values
+        .iter()
+        .map(|v| {
+            let d = v - m;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn spike_initial_condition() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let v = InitialCondition::Spike.generate(5, &mut rng);
+        assert_eq!(v, vec![1.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn ramp_is_monotone_and_normalised() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let v = InitialCondition::Ramp.generate(11, &mut rng);
+        assert_eq!(v[0], 0.0);
+        assert_eq!(v[10], 1.0);
+        assert!(v.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn bimodal_sums_to_zero_for_even_n() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let v = InitialCondition::Bimodal.generate(10, &mut rng);
+        assert_eq!(v.iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn uniform_values_are_in_unit_interval() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let v = InitialCondition::Uniform.generate(100, &mut rng);
+        assert!(v.iter().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn degenerate_sizes_are_handled() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for cond in InitialCondition::all() {
+            assert!(cond.generate(0, &mut rng).is_empty());
+            assert_eq!(cond.generate(1, &mut rng).len(), 1);
+        }
+    }
+
+    #[test]
+    fn relative_error_starts_at_one_and_reaches_zero() {
+        let mut s = GossipState::new(vec![2.0, 0.0]);
+        assert!((s.relative_error() - 1.0).abs() < 1e-12);
+        s.set(0, 1.0);
+        s.set(1, 1.0);
+        assert!(s.relative_error() < 1e-12);
+        assert!(s.mass_drift() < 1e-12);
+    }
+
+    #[test]
+    fn constant_vector_reports_zero_error() {
+        let s = GossipState::new(vec![3.5; 8]);
+        assert_eq!(s.relative_error(), 0.0);
+        assert_eq!(s.deviation(), 0.0);
+    }
+
+    #[test]
+    fn empty_state_is_converged() {
+        let s = GossipState::new(Vec::new());
+        assert!(s.is_empty());
+        assert_eq!(s.relative_error(), 0.0);
+        assert_eq!(s.mass_drift(), 0.0);
+    }
+
+    #[test]
+    fn mass_drift_detects_violations() {
+        let mut s = GossipState::new(vec![1.0, 0.0]);
+        s.set(0, 5.0); // breaks conservation
+        assert!(s.mass_drift() > 1.0);
+    }
+
+    #[test]
+    fn max_deviation_tracks_worst_sensor() {
+        let s = GossipState::new(vec![0.0, 0.0, 4.0, 0.0]);
+        assert!((s.max_deviation() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(InitialCondition::Spike.to_string(), "spike");
+        assert_eq!(InitialCondition::Bimodal.to_string(), "bimodal");
+    }
+}

@@ -1,0 +1,233 @@
+//! Pairwise update rules: convex averaging and affine exchanges.
+//!
+//! Traditional gossip uses the convex update `x_i, x_j ← (x_i + x_j)/2`. The
+//! paper's central idea (Section 1.2) is to allow **affine** combinations
+//! `x_i ← x_i + α(x_j − x_i)` with `α` far outside `[0, 1]` — as large as
+//! `Ω(√n)` — because when `x_i` and `x_j` are *cell leaders* whose cells will
+//! be locally re-averaged afterwards, the non-convex exchange moves the right
+//! amount of "mass" between the cells in a single long-range contact.
+//!
+//! Both update rules conserve the sum `x_i + x_j`, which is the invariant
+//! every averaging protocol must keep.
+
+use serde::{Deserialize, Serialize};
+
+/// The coefficient of an affine pairwise exchange.
+///
+/// The symmetric update applied to a pair `(i, j)` is
+///
+/// ```text
+/// x_i ← x_i + α (x_j − x_i)
+/// x_j ← x_j + α (x_i − x_j)      (using the ORIGINAL x_i)
+/// ```
+///
+/// `α = 1/2` is the classical convex average. The paper's `Far(s)` subroutine
+/// uses `α = (2/5)·E#(□)` where `E#(□)` is the expected population of the
+/// exchanging cells — about `2√n/5` at the top level (Section 3, step 3–4).
+///
+/// # Example
+///
+/// ```
+/// use geogossip_core::update::AffineCoefficient;
+/// let convex = AffineCoefficient::convex();
+/// assert_eq!(convex.value(), 0.5);
+/// let paper = AffineCoefficient::paper_far(100.0);
+/// assert!((paper.value() - 40.0).abs() < 1e-12);
+/// assert!(!paper.is_convex());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AffineCoefficient(f64);
+
+impl AffineCoefficient {
+    /// Creates a coefficient from a raw value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not finite.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha.is_finite(), "affine coefficient must be finite");
+        AffineCoefficient(alpha)
+    }
+
+    /// The classical convex-averaging coefficient `1/2`.
+    pub fn convex() -> Self {
+        AffineCoefficient(0.5)
+    }
+
+    /// The paper's long-range coefficient `(2/5)·E#(□)` for cells of expected
+    /// population `expected_cell_population` (Section 4.2, `Far(s)` step 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expected_cell_population` is not finite or not positive.
+    pub fn paper_far(expected_cell_population: f64) -> Self {
+        assert!(
+            expected_cell_population.is_finite() && expected_cell_population > 0.0,
+            "expected cell population must be positive and finite"
+        );
+        AffineCoefficient(0.4 * expected_cell_population)
+    }
+
+    /// The raw coefficient value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Whether the coefficient describes a convex combination (`0 ≤ α ≤ 1`).
+    pub fn is_convex(self) -> bool {
+        (0.0..=1.0).contains(&self.0)
+    }
+}
+
+/// Applies the convex averaging update to a pair of values, returning the new
+/// `(x_i, x_j)` — both equal to the midpoint.
+///
+/// # Example
+///
+/// ```
+/// use geogossip_core::update::convex_average;
+/// assert_eq!(convex_average(1.0, 3.0), (2.0, 2.0));
+/// ```
+pub fn convex_average(xi: f64, xj: f64) -> (f64, f64) {
+    let avg = (xi + xj) / 2.0;
+    (avg, avg)
+}
+
+/// Applies the symmetric affine exchange with coefficient `alpha`, returning
+/// the new `(x_i, x_j)`.
+///
+/// Both updates use the *original* values, exactly as in the paper's `Far`
+/// subroutine and in the Lemma-1 dynamics, so the sum `x_i + x_j` is conserved
+/// for every `α`.
+///
+/// # Example
+///
+/// ```
+/// use geogossip_core::update::{affine_exchange, AffineCoefficient};
+/// let (a, b) = affine_exchange(1.0, 0.0, AffineCoefficient::new(2.0));
+/// // x_i jumps past x_j (non-convex), but the sum is conserved.
+/// assert_eq!((a, b), (-1.0, 2.0));
+/// assert_eq!(a + b, 1.0);
+/// ```
+pub fn affine_exchange(xi: f64, xj: f64, alpha: AffineCoefficient) -> (f64, f64) {
+    let a = alpha.value();
+    let new_i = xi + a * (xj - xi);
+    let new_j = xj + a * (xi - xj);
+    (new_i, new_j)
+}
+
+/// The cell-sum evolution induced by one leader-level affine exchange
+/// (Section 3 of the paper).
+///
+/// If cell `i` currently has sum `z_i` over `count_i` sensors whose values are
+/// (approximately) equal, and its leader performs
+/// `x ← x + α(x_j − x_i)` against cell `j`'s leader, then after local
+/// re-averaging the *cell sums* evolve as
+///
+/// ```text
+/// z_i ← z_i + α (z_j / count_j − z_i / count_i)
+/// z_j ← z_j + α (z_i / count_i − z_j / count_j)
+/// ```
+///
+/// which for `α ≈ (2/5)·count` is the Lemma-1 dynamics with effective
+/// coefficients in `(1/3, 1/2)`. The experiment on coefficient ablation (E8)
+/// uses this helper directly.
+pub fn cell_sum_exchange(
+    zi: f64,
+    count_i: f64,
+    zj: f64,
+    count_j: f64,
+    alpha: AffineCoefficient,
+) -> (f64, f64) {
+    assert!(count_i > 0.0 && count_j > 0.0, "cell populations must be positive");
+    let a = alpha.value();
+    let delta = a * (zj / count_j - zi / count_i);
+    (zi + delta, zj - delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convex_average_is_midpoint() {
+        let (a, b) = convex_average(0.0, 1.0);
+        assert_eq!(a, 0.5);
+        assert_eq!(b, 0.5);
+    }
+
+    #[test]
+    fn affine_with_half_is_convex_average() {
+        let (a, b) = affine_exchange(0.2, 0.8, AffineCoefficient::convex());
+        let (c, d) = convex_average(0.2, 0.8);
+        assert!((a - c).abs() < 1e-15 && (b - d).abs() < 1e-15);
+    }
+
+    #[test]
+    fn affine_exchange_conserves_sum_for_extreme_coefficients() {
+        for &alpha in &[-3.0, 0.0, 0.5, 1.0, 7.5, 40.0, 1234.5] {
+            let (a, b) = affine_exchange(0.37, -2.13, AffineCoefficient::new(alpha));
+            assert!(((a + b) - (0.37 - 2.13)).abs() < 1e-12, "sum broken for alpha={alpha}");
+        }
+    }
+
+    #[test]
+    fn affine_exchange_is_symmetric_in_roles() {
+        let alpha = AffineCoefficient::new(3.0);
+        let (a, b) = affine_exchange(1.0, 5.0, alpha);
+        let (c, d) = affine_exchange(5.0, 1.0, alpha);
+        assert_eq!((a, b), (d, c));
+    }
+
+    #[test]
+    fn paper_far_coefficient_scale() {
+        // With cells of expected population √n, the coefficient is 2√n/5.
+        let n = 10_000.0_f64;
+        let alpha = AffineCoefficient::paper_far(n.sqrt());
+        assert!((alpha.value() - 2.0 * n.sqrt() / 5.0).abs() < 1e-9);
+        assert!(!alpha.is_convex());
+    }
+
+    #[test]
+    fn cell_sum_exchange_conserves_total_mass() {
+        let (zi, zj) = cell_sum_exchange(10.0, 32.0, -4.0, 30.0, AffineCoefficient::paper_far(31.0));
+        assert!(((zi + zj) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_sum_exchange_with_paper_coefficient_contracts_towards_balance() {
+        // Two cells of equal size with opposite sums: one exchange with the
+        // paper's coefficient moves them most of the way towards each other
+        // (effective mixing weight 2·(2/5) = 4/5 of the difference).
+        let count = 50.0;
+        let (zi, zj) = cell_sum_exchange(1.0, count, -1.0, count, AffineCoefficient::paper_far(count));
+        assert!(zi.abs() < 1.0 && zj.abs() < 1.0);
+        assert!((zi + zj).abs() < 1e-12);
+    }
+
+    #[test]
+    fn is_convex_detects_range() {
+        assert!(AffineCoefficient::new(0.0).is_convex());
+        assert!(AffineCoefficient::new(1.0).is_convex());
+        assert!(!AffineCoefficient::new(1.01).is_convex());
+        assert!(!AffineCoefficient::new(-0.01).is_convex());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_coefficient_rejected() {
+        let _ = AffineCoefficient::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn paper_far_rejects_zero_population() {
+        let _ = AffineCoefficient::paper_far(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "populations must be positive")]
+    fn cell_sum_exchange_rejects_empty_cells() {
+        let _ = cell_sum_exchange(1.0, 0.0, 2.0, 3.0, AffineCoefficient::convex());
+    }
+}

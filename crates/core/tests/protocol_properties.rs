@@ -1,0 +1,97 @@
+//! Property-based tests on the gossip protocols themselves (as opposed to the
+//! cross-crate properties in the workspace-level test suite): mass
+//! conservation and error monotonicity under arbitrary initial values, and
+//! validity of the hierarchy for arbitrary network sizes.
+
+use geogossip_core::affine::Hierarchy;
+use geogossip_core::prelude::*;
+use geogossip_geometry::sampling::sample_unit_square;
+use geogossip_geometry::PartitionConfig;
+use geogossip_graph::GeometricGraph;
+use geogossip_sim::{AsyncEngine, StopCondition};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn network(n: usize, seed: u64) -> GeometricGraph {
+    let pts = sample_unit_square(n, &mut ChaCha8Rng::seed_from_u64(seed));
+    GeometricGraph::build_at_connectivity_radius(pts, 2.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Pairwise gossip conserves the mean for arbitrary initial values and
+    /// never increases the relative error (convex updates are contractive).
+    #[test]
+    fn pairwise_gossip_conserves_mass_for_arbitrary_values(
+        seed in 0u64..200,
+        values in proptest::collection::vec(-100.0f64..100.0, 64),
+    ) {
+        let graph = network(64, seed);
+        let mut protocol = PairwiseGossip::new(&graph, values).unwrap();
+        let before_error = protocol.state().relative_error();
+        let _ = AsyncEngine::new(64).run(
+            &mut protocol,
+            StopCondition::at_epsilon(1e-9).with_max_ticks(5_000),
+            &mut ChaCha8Rng::seed_from_u64(seed ^ 0xabcd),
+        );
+        prop_assert!(protocol.state().mass_drift() < 1e-6);
+        prop_assert!(protocol.state().relative_error() <= before_error + 1e-9);
+    }
+
+    /// The round-based affine protocol conserves the mean for arbitrary
+    /// initial values (affine exchanges are non-convex but sum-preserving).
+    #[test]
+    fn affine_gossip_conserves_mass_for_arbitrary_values(
+        seed in 0u64..100,
+        values in proptest::collection::vec(-50.0f64..50.0, 128),
+    ) {
+        let graph = network(128, seed);
+        let mut protocol = RoundBasedAffineGossip::new(
+            &graph,
+            values,
+            RoundBasedConfig::idealized(128),
+        )
+        .unwrap();
+        let _ = protocol.run_until(0.2, &mut ChaCha8Rng::seed_from_u64(seed ^ 0x1234));
+        prop_assert!(protocol.state().mass_drift() < 1e-6);
+    }
+
+    /// The hierarchy is structurally valid for any network size in a wide
+    /// range: every populated cell has a leader who is one of its members, and
+    /// every sensor belongs to exactly one leaf.
+    #[test]
+    fn hierarchy_is_structurally_valid(n in 50usize..400, seed in 0u64..200) {
+        let graph = network(n, seed);
+        let hierarchy = Hierarchy::build(&graph, PartitionConfig::practical(n)).unwrap();
+        let mut leaf_membership = vec![0usize; n];
+        for depth in 0..hierarchy.levels() {
+            for &cell in hierarchy.populated_cells_at_depth(depth) {
+                let leader = hierarchy.leader(cell).unwrap();
+                prop_assert!(hierarchy.members(cell).contains(&leader.index()));
+            }
+        }
+        for (idx, cell) in hierarchy.partition().cells().iter().enumerate() {
+            if cell.is_leaf() {
+                for &m in cell.members() {
+                    leaf_membership[m] += 1;
+                    prop_assert_eq!(hierarchy.leaf_of(geogossip_geometry::point::NodeId(m)), idx);
+                }
+            }
+        }
+        prop_assert!(leaf_membership.iter().all(|&c| c == 1));
+    }
+
+    /// Initial conditions always produce vectors of the requested length with
+    /// finite entries.
+    #[test]
+    fn initial_conditions_are_well_formed(n in 0usize..500, seed in 0u64..100) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for condition in InitialCondition::all() {
+            let v = condition.generate(n, &mut rng);
+            prop_assert_eq!(v.len(), n);
+            prop_assert!(v.iter().all(|x| x.is_finite()));
+        }
+    }
+}

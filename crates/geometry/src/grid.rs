@@ -1,0 +1,329 @@
+//! Uniform spatial grid (spatial hash) over the unit square.
+//!
+//! Geometric-random-graph construction and greedy geographic routing both need
+//! "all sensors within distance `r` of position `p`" queries. A uniform grid
+//! with cell side `≥ r` answers these by scanning only the 3×3 block of cells
+//! around `p`, which is expected `O(1)` work per reported neighbor when points
+//! are uniform — exactly the regime of the paper.
+
+use crate::point::{NodeId, Point};
+use crate::rect::Rect;
+use serde::{Deserialize, Serialize};
+
+/// A spatial hash of point indices over a bounding rectangle.
+///
+/// The grid stores *indices* into the caller's position slice rather than the
+/// positions themselves, so it can be kept alongside whatever per-node state a
+/// protocol needs.
+///
+/// # Example
+///
+/// ```
+/// use geogossip_geometry::{Point, UniformGrid, unit_square};
+/// let pts = vec![Point::new(0.1, 0.1), Point::new(0.12, 0.11), Point::new(0.9, 0.9)];
+/// let grid = UniformGrid::build(unit_square(), &pts, 0.05);
+/// let near: Vec<_> = grid.neighbors_within(&pts, Point::new(0.1, 0.1), 0.05).collect();
+/// assert_eq!(near.len(), 2); // the two clustered points, not the far one
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UniformGrid {
+    bounds: Rect,
+    cols: usize,
+    rows: usize,
+    cell_w: f64,
+    cell_h: f64,
+    /// `cells[row * cols + col]` lists the indices of points in that cell.
+    cells: Vec<Vec<usize>>,
+    len: usize,
+}
+
+impl UniformGrid {
+    /// Builds a grid over `bounds` containing every point of `points`.
+    ///
+    /// `cell_side` is a *lower bound* on the side length of a grid cell; the
+    /// actual side is `bounds.side / floor(bounds.side / cell_side)` so the
+    /// grid tiles the bounds exactly. Radius-`r` queries are complete whenever
+    /// `cell_side ≥ r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_side` is not strictly positive or not finite.
+    pub fn build(bounds: Rect, points: &[Point], cell_side: f64) -> Self {
+        assert!(
+            cell_side.is_finite() && cell_side > 0.0,
+            "grid cell side must be positive and finite"
+        );
+        let cols = ((bounds.width() / cell_side).floor() as usize).max(1);
+        let rows = ((bounds.height() / cell_side).floor() as usize).max(1);
+        let cell_w = bounds.width() / cols as f64;
+        let cell_h = bounds.height() / rows as f64;
+        let mut cells = vec![Vec::new(); cols * rows];
+        for (i, &p) in points.iter().enumerate() {
+            let idx = Self::cell_index_for(bounds, cols, rows, p);
+            cells[idx].push(i);
+        }
+        UniformGrid {
+            bounds,
+            cols,
+            rows,
+            cell_w,
+            cell_h,
+            cells,
+            len: points.len(),
+        }
+    }
+
+    fn cell_index_for(bounds: Rect, cols: usize, rows: usize, p: Point) -> usize {
+        bounds.grid_index_of(p, cols, rows)
+    }
+
+    /// Number of points indexed by the grid.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the grid indexes no points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of grid columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of grid rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The bounding rectangle the grid was built over.
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// Iterates over the indices of all points within Euclidean distance
+    /// `radius` of `query` (excluding points at distance exactly greater than
+    /// `radius`; a point coincident with `query` *is* reported).
+    ///
+    /// `points` must be the same slice the grid was built from.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `points.len()` differs from the length the
+    /// grid was built with.
+    pub fn neighbors_within<'a>(
+        &'a self,
+        points: &'a [Point],
+        query: Point,
+        radius: f64,
+    ) -> impl Iterator<Item = usize> + 'a {
+        debug_assert_eq!(points.len(), self.len, "grid built over a different point set");
+        let r2 = radius * radius;
+        self.candidate_cells(query, radius)
+            .flat_map(move |cell| self.cells[cell].iter().copied())
+            .filter(move |&i| points[i].distance_squared(query) <= r2)
+    }
+
+    /// Returns the index of the point nearest to `query`, or `None` when the
+    /// grid is empty.
+    ///
+    /// This is the primitive behind both greedy geographic routing ("node
+    /// nearest to the random target position") and leader election ("sensor
+    /// closest to the center of the square", Definition 1 of the paper). The
+    /// search expands ring by ring outward from the query's cell, so the cost
+    /// is proportional to the local point density rather than `n`.
+    pub fn nearest(&self, points: &[Point], query: Point) -> Option<usize> {
+        debug_assert_eq!(points.len(), self.len, "grid built over a different point set");
+        if self.len == 0 {
+            return None;
+        }
+        let qc = self.bounds.grid_index_of(query, self.cols, self.rows);
+        let (qcol, qrow) = (qc % self.cols, qc / self.cols);
+        let mut best: Option<(usize, f64)> = None;
+        let max_ring = self.cols.max(self.rows);
+        for ring in 0..=max_ring {
+            // Once a candidate is found, one extra ring is enough to be exact:
+            // any closer point must lie within `best_dist` of the query, and a
+            // ring at Chebyshev distance `ring` is at Euclidean distance at
+            // least `(ring - 1) * min(cell_w, cell_h)` from the query point.
+            if let Some((_, best_d2)) = best {
+                let ring_clearance = (ring as f64 - 1.0).max(0.0) * self.cell_w.min(self.cell_h);
+                if ring_clearance * ring_clearance > best_d2 {
+                    break;
+                }
+            }
+            for (col, row) in ring_cells(qcol, qrow, ring, self.cols, self.rows) {
+                for &i in &self.cells[row * self.cols + col] {
+                    let d2 = points[i].distance_squared(query);
+                    if best.map_or(true, |(_, bd)| d2 < bd) {
+                        best = Some((i, d2));
+                    }
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Convenience wrapper around [`UniformGrid::nearest`] returning a
+    /// [`NodeId`].
+    pub fn nearest_node(&self, points: &[Point], query: Point) -> Option<NodeId> {
+        self.nearest(points, query).map(NodeId)
+    }
+
+    /// Iterator over the grid-cell indices that can contain points within
+    /// `radius` of `query`.
+    fn candidate_cells(&self, query: Point, radius: f64) -> impl Iterator<Item = usize> + '_ {
+        let col_span = (radius / self.cell_w).ceil() as isize + 1;
+        let row_span = (radius / self.cell_h).ceil() as isize + 1;
+        let qc = self.bounds.grid_index_of(query, self.cols, self.rows);
+        let (qcol, qrow) = ((qc % self.cols) as isize, (qc / self.cols) as isize);
+        let cols = self.cols as isize;
+        let rows = self.rows as isize;
+        (-row_span..=row_span).flat_map(move |dr| {
+            (-col_span..=col_span).filter_map(move |dc| {
+                let c = qcol + dc;
+                let r = qrow + dr;
+                if c >= 0 && c < cols && r >= 0 && r < rows {
+                    Some((r * cols + c) as usize)
+                } else {
+                    None
+                }
+            })
+        })
+    }
+}
+
+/// Cells at Chebyshev distance exactly `ring` from `(qcol, qrow)`, clipped to
+/// the grid.
+fn ring_cells(
+    qcol: usize,
+    qrow: usize,
+    ring: usize,
+    cols: usize,
+    rows: usize,
+) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let (qcol, qrow, ring) = (qcol as isize, qrow as isize, ring as isize);
+    let in_bounds = |c: isize, r: isize| c >= 0 && r >= 0 && (c as usize) < cols && (r as usize) < rows;
+    if ring == 0 {
+        if in_bounds(qcol, qrow) {
+            out.push((qcol as usize, qrow as usize));
+        }
+        return out;
+    }
+    for dc in -ring..=ring {
+        for &dr in &[-ring, ring] {
+            if in_bounds(qcol + dc, qrow + dr) {
+                out.push(((qcol + dc) as usize, (qrow + dr) as usize));
+            }
+        }
+    }
+    for dr in (-ring + 1)..ring {
+        for &dc in &[-ring, ring] {
+            if in_bounds(qcol + dc, qrow + dr) {
+                out.push(((qcol + dc) as usize, (qrow + dr) as usize));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::sample_unit_square;
+    use crate::unit_square;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn brute_force_within(points: &[Point], q: Point, r: f64) -> Vec<usize> {
+        let mut v: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.distance(q) <= r)
+            .map(|(i, _)| i)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn neighbors_match_brute_force() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let pts = sample_unit_square(500, &mut rng);
+        let grid = UniformGrid::build(unit_square(), &pts, 0.08);
+        for &q in pts.iter().step_by(37) {
+            let mut got: Vec<usize> = grid.neighbors_within(&pts, q, 0.08).collect();
+            got.sort_unstable();
+            assert_eq!(got, brute_force_within(&pts, q, 0.08));
+        }
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let pts = sample_unit_square(300, &mut rng);
+        let grid = UniformGrid::build(unit_square(), &pts, 0.05);
+        for &q in &[
+            Point::new(0.5, 0.5),
+            Point::new(0.01, 0.99),
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.3333, 0.7777),
+        ] {
+            let got = grid.nearest(&pts, q).unwrap();
+            let want = pts
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.distance_squared(q).partial_cmp(&b.1.distance_squared(q)).unwrap())
+                .map(|(i, _)| i)
+                .unwrap();
+            assert!(
+                (pts[got].distance(q) - pts[want].distance(q)).abs() < 1e-12,
+                "nearest mismatch at {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_grid_has_no_nearest() {
+        let grid = UniformGrid::build(unit_square(), &[], 0.1);
+        assert!(grid.nearest(&[], Point::new(0.5, 0.5)).is_none());
+        assert!(grid.is_empty());
+    }
+
+    #[test]
+    fn single_point_is_always_nearest() {
+        let pts = vec![Point::new(0.25, 0.75)];
+        let grid = UniformGrid::build(unit_square(), &pts, 0.1);
+        assert_eq!(grid.nearest(&pts, Point::new(0.9, 0.1)), Some(0));
+        assert_eq!(grid.nearest_node(&pts, Point::new(0.9, 0.1)), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn grid_dimensions_respect_cell_side() {
+        let grid = UniformGrid::build(unit_square(), &[], 0.26);
+        // floor(1.0 / 0.26) = 3 columns/rows of side 1/3 >= 0.26.
+        assert_eq!(grid.cols(), 3);
+        assert_eq!(grid.rows(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn rejects_zero_cell_side() {
+        let _ = UniformGrid::build(unit_square(), &[], 0.0);
+    }
+
+    #[test]
+    fn ring_cells_cover_square_annulus() {
+        let cells = ring_cells(5, 5, 2, 11, 11);
+        // A full ring at Chebyshev distance 2 has 16 cells.
+        assert_eq!(cells.len(), 16);
+        assert!(cells.iter().all(|&(c, r)| {
+            let dc = (c as isize - 5).abs();
+            let dr = (r as isize - 5).abs();
+            dc.max(dr) == 2
+        }));
+    }
+}

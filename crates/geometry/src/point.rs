@@ -1,0 +1,205 @@
+//! Points in the plane.
+//!
+//! Sensor positions are points of the unit square; everything that needs a
+//! Euclidean distance (radio connectivity, greedy geographic routing, leader
+//! election by "closest to cell center") goes through [`Point`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point in the plane (typically inside the unit square).
+///
+/// `Point` is a small `Copy` value type; distance helpers are provided both in
+/// plain and squared form so hot loops (graph construction, routing) can avoid
+/// the square root.
+///
+/// # Example
+///
+/// ```
+/// use geogossip_geometry::Point;
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use geogossip_geometry::Point;
+    /// let p = Point::new(0.25, 0.75);
+    /// assert_eq!(p.x, 0.25);
+    /// ```
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub fn origin() -> Self {
+        Point { x: 0.0, y: 0.0 }
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Prefer this over [`Point::distance`] inside loops that only compare
+    /// distances: it avoids the square root and is exact for comparisons.
+    pub fn distance_squared(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(self, other: Point) -> f64 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Midpoint of the segment between `self` and `other`.
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Returns `true` when both coordinates are finite (not NaN or infinite).
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Componentwise clamp of the point into `[0,1]²`.
+    ///
+    /// Used when perturbed positions must be pushed back into the unit square.
+    pub fn clamp_unit(self) -> Point {
+        Point::new(self.x.clamp(0.0, 1.0), self.y.clamp(0.0, 1.0))
+    }
+}
+
+impl Default for Point {
+    fn default() -> Self {
+        Point::origin()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+/// Index of a sensor/node in the network.
+///
+/// All crates in the workspace identify sensors by their index into the
+/// position vector produced at placement time; the newtype prevents mixing
+/// node indices with other integers (cell indices, hop counts, ...).
+///
+/// # Example
+///
+/// ```
+/// use geogossip_geometry::point::NodeId;
+/// let a = NodeId(3);
+/// assert_eq!(a.index(), 3);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(i: usize) -> Self {
+        NodeId(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(0.1, 0.9);
+        let b = Point::new(0.7, 0.2);
+        assert!((a.distance(b) - b.distance(a)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn distance_zero_to_self() {
+        let a = Point::new(0.3, 0.4);
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn squared_distance_matches_distance() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(0.6, 0.8);
+        assert!((a.distance_squared(b) - 1.0).abs() < 1e-12);
+        assert!((a.distance(b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 1.0);
+        let m = a.midpoint(b);
+        assert!((m.x - 0.5).abs() < 1e-15 && (m.y - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn clamp_unit_pushes_back_inside() {
+        let p = Point::new(-0.5, 1.5).clamp_unit();
+        assert_eq!(p, Point::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let p: Point = (0.25, 0.5).into();
+        let back: (f64, f64) = p.into();
+        assert_eq!(back, (0.25, 0.5));
+    }
+
+    #[test]
+    fn node_id_display_and_index() {
+        let id = NodeId(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id}"), "v42");
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(0.5, 0.1);
+        let c = Point::new(1.0, 1.0);
+        assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-15);
+    }
+}

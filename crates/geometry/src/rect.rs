@@ -1,0 +1,240 @@
+//! Axis-aligned rectangles, used for the unit square and all its sub-squares.
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned rectangle `[min.x, max.x] × [min.y, max.y]`.
+///
+/// The hierarchical partition of the paper only ever produces *squares*, but a
+/// general rectangle type keeps the arithmetic honest when splitting into a
+/// number of columns/rows that does not divide the side length exactly.
+///
+/// Containment follows the usual half-open convention on the interior edges so
+/// that a partition of a rectangle into sub-rectangles assigns every point to
+/// exactly one part: a point on a shared edge belongs to the part with the
+/// larger coordinates, except on the outer boundary of the parent rectangle
+/// which remains inclusive.
+///
+/// # Example
+///
+/// ```
+/// use geogossip_geometry::{Point, Rect};
+/// let r = Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+/// assert!(r.contains(Point::new(0.5, 0.5)));
+/// assert_eq!(r.area(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    min: Point,
+    max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from its lower-left and upper-right corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min.x > max.x` or `min.y > max.y`, or if any coordinate is
+    /// not finite.
+    pub fn new(min: Point, max: Point) -> Self {
+        assert!(min.is_finite() && max.is_finite(), "rect corners must be finite");
+        assert!(
+            min.x <= max.x && min.y <= max.y,
+            "rect min corner must not exceed max corner"
+        );
+        Rect { min, max }
+    }
+
+    /// The lower-left corner.
+    pub fn min(&self) -> Point {
+        self.min
+    }
+
+    /// The upper-right corner.
+    pub fn max(&self) -> Point {
+        self.max
+    }
+
+    /// Width of the rectangle.
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height of the rectangle.
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area of the rectangle.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Geometric center of the rectangle.
+    ///
+    /// The paper's leader `s(□)` is the sensor closest to this point
+    /// (Definition 1).
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min.x + self.max.x) / 2.0,
+            (self.min.y + self.max.y) / 2.0,
+        )
+    }
+
+    /// Whether `p` lies inside the rectangle (inclusive of the boundary).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Splits the rectangle into a `cols × rows` grid of sub-rectangles.
+    ///
+    /// Sub-rectangles are returned in row-major order (left to right, bottom
+    /// to top). Their union is exactly `self` and they overlap only on edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` or `rows` is zero.
+    pub fn split_grid(&self, cols: usize, rows: usize) -> Vec<Rect> {
+        assert!(cols > 0 && rows > 0, "grid split requires at least one column and one row");
+        let mut out = Vec::with_capacity(cols * rows);
+        let w = self.width() / cols as f64;
+        let h = self.height() / rows as f64;
+        for row in 0..rows {
+            for col in 0..cols {
+                let min = Point::new(self.min.x + col as f64 * w, self.min.y + row as f64 * h);
+                // Use the parent's max on the outer edge to avoid floating drift.
+                let max_x = if col + 1 == cols { self.max.x } else { self.min.x + (col + 1) as f64 * w };
+                let max_y = if row + 1 == rows { self.max.y } else { self.min.y + (row + 1) as f64 * h };
+                out.push(Rect::new(min, Point::new(max_x, max_y)));
+            }
+        }
+        out
+    }
+
+    /// Index (row-major, as produced by [`Rect::split_grid`]) of the grid cell
+    /// containing `p`, for a `cols × rows` split of this rectangle.
+    ///
+    /// Points outside the rectangle are clamped onto it first, so the result
+    /// is always a valid index; this mirrors the half-open containment used by
+    /// the partition code and guarantees every sensor is assigned to exactly
+    /// one sub-square.
+    pub fn grid_index_of(&self, p: Point, cols: usize, rows: usize) -> usize {
+        assert!(cols > 0 && rows > 0, "grid index requires at least one column and one row");
+        let fx = ((p.x - self.min.x) / self.width()).clamp(0.0, 1.0 - f64::EPSILON);
+        let fy = ((p.y - self.min.y) / self.height()).clamp(0.0, 1.0 - f64::EPSILON);
+        let col = ((fx * cols as f64) as usize).min(cols - 1);
+        let row = ((fy * rows as f64) as usize).min(rows - 1);
+        row * cols + col
+    }
+
+    /// Euclidean distance from `p` to the closest point of the rectangle
+    /// (zero when `p` is inside).
+    pub fn distance_to(&self, p: Point) -> f64 {
+        let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.4},{:.4}]x[{:.4},{:.4}]",
+            self.min.x, self.max.x, self.min.y, self.max.y
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Rect {
+        Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0))
+    }
+
+    #[test]
+    fn center_of_unit_square() {
+        assert_eq!(unit().center(), Point::new(0.5, 0.5));
+    }
+
+    #[test]
+    fn contains_boundary_points() {
+        let r = unit();
+        assert!(r.contains(Point::new(0.0, 0.0)));
+        assert!(r.contains(Point::new(1.0, 1.0)));
+        assert!(!r.contains(Point::new(1.0 + 1e-9, 0.5)));
+    }
+
+    #[test]
+    fn split_grid_covers_area() {
+        let parts = unit().split_grid(4, 4);
+        assert_eq!(parts.len(), 16);
+        let total: f64 = parts.iter().map(Rect::area).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_grid_outer_edges_match_parent() {
+        let r = Rect::new(Point::new(0.2, 0.3), Point::new(0.9, 0.8));
+        let parts = r.split_grid(3, 2);
+        let last = parts.last().unwrap();
+        assert_eq!(last.max(), r.max());
+        assert_eq!(parts[0].min(), r.min());
+    }
+
+    #[test]
+    fn grid_index_assigns_every_point_once() {
+        let r = unit();
+        let parts = r.split_grid(5, 5);
+        for &p in &[
+            Point::new(0.0, 0.0),
+            Point::new(0.999, 0.999),
+            Point::new(1.0, 1.0),
+            Point::new(0.2, 0.8),
+            Point::new(0.5, 0.5),
+        ] {
+            let idx = r.grid_index_of(p, 5, 5);
+            assert!(idx < 25);
+            // The indexed cell must actually contain the point (up to the
+            // half-open boundary convention, inclusive containment holds).
+            assert!(parts[idx].contains(p), "cell {idx} does not contain {p}");
+        }
+    }
+
+    #[test]
+    fn grid_index_matches_split_layout() {
+        let r = unit();
+        // Point in the second column, first row of a 4x4 split.
+        let idx = r.grid_index_of(Point::new(0.3, 0.1), 4, 4);
+        assert_eq!(idx, 1);
+        // Point in the last column, last row.
+        let idx = r.grid_index_of(Point::new(0.99, 0.99), 4, 4);
+        assert_eq!(idx, 15);
+    }
+
+    #[test]
+    fn distance_to_inside_is_zero() {
+        assert_eq!(unit().distance_to(Point::new(0.4, 0.4)), 0.0);
+    }
+
+    #[test]
+    fn distance_to_outside_is_positive() {
+        let d = unit().distance_to(Point::new(2.0, 0.5));
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "min corner")]
+    fn rejects_inverted_corners() {
+        let _ = Rect::new(Point::new(1.0, 0.0), Point::new(0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn split_grid_rejects_zero() {
+        let _ = unit().split_grid(0, 3);
+    }
+}

@@ -1,0 +1,156 @@
+//! Reproducible random placement of sensors and related sampling helpers.
+//!
+//! Every experiment in the workspace is seeded, so that the tables in
+//! EXPERIMENTS.md can be regenerated bit-for-bit. The helpers here are thin
+//! wrappers over [`rand`] that keep the sampling conventions (uniform over the
+//! unit square, uniform over a rectangle, exponential inter-arrival times) in
+//! one place.
+
+use crate::point::Point;
+use crate::rect::Rect;
+use rand::Rng;
+
+/// Samples `n` points independently and uniformly at random from the unit
+/// square, the placement model of the paper (Section 2).
+///
+/// # Example
+///
+/// ```
+/// use geogossip_geometry::sampling::sample_unit_square;
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+/// let pts = sample_unit_square(100, &mut ChaCha8Rng::seed_from_u64(1));
+/// assert_eq!(pts.len(), 100);
+/// assert!(pts.iter().all(|p| (0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y)));
+/// ```
+pub fn sample_unit_square<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<Point> {
+    (0..n)
+        .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect()
+}
+
+/// Samples `n` points independently and uniformly at random from `rect`.
+pub fn sample_rect<R: Rng + ?Sized>(rect: Rect, n: usize, rng: &mut R) -> Vec<Point> {
+    (0..n)
+        .map(|_| uniform_point_in(rect, rng))
+        .collect()
+}
+
+/// Samples a single point uniformly at random from `rect`.
+pub fn uniform_point_in<R: Rng + ?Sized>(rect: Rect, rng: &mut R) -> Point {
+    let x = rect.min().x + rng.gen::<f64>() * rect.width();
+    let y = rect.min().y + rng.gen::<f64>() * rect.height();
+    Point::new(x, y)
+}
+
+/// Samples an `Exp(rate)` inter-arrival time.
+///
+/// The paper models each sensor's clock as a unit-rate Poisson process
+/// (Section 2); the simulator draws inter-tick gaps from this helper.
+///
+/// # Panics
+///
+/// Panics if `rate` is not strictly positive and finite.
+pub fn exponential<R: Rng + ?Sized>(rate: f64, rng: &mut R) -> f64 {
+    assert!(rate.is_finite() && rate > 0.0, "exponential rate must be positive and finite");
+    // Inverse-CDF sampling; `1 - U` avoids ln(0).
+    let u: f64 = rng.gen::<f64>();
+    -(1.0 - u).ln() / rate
+}
+
+/// Draws an index in `0..n` uniformly at random, excluding `excluded`.
+///
+/// Used when a node must pick "a square other than its own" or "a node other
+/// than itself" uniformly at random.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `excluded >= n` (there would be nothing to draw).
+pub fn uniform_index_excluding<R: Rng + ?Sized>(n: usize, excluded: usize, rng: &mut R) -> usize {
+    assert!(n >= 2, "need at least two alternatives to exclude one");
+    assert!(excluded < n, "excluded index out of range");
+    let draw = rng.gen_range(0..n - 1);
+    if draw >= excluded {
+        draw + 1
+    } else {
+        draw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit_square;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn unit_square_samples_are_inside() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let pts = sample_unit_square(1000, &mut rng);
+        assert!(pts.iter().all(|p| unit_square().contains(*p)));
+    }
+
+    #[test]
+    fn sampling_is_reproducible_for_same_seed() {
+        let a = sample_unit_square(50, &mut ChaCha8Rng::seed_from_u64(9));
+        let b = sample_unit_square(50, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rect_samples_are_inside_rect() {
+        let rect = Rect::new(Point::new(0.25, 0.5), Point::new(0.5, 0.75));
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let pts = sample_rect(rect, 500, &mut rng);
+        assert!(pts.iter().all(|p| rect.contains(*p)));
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let rate = 4.0;
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exponential(rate, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.01, "mean {mean} far from {}", 1.0 / rate);
+    }
+
+    #[test]
+    fn exponential_is_nonnegative() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        assert!((0..1000).all(|_| exponential(1.0, &mut rng) >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn exponential_rejects_bad_rate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let _ = exponential(0.0, &mut rng);
+    }
+
+    #[test]
+    fn uniform_index_excluding_never_returns_excluded() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        for _ in 0..5000 {
+            let x = uniform_index_excluding(7, 3, &mut rng);
+            assert!(x < 7 && x != 3);
+        }
+    }
+
+    #[test]
+    fn uniform_index_excluding_hits_everything_else() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let mut seen = [false; 5];
+        for _ in 0..2000 {
+            seen[uniform_index_excluding(5, 2, &mut rng)] = true;
+        }
+        assert_eq!(seen, [true, true, false, true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn uniform_index_excluding_rejects_singleton() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let _ = uniform_index_excluding(1, 0, &mut rng);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests on the geometric substrate: the hierarchical
+//! partition's cover/disjointness invariants, the branching rule, and the
+//! grid's nearest-neighbor queries.
+
+use geogossip_geometry::partition::nearest_even_square;
+use geogossip_geometry::sampling::sample_unit_square;
+use geogossip_geometry::{unit_square, PartitionConfig, Point, SquarePartition, UniformGrid};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The branching rule always returns the square of an even number, at
+    /// least 4, and within one "step" of the target value.
+    #[test]
+    fn nearest_even_square_is_an_even_square(x in 0.0f64..1e6) {
+        let k = nearest_even_square(x);
+        prop_assert!(k >= 4);
+        let root = (k as f64).sqrt().round() as usize;
+        prop_assert_eq!(root * root, k);
+        prop_assert_eq!(root % 2, 0);
+    }
+
+    /// Leaf rectangles tile the unit square: areas sum to 1 and every sampled
+    /// probe point is contained in at least one leaf.
+    #[test]
+    fn leaves_tile_the_unit_square(n in 1usize..600, seed in 0u64..300) {
+        let pts = sample_unit_square(n, &mut ChaCha8Rng::seed_from_u64(seed));
+        let partition = SquarePartition::build(&pts, PartitionConfig::practical(n));
+        let area: f64 = partition.leaves().map(|c| c.rect().area()).sum();
+        prop_assert!((area - 1.0).abs() < 1e-6);
+        let probes = sample_unit_square(16, &mut ChaCha8Rng::seed_from_u64(seed ^ 0xff));
+        for p in probes {
+            prop_assert!(partition.leaves().any(|c| c.rect().contains(p)));
+        }
+    }
+
+    /// Cell depths never exceed the configured maximum and expected counts are
+    /// positive and decrease strictly along any root-to-leaf path.
+    #[test]
+    fn expected_counts_decrease_with_depth(n in 16usize..2000, seed in 0u64..100) {
+        let pts = sample_unit_square(n, &mut ChaCha8Rng::seed_from_u64(seed));
+        let partition = SquarePartition::build(&pts, PartitionConfig::practical(n));
+        for cell in partition.cells() {
+            prop_assert!(cell.depth() <= partition.depth());
+            prop_assert!(cell.expected_count() > 0.0);
+            if let Some(parent) = cell.parent() {
+                prop_assert!(cell.expected_count() < partition.cell(parent).expected_count());
+            }
+        }
+    }
+
+    /// The grid's nearest query agrees with brute force for arbitrary probe
+    /// positions (including ones outside the unit square's interior lattice).
+    #[test]
+    fn grid_nearest_matches_brute_force(
+        n in 1usize..300,
+        seed in 0u64..300,
+        qx in -0.2f64..1.2,
+        qy in -0.2f64..1.2,
+    ) {
+        let pts = sample_unit_square(n, &mut ChaCha8Rng::seed_from_u64(seed));
+        let grid = UniformGrid::build(unit_square(), &pts, 0.07);
+        let q = Point::new(qx, qy).clamp_unit();
+        let got = grid.nearest(&pts, q).unwrap();
+        let best = pts
+            .iter()
+            .map(|p| p.distance_squared(q))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((pts[got].distance_squared(q) - best).abs() < 1e-12);
+    }
+}

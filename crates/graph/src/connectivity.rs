@@ -1,0 +1,288 @@
+//! Connectivity testing, connected components, and union–find.
+//!
+//! The paper's analysis only goes through when `G(n, r)` is connected, which
+//! happens w.h.p. at the Gupta–Kumar radius (Section 1.1/2.1). The experiment
+//! harness uses these routines both to condition runs on connectivity and to
+//! reproduce the connectivity-threshold curve (experiment E6).
+
+use serde::{Deserialize, Serialize};
+
+/// Whether the adjacency structure describes a connected graph.
+///
+/// Graphs with zero or one node are connected by convention.
+///
+/// # Example
+///
+/// ```
+/// use geogossip_graph::connectivity::is_connected;
+/// let path = vec![vec![1], vec![0, 2], vec![1]];
+/// assert!(is_connected(&path));
+/// let split = vec![vec![1], vec![0], vec![]];
+/// assert!(!is_connected(&split));
+/// ```
+pub fn is_connected(adjacency: &[Vec<usize>]) -> bool {
+    let n = adjacency.len();
+    if n <= 1 {
+        return true;
+    }
+    let mut visited = vec![false; n];
+    let mut stack = vec![0usize];
+    visited[0] = true;
+    let mut count = 1usize;
+    while let Some(u) = stack.pop() {
+        for &v in &adjacency[u] {
+            if !visited[v] {
+                visited[v] = true;
+                count += 1;
+                stack.push(v);
+            }
+        }
+    }
+    count == n
+}
+
+/// Connected components of the adjacency structure, each sorted by node index.
+/// Components are returned in order of their smallest member.
+pub fn components(adjacency: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adjacency.len();
+    let mut visited = vec![false; n];
+    let mut out = Vec::new();
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        let mut stack = vec![start];
+        visited[start] = true;
+        while let Some(u) = stack.pop() {
+            comp.push(u);
+            for &v in &adjacency[u] {
+                if !visited[v] {
+                    visited[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        comp.sort_unstable();
+        out.push(comp);
+    }
+    out
+}
+
+/// Summary of a connectivity check over one graph instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConnectivityReport {
+    /// Number of nodes examined.
+    pub nodes: usize,
+    /// Number of connected components.
+    pub component_count: usize,
+    /// Size of the largest component.
+    pub largest_component: usize,
+    /// Number of isolated nodes (degree zero).
+    pub isolated_nodes: usize,
+}
+
+impl ConnectivityReport {
+    /// Builds the report from an adjacency structure.
+    pub fn from_adjacency(adjacency: &[Vec<usize>]) -> Self {
+        let comps = components(adjacency);
+        ConnectivityReport {
+            nodes: adjacency.len(),
+            component_count: comps.len(),
+            largest_component: comps.iter().map(Vec::len).max().unwrap_or(0),
+            isolated_nodes: adjacency.iter().filter(|a| a.is_empty()).count(),
+        }
+    }
+
+    /// Whether the graph was connected.
+    pub fn is_connected(&self) -> bool {
+        self.component_count <= 1
+    }
+}
+
+/// Disjoint-set (union–find) structure with path compression and union by
+/// size.
+///
+/// Used as an independent oracle in tests (components computed two ways must
+/// agree) and by the radius-scan experiment which incrementally adds edges as
+/// the radius grows.
+///
+/// # Example
+///
+/// ```
+/// use geogossip_graph::UnionFind;
+/// let mut uf = UnionFind::new(4);
+/// uf.union(0, 1);
+/// uf.union(2, 3);
+/// assert!(uf.connected(0, 1));
+/// assert!(!uf.connected(1, 2));
+/// assert_eq!(uf.component_count(), 2);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates a structure with `n` singleton components.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of the component containing `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the components containing `a` and `b`; returns `true` when they
+    /// were previously distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same component.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of components.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Size of the component containing `x`.
+    pub fn component_size(&mut self, x: usize) -> usize {
+        let root = self.find(x);
+        self.size[root]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Vec<Vec<usize>> {
+        (0..n)
+            .map(|i| {
+                let mut v = Vec::new();
+                if i > 0 {
+                    v.push(i - 1);
+                }
+                if i + 1 < n {
+                    v.push(i + 1);
+                }
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_and_singleton_are_connected() {
+        assert!(is_connected(&[]));
+        assert!(is_connected(&[vec![]]));
+    }
+
+    #[test]
+    fn path_graph_is_connected() {
+        assert!(is_connected(&path_graph(50)));
+    }
+
+    #[test]
+    fn two_cliques_are_not_connected() {
+        let adj = vec![vec![1], vec![0], vec![3], vec![2]];
+        assert!(!is_connected(&adj));
+        let comps = components(&adj);
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn components_cover_all_nodes_exactly_once() {
+        let adj = vec![vec![1], vec![0], vec![], vec![4], vec![3], vec![]];
+        let comps = components(&adj);
+        let mut all: Vec<usize> = comps.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn connectivity_report_counts_isolated_nodes() {
+        let adj = vec![vec![1], vec![0], vec![], vec![]];
+        let report = ConnectivityReport::from_adjacency(&adj);
+        assert_eq!(report.component_count, 3);
+        assert_eq!(report.largest_component, 2);
+        assert_eq!(report.isolated_nodes, 2);
+        assert!(!report.is_connected());
+    }
+
+    #[test]
+    fn union_find_merges_and_counts() {
+        let mut uf = UnionFind::new(10);
+        assert_eq!(uf.component_count(), 10);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already connected");
+        assert_eq!(uf.component_count(), 8);
+        assert_eq!(uf.component_size(2), 3);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 9));
+    }
+
+    #[test]
+    fn union_find_matches_bfs_components() {
+        let adj = path_graph(20);
+        let mut uf = UnionFind::new(20);
+        for (u, nbrs) in adj.iter().enumerate() {
+            for &v in nbrs {
+                uf.union(u, v);
+            }
+        }
+        assert_eq!(uf.component_count(), components(&adj).len());
+    }
+
+    #[test]
+    fn union_find_len_and_empty() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        let uf = UnionFind::new(3);
+        assert_eq!(uf.len(), 3);
+    }
+}

@@ -1,0 +1,132 @@
+//! Degree distributions of geometric random graphs.
+//!
+//! At the connectivity radius `r = Θ(sqrt(log n / n))` the expected degree is
+//! `Θ(log n)`; the degree summary is used by the experiment harness to report
+//! the regime each run operated in and by tests as a sanity check on graph
+//! construction.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a degree sequence.
+///
+/// # Example
+///
+/// ```
+/// use geogossip_graph::DegreeSummary;
+/// let s = DegreeSummary::from_degrees([2usize, 4, 0, 6]);
+/// assert_eq!(s.min, 0);
+/// assert_eq!(s.max, 6);
+/// assert_eq!(s.isolated, 1);
+/// assert!((s.mean - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegreeSummary {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Number of nodes with degree zero.
+    pub isolated: usize,
+}
+
+impl DegreeSummary {
+    /// Builds the summary from an iterator of node degrees.
+    ///
+    /// An empty iterator produces an all-zero summary.
+    pub fn from_degrees<I>(degrees: I) -> Self
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        let mut nodes = 0usize;
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        let mut sum = 0usize;
+        let mut isolated = 0usize;
+        for d in degrees {
+            nodes += 1;
+            min = min.min(d);
+            max = max.max(d);
+            sum += d;
+            if d == 0 {
+                isolated += 1;
+            }
+        }
+        if nodes == 0 {
+            return DegreeSummary {
+                nodes: 0,
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                isolated: 0,
+            };
+        }
+        DegreeSummary {
+            nodes,
+            min,
+            max,
+            mean: sum as f64 / nodes as f64,
+            isolated,
+        }
+    }
+}
+
+/// Full degree histogram: `histogram[d]` is the number of nodes of degree `d`.
+pub fn degree_histogram<I>(degrees: I) -> Vec<usize>
+where
+    I: IntoIterator<Item = usize>,
+{
+    let mut hist: Vec<usize> = Vec::new();
+    for d in degrees {
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GeometricGraph;
+    use geogossip_geometry::sampling::sample_unit_square;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        let s = DegreeSummary::from_degrees(std::iter::empty());
+        assert_eq!(s, DegreeSummary { nodes: 0, min: 0, max: 0, mean: 0.0, isolated: 0 });
+    }
+
+    #[test]
+    fn histogram_counts_degrees() {
+        let h = degree_histogram([0usize, 2, 2, 5]);
+        assert_eq!(h, vec![1, 0, 2, 0, 0, 1]);
+    }
+
+    #[test]
+    fn histogram_of_empty_sequence_is_empty() {
+        assert!(degree_histogram(std::iter::empty()).is_empty());
+    }
+
+    #[test]
+    fn mean_degree_scales_like_log_n_at_connectivity_radius() {
+        // Expected degree at r = c·sqrt(log n / n) is ≈ n·π·r² = c²·π·log n
+        // (ignoring boundary effects, which only reduce it).
+        let n = 2000;
+        let c = 1.5;
+        let pts = sample_unit_square(n, &mut ChaCha8Rng::seed_from_u64(42));
+        let g = GeometricGraph::build_at_connectivity_radius(pts, c);
+        let expected = c * c * std::f64::consts::PI * (n as f64).ln();
+        let mean = g.degree_summary().mean;
+        assert!(
+            mean > 0.5 * expected && mean < 1.1 * expected,
+            "mean degree {mean} outside plausible range around {expected}"
+        );
+    }
+}

@@ -1,0 +1,322 @@
+//! Construction of the geometric random graph `G(n, r)`.
+
+use crate::connectivity::{components, is_connected};
+use crate::degree::DegreeSummary;
+use geogossip_geometry::point::NodeId;
+use geogossip_geometry::{unit_square, Point, UniformGrid};
+use serde::{Deserialize, Serialize};
+
+/// A geometric graph over a fixed set of sensor positions.
+///
+/// Nodes are identified by their index into the position vector
+/// ([`NodeId`]); edges connect every pair of nodes within Euclidean
+/// distance `radius`. The adjacency structure is immutable after
+/// construction — the paper's network never changes during a run.
+///
+/// Besides adjacency the graph keeps the spatial grid it was built with, so
+/// downstream code (greedy geographic routing, leader lookup) can answer
+/// nearest-node queries without rebuilding an index.
+///
+/// # Example
+///
+/// ```
+/// use geogossip_graph::GeometricGraph;
+/// use geogossip_geometry::Point;
+///
+/// let pts = vec![
+///     Point::new(0.1, 0.1),
+///     Point::new(0.15, 0.1),
+///     Point::new(0.9, 0.9),
+/// ];
+/// let g = GeometricGraph::build(pts, 0.1);
+/// assert_eq!(g.degree(0.into()), 1);     // only its close companion
+/// assert_eq!(g.degree(2.into()), 0);     // isolated far corner
+/// assert!(!g.is_connected());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeometricGraph {
+    positions: Vec<Point>,
+    radius: f64,
+    adjacency: Vec<Vec<usize>>,
+    grid: UniformGrid,
+    edge_count: usize,
+}
+
+impl GeometricGraph {
+    /// Builds `G(n, r)` from explicit positions and a connectivity radius.
+    ///
+    /// Construction uses a spatial grid with cell side `≥ r`, so the expected
+    /// cost is `O(n + m)` where `m` is the number of edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not strictly positive and finite.
+    pub fn build(positions: Vec<Point>, radius: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius > 0.0,
+            "connectivity radius must be positive and finite"
+        );
+        let grid = UniformGrid::build(unit_square(), &positions, radius.max(1e-9));
+        let n = positions.len();
+        let mut adjacency = vec![Vec::new(); n];
+        let mut edge_count = 0usize;
+        for i in 0..n {
+            for j in grid.neighbors_within(&positions, positions[i], radius) {
+                if j != i {
+                    adjacency[i].push(j);
+                    if j > i {
+                        edge_count += 1;
+                    }
+                }
+            }
+            adjacency[i].sort_unstable();
+        }
+        GeometricGraph {
+            positions,
+            radius,
+            adjacency,
+            grid,
+            edge_count,
+        }
+    }
+
+    /// Builds the graph at the standard connectivity radius
+    /// `r = c·sqrt(log n / n)` used throughout the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two positions are supplied.
+    pub fn build_at_connectivity_radius(positions: Vec<Point>, c: f64) -> Self {
+        let r = geogossip_geometry::connectivity_radius(positions.len(), c);
+        Self::build(positions, r)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The connectivity radius the graph was built with.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// The sensor positions, indexed by [`NodeId`].
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Position of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn position(&self, node: NodeId) -> Point {
+        self.positions[node.index()]
+    }
+
+    /// Neighbors of `node` (all nodes within the connectivity radius), sorted
+    /// by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors(&self, node: NodeId) -> &[usize] {
+        &self.adjacency[node.index()]
+    }
+
+    /// Degree of `node`.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adjacency[node.index()].len()
+    }
+
+    /// Whether `a` and `b` are adjacent (within the connectivity radius).
+    pub fn are_adjacent(&self, a: NodeId, b: NodeId) -> bool {
+        self.adjacency[a.index()].binary_search(&b.index()).is_ok()
+    }
+
+    /// The spatial grid built over the node positions (cell side = radius).
+    pub fn grid(&self) -> &UniformGrid {
+        &self.grid
+    }
+
+    /// The node nearest to an arbitrary position in the unit square.
+    ///
+    /// Returns `None` only for the empty graph. This is the primitive behind
+    /// the Dimakis-style "route towards a uniformly random location and talk
+    /// to the node nearest it" step.
+    pub fn nearest_node(&self, target: Point) -> Option<NodeId> {
+        self.grid.nearest_node(&self.positions, target)
+    }
+
+    /// Whether the graph is connected (single BFS component).
+    ///
+    /// The empty graph and the single-node graph count as connected.
+    pub fn is_connected(&self) -> bool {
+        is_connected(&self.adjacency)
+    }
+
+    /// Connected components as lists of node indices.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        components(&self.adjacency)
+    }
+
+    /// Degree summary statistics (min / mean / max / isolated count).
+    pub fn degree_summary(&self) -> DegreeSummary {
+        DegreeSummary::from_degrees(self.adjacency.iter().map(Vec::len))
+    }
+
+    /// Breadth-first hop distances from `source` to every node
+    /// (`usize::MAX` for unreachable nodes).
+    ///
+    /// Used by tests and by the routing experiments to compare greedy
+    /// geographic paths against shortest paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn bfs_distances(&self, source: NodeId) -> Vec<usize> {
+        let n = self.len();
+        let mut dist = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[source.index()] = 0;
+        queue.push_back(source.index());
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adjacency[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Iterator over all undirected edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adjacency
+            .iter()
+            .enumerate()
+            .flat_map(|(u, nbrs)| nbrs.iter().filter(move |&&v| v > u).map(move |&v| (u, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geogossip_geometry::sampling::sample_unit_square;
+    use geogossip_geometry::connectivity_radius;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_graph(n: usize, c: f64, seed: u64) -> GeometricGraph {
+        let pts = sample_unit_square(n, &mut ChaCha8Rng::seed_from_u64(seed));
+        GeometricGraph::build_at_connectivity_radius(pts, c)
+    }
+
+    #[test]
+    fn adjacency_matches_brute_force() {
+        let g = random_graph(300, 1.5, 1);
+        let pts = g.positions().to_vec();
+        let r = g.radius();
+        for i in 0..pts.len() {
+            let brute: Vec<usize> = (0..pts.len())
+                .filter(|&j| j != i && pts[i].distance(pts[j]) <= r)
+                .collect();
+            assert_eq!(g.neighbors(NodeId(i)), brute.as_slice());
+        }
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let g = random_graph(400, 1.2, 2);
+        for (u, v) in g.edges() {
+            assert!(g.are_adjacent(NodeId(u), NodeId(v)));
+            assert!(g.are_adjacent(NodeId(v), NodeId(u)));
+        }
+    }
+
+    #[test]
+    fn edge_count_matches_edges_iterator() {
+        let g = random_graph(250, 1.3, 3);
+        assert_eq!(g.edge_count(), g.edges().count());
+    }
+
+    #[test]
+    fn connected_at_large_radius_constant() {
+        // c = 2 is comfortably above the connectivity threshold.
+        let g = random_graph(800, 2.0, 4);
+        assert!(g.is_connected());
+        assert_eq!(g.components().len(), 1);
+    }
+
+    #[test]
+    fn disconnected_at_tiny_radius() {
+        let pts = sample_unit_square(200, &mut ChaCha8Rng::seed_from_u64(5));
+        let g = GeometricGraph::build(pts, 0.001);
+        assert!(!g.is_connected());
+        assert!(g.components().len() > 1);
+    }
+
+    #[test]
+    fn nearest_node_returns_a_valid_node() {
+        let g = random_graph(150, 1.5, 6);
+        let target = Point::new(0.42, 0.58);
+        let nearest = g.nearest_node(target).unwrap();
+        let d = g.position(nearest).distance(target);
+        for i in 0..g.len() {
+            assert!(g.position(NodeId(i)).distance(target) >= d - 1e-12);
+        }
+    }
+
+    #[test]
+    fn bfs_distances_are_consistent_with_adjacency() {
+        let g = random_graph(300, 2.0, 7);
+        let dist = g.bfs_distances(NodeId(0));
+        assert_eq!(dist[0], 0);
+        for (u, v) in g.edges() {
+            if dist[u] != usize::MAX && dist[v] != usize::MAX {
+                assert!(dist[u].abs_diff(dist[v]) <= 1, "edge ({u},{v}) spans bfs levels");
+            }
+        }
+    }
+
+    #[test]
+    fn degree_summary_reports_isolated_nodes() {
+        let pts = vec![Point::new(0.1, 0.1), Point::new(0.9, 0.9)];
+        let g = GeometricGraph::build(pts, 0.05);
+        let s = g.degree_summary();
+        assert_eq!(s.isolated, 2);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn standard_radius_matches_helper() {
+        let g = random_graph(600, 1.4, 8);
+        assert!((g.radius() - connectivity_radius(600, 1.4)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_graph_is_connected_and_has_no_nearest() {
+        let g = GeometricGraph::build(Vec::new(), 0.1);
+        assert!(g.is_connected());
+        assert!(g.nearest_node(Point::new(0.5, 0.5)).is_none());
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn rejects_nonpositive_radius() {
+        let _ = GeometricGraph::build(vec![Point::new(0.5, 0.5)], 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Geometric random graphs and the graph algorithms the gossip protocols need.
+//!
+//! The network model of the paper (Section 2) is the geometric random graph
+//! `G(n, r)`: `n` sensors placed independently and uniformly at random in the
+//! unit square, with an edge between any two sensors within Euclidean distance
+//! `r`. This crate provides:
+//!
+//! * [`GeometricGraph`] — construction of `G(n, r)` from positions (using the
+//!   spatial grid from [`geogossip_geometry`] so construction is `O(n)` in the
+//!   connectivity regime), adjacency queries, and degree statistics.
+//! * [`connectivity`] — BFS components, connectivity testing, and a union–find
+//!   structure used both by the graph code and by tests.
+//! * [`degree`] — degree distributions and summaries.
+//! * [`radius`] — empirical estimation of the connectivity threshold
+//!   `r(n) = c·sqrt(log n / n)` (the Gupta–Kumar regime the paper assumes).
+//!
+//! # Example
+//!
+//! ```
+//! use geogossip_graph::GeometricGraph;
+//! use geogossip_geometry::{connectivity_radius, sampling::sample_unit_square};
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//!
+//! let mut rng = ChaCha8Rng::seed_from_u64(1);
+//! let pts = sample_unit_square(500, &mut rng);
+//! let g = GeometricGraph::build(pts, connectivity_radius(500, 2.0));
+//! assert_eq!(g.len(), 500);
+//! assert!(g.is_connected());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod connectivity;
+pub mod degree;
+pub mod geometric;
+pub mod radius;
+
+pub use connectivity::{ConnectivityReport, UnionFind};
+pub use degree::DegreeSummary;
+pub use geometric::GeometricGraph;
+pub use radius::{connectivity_probability, ConnectivityScan};

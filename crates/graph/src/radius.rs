@@ -1,0 +1,153 @@
+//! Empirical study of the connectivity threshold of `G(n, r)`.
+//!
+//! Gupta & Kumar showed that `r(n) = c·sqrt(log n / n)` with `c` above a
+//! constant threshold makes `G(n, r)` connected w.h.p.; the paper leans on
+//! this regime throughout (Sections 1.1 and 2.1, and the remark that the
+//! failure probability δ cannot be driven below `n^{-O(1)}`). Experiment E6
+//! reproduces the threshold curve with the helpers in this module.
+
+use crate::geometric::GeometricGraph;
+use geogossip_geometry::sampling::sample_unit_square;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Estimates the probability that `G(n, c·sqrt(log n / n))` is connected by
+/// Monte-Carlo over `trials` independent placements.
+///
+/// # Panics
+///
+/// Panics if `trials` is zero or `n < 2`.
+///
+/// # Example
+///
+/// ```
+/// use geogossip_graph::connectivity_probability;
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+/// let mut rng = ChaCha8Rng::seed_from_u64(3);
+/// let p = connectivity_probability(200, 2.0, 10, &mut rng);
+/// assert!(p > 0.8);
+/// ```
+pub fn connectivity_probability<R: Rng + ?Sized>(
+    n: usize,
+    c: f64,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(trials > 0, "need at least one trial");
+    assert!(n >= 2, "connectivity requires at least two nodes");
+    let mut connected = 0usize;
+    for _ in 0..trials {
+        let pts = sample_unit_square(n, rng);
+        let g = GeometricGraph::build_at_connectivity_radius(pts, c);
+        if g.is_connected() {
+            connected += 1;
+        }
+    }
+    connected as f64 / trials as f64
+}
+
+/// One row of a connectivity scan: the empirical connectivity probability at a
+/// given `(n, c)` pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConnectivityScanRow {
+    /// Number of sensors.
+    pub n: usize,
+    /// Radius constant `c` in `r = c·sqrt(log n / n)`.
+    pub c: f64,
+    /// Fraction of trials in which the graph was connected.
+    pub probability: f64,
+    /// Number of trials behind the estimate.
+    pub trials: usize,
+}
+
+/// A sweep of connectivity probability over radius constants, for one or more
+/// network sizes — the data behind experiment E6.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConnectivityScan {
+    /// All measured rows, in the order they were produced.
+    pub rows: Vec<ConnectivityScanRow>,
+}
+
+impl ConnectivityScan {
+    /// Runs the scan for the cross product of `sizes × constants`, with
+    /// `trials` placements per cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` is zero or any size is below 2.
+    pub fn run<R: Rng + ?Sized>(
+        sizes: &[usize],
+        constants: &[f64],
+        trials: usize,
+        rng: &mut R,
+    ) -> Self {
+        let mut rows = Vec::with_capacity(sizes.len() * constants.len());
+        for &n in sizes {
+            for &c in constants {
+                let probability = connectivity_probability(n, c, trials, rng);
+                rows.push(ConnectivityScanRow { n, c, probability, trials });
+            }
+        }
+        ConnectivityScan { rows }
+    }
+
+    /// The smallest scanned constant `c` at which the empirical connectivity
+    /// probability reached `target` for the given `n`, if any.
+    pub fn threshold_constant(&self, n: usize, target: f64) -> Option<f64> {
+        self.rows
+            .iter()
+            .filter(|r| r.n == n && r.probability >= target)
+            .map(|r| r.c)
+            .fold(None, |acc, c| Some(acc.map_or(c, |a: f64| a.min(c))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn large_constant_is_almost_surely_connected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let p = connectivity_probability(300, 2.5, 8, &mut rng);
+        assert!(p >= 0.9, "p = {p}");
+    }
+
+    #[test]
+    fn tiny_constant_is_rarely_connected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let p = connectivity_probability(300, 0.3, 8, &mut rng);
+        assert!(p <= 0.2, "p = {p}");
+    }
+
+    #[test]
+    fn scan_produces_one_row_per_combination() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let scan = ConnectivityScan::run(&[100, 200], &[0.5, 1.5], 3, &mut rng);
+        assert_eq!(scan.rows.len(), 4);
+    }
+
+    #[test]
+    fn threshold_constant_picks_smallest_passing_c() {
+        let scan = ConnectivityScan {
+            rows: vec![
+                ConnectivityScanRow { n: 100, c: 0.5, probability: 0.2, trials: 10 },
+                ConnectivityScanRow { n: 100, c: 1.0, probability: 0.95, trials: 10 },
+                ConnectivityScanRow { n: 100, c: 1.5, probability: 1.0, trials: 10 },
+            ],
+        };
+        assert_eq!(scan.threshold_constant(100, 0.9), Some(1.0));
+        assert_eq!(scan.threshold_constant(100, 1.1), None);
+        assert_eq!(scan.threshold_constant(999, 0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let _ = connectivity_probability(100, 1.0, 0, &mut rng);
+    }
+}

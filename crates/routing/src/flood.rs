@@ -1,0 +1,145 @@
+//! Flooding restricted to a cell of the hierarchical partition.
+//!
+//! The paper's `Activate.square(s)` and `Deactivate.square(s)` subroutines
+//! deliver a control bit ("switch on"/"switch off") to every member of a
+//! square, either by flooding (level-1 squares) or by geographic routing to
+//! the child leaders (higher levels). Flooding a square of `m` members costs
+//! `Θ(m)` transmissions: every member retransmits the control packet once.
+
+use geogossip_geometry::point::NodeId;
+use geogossip_graph::GeometricGraph;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Result of flooding a control packet within a restricted member set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FloodOutcome {
+    /// The node the flood started from.
+    pub source: NodeId,
+    /// Members actually reached (including the source).
+    pub reached: Vec<NodeId>,
+    /// Members of the cell that could not be reached without leaving the cell.
+    pub unreached: Vec<NodeId>,
+    /// Number of one-hop transmissions used (each reached node broadcasts once).
+    pub transmissions: usize,
+}
+
+impl FloodOutcome {
+    /// Whether every member of the cell received the control packet.
+    pub fn complete(&self) -> bool {
+        self.unreached.is_empty()
+    }
+}
+
+/// Floods a control packet from `source` to every node in `members`, using
+/// only edges of `graph` whose both endpoints belong to `members`.
+///
+/// Every node that receives the packet rebroadcasts it exactly once, so the
+/// transmission count equals the number of reached nodes (the source included).
+/// Cell members that are not connected to the source *within the cell* are
+/// listed in `unreached`; the caller decides whether that is an error (the
+/// paper assumes cells are internally connected w.h.p. at the standard radius).
+///
+/// # Panics
+///
+/// Panics if `source` is not contained in `members` or is out of range for the
+/// graph.
+pub fn flood_cell(graph: &GeometricGraph, members: &[usize], source: NodeId) -> FloodOutcome {
+    assert!(
+        members.contains(&source.index()),
+        "flood source must be a member of the flooded cell"
+    );
+    let member_set: std::collections::HashSet<usize> = members.iter().copied().collect();
+    let mut reached_set = std::collections::HashSet::new();
+    let mut reached = Vec::new();
+    let mut queue = VecDeque::new();
+    reached_set.insert(source.index());
+    reached.push(source);
+    queue.push_back(source.index());
+    while let Some(u) = queue.pop_front() {
+        for &v in graph.neighbors(NodeId(u)) {
+            if member_set.contains(&v) && reached_set.insert(v) {
+                reached.push(NodeId(v));
+                queue.push_back(v);
+            }
+        }
+    }
+    let unreached: Vec<NodeId> = members
+        .iter()
+        .copied()
+        .filter(|m| !reached_set.contains(m))
+        .map(NodeId)
+        .collect();
+    let transmissions = reached.len();
+    FloodOutcome {
+        source,
+        reached,
+        unreached,
+        transmissions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geogossip_geometry::sampling::sample_unit_square;
+    use geogossip_geometry::{PartitionConfig, SquarePartition};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup(n: usize, seed: u64) -> (GeometricGraph, SquarePartition) {
+        let pts = sample_unit_square(n, &mut ChaCha8Rng::seed_from_u64(seed));
+        let part = SquarePartition::build(&pts, PartitionConfig::practical(n));
+        let g = GeometricGraph::build_at_connectivity_radius(pts, 2.0);
+        (g, part)
+    }
+
+    #[test]
+    fn flood_reaches_whole_connected_cell() {
+        let (g, part) = setup(1200, 1);
+        // Use a top-level cell: large enough to be internally connected w.h.p.
+        let (_, cell) = part.cells_at_depth(1).find(|(_, c)| !c.members().is_empty()).unwrap();
+        let leader = cell.leader().unwrap();
+        let out = flood_cell(&g, cell.members(), leader);
+        assert!(out.complete(), "{} members unreached", out.unreached.len());
+        assert_eq!(out.transmissions, cell.members().len());
+    }
+
+    #[test]
+    fn flood_never_leaves_the_member_set() {
+        let (g, part) = setup(800, 2);
+        let (_, cell) = part.cells_at_depth(1).find(|(_, c)| c.members().len() > 3).unwrap();
+        let leader = cell.leader().unwrap();
+        let out = flood_cell(&g, cell.members(), leader);
+        for node in &out.reached {
+            assert!(cell.members().contains(&node.index()));
+        }
+    }
+
+    #[test]
+    fn flood_of_singleton_cell_costs_one_transmission() {
+        let (g, _) = setup(50, 3);
+        let out = flood_cell(&g, &[7], NodeId(7));
+        assert!(out.complete());
+        assert_eq!(out.transmissions, 1);
+        assert_eq!(out.reached, vec![NodeId(7)]);
+    }
+
+    #[test]
+    fn disconnected_members_are_reported_unreached() {
+        use geogossip_geometry::Point;
+        // Two members far apart with a tiny radius: the flood cannot bridge.
+        let pts = vec![Point::new(0.1, 0.1), Point::new(0.9, 0.9)];
+        let g = GeometricGraph::build(pts, 0.05);
+        let out = flood_cell(&g, &[0, 1], NodeId(0));
+        assert!(!out.complete());
+        assert_eq!(out.unreached, vec![NodeId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a member")]
+    fn source_outside_cell_is_rejected() {
+        let (g, _) = setup(50, 4);
+        let _ = flood_cell(&g, &[1, 2, 3], NodeId(0));
+    }
+}

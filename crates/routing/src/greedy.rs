@@ -1,0 +1,232 @@
+//! Greedy geographic routing.
+//!
+//! A packet at node `u` headed for target position `t` is forwarded to the
+//! neighbor of `u` that is closest to `t`, provided that neighbor is strictly
+//! closer to `t` than `u` itself; otherwise the packet stops. On a geometric
+//! random graph at the connectivity radius this succeeds w.h.p. and uses
+//! `O(sqrt(n / log n))` hops (Dimakis et al., cited as [5]; the paper uses the
+//! coarser `O(√n)` bound). Experiment E5 measures the constant.
+
+use geogossip_geometry::point::NodeId;
+use geogossip_geometry::Point;
+use geogossip_graph::GeometricGraph;
+use serde::{Deserialize, Serialize};
+
+/// Result of routing one packet.
+///
+/// `transmissions` counts one transmission per hop actually taken; a routing
+/// round-trip (request out, reply back) therefore costs
+/// `2 × transmissions` when both directions succeed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouteOutcome {
+    /// The node the packet started at.
+    pub source: NodeId,
+    /// The node the packet stopped at.
+    pub terminus: NodeId,
+    /// Whether the packet reached the intended destination.
+    pub delivered: bool,
+    /// Number of hops taken (= transmissions used).
+    pub hops: usize,
+    /// The full path, including source and terminus.
+    pub path: Vec<NodeId>,
+}
+
+impl RouteOutcome {
+    /// Number of one-hop transmissions consumed by this routing.
+    pub fn transmissions(&self) -> usize {
+        self.hops
+    }
+}
+
+/// Routes a packet from `source` towards the *position* `target` and stops at
+/// the node closest to it that greedy forwarding can reach.
+///
+/// This is the primitive used by geographic gossip: the sender does not know
+/// which node is nearest the target position; the packet simply stops when no
+/// neighbor makes progress, and the stopping node is the contacted partner.
+/// `delivered` is `true` whenever the walk made at least the source's best
+/// effort (it is only `false` if the source itself has no position, which
+/// cannot happen here), so callers interested in "did we reach the globally
+/// nearest node" should use [`route_to_node`] instead.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range for the graph.
+pub fn route_to_position(graph: &GeometricGraph, source: NodeId, target: Point) -> RouteOutcome {
+    let mut current = source.index();
+    let mut path = vec![NodeId(current)];
+    let mut current_dist = graph.position(NodeId(current)).distance_squared(target);
+    loop {
+        let mut best: Option<(usize, f64)> = None;
+        for &nbr in graph.neighbors(NodeId(current)) {
+            let d = graph.position(NodeId(nbr)).distance_squared(target);
+            if d < current_dist && best.map_or(true, |(_, bd)| d < bd) {
+                best = Some((nbr, d));
+            }
+        }
+        match best {
+            Some((next, d)) => {
+                current = next;
+                current_dist = d;
+                path.push(NodeId(current));
+            }
+            None => break,
+        }
+    }
+    RouteOutcome {
+        source,
+        terminus: NodeId(current),
+        delivered: true,
+        hops: path.len() - 1,
+        path,
+    }
+}
+
+/// Routes a packet from `source` to the specific node `destination` by greedy
+/// geographic forwarding towards the destination's position.
+///
+/// `delivered` is `true` only when the greedy walk actually terminates at
+/// `destination`; a dead end short of it is reported as a failure (the
+/// experiments count these rather than silently retrying).
+///
+/// # Panics
+///
+/// Panics if `source` or `destination` is out of range for the graph.
+pub fn route_to_node(graph: &GeometricGraph, source: NodeId, destination: NodeId) -> RouteOutcome {
+    let target = graph.position(destination);
+    let mut outcome = route_to_position(graph, source, target);
+    outcome.delivered = outcome.terminus == destination;
+    outcome
+}
+
+/// Routes a round trip `a → b → a` (value exchange), returning the total
+/// number of transmissions and whether both directions were delivered.
+///
+/// The paper's `Far(s)` subroutine is exactly this pattern: `s` routes its
+/// value to `s'`, then `s'` routes its own value back to `s` (Section 4.2).
+pub fn round_trip(graph: &GeometricGraph, a: NodeId, b: NodeId) -> (usize, bool) {
+    let out = route_to_node(graph, a, b);
+    let back = route_to_node(graph, b, a);
+    (out.transmissions() + back.transmissions(), out.delivered && back.delivered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geogossip_geometry::sampling::sample_unit_square;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn graph(n: usize, c: f64, seed: u64) -> GeometricGraph {
+        let pts = sample_unit_square(n, &mut ChaCha8Rng::seed_from_u64(seed));
+        GeometricGraph::build_at_connectivity_radius(pts, c)
+    }
+
+    #[test]
+    fn routes_to_self_in_zero_hops() {
+        let g = graph(100, 2.0, 1);
+        let out = route_to_node(&g, NodeId(7), NodeId(7));
+        assert!(out.delivered);
+        assert_eq!(out.hops, 0);
+        assert_eq!(out.path, vec![NodeId(7)]);
+    }
+
+    #[test]
+    fn routes_to_adjacent_node_in_one_hop() {
+        let g = graph(300, 2.0, 2);
+        let src = NodeId(0);
+        let nbr = NodeId(g.neighbors(src)[0]);
+        let out = route_to_node(&g, src, nbr);
+        assert!(out.delivered);
+        assert_eq!(out.hops, 1);
+    }
+
+    #[test]
+    fn delivery_succeeds_on_connected_graph_whp() {
+        let g = graph(600, 2.0, 3);
+        assert!(g.is_connected());
+        let mut delivered = 0;
+        let total = 50;
+        for i in 0..total {
+            let src = NodeId(i * 7 % g.len());
+            let dst = NodeId((i * 13 + 5) % g.len());
+            if route_to_node(&g, src, dst).delivered {
+                delivered += 1;
+            }
+        }
+        assert!(delivered >= total * 9 / 10, "only {delivered}/{total} delivered");
+    }
+
+    #[test]
+    fn path_nodes_are_successively_adjacent() {
+        let g = graph(400, 2.0, 4);
+        let out = route_to_node(&g, NodeId(1), NodeId(399));
+        for w in out.path.windows(2) {
+            assert!(g.are_adjacent(w[0], w[1]));
+        }
+        assert_eq!(out.hops, out.path.len() - 1);
+    }
+
+    #[test]
+    fn distance_to_target_is_monotone_along_path() {
+        let g = graph(400, 2.0, 5);
+        let dst = NodeId(200);
+        let t = g.position(dst);
+        let out = route_to_node(&g, NodeId(3), dst);
+        let mut prev = f64::INFINITY;
+        for &node in &out.path {
+            let d = g.position(node).distance(t);
+            assert!(d < prev + 1e-15, "greedy path moved away from the target");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn dead_end_is_reported_not_hidden() {
+        // A path graph bent around an obstacle: the greedy walk from node 0
+        // towards node 2 gets stuck at node 1's dead end when geometry
+        // misleads it. Construct a tiny graph where greedy fails: target is
+        // close in space but the only connecting path goes "backwards".
+        let pts = vec![
+            Point::new(0.10, 0.50), // 0 source
+            Point::new(0.20, 0.50), // 1 neighbor of 0, closest to target, dead end
+            Point::new(0.30, 0.90), // 2 detour node (far from target)
+            Point::new(0.40, 0.50), // 3 target, only adjacent to 2
+        ];
+        // radius 0.12 connects 0-1 only; 2 and 3 are isolated from them but
+        // within 0.45 of each other? Use explicit radius so 0-1 adjacent,
+        // 1-3 NOT adjacent (0.2 apart > 0.12), so greedy stops at 1.
+        let g = GeometricGraph::build(pts, 0.12);
+        let out = route_to_node(&g, NodeId(0), NodeId(3));
+        assert!(!out.delivered);
+        assert_eq!(out.terminus, NodeId(1));
+    }
+
+    #[test]
+    fn round_trip_costs_both_directions() {
+        let g = graph(500, 2.0, 6);
+        let (tx, ok) = round_trip(&g, NodeId(0), NodeId(499));
+        if ok {
+            let one_way = route_to_node(&g, NodeId(0), NodeId(499)).transmissions();
+            assert!(tx >= one_way, "round trip cheaper than one way");
+        }
+    }
+
+    #[test]
+    fn hop_count_scales_like_sqrt_n_over_log_n() {
+        // With r = c·sqrt(log n/n), a route across the unit square takes about
+        // 1/r = sqrt(n/log n)/c hops. Check the order of magnitude.
+        let n = 2000;
+        let c = 1.5;
+        let g = graph(n, c, 7);
+        let expected = (n as f64 / (n as f64).ln()).sqrt() / c;
+        let out = route_to_position(&g, g.nearest_node(Point::new(0.02, 0.02)).unwrap(), Point::new(0.98, 0.98));
+        let hops = out.hops as f64;
+        assert!(
+            hops > 0.4 * expected && hops < 4.0 * expected,
+            "hops {hops} not within a small factor of {expected}"
+        );
+    }
+
+    use geogossip_geometry::Point;
+}

@@ -1,0 +1,176 @@
+//! Poisson clocks.
+//!
+//! Each sensor's clock is a unit-rate Poisson process, independent across
+//! sensors (Section 2 of the paper). Equivalently there is a single global
+//! clock that is Poisson with rate `n`, each tick being assigned to a sensor
+//! chosen uniformly at random; the simulator uses this equivalent global view
+//! because it is what the analysis (and the `t`-th "global clock tick"
+//! notation) refers to.
+
+use geogossip_geometry::point::NodeId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A single clock tick: the absolute time at which it fires and the sensor it
+/// belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Tick {
+    /// Absolute simulation time of the tick.
+    pub time: f64,
+    /// Global tick index (1-based; the `t` of `x(t)` in the paper).
+    pub index: u64,
+    /// The sensor whose clock ticked.
+    pub node: NodeId,
+}
+
+/// The global rate-`n` Poisson clock.
+///
+/// Inter-tick gaps are `Exp(n)`-distributed and each tick is assigned to a
+/// node drawn uniformly at random, which is distributionally identical to `n`
+/// independent unit-rate per-node clocks.
+///
+/// # Example
+///
+/// ```
+/// use geogossip_sim::GlobalPoissonClock;
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+/// let mut rng = ChaCha8Rng::seed_from_u64(9);
+/// let mut clock = GlobalPoissonClock::new(10);
+/// let a = clock.next_tick(&mut rng);
+/// let b = clock.next_tick(&mut rng);
+/// assert!(b.time > a.time);
+/// assert_eq!(b.index, a.index + 1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GlobalPoissonClock {
+    n: usize,
+    now: f64,
+    ticks: u64,
+}
+
+impl GlobalPoissonClock {
+    /// Creates the clock for a network of `n` sensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero — a network with no sensors has no clock.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a Poisson clock needs at least one sensor");
+        GlobalPoissonClock { n, now: 0.0, ticks: 0 }
+    }
+
+    /// Number of sensors whose clocks are multiplexed onto this global clock.
+    pub fn population(&self) -> usize {
+        self.n
+    }
+
+    /// Current simulation time (time of the last tick, 0 before any tick).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of ticks drawn so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Draws the next tick: advances time by an `Exp(n)` gap and assigns the
+    /// tick to a uniformly random sensor.
+    pub fn next_tick<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Tick {
+        let gap = geogossip_geometry::sampling::exponential(self.n as f64, rng);
+        self.now += gap;
+        self.ticks += 1;
+        Tick {
+            time: self.now,
+            index: self.ticks,
+            node: NodeId(rng.gen_range(0..self.n)),
+        }
+    }
+
+    /// Resets the clock to time zero without changing the population.
+    pub fn reset(&mut self) {
+        self.now = 0.0;
+        self.ticks = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn time_is_strictly_increasing() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut clock = GlobalPoissonClock::new(50);
+        let mut prev = 0.0;
+        for _ in 0..1000 {
+            let t = clock.next_tick(&mut rng);
+            assert!(t.time > prev);
+            prev = t.time;
+        }
+        assert_eq!(clock.ticks(), 1000);
+    }
+
+    #[test]
+    fn mean_gap_is_one_over_n() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let n = 200;
+        let mut clock = GlobalPoissonClock::new(n);
+        let ticks = 50_000;
+        for _ in 0..ticks {
+            clock.next_tick(&mut rng);
+        }
+        let mean_gap = clock.now() / ticks as f64;
+        assert!((mean_gap - 1.0 / n as f64).abs() < 0.1 / n as f64);
+    }
+
+    #[test]
+    fn ticks_are_assigned_roughly_uniformly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let n = 20;
+        let mut clock = GlobalPoissonClock::new(n);
+        let mut counts = vec![0usize; n];
+        let draws = 40_000;
+        for _ in 0..draws {
+            counts[clock.next_tick(&mut rng).node.index()] += 1;
+        }
+        let expected = draws as f64 / n as f64;
+        for &c in &counts {
+            assert!(
+                (c as f64 - expected).abs() < 0.15 * expected,
+                "count {c} far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_rewinds_time_and_counter() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut clock = GlobalPoissonClock::new(5);
+        clock.next_tick(&mut rng);
+        clock.reset();
+        assert_eq!(clock.now(), 0.0);
+        assert_eq!(clock.ticks(), 0);
+        assert_eq!(clock.population(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sensor")]
+    fn zero_population_rejected() {
+        let _ = GlobalPoissonClock::new(0);
+    }
+
+    #[test]
+    fn same_seed_gives_same_schedule() {
+        let mut a = GlobalPoissonClock::new(30);
+        let mut b = GlobalPoissonClock::new(30);
+        let mut ra = ChaCha8Rng::seed_from_u64(7);
+        let mut rb = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_tick(&mut ra), b.next_tick(&mut rb));
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! A minimal asynchronous simulation driver.
+//!
+//! The engine owns the global Poisson clock and the metrics; a protocol is any
+//! closure (or [`Activation`] implementor) that reacts to "the clock of sensor
+//! `v` ticked" by mutating its own state and charging transmissions. The
+//! engine stops when a caller-supplied [`StopCondition`] is met, and returns a
+//! compact [`EngineReport`].
+//!
+//! Keeping the engine this small is deliberate: the paper's protocols differ
+//! only in what happens on a tick, so the engine is the single place where the
+//! time model and the stopping logic live.
+
+use crate::clock::{GlobalPoissonClock, Tick};
+use crate::metrics::{ConvergenceTrace, TracePoint, TransmissionCounter};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A protocol that can be driven by the engine: it reacts to a clock tick by
+/// updating its state, charging transmissions, and reporting its current
+/// relative error.
+pub trait Activation {
+    /// Handles the tick of `tick.node`, charging any transmissions to `tx` and
+    /// using `rng` for the protocol's own randomness.
+    fn on_tick<R: Rng + ?Sized>(&mut self, tick: Tick, tx: &mut TransmissionCounter, rng: &mut R);
+
+    /// Current relative ℓ₂ error `‖x − x̄·1‖ / ‖x(0) − x̄·1‖`.
+    fn relative_error(&self) -> f64;
+}
+
+/// When the engine should stop driving a protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StopCondition {
+    /// Stop once the relative error is at or below this value.
+    pub epsilon: f64,
+    /// Hard cap on the number of clock ticks (safety net for non-converging
+    /// configurations); `None` means no cap.
+    pub max_ticks: Option<u64>,
+    /// Hard cap on the number of transmissions; `None` means no cap.
+    pub max_transmissions: Option<u64>,
+}
+
+impl StopCondition {
+    /// Stop at relative error `epsilon`, with generous default caps
+    /// (`10^9` transmissions, `10^8` ticks) so runaway runs terminate.
+    pub fn at_epsilon(epsilon: f64) -> Self {
+        StopCondition {
+            epsilon,
+            max_ticks: Some(100_000_000),
+            max_transmissions: Some(1_000_000_000),
+        }
+    }
+
+    /// Replaces the tick cap.
+    pub fn with_max_ticks(mut self, max: u64) -> Self {
+        self.max_ticks = Some(max);
+        self
+    }
+
+    /// Replaces the transmission cap.
+    pub fn with_max_transmissions(mut self, max: u64) -> Self {
+        self.max_transmissions = Some(max);
+        self
+    }
+}
+
+/// Why the engine stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// The error target was reached.
+    Converged,
+    /// The tick cap was hit first.
+    TickBudgetExhausted,
+    /// The transmission cap was hit first.
+    TransmissionBudgetExhausted,
+}
+
+/// Summary of one engine run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineReport {
+    /// Why the run stopped.
+    pub reason: StopReason,
+    /// Final transmission counters.
+    pub transmissions: TransmissionCounter,
+    /// Number of global clock ticks consumed.
+    pub ticks: u64,
+    /// Simulation time at the end of the run.
+    pub time: f64,
+    /// Final relative error.
+    pub final_error: f64,
+    /// Error-vs-cost trace sampled every `sample_every` ticks.
+    pub trace: ConvergenceTrace,
+}
+
+impl EngineReport {
+    /// Whether the run reached its error target.
+    pub fn converged(&self) -> bool {
+        self.reason == StopReason::Converged
+    }
+}
+
+/// The asynchronous engine: a Poisson clock plus bookkeeping.
+#[derive(Debug, Clone)]
+pub struct AsyncEngine {
+    clock: GlobalPoissonClock,
+    sample_every: u64,
+}
+
+impl AsyncEngine {
+    /// Creates an engine for a network of `n` sensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        AsyncEngine {
+            clock: GlobalPoissonClock::new(n),
+            sample_every: (n as u64).max(1),
+        }
+    }
+
+    /// Sets how many ticks elapse between consecutive trace samples
+    /// (default: one sample per `n` ticks ≈ one per unit of simulated time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn sample_every(mut self, every: u64) -> Self {
+        assert!(every > 0, "sampling interval must be positive");
+        self.sample_every = every;
+        self
+    }
+
+    /// Drives `protocol` until `stop` is satisfied, returning the run report.
+    pub fn run<P, R>(&mut self, protocol: &mut P, stop: StopCondition, rng: &mut R) -> EngineReport
+    where
+        P: Activation,
+        R: Rng + ?Sized,
+    {
+        self.clock.reset();
+        let mut tx = TransmissionCounter::new();
+        let mut trace = ConvergenceTrace::new();
+        trace.push(TracePoint {
+            transmissions: 0,
+            ticks: 0,
+            relative_error: protocol.relative_error(),
+        });
+
+        // The convergence predicate costs O(n) (it computes the ℓ₂ deviation),
+        // so it is evaluated at the sampling interval rather than on every
+        // tick; a run may therefore overshoot the target by at most
+        // `sample_every − 1` ticks, which is negligible against the budgets
+        // involved.
+        let mut last_error = protocol.relative_error();
+        let reason = loop {
+            if last_error <= stop.epsilon {
+                break StopReason::Converged;
+            }
+            if stop.max_ticks.is_some_and(|m| self.clock.ticks() >= m) {
+                break StopReason::TickBudgetExhausted;
+            }
+            if stop.max_transmissions.is_some_and(|m| tx.total() >= m) {
+                break StopReason::TransmissionBudgetExhausted;
+            }
+            let tick = self.clock.next_tick(rng);
+            protocol.on_tick(tick, &mut tx, rng);
+            if tick.index % self.sample_every == 0 {
+                last_error = protocol.relative_error();
+                trace.push(TracePoint {
+                    transmissions: tx.total(),
+                    ticks: tick.index,
+                    relative_error: last_error,
+                });
+            }
+        };
+
+        trace.push(TracePoint {
+            transmissions: tx.total(),
+            ticks: self.clock.ticks(),
+            relative_error: protocol.relative_error(),
+        });
+        EngineReport {
+            reason,
+            transmissions: tx,
+            ticks: self.clock.ticks(),
+            time: self.clock.now(),
+            final_error: protocol.relative_error(),
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// A toy protocol whose error halves every `n` ticks and which charges one
+    /// local transmission per tick.
+    struct Halver {
+        n: u64,
+        error: f64,
+    }
+
+    impl Activation for Halver {
+        fn on_tick<R: Rng + ?Sized>(&mut self, tick: Tick, tx: &mut TransmissionCounter, _rng: &mut R) {
+            tx.charge_local(1);
+            if tick.index % self.n == 0 {
+                self.error /= 2.0;
+            }
+        }
+        fn relative_error(&self) -> f64 {
+            self.error
+        }
+    }
+
+    #[test]
+    fn engine_converges_and_reports() {
+        let mut engine = AsyncEngine::new(10);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut proto = Halver { n: 10, error: 1.0 };
+        let report = engine.run(&mut proto, StopCondition::at_epsilon(1e-3), &mut rng);
+        assert!(report.converged());
+        assert!(report.final_error <= 1e-3);
+        assert_eq!(report.transmissions.total(), report.ticks);
+        assert!(report.trace.len() >= 2);
+        assert!(report.time > 0.0);
+    }
+
+    #[test]
+    fn tick_budget_stops_nonconverging_runs() {
+        struct Stuck;
+        impl Activation for Stuck {
+            fn on_tick<R: Rng + ?Sized>(&mut self, _t: Tick, tx: &mut TransmissionCounter, _r: &mut R) {
+                tx.charge_local(1);
+            }
+            fn relative_error(&self) -> f64 {
+                1.0
+            }
+        }
+        let mut engine = AsyncEngine::new(5);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let stop = StopCondition::at_epsilon(1e-9).with_max_ticks(100);
+        let report = engine.run(&mut Stuck, stop, &mut rng);
+        assert_eq!(report.reason, StopReason::TickBudgetExhausted);
+        assert_eq!(report.ticks, 100);
+    }
+
+    #[test]
+    fn transmission_budget_stops_runs() {
+        struct Chatty;
+        impl Activation for Chatty {
+            fn on_tick<R: Rng + ?Sized>(&mut self, _t: Tick, tx: &mut TransmissionCounter, _r: &mut R) {
+                tx.charge_routing(50);
+            }
+            fn relative_error(&self) -> f64 {
+                1.0
+            }
+        }
+        let mut engine = AsyncEngine::new(5);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let stop = StopCondition::at_epsilon(1e-9).with_max_transmissions(200);
+        let report = engine.run(&mut Chatty, stop, &mut rng);
+        assert_eq!(report.reason, StopReason::TransmissionBudgetExhausted);
+        assert!(report.transmissions.total() >= 200);
+    }
+
+    #[test]
+    fn already_converged_protocol_uses_no_ticks() {
+        let mut engine = AsyncEngine::new(5);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut proto = Halver { n: 1, error: 0.0 };
+        let report = engine.run(&mut proto, StopCondition::at_epsilon(0.5), &mut rng);
+        assert!(report.converged());
+        assert_eq!(report.ticks, 0);
+        assert_eq!(report.transmissions.total(), 0);
+    }
+
+    #[test]
+    fn trace_is_sampled_at_requested_interval() {
+        let mut engine = AsyncEngine::new(10).sample_every(7);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut proto = Halver { n: 20, error: 1.0 };
+        let report = engine.run(&mut proto, StopCondition::at_epsilon(0.1).with_max_ticks(100), &mut rng);
+        // Initial + one per 7 ticks + final.
+        assert!(report.trace.len() >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling interval")]
+    fn zero_sampling_interval_rejected() {
+        let _ = AsyncEngine::new(3).sample_every(0);
+    }
+}

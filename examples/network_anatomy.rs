@@ -1,0 +1,105 @@
+//! Anatomy of a deployment: hierarchy, routing, and leader structure.
+//!
+//! Walks through the building blocks the paper's protocol is assembled from:
+//! the geometric random graph, the hierarchical square partition with its
+//! leaders (Definition 1), greedy geographic routing between leaders, and the
+//! cell-restricted flooding used by `Activate.square`. Useful for getting a
+//! feel for what the protocol's control plane actually does.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example network_anatomy
+//! ```
+
+use geogossip::core::affine::Hierarchy;
+use geogossip::geometry::{sampling::sample_unit_square, PartitionConfig, Point};
+use geogossip::graph::GeometricGraph;
+use geogossip::routing::flood::flood_cell;
+use geogossip::routing::greedy::{route_to_node, route_to_position};
+use geogossip::sim::SeedStream;
+
+fn main() {
+    let n = 2048;
+    let seeds = SeedStream::new(5);
+
+    // The sensor deployment.
+    let positions = sample_unit_square(n, &mut seeds.stream("placement"));
+    let network = GeometricGraph::build_at_connectivity_radius(positions, 2.0);
+    let degrees = network.degree_summary();
+    println!("== geometric random graph ==");
+    println!("n = {n}, r = {:.4}", network.radius());
+    println!(
+        "edges = {}, degree min/mean/max = {}/{:.1}/{}, connected = {}",
+        network.edge_count(),
+        degrees.min,
+        degrees.mean,
+        degrees.max,
+        network.is_connected()
+    );
+
+    // The hierarchical partition and its leaders.
+    let hierarchy = Hierarchy::build(&network, PartitionConfig::practical(n))
+        .expect("standard deployment always yields a usable hierarchy");
+    println!();
+    println!("== hierarchical square partition ==");
+    println!("levels ℓ = {}", hierarchy.levels());
+    for depth in 0..hierarchy.levels() {
+        let cells = hierarchy.populated_cells_at_depth(depth);
+        if cells.is_empty() {
+            continue;
+        }
+        let avg_members: f64 =
+            cells.iter().map(|&c| hierarchy.members(c).len() as f64).sum::<f64>() / cells.len() as f64;
+        println!(
+            "depth {depth}: {} populated cells, avg population {:.1}, expected {:.1}, max occupancy deviation {:.2}",
+            cells.len(),
+            avg_members,
+            hierarchy.expected_count(cells[0]),
+            hierarchy.max_occupancy_deviation(depth)
+        );
+    }
+    println!("leader conflicts (one sensor leading two squares): {}", hierarchy.leader_conflicts());
+
+    // Greedy geographic routing between two far-apart leaders.
+    println!();
+    println!("== greedy geographic routing ==");
+    let top_cells = hierarchy.populated_cells_at_depth(1);
+    let a = hierarchy.leader(top_cells[0]).expect("populated cell has a leader");
+    let b = hierarchy
+        .leader(*top_cells.last().expect("at least two top cells"))
+        .expect("populated cell has a leader");
+    let route = route_to_node(&network, a, b);
+    println!(
+        "leader {} -> leader {}: {} hops, delivered = {} (straight-line distance {:.3})",
+        a,
+        b,
+        route.hops,
+        route.delivered,
+        network.position(a).distance(network.position(b))
+    );
+    let corner_route = route_to_position(
+        &network,
+        network.nearest_node(Point::new(0.02, 0.02)).expect("non-empty network"),
+        Point::new(0.98, 0.98),
+    );
+    println!(
+        "corner-to-corner: {} hops (√(n/log n) ≈ {:.0})",
+        corner_route.hops,
+        (n as f64 / (n as f64).ln()).sqrt()
+    );
+
+    // Activation flooding inside one leaf square.
+    println!();
+    println!("== Activate.square flooding ==");
+    let leaf = hierarchy.leaf_of(a);
+    let members: Vec<usize> = hierarchy.members(leaf).to_vec();
+    let outcome = flood_cell(&network, &members, hierarchy.leader(leaf).expect("leaf has a leader"));
+    println!(
+        "leaf square of leader {}: {} members, flood reached {} of them in {} transmissions",
+        a,
+        members.len(),
+        outcome.reached.len(),
+        outcome.transmissions
+    );
+}

@@ -1,0 +1,134 @@
+//! Property-based tests (proptest) on the workspace's core invariants.
+//!
+//! These complement the per-crate unit tests by checking the invariants on
+//! *arbitrary* inputs: mass conservation of every update rule, geometric
+//! consistency of the partition and the spatial grid, contraction of the
+//! Lemma-1 dynamics, and correctness of the regression and trace utilities.
+
+use geogossip::analysis::regression::fit_power_law;
+use geogossip::core::model::AffineCompleteGraph;
+use geogossip::core::update::{affine_exchange, cell_sum_exchange, convex_average, AffineCoefficient};
+use geogossip::geometry::sampling::sample_unit_square;
+use geogossip::geometry::{unit_square, PartitionConfig, Point, SquarePartition, UniformGrid};
+use geogossip::graph::GeometricGraph;
+use geogossip::routing::greedy::route_to_node;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Affine exchanges conserve the pair sum for any finite coefficient and
+    /// any finite values.
+    #[test]
+    fn affine_exchange_conserves_sum(
+        xi in -1e6f64..1e6,
+        xj in -1e6f64..1e6,
+        alpha in -1e3f64..1e3,
+    ) {
+        let (a, b) = affine_exchange(xi, xj, AffineCoefficient::new(alpha));
+        let before = xi + xj;
+        let after = a + b;
+        prop_assert!((before - after).abs() <= 1e-6 * before.abs().max(1.0));
+    }
+
+    /// Convex averaging equals the affine exchange with α = 1/2 and never
+    /// leaves the interval spanned by its inputs.
+    #[test]
+    fn convex_average_is_contained(xi in -1e6f64..1e6, xj in -1e6f64..1e6) {
+        let (a, b) = convex_average(xi, xj);
+        prop_assert_eq!(a, b);
+        prop_assert!(a >= xi.min(xj) - 1e-9 && a <= xi.max(xj) + 1e-9);
+    }
+
+    /// Cell-sum exchanges conserve total mass for any positive populations.
+    #[test]
+    fn cell_sum_exchange_conserves_mass(
+        zi in -1e4f64..1e4,
+        zj in -1e4f64..1e4,
+        ci in 1.0f64..1e4,
+        cj in 1.0f64..1e4,
+        alpha in 0.0f64..1e3,
+    ) {
+        let (a, b) = cell_sum_exchange(zi, ci, zj, cj, AffineCoefficient::new(alpha));
+        prop_assert!(((a + b) - (zi + zj)).abs() <= 1e-6 * (zi + zj).abs().max(1.0));
+    }
+
+    /// The Lemma-1 dynamics conserve the (zero) sum and never increase it,
+    /// regardless of the seed and size.
+    #[test]
+    fn lemma1_dynamics_conserve_zero_sum(n in 2usize..40, seed in 0u64..1000, ticks in 1u64..500) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut model = AffineCompleteGraph::with_random_alphas(n, &mut rng).unwrap();
+        model.set_centered_values((0..n).map(|i| (i * i % 13) as f64).collect()).unwrap();
+        model.run(ticks, &mut rng);
+        prop_assert!(model.sum().abs() < 1e-6);
+    }
+
+    /// Every point of the unit square is assigned to exactly one leaf of the
+    /// hierarchical partition, and that leaf geometrically contains it.
+    #[test]
+    fn partition_assigns_each_point_to_a_containing_leaf(
+        n in 2usize..300,
+        seed in 0u64..500,
+    ) {
+        let pts = sample_unit_square(n, &mut ChaCha8Rng::seed_from_u64(seed));
+        let partition = SquarePartition::build(&pts, PartitionConfig::practical(n));
+        let total: usize = partition.leaves().map(|c| c.members().len()).sum();
+        prop_assert_eq!(total, n);
+        for leaf in partition.leaves() {
+            for &m in leaf.members() {
+                prop_assert!(leaf.rect().contains(pts[m]));
+            }
+        }
+    }
+
+    /// The spatial grid's radius queries agree with brute force.
+    #[test]
+    fn grid_neighbors_match_brute_force(
+        n in 1usize..200,
+        seed in 0u64..500,
+        radius in 0.01f64..0.3,
+        qx in 0.0f64..1.0,
+        qy in 0.0f64..1.0,
+    ) {
+        let pts = sample_unit_square(n, &mut ChaCha8Rng::seed_from_u64(seed));
+        let grid = UniformGrid::build(unit_square(), &pts, radius);
+        let q = Point::new(qx, qy);
+        let mut got: Vec<usize> = grid.neighbors_within(&pts, q, radius).collect();
+        got.sort_unstable();
+        let mut want: Vec<usize> = (0..n).filter(|&i| pts[i].distance(q) <= radius).collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Greedy routing never takes more hops than there are nodes, its path is
+    /// a walk in the graph, and delivery to an adjacent destination always
+    /// succeeds.
+    #[test]
+    fn greedy_routing_path_is_a_walk(n in 10usize..200, seed in 0u64..300) {
+        let pts = sample_unit_square(n, &mut ChaCha8Rng::seed_from_u64(seed));
+        let graph = GeometricGraph::build_at_connectivity_radius(pts, 2.0);
+        let src = geogossip::geometry::point::NodeId(0);
+        let dst = geogossip::geometry::point::NodeId(n - 1);
+        let outcome = route_to_node(&graph, src, dst);
+        prop_assert!(outcome.hops < n);
+        for w in outcome.path.windows(2) {
+            prop_assert!(graph.are_adjacent(w[0], w[1]));
+        }
+        if graph.are_adjacent(src, dst) {
+            prop_assert!(outcome.delivered);
+        }
+    }
+
+    /// Power-law fits recover the exponent of synthetic power-law data to
+    /// within numerical noise, for any exponent and prefactor in a wide range.
+    #[test]
+    fn power_law_fit_recovers_exponent(k in 0.2f64..3.0, c in 0.1f64..100.0) {
+        let xs: Vec<f64> = vec![32.0, 64.0, 128.0, 256.0, 512.0];
+        let ys: Vec<f64> = xs.iter().map(|x| c * x.powf(k)).collect();
+        let fit = fit_power_law(&xs, &ys).unwrap();
+        prop_assert!((fit.exponent - k).abs() < 1e-6);
+    }
+}

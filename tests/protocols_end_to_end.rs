@@ -1,0 +1,159 @@
+//! End-to-end integration tests spanning all workspace crates: build a
+//! network, run every protocol through the public API of the `geogossip`
+//! meta-crate, and check convergence, cost accounting, and mass conservation
+//! together.
+
+use geogossip::core::prelude::*;
+use geogossip::geometry::sampling::sample_unit_square;
+use geogossip::graph::GeometricGraph;
+use geogossip::sim::{AsyncEngine, SeedStream, StopCondition};
+
+fn instance(n: usize, seed: u64) -> (GeometricGraph, Vec<f64>, SeedStream) {
+    let seeds = SeedStream::new(seed);
+    let positions = sample_unit_square(n, &mut seeds.stream("placement"));
+    let graph = GeometricGraph::build_at_connectivity_radius(positions, 2.0);
+    let values = InitialCondition::Spike.generate(n, &mut seeds.stream("values"));
+    (graph, values, seeds)
+}
+
+#[test]
+fn all_three_protocols_agree_on_the_average() {
+    let n = 256;
+    let epsilon = 0.05;
+    let (graph, values, seeds) = instance(n, 101);
+    let true_mean = values.iter().sum::<f64>() / n as f64;
+
+    // Pairwise.
+    let mut pairwise = PairwiseGossip::new(&graph, values.clone()).unwrap();
+    let report = AsyncEngine::new(n).run(
+        &mut pairwise,
+        StopCondition::at_epsilon(epsilon).with_max_ticks(20_000_000),
+        &mut seeds.stream("pairwise"),
+    );
+    assert!(report.converged());
+    assert!((pairwise.state().mean() - true_mean).abs() < 1e-12);
+    assert!(pairwise.state().mass_drift() < 1e-9);
+
+    // Geographic.
+    let mut geographic = GeographicGossip::new(&graph, values.clone()).unwrap();
+    let report = AsyncEngine::new(n).run(
+        &mut geographic,
+        StopCondition::at_epsilon(epsilon).with_max_ticks(20_000_000),
+        &mut seeds.stream("geographic"),
+    );
+    assert!(report.converged());
+    assert!(geographic.state().mass_drift() < 1e-9);
+
+    // Affine (idealized round-based).
+    let mut affine =
+        RoundBasedAffineGossip::new(&graph, values.clone(), RoundBasedConfig::idealized(n)).unwrap();
+    let report = affine.run_until(epsilon, &mut seeds.stream("affine"));
+    assert!(report.converged);
+    assert!(affine.state().mass_drift() < 1e-9);
+
+    // After convergence every sensor is near the true mean under all three
+    // protocols.
+    let initial_dev: f64 = values.iter().map(|v| (v - true_mean).powi(2)).sum::<f64>().sqrt();
+    for (name, state) in [
+        ("pairwise", pairwise.state()),
+        ("geographic", geographic.state()),
+        ("affine", affine.state()),
+    ] {
+        let dev: f64 = state
+            .values()
+            .iter()
+            .map(|v| (v - true_mean).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        assert!(
+            dev <= epsilon * initial_dev * 1.5,
+            "{name} left too much deviation: {dev} vs initial {initial_dev}"
+        );
+    }
+}
+
+#[test]
+fn affine_needs_fewer_long_range_rounds_than_geographic_needs_exchanges() {
+    // The Lemma-1 mechanism: the affine protocol's top level needs
+    // O(√n·log(n/ε)) leader rounds, whereas geographic gossip needs
+    // Θ(n·log(1/ε)) pairwise exchanges — a factor ~√n apart.
+    let n = 512;
+    let epsilon = 0.05;
+    let (graph, values, seeds) = instance(n, 202);
+
+    let mut geographic = GeographicGossip::new(&graph, values.clone()).unwrap();
+    let geo_report = AsyncEngine::new(n).run(
+        &mut geographic,
+        StopCondition::at_epsilon(epsilon).with_max_ticks(50_000_000),
+        &mut seeds.stream("geo"),
+    );
+    assert!(geo_report.converged());
+
+    let mut affine =
+        RoundBasedAffineGossip::new(&graph, values, RoundBasedConfig::idealized(n)).unwrap();
+    let affine_report = affine.run_until(epsilon, &mut seeds.stream("affine"));
+    assert!(affine_report.converged);
+
+    assert!(
+        affine_report.stats.top_rounds < geo_report.ticks / 4,
+        "affine used {} rounds, geographic used {} exchanges",
+        affine_report.stats.top_rounds,
+        geo_report.ticks
+    );
+}
+
+#[test]
+fn state_machine_and_round_based_reach_the_same_fixed_point() {
+    let n = 224;
+    let (graph, values, seeds) = instance(n, 303);
+    let true_mean = values.iter().sum::<f64>() / n as f64;
+
+    let mut machine = AffineStateMachine::practical(&graph, values.clone()).unwrap();
+    let report = AsyncEngine::new(n).run(
+        &mut machine,
+        StopCondition::at_epsilon(0.25).with_max_ticks(6_000_000),
+        &mut seeds.stream("machine"),
+    );
+    assert!(report.converged(), "state machine stuck at {}", report.final_error);
+    assert!((machine.state().mean() - true_mean).abs() < 1e-12);
+
+    let mut round_based =
+        RoundBasedAffineGossip::new(&graph, values, RoundBasedConfig::practical(n)).unwrap();
+    let rb_report = round_based.run_until(0.25, &mut seeds.stream("round"));
+    assert!(rb_report.converged);
+    assert!((round_based.state().mean() - true_mean).abs() < 1e-12);
+}
+
+#[test]
+fn runs_are_reproducible_for_a_fixed_seed() {
+    let n = 128;
+    let run = |seed: u64| {
+        let (graph, values, seeds) = instance(n, seed);
+        let mut affine =
+            RoundBasedAffineGossip::new(&graph, values, RoundBasedConfig::idealized(n)).unwrap();
+        let report = affine.run_until(0.05, &mut seeds.stream("run"));
+        (report.transmissions.total(), report.stats.top_rounds, report.final_error)
+    };
+    assert_eq!(run(77), run(77));
+    assert_ne!(run(77), run(78));
+}
+
+#[test]
+fn disconnected_network_is_reported_not_hidden() {
+    // A radius far below the connectivity threshold: pairwise gossip cannot
+    // average across components, so the engine must stop on its budget and
+    // report non-convergence.
+    let seeds = SeedStream::new(404);
+    let positions = sample_unit_square(200, &mut seeds.stream("placement"));
+    let graph = GeometricGraph::build(positions, 0.01);
+    assert!(!graph.is_connected());
+    let values = InitialCondition::Spike.generate(200, &mut seeds.stream("values"));
+    let mut pairwise = PairwiseGossip::new(&graph, values).unwrap();
+    let report = AsyncEngine::new(200).run(
+        &mut pairwise,
+        StopCondition::at_epsilon(0.01).with_max_ticks(50_000),
+        &mut seeds.stream("run"),
+    );
+    assert!(!report.converged());
+    assert!(report.final_error > 0.5);
+}
