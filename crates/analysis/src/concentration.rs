@@ -34,7 +34,10 @@ impl OccupancyCheck {
     /// Panics if `expected` is not strictly positive or `counts` is empty.
     pub fn from_counts(counts: &[usize], expected: f64) -> Self {
         assert!(expected > 0.0, "expected population must be positive");
-        assert!(!counts.is_empty(), "occupancy check needs at least one cell");
+        assert!(
+            !counts.is_empty(),
+            "occupancy check needs at least one cell"
+        );
         let deviations: Vec<f64> = counts
             .iter()
             .map(|&c| (c as f64 / expected - 1.0).abs())

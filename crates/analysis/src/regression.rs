@@ -65,7 +65,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
     }
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     Some(LinearFit {
         slope,
         intercept,
@@ -147,7 +151,10 @@ mod tests {
     #[test]
     fn noisy_linear_fit_has_reasonable_r_squared() {
         let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + if *x as i64 % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 2.0 * x + if *x as i64 % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
         let fit = linear_fit(&xs, &ys).unwrap();
         assert!((fit.slope - 2.0).abs() < 0.01);
         assert!(fit.r_squared > 0.99);

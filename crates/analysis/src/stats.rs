@@ -173,7 +173,10 @@ pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let mut sorted: Vec<f64> = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile data must not contain NaN"));
+    sorted.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("quantile data must not contain NaN")
+    });
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -211,7 +214,7 @@ mod tests {
 
     #[test]
     fn confidence_interval_contains_true_mean_of_constant_data() {
-        let s: Summary = std::iter::repeat(7.0).take(50).collect();
+        let s: Summary = std::iter::repeat_n(7.0, 50).collect();
         let ci = s.confidence_interval(1.96);
         assert!(ci.contains(7.0));
         assert!(ci.width() < 1e-12);

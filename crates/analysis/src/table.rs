@@ -85,7 +85,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
@@ -107,7 +111,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -120,20 +128,48 @@ impl Table {
     }
 
     /// Serialises the table as a JSON array of objects keyed by header.
+    ///
+    /// Rendered by hand (all cells are strings) so the crate needs no JSON
+    /// dependency; strings are escaped per RFC 8259.
     pub fn to_json(&self) -> String {
-        let objects: Vec<serde_json::Map<String, serde_json::Value>> = self
-            .rows
-            .iter()
-            .map(|row| {
-                self.headers
-                    .iter()
-                    .cloned()
-                    .zip(row.iter().map(|c| serde_json::Value::String(c.clone())))
-                    .collect()
-            })
-            .collect();
-        serde_json::to_string_pretty(&objects).expect("string tables always serialise")
+        let mut out = String::from("[");
+        for (r, row) in self.rows.iter().enumerate() {
+            if r > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  {");
+            for (c, (header, cell)) in self.headers.iter().zip(row).enumerate() {
+                if c > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{}: {}", json_string(header), json_string(cell));
+            }
+            out.push('}');
+        }
+        out.push_str("\n]");
+        out
     }
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 #[cfg(test)]
@@ -176,9 +212,18 @@ mod tests {
     #[test]
     fn json_emits_one_object_per_row() {
         let json = sample().to_json();
-        let parsed: Vec<serde_json::Value> = serde_json::from_str(&json).unwrap();
-        assert_eq!(parsed.len(), 2);
-        assert_eq!(parsed[0]["protocol"], "pairwise");
+        assert_eq!(json.matches('{').count(), 2);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"protocol\": \"pairwise\""));
+        assert!(json.contains("\"cost\": \"200\""));
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_control_characters() {
+        let mut t = Table::new(vec!["note"]);
+        t.add_row(vec!["say \"hi\"\nback\\slash".into()]);
+        let json = t.to_json();
+        assert!(json.contains(r#""say \"hi\"\nback\\slash""#));
     }
 
     #[test]

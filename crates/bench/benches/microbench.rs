@@ -12,13 +12,15 @@
 //!   protocol and one tick of each baseline (E3/E4).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geogossip_bench::legacy::{csr_geographic_tick, legacy_geographic_tick, LegacyGraph};
 use geogossip_core::model::AffineCompleteGraph;
 use geogossip_core::prelude::*;
 use geogossip_core::update::{affine_exchange, convex_average, AffineCoefficient};
+use geogossip_geometry::point::NodeId;
 use geogossip_geometry::sampling::sample_unit_square;
 use geogossip_geometry::Point;
 use geogossip_graph::GeometricGraph;
-use geogossip_routing::greedy::route_to_position;
+use geogossip_routing::greedy::{route_terminus, route_to_position};
 use geogossip_sim::{AsyncEngine, SeedStream, StopCondition};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -39,9 +41,49 @@ fn routing(c: &mut Criterion) {
     for &n in &[1024usize, 4096] {
         let pts = sample_unit_square(n, &mut ChaCha8Rng::seed_from_u64(2));
         let graph = GeometricGraph::build_at_connectivity_radius(pts, 2.0);
-        let source = graph.nearest_node(Point::new(0.05, 0.05)).expect("non-empty");
+        let source = graph
+            .nearest_node(Point::new(0.05, 0.05))
+            .expect("non-empty");
         group.bench_with_input(BenchmarkId::new("corner_to_corner", n), &graph, |b, g| {
-            b.iter(|| route_to_position(g, source, Point::new(0.95, 0.95)));
+            b.iter(|| route_terminus(g, source, Point::new(0.95, 0.95)));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("corner_to_corner_with_path", n),
+            &graph,
+            |b, g| {
+                b.iter(|| route_to_position(g, source, Point::new(0.95, 0.95)));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The acceptance-criterion benchmark: one geographic-gossip tick (partner
+/// route + reply route + exchange) on the CSR/allocation-free hot path versus
+/// the preserved pre-CSR implementation, same instances, same RNG streams.
+fn gossip_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gossip_tick");
+    for &n in &[1024usize, 4096] {
+        let pts = sample_unit_square(n, &mut ChaCha8Rng::seed_from_u64(6));
+        let graph = GeometricGraph::build_at_connectivity_radius(pts, 2.0);
+        let legacy = LegacyGraph::from_graph(&graph);
+        group.bench_with_input(BenchmarkId::new("csr_allocfree", n), &graph, |b, g| {
+            let mut values: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            let mut activated = 0usize;
+            b.iter(|| {
+                activated = (activated + 101) % n;
+                csr_geographic_tick(g, &mut values, NodeId(activated), &mut rng)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("pre_csr_vecvec", n), &legacy, |b, lg| {
+            let mut values: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            let mut activated = 0usize;
+            b.iter(|| {
+                activated = (activated + 101) % n;
+                legacy_geographic_tick(lg, &mut values, NodeId(activated), &mut rng)
+            });
         });
     }
     group.finish();
@@ -81,18 +123,16 @@ fn protocol_round(c: &mut Criterion) {
 
     group.bench_function("affine_idealized_to_5pct_n512", |b| {
         b.iter(|| {
-            let mut protocol = RoundBasedAffineGossip::new(
-                &graph,
-                values.clone(),
-                RoundBasedConfig::idealized(n),
-            )
-            .expect("valid instance");
+            let mut protocol =
+                RoundBasedAffineGossip::new(&graph, values.clone(), RoundBasedConfig::idealized(n))
+                    .expect("valid instance");
             protocol.run_until(0.05, &mut seeds.stream("affine-run"))
         });
     });
     group.bench_function("geographic_to_5pct_n512", |b| {
         b.iter(|| {
-            let mut protocol = GeographicGossip::new(&graph, values.clone()).expect("valid instance");
+            let mut protocol =
+                GeographicGossip::new(&graph, values.clone()).expect("valid instance");
             AsyncEngine::new(n).run(
                 &mut protocol,
                 StopCondition::at_epsilon(0.05).with_max_ticks(10_000_000),
@@ -113,5 +153,12 @@ fn protocol_round(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, graph_construction, routing, updates, protocol_round);
+criterion_group!(
+    benches,
+    graph_construction,
+    routing,
+    gossip_tick,
+    updates,
+    protocol_round
+);
 criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! Writes the headline performance baseline to `BENCH_baseline.json`.
+//!
+//! Measures median wall-clock times for the hot-path primitives at
+//! `n ∈ {1024, 4096}`:
+//!
+//! * building `G(n, 2·sqrt(log n / n))`,
+//! * one corner-to-corner greedy route (allocation-free fast path),
+//! * one geographic-gossip tick (partner route + reply route + exchange),
+//!   against both the CSR/allocation-free implementation and the preserved
+//!   pre-optimization (`Vec<Vec<usize>>` + per-call path allocation) hot path
+//!   from [`geogossip_bench::legacy`], so the speedup is measured in the same
+//!   tree on the same instances.
+//!
+//! Usage: `cargo run --release -p geogossip-bench --bin bench_baseline
+//! [output.json]` (default output: `BENCH_baseline.json`).
+
+use geogossip_bench::legacy::{csr_geographic_tick, legacy_geographic_tick, LegacyGraph};
+use geogossip_bench::timing::median_ns_per_iter;
+use geogossip_geometry::sampling::sample_unit_square;
+use geogossip_geometry::Point;
+use geogossip_graph::GeometricGraph;
+use geogossip_routing::greedy::route_terminus;
+use geogossip_sim::SeedStream;
+use rand::Rng;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+struct SizeBaseline {
+    n: usize,
+    graph_build_ns: f64,
+    route_corner_ns: f64,
+    tick_csr_ns: f64,
+    tick_legacy_ns: f64,
+}
+
+fn measure(n: usize, seeds: &SeedStream) -> SizeBaseline {
+    let budget = Duration::from_millis(800);
+    let positions = sample_unit_square(n, &mut seeds.trial("bench-placement", n as u64));
+    let graph = GeometricGraph::build_at_connectivity_radius(positions.clone(), 2.0);
+    let legacy = LegacyGraph::from_graph(&graph);
+
+    let graph_build_ns = median_ns_per_iter(
+        || {
+            std::hint::black_box(GeometricGraph::build_at_connectivity_radius(
+                positions.clone(),
+                2.0,
+            ));
+        },
+        budget,
+    );
+
+    let source = graph
+        .nearest_node(Point::new(0.05, 0.05))
+        .expect("non-empty graph");
+    let route_corner_ns = median_ns_per_iter(
+        || {
+            std::hint::black_box(route_terminus(&graph, source, Point::new(0.95, 0.95)));
+        },
+        budget,
+    );
+
+    // Both tick variants consume identical RNG streams and start from a
+    // freshly rebuilt value vector, so the comparison isolates the adjacency
+    // layout + allocation behaviour.
+    let mut values: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+    let mut rng = seeds.trial("bench-ticks", n as u64);
+    let mut activated = 0usize;
+    let tick_csr_ns = median_ns_per_iter(
+        || {
+            activated = (activated + 101) % n;
+            std::hint::black_box(csr_geographic_tick(
+                &graph,
+                &mut values,
+                geogossip_geometry::point::NodeId(activated),
+                &mut rng,
+            ));
+        },
+        budget,
+    );
+    let mut values: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+    let mut rng = seeds.trial("bench-ticks", n as u64);
+    let mut activated = 0usize;
+    let tick_legacy_ns = median_ns_per_iter(
+        || {
+            activated = (activated + 101) % n;
+            std::hint::black_box(legacy_geographic_tick(
+                &legacy,
+                &mut values,
+                geogossip_geometry::point::NodeId(activated),
+                &mut rng,
+            ));
+        },
+        budget,
+    );
+
+    SizeBaseline {
+        n,
+        graph_build_ns,
+        route_corner_ns,
+        tick_csr_ns,
+        tick_legacy_ns,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    let seeds = SeedStream::new(20070612);
+    // Keep the rng type exercised so the binary fails loudly if the vendored
+    // stack regresses (the tick measurement relies on it).
+    let _: u64 = seeds.stream("smoke").gen();
+
+    let baselines: Vec<SizeBaseline> = [1024usize, 4096]
+        .iter()
+        .map(|&n| measure(n, &seeds))
+        .collect();
+
+    let mut json = String::from("{\n  \"benchmark\": \"geogossip hot-path baseline\",\n");
+    let _ = writeln!(
+        json,
+        "  \"samples_per_median\": {},",
+        geogossip_bench::timing::SAMPLES
+    );
+    json.push_str("  \"sizes\": [\n");
+    for (i, b) in baselines.iter().enumerate() {
+        let speedup = b.tick_legacy_ns / b.tick_csr_ns;
+        let _ = write!(
+            json,
+            "    {{\"n\": {}, \"graph_build_median_ns\": {:.0}, \"route_corner_to_corner_median_ns\": {:.0}, \"geo_gossip_tick_median_ns\": {:.0}, \"geo_gossip_tick_pre_csr_median_ns\": {:.0}, \"tick_speedup_vs_pre_csr\": {:.2}}}",
+            b.n, b.graph_build_ns, b.route_corner_ns, b.tick_csr_ns, b.tick_legacy_ns, speedup
+        );
+        json.push_str(if i + 1 < baselines.len() { ",\n" } else { "\n" });
+        println!(
+            "n={:5}  graph build {:>10.0} ns | corner route {:>8.0} ns | tick {:>8.0} ns (pre-CSR {:>8.0} ns, speedup {:.2}x)",
+            b.n, b.graph_build_ns, b.route_corner_ns, b.tick_csr_ns, b.tick_legacy_ns, speedup
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, json).expect("writing the baseline file must succeed");
+    println!("wrote {out_path}");
+}

@@ -39,9 +39,13 @@ pub fn run(scale: Scale, seed: u64) -> ExperimentOutput {
             let mut envelope = 0.0;
             for trial in 0..trials {
                 let mut rng = seeds.trial(&format!("e2-n{n}-eps{eps:e}"), trial as u64);
-                let mut model =
-                    PerturbedAffineCompleteGraph::new(n, 0.45, eps, PerturbationKind::UniformSymmetric)
-                        .expect("valid parameters");
+                let mut model = PerturbedAffineCompleteGraph::new(
+                    n,
+                    0.45,
+                    eps,
+                    PerturbationKind::UniformSymmetric,
+                )
+                .expect("valid parameters");
                 model
                     .set_centered_values((0..n).map(|i| (i % 7) as f64).collect())
                     .expect("length matches");

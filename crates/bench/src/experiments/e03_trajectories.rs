@@ -48,12 +48,16 @@ pub fn run(scale: Scale, seed: u64) -> ExperimentOutput {
     let mut affine =
         RoundBasedAffineGossip::new(&network, values.clone(), RoundBasedConfig::idealized(n))
             .expect("valid instance");
-    let affine_trace = affine.run_until(epsilon, &mut seeds.stream("e3-affine")).trace;
+    let affine_trace = affine
+        .run_until(epsilon, &mut seeds.stream("e3-affine"))
+        .trace;
 
     let mut recursive =
         RoundBasedAffineGossip::new(&network, values, RoundBasedConfig::practical(n))
             .expect("valid instance");
-    let recursive_trace = recursive.run_until(epsilon, &mut seeds.stream("e3-recursive")).trace;
+    let recursive_trace = recursive
+        .run_until(epsilon, &mut seeds.stream("e3-recursive"))
+        .trace;
 
     let mut table = Table::new(vec![
         "error level",

@@ -70,7 +70,11 @@ pub fn run(scale: Scale, seed: u64) -> ExperimentOutput {
         ));
         summary.push(format!(
             "verdict: {}",
-            if (0.3..=0.65).contains(&fit.exponent) { "consistent with O(√(n/log n))" } else { "INCONSISTENT" }
+            if (0.3..=0.65).contains(&fit.exponent) {
+                "consistent with O(√(n/log n))"
+            } else {
+                "INCONSISTENT"
+            }
         ));
     }
 

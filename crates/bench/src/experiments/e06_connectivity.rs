@@ -47,8 +47,12 @@ pub fn run(scale: Scale, seed: u64) -> ExperimentOutput {
     let mut summary = Vec::new();
     for &n in sizes {
         match scan.threshold_constant(n, 0.95) {
-            Some(c) => summary.push(format!("n = {n}: smallest scanned c with ≥95% connectivity: {c}")),
-            None => summary.push(format!("n = {n}: no scanned constant reached 95% connectivity")),
+            Some(c) => summary.push(format!(
+                "n = {n}: smallest scanned c with ≥95% connectivity: {c}"
+            )),
+            None => summary.push(format!(
+                "n = {n}: no scanned constant reached 95% connectivity"
+            )),
         }
     }
     summary.push(
@@ -75,7 +79,10 @@ mod tests {
         let row = &out.table.rows()[0];
         let low: f64 = row[1].parse().unwrap();
         let high: f64 = row[3].parse().unwrap();
-        assert!(high >= low, "connectivity should not decrease with the radius");
+        assert!(
+            high >= low,
+            "connectivity should not decrease with the radius"
+        );
         assert!(high >= 0.8, "c = 2 should be connected almost always");
     }
 }

@@ -46,8 +46,8 @@ pub fn run(scale: Scale, seed: u64) -> ExperimentOutput {
         };
         let mut config = RoundBasedConfig::idealized(n).with_coefficient(rule);
         config.max_top_rounds = 200_000;
-        let mut protocol = RoundBasedAffineGossip::new(&network, values.clone(), config)
-            .expect("valid instance");
+        let mut protocol =
+            RoundBasedAffineGossip::new(&network, values.clone(), config).expect("valid instance");
         let top_population = protocol
             .hierarchy()
             .populated_children(0)
@@ -55,7 +55,8 @@ pub fn run(scale: Scale, seed: u64) -> ExperimentOutput {
             .map(|&c| protocol.hierarchy().members(c).len() as f64)
             .unwrap_or(1.0);
         let effective_alpha = rule.coefficient(top_population).value();
-        let report = protocol.run_until(epsilon, &mut seeds.trial("e8", (fraction * 1000.0) as u64));
+        let report =
+            protocol.run_until(epsilon, &mut seeds.trial("e8", (fraction * 1000.0) as u64));
         if fraction == 0.4 {
             paper_rounds = Some(report.stats.top_rounds);
         }
@@ -91,7 +92,11 @@ pub fn run(scale: Scale, seed: u64) -> ExperimentOutput {
         ));
         summary.push(format!(
             "verdict: the non-convex coefficient is load-bearing ({}).",
-            if ratio > 3.0 { "ablating it collapses the speed-up" } else { "EFFECT NOT VISIBLE at this size" }
+            if ratio > 3.0 {
+                "ablating it collapses the speed-up"
+            } else {
+                "EFFECT NOT VISIBLE at this size"
+            }
         ));
     }
 
@@ -113,6 +118,9 @@ mod tests {
         assert_eq!(out.table.len(), 2);
         let paper_rounds: u64 = out.table.rows()[0][3].parse().unwrap();
         let convex_rounds: u64 = out.table.rows()[1][3].parse().unwrap();
-        assert!(convex_rounds > paper_rounds, "{convex_rounds} vs {paper_rounds}");
+        assert!(
+            convex_rounds > paper_rounds,
+            "{convex_rounds} vs {paper_rounds}"
+        );
     }
 }

@@ -28,7 +28,10 @@ pub fn run(scale: Scale, seed: u64) -> ExperimentOutput {
 
     let selectors = vec![
         ("uniform by index (ideal)", TargetSelector::UniformByIndex),
-        ("nearest to uniform position", TargetSelector::NearestToUniformPosition),
+        (
+            "nearest to uniform position",
+            TargetSelector::NearestToUniformPosition,
+        ),
         (
             "rejection sampled (as in [5])",
             TargetSelector::rejection_sampled(&network, probes, 20, &mut rng),

@@ -38,7 +38,10 @@ pub fn run(scale: Scale, seed: u64) -> ExperimentOutput {
         let practical = SquarePartition::build(&points, PartitionConfig::practical(n));
         let faithful = SquarePartition::build(&points, PartitionConfig::paper_faithful(n));
         let leaf_count = practical.leaves().count();
-        let mean_leaf: f64 = practical.leaves().map(|c| c.members().len() as f64).sum::<f64>()
+        let mean_leaf: f64 = practical
+            .leaves()
+            .map(|c| c.members().len() as f64)
+            .sum::<f64>()
             / leaf_count.max(1) as f64;
         let conflicts = practical.leader_conflicts();
         conflicts_total += conflicts;

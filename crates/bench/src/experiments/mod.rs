@@ -58,9 +58,14 @@ pub struct ExperimentOutput {
 impl ExperimentOutput {
     /// Renders the output for a terminal: title, Markdown table, summary.
     pub fn render(&self) -> String {
-        let mut out = format!("== {}: {} ==\n\n{}", self.id, self.title, self.table.to_markdown());
+        let mut out = format!(
+            "== {}: {} ==\n\n{}",
+            self.id,
+            self.title,
+            self.table.to_markdown()
+        );
         for line in &self.summary {
-            out.push_str("\n");
+            out.push('\n');
             out.push_str(line);
         }
         out.push('\n');

@@ -22,6 +22,8 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod legacy;
+pub mod timing;
 pub mod workload;
 
 pub use experiments::{ExperimentOutput, Scale};

@@ -1,0 +1,55 @@
+//! Minimal wall-clock median timing, shared by the `bench_baseline` binary.
+//!
+//! Criterion (or its offline stand-in) is the right tool for interactive
+//! benchmarking; this module exists so a headline number can be measured and
+//! written to `BENCH_baseline.json` from a plain binary with no harness in
+//! between: warm up, calibrate an iteration count per sample, time a fixed
+//! number of samples, report the median nanoseconds per iteration.
+
+use std::time::{Duration, Instant};
+
+/// Number of timed samples behind every reported median.
+pub const SAMPLES: usize = 15;
+
+/// Measures the median wall-clock nanoseconds per call of `f`.
+///
+/// `budget` is the total measurement budget; each of the [`SAMPLES`] samples
+/// runs enough iterations to fill its share of it (at least one).
+pub fn median_ns_per_iter<F: FnMut()>(mut f: F, budget: Duration) -> f64 {
+    // Warm-up + calibration run.
+    let start = Instant::now();
+    f();
+    let first = start.elapsed().max(Duration::from_nanos(1));
+    let per_sample = (budget / SAMPLES as u32).max(Duration::from_micros(200));
+    let iters =
+        ((per_sample.as_secs_f64() / first.as_secs_f64()).ceil() as u64).clamp(1, 10_000_000);
+
+    let mut samples = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        samples.push(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    samples[samples.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_positive_and_roughly_calibrated() {
+        let ns = median_ns_per_iter(
+            || {
+                std::hint::black_box((0..1000u64).sum::<u64>());
+            },
+            Duration::from_millis(30),
+        );
+        assert!(ns > 0.0);
+        // Summing 1000 integers takes well under a millisecond.
+        assert!(ns < 1e6, "implausible timing {ns} ns");
+    }
+}

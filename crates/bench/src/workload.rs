@@ -9,6 +9,7 @@ use geogossip_core::prelude::*;
 use geogossip_geometry::sampling::sample_unit_square;
 use geogossip_graph::GeometricGraph;
 use geogossip_sim::{AsyncEngine, EngineReport, SeedStream, StopCondition};
+use rayon::prelude::*;
 
 /// Radius constant used by every experiment unless it sweeps the constant
 /// itself (experiment E6). Chosen just above the Gupta–Kumar connectivity
@@ -144,12 +145,14 @@ pub fn run_protocol(
             RunCost::from_engine_report(&AsyncEngine::new(n).run(&mut p, stop, &mut rng))
         }
         ProtocolKind::Geographic => {
-            let mut p = GeographicGossip::new(&network, values).expect("standard workload is valid");
+            let mut p =
+                GeographicGossip::new(&network, values).expect("standard workload is valid");
             RunCost::from_engine_report(&AsyncEngine::new(n).run(&mut p, stop, &mut rng))
         }
         ProtocolKind::AffineIdealized => {
-            let mut p = RoundBasedAffineGossip::new(&network, values, RoundBasedConfig::idealized(n))
-                .expect("standard workload is valid");
+            let mut p =
+                RoundBasedAffineGossip::new(&network, values, RoundBasedConfig::idealized(n))
+                    .expect("standard workload is valid");
             let report = p.run_until(epsilon, &mut rng);
             RunCost {
                 converged: report.converged,
@@ -159,8 +162,9 @@ pub fn run_protocol(
             }
         }
         ProtocolKind::AffineRecursive => {
-            let mut p = RoundBasedAffineGossip::new(&network, values, RoundBasedConfig::practical(n))
-                .expect("standard workload is valid");
+            let mut p =
+                RoundBasedAffineGossip::new(&network, values, RoundBasedConfig::practical(n))
+                    .expect("standard workload is valid");
             let report = p.run_until(epsilon, &mut rng);
             RunCost {
                 converged: report.converged,
@@ -170,6 +174,64 @@ pub fn run_protocol(
             }
         }
     }
+}
+
+/// Runs `trials` independent trials of `protocol` at size `n` **in parallel**
+/// across the machine's cores.
+///
+/// Results are **bit-identical** to running the trials sequentially with
+/// [`run_protocol`]: every trial derives its own RNG streams from
+/// `(seeds, trial index)` via [`SeedStream::trial`], so no randomness is
+/// shared between trials and thread scheduling cannot influence any outcome.
+/// The returned vector is ordered by trial index.
+pub fn run_protocol_trials(
+    protocol: ProtocolKind,
+    n: usize,
+    epsilon: f64,
+    field: Field,
+    seeds: &SeedStream,
+    trials: u64,
+) -> Vec<RunCost> {
+    (0..trials)
+        .into_par_iter()
+        .map(|trial| run_protocol(protocol, n, epsilon, field, seeds, trial))
+        .collect()
+}
+
+/// Runs the full `sizes × trials` grid for one protocol in parallel, returning
+/// one `(n, per-trial costs)` entry per size in input order.
+///
+/// The flattened grid is **trial-major** (`(n₀,t₀), (n₁,t₀), …, (n₀,t₁), …`)
+/// so that workers splitting the grid into contiguous chunks each receive a
+/// mix of sizes — laying it out size-major would park every expensive
+/// largest-`n` trial in the same trailing chunk and serialise them on one
+/// core. Determinism is inherited from [`run_protocol_trials`]'s per-trial
+/// seed derivation (results are reassembled by index, not completion order).
+pub fn run_protocol_sweep(
+    protocol: ProtocolKind,
+    sizes: &[usize],
+    epsilon: f64,
+    field: Field,
+    seeds: &SeedStream,
+    trials: u64,
+) -> Vec<(usize, Vec<RunCost>)> {
+    let grid: Vec<(usize, u64)> = (0..trials)
+        .flat_map(|t| sizes.iter().map(move |&n| (n, t)))
+        .collect();
+    let flat: Vec<RunCost> = grid
+        .into_par_iter()
+        .map(|(n, trial)| run_protocol(protocol, n, epsilon, field, seeds, trial))
+        .collect();
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            let costs = (0..trials as usize)
+                .map(|t| flat[t * sizes.len() + i])
+                .collect();
+            (n, costs)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -191,9 +253,16 @@ mod tests {
     fn all_protocols_converge_on_a_small_instance() {
         let seeds = SeedStream::new(2);
         for protocol in ProtocolKind::all() {
-            for field in [Field::Condition(InitialCondition::Spike), Field::SpatialGradient] {
+            for field in [
+                Field::Condition(InitialCondition::Spike),
+                Field::SpatialGradient,
+            ] {
                 let cost = run_protocol(protocol, 128, 0.1, field, &seeds, 0);
-                assert!(cost.converged, "{} did not converge on {field:?}", protocol.name());
+                assert!(
+                    cost.converged,
+                    "{} did not converge on {field:?}",
+                    protocol.name()
+                );
                 assert!(cost.transmissions > 0);
             }
         }
@@ -204,5 +273,68 @@ mod tests {
         let names: std::collections::HashSet<&str> =
             ProtocolKind::all().iter().map(|p| p.name()).collect();
         assert_eq!(names.len(), 4);
+    }
+
+    /// Byte-identical equality of two cost records, including the float bits
+    /// of the final error.
+    fn bit_identical(a: &RunCost, b: &RunCost) -> bool {
+        a.converged == b.converged
+            && a.transmissions == b.transmissions
+            && a.rounds == b.rounds
+            && a.final_error.to_bits() == b.final_error.to_bits()
+    }
+
+    #[test]
+    fn parallel_trials_are_bit_identical_to_sequential() {
+        let seeds = SeedStream::new(20070612);
+        let trials = 6u64;
+        for protocol in [
+            ProtocolKind::Pairwise,
+            ProtocolKind::Geographic,
+            ProtocolKind::AffineIdealized,
+        ] {
+            let parallel =
+                run_protocol_trials(protocol, 128, 0.1, Field::SpatialGradient, &seeds, trials);
+            let sequential: Vec<RunCost> = (0..trials)
+                .map(|t| run_protocol(protocol, 128, 0.1, Field::SpatialGradient, &seeds, t))
+                .collect();
+            assert_eq!(parallel.len(), sequential.len());
+            for (t, (p, s)) in parallel.iter().zip(&sequential).enumerate() {
+                assert!(
+                    bit_identical(p, s),
+                    "{} trial {t}: parallel {p:?} != sequential {s:?}",
+                    protocol.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_matches_per_size_trials() {
+        let seeds = SeedStream::new(5);
+        let sizes = [64usize, 128];
+        let sweep = run_protocol_sweep(
+            ProtocolKind::Pairwise,
+            &sizes,
+            0.1,
+            Field::Condition(InitialCondition::Spike),
+            &seeds,
+            2,
+        );
+        assert_eq!(sweep.len(), 2);
+        for (i, &n) in sizes.iter().enumerate() {
+            assert_eq!(sweep[i].0, n);
+            let direct = run_protocol_trials(
+                ProtocolKind::Pairwise,
+                n,
+                0.1,
+                Field::Condition(InitialCondition::Spike),
+                &seeds,
+                2,
+            );
+            for (a, b) in sweep[i].1.iter().zip(&direct) {
+                assert!(bit_identical(a, b));
+            }
+        }
     }
 }

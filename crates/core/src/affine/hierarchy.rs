@@ -179,7 +179,10 @@ mod tests {
         let (_, h) = build(600, 1);
         for depth in 0..h.levels() {
             for &idx in h.populated_cells_at_depth(depth) {
-                assert!(h.leader(idx).is_some(), "populated cell {idx} has no leader");
+                assert!(
+                    h.leader(idx).is_some(),
+                    "populated cell {idx} has no leader"
+                );
             }
         }
     }

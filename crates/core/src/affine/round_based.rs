@@ -30,7 +30,7 @@ use crate::update::{affine_exchange, convex_average, AffineCoefficient};
 use geogossip_geometry::point::NodeId;
 use geogossip_geometry::PartitionConfig;
 use geogossip_graph::GeometricGraph;
-use geogossip_routing::greedy::route_to_node;
+use geogossip_routing::greedy::route_terminus_to_node;
 use geogossip_sim::metrics::{ConvergenceTrace, TracePoint, TransmissionCounter};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -123,7 +123,9 @@ impl RoundBasedConfig {
         RoundBasedConfig {
             partition: PartitionConfig::practical(n),
             coefficient: CoefficientRule::paper(),
-            local_averaging: LocalAveraging::Gossip { max_exchanges_factor: 8.0 },
+            local_averaging: LocalAveraging::Gossip {
+                max_exchanges_factor: 8.0,
+            },
             rounds_factor: 1.0,
             epsilon_decay: 0.1,
             max_top_rounds: 100_000,
@@ -244,13 +246,16 @@ impl<'a> RoundBasedAffineGossip<'a> {
                 values: initial_values.len(),
             });
         }
-        if !(config.rounds_factor > 0.0) {
+        if !config.rounds_factor.is_finite() || config.rounds_factor <= 0.0 {
             return Err(ProtocolError::InvalidParameter {
                 name: "rounds_factor",
                 reason: "must be strictly positive".into(),
             });
         }
-        if !(config.epsilon_decay > 0.0 && config.epsilon_decay <= 1.0) {
+        if !config.epsilon_decay.is_finite()
+            || config.epsilon_decay <= 0.0
+            || config.epsilon_decay > 1.0
+        {
             return Err(ProtocolError::InvalidParameter {
                 name: "epsilon_decay",
                 reason: "must lie in (0, 1]".into(),
@@ -380,13 +385,14 @@ impl<'a> RoundBasedAffineGossip<'a> {
         let (Some(la), Some(lb)) = (self.hierarchy.leader(a), self.hierarchy.leader(b)) else {
             return;
         };
-        // Route the caller's packet to the callee and the callee's reply back.
-        let out = route_to_node(self.graph, la, lb);
-        let back = route_to_node(self.graph, lb, la);
-        if !out.delivered {
+        // Route the caller's packet to the callee and the callee's reply back
+        // (allocation-free: only hop counts and delivery flags are needed).
+        let (out, out_delivered) = route_terminus_to_node(self.graph, la, lb);
+        let (back, back_delivered) = route_terminus_to_node(self.graph, lb, la);
+        if !out_delivered {
             self.stats.failed_routes += 1;
         }
-        if !back.delivered {
+        if !back_delivered {
             self.stats.failed_routes += 1;
         }
         tx.charge_routing((out.hops + back.hops) as u64);
@@ -436,7 +442,8 @@ impl<'a> RoundBasedAffineGossip<'a> {
                     // is below the accuracy target, capped at the paper's
                     // O(m·log(m/ε)) round count times a safety factor.
                     let m = children.len();
-                    let child_epsilon = (epsilon_r * self.config.epsilon_decay).max(f64::MIN_POSITIVE);
+                    let child_epsilon =
+                        (epsilon_r * self.config.epsilon_decay).max(f64::MIN_POSITIVE);
                     for &child in &children {
                         self.average_cell(child, child_epsilon, tx, rng);
                     }
@@ -521,9 +528,9 @@ impl<'a> RoundBasedAffineGossip<'a> {
         }
         let member_set: std::collections::HashSet<usize> = members.iter().copied().collect();
         let cap = match self.config.local_averaging {
-            LocalAveraging::Gossip { max_exchanges_factor } => {
-                ((max_exchanges_factor * (m * m) as f64).ceil() as u64).max(16)
-            }
+            LocalAveraging::Gossip {
+                max_exchanges_factor,
+            } => ((max_exchanges_factor * (m * m) as f64).ceil() as u64).max(16),
             LocalAveraging::Exact => unreachable!("leaf_gossip is only called in Gossip mode"),
         };
 
@@ -543,7 +550,7 @@ impl<'a> RoundBasedAffineGossip<'a> {
                     .graph
                     .neighbors(NodeId(u))
                     .iter()
-                    .copied()
+                    .map(|&v| v as usize)
                     .filter(|v| member_set.contains(v))
                     .collect();
                 if in_cell_neighbors.is_empty() {
@@ -583,8 +590,14 @@ mod tests {
     #[test]
     fn construction_validates_inputs() {
         let g = graph(100, 1);
-        assert!(RoundBasedAffineGossip::new(&g, vec![0.0; 100], RoundBasedConfig::practical(100)).is_ok());
-        assert!(RoundBasedAffineGossip::new(&g, vec![0.0; 99], RoundBasedConfig::practical(100)).is_err());
+        assert!(
+            RoundBasedAffineGossip::new(&g, vec![0.0; 100], RoundBasedConfig::practical(100))
+                .is_ok()
+        );
+        assert!(
+            RoundBasedAffineGossip::new(&g, vec![0.0; 99], RoundBasedConfig::practical(100))
+                .is_err()
+        );
         let mut bad = RoundBasedConfig::practical(100);
         bad.rounds_factor = 0.0;
         assert!(RoundBasedAffineGossip::new(&g, vec![0.0; 100], bad).is_err());
@@ -634,7 +647,11 @@ mod tests {
         let mut gossip =
             RoundBasedAffineGossip::new(&g, values, RoundBasedConfig::idealized(g.len())).unwrap();
         let _ = gossip.run_until(0.01, &mut rng);
-        assert!(gossip.state().mass_drift() < 1e-9, "drift {}", gossip.state().mass_drift());
+        assert!(
+            gossip.state().mass_drift() < 1e-9,
+            "drift {}",
+            gossip.state().mass_drift()
+        );
     }
 
     #[test]
@@ -643,7 +660,8 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         let values = InitialCondition::Ramp.generate(g.len(), &mut rng);
         let mut gossip =
-            RoundBasedAffineGossip::new(&g, values, RoundBasedConfig::section3_overview(g.len())).unwrap();
+            RoundBasedAffineGossip::new(&g, values, RoundBasedConfig::section3_overview(g.len()))
+                .unwrap();
         let report = gossip.run_until(0.02, &mut rng);
         assert!(report.converged);
         // Single-level hierarchy: only root rounds, no nested long-range
@@ -696,7 +714,9 @@ mod tests {
             RoundBasedAffineGossip::new(&g, values, RoundBasedConfig::idealized(g.len())).unwrap();
         let report = gossip.run_until(0.05, &mut rng);
         let pts = report.trace.points();
-        assert!(pts.windows(2).all(|w| w[0].transmissions <= w[1].transmissions));
+        assert!(pts
+            .windows(2)
+            .all(|w| w[0].transmissions <= w[1].transmissions));
     }
 
     #[test]

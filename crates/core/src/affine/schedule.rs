@@ -73,7 +73,8 @@ impl PaperSchedule {
         // time(n, r−1) = time(n, r)·n^a·((log(n_r/ε_r))·log(1/δ_r))^{16}
         let deepest = levels - 1;
         let mut latencies = vec![0.0; levels];
-        latencies[deepest] = (((n_f / epsilons[deepest]).ln()) * (1.0 / deltas[deepest]).ln()).powi(16);
+        latencies[deepest] =
+            (((n_f / epsilons[deepest]).ln()) * (1.0 / deltas[deepest]).ln()).powi(16);
         for r in (0..deepest).rev() {
             let factor = n_f.powf(a)
                 * (((n_f / epsilons[r + 1]).ln()) * (1.0 / deltas[r + 1]).ln()).powi(16);

@@ -36,7 +36,7 @@ use geogossip_geometry::point::NodeId;
 use geogossip_geometry::PartitionConfig;
 use geogossip_graph::GeometricGraph;
 use geogossip_routing::flood::flood_cell;
-use geogossip_routing::greedy::route_to_node;
+use geogossip_routing::greedy::route_terminus_to_node;
 use geogossip_sim::clock::Tick;
 use geogossip_sim::engine::Activation;
 use geogossip_sim::metrics::TransmissionCounter;
@@ -136,7 +136,11 @@ impl ScheduleParams {
         let mut far_prob = Vec::with_capacity(levels);
         for depth in 0..levels {
             let lat = schedule.latency_at(depth);
-            latency.push(if lat >= u64::MAX as f64 { u64::MAX } else { lat.ceil() as u64 });
+            latency.push(if lat >= u64::MAX as f64 {
+                u64::MAX
+            } else {
+                lat.ceil() as u64
+            });
             far_prob.push(schedule.far_probability_at(depth).clamp(0.0, 1.0));
         }
         ScheduleParams {
@@ -146,11 +150,17 @@ impl ScheduleParams {
     }
 
     fn latency(&self, depth: usize) -> u64 {
-        self.latency_by_depth.get(depth).copied().unwrap_or(u64::MAX)
+        self.latency_by_depth
+            .get(depth)
+            .copied()
+            .unwrap_or(u64::MAX)
     }
 
     fn far_probability(&self, depth: usize) -> f64 {
-        self.far_probability_by_depth.get(depth).copied().unwrap_or(0.0)
+        self.far_probability_by_depth
+            .get(depth)
+            .copied()
+            .unwrap_or(0.0)
     }
 }
 
@@ -284,7 +294,10 @@ impl<'a> AffineStateMachine<'a> {
     /// # Errors
     ///
     /// Same as [`AffineStateMachine::new`].
-    pub fn practical(graph: &'a GeometricGraph, initial_values: Vec<f64>) -> Result<Self, ProtocolError> {
+    pub fn practical(
+        graph: &'a GeometricGraph,
+        initial_values: Vec<f64>,
+    ) -> Result<Self, ProtocolError> {
         Self::new(
             graph,
             initial_values,
@@ -325,7 +338,7 @@ impl<'a> AffineStateMachine<'a> {
             .graph
             .neighbors(NodeId(s))
             .iter()
-            .copied()
+            .map(|&v| v as usize)
             .filter(|v| members.contains(v))
             .collect();
         if candidates.is_empty() {
@@ -346,16 +359,18 @@ impl<'a> AffineStateMachine<'a> {
             return;
         }
         let target_cell = self.siblings[cell][rng.gen_range(0..self.siblings[cell].len())];
-        let (Some(s), Some(s_prime)) = (self.hierarchy.leader(cell), self.hierarchy.leader(target_cell))
-        else {
+        let (Some(s), Some(s_prime)) = (
+            self.hierarchy.leader(cell),
+            self.hierarchy.leader(target_cell),
+        ) else {
             return;
         };
-        let out = route_to_node(self.graph, s, s_prime);
-        let back = route_to_node(self.graph, s_prime, s);
-        if !out.delivered {
+        let (out, out_delivered) = route_terminus_to_node(self.graph, s, s_prime);
+        let (back, back_delivered) = route_terminus_to_node(self.graph, s_prime, s);
+        if !out_delivered {
             self.stats.failed_routes += 1;
         }
-        if !back.delivered {
+        if !back_delivered {
             self.stats.failed_routes += 1;
         }
         tx.charge_routing((out.hops + back.hops) as u64);
@@ -369,7 +384,10 @@ impl<'a> AffineStateMachine<'a> {
             .len()
             .min(self.hierarchy.members(target_cell).len()) as f64;
         let alpha = self.coefficient.coefficient(population);
-        let (xs, xp) = (self.state.value(s.index()), self.state.value(s_prime.index()));
+        let (xs, xp) = (
+            self.state.value(s.index()),
+            self.state.value(s_prime.index()),
+        );
         let (ns, np) = affine_exchange(xs, xp, alpha);
         self.state.set(s.index(), ns);
         self.state.set(s_prime.index(), np);
@@ -401,8 +419,9 @@ impl<'a> AffineStateMachine<'a> {
             if let Some(leader) = self.hierarchy.leader(cell) {
                 for child in children {
                     if let Some(child_leader) = self.hierarchy.leader(child) {
-                        let route = route_to_node(self.graph, leader, child_leader);
-                        if !route.delivered {
+                        let (route, delivered) =
+                            route_terminus_to_node(self.graph, leader, child_leader);
+                        if !delivered {
                             self.stats.failed_routes += 1;
                         }
                         tx.charge_control(route.hops as u64);
@@ -429,8 +448,9 @@ impl<'a> AffineStateMachine<'a> {
         } else if let Some(leader) = self.hierarchy.leader(cell) {
             for child in children {
                 if let Some(child_leader) = self.hierarchy.leader(child) {
-                    let route = route_to_node(self.graph, leader, child_leader);
-                    if !route.delivered {
+                    let (route, delivered) =
+                        route_terminus_to_node(self.graph, leader, child_leader);
+                    if !delivered {
                         self.stats.failed_routes += 1;
                     }
                     tx.charge_control(route.hops as u64);
@@ -453,7 +473,12 @@ impl<'a> AffineStateMachine<'a> {
     /// can land before the first one has been spread over the square, and the
     /// non-convex coefficient then amplifies the residual — the instability
     /// the paper's rate separation exists to rule out.
-    fn square_tick<R: Rng + ?Sized>(&mut self, cell: usize, tx: &mut TransmissionCounter, rng: &mut R) {
+    fn square_tick<R: Rng + ?Sized>(
+        &mut self,
+        cell: usize,
+        tx: &mut TransmissionCounter,
+        rng: &mut R,
+    ) {
         let depth = self.hierarchy.partition().cell(cell).depth();
         if !self.global_state[cell] {
             return;
@@ -616,6 +641,9 @@ mod tests {
             .iter()
             .filter(|&&c| protocol.square_enabled(c))
             .count();
-        assert!(enabled_children >= 2, "children of the root were never enabled");
+        assert!(
+            enabled_children >= 2,
+            "children of the root were never enabled"
+        );
     }
 }

@@ -127,11 +127,9 @@ mod tests {
 
     #[test]
     fn estimate_aggregates_rates() {
-        let est = ConvergenceEstimate::from_rates(
-            vec![Some(0.9), Some(0.8), None, Some(1.0)],
-            0.95,
-        )
-        .unwrap();
+        let est =
+            ConvergenceEstimate::from_rates(vec![Some(0.9), Some(0.8), None, Some(1.0)], 0.95)
+                .unwrap();
         assert_eq!(est.trials, 3);
         assert!((est.mean_rate - 0.9).abs() < 1e-12);
         assert_eq!(est.min_rate, 0.8);

@@ -51,7 +51,10 @@ impl fmt::Display for ProtocolError {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }
             ProtocolError::DegeneratePartition => {
-                write!(f, "hierarchical partition has fewer than two populated top-level cells")
+                write!(
+                    f,
+                    "hierarchical partition has fewer than two populated top-level cells"
+                )
             }
         }
     }
@@ -68,11 +71,17 @@ mod tests {
         let cases: Vec<(ProtocolError, &str)> = vec![
             (ProtocolError::EmptyNetwork, "network has no sensors"),
             (
-                ProtocolError::ValueLengthMismatch { nodes: 3, values: 5 },
+                ProtocolError::ValueLengthMismatch {
+                    nodes: 3,
+                    values: 5,
+                },
                 "value vector length 5 does not match sensor count 3",
             ),
             (
-                ProtocolError::InvalidParameter { name: "epsilon", reason: "must be positive".into() },
+                ProtocolError::InvalidParameter {
+                    name: "epsilon",
+                    reason: "must be positive".into(),
+                },
                 "invalid parameter `epsilon`: must be positive",
             ),
         ];

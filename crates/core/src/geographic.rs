@@ -12,7 +12,7 @@ use crate::error::ProtocolError;
 use crate::state::GossipState;
 use crate::update::convex_average;
 use geogossip_graph::GeometricGraph;
-use geogossip_routing::greedy::{route_to_node, route_to_position};
+use geogossip_routing::greedy::{route_terminus, route_terminus_to_node};
 use geogossip_routing::target::TargetSelector;
 use geogossip_sim::clock::Tick;
 use geogossip_sim::engine::Activation;
@@ -60,7 +60,11 @@ impl<'a> GeographicGossip<'a> {
     /// [`ProtocolError::ValueLengthMismatch`] when the value vector length
     /// does not match the node count.
     pub fn new(graph: &'a GeometricGraph, initial_values: Vec<f64>) -> Result<Self, ProtocolError> {
-        Self::with_selector(graph, initial_values, TargetSelector::NearestToUniformPosition)
+        Self::with_selector(
+            graph,
+            initial_values,
+            TargetSelector::NearestToUniformPosition,
+        )
     }
 
     /// Creates the protocol with an explicit partner-selection strategy
@@ -119,22 +123,23 @@ impl Activation for GeographicGossip<'_> {
         let s = tick.node;
         // 1. Pick the partner: either directly via the selector (uniform by
         //    index / rejection sampled) or as "whoever greedy routing towards
-        //    a uniform position stops at".
+        //    a uniform position stops at". Both legs use the allocation-free
+        //    walk — only terminus and hop count are needed on this hot path.
         let (partner, outbound_hops) = match &self.selector {
             TargetSelector::NearestToUniformPosition => {
                 let target = geogossip_geometry::sampling::uniform_point_in(
                     geogossip_geometry::unit_square(),
                     rng,
                 );
-                let outcome = route_to_position(self.graph, s, target);
+                let outcome = route_terminus(self.graph, s, target);
                 (outcome.terminus, outcome.hops)
             }
             selector => {
                 let Some(partner) = selector.draw(self.graph, s, rng) else {
                     return;
                 };
-                let outcome = route_to_node(self.graph, s, partner);
-                if !outcome.delivered {
+                let (outcome, delivered) = route_terminus_to_node(self.graph, s, partner);
+                if !delivered {
                     self.failed_routes += 1;
                 }
                 (outcome.terminus, outcome.hops)
@@ -146,12 +151,15 @@ impl Activation for GeographicGossip<'_> {
             return;
         }
         // 2. The partner routes its value back to s.
-        let back = route_to_node(self.graph, partner, s);
-        if !back.delivered {
+        let (back, back_delivered) = route_terminus_to_node(self.graph, partner, s);
+        if !back_delivered {
             self.failed_routes += 1;
         }
         // 3. Both replace their values by the average.
-        let (new_s, new_p) = convex_average(self.state.value(s.index()), self.state.value(partner.index()));
+        let (new_s, new_p) = convex_average(
+            self.state.value(s.index()),
+            self.state.value(partner.index()),
+        );
         self.state.set(s.index(), new_s);
         self.state.set(partner.index(), new_p);
         tx.charge_routing((outbound_hops + back.hops) as u64);
@@ -198,7 +206,11 @@ mod tests {
             StopCondition::at_epsilon(0.05).with_max_ticks(500_000),
             &mut rng,
         );
-        assert!(report.converged(), "stopped with error {}", report.final_error);
+        assert!(
+            report.converged(),
+            "stopped with error {}",
+            report.final_error
+        );
         assert!(report.transmissions.routing() > 0);
         assert_eq!(report.transmissions.local(), 0);
     }
@@ -221,12 +233,14 @@ mod tests {
     fn uses_fewer_ticks_than_pairwise_on_the_same_instance() {
         // Geographic gossip mixes like the complete graph, so it needs many
         // fewer clock ticks (rounds) than nearest-neighbor gossip; that is the
-        // whole point of paying √n hops per round. The gap only opens up once
-        // the radius is genuinely local, so use a size where r ≈ 0.2.
+        // whole point of paying √n hops per round. A spike decays quickly under
+        // purely local averaging at first, so the asymptotic gap only shows
+        // once the target is tight enough that pairwise is limited by the
+        // geometric graph's spectral gap — hence the 1% target here.
         let g = graph(512, 6);
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let values = InitialCondition::Spike.generate(g.len(), &mut rng);
-        let stop = StopCondition::at_epsilon(0.1).with_max_ticks(10_000_000);
+        let stop = StopCondition::at_epsilon(0.01).with_max_ticks(10_000_000);
 
         let mut geo = GeographicGossip::new(&g, values.clone()).unwrap();
         let geo_report =

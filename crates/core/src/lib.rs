@@ -62,7 +62,9 @@ pub use state::{GossipState, InitialCondition};
 
 /// Convenient re-exports of the types most callers need.
 pub mod prelude {
-    pub use crate::affine::round_based::{LocalAveraging, RoundBasedAffineGossip, RoundBasedConfig};
+    pub use crate::affine::round_based::{
+        LocalAveraging, RoundBasedAffineGossip, RoundBasedConfig,
+    };
     pub use crate::affine::state_machine::{AffineStateMachine, ScheduleParams};
     pub use crate::convergence::{contraction_rate, ConvergenceEstimate};
     pub use crate::error::ProtocolError;

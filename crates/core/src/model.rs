@@ -99,7 +99,10 @@ impl AffineCompleteGraph {
     /// # Errors
     ///
     /// Returns [`ProtocolError::EmptyNetwork`] when `n == 0`.
-    pub fn with_random_alphas<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Result<Self, ProtocolError> {
+    pub fn with_random_alphas<R: Rng + ?Sized>(
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Self, ProtocolError> {
         if n == 0 {
             return Err(ProtocolError::EmptyNetwork);
         }
@@ -368,7 +371,8 @@ impl PerturbedAffineCompleteGraph {
     pub fn lemma2_bound(&self, t: u64, a: f64) -> f64 {
         let n = self.len() as f64;
         let decay = (1.0 - 1.0 / (2.0 * n)).powf(t as f64 / 2.0);
-        n.powf(a / 2.0) * (decay * self.initial_norm + 8.0 * (2.0_f64).sqrt() * n.powf(1.5) * self.magnitude)
+        n.powf(a / 2.0)
+            * (decay * self.initial_norm + 8.0 * (2.0_f64).sqrt() * n.powf(1.5) * self.magnitude)
     }
 }
 
@@ -407,7 +411,10 @@ mod tests {
         let mut model = AffineCompleteGraph::with_uniform_alpha(4, 0.4).unwrap();
         assert!(matches!(
             model.set_values(vec![1.0; 3]),
-            Err(ProtocolError::ValueLengthMismatch { nodes: 4, values: 3 })
+            Err(ProtocolError::ValueLengthMismatch {
+                nodes: 4,
+                values: 3
+            })
         ));
     }
 
@@ -500,8 +507,13 @@ mod tests {
 
     #[test]
     fn perturbation_magnitude_must_be_nonnegative() {
-        assert!(PerturbedAffineCompleteGraph::new(8, 0.4, -1.0, PerturbationKind::Constant).is_err());
-        assert!(PerturbedAffineCompleteGraph::new(8, 0.4, f64::NAN, PerturbationKind::Constant).is_err());
+        assert!(
+            PerturbedAffineCompleteGraph::new(8, 0.4, -1.0, PerturbationKind::Constant).is_err()
+        );
+        assert!(
+            PerturbedAffineCompleteGraph::new(8, 0.4, f64::NAN, PerturbationKind::Constant)
+                .is_err()
+        );
     }
 
     #[test]

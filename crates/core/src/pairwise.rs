@@ -102,7 +102,7 @@ impl Activation for PairwiseGossip<'_> {
             self.isolated_activations += 1;
             return;
         }
-        let v = neighbors[rng.gen_range(0..neighbors.len())];
+        let v = neighbors[rng.gen_range(0..neighbors.len())] as usize;
         let (new_s, new_v) = convex_average(self.state.value(s), self.state.value(v));
         self.state.set(s, new_s);
         self.state.set(v, new_v);
@@ -158,7 +158,11 @@ mod tests {
             StopCondition::at_epsilon(0.05).with_max_ticks(2_000_000),
             &mut rng,
         );
-        assert!(report.converged(), "stopped with error {}", report.final_error);
+        assert!(
+            report.converged(),
+            "stopped with error {}",
+            report.final_error
+        );
         // Every exchange costs exactly 2 local transmissions.
         assert_eq!(report.transmissions.total(), 2 * gossip.exchanges());
         assert_eq!(report.transmissions.routing(), 0);

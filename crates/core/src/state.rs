@@ -100,6 +100,21 @@ impl std::fmt::Display for InitialCondition {
 /// usual centering (the paper assumes `∑x_i = 0` w.l.o.g.; centering performs
 /// that reduction explicitly).
 ///
+/// # Incremental error tracking
+///
+/// The centered squared norm `Σ (x_i − x̄)²` is maintained **incrementally**:
+/// every [`GossipState::set`] folds `new² − old²` (in centered coordinates)
+/// into a cached accumulator, so [`GossipState::deviation`] and
+/// [`GossipState::relative_error`] are `O(1)` and the simulation engine can
+/// check convergence on every tick instead of every `n` ticks. Floating-point
+/// drift is bounded by exact recomputation: alongside the accumulator the
+/// state tracks a running bound on the rounding error absorbed so far, and
+/// recomputes the norm from scratch whenever the cached value is no longer
+/// guaranteed accurate to ~`1e-10` relative (and unconditionally every
+/// `REFRESH_EVERY` updates). Because each exact recomputation resets the drift
+/// bound, recomputations are logarithmically rare along a converging
+/// trajectory and the amortised cost per update stays `O(1)`.
+///
 /// # Example
 ///
 /// ```
@@ -111,12 +126,33 @@ impl std::fmt::Display for InitialCondition {
 /// for i in 0..4 { s.set(i, 0.25); }
 /// assert!(s.relative_error() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GossipState {
     values: Vec<f64>,
     mean: f64,
     initial_deviation: f64,
+    /// Cached `Σ (x_i − x̄)²`, updated incrementally by [`GossipState::set`].
+    sum_sq: std::cell::Cell<f64>,
+    /// Running upper bound on the rounding error accumulated in `sum_sq`
+    /// since the last exact recomputation.
+    drift_bound: std::cell::Cell<f64>,
+    /// Set when the cache must be rebuilt before the next read (bulk mutation
+    /// through [`GossipState::values_mut`], or the periodic refresh tripping).
+    stale: std::cell::Cell<bool>,
+    /// Incremental updates applied since the last exact recomputation.
+    updates_since_refresh: std::cell::Cell<u32>,
 }
+
+/// Exact recomputation is forced after this many incremental updates even if
+/// the drift bound still looks safe (belt-and-braces against pathological
+/// cancellation the bound model misses).
+const REFRESH_EVERY: u32 = 1 << 20;
+
+/// The cached squared norm is recomputed once it is within this factor of the
+/// accumulated drift bound, i.e. whenever its guaranteed relative accuracy
+/// degrades past ~1e-10. Each recomputation resets the bound, so refreshes
+/// are rare (the norm must shrink ten orders of magnitude to trigger again).
+const DRIFT_GUARD: f64 = 1e10;
 
 impl GossipState {
     /// Wraps an initial value vector.
@@ -125,12 +161,20 @@ impl GossipState {
     /// error is defined as 0 so already-converged states report convergence.
     pub fn new(values: Vec<f64>) -> Self {
         let n = values.len();
-        let mean = if n == 0 { 0.0 } else { values.iter().sum::<f64>() / n as f64 };
-        let initial_deviation = deviation_norm(&values, mean);
+        let mean = if n == 0 {
+            0.0
+        } else {
+            values.iter().sum::<f64>() / n as f64
+        };
+        let sum_sq = centered_sum_sq(&values, mean);
         GossipState {
+            initial_deviation: sum_sq.sqrt(),
             values,
             mean,
-            initial_deviation,
+            sum_sq: std::cell::Cell::new(sum_sq),
+            drift_bound: std::cell::Cell::new(f64::EPSILON * sum_sq),
+            stale: std::cell::Cell::new(false),
+            updates_since_refresh: std::cell::Cell::new(0),
         }
     }
 
@@ -158,18 +202,41 @@ impl GossipState {
         self.values[i]
     }
 
-    /// Overwrites the value held by sensor `i`.
+    /// Overwrites the value held by sensor `i`, folding the change into the
+    /// incrementally maintained centered squared norm in `O(1)`.
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
     pub fn set(&mut self, i: usize, value: f64) {
+        let old = self.values[i];
         self.values[i] = value;
+        if self.stale.get() {
+            return;
+        }
+        let old_c = old - self.mean;
+        let new_c = value - self.mean;
+        let old_sq = old_c * old_c;
+        let new_sq = new_c * new_c;
+        let sum = self.sum_sq.get() + (new_sq - old_sq);
+        self.sum_sq.set(sum);
+        // Each of the two squarings, the subtraction, and the accumulation
+        // contributes at most one ulp of its operand's magnitude.
+        self.drift_bound
+            .set(self.drift_bound.get() + f64::EPSILON * (new_sq + old_sq + sum.abs()));
+        let updates = self.updates_since_refresh.get() + 1;
+        self.updates_since_refresh.set(updates);
+        if updates >= REFRESH_EVERY {
+            self.stale.set(true);
+        }
     }
 
     /// Mutable access to the underlying vector, for protocols that update many
-    /// entries at once. The caller is responsible for conserving the sum.
+    /// entries at once. The caller is responsible for conserving the sum; the
+    /// cached deviation norm is marked stale and rebuilt exactly on the next
+    /// read.
     pub fn values_mut(&mut self) -> &mut [f64] {
+        self.stale.set(true);
         &mut self.values
     }
 
@@ -186,8 +253,27 @@ impl GossipState {
     }
 
     /// `‖x(t) − x̄·1‖₂` for the current values.
+    ///
+    /// `O(1)`: reads the incrementally maintained squared norm, recomputing it
+    /// exactly first when the cache is stale or its drift bound says the
+    /// cached value may have lost more than ~10 digits (see the type-level
+    /// docs).
     pub fn deviation(&self) -> f64 {
-        deviation_norm(&self.values, self.mean)
+        let sum = self.sum_sq.get();
+        if self.stale.get() || sum < self.drift_bound.get() * DRIFT_GUARD {
+            self.refresh_deviation();
+        }
+        self.sum_sq.get().max(0.0).sqrt()
+    }
+
+    /// Recomputes the cached centered squared norm from scratch and resets the
+    /// drift bookkeeping.
+    fn refresh_deviation(&self) {
+        let sum = centered_sum_sq(&self.values, self.mean);
+        self.sum_sq.set(sum);
+        self.drift_bound.set(f64::EPSILON * sum);
+        self.stale.set(false);
+        self.updates_since_refresh.set(0);
     }
 
     /// The relative ℓ₂ error `‖x(t) − x̄·1‖ / ‖x(0) − x̄·1‖`.
@@ -225,8 +311,18 @@ impl GossipState {
     }
 }
 
-/// `‖x − m·1‖₂`.
-fn deviation_norm(values: &[f64], m: f64) -> f64 {
+/// Semantic equality: two states are equal when their observable content
+/// (values, mean, initial deviation) matches; cache bookkeeping is excluded.
+impl PartialEq for GossipState {
+    fn eq(&self, other: &Self) -> bool {
+        self.values == other.values
+            && self.mean == other.mean
+            && self.initial_deviation == other.initial_deviation
+    }
+}
+
+/// `Σ (x_i − m)²` — the exact centered squared norm.
+fn centered_sum_sq(values: &[f64], m: f64) -> f64 {
     values
         .iter()
         .map(|v| {
@@ -234,7 +330,6 @@ fn deviation_norm(values: &[f64], m: f64) -> f64 {
             d * d
         })
         .sum::<f64>()
-        .sqrt()
 }
 
 #[cfg(test)]
@@ -318,6 +413,96 @@ mod tests {
     fn max_deviation_tracks_worst_sensor() {
         let s = GossipState::new(vec![0.0, 0.0, 4.0, 0.0]);
         assert!((s.max_deviation() - 3.0).abs() < 1e-12);
+    }
+
+    /// The exact centered norm of the current values, bypassing the cache.
+    fn exact_relative_error(s: &GossipState) -> f64 {
+        let dev = centered_sum_sq(s.values(), s.mean()).sqrt();
+        if s.initial_deviation() == 0.0 {
+            0.0
+        } else {
+            dev / s.initial_deviation()
+        }
+    }
+
+    #[test]
+    fn incremental_error_matches_recomputation_over_1e5_exchanges() {
+        // 10^5 random pairwise exchanges (mostly contracting convex averages,
+        // with occasional non-convex affine kicks that inflate the norm): the
+        // incrementally maintained relative error must track a from-scratch
+        // recomputation to within 1e-9 at every checkpoint.
+        use crate::update::{affine_exchange, convex_average, AffineCoefficient};
+        let n = 256;
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let mut s = GossipState::new(InitialCondition::Uniform.generate(n, &mut rng));
+        for step in 0..100_000u32 {
+            let i = rng.gen_range(0..n);
+            let j = loop {
+                let c = rng.gen_range(0..n);
+                if c != i {
+                    break c;
+                }
+            };
+            let (a, b) = if step % 997 == 0 {
+                // Occasional Ω(√n)-scale affine kick, as leader exchanges do.
+                affine_exchange(s.value(i), s.value(j), AffineCoefficient::new(6.4))
+            } else {
+                convex_average(s.value(i), s.value(j))
+            };
+            s.set(i, a);
+            s.set(j, b);
+            if step % 10_000 == 0 {
+                let incremental = s.relative_error();
+                let exact = exact_relative_error(&s);
+                assert!(
+                    (incremental - exact).abs() <= 1e-9 * exact.max(1.0),
+                    "step {step}: incremental {incremental} vs exact {exact}"
+                );
+            }
+        }
+        let incremental = s.relative_error();
+        let exact = exact_relative_error(&s);
+        assert!(
+            (incremental - exact).abs() <= 1e-9 * exact.max(1.0),
+            "final: incremental {incremental} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn incremental_error_survives_deep_convergence() {
+        // Pure convex averaging drives the norm down through many orders of
+        // magnitude; the drift guard must keep the O(1) estimate honest the
+        // whole way (this is where naive incremental tracking loses to
+        // catastrophic cancellation).
+        let n = 64;
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut s = GossipState::new(InitialCondition::Bimodal.generate(n, &mut rng));
+        for _ in 0..200_000u32 {
+            let i = rng.gen_range(0..n);
+            let j = (i + 1 + rng.gen_range(0..n - 1)) % n;
+            let (a, b) = crate::update::convex_average(s.value(i), s.value(j));
+            s.set(i, a);
+            s.set(j, b);
+        }
+        let incremental = s.relative_error();
+        let exact = exact_relative_error(&s);
+        assert!(
+            exact < 1e-6,
+            "test should reach deep convergence, got {exact}"
+        );
+        assert!(
+            (incremental - exact).abs() <= 1e-9 * exact.max(1e-30) + 1e-15,
+            "incremental {incremental} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn values_mut_invalidates_the_cached_norm() {
+        let mut s = GossipState::new(vec![1.0, 0.0]);
+        assert!((s.relative_error() - 1.0).abs() < 1e-12);
+        s.values_mut().copy_from_slice(&[0.5, 0.5]);
+        assert!(s.relative_error() < 1e-12);
+        assert!(s.deviation() < 1e-12);
     }
 
     #[test]

@@ -139,7 +139,10 @@ pub fn cell_sum_exchange(
     count_j: f64,
     alpha: AffineCoefficient,
 ) -> (f64, f64) {
-    assert!(count_i > 0.0 && count_j > 0.0, "cell populations must be positive");
+    assert!(
+        count_i > 0.0 && count_j > 0.0,
+        "cell populations must be positive"
+    );
     let a = alpha.value();
     let delta = a * (zj / count_j - zi / count_i);
     (zi + delta, zj - delta)
@@ -167,7 +170,10 @@ mod tests {
     fn affine_exchange_conserves_sum_for_extreme_coefficients() {
         for &alpha in &[-3.0, 0.0, 0.5, 1.0, 7.5, 40.0, 1234.5] {
             let (a, b) = affine_exchange(0.37, -2.13, AffineCoefficient::new(alpha));
-            assert!(((a + b) - (0.37 - 2.13)).abs() < 1e-12, "sum broken for alpha={alpha}");
+            assert!(
+                ((a + b) - (0.37 - 2.13)).abs() < 1e-12,
+                "sum broken for alpha={alpha}"
+            );
         }
     }
 
@@ -190,7 +196,8 @@ mod tests {
 
     #[test]
     fn cell_sum_exchange_conserves_total_mass() {
-        let (zi, zj) = cell_sum_exchange(10.0, 32.0, -4.0, 30.0, AffineCoefficient::paper_far(31.0));
+        let (zi, zj) =
+            cell_sum_exchange(10.0, 32.0, -4.0, 30.0, AffineCoefficient::paper_far(31.0));
         assert!(((zi + zj) - 6.0).abs() < 1e-12);
     }
 
@@ -200,7 +207,8 @@ mod tests {
         // paper's coefficient moves them most of the way towards each other
         // (effective mixing weight 2·(2/5) = 4/5 of the difference).
         let count = 50.0;
-        let (zi, zj) = cell_sum_exchange(1.0, count, -1.0, count, AffineCoefficient::paper_far(count));
+        let (zi, zj) =
+            cell_sum_exchange(1.0, count, -1.0, count, AffineCoefficient::paper_far(count));
         assert!(zi.abs() < 1.0 && zj.abs() < 1.0);
         assert!((zi + zj).abs() < 1e-12);
     }

@@ -118,7 +118,11 @@ impl UniformGrid {
         query: Point,
         radius: f64,
     ) -> impl Iterator<Item = usize> + 'a {
-        debug_assert_eq!(points.len(), self.len, "grid built over a different point set");
+        debug_assert_eq!(
+            points.len(),
+            self.len,
+            "grid built over a different point set"
+        );
         let r2 = radius * radius;
         self.candidate_cells(query, radius)
             .flat_map(move |cell| self.cells[cell].iter().copied())
@@ -134,7 +138,11 @@ impl UniformGrid {
     /// search expands ring by ring outward from the query's cell, so the cost
     /// is proportional to the local point density rather than `n`.
     pub fn nearest(&self, points: &[Point], query: Point) -> Option<usize> {
-        debug_assert_eq!(points.len(), self.len, "grid built over a different point set");
+        debug_assert_eq!(
+            points.len(),
+            self.len,
+            "grid built over a different point set"
+        );
         if self.len == 0 {
             return None;
         }
@@ -156,7 +164,7 @@ impl UniformGrid {
             for (col, row) in ring_cells(qcol, qrow, ring, self.cols, self.rows) {
                 for &i in &self.cells[row * self.cols + col] {
                     let d2 = points[i].distance_squared(query);
-                    if best.map_or(true, |(_, bd)| d2 < bd) {
+                    if best.is_none_or(|(_, bd)| d2 < bd) {
                         best = Some((i, d2));
                     }
                 }
@@ -205,7 +213,8 @@ fn ring_cells(
 ) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     let (qcol, qrow, ring) = (qcol as isize, qrow as isize, ring as isize);
-    let in_bounds = |c: isize, r: isize| c >= 0 && r >= 0 && (c as usize) < cols && (r as usize) < rows;
+    let in_bounds =
+        |c: isize, r: isize| c >= 0 && r >= 0 && (c as usize) < cols && (r as usize) < rows;
     if ring == 0 {
         if in_bounds(qcol, qrow) {
             out.push((qcol as usize, qrow as usize));
@@ -276,7 +285,11 @@ mod tests {
             let want = pts
                 .iter()
                 .enumerate()
-                .min_by(|a, b| a.1.distance_squared(q).partial_cmp(&b.1.distance_squared(q)).unwrap())
+                .min_by(|a, b| {
+                    a.1.distance_squared(q)
+                        .partial_cmp(&b.1.distance_squared(q))
+                        .unwrap()
+                })
                 .map(|(i, _)| i)
                 .unwrap();
             assert!(
@@ -298,7 +311,10 @@ mod tests {
         let pts = vec![Point::new(0.25, 0.75)];
         let grid = UniformGrid::build(unit_square(), &pts, 0.1);
         assert_eq!(grid.nearest(&pts, Point::new(0.9, 0.1)), Some(0));
-        assert_eq!(grid.nearest_node(&pts, Point::new(0.9, 0.1)), Some(NodeId(0)));
+        assert_eq!(
+            grid.nearest_node(&pts, Point::new(0.9, 0.1)),
+            Some(NodeId(0))
+        );
     }
 
     #[test]

@@ -542,7 +542,9 @@ impl SquarePartition {
             self.cells[idx].depth
         );
         while self.cells[idx].depth > depth {
-            idx = self.cells[idx].parent.expect("non-root cell must have a parent");
+            idx = self.cells[idx]
+                .parent
+                .expect("non-root cell must have a parent");
         }
         idx
     }
@@ -650,7 +652,11 @@ mod tests {
     #[test]
     fn practical_config_recurses_at_moderate_n() {
         let (_, part) = build(4096, 8);
-        assert!(part.levels() >= 3, "expected at least 3 levels, got {}", part.levels());
+        assert!(
+            part.levels() >= 3,
+            "expected at least 3 levels, got {}",
+            part.levels()
+        );
     }
 
     #[test]

@@ -38,7 +38,10 @@ impl Rect {
     /// Panics if `min.x > max.x` or `min.y > max.y`, or if any coordinate is
     /// not finite.
     pub fn new(min: Point, max: Point) -> Self {
-        assert!(min.is_finite() && max.is_finite(), "rect corners must be finite");
+        assert!(
+            min.is_finite() && max.is_finite(),
+            "rect corners must be finite"
+        );
         assert!(
             min.x <= max.x && min.y <= max.y,
             "rect min corner must not exceed max corner"
@@ -96,7 +99,10 @@ impl Rect {
     ///
     /// Panics if `cols` or `rows` is zero.
     pub fn split_grid(&self, cols: usize, rows: usize) -> Vec<Rect> {
-        assert!(cols > 0 && rows > 0, "grid split requires at least one column and one row");
+        assert!(
+            cols > 0 && rows > 0,
+            "grid split requires at least one column and one row"
+        );
         let mut out = Vec::with_capacity(cols * rows);
         let w = self.width() / cols as f64;
         let h = self.height() / rows as f64;
@@ -104,8 +110,16 @@ impl Rect {
             for col in 0..cols {
                 let min = Point::new(self.min.x + col as f64 * w, self.min.y + row as f64 * h);
                 // Use the parent's max on the outer edge to avoid floating drift.
-                let max_x = if col + 1 == cols { self.max.x } else { self.min.x + (col + 1) as f64 * w };
-                let max_y = if row + 1 == rows { self.max.y } else { self.min.y + (row + 1) as f64 * h };
+                let max_x = if col + 1 == cols {
+                    self.max.x
+                } else {
+                    self.min.x + (col + 1) as f64 * w
+                };
+                let max_y = if row + 1 == rows {
+                    self.max.y
+                } else {
+                    self.min.y + (row + 1) as f64 * h
+                };
                 out.push(Rect::new(min, Point::new(max_x, max_y)));
             }
         }
@@ -120,7 +134,10 @@ impl Rect {
     /// the partition code and guarantees every sensor is assigned to exactly
     /// one sub-square.
     pub fn grid_index_of(&self, p: Point, cols: usize, rows: usize) -> usize {
-        assert!(cols > 0 && rows > 0, "grid index requires at least one column and one row");
+        assert!(
+            cols > 0 && rows > 0,
+            "grid index requires at least one column and one row"
+        );
         let fx = ((p.x - self.min.x) / self.width()).clamp(0.0, 1.0 - f64::EPSILON);
         let fy = ((p.y - self.min.y) / self.height()).clamp(0.0, 1.0 - f64::EPSILON);
         let col = ((fx * cols as f64) as usize).min(cols - 1);

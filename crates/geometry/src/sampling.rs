@@ -31,9 +31,7 @@ pub fn sample_unit_square<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<Point> 
 
 /// Samples `n` points independently and uniformly at random from `rect`.
 pub fn sample_rect<R: Rng + ?Sized>(rect: Rect, n: usize, rng: &mut R) -> Vec<Point> {
-    (0..n)
-        .map(|_| uniform_point_in(rect, rng))
-        .collect()
+    (0..n).map(|_| uniform_point_in(rect, rng)).collect()
 }
 
 /// Samples a single point uniformly at random from `rect`.
@@ -52,7 +50,10 @@ pub fn uniform_point_in<R: Rng + ?Sized>(rect: Rect, rng: &mut R) -> Point {
 ///
 /// Panics if `rate` is not strictly positive and finite.
 pub fn exponential<R: Rng + ?Sized>(rate: f64, rng: &mut R) -> f64 {
-    assert!(rate.is_finite() && rate > 0.0, "exponential rate must be positive and finite");
+    assert!(
+        rate.is_finite() && rate > 0.0,
+        "exponential rate must be positive and finite"
+    );
     // Inverse-CDF sampling; `1 - U` avoids ln(0).
     let u: f64 = rng.gen::<f64>();
     -(1.0 - u).ln() / rate
@@ -112,7 +113,11 @@ mod tests {
         let rate = 4.0;
         let n = 20_000;
         let mean: f64 = (0..n).map(|_| exponential(rate, &mut rng)).sum::<f64>() / n as f64;
-        assert!((mean - 1.0 / rate).abs() < 0.01, "mean {mean} far from {}", 1.0 / rate);
+        assert!(
+            (mean - 1.0 / rate).abs() < 0.01,
+            "mean {mean} far from {}",
+            1.0 / rate
+        );
     }
 
     #[test]

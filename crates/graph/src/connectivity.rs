@@ -4,7 +4,12 @@
 //! happens w.h.p. at the Gupta–Kumar radius (Section 1.1/2.1). The experiment
 //! harness uses these routines both to condition runs on connectivity and to
 //! reproduce the connectivity-threshold curve (experiment E6).
+//!
+//! All traversal routines operate on the flat [`CsrAdjacency`] layout used by
+//! [`crate::GeometricGraph`]; build one from explicit neighbor lists with
+//! [`CsrAdjacency::from_lists`] when testing.
 
+use crate::csr::CsrAdjacency;
 use serde::{Deserialize, Serialize};
 
 /// Whether the adjacency structure describes a connected graph.
@@ -15,58 +20,20 @@ use serde::{Deserialize, Serialize};
 ///
 /// ```
 /// use geogossip_graph::connectivity::is_connected;
-/// let path = vec![vec![1], vec![0, 2], vec![1]];
+/// use geogossip_graph::csr::CsrAdjacency;
+/// let path = CsrAdjacency::from_lists(&[vec![1], vec![0, 2], vec![1]]);
 /// assert!(is_connected(&path));
-/// let split = vec![vec![1], vec![0], vec![]];
+/// let split = CsrAdjacency::from_lists(&[vec![1], vec![0], vec![]]);
 /// assert!(!is_connected(&split));
 /// ```
-pub fn is_connected(adjacency: &[Vec<usize>]) -> bool {
-    let n = adjacency.len();
-    if n <= 1 {
-        return true;
-    }
-    let mut visited = vec![false; n];
-    let mut stack = vec![0usize];
-    visited[0] = true;
-    let mut count = 1usize;
-    while let Some(u) = stack.pop() {
-        for &v in &adjacency[u] {
-            if !visited[v] {
-                visited[v] = true;
-                count += 1;
-                stack.push(v);
-            }
-        }
-    }
-    count == n
+pub fn is_connected(adjacency: &CsrAdjacency) -> bool {
+    adjacency.is_connected()
 }
 
 /// Connected components of the adjacency structure, each sorted by node index.
 /// Components are returned in order of their smallest member.
-pub fn components(adjacency: &[Vec<usize>]) -> Vec<Vec<usize>> {
-    let n = adjacency.len();
-    let mut visited = vec![false; n];
-    let mut out = Vec::new();
-    for start in 0..n {
-        if visited[start] {
-            continue;
-        }
-        let mut comp = Vec::new();
-        let mut stack = vec![start];
-        visited[start] = true;
-        while let Some(u) = stack.pop() {
-            comp.push(u);
-            for &v in &adjacency[u] {
-                if !visited[v] {
-                    visited[v] = true;
-                    stack.push(v);
-                }
-            }
-        }
-        comp.sort_unstable();
-        out.push(comp);
-    }
-    out
+pub fn components(adjacency: &CsrAdjacency) -> Vec<Vec<usize>> {
+    adjacency.components()
 }
 
 /// Summary of a connectivity check over one graph instance.
@@ -83,14 +50,14 @@ pub struct ConnectivityReport {
 }
 
 impl ConnectivityReport {
-    /// Builds the report from an adjacency structure.
-    pub fn from_adjacency(adjacency: &[Vec<usize>]) -> Self {
-        let comps = components(adjacency);
+    /// Builds the report from a CSR adjacency structure.
+    pub fn from_csr(adjacency: &CsrAdjacency) -> Self {
+        let comps = adjacency.components();
         ConnectivityReport {
             nodes: adjacency.len(),
             component_count: comps.len(),
             largest_component: comps.iter().map(Vec::len).max().unwrap_or(0),
-            isolated_nodes: adjacency.iter().filter(|a| a.is_empty()).count(),
+            isolated_nodes: adjacency.degrees().filter(|&d| d == 0).count(),
         }
     }
 
@@ -172,7 +139,11 @@ impl UnionFind {
         if ra == rb {
             return false;
         }
-        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent[small] = big;
         self.size[big] += self.size[small];
         self.components -= 1;
@@ -200,25 +171,27 @@ impl UnionFind {
 mod tests {
     use super::*;
 
-    fn path_graph(n: usize) -> Vec<Vec<usize>> {
-        (0..n)
-            .map(|i| {
-                let mut v = Vec::new();
-                if i > 0 {
-                    v.push(i - 1);
-                }
-                if i + 1 < n {
-                    v.push(i + 1);
-                }
-                v
-            })
-            .collect()
+    fn path_graph(n: usize) -> CsrAdjacency {
+        CsrAdjacency::from_lists(
+            &(0..n)
+                .map(|i| {
+                    let mut v = Vec::new();
+                    if i > 0 {
+                        v.push(i - 1);
+                    }
+                    if i + 1 < n {
+                        v.push(i + 1);
+                    }
+                    v
+                })
+                .collect::<Vec<_>>(),
+        )
     }
 
     #[test]
     fn empty_and_singleton_are_connected() {
-        assert!(is_connected(&[]));
-        assert!(is_connected(&[vec![]]));
+        assert!(is_connected(&CsrAdjacency::from_lists(&[])));
+        assert!(is_connected(&CsrAdjacency::from_lists(&[vec![]])));
     }
 
     #[test]
@@ -228,7 +201,7 @@ mod tests {
 
     #[test]
     fn two_cliques_are_not_connected() {
-        let adj = vec![vec![1], vec![0], vec![3], vec![2]];
+        let adj = CsrAdjacency::from_lists(&[vec![1], vec![0], vec![3], vec![2]]);
         assert!(!is_connected(&adj));
         let comps = components(&adj);
         assert_eq!(comps, vec![vec![0, 1], vec![2, 3]]);
@@ -236,7 +209,7 @@ mod tests {
 
     #[test]
     fn components_cover_all_nodes_exactly_once() {
-        let adj = vec![vec![1], vec![0], vec![], vec![4], vec![3], vec![]];
+        let adj = CsrAdjacency::from_lists(&[vec![1], vec![0], vec![], vec![4], vec![3], vec![]]);
         let comps = components(&adj);
         let mut all: Vec<usize> = comps.concat();
         all.sort_unstable();
@@ -245,8 +218,8 @@ mod tests {
 
     #[test]
     fn connectivity_report_counts_isolated_nodes() {
-        let adj = vec![vec![1], vec![0], vec![], vec![]];
-        let report = ConnectivityReport::from_adjacency(&adj);
+        let adj = CsrAdjacency::from_lists(&[vec![1], vec![0], vec![], vec![]]);
+        let report = ConnectivityReport::from_csr(&adj);
         assert_eq!(report.component_count, 3);
         assert_eq!(report.largest_component, 2);
         assert_eq!(report.isolated_nodes, 2);
@@ -270,9 +243,9 @@ mod tests {
     fn union_find_matches_bfs_components() {
         let adj = path_graph(20);
         let mut uf = UnionFind::new(20);
-        for (u, nbrs) in adj.iter().enumerate() {
-            for &v in nbrs {
-                uf.union(u, v);
+        for u in 0..20 {
+            for &v in adj.neighbors(u) {
+                uf.union(u, v as usize);
             }
         }
         assert_eq!(uf.component_count(), components(&adj).len());

@@ -100,7 +100,16 @@ mod tests {
     #[test]
     fn empty_summary_is_all_zero() {
         let s = DegreeSummary::from_degrees(std::iter::empty());
-        assert_eq!(s, DegreeSummary { nodes: 0, min: 0, max: 0, mean: 0.0, isolated: 0 });
+        assert_eq!(
+            s,
+            DegreeSummary {
+                nodes: 0,
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                isolated: 0
+            }
+        );
     }
 
     #[test]

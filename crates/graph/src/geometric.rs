@@ -1,6 +1,7 @@
 //! Construction of the geometric random graph `G(n, r)`.
 
-use crate::connectivity::{components, is_connected};
+use crate::connectivity::ConnectivityReport;
+use crate::csr::{CsrAdjacency, CsrBuilder};
 use crate::degree::DegreeSummary;
 use geogossip_geometry::point::NodeId;
 use geogossip_geometry::{unit_square, Point, UniformGrid};
@@ -12,6 +13,13 @@ use serde::{Deserialize, Serialize};
 /// ([`NodeId`]); edges connect every pair of nodes within Euclidean
 /// distance `radius`. The adjacency structure is immutable after
 /// construction — the paper's network never changes during a run.
+///
+/// Adjacency is stored in a flat CSR layout ([`CsrAdjacency`]): one `u32`
+/// offset array plus one concatenated `u32` neighbor array, with the neighbor
+/// *coordinates* mirrored into two CSR-aligned `f64` arrays. The greedy
+/// routing inner loop ("which neighbor is closest to the target?") therefore
+/// streams contiguous memory instead of pointer-chasing per-node `Vec`s and
+/// gathering positions by index — see [`GeometricGraph::neighbor_block`].
 ///
 /// Besides adjacency the graph keeps the spatial grid it was built with, so
 /// downstream code (greedy geographic routing, leader lookup) can answer
@@ -37,7 +45,11 @@ use serde::{Deserialize, Serialize};
 pub struct GeometricGraph {
     positions: Vec<Point>,
     radius: f64,
-    adjacency: Vec<Vec<usize>>,
+    adjacency: CsrAdjacency,
+    /// `x` coordinate of each neighbor, aligned with the CSR neighbor array.
+    nbr_x: Vec<f64>,
+    /// `y` coordinate of each neighbor, aligned with the CSR neighbor array.
+    nbr_y: Vec<f64>,
     grid: UniformGrid,
     edge_count: usize,
 }
@@ -58,23 +70,42 @@ impl GeometricGraph {
         );
         let grid = UniformGrid::build(unit_square(), &positions, radius.max(1e-9));
         let n = positions.len();
-        let mut adjacency = vec![Vec::new(); n];
+        // Expected degree at the connectivity radius is Θ(log n); reserve for
+        // it so the flat neighbor array grows without repeated reallocation.
+        let expected_entries = if n > 1 {
+            n * ((n as f64).ln().ceil() as usize + 4)
+        } else {
+            0
+        };
+        let mut builder = CsrBuilder::with_capacity(n, expected_entries);
         let mut edge_count = 0usize;
         for i in 0..n {
+            builder.start_row();
             for j in grid.neighbors_within(&positions, positions[i], radius) {
                 if j != i {
-                    adjacency[i].push(j);
+                    builder.push_neighbor(j);
                     if j > i {
                         edge_count += 1;
                     }
                 }
             }
-            adjacency[i].sort_unstable();
+        }
+        let adjacency = builder.finish();
+        // Mirror neighbor coordinates into CSR-aligned arrays (after the
+        // builder sorted each row) so hot loops read them contiguously.
+        let mut nbr_x = Vec::with_capacity(adjacency.entry_count());
+        let mut nbr_y = Vec::with_capacity(adjacency.entry_count());
+        for &j in adjacency.raw_neighbors() {
+            let p = positions[j as usize];
+            nbr_x.push(p.x);
+            nbr_y.push(p.y);
         }
         GeometricGraph {
             positions,
             radius,
             adjacency,
+            nbr_x,
+            nbr_y,
             grid,
             edge_count,
         }
@@ -121,8 +152,14 @@ impl GeometricGraph {
     /// # Panics
     ///
     /// Panics if `node` is out of range.
+    #[inline]
     pub fn position(&self, node: NodeId) -> Point {
         self.positions[node.index()]
+    }
+
+    /// The CSR adjacency structure.
+    pub fn adjacency(&self) -> &CsrAdjacency {
+        &self.adjacency
     }
 
     /// Neighbors of `node` (all nodes within the connectivity radius), sorted
@@ -131,18 +168,38 @@ impl GeometricGraph {
     /// # Panics
     ///
     /// Panics if `node` is out of range.
-    pub fn neighbors(&self, node: NodeId) -> &[usize] {
-        &self.adjacency[node.index()]
+    #[inline]
+    pub fn neighbors(&self, node: NodeId) -> &[u32] {
+        self.adjacency.neighbors(node.index())
+    }
+
+    /// `node`'s neighbors together with their coordinates, as three parallel
+    /// slices `(indices, xs, ys)` — the input to the allocation-free greedy
+    /// routing scan, which streams these contiguous arrays instead of
+    /// gathering `positions[j]` per neighbor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[inline]
+    pub fn neighbor_block(&self, node: NodeId) -> (&[u32], &[f64], &[f64]) {
+        let range = self.adjacency.neighbor_range(node.index());
+        (
+            &self.adjacency.raw_neighbors()[range.clone()],
+            &self.nbr_x[range.clone()],
+            &self.nbr_y[range],
+        )
     }
 
     /// Degree of `node`.
+    #[inline]
     pub fn degree(&self, node: NodeId) -> usize {
-        self.adjacency[node.index()].len()
+        self.adjacency.degree(node.index())
     }
 
     /// Whether `a` and `b` are adjacent (within the connectivity radius).
     pub fn are_adjacent(&self, a: NodeId, b: NodeId) -> bool {
-        self.adjacency[a.index()].binary_search(&b.index()).is_ok()
+        self.adjacency.contains_edge(a.index(), b.index())
     }
 
     /// The spatial grid built over the node positions (cell side = radius).
@@ -163,17 +220,23 @@ impl GeometricGraph {
     ///
     /// The empty graph and the single-node graph count as connected.
     pub fn is_connected(&self) -> bool {
-        is_connected(&self.adjacency)
+        self.adjacency.is_connected()
     }
 
     /// Connected components as lists of node indices.
     pub fn components(&self) -> Vec<Vec<usize>> {
-        components(&self.adjacency)
+        self.adjacency.components()
+    }
+
+    /// Connectivity summary (component count, largest component, isolated
+    /// nodes).
+    pub fn connectivity_report(&self) -> ConnectivityReport {
+        ConnectivityReport::from_csr(&self.adjacency)
     }
 
     /// Degree summary statistics (min / mean / max / isolated count).
     pub fn degree_summary(&self) -> DegreeSummary {
-        DegreeSummary::from_degrees(self.adjacency.iter().map(Vec::len))
+        DegreeSummary::from_degrees(self.adjacency.degrees())
     }
 
     /// Breadth-first hop distances from `source` to every node
@@ -186,36 +249,26 @@ impl GeometricGraph {
     ///
     /// Panics if `source` is out of range.
     pub fn bfs_distances(&self, source: NodeId) -> Vec<usize> {
-        let n = self.len();
-        let mut dist = vec![usize::MAX; n];
-        let mut queue = std::collections::VecDeque::new();
-        dist[source.index()] = 0;
-        queue.push_back(source.index());
-        while let Some(u) = queue.pop_front() {
-            for &v in &self.adjacency[u] {
-                if dist[v] == usize::MAX {
-                    dist[v] = dist[u] + 1;
-                    queue.push_back(v);
-                }
-            }
-        }
-        dist
+        self.adjacency.bfs_distances(source.index())
     }
 
     /// Iterator over all undirected edges `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.adjacency
-            .iter()
-            .enumerate()
-            .flat_map(|(u, nbrs)| nbrs.iter().filter(move |&&v| v > u).map(move |&v| (u, v)))
+        (0..self.len()).flat_map(move |u| {
+            self.adjacency
+                .neighbors(u)
+                .iter()
+                .filter(move |&&v| v as usize > u)
+                .map(move |&v| (u, v as usize))
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use geogossip_geometry::sampling::sample_unit_square;
     use geogossip_geometry::connectivity_radius;
+    use geogossip_geometry::sampling::sample_unit_square;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
@@ -230,10 +283,26 @@ mod tests {
         let pts = g.positions().to_vec();
         let r = g.radius();
         for i in 0..pts.len() {
-            let brute: Vec<usize> = (0..pts.len())
+            let brute: Vec<u32> = (0..pts.len())
                 .filter(|&j| j != i && pts[i].distance(pts[j]) <= r)
+                .map(|j| j as u32)
                 .collect();
             assert_eq!(g.neighbors(NodeId(i)), brute.as_slice());
+        }
+    }
+
+    #[test]
+    fn neighbor_block_coordinates_match_positions() {
+        let g = random_graph(250, 1.5, 9);
+        for i in 0..g.len() {
+            let (nbrs, xs, ys) = g.neighbor_block(NodeId(i));
+            assert_eq!(nbrs.len(), xs.len());
+            assert_eq!(nbrs.len(), ys.len());
+            for (k, &j) in nbrs.iter().enumerate() {
+                let p = g.position(NodeId(j as usize));
+                assert_eq!(xs[k], p.x);
+                assert_eq!(ys[k], p.y);
+            }
         }
     }
 
@@ -250,6 +319,7 @@ mod tests {
     fn edge_count_matches_edges_iterator() {
         let g = random_graph(250, 1.3, 3);
         assert_eq!(g.edge_count(), g.edges().count());
+        assert_eq!(g.adjacency().entry_count(), 2 * g.edge_count());
     }
 
     #[test]
@@ -258,6 +328,7 @@ mod tests {
         let g = random_graph(800, 2.0, 4);
         assert!(g.is_connected());
         assert_eq!(g.components().len(), 1);
+        assert!(g.connectivity_report().is_connected());
     }
 
     #[test]
@@ -286,7 +357,10 @@ mod tests {
         assert_eq!(dist[0], 0);
         for (u, v) in g.edges() {
             if dist[u] != usize::MAX && dist[v] != usize::MAX {
-                assert!(dist[u].abs_diff(dist[v]) <= 1, "edge ({u},{v}) spans bfs levels");
+                assert!(
+                    dist[u].abs_diff(dist[v]) <= 1,
+                    "edge ({u},{v}) spans bfs levels"
+                );
             }
         }
     }

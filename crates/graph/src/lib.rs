@@ -8,6 +8,10 @@
 //! * [`GeometricGraph`] — construction of `G(n, r)` from positions (using the
 //!   spatial grid from [`geogossip_geometry`] so construction is `O(n)` in the
 //!   connectivity regime), adjacency queries, and degree statistics.
+//! * [`csr`] — the flat compressed-sparse-row adjacency layout behind
+//!   [`GeometricGraph`]: a `u32` offset array plus a concatenated `u32`
+//!   neighbor array, cache-dense where the seed's `Vec<Vec<usize>>` pointer-
+//!   chased.
 //! * [`connectivity`] — BFS components, connectivity testing, and a union–find
 //!   structure used both by the graph code and by tests.
 //! * [`degree`] — degree distributions and summaries.
@@ -33,11 +37,13 @@
 #![warn(missing_docs)]
 
 pub mod connectivity;
+pub mod csr;
 pub mod degree;
 pub mod geometric;
 pub mod radius;
 
 pub use connectivity::{ConnectivityReport, UnionFind};
+pub use csr::CsrAdjacency;
 pub use degree::DegreeSummary;
 pub use geometric::GeometricGraph;
 pub use radius::{connectivity_probability, ConnectivityScan};

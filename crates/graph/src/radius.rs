@@ -86,7 +86,12 @@ impl ConnectivityScan {
         for &n in sizes {
             for &c in constants {
                 let probability = connectivity_probability(n, c, trials, rng);
-                rows.push(ConnectivityScanRow { n, c, probability, trials });
+                rows.push(ConnectivityScanRow {
+                    n,
+                    c,
+                    probability,
+                    trials,
+                });
             }
         }
         ConnectivityScan { rows }
@@ -134,9 +139,24 @@ mod tests {
     fn threshold_constant_picks_smallest_passing_c() {
         let scan = ConnectivityScan {
             rows: vec![
-                ConnectivityScanRow { n: 100, c: 0.5, probability: 0.2, trials: 10 },
-                ConnectivityScanRow { n: 100, c: 1.0, probability: 0.95, trials: 10 },
-                ConnectivityScanRow { n: 100, c: 1.5, probability: 1.0, trials: 10 },
+                ConnectivityScanRow {
+                    n: 100,
+                    c: 0.5,
+                    probability: 0.2,
+                    trials: 10,
+                },
+                ConnectivityScanRow {
+                    n: 100,
+                    c: 1.0,
+                    probability: 0.95,
+                    trials: 10,
+                },
+                ConnectivityScanRow {
+                    n: 100,
+                    c: 1.5,
+                    probability: 1.0,
+                    trials: 10,
+                },
             ],
         };
         assert_eq!(scan.threshold_constant(100, 0.9), Some(1.0));

@@ -58,6 +58,7 @@ pub fn flood_cell(graph: &GeometricGraph, members: &[usize], source: NodeId) -> 
     queue.push_back(source.index());
     while let Some(u) = queue.pop_front() {
         for &v in graph.neighbors(NodeId(u)) {
+            let v = v as usize;
             if member_set.contains(&v) && reached_set.insert(v) {
                 reached.push(NodeId(v));
                 queue.push_back(v);
@@ -98,7 +99,10 @@ mod tests {
     fn flood_reaches_whole_connected_cell() {
         let (g, part) = setup(1200, 1);
         // Use a top-level cell: large enough to be internally connected w.h.p.
-        let (_, cell) = part.cells_at_depth(1).find(|(_, c)| !c.members().is_empty()).unwrap();
+        let (_, cell) = part
+            .cells_at_depth(1)
+            .find(|(_, c)| !c.members().is_empty())
+            .unwrap();
         let leader = cell.leader().unwrap();
         let out = flood_cell(&g, cell.members(), leader);
         assert!(out.complete(), "{} members unreached", out.unreached.len());
@@ -108,7 +112,10 @@ mod tests {
     #[test]
     fn flood_never_leaves_the_member_set() {
         let (g, part) = setup(800, 2);
-        let (_, cell) = part.cells_at_depth(1).find(|(_, c)| c.members().len() > 3).unwrap();
+        let (_, cell) = part
+            .cells_at_depth(1)
+            .find(|(_, c)| c.members().len() > 3)
+            .unwrap();
         let leader = cell.leader().unwrap();
         let out = flood_cell(&g, cell.members(), leader);
         for node in &out.reached {

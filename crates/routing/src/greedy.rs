@@ -6,6 +6,17 @@
 //! random graph at the connectivity radius this succeeds w.h.p. and uses
 //! `O(sqrt(n / log n))` hops (Dimakis et al., cited as [5]; the paper uses the
 //! coarser `O(√n)` bound). Experiment E5 measures the constant.
+//!
+//! # Fast path vs. path-recording API
+//!
+//! The gossip protocols route twice per clock tick and only need the terminus
+//! and the hop count, so the hot entry points ([`route_terminus`],
+//! [`route_terminus_to_node`], [`round_trip`]) are **allocation-free**: the
+//! greedy walk scans each hop's CSR neighbor block (indices plus coordinates
+//! in parallel slices) and carries only scalars. The path-recording API
+//! ([`route_to_position`], [`route_to_node`], and the scratch-buffer variant
+//! [`route_to_position_into`]) wraps the same walk for experiments that
+//! inspect the actual path.
 
 use geogossip_geometry::point::NodeId;
 use geogossip_geometry::Point;
@@ -38,6 +49,138 @@ impl RouteOutcome {
     }
 }
 
+/// Result of the allocation-free greedy walk: terminus and hop count only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FastRoute {
+    /// The node the packet started at.
+    pub source: NodeId,
+    /// The node the packet stopped at.
+    pub terminus: NodeId,
+    /// Number of hops taken (= transmissions used).
+    pub hops: usize,
+}
+
+impl FastRoute {
+    /// Number of one-hop transmissions consumed by this routing.
+    pub fn transmissions(&self) -> usize {
+        self.hops
+    }
+}
+
+/// The greedy walk itself, shared by every routing entry point.
+///
+/// Invokes `on_hop` with each node the packet moves to (excluding the source)
+/// and returns `(terminus, hops)`. Inlined so the no-op callback of the fast
+/// path compiles away entirely.
+#[inline(always)]
+fn greedy_walk(
+    graph: &GeometricGraph,
+    source: NodeId,
+    target: Point,
+    mut on_hop: impl FnMut(NodeId),
+) -> (NodeId, usize) {
+    let mut current = source.index();
+    let mut current_dist = graph.position(source).distance_squared(target);
+    let mut hops = 0usize;
+    loop {
+        // Scan the CSR neighbor block: indices and coordinates live in
+        // parallel contiguous slices, so both passes below stream memory
+        // linearly instead of gathering positions node by node.
+        //
+        // Pass 1 is a pure min-reduction over the squared distances — no
+        // index tracking, no data-dependent branch — which the compiler
+        // vectorizes. Pass 2 recovers the winning index by recomputing until
+        // the (bit-identical) minimum reappears; since the minimum is unique
+        // w.p. 1 and ties resolve to the first occurrence, this selects
+        // exactly the neighbor the classic branchy scan selected.
+        let (nbrs, xs, ys) = graph.neighbor_block(NodeId(current));
+        let mut min_dist = f64::INFINITY;
+        for k in 0..nbrs.len() {
+            let dx = xs[k] - target.x;
+            let dy = ys[k] - target.y;
+            let d = dx * dx + dy * dy;
+            min_dist = min_dist.min(d);
+        }
+        // A neighbor must be strictly closer than the current node to make
+        // progress; otherwise the packet stops here (an empty neighbor block
+        // leaves the minimum at infinity and stops too).
+        if min_dist >= current_dist {
+            return (NodeId(current), hops);
+        }
+        let mut best = 0usize;
+        for k in 0..nbrs.len() {
+            let dx = xs[k] - target.x;
+            let dy = ys[k] - target.y;
+            if dx * dx + dy * dy == min_dist {
+                best = k;
+                break;
+            }
+        }
+        current = nbrs[best] as usize;
+        current_dist = min_dist;
+        hops += 1;
+        on_hop(NodeId(current));
+    }
+}
+
+/// Allocation-free variant of [`route_to_position`]: routes a packet from
+/// `source` towards the *position* `target` and returns only the stopping node
+/// and hop count.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range for the graph.
+pub fn route_terminus(graph: &GeometricGraph, source: NodeId, target: Point) -> FastRoute {
+    let (terminus, hops) = greedy_walk(graph, source, target, |_| {});
+    FastRoute {
+        source,
+        terminus,
+        hops,
+    }
+}
+
+/// Allocation-free variant of [`route_to_node`]: greedy-routes from `source`
+/// towards `destination`'s position, returning the walk plus whether it
+/// actually reached `destination`.
+///
+/// # Panics
+///
+/// Panics if `source` or `destination` is out of range for the graph.
+pub fn route_terminus_to_node(
+    graph: &GeometricGraph,
+    source: NodeId,
+    destination: NodeId,
+) -> (FastRoute, bool) {
+    let route = route_terminus(graph, source, graph.position(destination));
+    let delivered = route.terminus == destination;
+    (route, delivered)
+}
+
+/// Routes a packet from `source` towards the *position* `target`, recording
+/// the full path into the caller-supplied scratch buffer (cleared first).
+///
+/// This keeps the path-returning behaviour available without a fresh heap
+/// allocation per call; experiments that route in a loop can reuse one buffer.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range for the graph.
+pub fn route_to_position_into(
+    graph: &GeometricGraph,
+    source: NodeId,
+    target: Point,
+    path: &mut Vec<NodeId>,
+) -> FastRoute {
+    path.clear();
+    path.push(source);
+    let (terminus, hops) = greedy_walk(graph, source, target, |node| path.push(node));
+    FastRoute {
+        source,
+        terminus,
+        hops,
+    }
+}
+
 /// Routes a packet from `source` towards the *position* `target` and stops at
 /// the node closest to it that greedy forwarding can reach.
 ///
@@ -47,37 +190,20 @@ impl RouteOutcome {
 /// `delivered` is `true` whenever the walk made at least the source's best
 /// effort (it is only `false` if the source itself has no position, which
 /// cannot happen here), so callers interested in "did we reach the globally
-/// nearest node" should use [`route_to_node`] instead.
+/// nearest node" should use [`route_to_node`] instead. Hot paths that do not
+/// need the path should use [`route_terminus`].
 ///
 /// # Panics
 ///
 /// Panics if `source` is out of range for the graph.
 pub fn route_to_position(graph: &GeometricGraph, source: NodeId, target: Point) -> RouteOutcome {
-    let mut current = source.index();
-    let mut path = vec![NodeId(current)];
-    let mut current_dist = graph.position(NodeId(current)).distance_squared(target);
-    loop {
-        let mut best: Option<(usize, f64)> = None;
-        for &nbr in graph.neighbors(NodeId(current)) {
-            let d = graph.position(NodeId(nbr)).distance_squared(target);
-            if d < current_dist && best.map_or(true, |(_, bd)| d < bd) {
-                best = Some((nbr, d));
-            }
-        }
-        match best {
-            Some((next, d)) => {
-                current = next;
-                current_dist = d;
-                path.push(NodeId(current));
-            }
-            None => break,
-        }
-    }
+    let mut path = Vec::new();
+    let route = route_to_position_into(graph, source, target, &mut path);
     RouteOutcome {
         source,
-        terminus: NodeId(current),
+        terminus: route.terminus,
         delivered: true,
-        hops: path.len() - 1,
+        hops: route.hops,
         path,
     }
 }
@@ -104,10 +230,14 @@ pub fn route_to_node(graph: &GeometricGraph, source: NodeId, destination: NodeId
 ///
 /// The paper's `Far(s)` subroutine is exactly this pattern: `s` routes its
 /// value to `s'`, then `s'` routes its own value back to `s` (Section 4.2).
+/// Built on the allocation-free walk — no path is materialised.
 pub fn round_trip(graph: &GeometricGraph, a: NodeId, b: NodeId) -> (usize, bool) {
-    let out = route_to_node(graph, a, b);
-    let back = route_to_node(graph, b, a);
-    (out.transmissions() + back.transmissions(), out.delivered && back.delivered)
+    let (out, out_ok) = route_terminus_to_node(graph, a, b);
+    let (back, back_ok) = route_terminus_to_node(graph, b, a);
+    (
+        out.transmissions() + back.transmissions(),
+        out_ok && back_ok,
+    )
 }
 
 #[cfg(test)]
@@ -135,7 +265,7 @@ mod tests {
     fn routes_to_adjacent_node_in_one_hop() {
         let g = graph(300, 2.0, 2);
         let src = NodeId(0);
-        let nbr = NodeId(g.neighbors(src)[0]);
+        let nbr = NodeId(g.neighbors(src)[0] as usize);
         let out = route_to_node(&g, src, nbr);
         assert!(out.delivered);
         assert_eq!(out.hops, 1);
@@ -154,7 +284,10 @@ mod tests {
                 delivered += 1;
             }
         }
-        assert!(delivered >= total * 9 / 10, "only {delivered}/{total} delivered");
+        assert!(
+            delivered >= total * 9 / 10,
+            "only {delivered}/{total} delivered"
+        );
     }
 
     #[test]
@@ -200,6 +333,33 @@ mod tests {
         let out = route_to_node(&g, NodeId(0), NodeId(3));
         assert!(!out.delivered);
         assert_eq!(out.terminus, NodeId(1));
+        let (fast, delivered) = route_terminus_to_node(&g, NodeId(0), NodeId(3));
+        assert!(!delivered);
+        assert_eq!(fast.terminus, NodeId(1));
+    }
+
+    #[test]
+    fn fast_route_matches_path_route_across_many_instances() {
+        // The allocation-free walk and the path-recording walk must agree on
+        // terminus and hop count for every source/target pair tried, across
+        // several random graphs.
+        for seed in 0..8u64 {
+            let g = graph(300, 1.5, seed);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xdead);
+            let mut scratch = Vec::new();
+            for _ in 0..40 {
+                let pts = sample_unit_square(2, &mut rng);
+                let src = g.nearest_node(pts[0]).unwrap();
+                let target = pts[1];
+                let full = route_to_position(&g, src, target);
+                let fast = route_terminus(&g, src, target);
+                assert_eq!(fast.terminus, full.terminus);
+                assert_eq!(fast.hops, full.hops);
+                let buffered = route_to_position_into(&g, src, target, &mut scratch);
+                assert_eq!(buffered.terminus, full.terminus);
+                assert_eq!(scratch, full.path);
+            }
+        }
     }
 
     #[test]
@@ -220,13 +380,15 @@ mod tests {
         let c = 1.5;
         let g = graph(n, c, 7);
         let expected = (n as f64 / (n as f64).ln()).sqrt() / c;
-        let out = route_to_position(&g, g.nearest_node(Point::new(0.02, 0.02)).unwrap(), Point::new(0.98, 0.98));
+        let out = route_to_position(
+            &g,
+            g.nearest_node(Point::new(0.02, 0.02)).unwrap(),
+            Point::new(0.98, 0.98),
+        );
         let hops = out.hops as f64;
         assert!(
             hops > 0.4 * expected && hops < 4.0 * expected,
             "hops {hops} not within a small factor of {expected}"
         );
     }
-
-    use geogossip_geometry::Point;
 }

@@ -40,5 +40,8 @@ pub mod greedy;
 pub mod target;
 
 pub use flood::{flood_cell, FloodOutcome};
-pub use greedy::{route_to_node, route_to_position, RouteOutcome};
+pub use greedy::{
+    round_trip, route_terminus, route_terminus_to_node, route_to_node, route_to_position,
+    route_to_position_into, FastRoute, RouteOutcome,
+};
 pub use target::{TargetSelector, TargetStats};

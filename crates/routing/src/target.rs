@@ -52,7 +52,10 @@ impl TargetSelector {
         max_attempts: usize,
         rng: &mut R,
     ) -> Self {
-        assert!(!graph.is_empty(), "cannot build a target selector for an empty graph");
+        assert!(
+            !graph.is_empty(),
+            "cannot build a target selector for an empty graph"
+        );
         assert!(samples > 0, "need at least one probe sample");
         let mut hits = vec![0usize; graph.len()];
         for _ in 0..samples {
@@ -72,7 +75,13 @@ impl TargetSelector {
             .max(1) as f64;
         let acceptance = hits
             .iter()
-            .map(|&h| if h == 0 { 1.0 } else { (min_positive / h as f64).min(1.0) })
+            .map(|&h| {
+                if h == 0 {
+                    1.0
+                } else {
+                    (min_positive / h as f64).min(1.0)
+                }
+            })
             .collect();
         TargetSelector::RejectionSampled {
             acceptance,
@@ -108,7 +117,10 @@ impl TargetSelector {
                     return Some(node);
                 }
             },
-            TargetSelector::RejectionSampled { acceptance, max_attempts } => {
+            TargetSelector::RejectionSampled {
+                acceptance,
+                max_attempts,
+            } => {
                 let mut last = None;
                 for _ in 0..*max_attempts {
                     let p = uniform_point_in(unit_square(), rng);
@@ -123,9 +135,7 @@ impl TargetSelector {
                 }
                 // Fall back to the last candidate (or any non-caller node) so
                 // the protocol always makes progress.
-                last.or_else(|| {
-                    (0..graph.len()).map(NodeId).find(|&v| v != caller)
-                })
+                last.or_else(|| (0..graph.len()).map(NodeId).find(|&v| v != caller))
             }
         }
     }
@@ -234,14 +244,22 @@ mod tests {
         use geogossip_geometry::Point;
         let g = GeometricGraph::build(vec![Point::new(0.5, 0.5)], 0.1);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        assert!(TargetSelector::UniformByIndex.draw(&g, NodeId(0), &mut rng).is_none());
+        assert!(TargetSelector::UniformByIndex
+            .draw(&g, NodeId(0), &mut rng)
+            .is_none());
     }
 
     #[test]
     fn uniform_by_index_is_nearly_uniform() {
         let g = graph(50, 4);
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let stats = TargetStats::collect(&g, &TargetSelector::UniformByIndex, NodeId(0), 20_000, &mut rng);
+        let stats = TargetStats::collect(
+            &g,
+            &TargetSelector::UniformByIndex,
+            NodeId(0),
+            20_000,
+            &mut rng,
+        );
         assert!(stats.max_over_uniform(NodeId(0)) < 1.3);
         assert!(stats.normalized_chi_square(NodeId(0)) < 2.0);
     }
@@ -275,7 +293,13 @@ mod tests {
     fn stats_totals_match_draw_count() {
         let g = graph(60, 8);
         let mut rng = ChaCha8Rng::seed_from_u64(9);
-        let stats = TargetStats::collect(&g, &TargetSelector::UniformByIndex, NodeId(1), 500, &mut rng);
+        let stats = TargetStats::collect(
+            &g,
+            &TargetSelector::UniformByIndex,
+            NodeId(1),
+            500,
+            &mut rng,
+        );
         assert_eq!(stats.total, 500);
         assert_eq!(stats.counts.iter().sum::<usize>(), 500);
         assert_eq!(stats.counts[1], 0);

@@ -1,0 +1,81 @@
+//! Property tests for the allocation-free routing fast path: on arbitrary
+//! random instances and targets, `route_terminus` / `route_terminus_to_node` /
+//! the scratch-buffer variant must agree exactly with the path-returning API.
+
+use geogossip_geometry::point::NodeId;
+use geogossip_geometry::sampling::{sample_unit_square, uniform_point_in};
+use geogossip_geometry::unit_square;
+use geogossip_graph::GeometricGraph;
+use geogossip_routing::greedy::{
+    round_trip, route_terminus, route_terminus_to_node, route_to_node, route_to_position,
+    route_to_position_into,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The fast position-routing variant returns the same terminus and hop
+    /// count as the path-returning one, for arbitrary graphs and targets.
+    #[test]
+    fn fast_position_route_matches_path_route(
+        n in 2usize..300,
+        seed in 0u64..1000,
+        c in 0.8f64..2.5,
+    ) {
+        let pts = sample_unit_square(n, &mut ChaCha8Rng::seed_from_u64(seed));
+        let g = GeometricGraph::build_at_connectivity_radius(pts, c);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5eed);
+        let mut scratch = Vec::new();
+        for _ in 0..10 {
+            let src = NodeId((seed as usize + n) % n);
+            let target = uniform_point_in(unit_square(), &mut rng);
+            let full = route_to_position(&g, src, target);
+            let fast = route_terminus(&g, src, target);
+            prop_assert_eq!(fast.terminus, full.terminus);
+            prop_assert_eq!(fast.hops, full.hops);
+            prop_assert_eq!(fast.transmissions(), full.transmissions());
+            let buffered = route_to_position_into(&g, src, target, &mut scratch);
+            prop_assert_eq!(buffered.terminus, full.terminus);
+            prop_assert_eq!(buffered.hops, full.hops);
+            prop_assert_eq!(&scratch, &full.path);
+        }
+    }
+
+    /// The fast node-routing variant agrees with the path-returning one on
+    /// terminus, hops, and the delivered flag.
+    #[test]
+    fn fast_node_route_matches_path_route(
+        n in 2usize..300,
+        seed in 0u64..1000,
+        dst_pick in 0usize..10_000,
+    ) {
+        let pts = sample_unit_square(n, &mut ChaCha8Rng::seed_from_u64(seed));
+        // A slightly sub-critical radius keeps dead ends in the mix so the
+        // `delivered` flag is exercised in both outcomes.
+        let g = GeometricGraph::build_at_connectivity_radius(pts, 1.0);
+        let src = NodeId(seed as usize % n);
+        let dst = NodeId(dst_pick % n);
+        let full = route_to_node(&g, src, dst);
+        let (fast, delivered) = route_terminus_to_node(&g, src, dst);
+        prop_assert_eq!(fast.terminus, full.terminus);
+        prop_assert_eq!(fast.hops, full.hops);
+        prop_assert_eq!(delivered, full.delivered);
+    }
+
+    /// Round trips cost exactly the sum of the two one-way fast routes.
+    #[test]
+    fn round_trip_is_sum_of_both_legs(n in 2usize..200, seed in 0u64..500) {
+        let pts = sample_unit_square(n, &mut ChaCha8Rng::seed_from_u64(seed));
+        let g = GeometricGraph::build_at_connectivity_radius(pts, 1.5);
+        let a = NodeId(0);
+        let b = NodeId(n - 1);
+        let (tx, ok) = round_trip(&g, a, b);
+        let out = route_to_node(&g, a, b);
+        let back = route_to_node(&g, b, a);
+        prop_assert_eq!(tx, out.hops + back.hops);
+        prop_assert_eq!(ok, out.delivered && back.delivered);
+    }
+}

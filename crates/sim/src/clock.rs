@@ -57,7 +57,11 @@ impl GlobalPoissonClock {
     /// Panics if `n` is zero — a network with no sensors has no clock.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "a Poisson clock needs at least one sensor");
-        GlobalPoissonClock { n, now: 0.0, ticks: 0 }
+        GlobalPoissonClock {
+            n,
+            now: 0.0,
+            ticks: 0,
+        }
     }
 
     /// Number of sensors whose clocks are multiplexed onto this global clock.

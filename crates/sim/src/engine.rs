@@ -24,6 +24,11 @@ pub trait Activation {
     fn on_tick<R: Rng + ?Sized>(&mut self, tick: Tick, tx: &mut TransmissionCounter, rng: &mut R);
 
     /// Current relative ℓ₂ error `‖x − x̄·1‖ / ‖x(0) − x̄·1‖`.
+    ///
+    /// The engine calls this after **every** tick to decide whether to stop,
+    /// so implementations must make it cheap — `O(1)` amortised. Protocols
+    /// backed by `GossipState` get this for free from its incremental
+    /// centered-norm tracking.
     fn relative_error(&self) -> f64;
 }
 
@@ -145,14 +150,14 @@ impl AsyncEngine {
             relative_error: protocol.relative_error(),
         });
 
-        // The convergence predicate costs O(n) (it computes the ℓ₂ deviation),
-        // so it is evaluated at the sampling interval rather than on every
-        // tick; a run may therefore overshoot the target by at most
-        // `sample_every − 1` ticks, which is negligible against the budgets
-        // involved.
-        let mut last_error = protocol.relative_error();
+        // The convergence predicate is evaluated after every tick:
+        // `relative_error` is O(1) for GossipState-backed protocols (the
+        // centered norm is maintained incrementally), so runs stop exactly at
+        // the crossing tick instead of overshooting by up to a full sampling
+        // interval as the pre-incremental implementation did. The trace is
+        // still sampled at the configured interval to keep reports compact.
         let reason = loop {
-            if last_error <= stop.epsilon {
+            if protocol.relative_error() <= stop.epsilon {
                 break StopReason::Converged;
             }
             if stop.max_ticks.is_some_and(|m| self.clock.ticks() >= m) {
@@ -163,12 +168,11 @@ impl AsyncEngine {
             }
             let tick = self.clock.next_tick(rng);
             protocol.on_tick(tick, &mut tx, rng);
-            if tick.index % self.sample_every == 0 {
-                last_error = protocol.relative_error();
+            if tick.index.is_multiple_of(self.sample_every) {
                 trace.push(TracePoint {
                     transmissions: tx.total(),
                     ticks: tick.index,
-                    relative_error: last_error,
+                    relative_error: protocol.relative_error(),
                 });
             }
         };
@@ -203,9 +207,14 @@ mod tests {
     }
 
     impl Activation for Halver {
-        fn on_tick<R: Rng + ?Sized>(&mut self, tick: Tick, tx: &mut TransmissionCounter, _rng: &mut R) {
+        fn on_tick<R: Rng + ?Sized>(
+            &mut self,
+            tick: Tick,
+            tx: &mut TransmissionCounter,
+            _rng: &mut R,
+        ) {
             tx.charge_local(1);
-            if tick.index % self.n == 0 {
+            if tick.index.is_multiple_of(self.n) {
                 self.error /= 2.0;
             }
         }
@@ -231,7 +240,12 @@ mod tests {
     fn tick_budget_stops_nonconverging_runs() {
         struct Stuck;
         impl Activation for Stuck {
-            fn on_tick<R: Rng + ?Sized>(&mut self, _t: Tick, tx: &mut TransmissionCounter, _r: &mut R) {
+            fn on_tick<R: Rng + ?Sized>(
+                &mut self,
+                _t: Tick,
+                tx: &mut TransmissionCounter,
+                _r: &mut R,
+            ) {
                 tx.charge_local(1);
             }
             fn relative_error(&self) -> f64 {
@@ -250,7 +264,12 @@ mod tests {
     fn transmission_budget_stops_runs() {
         struct Chatty;
         impl Activation for Chatty {
-            fn on_tick<R: Rng + ?Sized>(&mut self, _t: Tick, tx: &mut TransmissionCounter, _r: &mut R) {
+            fn on_tick<R: Rng + ?Sized>(
+                &mut self,
+                _t: Tick,
+                tx: &mut TransmissionCounter,
+                _r: &mut R,
+            ) {
                 tx.charge_routing(50);
             }
             fn relative_error(&self) -> f64 {
@@ -281,7 +300,11 @@ mod tests {
         let mut engine = AsyncEngine::new(10).sample_every(7);
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let mut proto = Halver { n: 20, error: 1.0 };
-        let report = engine.run(&mut proto, StopCondition::at_epsilon(0.1).with_max_ticks(100), &mut rng);
+        let report = engine.run(
+            &mut proto,
+            StopCondition::at_epsilon(0.1).with_max_ticks(100),
+            &mut rng,
+        );
         // Initial + one per 7 ticks + final.
         assert!(report.trace.len() >= 3);
     }

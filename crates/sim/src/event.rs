@@ -100,7 +100,11 @@ impl<E> EventQueue<E> {
         assert!(!time.is_nan(), "event time must not be NaN");
         let sequence = self.next_sequence;
         self.next_sequence += 1;
-        self.heap.push(HeapEntry { time, sequence, payload });
+        self.heap.push(HeapEntry {
+            time,
+            sequence,
+            payload,
+        });
     }
 
     /// Removes and returns the earliest pending event.

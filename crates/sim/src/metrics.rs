@@ -111,7 +111,9 @@ impl ConvergenceTrace {
     /// transmission order; this is asserted in debug builds.
     pub fn push(&mut self, point: TracePoint) {
         debug_assert!(
-            self.points.last().map_or(true, |p| p.transmissions <= point.transmissions),
+            self.points
+                .last()
+                .is_none_or(|p| p.transmissions <= point.transmissions),
             "trace samples must be pushed in cost order"
         );
         self.points.push(point);

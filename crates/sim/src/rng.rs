@@ -56,7 +56,9 @@ impl SeedStream {
     /// Derives a reproducible RNG for a numbered trial of a component,
     /// e.g. `trial("run", 3)` for the fourth repetition of an experiment.
     pub fn trial(&self, label: &str, index: u64) -> ChaCha8Rng {
-        ChaCha8Rng::seed_from_u64(self.master ^ fnv1a(label) ^ (index.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        ChaCha8Rng::seed_from_u64(
+            self.master ^ fnv1a(label) ^ (index.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        )
     }
 }
 
@@ -88,7 +90,10 @@ mod tests {
     #[test]
     fn different_labels_differ() {
         let seeds = SeedStream::new(7);
-        assert_ne!(seeds.stream("a").gen::<u64>(), seeds.stream("b").gen::<u64>());
+        assert_ne!(
+            seeds.stream("a").gen::<u64>(),
+            seeds.stream("b").gen::<u64>()
+        );
     }
 
     #[test]

@@ -49,8 +49,11 @@ fn main() {
         if cells.is_empty() {
             continue;
         }
-        let avg_members: f64 =
-            cells.iter().map(|&c| hierarchy.members(c).len() as f64).sum::<f64>() / cells.len() as f64;
+        let avg_members: f64 = cells
+            .iter()
+            .map(|&c| hierarchy.members(c).len() as f64)
+            .sum::<f64>()
+            / cells.len() as f64;
         println!(
             "depth {depth}: {} populated cells, avg population {:.1}, expected {:.1}, max occupancy deviation {:.2}",
             cells.len(),
@@ -59,13 +62,18 @@ fn main() {
             hierarchy.max_occupancy_deviation(depth)
         );
     }
-    println!("leader conflicts (one sensor leading two squares): {}", hierarchy.leader_conflicts());
+    println!(
+        "leader conflicts (one sensor leading two squares): {}",
+        hierarchy.leader_conflicts()
+    );
 
     // Greedy geographic routing between two far-apart leaders.
     println!();
     println!("== greedy geographic routing ==");
     let top_cells = hierarchy.populated_cells_at_depth(1);
-    let a = hierarchy.leader(top_cells[0]).expect("populated cell has a leader");
+    let a = hierarchy
+        .leader(top_cells[0])
+        .expect("populated cell has a leader");
     let b = hierarchy
         .leader(*top_cells.last().expect("at least two top cells"))
         .expect("populated cell has a leader");
@@ -80,7 +88,9 @@ fn main() {
     );
     let corner_route = route_to_position(
         &network,
-        network.nearest_node(Point::new(0.02, 0.02)).expect("non-empty network"),
+        network
+            .nearest_node(Point::new(0.02, 0.02))
+            .expect("non-empty network"),
         Point::new(0.98, 0.98),
     );
     println!(
@@ -94,7 +104,11 @@ fn main() {
     println!("== Activate.square flooding ==");
     let leaf = hierarchy.leaf_of(a);
     let members: Vec<usize> = hierarchy.members(leaf).to_vec();
-    let outcome = flood_cell(&network, &members, hierarchy.leader(leaf).expect("leaf has a leader"));
+    let outcome = flood_cell(
+        &network,
+        &members,
+        hierarchy.leader(leaf).expect("leaf has a leader"),
+    );
     println!(
         "leaf square of leader {}: {} members, flood reached {} of them in {} transmissions",
         a,

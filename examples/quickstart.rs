@@ -54,7 +54,10 @@ fn main() -> Result<(), ProtocolError> {
     println!("converged:            {}", report.converged);
     println!("final relative error: {:.2e}", report.final_error);
     println!("top-level rounds:     {}", report.stats.top_rounds);
-    println!("long-range exchanges: {}", report.stats.long_range_exchanges);
+    println!(
+        "long-range exchanges: {}",
+        report.stats.long_range_exchanges
+    );
     println!("transmissions:        {}", report.transmissions.total());
     println!("  routing (Far):      {}", report.transmissions.routing());
     println!("  local (Near):       {}", report.transmissions.local());

@@ -76,7 +76,12 @@ fn main() -> Result<(), ProtocolError> {
     println!("{}", table.to_markdown());
 
     let xs: Vec<f64> = sizes.iter().map(|&n| n as f64).collect();
-    let mut fits = Table::new(vec!["protocol", "fitted exponent k", "R²", "paper's prediction"]);
+    let mut fits = Table::new(vec![
+        "protocol",
+        "fitted exponent k",
+        "R²",
+        "paper's prediction",
+    ]);
     for (name, costs, paper) in [
         ("pairwise", &pairwise_costs, "≈ 2"),
         ("geographic", &geographic_costs, "≈ 1.5"),

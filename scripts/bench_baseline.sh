@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Measures the headline hot-path medians (graph build, corner-to-corner route,
+# geographic-gossip tick at n ∈ {1024, 4096}, plus the tick speedup over the
+# preserved pre-CSR implementation) and writes them to BENCH_baseline.json —
+# the first point of the repository's performance trajectory.
+#
+# Usage: scripts/bench_baseline.sh [output.json]   (default BENCH_baseline.json)
+#
+# `cargo bench -p geogossip-bench` prints the same quantities interactively
+# through the criterion harness; this script uses the dedicated binary so the
+# result is a single machine-readable file.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_baseline.json}"
+cargo run --release -p geogossip-bench --bin bench_baseline -- "$OUT"

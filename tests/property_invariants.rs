@@ -7,7 +7,9 @@
 
 use geogossip::analysis::regression::fit_power_law;
 use geogossip::core::model::AffineCompleteGraph;
-use geogossip::core::update::{affine_exchange, cell_sum_exchange, convex_average, AffineCoefficient};
+use geogossip::core::update::{
+    affine_exchange, cell_sum_exchange, convex_average, AffineCoefficient,
+};
 use geogossip::geometry::sampling::sample_unit_square;
 use geogossip::geometry::{unit_square, PartitionConfig, Point, SquarePartition, UniformGrid};
 use geogossip::graph::GeometricGraph;

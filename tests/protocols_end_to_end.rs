@@ -46,14 +46,19 @@ fn all_three_protocols_agree_on_the_average() {
 
     // Affine (idealized round-based).
     let mut affine =
-        RoundBasedAffineGossip::new(&graph, values.clone(), RoundBasedConfig::idealized(n)).unwrap();
+        RoundBasedAffineGossip::new(&graph, values.clone(), RoundBasedConfig::idealized(n))
+            .unwrap();
     let report = affine.run_until(epsilon, &mut seeds.stream("affine"));
     assert!(report.converged);
     assert!(affine.state().mass_drift() < 1e-9);
 
     // After convergence every sensor is near the true mean under all three
     // protocols.
-    let initial_dev: f64 = values.iter().map(|v| (v - true_mean).powi(2)).sum::<f64>().sqrt();
+    let initial_dev: f64 = values
+        .iter()
+        .map(|v| (v - true_mean).powi(2))
+        .sum::<f64>()
+        .sqrt();
     for (name, state) in [
         ("pairwise", pairwise.state()),
         ("geographic", geographic.state()),
@@ -114,7 +119,11 @@ fn state_machine_and_round_based_reach_the_same_fixed_point() {
         StopCondition::at_epsilon(0.25).with_max_ticks(6_000_000),
         &mut seeds.stream("machine"),
     );
-    assert!(report.converged(), "state machine stuck at {}", report.final_error);
+    assert!(
+        report.converged(),
+        "state machine stuck at {}",
+        report.final_error
+    );
     assert!((machine.state().mean() - true_mean).abs() < 1e-12);
 
     let mut round_based =
@@ -132,7 +141,11 @@ fn runs_are_reproducible_for_a_fixed_seed() {
         let mut affine =
             RoundBasedAffineGossip::new(&graph, values, RoundBasedConfig::idealized(n)).unwrap();
         let report = affine.run_until(0.05, &mut seeds.stream("run"));
-        (report.transmissions.total(), report.stats.top_rounds, report.final_error)
+        (
+            report.transmissions.total(),
+            report.stats.top_rounds,
+            report.final_error,
+        )
     };
     assert_eq!(run(77), run(77));
     assert_ne!(run(77), run(78));

@@ -1,0 +1,247 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!`, `criterion_main!`) backed by a simple wall-clock
+//! harness: each benchmark is warmed up, then timed over enough iterations to
+//! fill a fixed measurement budget, and the per-iteration **median** over the
+//! collected samples is printed. No statistical analysis, plotting, or
+//! baseline storage — just honest medians on stdout.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `name` parameterised by `parameter`.
+    pub fn new<N: std::fmt::Display, P: std::fmt::Display>(name: N, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// A benchmark identified by its parameter alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// One timing result, exposed so callers can post-process medians.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/benchmark` label.
+    pub id: String,
+    /// Median wall-clock time per iteration.
+    pub median: Duration,
+    /// Number of timed samples behind the median.
+    pub samples: usize,
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    measurement_time: Duration,
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            results: Vec::new(),
+            measurement_time: Duration::from_millis(600),
+            sample_count: 15,
+        }
+    }
+}
+
+impl Criterion {
+    /// Mirrors criterion's builder hook; the stand-in reads no CLI flags.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_count: None,
+        }
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_count: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group (criterion's
+    /// `sample_size`).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = Some(n.max(3));
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.id);
+        let samples = self.sample_count.unwrap_or(self.criterion.sample_count);
+        let budget = self.criterion.measurement_time;
+        let mut bencher = Bencher {
+            samples,
+            budget,
+            median: Duration::ZERO,
+            timed_samples: 0,
+        };
+        f(&mut bencher);
+        let result = BenchResult {
+            id: label,
+            median: bencher.median,
+            samples: bencher.timed_samples,
+        };
+        println!(
+            "bench {:<55} median {:>12.3?}  ({} samples)",
+            result.id, result.median, result.samples
+        );
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// Benchmarks a closure against a shared input.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (prints nothing extra; results live on the `Criterion`).
+    pub fn finish(self) {}
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+    median: Duration,
+    timed_samples: usize,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the median per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup and per-sample iteration-count calibration.
+        let warmup_start = Instant::now();
+        black_box(f());
+        let first = warmup_start.elapsed().max(Duration::from_nanos(1));
+        let per_sample_budget = (self.budget / self.samples as u32).max(Duration::from_micros(200));
+        let iters_per_sample = ((per_sample_budget.as_secs_f64() / first.as_secs_f64()).ceil()
+            as u64)
+            .clamp(1, 1_000_000);
+
+        let mut sample_times: Vec<Duration> = Vec::with_capacity(self.samples);
+        let overall_start = Instant::now();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            sample_times.push(start.elapsed() / iters_per_sample as u32);
+            // Do not overshoot the total budget by more than ~4x even for
+            // badly calibrated first iterations.
+            if overall_start.elapsed() > self.budget * 4 {
+                break;
+            }
+        }
+        sample_times.sort_unstable();
+        self.timed_samples = sample_times.len();
+        self.median = sample_times[sample_times.len() / 2];
+    }
+}
+
+/// Mirrors `criterion_group!`: defines a function running each benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirrors `criterion_main!`: defines `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something_positive() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(20),
+            ..Criterion::default()
+        };
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.finish();
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].median > Duration::ZERO);
+    }
+
+    #[test]
+    fn benchmark_ids_format_as_expected() {
+        assert_eq!(BenchmarkId::new("route", 1024).id, "route/1024");
+        assert_eq!(BenchmarkId::from_parameter(4096).id, "4096");
+    }
+}

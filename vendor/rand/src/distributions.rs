@@ -1,0 +1,138 @@
+//! The standard-uniform and range distributions used by the workspace.
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`, mirroring
+/// `rand::distributions::Distribution`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard distribution: uniform `[0, 1)` for floats, uniform over the
+/// whole range for integers.
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 high bits → uniform multiples of 2^-53 in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A range that can be sampled from uniformly, mirroring
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased integer in `[0, n)` by Lemire's multiply-and-reject method.
+fn uniform_below<R: RngCore + ?Sized>(n: u64, rng: &mut R) -> u64 {
+    debug_assert!(n > 0);
+    let mut m = (rng.next_u64() as u128).wrapping_mul(n as u128);
+    let mut lo = m as u64;
+    if lo < n {
+        let threshold = n.wrapping_neg() % n;
+        while lo < threshold {
+            m = (rng.next_u64() as u128).wrapping_mul(n as u128);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(span, rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, u16, u8);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        let u: f64 = Standard.sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn uniform_below_is_roughly_uniform() {
+        let mut rng = Lcg(7);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[uniform_below(10, &mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (c as f64 - 10_000.0).abs() < 600.0,
+                "count {c} far from 10000"
+            );
+        }
+    }
+
+    #[test]
+    fn float_range_respects_bounds() {
+        let mut rng = Lcg(8);
+        for _ in 0..1000 {
+            let x = (2.0..5.0).sample_single(&mut rng);
+            assert!((2.0..5.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the small slice of rayon's API the workspace uses —
+//! `into_par_iter()` on ranges and vectors, `map`, and order-preserving
+//! `collect` — on top of `std::thread::scope`. Items are split into one
+//! contiguous chunk per available core; results are reassembled in input
+//! order, so `collect::<Vec<_>>()` is deterministic regardless of thread
+//! scheduling (the property the bench crate's determinism tests rely on).
+
+/// The traits users import, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Conversion into a parallel iterator, mirroring
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// The parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// A parallel iterator: a recipe that can be executed across threads into an
+/// ordered `Vec`.
+pub trait ParallelIterator: Sized + Send {
+    /// Element type.
+    type Item: Send;
+
+    /// Executes the recipe, returning the results in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps each element through `f` in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Collects into any `FromIterator` container, preserving input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.run().into_iter().collect()
+    }
+
+    /// Number of elements.
+    fn count(self) -> usize {
+        self.run().len()
+    }
+}
+
+/// A materialised sequence pending parallel execution.
+pub struct VecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+            type Iter = VecIter<$t>;
+            fn into_par_iter(self) -> VecIter<$t> {
+                VecIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_par_iter!(usize, u64, u32, i64, i32);
+
+/// The `map` adapter.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        par_map_ordered(self.base.run(), &self.f)
+    }
+}
+
+/// Maps `items` through `f` across threads, preserving order.
+fn par_map_ordered<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut items = items.into_iter();
+    loop {
+        let chunk: Vec<T> = items.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel map worker panicked"))
+            .collect()
+    })
+}
+
+/// Returns the number of worker threads the stand-in will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vec_source_works() {
+        let v = vec!["a".to_string(), "bb".to_string(), "ccc".to_string()];
+        let lens: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u64> = (0..0u64).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Provides the `Serialize` / `Deserialize` names (as marker traits) together
+//! with no-op derive macros, so the workspace's `#[derive(Serialize,
+//! Deserialize)]` annotations compile without crates.io access. No actual
+//! serialization happens through these traits anywhere in the workspace —
+//! JSON/CSV output is hand-rendered by `geogossip-analysis`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,21 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types for API
+//! compatibility, but nothing in the build environment actually serializes
+//! through serde (JSON output is hand-rendered in `geogossip-analysis`).
+//! These derive macros therefore expand to nothing: the types stay derivable,
+//! no impls are generated, and no code depends on the missing impls.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
