@@ -11,7 +11,11 @@
 //! * [`concentration`] — Chernoff-style occupancy checks for the partition
 //!   (Section 3's `|#(□_i)/√n − 1| < 1/10` claim);
 //! * [`table`] — plain-text/Markdown table rendering and CSV/JSON emission so
-//!   the benchmark binaries print exactly the rows quoted in EXPERIMENTS.md.
+//!   the benchmark binaries print exactly the rows quoted in EXPERIMENTS.md;
+//! * [`json`] — a minimal JSON document model (parser + writer) backing the
+//!   scenario spec/report serialization and the benchmark baseline file
+//!   (the vendored `serde` is a no-op stand-in, so JSON is hand-rendered
+//!   throughout the workspace).
 //!
 //! # Example
 //!
@@ -28,11 +32,13 @@
 #![warn(missing_docs)]
 
 pub mod concentration;
+pub mod json;
 pub mod regression;
 pub mod stats;
 pub mod table;
 
 pub use concentration::OccupancyCheck;
+pub use json::JsonValue;
 pub use regression::{fit_power_law, linear_fit, LinearFit, PowerLawFit};
 pub use stats::{ConfidenceInterval, Summary};
 pub use table::Table;

@@ -11,17 +11,32 @@
 //!   from [`geogossip_bench::legacy`], so the speedup is measured in the same
 //!   tree on the same instances.
 //!
-//! Usage: `cargo run --release -p geogossip-bench --bin bench_baseline
-//! [output.json]` (default output: `BENCH_baseline.json`).
+//! Usage:
+//!
+//! * `cargo run --release -p geogossip-bench --bin bench_baseline
+//!   [output.json]` — writes the classic baseline (default output:
+//!   `BENCH_baseline.json`).
+//! * `… --bin bench_baseline -- --append-dyn [output.json]` — measures the
+//!   scenario redesign's dyn-dispatch overhead (one geographic-gossip tick
+//!   through `&mut dyn Activation` + `&mut dyn RngCore` versus the inherent
+//!   generic `step` path) and **appends** the record to the existing file's
+//!   `dyn_dispatch` array, preserving all prior entries (the BENCH history
+//!   rule: append comparable numbers, never overwrite history).
 
+use geogossip_analysis::json::JsonValue;
 use geogossip_bench::legacy::{csr_geographic_tick, legacy_geographic_tick, LegacyGraph};
 use geogossip_bench::timing::median_ns_per_iter;
+use geogossip_core::prelude::*;
+use geogossip_geometry::point::NodeId;
 use geogossip_geometry::sampling::sample_unit_square;
 use geogossip_geometry::Point;
 use geogossip_graph::GeometricGraph;
 use geogossip_routing::greedy::route_terminus;
+use geogossip_sim::clock::Tick;
+use geogossip_sim::engine::Activation;
 use geogossip_sim::SeedStream;
-use rand::Rng;
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -102,10 +117,137 @@ fn measure(n: usize, seeds: &SeedStream) -> SizeBaseline {
     }
 }
 
+/// One dyn-vs-generic tick measurement at size `n`.
+struct DynBaseline {
+    n: usize,
+    generic_ns: f64,
+    dyn_ns: f64,
+}
+
+/// Measures a geographic-gossip tick through the monomorphised inherent
+/// `step` (concrete RNG, full inlining) against the object-safe
+/// `dyn Activation::on_tick` path (vtable call + `dyn RngCore` draws) on the
+/// same instance with identical RNG streams.
+fn measure_dyn(n: usize, seeds: &SeedStream) -> DynBaseline {
+    let budget = Duration::from_millis(800);
+    let positions = sample_unit_square(n, &mut seeds.trial("bench-placement", n as u64));
+    let graph = GeometricGraph::build_at_connectivity_radius(positions, 2.0);
+    let values: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+
+    let mut protocol = GeographicGossip::new(&graph, values.clone()).expect("valid instance");
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let mut tx = geogossip_sim::TransmissionCounter::new();
+    let mut index = 0u64;
+    let mut activated = 0usize;
+    let generic_ns = median_ns_per_iter(
+        || {
+            index += 1;
+            activated = (activated + 101) % n;
+            let tick = Tick {
+                time: index as f64,
+                index,
+                node: NodeId(activated),
+            };
+            protocol.step(tick, &mut tx, &mut rng);
+        },
+        budget,
+    );
+
+    let mut protocol = GeographicGossip::new(&graph, values).expect("valid instance");
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let mut tx = geogossip_sim::TransmissionCounter::new();
+    let mut index = 0u64;
+    let mut activated = 0usize;
+    let dyn_protocol: &mut dyn Activation = &mut protocol;
+    let dyn_ns = median_ns_per_iter(
+        || {
+            index += 1;
+            activated = (activated + 101) % n;
+            let tick = Tick {
+                time: index as f64,
+                index,
+                node: NodeId(activated),
+            };
+            let dyn_rng: &mut dyn RngCore = &mut rng;
+            dyn_protocol.on_tick(tick, &mut tx, dyn_rng);
+        },
+        budget,
+    );
+
+    DynBaseline {
+        n,
+        generic_ns,
+        dyn_ns,
+    }
+}
+
+/// Appends the dyn-dispatch measurements to `out_path`'s `dyn_dispatch`
+/// array, preserving every existing entry of the file.
+fn append_dyn_baseline(out_path: &str) {
+    let seeds = SeedStream::new(20070612);
+    let records: Vec<JsonValue> = [1024usize, 4096]
+        .iter()
+        .map(|&n| {
+            let b = measure_dyn(n, &seeds);
+            let overhead_pct = (b.dyn_ns / b.generic_ns - 1.0) * 100.0;
+            println!(
+                "n={:5}  generic tick {:>8.0} ns | dyn tick {:>8.0} ns | overhead {:+.1}%",
+                b.n, b.generic_ns, b.dyn_ns, overhead_pct
+            );
+            JsonValue::object(vec![
+                ("n", b.n.into()),
+                ("generic_tick_median_ns", (b.generic_ns.round()).into()),
+                ("dyn_tick_median_ns", (b.dyn_ns.round()).into()),
+                (
+                    "overhead_pct",
+                    ((overhead_pct * 10.0).round() / 10.0).into(),
+                ),
+            ])
+        })
+        .collect();
+
+    let mut doc = match std::fs::read_to_string(out_path) {
+        Ok(text) => JsonValue::parse(&text).expect("existing baseline file must be valid JSON"),
+        Err(_) => JsonValue::object(vec![(
+            "benchmark",
+            JsonValue::string("geogossip hot-path baseline"),
+        )]),
+    };
+    let JsonValue::Object(entries) = &mut doc else {
+        panic!("baseline file must hold a JSON object");
+    };
+    match entries.iter_mut().find(|(k, _)| k == "dyn_dispatch") {
+        Some((_, JsonValue::Array(existing))) => existing.extend(records),
+        Some((_, other)) => panic!("`dyn_dispatch` must be an array, found {other:?}"),
+        None => entries.push(("dyn_dispatch".to_string(), JsonValue::Array(records))),
+    }
+    std::fs::write(out_path, doc.pretty() + "\n").expect("writing the baseline file must succeed");
+    println!("appended dyn-dispatch baseline to {out_path}");
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    // `--append-dyn` is recognised anywhere on the command line; any other
+    // flag is an error rather than silently being taken for an output path
+    // (the classic mode overwrites its output, so a mis-parsed flag would
+    // destroy the appended history).
+    let mut append_dyn = false;
+    let mut out_path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--append-dyn" {
+            append_dyn = true;
+        } else if arg.starts_with('-') {
+            eprintln!("unknown flag `{arg}` (only --append-dyn is supported)");
+            std::process::exit(2);
+        } else if out_path.replace(arg).is_some() {
+            eprintln!("expected at most one output path");
+            std::process::exit(2);
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    if append_dyn {
+        append_dyn_baseline(&out_path);
+        return;
+    }
     let seeds = SeedStream::new(20070612);
     // Keep the rng type exercised so the binary fails loudly if the vendored
     // stack regresses (the tick measurement relies on it).

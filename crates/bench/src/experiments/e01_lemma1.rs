@@ -5,21 +5,60 @@
 //! empirical per-tick contraction factor of the mean squared norm over many
 //! trials and compares it against the bound `1 − 1/2n` (and against the
 //! sharper constant `1 − 8/(9(n−1))` that appears inside the proof).
+//!
+//! The dynamics run through the scenario API as the `affine-complete`
+//! registry protocol (a self-paced [`Activation`]
+//! (geogossip_sim::Activation)): the engine's trace samples the relative norm
+//! once per `n` ticks, which is exactly the checkpoint series the
+//! geometric-mean rate estimate needs. The geometric graph of the spec is a
+//! placement-only stand-in (tiny absolute radius) — the complete-graph model
+//! ignores adjacency.
 
 use super::{ExperimentOutput, Scale};
+use crate::workload::runner;
 use geogossip_analysis::{Summary, Table};
 use geogossip_core::convergence::contraction_rate;
-use geogossip_core::model::AffineCompleteGraph;
-use geogossip_sim::SeedStream;
+use geogossip_sim::field::{Field, InitialCondition};
+use geogossip_sim::scenario::{RadiusSpec, ScenarioSpec};
+use geogossip_sim::ConvergenceTrace;
+
+/// A spec that runs the Lemma-1 dynamics for a fixed number of ticks.
+fn lemma1_spec(n: usize, max_ticks: u64, trials: u64, seed: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::standard("affine-complete", n, f64::MIN_POSITIVE)
+        .with_field(Field::Condition(InitialCondition::Ramp))
+        .with_trials(trials)
+        .with_seed(seed);
+    spec.name = format!("e1-lemma1-n{n}");
+    // The model ignores adjacency; a tiny absolute radius keeps the
+    // placeholder graph build O(n).
+    spec.topology.radius = RadiusSpec::Absolute(0.05);
+    spec.stop = spec.stop.with_max_ticks(max_ticks);
+    spec
+}
+
+/// Per-checkpoint squared-norm series from the engine trace (one sample per
+/// `n` ticks; the duplicated final point is dropped).
+fn squared_norm_series(trace: &ConvergenceTrace) -> Vec<f64> {
+    let mut series = Vec::new();
+    let mut last_tick = u64::MAX;
+    for point in trace.points() {
+        if point.ticks == last_tick {
+            continue;
+        }
+        last_tick = point.ticks;
+        series.push(point.relative_error * point.relative_error);
+    }
+    series
+}
 
 /// Runs experiment E1.
 pub fn run(scale: Scale, seed: u64) -> ExperimentOutput {
-    let (sizes, trials, ticks_per_n): (&[usize], usize, u64) = match scale {
+    let (sizes, trials, ticks_per_n): (&[usize], u64, u64) = match scale {
         Scale::Smoke => (&[16, 32], 10, 400),
         Scale::Quick => (&[16, 32, 64, 128, 256], 40, 4_000),
         Scale::Full => (&[16, 32, 64, 128, 256, 512, 1024], 100, 20_000),
     };
-    let seeds = SeedStream::new(seed);
+    let runner = runner();
     let mut table = Table::new(vec![
         "n",
         "measured contraction (per tick)",
@@ -31,22 +70,12 @@ pub fn run(scale: Scale, seed: u64) -> ExperimentOutput {
 
     for &n in sizes {
         let ticks = ticks_per_n.min(40 * n as u64);
+        let checkpoints = (ticks / n as u64).max(4);
+        let spec = lemma1_spec(n, checkpoints * n as u64, trials, seed);
+        let report = runner.run(&spec).expect("lemma-1 spec is valid");
         let mut rates = Summary::new();
-        for trial in 0..trials {
-            let mut rng = seeds.trial(&format!("e1-n{n}"), trial as u64);
-            let mut model = AffineCompleteGraph::with_random_alphas(n, &mut rng)
-                .expect("n >= 16 is a valid model size");
-            model
-                .set_centered_values((0..n).map(|i| i as f64).collect())
-                .expect("length matches");
-            // Record the squared norm once per n ticks (one per unit time) so
-            // the geometric-mean rate estimate has stable increments.
-            let mut norms = vec![model.squared_norm()];
-            let checkpoints = (ticks / n as u64).max(4);
-            for _ in 0..checkpoints {
-                model.run(n as u64, &mut rng);
-                norms.push(model.squared_norm());
-            }
+        for trial in &report.trials {
+            let norms = squared_norm_series(&trial.trace);
             if let Some(rate_per_checkpoint) = contraction_rate(&norms) {
                 // Convert the per-checkpoint (n ticks) factor to per-tick.
                 rates.push(rate_per_checkpoint.powf(1.0 / n as f64));

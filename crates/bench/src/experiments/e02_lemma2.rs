@@ -5,21 +5,26 @@
 //! The experiment runs the perturbed model across sizes and perturbation
 //! magnitudes and reports the observed `‖y(t)‖` against the envelope (with
 //! `a = 1`), plus the fraction of trials that stayed inside it.
+//!
+//! Each `(n, ε)` cell is one [`ScenarioSpec`] over the
+//! `perturbed-affine-complete` registry protocol; the final norm and the
+//! Lemma-2 envelope come back through the protocol's
+//! [`metrics`](geogossip_sim::Activation::metrics).
 
 use super::{ExperimentOutput, Scale};
+use crate::workload::runner;
 use geogossip_analysis::Table;
-use geogossip_core::model::{PerturbationKind, PerturbedAffineCompleteGraph};
-use geogossip_sim::SeedStream;
+use geogossip_sim::field::{Field, InitialCondition};
+use geogossip_sim::scenario::{RadiusSpec, ScenarioSpec};
 
 /// Runs experiment E2.
 pub fn run(scale: Scale, seed: u64) -> ExperimentOutput {
-    let (sizes, magnitudes, trials, ticks_factor): (&[usize], &[f64], usize, u64) = match scale {
+    let (sizes, magnitudes, trials, ticks_factor): (&[usize], &[f64], u64, u64) = match scale {
         Scale::Smoke => (&[32], &[1e-4], 5, 50),
         Scale::Quick => (&[32, 64, 128], &[1e-6, 1e-4, 1e-3], 20, 200),
         Scale::Full => (&[32, 64, 128, 256, 512], &[1e-6, 1e-5, 1e-4, 1e-3], 50, 400),
     };
-    let a = 1.0;
-    let seeds = SeedStream::new(seed);
+    let runner = runner();
     let mut table = Table::new(vec![
         "n",
         "perturbation ε",
@@ -32,26 +37,31 @@ pub fn run(scale: Scale, seed: u64) -> ExperimentOutput {
 
     for &n in sizes {
         for &eps in magnitudes {
-            let ticks = ticks_factor * n as u64;
-            let mut inside = 0usize;
+            let mut spec =
+                ScenarioSpec::standard("perturbed-affine-complete", n, f64::MIN_POSITIVE)
+                    .with_field(Field::Condition(InitialCondition::Ramp))
+                    .with_trials(trials)
+                    .with_seed(seed);
+            spec.name = format!("e2-lemma2-n{n}-eps{eps:e}");
+            // The model ignores adjacency; keep the placeholder graph cheap.
+            spec.topology.radius = RadiusSpec::Absolute(0.05);
+            spec.stop = spec.stop.with_max_ticks(ticks_factor * n as u64);
+            spec.protocol = spec
+                .protocol
+                .with_number("alpha", 0.45)
+                .with_number("magnitude", eps)
+                .with_text("kind", "uniform-symmetric");
+            let report = runner.run(&spec).expect("lemma-2 spec is valid");
+
+            let mut inside = 0u64;
             let mut sum_norm = 0.0;
             let mut max_norm: f64 = 0.0;
             let mut envelope = 0.0;
-            for trial in 0..trials {
-                let mut rng = seeds.trial(&format!("e2-n{n}-eps{eps:e}"), trial as u64);
-                let mut model = PerturbedAffineCompleteGraph::new(
-                    n,
-                    0.45,
-                    eps,
-                    PerturbationKind::UniformSymmetric,
-                )
-                .expect("valid parameters");
-                model
-                    .set_centered_values((0..n).map(|i| (i % 7) as f64).collect())
-                    .expect("length matches");
-                model.run(ticks, &mut rng);
-                envelope = model.lemma2_bound(ticks, a);
-                let norm = model.norm();
+            for trial in &report.trials {
+                let norm = trial.metric("norm").expect("model reports its norm");
+                envelope = trial
+                    .metric("lemma2_envelope_a1")
+                    .expect("model reports its envelope");
                 sum_norm += norm;
                 max_norm = max_norm.max(norm);
                 if norm <= envelope {

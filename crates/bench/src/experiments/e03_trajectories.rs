@@ -5,12 +5,17 @@
 //! transmission count. The table prints the series at a fixed grid of error
 //! levels ("transmissions needed to first reach error ≤ x"), which is the
 //! textual form of the usual error-vs-cost figure.
+//!
+//! All four protocols are one scenario batch: the specs share the seed and
+//! topology, so the runner builds the **same** network and field for each
+//! (placement/values streams do not depend on the protocol), while the run
+//! streams stay independent through the per-protocol seed tags.
 
 use super::{ExperimentOutput, Scale};
-use crate::workload::{standard_network, Field};
+use crate::workload::{runner, standard_spec, COMPARISON_PROTOCOLS};
 use geogossip_analysis::Table;
-use geogossip_core::prelude::*;
-use geogossip_sim::{AsyncEngine, ConvergenceTrace, SeedStream, StopCondition};
+use geogossip_sim::scenario::ScenarioSpec;
+use geogossip_sim::ConvergenceTrace;
 
 /// Error levels reported in the table (the "x axis" of the figure).
 pub const ERROR_LEVELS: [f64; 5] = [0.5, 0.2, 0.1, 0.05, 0.02];
@@ -30,34 +35,12 @@ pub fn run(scale: Scale, seed: u64) -> ExperimentOutput {
         Scale::Full => 1024,
     };
     let epsilon = *ERROR_LEVELS.last().expect("levels are non-empty");
-    let seeds = SeedStream::new(seed);
-    let network = standard_network(n, &seeds, 3);
-    let values = Field::SpatialGradient.values(&network, &mut seeds.trial("values", 3));
-    let stop = StopCondition::at_epsilon(epsilon).with_max_ticks(100_000_000);
-
-    let mut pairwise = PairwiseGossip::new(&network, values.clone()).expect("valid instance");
-    let pairwise_trace = AsyncEngine::new(n)
-        .run(&mut pairwise, stop, &mut seeds.stream("e3-pairwise"))
-        .trace;
-
-    let mut geographic = GeographicGossip::new(&network, values.clone()).expect("valid instance");
-    let geographic_trace = AsyncEngine::new(n)
-        .run(&mut geographic, stop, &mut seeds.stream("e3-geographic"))
-        .trace;
-
-    let mut affine =
-        RoundBasedAffineGossip::new(&network, values.clone(), RoundBasedConfig::idealized(n))
-            .expect("valid instance");
-    let affine_trace = affine
-        .run_until(epsilon, &mut seeds.stream("e3-affine"))
-        .trace;
-
-    let mut recursive =
-        RoundBasedAffineGossip::new(&network, values, RoundBasedConfig::practical(n))
-            .expect("valid instance");
-    let recursive_trace = recursive
-        .run_until(epsilon, &mut seeds.stream("e3-recursive"))
-        .trace;
+    let specs: Vec<ScenarioSpec> = COMPARISON_PROTOCOLS
+        .iter()
+        .map(|&protocol| standard_spec(protocol, n, epsilon, seed))
+        .collect();
+    let reports = runner().run_all(&specs).expect("standard specs are valid");
+    let traces: Vec<&ConvergenceTrace> = reports.iter().map(|r| &r.trials[0].trace).collect();
 
     let mut table = Table::new(vec![
         "error level",
@@ -67,18 +50,14 @@ pub fn run(scale: Scale, seed: u64) -> ExperimentOutput {
         "affine recursive tx",
     ]);
     for &level in &ERROR_LEVELS {
-        table.add_row(vec![
-            format!("{level}"),
-            format_crossing(&pairwise_trace, level),
-            format_crossing(&geographic_trace, level),
-            format_crossing(&affine_trace, level),
-            format_crossing(&recursive_trace, level),
-        ]);
+        let mut row = vec![format!("{level}")];
+        row.extend(traces.iter().map(|t| format_crossing(t, level)));
+        table.add_row(row);
     }
 
     let ordering_holds = match (
-        pairwise_trace.transmissions_to_reach(epsilon),
-        geographic_trace.transmissions_to_reach(epsilon),
+        traces[0].transmissions_to_reach(epsilon),
+        traces[1].transmissions_to_reach(epsilon),
     ) {
         (Some(pw), Some(geo)) => geo < pw,
         _ => false,

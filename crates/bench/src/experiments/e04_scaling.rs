@@ -13,11 +13,16 @@
 //! The experiment also reports the number of *long-range rounds* used by the
 //! affine protocol, whose `O(√n·log n)` growth at the top level is the
 //! Lemma-1 mechanism behind the headline exponent.
+//!
+//! The whole grid is a list of [`ScenarioSpec`]s executed by
+//! [`Runner::run_all`](geogossip_sim::scenario::Runner::run_all): sizes ×
+//! protocols × trials run in parallel across cores, bit-identically to a
+//! sequential loop.
 
 use super::{ExperimentOutput, Scale};
-use crate::workload::{run_protocol_sweep, Field, ProtocolKind};
+use crate::workload::{runner, standard_spec, COMPARISON_PROTOCOLS};
 use geogossip_analysis::{fit_power_law, Table};
-use geogossip_sim::SeedStream;
+use geogossip_sim::scenario::ScenarioSpec;
 
 /// Runs experiment E4.
 pub fn run(scale: Scale, seed: u64) -> ExperimentOutput {
@@ -26,8 +31,20 @@ pub fn run(scale: Scale, seed: u64) -> ExperimentOutput {
         Scale::Quick => (&[128, 256, 512, 1024], 0.05, 1),
         Scale::Full => (&[128, 256, 512, 1024, 2048, 4096], 0.05, 3),
     };
-    let seeds = SeedStream::new(seed);
-    let protocols = ProtocolKind::all();
+    let protocols = COMPARISON_PROTOCOLS;
+
+    // One spec per (protocol, n); the runner interleaves the grid trial-major
+    // so every worker gets a mix of sizes.
+    let specs: Vec<ScenarioSpec> = protocols
+        .iter()
+        .flat_map(|&protocol| {
+            sizes
+                .iter()
+                .map(move |&n| standard_spec(protocol, n, epsilon, seed).with_trials(trials))
+        })
+        .collect();
+    let reports = runner().run_all(&specs).expect("standard specs are valid");
+    let report_for = |p_idx: usize, n_idx: usize| &reports[p_idx * sizes.len() + n_idx];
 
     let mut table = Table::new(vec![
         "n",
@@ -43,41 +60,22 @@ pub fn run(scale: Scale, seed: u64) -> ExperimentOutput {
     let mut points: Vec<(Vec<f64>, Vec<f64>)> = vec![(Vec::new(), Vec::new()); protocols.len()];
     let mut rounds_points: (Vec<f64>, Vec<f64>) = (Vec::new(), Vec::new());
 
-    // All sizes × trials of one protocol run in parallel across cores (the
-    // per-trial seed derivation keeps results identical to a sequential loop).
-    let sweeps: Vec<Vec<(usize, Vec<crate::workload::RunCost>)>> = protocols
-        .iter()
-        .map(|&protocol| {
-            run_protocol_sweep(
-                protocol,
-                sizes,
-                epsilon,
-                Field::SpatialGradient,
-                &seeds,
-                trials,
-            )
-        })
-        .collect();
-
     for (n_idx, &n) in sizes.iter().enumerate() {
         let mut row = vec![n.to_string()];
         let mut rounds_for_n = 0.0;
         for (p_idx, &protocol) in protocols.iter().enumerate() {
-            let costs = &sweeps[p_idx][n_idx].1;
-            let tx_sum: f64 = costs.iter().map(|c| c.transmissions as f64).sum();
-            let rounds_sum: f64 = costs.iter().map(|c| c.rounds as f64).sum();
-            let all_converged = costs.iter().all(|c| c.converged);
-            let tx_mean = tx_sum / trials as f64;
-            if all_converged {
+            let report = report_for(p_idx, n_idx);
+            let tx_mean = report.summary.mean_transmissions;
+            if report.all_converged() {
                 points[p_idx].0.push(n as f64);
                 points[p_idx].1.push(tx_mean);
                 row.push(format!("{tx_mean:.0}"));
             } else {
                 row.push(format!("{tx_mean:.0}*"));
             }
-            if protocol == ProtocolKind::AffineIdealized {
-                rounds_for_n = rounds_sum / trials as f64;
-                if all_converged {
+            if protocol == "affine-idealized" {
+                rounds_for_n = report.summary.mean_rounds;
+                if report.all_converged() {
                     rounds_points.0.push(n as f64);
                     rounds_points.1.push(rounds_for_n);
                 }
@@ -90,21 +88,18 @@ pub fn run(scale: Scale, seed: u64) -> ExperimentOutput {
     let mut summary = Vec::new();
     let predictions = ["≈ 2", "≈ 1.5", "1 + o(1)", "1 + o(1) (plus polylog)"];
     let mut exponents = Vec::new();
-    for (p_idx, protocol) in protocols.iter().enumerate() {
+    for (p_idx, _) in protocols.iter().enumerate() {
+        let label = &report_for(p_idx, 0).protocol_label;
         if let Some(fit) = fit_power_law(&points[p_idx].0, &points[p_idx].1) {
             exponents.push(fit.exponent);
             summary.push(format!(
                 "{}: fitted exponent k = {:.2} (R² = {:.3}), paper predicts {}",
-                protocol.name(),
-                fit.exponent,
-                fit.r_squared,
-                predictions[p_idx]
+                label, fit.exponent, fit.r_squared, predictions[p_idx]
             ));
         } else {
             exponents.push(f64::NAN);
             summary.push(format!(
-                "{}: too few converged sizes to fit an exponent (entries marked * did not reach ε)",
-                protocol.name()
+                "{label}: too few converged sizes to fit an exponent (entries marked * did not reach ε)"
             ));
         }
     }

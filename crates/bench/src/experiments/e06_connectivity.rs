@@ -5,10 +5,15 @@
 //! pushed below `n^{-O(1)}`. The experiment sweeps the radius constant and
 //! reports the empirical connectivity probability per size, plus the smallest
 //! constant that reached 95% connectivity.
+//!
+//! Every `(n, c, trial)` cell is one [`TopologySpec`] build — the same
+//! topology machinery scenarios use — plugged into the graph crate's
+//! [`ConnectivityScan`] grid/threshold logic via its builder hook.
 
 use super::{ExperimentOutput, Scale};
 use geogossip_analysis::Table;
 use geogossip_graph::ConnectivityScan;
+use geogossip_sim::scenario::{RadiusSpec, TopologySpec};
 use geogossip_sim::SeedStream;
 
 /// Runs experiment E6.
@@ -23,8 +28,12 @@ pub fn run(scale: Scale, seed: u64) -> ExperimentOutput {
         ),
     };
     let seeds = SeedStream::new(seed);
-    let mut rng = seeds.stream("e6");
-    let scan = ConnectivityScan::run(sizes, constants, trials, &mut rng);
+    let scan = ConnectivityScan::run_with(sizes, constants, trials, |n, c, trial| {
+        let mut spec = TopologySpec::standard(n);
+        spec.radius = RadiusSpec::ConnectivityConstant(c);
+        // Distinct, reproducible placement streams per (n, c, trial) cell.
+        spec.build_with_rng(&mut seeds.trial(&format!("e6-n{n}-c{c}"), trial))
+    });
 
     // One row per n, one column per radius constant.
     let mut headers: Vec<String> = vec!["n".into()];
@@ -33,13 +42,7 @@ pub fn run(scale: Scale, seed: u64) -> ExperimentOutput {
     for &n in sizes {
         let mut row = vec![n.to_string()];
         for &c in constants {
-            let p = scan
-                .rows
-                .iter()
-                .find(|r| r.n == n && (r.c - c).abs() < 1e-12)
-                .map(|r| r.probability)
-                .unwrap_or(f64::NAN);
-            row.push(format!("{p:.2}"));
+            row.push(format!("{:.2}", scan.probability(n, c).unwrap_or(f64::NAN)));
         }
         table.add_row(row);
     }

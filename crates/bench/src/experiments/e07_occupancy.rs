@@ -8,8 +8,8 @@
 
 use super::{ExperimentOutput, Scale};
 use geogossip_analysis::{OccupancyCheck, Table};
-use geogossip_geometry::sampling::sample_unit_square;
 use geogossip_geometry::{PartitionConfig, SquarePartition};
+use geogossip_sim::scenario::PlacementSpec;
 use geogossip_sim::SeedStream;
 
 /// Runs experiment E7.
@@ -32,7 +32,7 @@ pub fn run(scale: Scale, seed: u64) -> ExperimentOutput {
     let mut deviations = Vec::new();
 
     for &n in sizes {
-        let points = sample_unit_square(n, &mut seeds.trial("e7", n as u64));
+        let points = PlacementSpec::UniformSquare.sample(n, &mut seeds.trial("e7", n as u64));
         let partition = SquarePartition::build(&points, PartitionConfig::top_level_only(n));
         let counts: Vec<usize> = partition
             .cells_at_depth(1)

@@ -7,13 +7,16 @@
 //! needed to reach the accuracy target — with convex exchanges each contact
 //! moves only an `O(1/√n)` fraction of a cell's mass, so the round count
 //! inflates by a factor `Θ(√n)`.
+//!
+//! The sweep is pure data: every rung is the same `affine-idealized` registry
+//! protocol with a different `coefficient-fraction` / `coefficient-fixed`
+//! parameter in its [`ScenarioSpec`].
 
 use super::{ExperimentOutput, Scale};
-use crate::workload::{standard_network, standard_values};
+use crate::workload::{runner, standard_spec};
 use geogossip_analysis::Table;
-use geogossip_core::affine::round_based::CoefficientRule;
-use geogossip_core::prelude::*;
-use geogossip_sim::SeedStream;
+use geogossip_sim::field::{Field, InitialCondition};
+use geogossip_sim::scenario::ScenarioSpec;
 
 /// Runs experiment E8.
 pub fn run(scale: Scale, seed: u64) -> ExperimentOutput {
@@ -22,9 +25,24 @@ pub fn run(scale: Scale, seed: u64) -> ExperimentOutput {
         Scale::Quick => (1024, 0.05, &[0.4, 0.2, 0.1, 0.05, 0.0]),
         Scale::Full => (1024, 0.02, &[0.4, 0.3, 0.2, 0.1, 0.05, 0.02, 0.0]),
     };
-    let seeds = SeedStream::new(seed);
-    let network = standard_network(n, &seeds, 8);
-    let values = standard_values(n, InitialCondition::Spike, &seeds, 8);
+    // fraction == 0.0 encodes the convex baseline α = 1/2. All specs share
+    // the seed and topology, so every rung runs on the same instance.
+    let specs: Vec<ScenarioSpec> = fractions
+        .iter()
+        .map(|&fraction| {
+            let mut spec = standard_spec("affine-idealized", n, epsilon, seed)
+                .with_field(Field::Condition(InitialCondition::Spike));
+            spec.name = format!("e8-fraction-{fraction}");
+            spec.protocol = spec.protocol.with_number("max-top-rounds", 200_000.0);
+            spec.protocol = if fraction == 0.0 {
+                spec.protocol.with_number("coefficient-fixed", 0.5)
+            } else {
+                spec.protocol.with_number("coefficient-fraction", fraction)
+            };
+            spec
+        })
+        .collect();
+    let reports = runner().run_all(&specs).expect("ablation specs are valid");
 
     let mut table = Table::new(vec![
         "coefficient rule",
@@ -37,31 +55,13 @@ pub fn run(scale: Scale, seed: u64) -> ExperimentOutput {
     let mut paper_rounds = None;
     let mut convex_rounds = None;
 
-    for &fraction in fractions {
-        // fraction == 0.0 encodes the convex baseline α = 1/2.
-        let rule = if fraction == 0.0 {
-            CoefficientRule::convex()
-        } else {
-            CoefficientRule::FractionOfPopulation(fraction)
-        };
-        let mut config = RoundBasedConfig::idealized(n).with_coefficient(rule);
-        config.max_top_rounds = 200_000;
-        let mut protocol =
-            RoundBasedAffineGossip::new(&network, values.clone(), config).expect("valid instance");
-        let top_population = protocol
-            .hierarchy()
-            .populated_children(0)
-            .first()
-            .map(|&c| protocol.hierarchy().members(c).len() as f64)
-            .unwrap_or(1.0);
-        let effective_alpha = rule.coefficient(top_population).value();
-        let report =
-            protocol.run_until(epsilon, &mut seeds.trial("e8", (fraction * 1000.0) as u64));
+    for (&fraction, report) in fractions.iter().zip(&reports) {
+        let trial = &report.trials[0];
         if fraction == 0.4 {
-            paper_rounds = Some(report.stats.top_rounds);
+            paper_rounds = Some(trial.rounds);
         }
         if fraction == 0.0 {
-            convex_rounds = Some(report.stats.top_rounds);
+            convex_rounds = Some(trial.rounds);
         }
         let label = if fraction == 0.0 {
             "convex α = 1/2 (prior work)".to_string()
@@ -72,11 +72,11 @@ pub fn run(scale: Scale, seed: u64) -> ExperimentOutput {
         };
         table.add_row(vec![
             label,
-            format!("{effective_alpha:.1}"),
-            report.converged.to_string(),
-            report.stats.top_rounds.to_string(),
-            report.stats.long_range_exchanges.to_string(),
-            report.transmissions.total().to_string(),
+            format!("{:.1}", trial.metric("effective_alpha_top").unwrap_or(0.0)),
+            trial.converged.to_string(),
+            trial.rounds.to_string(),
+            format!("{:.0}", trial.metric("long_range_exchanges").unwrap_or(0.0)),
+            trial.transmissions.total().to_string(),
         ]);
     }
 

@@ -9,8 +9,8 @@
 
 use super::{ExperimentOutput, Scale};
 use geogossip_analysis::Table;
-use geogossip_geometry::sampling::sample_unit_square;
 use geogossip_geometry::{PartitionConfig, SquarePartition};
+use geogossip_sim::scenario::PlacementSpec;
 use geogossip_sim::SeedStream;
 
 /// Runs experiment E10.
@@ -34,7 +34,7 @@ pub fn run(scale: Scale, seed: u64) -> ExperimentOutput {
     let mut conflicts_total = 0usize;
 
     for &n in sizes {
-        let points = sample_unit_square(n, &mut seeds.trial("e10", n as u64));
+        let points = PlacementSpec::UniformSquare.sample(n, &mut seeds.trial("e10", n as u64));
         let practical = SquarePartition::build(&points, PartitionConfig::practical(n));
         let faithful = SquarePartition::build(&points, PartitionConfig::paper_faithful(n));
         let leaf_count = practical.leaves().count();

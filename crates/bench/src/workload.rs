@@ -1,242 +1,60 @@
-//! Shared workload generation for the experiments.
+//! Shared workload conventions for the experiments.
 //!
-//! All experiments build their instances through these helpers so that the
-//! network model (uniform placement, standard connectivity radius `c = 2`) and
-//! the seeding scheme are identical across experiments and across the
-//! protocols being compared.
+//! All experiments build their instances through the scenario API
+//! ([`geogossip_sim::scenario`]) so that the network model (uniform
+//! placement, standard connectivity radius), the seeding scheme and the
+//! execution path are identical across experiments and across the protocols
+//! being compared. This module only pins the conventions: the standard
+//! topology/spec constructors and the shared [`Runner`] entry point.
+//!
+//! The pre-redesign `ProtocolKind` enum and `run_protocol*` helpers are gone;
+//! protocols are registry names (`"pairwise"`, `"geographic"`,
+//! `"affine-idealized"`, `"affine-recursive"`, …) and a comparison is a list
+//! of [`ScenarioSpec`]s handed to [`Runner::run_all`]. Scenario runs remain
+//! **bit-identical** to the historical harness (`tests/scenario_api.rs` at
+//! the workspace root pins this): same placement/values/run streams, same
+//! engine, same costs.
 
-use geogossip_core::prelude::*;
-use geogossip_geometry::sampling::sample_unit_square;
+use geogossip_core::registry::builtin_runner;
 use geogossip_graph::GeometricGraph;
-use geogossip_sim::{AsyncEngine, EngineReport, SeedStream, StopCondition};
-use rayon::prelude::*;
+pub use geogossip_sim::field::Field;
+pub use geogossip_sim::scenario::STANDARD_RADIUS_CONSTANT as RADIUS_CONSTANT;
+use geogossip_sim::scenario::{Runner, ScenarioSpec, TopologySpec};
+use geogossip_sim::SeedStream;
 
-/// Radius constant used by every experiment unless it sweeps the constant
-/// itself (experiment E6). Chosen just above the Gupta–Kumar connectivity
-/// threshold, as in the paper's `r = Θ(√(log n/n))` regime: a larger constant
-/// makes the graph needlessly dense and blurs the local-vs-long-range
-/// distinction the comparison is about.
-pub const RADIUS_CONSTANT: f64 = 1.5;
-
-/// The initial measurement field a comparison experiment runs on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Field {
-    /// One of the position-independent [`InitialCondition`]s.
-    Condition(InitialCondition),
-    /// A spatially correlated field: every sensor measures its own
-    /// x-coordinate (an east–west gradient). Averaging this field requires
-    /// moving mass across the whole unit square, which is the regime where
-    /// the paper's long-range protocols pay off; position-independent fields
-    /// can be averaged mostly locally and understate the gap.
-    SpatialGradient,
-}
-
-impl Field {
-    /// Materialises the field for a concrete network.
-    pub fn values<R: rand::Rng + ?Sized>(self, network: &GeometricGraph, rng: &mut R) -> Vec<f64> {
-        match self {
-            Field::Condition(condition) => condition.generate(network.len(), rng),
-            Field::SpatialGradient => network.positions().iter().map(|p| p.x).collect(),
-        }
-    }
+/// The shared runner over the built-in protocol registry.
+pub fn runner() -> Runner {
+    builtin_runner()
 }
 
 /// Builds the standard experiment network: `n` uniform sensors at radius
-/// `2·sqrt(log n / n)`, from the given seed stream.
+/// `1.5·sqrt(log n / n)`, from the given seed stream — byte-identical to what
+/// a standard [`ScenarioSpec`] builds for the same `(seeds, trial)`.
 pub fn standard_network(n: usize, seeds: &SeedStream, trial: u64) -> GeometricGraph {
-    let positions = sample_unit_square(n, &mut seeds.trial("placement", trial));
-    GeometricGraph::build_at_connectivity_radius(positions, RADIUS_CONSTANT)
+    TopologySpec::standard(n).build(seeds, trial)
 }
 
-/// Builds the standard initial measurement vector for a network of `n`
-/// sensors.
-pub fn standard_values(
-    n: usize,
-    condition: InitialCondition,
-    seeds: &SeedStream,
-    trial: u64,
-) -> Vec<f64> {
-    condition.generate(n, &mut seeds.trial("values", trial))
+/// The standard comparison scenario at size `n` and accuracy `epsilon` for a
+/// registry protocol, seeded with `seed`: uniform placement, standard radius,
+/// east–west gradient field (the regime where long-range protocols pay off),
+/// generous budgets.
+pub fn standard_spec(protocol: &str, n: usize, epsilon: f64, seed: u64) -> ScenarioSpec {
+    ScenarioSpec::standard(protocol, n, epsilon).with_seed(seed)
 }
 
-/// Which protocol a comparison experiment runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ProtocolKind {
-    /// Boyd et al. pairwise nearest-neighbor gossip.
-    Pairwise,
-    /// Dimakis et al. geographic gossip.
-    Geographic,
-    /// This paper, round-based with idealised (flood) local averaging.
-    AffineIdealized,
-    /// This paper, round-based with recursive gossip local averaging.
-    AffineRecursive,
-}
-
-impl ProtocolKind {
-    /// Human-readable name used in tables.
-    pub fn name(self) -> &'static str {
-        match self {
-            ProtocolKind::Pairwise => "pairwise (Boyd)",
-            ProtocolKind::Geographic => "geographic (Dimakis)",
-            ProtocolKind::AffineIdealized => "affine (idealized local avg)",
-            ProtocolKind::AffineRecursive => "affine (recursive local avg)",
-        }
-    }
-
-    /// All protocols compared in E3/E4.
-    pub fn all() -> [ProtocolKind; 4] {
-        [
-            ProtocolKind::Pairwise,
-            ProtocolKind::Geographic,
-            ProtocolKind::AffineIdealized,
-            ProtocolKind::AffineRecursive,
-        ]
-    }
-}
-
-/// The cost outcome of one protocol run, reduced to the quantities the
-/// experiment tables report.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct RunCost {
-    /// Whether the accuracy target was reached.
-    pub converged: bool,
-    /// Total one-hop transmissions used.
-    pub transmissions: u64,
-    /// "Rounds": clock ticks for tick-driven protocols, top-level rounds for
-    /// the round-based protocol.
-    pub rounds: u64,
-    /// Final relative ℓ₂ error.
-    pub final_error: f64,
-}
-
-impl RunCost {
-    fn from_engine_report(report: &EngineReport) -> Self {
-        RunCost {
-            converged: report.converged(),
-            transmissions: report.transmissions.total(),
-            rounds: report.ticks,
-            final_error: report.final_error,
-        }
-    }
-}
-
-/// Runs `protocol` on a standard instance of size `n` until the relative error
-/// drops below `epsilon` (or a generous budget runs out) and returns the cost.
-///
-/// # Panics
-///
-/// Panics if the instance is degenerate (protocol constructors reject it);
-/// the standard workload never is for `n ≥ 64`.
-pub fn run_protocol(
-    protocol: ProtocolKind,
-    n: usize,
-    epsilon: f64,
-    field: Field,
-    seeds: &SeedStream,
-    trial: u64,
-) -> RunCost {
-    let network = standard_network(n, seeds, trial);
-    let values = field.values(&network, &mut seeds.trial("values", trial));
-    let mut rng = seeds.trial("run", trial ^ (protocol as u64) << 32);
-    let stop = StopCondition::at_epsilon(epsilon).with_max_ticks(200_000_000);
-    match protocol {
-        ProtocolKind::Pairwise => {
-            let mut p = PairwiseGossip::new(&network, values).expect("standard workload is valid");
-            RunCost::from_engine_report(&AsyncEngine::new(n).run(&mut p, stop, &mut rng))
-        }
-        ProtocolKind::Geographic => {
-            let mut p =
-                GeographicGossip::new(&network, values).expect("standard workload is valid");
-            RunCost::from_engine_report(&AsyncEngine::new(n).run(&mut p, stop, &mut rng))
-        }
-        ProtocolKind::AffineIdealized => {
-            let mut p =
-                RoundBasedAffineGossip::new(&network, values, RoundBasedConfig::idealized(n))
-                    .expect("standard workload is valid");
-            let report = p.run_until(epsilon, &mut rng);
-            RunCost {
-                converged: report.converged,
-                transmissions: report.transmissions.total(),
-                rounds: report.stats.top_rounds,
-                final_error: report.final_error,
-            }
-        }
-        ProtocolKind::AffineRecursive => {
-            let mut p =
-                RoundBasedAffineGossip::new(&network, values, RoundBasedConfig::practical(n))
-                    .expect("standard workload is valid");
-            let report = p.run_until(epsilon, &mut rng);
-            RunCost {
-                converged: report.converged,
-                transmissions: report.transmissions.total(),
-                rounds: report.stats.top_rounds,
-                final_error: report.final_error,
-            }
-        }
-    }
-}
-
-/// Runs `trials` independent trials of `protocol` at size `n` **in parallel**
-/// across the machine's cores.
-///
-/// Results are **bit-identical** to running the trials sequentially with
-/// [`run_protocol`]: every trial derives its own RNG streams from
-/// `(seeds, trial index)` via [`SeedStream::trial`], so no randomness is
-/// shared between trials and thread scheduling cannot influence any outcome.
-/// The returned vector is ordered by trial index.
-pub fn run_protocol_trials(
-    protocol: ProtocolKind,
-    n: usize,
-    epsilon: f64,
-    field: Field,
-    seeds: &SeedStream,
-    trials: u64,
-) -> Vec<RunCost> {
-    (0..trials)
-        .into_par_iter()
-        .map(|trial| run_protocol(protocol, n, epsilon, field, seeds, trial))
-        .collect()
-}
-
-/// Runs the full `sizes × trials` grid for one protocol in parallel, returning
-/// one `(n, per-trial costs)` entry per size in input order.
-///
-/// The flattened grid is **trial-major** (`(n₀,t₀), (n₁,t₀), …, (n₀,t₁), …`)
-/// so that workers splitting the grid into contiguous chunks each receive a
-/// mix of sizes — laying it out size-major would park every expensive
-/// largest-`n` trial in the same trailing chunk and serialise them on one
-/// core. Determinism is inherited from [`run_protocol_trials`]'s per-trial
-/// seed derivation (results are reassembled by index, not completion order).
-pub fn run_protocol_sweep(
-    protocol: ProtocolKind,
-    sizes: &[usize],
-    epsilon: f64,
-    field: Field,
-    seeds: &SeedStream,
-    trials: u64,
-) -> Vec<(usize, Vec<RunCost>)> {
-    let grid: Vec<(usize, u64)> = (0..trials)
-        .flat_map(|t| sizes.iter().map(move |&n| (n, t)))
-        .collect();
-    let flat: Vec<RunCost> = grid
-        .into_par_iter()
-        .map(|(n, trial)| run_protocol(protocol, n, epsilon, field, seeds, trial))
-        .collect();
-    sizes
-        .iter()
-        .enumerate()
-        .map(|(i, &n)| {
-            let costs = (0..trials as usize)
-                .map(|t| flat[t * sizes.len() + i])
-                .collect();
-            (n, costs)
-        })
-        .collect()
-}
+/// The four protocols of the paper's comparison, in presentation order
+/// (used by E3/E4 and the determinism tests).
+pub const COMPARISON_PROTOCOLS: [&str; 4] = [
+    "pairwise",
+    "geographic",
+    "affine-idealized",
+    "affine-recursive",
+];
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use geogossip_sim::field::InitialCondition;
 
     #[test]
     fn standard_network_is_connected_and_reproducible() {
@@ -250,90 +68,64 @@ mod tests {
     }
 
     #[test]
-    fn all_protocols_converge_on_a_small_instance() {
-        let seeds = SeedStream::new(2);
-        for protocol in ProtocolKind::all() {
+    fn all_comparison_protocols_converge_on_a_small_instance() {
+        let runner = runner();
+        for protocol in COMPARISON_PROTOCOLS {
             for field in [
                 Field::Condition(InitialCondition::Spike),
                 Field::SpatialGradient,
             ] {
-                let cost = run_protocol(protocol, 128, 0.1, field, &seeds, 0);
+                let spec = standard_spec(protocol, 128, 0.1, 2).with_field(field);
+                let report = runner.run(&spec).expect("standard spec is valid");
                 assert!(
-                    cost.converged,
-                    "{} did not converge on {field:?}",
-                    protocol.name()
+                    report.all_converged(),
+                    "{protocol} did not converge on {field}"
                 );
-                assert!(cost.transmissions > 0);
+                assert!(report.summary.mean_transmissions > 0.0);
             }
         }
     }
 
     #[test]
-    fn protocol_names_are_distinct() {
-        let names: std::collections::HashSet<&str> =
-            ProtocolKind::all().iter().map(|p| p.name()).collect();
-        assert_eq!(names.len(), 4);
-    }
-
-    /// Byte-identical equality of two cost records, including the float bits
-    /// of the final error.
-    fn bit_identical(a: &RunCost, b: &RunCost) -> bool {
-        a.converged == b.converged
-            && a.transmissions == b.transmissions
-            && a.rounds == b.rounds
-            && a.final_error.to_bits() == b.final_error.to_bits()
+    fn protocol_labels_are_distinct() {
+        let runner = runner();
+        let labels: std::collections::HashSet<String> = COMPARISON_PROTOCOLS
+            .iter()
+            .map(|p| {
+                runner
+                    .run(&standard_spec(p, 128, 0.5, 3))
+                    .expect("valid spec")
+                    .protocol_label
+            })
+            .collect();
+        assert_eq!(labels.len(), COMPARISON_PROTOCOLS.len());
     }
 
     #[test]
-    fn parallel_trials_are_bit_identical_to_sequential() {
-        let seeds = SeedStream::new(20070612);
-        let trials = 6u64;
-        for protocol in [
-            ProtocolKind::Pairwise,
-            ProtocolKind::Geographic,
-            ProtocolKind::AffineIdealized,
-        ] {
-            let parallel =
-                run_protocol_trials(protocol, 128, 0.1, Field::SpatialGradient, &seeds, trials);
-            let sequential: Vec<RunCost> = (0..trials)
-                .map(|t| run_protocol(protocol, 128, 0.1, Field::SpatialGradient, &seeds, t))
-                .collect();
-            assert_eq!(parallel.len(), sequential.len());
-            for (t, (p, s)) in parallel.iter().zip(&sequential).enumerate() {
-                assert!(
-                    bit_identical(p, s),
-                    "{} trial {t}: parallel {p:?} != sequential {s:?}",
-                    protocol.name()
-                );
-            }
+    fn run_all_matches_individual_runs_bit_for_bit() {
+        let runner = runner();
+        let specs: Vec<ScenarioSpec> = [64usize, 128]
+            .iter()
+            .map(|&n| standard_spec("pairwise", n, 0.1, 5).with_trials(2))
+            .collect();
+        let batch = runner.run_all(&specs).expect("valid specs");
+        for (spec, batched) in specs.iter().zip(&batch) {
+            let individual = runner.run(spec).expect("valid spec");
+            assert_eq!(*batched, individual);
         }
     }
 
     #[test]
-    fn sweep_matches_per_size_trials() {
-        let seeds = SeedStream::new(5);
-        let sizes = [64usize, 128];
-        let sweep = run_protocol_sweep(
-            ProtocolKind::Pairwise,
-            &sizes,
-            0.1,
-            Field::Condition(InitialCondition::Spike),
-            &seeds,
-            2,
-        );
-        assert_eq!(sweep.len(), 2);
-        for (i, &n) in sizes.iter().enumerate() {
-            assert_eq!(sweep[i].0, n);
-            let direct = run_protocol_trials(
-                ProtocolKind::Pairwise,
-                n,
-                0.1,
-                Field::Condition(InitialCondition::Spike),
-                &seeds,
-                2,
-            );
-            for (a, b) in sweep[i].1.iter().zip(&direct) {
-                assert!(bit_identical(a, b));
+    fn repeated_runs_are_bit_identical() {
+        let runner = runner();
+        for protocol in COMPARISON_PROTOCOLS {
+            let spec = standard_spec(protocol, 128, 0.1, 20070612).with_trials(3);
+            let a = runner.run(&spec).expect("valid spec");
+            let b = runner.run(&spec).expect("valid spec");
+            for (x, y) in a.trials.iter().zip(&b.trials) {
+                assert_eq!(x.transmissions, y.transmissions);
+                assert_eq!(x.rounds, y.rounds);
+                assert_eq!(x.final_error.to_bits(), y.final_error.to_bits());
             }
         }
     }

@@ -31,8 +31,10 @@ use geogossip_geometry::point::NodeId;
 use geogossip_geometry::PartitionConfig;
 use geogossip_graph::GeometricGraph;
 use geogossip_routing::greedy::route_terminus_to_node;
+use geogossip_sim::clock::Tick;
+use geogossip_sim::engine::{Activation, Clocking};
 use geogossip_sim::metrics::{ConvergenceTrace, TracePoint, TransmissionCounter};
-use rand::Rng;
+use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
 /// How the affine coefficient of a leader exchange is chosen.
@@ -248,7 +250,7 @@ impl<'a> RoundBasedAffineGossip<'a> {
         }
         if !config.rounds_factor.is_finite() || config.rounds_factor <= 0.0 {
             return Err(ProtocolError::InvalidParameter {
-                name: "rounds_factor",
+                name: "rounds_factor".into(),
                 reason: "must be strictly positive".into(),
             });
         }
@@ -257,7 +259,7 @@ impl<'a> RoundBasedAffineGossip<'a> {
             || config.epsilon_decay > 1.0
         {
             return Err(ProtocolError::InvalidParameter {
-                name: "epsilon_decay",
+                name: "epsilon_decay".into(),
                 reason: "must lie in (0, 1]".into(),
             });
         }
@@ -309,9 +311,7 @@ impl<'a> RoundBasedAffineGossip<'a> {
         // run on each subsquare", i.e. every top-level cell is internally
         // averaged before leaders start exchanging.
         if top_children.len() >= 2 {
-            for &child in &top_children {
-                self.average_cell(child, child_epsilon, &mut tx, rng);
-            }
+            self.pre_average_pass(&top_children, child_epsilon, &mut tx, rng);
         }
         trace.push(TracePoint {
             transmissions: tx.total(),
@@ -334,17 +334,7 @@ impl<'a> RoundBasedAffineGossip<'a> {
                 // and the pre-averaging pass already did it.
                 break;
             }
-            let i = top_children[rng.gen_range(0..top_children.len())];
-            let j = loop {
-                let cand = top_children[rng.gen_range(0..top_children.len())];
-                if cand != i {
-                    break cand;
-                }
-            };
-            self.leader_exchange(i, j, &mut tx, rng);
-            self.average_cell(i, child_epsilon, &mut tx, rng);
-            self.average_cell(j, child_epsilon, &mut tx, rng);
-            self.stats.top_rounds += 1;
+            self.top_level_round(&top_children, child_epsilon, &mut tx, rng);
             let error = self.state.relative_error();
             converged = error <= epsilon;
             trace.push(TracePoint {
@@ -370,6 +360,48 @@ impl<'a> RoundBasedAffineGossip<'a> {
             trace,
             stats: self.stats,
         }
+    }
+
+    /// The Section-3 pre-averaging pass: internally averages every populated
+    /// top-level cell. Shared verbatim by [`Self::run_until`] and
+    /// [`RoundBasedActivation`], so the two paths consume the RNG in exactly
+    /// the same order.
+    fn pre_average_pass<R: Rng + ?Sized>(
+        &mut self,
+        top_children: &[usize],
+        child_epsilon: f64,
+        tx: &mut TransmissionCounter,
+        rng: &mut R,
+    ) {
+        for &child in top_children {
+            self.average_cell(child, child_epsilon, tx, rng);
+        }
+    }
+
+    /// One top-level round: pick two distinct populated top cells uniformly
+    /// at random, exchange their leaders, re-average both, and count the
+    /// round. Shared verbatim by [`Self::run_until`] and
+    /// [`RoundBasedActivation`] — keeping the draw order in one place is what
+    /// holds the two execution paths bit-identical.
+    fn top_level_round<R: Rng + ?Sized>(
+        &mut self,
+        top_children: &[usize],
+        child_epsilon: f64,
+        tx: &mut TransmissionCounter,
+        rng: &mut R,
+    ) {
+        let m = top_children.len();
+        let i = top_children[rng.gen_range(0..m)];
+        let j = loop {
+            let cand = top_children[rng.gen_range(0..m)];
+            if cand != i {
+                break cand;
+            }
+        };
+        self.leader_exchange(i, j, tx, rng);
+        self.average_cell(i, child_epsilon, tx, rng);
+        self.average_cell(j, child_epsilon, tx, rng);
+        self.stats.top_rounds += 1;
     }
 
     /// One leader-to-leader affine exchange between cells `a` and `b`
@@ -574,6 +606,204 @@ impl<'a> RoundBasedAffineGossip<'a> {
     }
 }
 
+/// The round-based protocol as a **self-paced [`Activation`]**, so it can be
+/// boxed, registered, and driven by the engine like the tick-driven
+/// protocols.
+///
+/// One engine tick maps to one unit of the protocol's own schedule: the first
+/// tick runs the Section-3 pre-averaging pass over the top-level cells, every
+/// later tick runs one top-level round. Because the adapter reports
+/// [`Clocking::SelfPaced`], the engine draws **no** Poisson clock randomness,
+/// so a run through the engine consumes the RNG in exactly the order
+/// [`RoundBasedAffineGossip::run_until`] does — the scenario determinism test
+/// (`tests/scenario_api.rs`) pins the two paths to bit-identical results.
+/// Stalls (no ≥1% improvement over a full window of rounds, or the
+/// `max_top_rounds` cap) surface through [`Activation::halted`].
+#[derive(Debug, Clone)]
+pub struct RoundBasedActivation<'a> {
+    inner: RoundBasedAffineGossip<'a>,
+    child_epsilon: f64,
+    top_children: Vec<usize>,
+    stall_window: u64,
+    pre_averaged: bool,
+    halted: bool,
+    best_error: f64,
+    rounds_since_improvement: u64,
+    effective_alpha_top: f64,
+}
+
+impl<'a> RoundBasedActivation<'a> {
+    /// Creates the adapter for a run targeting relative error `epsilon`
+    /// (the per-level accuracy cascade derives from it).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`RoundBasedAffineGossip::new`] reports, plus
+    /// [`ProtocolError::InvalidParameter`] when `epsilon` is not strictly
+    /// positive and finite.
+    pub fn new(
+        graph: &'a GeometricGraph,
+        initial_values: Vec<f64>,
+        config: RoundBasedConfig,
+        epsilon: f64,
+    ) -> Result<Self, ProtocolError> {
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(ProtocolError::invalid(
+                "epsilon",
+                "round-based target must be strictly positive and finite",
+            ));
+        }
+        let inner = RoundBasedAffineGossip::new(graph, initial_values, config)?;
+        let child_epsilon = (epsilon * config.epsilon_decay).max(f64::MIN_POSITIVE);
+        let top_children = inner.hierarchy.populated_children(0);
+        let stall_window = (20 * top_children.len().max(2)) as u64;
+        let effective_alpha_top = top_children
+            .first()
+            .map(|&c| {
+                let population = inner.hierarchy.members(c).len() as f64;
+                config.coefficient.coefficient(population).value()
+            })
+            .unwrap_or(0.0);
+        let best_error = inner.state.relative_error();
+        Ok(RoundBasedActivation {
+            inner,
+            child_epsilon,
+            top_children,
+            stall_window,
+            pre_averaged: false,
+            halted: false,
+            best_error,
+            rounds_since_improvement: 0,
+            effective_alpha_top,
+        })
+    }
+
+    /// The wrapped protocol (hierarchy, state, statistics).
+    pub fn inner(&self) -> &RoundBasedAffineGossip<'a> {
+        &self.inner
+    }
+}
+
+impl Activation for RoundBasedActivation<'_> {
+    fn on_tick(&mut self, _tick: Tick, tx: &mut TransmissionCounter, rng: &mut dyn RngCore) {
+        if self.halted {
+            return;
+        }
+        if !self.pre_averaged {
+            // "Suppose that A has been run on each subsquare" (Section 3):
+            // every top-level cell is internally averaged before leaders
+            // start exchanging.
+            if self.top_children.len() >= 2 {
+                let top_children = std::mem::take(&mut self.top_children);
+                self.inner
+                    .pre_average_pass(&top_children, self.child_epsilon, tx, rng);
+                self.top_children = top_children;
+            } else {
+                // Nothing to exchange with: local averaging is all there is,
+                // and without it the pre-averaging pass cannot even run.
+                self.halted = true;
+            }
+            self.pre_averaged = true;
+            self.best_error = self.inner.state.relative_error();
+            self.rounds_since_improvement = 0;
+            return;
+        }
+        if self.inner.stats.top_rounds >= self.inner.config.max_top_rounds {
+            self.halted = true;
+            return;
+        }
+        // Borrow-splitting: the cell list is lent to the inner protocol for
+        // the duration of the round (no allocation; `top_children` is never
+        // empty here, so the placeholder cannot be observed).
+        let top_children = std::mem::take(&mut self.top_children);
+        self.inner
+            .top_level_round(&top_children, self.child_epsilon, tx, rng);
+        self.top_children = top_children;
+
+        // Stall detection, exactly as in `run_until`: no ≥1% improvement over
+        // a full window of rounds means the run has hit the floor imposed by
+        // imperfect local averaging.
+        let error = self.inner.state.relative_error();
+        if error < self.best_error * 0.99 {
+            self.best_error = error;
+            self.rounds_since_improvement = 0;
+        } else {
+            self.rounds_since_improvement += 1;
+            if self.rounds_since_improvement >= self.stall_window {
+                self.halted = true;
+            }
+        }
+        if self.inner.stats.top_rounds >= self.inner.config.max_top_rounds {
+            self.halted = true;
+        }
+    }
+
+    fn relative_error(&self) -> f64 {
+        self.inner.state.relative_error()
+    }
+
+    fn name(&self) -> &str {
+        match self.inner.config.local_averaging {
+            LocalAveraging::Exact => "affine (idealized local avg)",
+            LocalAveraging::Gossip { .. } => "affine (recursive local avg)",
+        }
+    }
+
+    fn params(&self) -> Vec<(String, String)> {
+        let config = &self.inner.config;
+        vec![
+            ("coefficient".into(), format!("{:?}", config.coefficient)),
+            (
+                "local_averaging".into(),
+                format!("{:?}", config.local_averaging),
+            ),
+            ("rounds_factor".into(), format!("{}", config.rounds_factor)),
+            ("epsilon_decay".into(), format!("{}", config.epsilon_decay)),
+            (
+                "max_top_rounds".into(),
+                format!("{}", config.max_top_rounds),
+            ),
+        ]
+    }
+
+    fn metrics(&self) -> Vec<(String, f64)> {
+        let stats = self.inner.stats;
+        vec![
+            ("top_rounds".into(), stats.top_rounds as f64),
+            (
+                "long_range_exchanges".into(),
+                stats.long_range_exchanges as f64,
+            ),
+            ("local_exchanges".into(), stats.local_exchanges as f64),
+            ("failed_routes".into(), stats.failed_routes as f64),
+            (
+                "stalled_local_passes".into(),
+                stats.stalled_local_passes as f64,
+            ),
+            ("effective_alpha_top".into(), self.effective_alpha_top),
+        ]
+    }
+
+    fn rounds(&self) -> Option<u64> {
+        Some(self.inner.stats.top_rounds)
+    }
+
+    fn halted(&self) -> bool {
+        self.halted
+    }
+
+    fn clocking(&self) -> Clocking {
+        Clocking::SelfPaced
+    }
+
+    fn trace_interval(&self) -> Option<u64> {
+        // One trace point per top-level round, exactly like `run_until`'s
+        // report trace (the engine's default `n`-tick interval would collapse
+        // a sub-`n`-round run to its endpoints).
+        Some(1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -717,6 +947,59 @@ mod tests {
         assert!(pts
             .windows(2)
             .all(|w| w[0].transmissions <= w[1].transmissions));
+    }
+
+    #[test]
+    fn activation_adapter_matches_run_until_bit_for_bit() {
+        use geogossip_sim::{AsyncEngine, StopCondition};
+        let g = graph(384, 21);
+        let values = InitialCondition::Spike.generate(g.len(), &mut ChaCha8Rng::seed_from_u64(22));
+        let epsilon = 0.05;
+        for config in [
+            RoundBasedConfig::idealized(g.len()),
+            RoundBasedConfig::practical(g.len()),
+        ] {
+            let mut direct = RoundBasedAffineGossip::new(&g, values.clone(), config).unwrap();
+            let direct_report = direct.run_until(epsilon, &mut ChaCha8Rng::seed_from_u64(77));
+
+            let mut adapter =
+                RoundBasedActivation::new(&g, values.clone(), config, epsilon).unwrap();
+            let engine_report = AsyncEngine::new(g.len()).run(
+                &mut adapter,
+                StopCondition::at_epsilon(epsilon).with_max_ticks(200_000_000),
+                &mut ChaCha8Rng::seed_from_u64(77),
+            );
+
+            assert_eq!(engine_report.converged(), direct_report.converged);
+            assert_eq!(
+                engine_report.transmissions.total(),
+                direct_report.transmissions.total()
+            );
+            assert_eq!(
+                adapter.inner().stats().top_rounds,
+                direct_report.stats.top_rounds
+            );
+            assert_eq!(
+                engine_report.final_error.to_bits(),
+                direct_report.final_error.to_bits(),
+                "final errors diverged for {config:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn activation_adapter_rejects_bad_epsilon() {
+        let g = graph(128, 23);
+        let values = vec![0.0; g.len()];
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(RoundBasedActivation::new(
+                &g,
+                values.clone(),
+                RoundBasedConfig::idealized(g.len()),
+                bad
+            )
+            .is_err());
+        }
     }
 
     #[test]

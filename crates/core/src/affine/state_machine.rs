@@ -40,7 +40,7 @@ use geogossip_routing::greedy::route_terminus_to_node;
 use geogossip_sim::clock::Tick;
 use geogossip_sim::engine::Activation;
 use geogossip_sim::metrics::TransmissionCounter;
-use rand::Rng;
+use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
 /// Per-depth scheduling parameters for the asynchronous protocol.
@@ -507,8 +507,11 @@ impl<'a> AffineStateMachine<'a> {
     }
 }
 
-impl Activation for AffineStateMachine<'_> {
-    fn on_tick<R: Rng + ?Sized>(&mut self, tick: Tick, tx: &mut TransmissionCounter, rng: &mut R) {
+impl AffineStateMachine<'_> {
+    /// One tick of the protocol — the zero-cost generic hot path. The
+    /// object-safe [`Activation::on_tick`] forwards here with a `dyn` RNG.
+    #[inline]
+    pub fn step<R: Rng + ?Sized>(&mut self, tick: Tick, tx: &mut TransmissionCounter, rng: &mut R) {
         let s = tick.node.index();
         // Leader duties for every square this sensor leads (usually at most
         // one; ties at small n are handled by iterating).
@@ -522,9 +525,30 @@ impl Activation for AffineStateMachine<'_> {
             self.near(s, tx, rng);
         }
     }
+}
+
+impl Activation for AffineStateMachine<'_> {
+    fn on_tick(&mut self, tick: Tick, tx: &mut TransmissionCounter, rng: &mut dyn RngCore) {
+        self.step(tick, tx, rng);
+    }
 
     fn relative_error(&self) -> f64 {
         self.state.relative_error()
+    }
+
+    fn name(&self) -> &str {
+        "affine (state machine)"
+    }
+
+    fn metrics(&self) -> Vec<(String, f64)> {
+        let stats = self.stats();
+        vec![
+            ("far_exchanges".into(), stats.far_exchanges as f64),
+            ("near_exchanges".into(), stats.near_exchanges as f64),
+            ("activations".into(), stats.activations as f64),
+            ("deactivations".into(), stats.deactivations as f64),
+            ("failed_routes".into(), stats.failed_routes as f64),
+        ]
     }
 }
 

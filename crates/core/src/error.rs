@@ -1,98 +1,9 @@
 //! Error type shared by the protocol constructors.
+//!
+//! The definition moved to [`geogossip_sim::error`] when the scenario API was
+//! introduced (spec validation and protocol construction report through the
+//! same type, and `geogossip-sim` sits below this crate in the dependency
+//! graph); this module re-exports it under the historical path so existing
+//! imports keep working.
 
-use std::error::Error;
-use std::fmt;
-
-/// Errors reported when constructing or configuring a gossip protocol.
-///
-/// Protocol constructors validate their inputs (network size, value vector
-/// length, coefficient ranges) and return this error instead of panicking, so
-/// experiment harnesses can skip invalid configurations gracefully.
-///
-/// # Example
-///
-/// ```
-/// use geogossip_core::ProtocolError;
-/// let err = ProtocolError::EmptyNetwork;
-/// assert_eq!(err.to_string(), "network has no sensors");
-/// ```
-#[derive(Debug, Clone, PartialEq)]
-pub enum ProtocolError {
-    /// The network has no sensors.
-    EmptyNetwork,
-    /// The initial value vector length does not match the number of sensors.
-    ValueLengthMismatch {
-        /// Number of sensors in the network.
-        nodes: usize,
-        /// Length of the supplied value vector.
-        values: usize,
-    },
-    /// A numeric parameter was outside its valid range.
-    InvalidParameter {
-        /// Name of the offending parameter.
-        name: &'static str,
-        /// Human-readable description of the violated constraint.
-        reason: String,
-    },
-    /// The hierarchical protocol needs a partition with at least two top-level
-    /// cells that contain sensors.
-    DegeneratePartition,
-}
-
-impl fmt::Display for ProtocolError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ProtocolError::EmptyNetwork => write!(f, "network has no sensors"),
-            ProtocolError::ValueLengthMismatch { nodes, values } => write!(
-                f,
-                "value vector length {values} does not match sensor count {nodes}"
-            ),
-            ProtocolError::InvalidParameter { name, reason } => {
-                write!(f, "invalid parameter `{name}`: {reason}")
-            }
-            ProtocolError::DegeneratePartition => {
-                write!(
-                    f,
-                    "hierarchical partition has fewer than two populated top-level cells"
-                )
-            }
-        }
-    }
-}
-
-impl Error for ProtocolError {}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn display_messages_are_lowercase_and_informative() {
-        let cases: Vec<(ProtocolError, &str)> = vec![
-            (ProtocolError::EmptyNetwork, "network has no sensors"),
-            (
-                ProtocolError::ValueLengthMismatch {
-                    nodes: 3,
-                    values: 5,
-                },
-                "value vector length 5 does not match sensor count 3",
-            ),
-            (
-                ProtocolError::InvalidParameter {
-                    name: "epsilon",
-                    reason: "must be positive".into(),
-                },
-                "invalid parameter `epsilon`: must be positive",
-            ),
-        ];
-        for (err, expected) in cases {
-            assert_eq!(err.to_string(), expected);
-        }
-    }
-
-    #[test]
-    fn error_trait_is_implemented() {
-        fn assert_error<E: Error + Send + Sync + 'static>() {}
-        assert_error::<ProtocolError>();
-    }
-}
+pub use geogossip_sim::error::ProtocolError;

@@ -1,0 +1,11 @@
+//! Initial measurement fields (absorbed from the bench crate's workload
+//! module).
+//!
+//! [`Field`] extends the position-independent
+//! [`InitialCondition`](crate::state::InitialCondition)s with spatially
+//! correlated fields; every experiment and scenario describes its `x(0)`
+//! through this type. The definition lives in [`geogossip_sim::field`] (the
+//! scenario runner materialises fields below the protocol layer); this module
+//! is the protocol-facing re-export.
+
+pub use geogossip_sim::field::Field;

@@ -17,7 +17,7 @@ use geogossip_routing::target::TargetSelector;
 use geogossip_sim::clock::Tick;
 use geogossip_sim::engine::Activation;
 use geogossip_sim::metrics::TransmissionCounter;
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 /// The geographic gossip protocol of Dimakis, Sarwate and Wainwright.
 ///
@@ -113,10 +113,12 @@ impl<'a> GeographicGossip<'a> {
     pub fn failed_routes(&self) -> u64 {
         self.failed_routes
     }
-}
 
-impl Activation for GeographicGossip<'_> {
-    fn on_tick<R: Rng + ?Sized>(&mut self, tick: Tick, tx: &mut TransmissionCounter, rng: &mut R) {
+    /// One tick of the protocol — the zero-cost generic hot path. The
+    /// object-safe [`Activation::on_tick`] forwards here with a `dyn` RNG;
+    /// monomorphised callers (benchmarks, custom drivers) keep full inlining.
+    #[inline]
+    pub fn step<R: Rng + ?Sized>(&mut self, tick: Tick, tx: &mut TransmissionCounter, rng: &mut R) {
         if self.graph.len() < 2 {
             return;
         }
@@ -165,9 +167,30 @@ impl Activation for GeographicGossip<'_> {
         tx.charge_routing((outbound_hops + back.hops) as u64);
         self.exchanges += 1;
     }
+}
+
+impl Activation for GeographicGossip<'_> {
+    fn on_tick(&mut self, tick: Tick, tx: &mut TransmissionCounter, rng: &mut dyn RngCore) {
+        self.step(tick, tx, rng);
+    }
 
     fn relative_error(&self) -> f64 {
         self.state.relative_error()
+    }
+
+    fn name(&self) -> &str {
+        "geographic (Dimakis)"
+    }
+
+    fn params(&self) -> Vec<(String, String)> {
+        vec![("selector".into(), format!("{:?}", self.selector))]
+    }
+
+    fn metrics(&self) -> Vec<(String, f64)> {
+        vec![
+            ("exchanges".into(), self.exchanges as f64),
+            ("failed_routes".into(), self.failed_routes as f64),
+        ]
     }
 }
 

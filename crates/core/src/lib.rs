@@ -51,26 +51,31 @@
 pub mod affine;
 pub mod convergence;
 pub mod error;
+pub mod field;
 pub mod geographic;
 pub mod model;
 pub mod pairwise;
+pub mod registry;
 pub mod state;
 pub mod update;
 
 pub use error::ProtocolError;
+pub use registry::{builtin_runner, ProtocolRegistry};
 pub use state::{GossipState, InitialCondition};
 
 /// Convenient re-exports of the types most callers need.
 pub mod prelude {
     pub use crate::affine::round_based::{
-        LocalAveraging, RoundBasedAffineGossip, RoundBasedConfig,
+        LocalAveraging, RoundBasedActivation, RoundBasedAffineGossip, RoundBasedConfig,
     };
     pub use crate::affine::state_machine::{AffineStateMachine, ScheduleParams};
     pub use crate::convergence::{contraction_rate, ConvergenceEstimate};
     pub use crate::error::ProtocolError;
+    pub use crate::field::Field;
     pub use crate::geographic::GeographicGossip;
     pub use crate::model::{AffineCompleteGraph, PerturbedAffineCompleteGraph};
     pub use crate::pairwise::PairwiseGossip;
+    pub use crate::registry::{builtin_runner, ProtocolRegistry};
     pub use crate::state::{GossipState, InitialCondition};
     pub use crate::update::{affine_exchange, convex_average, AffineCoefficient};
 }

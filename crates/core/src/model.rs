@@ -19,7 +19,10 @@
 
 use crate::error::ProtocolError;
 use geogossip_geometry::sampling::uniform_index_excluding;
-use rand::Rng;
+use geogossip_sim::clock::Tick;
+use geogossip_sim::engine::{Activation, Clocking};
+use geogossip_sim::metrics::TransmissionCounter;
+use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
 /// Lower end of the coefficient range required by Lemma 1.
@@ -49,7 +52,20 @@ pub struct AffineCompleteGraph {
     values: Vec<f64>,
     initial_squared_norm: f64,
     ticks: u64,
+    /// Cached `‖x‖²`, maintained incrementally by [`Self::step`] (each step
+    /// touches only two entries). Kept accurate by the same drift-bound
+    /// scheme `GossipState` uses: `drift_bound` accumulates an upper bound on
+    /// the absorbed rounding error, and the sum is recomputed exactly
+    /// whenever the cached value is no longer guaranteed accurate to ~1e-10
+    /// relative. This keeps [`Self::squared_norm`] `O(1)` amortised — the
+    /// engine reads it through `Activation::relative_error` on every tick.
+    sum_sq: f64,
+    drift_bound: f64,
 }
+
+/// The cached squared norm is recomputed once it is within this factor of the
+/// accumulated drift bound (same guard as `GossipState`).
+const NORM_DRIFT_GUARD: f64 = 1e10;
 
 impl AffineCompleteGraph {
     /// Creates the model with explicit per-node coefficients, all of which
@@ -71,7 +87,7 @@ impl AffineCompleteGraph {
             .find(|a| !a.is_finite() || **a <= ALPHA_MIN || **a >= ALPHA_MAX)
         {
             return Err(ProtocolError::InvalidParameter {
-                name: "alpha",
+                name: "alpha".into(),
                 reason: format!("coefficient {bad} outside the open interval (1/3, 1/2)"),
             });
         }
@@ -81,6 +97,8 @@ impl AffineCompleteGraph {
             values: vec![0.0; n],
             initial_squared_norm: 0.0,
             ticks: 0,
+            sum_sq: 0.0,
+            drift_bound: 0.0,
         })
     }
 
@@ -132,6 +150,8 @@ impl AffineCompleteGraph {
         self.initial_squared_norm = values.iter().map(|v| v * v).sum();
         self.values = values;
         self.ticks = 0;
+        self.sum_sq = self.initial_squared_norm;
+        self.drift_bound = f64::EPSILON * self.sum_sq;
         Ok(())
     }
 
@@ -176,9 +196,33 @@ impl AffineCompleteGraph {
         self.ticks
     }
 
-    /// Current `‖x(t)‖²`.
+    /// Current `‖x(t)‖²`, read from the incrementally maintained cache
+    /// (`O(1)`; exact to ~1e-10 relative, with exact recomputation whenever
+    /// the drift bound degrades past that).
     pub fn squared_norm(&self) -> f64 {
-        self.values.iter().map(|v| v * v).sum()
+        self.sum_sq.max(0.0)
+    }
+
+    /// Folds the change of one squared term pair into the cached norm and
+    /// recomputes exactly once the accumulated rounding error could matter.
+    fn track_norm_change(&mut self, old_sq: f64, new_sq: f64) {
+        self.sum_sq += new_sq - old_sq;
+        // Each squaring, the subtraction and the accumulation contribute at
+        // most one ulp of their operand's magnitude.
+        self.drift_bound += f64::EPSILON * (new_sq + old_sq + self.sum_sq.abs());
+        if self.sum_sq < self.drift_bound * NORM_DRIFT_GUARD {
+            self.sum_sq = self.values.iter().map(|v| v * v).sum();
+            self.drift_bound = f64::EPSILON * self.sum_sq;
+        }
+    }
+
+    /// Adds `delta` to one value, keeping the cached norm in sync (used by
+    /// the perturbed Lemma-2 dynamics).
+    fn nudge(&mut self, i: usize, delta: f64) {
+        let old = self.values[i];
+        let new = old + delta;
+        self.values[i] = new;
+        self.track_norm_change(old * old, new * new);
     }
 
     /// `‖x(0)‖²` at the time the values were last set.
@@ -206,8 +250,10 @@ impl AffineCompleteGraph {
         let j = uniform_index_excluding(n, i, rng);
         let (xi, xj) = (self.values[i], self.values[j]);
         let (ai, aj) = (self.alphas[i], self.alphas[j]);
-        self.values[i] = (1.0 - ai) * xi + aj * xj;
-        self.values[j] = (1.0 - aj) * xj + ai * xi;
+        let (ni, nj) = ((1.0 - ai) * xi + aj * xj, (1.0 - aj) * xj + ai * xi);
+        self.values[i] = ni;
+        self.values[j] = nj;
+        self.track_norm_change(xi * xi + xj * xj, ni * ni + nj * nj);
         (i, j)
     }
 
@@ -286,7 +332,7 @@ impl PerturbedAffineCompleteGraph {
     ) -> Result<Self, ProtocolError> {
         if !magnitude.is_finite() || magnitude < 0.0 {
             return Err(ProtocolError::InvalidParameter {
-                name: "magnitude",
+                name: "magnitude".into(),
                 reason: "perturbation bound must be non-negative and finite".into(),
             });
         }
@@ -352,8 +398,8 @@ impl PerturbedAffineCompleteGraph {
         };
         let (i, j) = self.inner.step(rng);
         if i != j {
-            self.inner.values[i] += noise;
-            self.inner.values[j] -= noise;
+            self.inner.nudge(i, noise);
+            self.inner.nudge(j, -noise);
         }
     }
 
@@ -373,6 +419,130 @@ impl PerturbedAffineCompleteGraph {
         let decay = (1.0 - 1.0 / (2.0 * n)).powf(t as f64 / 2.0);
         n.powf(a / 2.0)
             * (decay * self.initial_norm + 8.0 * (2.0_f64).sqrt() * n.powf(1.5) * self.magnitude)
+    }
+
+    /// Number of clock ticks applied since the values were last set.
+    pub fn ticks(&self) -> u64 {
+        self.inner.ticks()
+    }
+}
+
+/// The Lemma-1 dynamics as a self-paced [`Activation`], so the complete-graph
+/// model can run through the scenario registry (`"affine-complete"`) and the
+/// contraction experiment E1 can read its trajectory from the engine trace.
+///
+/// Each engine tick applies one model step and charges 2 (abstract) local
+/// transmissions for the pair exchange; the relative error is
+/// `‖x(t)‖ / ‖x(0)‖`, so the engine's trace records exactly the normalised
+/// norm sequence the Lemma-1 bound is about.
+#[derive(Debug, Clone)]
+pub struct CompleteGraphActivation {
+    model: AffineCompleteGraph,
+    initial_norm: f64,
+}
+
+impl CompleteGraphActivation {
+    /// Wraps a model whose values have already been set.
+    pub fn new(model: AffineCompleteGraph) -> Self {
+        let initial_norm = model.initial_squared_norm().sqrt();
+        CompleteGraphActivation {
+            model,
+            initial_norm,
+        }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &AffineCompleteGraph {
+        &self.model
+    }
+}
+
+impl Activation for CompleteGraphActivation {
+    fn on_tick(&mut self, _tick: Tick, tx: &mut TransmissionCounter, rng: &mut dyn RngCore) {
+        let (i, j) = self.model.step(rng);
+        if i != j {
+            tx.charge_local(2);
+        }
+    }
+
+    fn relative_error(&self) -> f64 {
+        if self.initial_norm == 0.0 {
+            return 0.0;
+        }
+        self.model.squared_norm().sqrt() / self.initial_norm
+    }
+
+    fn name(&self) -> &str {
+        "affine complete graph (Lemma 1)"
+    }
+
+    fn metrics(&self) -> Vec<(String, f64)> {
+        vec![
+            ("squared_norm".into(), self.model.squared_norm()),
+            (
+                "lemma1_bound".into(),
+                self.model.lemma1_bound(self.model.ticks()),
+            ),
+            ("ticks".into(), self.model.ticks() as f64),
+        ]
+    }
+
+    fn clocking(&self) -> Clocking {
+        Clocking::SelfPaced
+    }
+}
+
+/// The Lemma-2 perturbed dynamics as a self-paced [`Activation`]
+/// (`"perturbed-affine-complete"` in the registry); experiment E2 reads the
+/// final norm and the Lemma-2 envelope from [`Activation::metrics`].
+#[derive(Debug, Clone)]
+pub struct PerturbedCompleteGraphActivation {
+    model: PerturbedAffineCompleteGraph,
+}
+
+impl PerturbedCompleteGraphActivation {
+    /// Wraps a model whose values have already been set.
+    pub fn new(model: PerturbedAffineCompleteGraph) -> Self {
+        PerturbedCompleteGraphActivation { model }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &PerturbedAffineCompleteGraph {
+        &self.model
+    }
+}
+
+impl Activation for PerturbedCompleteGraphActivation {
+    fn on_tick(&mut self, _tick: Tick, tx: &mut TransmissionCounter, rng: &mut dyn RngCore) {
+        self.model.step(rng);
+        tx.charge_local(2);
+    }
+
+    fn relative_error(&self) -> f64 {
+        if self.model.initial_norm() == 0.0 {
+            return 0.0;
+        }
+        self.model.norm() / self.model.initial_norm()
+    }
+
+    fn name(&self) -> &str {
+        "perturbed affine complete graph (Lemma 2)"
+    }
+
+    fn metrics(&self) -> Vec<(String, f64)> {
+        vec![
+            ("norm".into(), self.model.norm()),
+            ("initial_norm".into(), self.model.initial_norm()),
+            (
+                "lemma2_envelope_a1".into(),
+                self.model.lemma2_bound(self.model.ticks(), 1.0),
+            ),
+            ("ticks".into(), self.model.ticks() as f64),
+        ]
+    }
+
+    fn clocking(&self) -> Clocking {
+        Clocking::SelfPaced
     }
 }
 
@@ -514,6 +684,28 @@ mod tests {
             PerturbedAffineCompleteGraph::new(8, 0.4, f64::NAN, PerturbationKind::Constant)
                 .is_err()
         );
+    }
+
+    #[test]
+    fn cached_norm_tracks_exact_recomputation_over_long_runs() {
+        // The drift-bound scheme must keep the O(1) cached norm within
+        // ~1e-10 relative of the exact sum even as the norm decays by many
+        // orders of magnitude (small n contracts fast) and under the
+        // perturbed dynamics' direct value nudges.
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let mut model =
+            PerturbedAffineCompleteGraph::new(16, 0.45, 1e-8, PerturbationKind::UniformSymmetric)
+                .unwrap();
+        model.set_centered_values(centered_ramp(16)).unwrap();
+        for _ in 0..50 {
+            model.run(500, &mut rng);
+            let cached = model.norm();
+            let exact = model.values().iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!(
+                (cached - exact).abs() <= 1e-9 * exact.max(1e-300),
+                "cached {cached} drifted from exact {exact}"
+            );
+        }
     }
 
     #[test]

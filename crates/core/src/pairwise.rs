@@ -14,7 +14,7 @@ use geogossip_graph::GeometricGraph;
 use geogossip_sim::clock::Tick;
 use geogossip_sim::engine::Activation;
 use geogossip_sim::metrics::TransmissionCounter;
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 /// The pairwise (nearest-neighbor) gossip protocol.
 ///
@@ -89,10 +89,12 @@ impl<'a> PairwiseGossip<'a> {
     pub fn isolated_activations(&self) -> u64 {
         self.isolated_activations
     }
-}
 
-impl Activation for PairwiseGossip<'_> {
-    fn on_tick<R: Rng + ?Sized>(&mut self, tick: Tick, tx: &mut TransmissionCounter, rng: &mut R) {
+    /// One tick of the protocol — the zero-cost generic hot path. The
+    /// object-safe [`Activation::on_tick`] forwards here with a `dyn` RNG;
+    /// monomorphised callers (benchmarks, custom drivers) keep full inlining.
+    #[inline]
+    pub fn step<R: Rng + ?Sized>(&mut self, tick: Tick, tx: &mut TransmissionCounter, rng: &mut R) {
         let s = tick.node.index();
         let neighbors = self.graph.neighbors(tick.node);
         if neighbors.is_empty() {
@@ -110,9 +112,29 @@ impl Activation for PairwiseGossip<'_> {
         tx.charge_local(2);
         self.exchanges += 1;
     }
+}
+
+impl Activation for PairwiseGossip<'_> {
+    fn on_tick(&mut self, tick: Tick, tx: &mut TransmissionCounter, rng: &mut dyn RngCore) {
+        self.step(tick, tx, rng);
+    }
 
     fn relative_error(&self) -> f64 {
         self.state.relative_error()
+    }
+
+    fn name(&self) -> &str {
+        "pairwise (Boyd)"
+    }
+
+    fn metrics(&self) -> Vec<(String, f64)> {
+        vec![
+            ("exchanges".into(), self.exchanges as f64),
+            (
+                "isolated_activations".into(),
+                self.isolated_activations as f64,
+            ),
+        ]
     }
 }
 

@@ -7,90 +7,15 @@
 //! [`InitialCondition`] generates the initial vectors used across the
 //! experiments.
 
-use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Initial value assignments used by the experiments.
 ///
-/// The paper's guarantee is worst-case over `x(0)`; the experiment suite uses
-/// several qualitatively different initial conditions because gossip
-/// algorithms converge at visibly different speeds on smooth versus spiky
-/// fields.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum InitialCondition {
-    /// One sensor holds 1, all others 0 — the hardest case for local
-    /// protocols ("measure at a single point").
-    Spike,
-    /// Values drawn i.i.d. uniformly from `[0, 1]`.
-    Uniform,
-    /// A linear field `x_i = position-independent ramp i/(n−1)` — smooth but
-    /// globally spread.
-    Ramp,
-    /// Half the sensors hold `+1`, the other half `−1` (by index parity) — a
-    /// balanced, high-variance field.
-    Bimodal,
-}
-
-impl InitialCondition {
-    /// Generates the value vector for `n` sensors.
-    ///
-    /// The `rng` is only consulted by the [`InitialCondition::Uniform`]
-    /// variant; the others are deterministic.
-    ///
-    /// # Example
-    ///
-    /// ```
-    /// use geogossip_core::InitialCondition;
-    /// use rand::SeedableRng;
-    /// use rand_chacha::ChaCha8Rng;
-    /// let v = InitialCondition::Spike.generate(4, &mut ChaCha8Rng::seed_from_u64(0));
-    /// assert_eq!(v, vec![1.0, 0.0, 0.0, 0.0]);
-    /// ```
-    pub fn generate<R: Rng + ?Sized>(self, n: usize, rng: &mut R) -> Vec<f64> {
-        match self {
-            InitialCondition::Spike => {
-                let mut v = vec![0.0; n];
-                if n > 0 {
-                    v[0] = 1.0;
-                }
-                v
-            }
-            InitialCondition::Uniform => (0..n).map(|_| rng.gen::<f64>()).collect(),
-            InitialCondition::Ramp => {
-                if n <= 1 {
-                    vec![0.0; n]
-                } else {
-                    (0..n).map(|i| i as f64 / (n - 1) as f64).collect()
-                }
-            }
-            InitialCondition::Bimodal => (0..n)
-                .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
-                .collect(),
-        }
-    }
-
-    /// All variants, for experiment sweeps.
-    pub fn all() -> [InitialCondition; 4] {
-        [
-            InitialCondition::Spike,
-            InitialCondition::Uniform,
-            InitialCondition::Ramp,
-            InitialCondition::Bimodal,
-        ]
-    }
-}
-
-impl std::fmt::Display for InitialCondition {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let name = match self {
-            InitialCondition::Spike => "spike",
-            InitialCondition::Uniform => "uniform",
-            InitialCondition::Ramp => "ramp",
-            InitialCondition::Bimodal => "bimodal",
-        };
-        write!(f, "{name}")
-    }
-}
+/// The definition moved to [`geogossip_sim::field`] with the scenario API so
+/// the runner can materialise fields below the protocol layer; this re-export
+/// keeps the historical `geogossip_core::state::InitialCondition` path
+/// working.
+pub use geogossip_sim::field::InitialCondition;
 
 /// The values held by all sensors, plus the bookkeeping needed to measure
 /// convergence.
@@ -335,7 +260,7 @@ fn centered_sum_sq(values: &[f64], m: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha8Rng;
 
     #[test]

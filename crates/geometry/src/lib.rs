@@ -40,11 +40,13 @@ pub mod partition;
 pub mod point;
 pub mod rect;
 pub mod sampling;
+pub mod topology;
 
 pub use grid::UniformGrid;
 pub use partition::{CellId, PartitionConfig, SquarePartition};
 pub use point::Point;
 pub use rect::Rect;
+pub use topology::Topology;
 
 /// The unit square `[0,1] × [0,1]` in which all sensors are placed.
 ///

@@ -145,6 +145,23 @@ impl Rect {
         row * cols + col
     }
 
+    /// Area of the overlap between this rectangle and `other` (zero when they
+    /// are disjoint).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use geogossip_geometry::{Point, Rect};
+    /// let a = Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+    /// let b = Rect::new(Point::new(0.5, 0.5), Point::new(2.0, 2.0));
+    /// assert!((a.intersection_area(b) - 0.25).abs() < 1e-12);
+    /// ```
+    pub fn intersection_area(&self, other: Rect) -> f64 {
+        let width = (self.max.x.min(other.max.x) - self.min.x.max(other.min.x)).max(0.0);
+        let height = (self.max.y.min(other.max.y) - self.min.y.max(other.min.y)).max(0.0);
+        width * height
+    }
+
     /// Euclidean distance from `p` to the closest point of the rectangle
     /// (zero when `p` is inside).
     pub fn distance_to(&self, p: Point) -> f64 {

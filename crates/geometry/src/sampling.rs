@@ -41,6 +41,76 @@ pub fn uniform_point_in<R: Rng + ?Sized>(rect: Rect, rng: &mut R) -> Point {
     Point::new(x, y)
 }
 
+/// Samples `n` points from a clustered deployment: `clusters` cluster centers
+/// are drawn uniformly from the unit square, then each sensor picks a center
+/// uniformly at random and lands at a uniform offset within `±spread` of it
+/// (clamped back into the unit square).
+///
+/// This models the "sensors dropped in batches" deployments where the uniform
+/// placement assumption of the paper is stressed: cell occupancy becomes
+/// non-uniform and greedy routing must cross sparse gaps.
+///
+/// # Panics
+///
+/// Panics if `clusters` is zero or `spread` is not strictly positive and
+/// finite.
+pub fn sample_clustered<R: Rng + ?Sized>(
+    n: usize,
+    clusters: usize,
+    spread: f64,
+    rng: &mut R,
+) -> Vec<Point> {
+    assert!(
+        clusters > 0,
+        "clustered placement needs at least one cluster"
+    );
+    assert!(
+        spread.is_finite() && spread > 0.0,
+        "cluster spread must be positive and finite"
+    );
+    let centers: Vec<Point> = (0..clusters)
+        .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
+    (0..n)
+        .map(|_| {
+            let c = centers[rng.gen_range(0..clusters)];
+            let dx = (2.0 * rng.gen::<f64>() - 1.0) * spread;
+            let dy = (2.0 * rng.gen::<f64>() - 1.0) * spread;
+            Point::new(c.x + dx, c.y + dy).clamp_unit()
+        })
+        .collect()
+}
+
+/// Samples `n` points uniformly from the unit square **minus** the `hole`
+/// rectangle, by rejection.
+///
+/// The perforated square models an obstacle (a lake, a building) in the
+/// deployment area: greedy geographic routing can dead-end on the hole's
+/// boundary, which is exactly the failure mode the paper's w.h.p. routing
+/// guarantees exclude for the uniform deployment.
+///
+/// # Panics
+///
+/// Panics if the hole covers the whole unit square (nothing left to sample)
+/// or is so large that rejection sampling becomes pathological (the hole's
+/// overlap with the square above 99% of it). A hole extending beyond the unit
+/// square is fine — only the overlap matters.
+pub fn sample_perforated<R: Rng + ?Sized>(n: usize, hole: Rect, rng: &mut R) -> Vec<Point> {
+    let covered = hole.intersection_area(crate::unit_square());
+    assert!(
+        covered < 0.99,
+        "hole covers (almost) the whole unit square; nothing left to sample"
+    );
+    (0..n)
+        .map(|_| loop {
+            let p = Point::new(rng.gen::<f64>(), rng.gen::<f64>());
+            if !hole.contains(p) {
+                break p;
+            }
+        })
+        .collect()
+}
+
 /// Samples an `Exp(rate)` inter-arrival time.
 ///
 /// The paper models each sensor's clock as a unit-rate Poisson process
@@ -105,6 +175,53 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let pts = sample_rect(rect, 500, &mut rng);
         assert!(pts.iter().all(|p| rect.contains(*p)));
+    }
+
+    #[test]
+    fn clustered_samples_stay_inside_and_cluster() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let pts = sample_clustered(500, 3, 0.05, &mut rng);
+        assert_eq!(pts.len(), 500);
+        assert!(pts.iter().all(|p| unit_square().contains(*p)));
+        // With spread 0.05 around 3 centers the points can touch at most
+        // 3 · (0.1 + cell)² of the square; most of a 10×10 occupancy grid
+        // stays empty, unlike a uniform sample of the same size.
+        let mut occupied = [false; 100];
+        for p in &pts {
+            let col = (p.x * 10.0).min(9.0) as usize;
+            let row = (p.y * 10.0).min(9.0) as usize;
+            occupied[row * 10 + col] = true;
+        }
+        let occupied_cells = occupied.iter().filter(|&&c| c).count();
+        assert!(
+            occupied_cells <= 30,
+            "clustered sample touched {occupied_cells}/100 cells"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn clustered_rejects_zero_clusters() {
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        let _ = sample_clustered(10, 0, 0.1, &mut rng);
+    }
+
+    #[test]
+    fn perforated_samples_avoid_the_hole() {
+        let hole = Rect::new(Point::new(0.4, 0.4), Point::new(0.6, 0.6));
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let pts = sample_perforated(800, hole, &mut rng);
+        assert_eq!(pts.len(), 800);
+        assert!(pts.iter().all(|p| !hole.contains(*p)));
+        assert!(pts.iter().all(|p| unit_square().contains(*p)));
+    }
+
+    #[test]
+    #[should_panic(expected = "whole unit square")]
+    fn perforated_rejects_total_hole() {
+        let hole = Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        let mut rng = ChaCha8Rng::seed_from_u64(24);
+        let _ = sample_perforated(10, hole, &mut rng);
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Property tests for the torus topology.
+//!
+//! The satellite invariant of the scenario redesign: at equal radius, a
+//! point's torus neighborhood is a **superset** of its unit-square
+//! neighborhood, because wrapping can only shorten distances. The graph crate
+//! has the companion test at the adjacency level
+//! (`crates/graph/tests/torus_properties.rs`).
+
+use geogossip_geometry::sampling::sample_unit_square;
+use geogossip_geometry::Topology;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Wrapping never increases a distance.
+    #[test]
+    fn torus_distance_is_dominated_by_euclidean(
+        n in 2usize..150,
+        seed in 0u64..500,
+    ) {
+        let pts = sample_unit_square(n, &mut ChaCha8Rng::seed_from_u64(seed));
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let torus = Topology::Torus.distance(pts[i], pts[j]);
+                let plane = Topology::UnitSquare.distance(pts[i], pts[j]);
+                prop_assert!(torus <= plane + 1e-12,
+                    "torus {torus} > euclidean {plane} for pair ({i}, {j})");
+            }
+        }
+    }
+
+    /// Torus neighbor sets contain the unit-square neighbor sets at equal
+    /// radius, for every point of a random deployment.
+    #[test]
+    fn torus_neighbor_sets_are_supersets(
+        n in 2usize..150,
+        seed in 0u64..500,
+        radius in 0.01f64..0.45,
+    ) {
+        let pts = sample_unit_square(n, &mut ChaCha8Rng::seed_from_u64(seed));
+        for i in 0..n {
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let planar_neighbor =
+                    Topology::UnitSquare.distance(pts[i], pts[j]) <= radius;
+                let torus_neighbor = Topology::Torus.distance(pts[i], pts[j]) <= radius;
+                prop_assert!(!planar_neighbor || torus_neighbor,
+                    "({i}, {j}) adjacent on the unit square but not on the torus");
+            }
+        }
+    }
+
+    /// The torus metric is symmetric and respects the half-diagonal diameter.
+    #[test]
+    fn torus_metric_sanity(
+        ax in 0.0f64..1.0, ay in 0.0f64..1.0,
+        bx in 0.0f64..1.0, by in 0.0f64..1.0,
+    ) {
+        let a = geogossip_geometry::Point::new(ax, ay);
+        let b = geogossip_geometry::Point::new(bx, by);
+        let ab = Topology::Torus.distance(a, b);
+        prop_assert!((ab - Topology::Torus.distance(b, a)).abs() < 1e-15);
+        prop_assert!(ab <= (0.5f64.powi(2) * 2.0).sqrt() + 1e-12);
+        prop_assert!(ab >= 0.0);
+    }
+}

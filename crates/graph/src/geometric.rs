@@ -4,7 +4,7 @@ use crate::connectivity::ConnectivityReport;
 use crate::csr::{CsrAdjacency, CsrBuilder};
 use crate::degree::DegreeSummary;
 use geogossip_geometry::point::NodeId;
-use geogossip_geometry::{unit_square, Point, UniformGrid};
+use geogossip_geometry::{unit_square, Point, Topology, UniformGrid};
 use serde::{Deserialize, Serialize};
 
 /// A geometric graph over a fixed set of sensor positions.
@@ -45,6 +45,7 @@ use serde::{Deserialize, Serialize};
 pub struct GeometricGraph {
     positions: Vec<Point>,
     radius: f64,
+    topology: Topology,
     adjacency: CsrAdjacency,
     /// `x` coordinate of each neighbor, aligned with the CSR neighbor array.
     nbr_x: Vec<f64>,
@@ -55,7 +56,8 @@ pub struct GeometricGraph {
 }
 
 impl GeometricGraph {
-    /// Builds `G(n, r)` from explicit positions and a connectivity radius.
+    /// Builds `G(n, r)` from explicit positions and a connectivity radius on
+    /// the plain unit square (the paper's model).
     ///
     /// Construction uses a spatial grid with cell side `≥ r`, so the expected
     /// cost is `O(n + m)` where `m` is the number of edges.
@@ -64,9 +66,33 @@ impl GeometricGraph {
     ///
     /// Panics if `radius` is not strictly positive and finite.
     pub fn build(positions: Vec<Point>, radius: f64) -> Self {
+        Self::build_with_topology(positions, radius, Topology::UnitSquare)
+    }
+
+    /// Builds `G(n, r)` under an explicit [`Topology`].
+    ///
+    /// On [`Topology::Torus`] two sensors are adjacent when their wrapped
+    /// distance is within `radius`, so boundary sensors get the same expected
+    /// degree as bulk sensors; torus neighbor sets are always supersets of the
+    /// unit-square neighbor sets at equal radius (enforced by
+    /// `tests/torus_properties.rs`). The spatial grid still indexes the raw
+    /// coordinates: torus adjacency queries the grid once per periodic image
+    /// of the node that can reach the square, then filters by wrapped
+    /// distance. Greedy routing and `nearest_node` keep using raw Euclidean
+    /// geometry — routing across the seam is not modelled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not strictly positive and finite, or if a torus
+    /// radius is `≥ 1/2` (wrap-around would make neighbor sets ambiguous).
+    pub fn build_with_topology(positions: Vec<Point>, radius: f64, topology: Topology) -> Self {
         assert!(
             radius.is_finite() && radius > 0.0,
             "connectivity radius must be positive and finite"
+        );
+        assert!(
+            topology == Topology::UnitSquare || radius < 0.5,
+            "torus adjacency requires radius < 1/2"
         );
         let grid = UniformGrid::build(unit_square(), &positions, radius.max(1e-9));
         let n = positions.len();
@@ -79,13 +105,52 @@ impl GeometricGraph {
         };
         let mut builder = CsrBuilder::with_capacity(n, expected_entries);
         let mut edge_count = 0usize;
+        let mut wrapped: Vec<usize> = Vec::new();
         for i in 0..n {
             builder.start_row();
-            for j in grid.neighbors_within(&positions, positions[i], radius) {
-                if j != i {
-                    builder.push_neighbor(j);
-                    if j > i {
-                        edge_count += 1;
+            match topology {
+                Topology::UnitSquare => {
+                    for j in grid.neighbors_within(&positions, positions[i], radius) {
+                        if j != i {
+                            builder.push_neighbor(j);
+                            if j > i {
+                                edge_count += 1;
+                            }
+                        }
+                    }
+                }
+                Topology::Torus => {
+                    // Query the grid at every periodic image of p that can
+                    // reach the unit square; a sensor within `radius` of any
+                    // image is within wrapped distance `radius` of p. The
+                    // clamped out-of-bounds queries stay complete because the
+                    // grid's candidate span covers one extra cell and the
+                    // cell side is at least `radius`.
+                    let p = positions[i];
+                    wrapped.clear();
+                    for dx in [-1.0, 0.0, 1.0] {
+                        for dy in [-1.0, 0.0, 1.0] {
+                            let q = Point::new(p.x + dx, p.y + dy);
+                            if q.x < -radius
+                                || q.x > 1.0 + radius
+                                || q.y < -radius
+                                || q.y > 1.0 + radius
+                            {
+                                continue;
+                            }
+                            wrapped.extend(grid.neighbors_within(&positions, q, radius));
+                        }
+                    }
+                    wrapped.sort_unstable();
+                    wrapped.dedup();
+                    let r2 = radius * radius;
+                    for &j in &wrapped {
+                        if j != i && topology.distance_squared(p, positions[j]) <= r2 {
+                            builder.push_neighbor(j);
+                            if j > i {
+                                edge_count += 1;
+                            }
+                        }
                     }
                 }
             }
@@ -103,6 +168,7 @@ impl GeometricGraph {
         GeometricGraph {
             positions,
             radius,
+            topology,
             adjacency,
             nbr_x,
             nbr_y,
@@ -140,6 +206,11 @@ impl GeometricGraph {
     /// The connectivity radius the graph was built with.
     pub fn radius(&self) -> f64 {
         self.radius
+    }
+
+    /// The surface topology the adjacency was built under.
+    pub fn topology(&self) -> Topology {
+        self.topology
     }
 
     /// The sensor positions, indexed by [`NodeId`].

@@ -97,6 +97,49 @@ impl ConnectivityScan {
         ConnectivityScan { rows }
     }
 
+    /// Runs the scan with a caller-supplied graph builder: `build(n, c,
+    /// trial)` must produce the `trial`-th instance at size `n` and radius
+    /// constant `c`. This is how the experiment harness plugs its scenario
+    /// topology machinery (seeded placements, alternative surfaces) into the
+    /// scan while keeping the grid/threshold logic in one place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` is zero or any size is below 2.
+    pub fn run_with<F>(sizes: &[usize], constants: &[f64], trials: usize, mut build: F) -> Self
+    where
+        F: FnMut(usize, f64, u64) -> GeometricGraph,
+    {
+        assert!(trials > 0, "need at least one trial");
+        assert!(
+            sizes.iter().all(|&n| n >= 2),
+            "connectivity requires at least two nodes"
+        );
+        let mut rows = Vec::with_capacity(sizes.len() * constants.len());
+        for &n in sizes {
+            for &c in constants {
+                let connected = (0..trials)
+                    .filter(|&trial| build(n, c, trial as u64).is_connected())
+                    .count();
+                rows.push(ConnectivityScanRow {
+                    n,
+                    c,
+                    probability: connected as f64 / trials as f64,
+                    trials,
+                });
+            }
+        }
+        ConnectivityScan { rows }
+    }
+
+    /// The measured probability at a scanned `(n, c)` cell, if present.
+    pub fn probability(&self, n: usize, c: f64) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.n == n && (r.c - c).abs() < 1e-12)
+            .map(|r| r.probability)
+    }
+
     /// The smallest scanned constant `c` at which the empirical connectivity
     /// probability reached `target` for the given `n`, if any.
     pub fn threshold_constant(&self, n: usize, target: f64) -> Option<f64> {

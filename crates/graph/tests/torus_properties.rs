@@ -1,0 +1,84 @@
+//! Property tests for torus adjacency in `GeometricGraph`.
+//!
+//! Two invariants of the periodic-boundary build:
+//!
+//! 1. **Superset.** At equal radius every unit-square edge is also a torus
+//!    edge (wrapping can only shorten distances) — the satellite invariant of
+//!    the scenario redesign.
+//! 2. **Exactness.** Torus adjacency equals the brute-force wrapped-distance
+//!    predicate, i.e. the image-query construction misses nothing and adds
+//!    nothing.
+
+use geogossip_geometry::point::NodeId;
+use geogossip_geometry::sampling::sample_unit_square;
+use geogossip_geometry::Topology;
+use geogossip_graph::GeometricGraph;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn torus_neighbor_sets_are_supersets_of_unit_square_sets(
+        n in 2usize..200,
+        seed in 0u64..400,
+        radius in 0.02f64..0.45,
+    ) {
+        let pts = sample_unit_square(n, &mut ChaCha8Rng::seed_from_u64(seed));
+        let planar = GeometricGraph::build_with_topology(
+            pts.clone(), radius, Topology::UnitSquare);
+        let torus = GeometricGraph::build_with_topology(
+            pts, radius, Topology::Torus);
+        prop_assert_eq!(planar.topology(), Topology::UnitSquare);
+        prop_assert_eq!(torus.topology(), Topology::Torus);
+        for i in 0..n {
+            let torus_row = torus.neighbors(NodeId(i));
+            for &j in planar.neighbors(NodeId(i)) {
+                prop_assert!(torus_row.binary_search(&j).is_ok(),
+                    "edge ({i}, {j}) present on the unit square but missing on the torus");
+            }
+        }
+        prop_assert!(torus.edge_count() >= planar.edge_count());
+    }
+
+    #[test]
+    fn torus_adjacency_matches_brute_force_wrapped_distance(
+        n in 2usize..150,
+        seed in 0u64..400,
+        radius in 0.02f64..0.45,
+    ) {
+        let pts = sample_unit_square(n, &mut ChaCha8Rng::seed_from_u64(seed));
+        let torus = GeometricGraph::build_with_topology(
+            pts.clone(), radius, Topology::Torus);
+        for i in 0..n {
+            let brute: Vec<u32> = (0..n)
+                .filter(|&j| j != i
+                    && Topology::Torus.distance(pts[i], pts[j]) <= radius)
+                .map(|j| j as u32)
+                .collect();
+            prop_assert_eq!(torus.neighbors(NodeId(i)), brute.as_slice(),
+                "adjacency mismatch at node {}", i);
+        }
+    }
+}
+
+#[test]
+fn torus_connects_across_the_seam() {
+    use geogossip_geometry::Point;
+    let pts = vec![Point::new(0.02, 0.5), Point::new(0.98, 0.5)];
+    let planar = GeometricGraph::build(pts.clone(), 0.1);
+    let torus = GeometricGraph::build_with_topology(pts, 0.1, Topology::Torus);
+    assert!(!planar.are_adjacent(NodeId(0), NodeId(1)));
+    assert!(torus.are_adjacent(NodeId(0), NodeId(1)));
+    assert!(torus.is_connected());
+}
+
+#[test]
+#[should_panic(expected = "radius < 1/2")]
+fn torus_rejects_half_square_radius() {
+    use geogossip_geometry::Point;
+    let pts = vec![Point::new(0.1, 0.1), Point::new(0.9, 0.9)];
+    let _ = GeometricGraph::build_with_topology(pts, 0.5, Topology::Torus);
+}

@@ -1,27 +1,59 @@
 //! A minimal asynchronous simulation driver.
 //!
 //! The engine owns the global Poisson clock and the metrics; a protocol is any
-//! closure (or [`Activation`] implementor) that reacts to "the clock of sensor
-//! `v` ticked" by mutating its own state and charging transmissions. The
-//! engine stops when a caller-supplied [`StopCondition`] is met, and returns a
-//! compact [`EngineReport`].
+//! [`Activation`] implementor that reacts to "the clock of sensor `v` ticked"
+//! by mutating its own state and charging transmissions. The engine stops when
+//! a caller-supplied [`StopCondition`] is met, and returns a compact
+//! [`EngineReport`].
 //!
 //! Keeping the engine this small is deliberate: the paper's protocols differ
 //! only in what happens on a tick, so the engine is the single place where the
 //! time model and the stopping logic live.
+//!
+//! # Object safety and the generic hot path
+//!
+//! [`Activation`] is **dyn-compatible**: `on_tick` takes its randomness as
+//! `&mut dyn RngCore`, so protocols can be boxed, stored in registries, and
+//! driven uniformly (`Box<dyn Activation>` — see [`crate::scenario`]).
+//! Protocol implementations keep a zero-cost path by writing their tick logic
+//! as an inherent generic method (`fn step<R: Rng + ?Sized>(...)`) and
+//! forwarding the trait method to it; the only dynamic dispatch on the hot
+//! path is then the RNG vtable (a handful of virtual `next_u64` calls per
+//! tick, measured by `bench_baseline --append-dyn` to be within noise of the
+//! fully monomorphised path).
 
 use crate::clock::{GlobalPoissonClock, Tick};
 use crate::metrics::{ConvergenceTrace, TracePoint, TransmissionCounter};
-use rand::Rng;
+use geogossip_geometry::point::NodeId;
+use rand::RngCore;
 use serde::{Deserialize, Serialize};
+
+/// How an [`Activation`] consumes simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Clocking {
+    /// Tick-driven: the engine draws Poisson clock ticks (an `Exp(n)` gap plus
+    /// a uniformly random sensor per tick) from the run's RNG and hands them
+    /// to the protocol. This is the paper's asynchronous time model.
+    Poisson,
+    /// Self-paced: the protocol defines its own round structure (e.g. the
+    /// round-based affine recursion) and consumes **no** clock randomness;
+    /// the engine feeds it synthetic ticks `1, 2, 3, …` assigned to sensor 0.
+    /// The run's RNG is then consumed exclusively by the protocol itself,
+    /// which keeps self-paced runs bit-identical to hand-driven round loops.
+    SelfPaced,
+}
 
 /// A protocol that can be driven by the engine: it reacts to a clock tick by
 /// updating its state, charging transmissions, and reporting its current
 /// relative error.
+///
+/// The trait is object-safe; `Box<dyn Activation>` is the currency of the
+/// protocol registry. Implementations should put their tick logic in an
+/// inherent generic method and forward `on_tick` to it (see the module docs).
 pub trait Activation {
     /// Handles the tick of `tick.node`, charging any transmissions to `tx` and
     /// using `rng` for the protocol's own randomness.
-    fn on_tick<R: Rng + ?Sized>(&mut self, tick: Tick, tx: &mut TransmissionCounter, rng: &mut R);
+    fn on_tick(&mut self, tick: Tick, tx: &mut TransmissionCounter, rng: &mut dyn RngCore);
 
     /// Current relative ℓ₂ error `‖x − x̄·1‖ / ‖x(0) − x̄·1‖`.
     ///
@@ -30,6 +62,52 @@ pub trait Activation {
     /// backed by `GossipState` get this for free from its incremental
     /// centered-norm tracking.
     fn relative_error(&self) -> f64;
+
+    /// Stable protocol name, e.g. `"pairwise"`; used in tables and reports.
+    fn name(&self) -> &str {
+        "anonymous"
+    }
+
+    /// Human-readable configuration parameters, for reports.
+    fn params(&self) -> Vec<(String, String)> {
+        Vec::new()
+    }
+
+    /// Protocol-specific numeric outcomes (exchange counts, internal bounds),
+    /// read after a run; keys are free-form but should be stable per protocol.
+    fn metrics(&self) -> Vec<(String, f64)> {
+        Vec::new()
+    }
+
+    /// The protocol's own "round" counter, when it has a natural round
+    /// structure distinct from engine ticks (the round-based affine protocol
+    /// reports top-level rounds here). `None` means "ticks are the rounds".
+    fn rounds(&self) -> Option<u64> {
+        None
+    }
+
+    /// Whether the protocol can make no further progress (e.g. a stall
+    /// detector fired or an internal round cap was hit). The engine stops
+    /// with [`StopReason::ProtocolStalled`] when this turns true.
+    fn halted(&self) -> bool {
+        false
+    }
+
+    /// How this protocol consumes simulated time (defaults to the Poisson
+    /// model).
+    fn clocking(&self) -> Clocking {
+        Clocking::Poisson
+    }
+
+    /// Preferred trace sampling interval in ticks, when the protocol has a
+    /// natural reporting granularity. Self-paced round protocols return
+    /// `Some(1)` so the trace records every round (a tick there already does
+    /// `O(n)` work, and sampling at the engine's default `n`-tick interval
+    /// would collapse a sub-`n`-round run to its endpoints). `None` defers to
+    /// the engine's configured interval.
+    fn trace_interval(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// When the engine should stop driving a protocol.
@@ -46,7 +124,7 @@ pub struct StopCondition {
 
 impl StopCondition {
     /// Stop at relative error `epsilon`, with generous default caps
-    /// (`10^9` transmissions, `10^8` ticks) so runaway runs terminate.
+    /// (`10^8` ticks, `10^9` transmissions) so runaway runs terminate.
     pub fn at_epsilon(epsilon: f64) -> Self {
         StopCondition {
             epsilon,
@@ -66,6 +144,24 @@ impl StopCondition {
         self.max_transmissions = Some(max);
         self
     }
+
+    /// Checks that the error target is usable: strictly positive and finite.
+    ///
+    /// A non-positive or non-finite `epsilon` would make the engine run until
+    /// a budget cap silently; scenario validation surfaces it as an error
+    /// instead.
+    pub fn validate(&self) -> Result<(), crate::error::ProtocolError> {
+        if !self.epsilon.is_finite() || self.epsilon <= 0.0 {
+            return Err(crate::error::ProtocolError::invalid(
+                "epsilon",
+                format!(
+                    "stop target must be strictly positive and finite, got {}",
+                    self.epsilon
+                ),
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Why the engine stopped.
@@ -77,6 +173,9 @@ pub enum StopReason {
     TickBudgetExhausted,
     /// The transmission cap was hit first.
     TransmissionBudgetExhausted,
+    /// The protocol reported ([`Activation::halted`]) that it can make no
+    /// further progress (stall detector or internal round cap).
+    ProtocolStalled,
 }
 
 /// Summary of one engine run.
@@ -136,12 +235,24 @@ impl AsyncEngine {
     }
 
     /// Drives `protocol` until `stop` is satisfied, returning the run report.
+    ///
+    /// `protocol` may be unsized (`&mut dyn Activation`), so boxed registry
+    /// protocols and concrete ones go through the same driver. Self-paced
+    /// protocols ([`Clocking::SelfPaced`]) receive synthetic sequential ticks
+    /// and leave the RNG entirely to the protocol; Poisson protocols share it
+    /// with the clock exactly as before.
     pub fn run<P, R>(&mut self, protocol: &mut P, stop: StopCondition, rng: &mut R) -> EngineReport
     where
-        P: Activation,
-        R: Rng + ?Sized,
+        P: Activation + ?Sized,
+        R: RngCore + ?Sized,
     {
         self.clock.reset();
+        let self_paced = protocol.clocking() == Clocking::SelfPaced;
+        let sample_every = protocol
+            .trace_interval()
+            .unwrap_or(self.sample_every)
+            .max(1);
+        let mut ticks: u64 = 0;
         let mut tx = TransmissionCounter::new();
         let mut trace = ConvergenceTrace::new();
         trace.push(TracePoint {
@@ -160,15 +271,32 @@ impl AsyncEngine {
             if protocol.relative_error() <= stop.epsilon {
                 break StopReason::Converged;
             }
-            if stop.max_ticks.is_some_and(|m| self.clock.ticks() >= m) {
+            if protocol.halted() {
+                break StopReason::ProtocolStalled;
+            }
+            if stop.max_ticks.is_some_and(|m| ticks >= m) {
                 break StopReason::TickBudgetExhausted;
             }
             if stop.max_transmissions.is_some_and(|m| tx.total() >= m) {
                 break StopReason::TransmissionBudgetExhausted;
             }
-            let tick = self.clock.next_tick(rng);
-            protocol.on_tick(tick, &mut tx, rng);
-            if tick.index.is_multiple_of(self.sample_every) {
+            let tick = if self_paced {
+                ticks += 1;
+                Tick {
+                    time: ticks as f64,
+                    index: ticks,
+                    node: NodeId(0),
+                }
+            } else {
+                let tick = self.clock.next_tick(&mut *rng);
+                ticks = tick.index;
+                tick
+            };
+            // `&mut &mut R` coerces to `&mut dyn RngCore` via the blanket
+            // `RngCore for &mut R` impl, without requiring `R: Sized`.
+            let mut reborrow = &mut *rng;
+            protocol.on_tick(tick, &mut tx, &mut reborrow);
+            if tick.index.is_multiple_of(sample_every) {
                 trace.push(TracePoint {
                     transmissions: tx.total(),
                     ticks: tick.index,
@@ -179,14 +307,18 @@ impl AsyncEngine {
 
         trace.push(TracePoint {
             transmissions: tx.total(),
-            ticks: self.clock.ticks(),
+            ticks,
             relative_error: protocol.relative_error(),
         });
         EngineReport {
             reason,
             transmissions: tx,
-            ticks: self.clock.ticks(),
-            time: self.clock.now(),
+            ticks,
+            time: if self_paced {
+                ticks as f64
+            } else {
+                self.clock.now()
+            },
             final_error: protocol.relative_error(),
             trace,
         }
@@ -207,12 +339,7 @@ mod tests {
     }
 
     impl Activation for Halver {
-        fn on_tick<R: Rng + ?Sized>(
-            &mut self,
-            tick: Tick,
-            tx: &mut TransmissionCounter,
-            _rng: &mut R,
-        ) {
+        fn on_tick(&mut self, tick: Tick, tx: &mut TransmissionCounter, _rng: &mut dyn RngCore) {
             tx.charge_local(1);
             if tick.index.is_multiple_of(self.n) {
                 self.error /= 2.0;
@@ -240,12 +367,7 @@ mod tests {
     fn tick_budget_stops_nonconverging_runs() {
         struct Stuck;
         impl Activation for Stuck {
-            fn on_tick<R: Rng + ?Sized>(
-                &mut self,
-                _t: Tick,
-                tx: &mut TransmissionCounter,
-                _r: &mut R,
-            ) {
+            fn on_tick(&mut self, _t: Tick, tx: &mut TransmissionCounter, _r: &mut dyn RngCore) {
                 tx.charge_local(1);
             }
             fn relative_error(&self) -> f64 {
@@ -264,12 +386,7 @@ mod tests {
     fn transmission_budget_stops_runs() {
         struct Chatty;
         impl Activation for Chatty {
-            fn on_tick<R: Rng + ?Sized>(
-                &mut self,
-                _t: Tick,
-                tx: &mut TransmissionCounter,
-                _r: &mut R,
-            ) {
+            fn on_tick(&mut self, _t: Tick, tx: &mut TransmissionCounter, _r: &mut dyn RngCore) {
                 tx.charge_routing(50);
             }
             fn relative_error(&self) -> f64 {
@@ -313,5 +430,98 @@ mod tests {
     #[should_panic(expected = "sampling interval")]
     fn zero_sampling_interval_rejected() {
         let _ = AsyncEngine::new(3).sample_every(0);
+    }
+
+    /// A self-paced protocol that records the node ids it was handed and
+    /// halts itself after a fixed number of rounds.
+    struct SelfPacedCounter {
+        rounds: u64,
+        cap: u64,
+        draws: Vec<u64>,
+    }
+
+    impl Activation for SelfPacedCounter {
+        fn on_tick(&mut self, tick: Tick, tx: &mut TransmissionCounter, rng: &mut dyn RngCore) {
+            assert_eq!(tick.node, NodeId(0));
+            assert_eq!(tick.index, self.rounds + 1);
+            self.draws.push(rng.next_u64());
+            tx.charge_control(1);
+            self.rounds += 1;
+            if self.rounds >= self.cap {
+                // The halt is observed by the engine before the next tick.
+            }
+        }
+        fn relative_error(&self) -> f64 {
+            1.0
+        }
+        fn rounds(&self) -> Option<u64> {
+            Some(self.rounds)
+        }
+        fn halted(&self) -> bool {
+            self.rounds >= self.cap
+        }
+        fn clocking(&self) -> Clocking {
+            Clocking::SelfPaced
+        }
+        fn trace_interval(&self) -> Option<u64> {
+            Some(1)
+        }
+    }
+
+    #[test]
+    fn self_paced_protocols_get_sequential_ticks_and_all_the_randomness() {
+        let mut engine = AsyncEngine::new(7);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut proto = SelfPacedCounter {
+            rounds: 0,
+            cap: 5,
+            draws: Vec::new(),
+        };
+        let report = engine.run(&mut proto, StopCondition::at_epsilon(1e-6), &mut rng);
+        assert_eq!(report.reason, StopReason::ProtocolStalled);
+        assert_eq!(report.ticks, 5);
+        assert_eq!(proto.rounds, 5);
+        // The clock consumed nothing: the protocol's draws equal the first
+        // five raw outputs of an identically seeded generator.
+        let mut reference = ChaCha8Rng::seed_from_u64(6);
+        let expected: Vec<u64> = (0..5)
+            .map(|_| rand::RngCore::next_u64(&mut reference))
+            .collect();
+        assert_eq!(proto.draws, expected);
+    }
+
+    #[test]
+    fn protocol_trace_interval_overrides_engine_sampling() {
+        // The engine is sized for a large network (default sampling every
+        // 1000 ticks), but the protocol asks for per-tick samples; without
+        // the override a 5-round run would collapse to its endpoints.
+        let mut engine = AsyncEngine::new(1000);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let mut proto = SelfPacedCounter {
+            rounds: 0,
+            cap: 5,
+            draws: Vec::new(),
+        };
+        let report = engine.run(&mut proto, StopCondition::at_epsilon(1e-6), &mut rng);
+        // Initial point + one per round + final.
+        assert_eq!(report.trace.len(), 7);
+    }
+
+    #[test]
+    fn engine_drives_boxed_dyn_protocols() {
+        let mut engine = AsyncEngine::new(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut boxed: Box<dyn Activation> = Box::new(Halver { n: 4, error: 1.0 });
+        let report = engine.run(&mut *boxed, StopCondition::at_epsilon(0.1), &mut rng);
+        assert!(report.converged());
+    }
+
+    #[test]
+    fn stop_condition_validation_rejects_bad_epsilon() {
+        assert!(StopCondition::at_epsilon(0.1).validate().is_ok());
+        assert!(StopCondition::at_epsilon(0.0).validate().is_err());
+        assert!(StopCondition::at_epsilon(-1.0).validate().is_err());
+        assert!(StopCondition::at_epsilon(f64::NAN).validate().is_err());
+        assert!(StopCondition::at_epsilon(f64::INFINITY).validate().is_err());
     }
 }

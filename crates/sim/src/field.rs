@@ -1,0 +1,234 @@
+//! Initial measurement fields.
+//!
+//! A gossip scenario starts from a value vector `x(0)`; this module owns the
+//! vocabulary for describing it declaratively. [`InitialCondition`] generates
+//! the position-independent vectors used across the experiments, and
+//! [`Field`] extends them with spatially correlated fields that need the
+//! sensor positions.
+//!
+//! The canonical home of these types is the simulation substrate so the
+//! scenario layer ([`crate::scenario`]) can materialise fields without
+//! depending on the protocol crate; `geogossip_core` re-exports both under
+//! its historical paths (`geogossip_core::state::InitialCondition`,
+//! `geogossip_core::field::Field`).
+
+use geogossip_graph::GeometricGraph;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Initial value assignments used by the experiments.
+///
+/// The paper's guarantee is worst-case over `x(0)`; the experiment suite uses
+/// several qualitatively different initial conditions because gossip
+/// algorithms converge at visibly different speeds on smooth versus spiky
+/// fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InitialCondition {
+    /// One sensor holds 1, all others 0 — the hardest case for local
+    /// protocols ("measure at a single point").
+    Spike,
+    /// Values drawn i.i.d. uniformly from `[0, 1]`.
+    Uniform,
+    /// A linear field `x_i = position-independent ramp i/(n−1)` — smooth but
+    /// globally spread.
+    Ramp,
+    /// Half the sensors hold `+1`, the other half `−1` (by index parity) — a
+    /// balanced, high-variance field.
+    Bimodal,
+}
+
+impl InitialCondition {
+    /// Generates the value vector for `n` sensors.
+    ///
+    /// The `rng` is only consulted by the [`InitialCondition::Uniform`]
+    /// variant; the others are deterministic.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use geogossip_sim::field::InitialCondition;
+    /// use rand::SeedableRng;
+    /// use rand_chacha::ChaCha8Rng;
+    /// let v = InitialCondition::Spike.generate(4, &mut ChaCha8Rng::seed_from_u64(0));
+    /// assert_eq!(v, vec![1.0, 0.0, 0.0, 0.0]);
+    /// ```
+    pub fn generate<R: Rng + ?Sized>(self, n: usize, rng: &mut R) -> Vec<f64> {
+        match self {
+            InitialCondition::Spike => {
+                let mut v = vec![0.0; n];
+                if n > 0 {
+                    v[0] = 1.0;
+                }
+                v
+            }
+            InitialCondition::Uniform => (0..n).map(|_| rng.gen::<f64>()).collect(),
+            InitialCondition::Ramp => {
+                if n <= 1 {
+                    vec![0.0; n]
+                } else {
+                    (0..n).map(|i| i as f64 / (n - 1) as f64).collect()
+                }
+            }
+            InitialCondition::Bimodal => (0..n)
+                .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+                .collect(),
+        }
+    }
+
+    /// All variants, for experiment sweeps.
+    pub fn all() -> [InitialCondition; 4] {
+        [
+            InitialCondition::Spike,
+            InitialCondition::Uniform,
+            InitialCondition::Ramp,
+            InitialCondition::Bimodal,
+        ]
+    }
+}
+
+impl std::fmt::Display for InitialCondition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            InitialCondition::Spike => "spike",
+            InitialCondition::Uniform => "uniform",
+            InitialCondition::Ramp => "ramp",
+            InitialCondition::Bimodal => "bimodal",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// The initial measurement field a scenario runs on.
+///
+/// # Example
+///
+/// ```
+/// use geogossip_sim::field::Field;
+/// assert_eq!(Field::SpatialGradient.token(), "spatial-gradient");
+/// assert_eq!(Field::parse("spike"), Some(Field::Condition(
+///     geogossip_sim::field::InitialCondition::Spike)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Field {
+    /// One of the position-independent [`InitialCondition`]s.
+    Condition(InitialCondition),
+    /// A spatially correlated field: every sensor measures its own
+    /// x-coordinate (an east–west gradient). Averaging this field requires
+    /// moving mass across the whole unit square, which is the regime where
+    /// the paper's long-range protocols pay off; position-independent fields
+    /// can be averaged mostly locally and understate the gap.
+    SpatialGradient,
+}
+
+impl Field {
+    /// Materialises the field for a concrete network.
+    pub fn values<R: Rng + ?Sized>(self, network: &GeometricGraph, rng: &mut R) -> Vec<f64> {
+        match self {
+            Field::Condition(condition) => condition.generate(network.len(), rng),
+            Field::SpatialGradient => network.positions().iter().map(|p| p.x).collect(),
+        }
+    }
+
+    /// The stable token used in scenario JSON and on the CLI.
+    pub fn token(self) -> &'static str {
+        match self {
+            Field::Condition(InitialCondition::Spike) => "spike",
+            Field::Condition(InitialCondition::Uniform) => "uniform",
+            Field::Condition(InitialCondition::Ramp) => "ramp",
+            Field::Condition(InitialCondition::Bimodal) => "bimodal",
+            Field::SpatialGradient => "spatial-gradient",
+        }
+    }
+
+    /// Parses a [`Field::token`] back into a field.
+    pub fn parse(token: &str) -> Option<Field> {
+        match token {
+            "spike" => Some(Field::Condition(InitialCondition::Spike)),
+            "uniform" => Some(Field::Condition(InitialCondition::Uniform)),
+            "ramp" => Some(Field::Condition(InitialCondition::Ramp)),
+            "bimodal" => Some(Field::Condition(InitialCondition::Bimodal)),
+            "spatial-gradient" => Some(Field::SpatialGradient),
+            _ => None,
+        }
+    }
+
+    /// All fields, for sweeps and for documenting the spec schema.
+    pub fn all() -> [Field; 5] {
+        [
+            Field::Condition(InitialCondition::Spike),
+            Field::Condition(InitialCondition::Uniform),
+            Field::Condition(InitialCondition::Ramp),
+            Field::Condition(InitialCondition::Bimodal),
+            Field::SpatialGradient,
+        ]
+    }
+}
+
+impl std::fmt::Display for Field {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.token())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geogossip_geometry::Point;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn spike_puts_the_mass_at_node_zero() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let v = InitialCondition::Spike.generate(5, &mut rng);
+        assert_eq!(v, vec![1.0, 0.0, 0.0, 0.0, 0.0]);
+        assert!(InitialCondition::Spike.generate(0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn ramp_is_linear_and_handles_tiny_n() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let v = InitialCondition::Ramp.generate(3, &mut rng);
+        assert_eq!(v, vec![0.0, 0.5, 1.0]);
+        assert_eq!(InitialCondition::Ramp.generate(1, &mut rng), vec![0.0]);
+    }
+
+    #[test]
+    fn bimodal_alternates_and_sums_to_zero_for_even_n() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let v = InitialCondition::Bimodal.generate(6, &mut rng);
+        assert_eq!(v, vec![1.0, -1.0, 1.0, -1.0, 1.0, -1.0]);
+        assert_eq!(v.iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn uniform_is_reproducible_per_seed() {
+        let a = InitialCondition::Uniform.generate(10, &mut ChaCha8Rng::seed_from_u64(4));
+        let b = InitialCondition::Uniform.generate(10, &mut ChaCha8Rng::seed_from_u64(4));
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| (0.0..1.0).contains(v)));
+    }
+
+    #[test]
+    fn field_tokens_round_trip() {
+        for field in Field::all() {
+            assert_eq!(Field::parse(field.token()), Some(field));
+            assert_eq!(format!("{field}"), field.token());
+        }
+        assert_eq!(Field::parse("no-such-field"), None);
+    }
+
+    #[test]
+    fn spatial_gradient_reads_x_coordinates() {
+        let graph = GeometricGraph::build(vec![Point::new(0.1, 0.9), Point::new(0.7, 0.2)], 0.5);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let values = Field::SpatialGradient.values(&graph, &mut rng);
+        assert_eq!(values, vec![0.1, 0.7]);
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(InitialCondition::Spike.to_string(), "spike");
+        assert_eq!(InitialCondition::all().len(), 4);
+    }
+}

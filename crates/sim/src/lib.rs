@@ -16,8 +16,16 @@
 //! * [`metrics`] — transmission accounting and error-vs-cost trace recording;
 //!   every experiment figure is produced from these traces.
 //! * [`engine`] — a small driver that repeatedly draws the next clock tick,
-//!   invokes a protocol callback, and stops on a caller-supplied condition.
+//!   invokes a protocol callback ([`engine::Activation`], an object-safe
+//!   trait), and stops on a caller-supplied condition.
 //! * [`rng`] — deterministic seed management so experiments are reproducible.
+//! * [`field`] — initial measurement fields (spike, ramp, spatial gradient…).
+//! * [`error`] — the [`ProtocolError`] shared by protocol constructors and
+//!   scenario validation.
+//! * [`scenario`] — scenarios as data: a serde [`scenario::ScenarioSpec`]
+//!   (topology × field × protocol × stop condition × trials) and a
+//!   [`scenario::Runner`] facade that executes specs with rayon-parallel,
+//!   bit-deterministic trials.
 //!
 //! # Example
 //!
@@ -38,12 +46,17 @@
 
 pub mod clock;
 pub mod engine;
+pub mod error;
 pub mod event;
+pub mod field;
 pub mod metrics;
 pub mod rng;
+pub mod scenario;
 
 pub use clock::{GlobalPoissonClock, Tick};
-pub use engine::{AsyncEngine, EngineReport, StopCondition};
+pub use engine::{Activation, AsyncEngine, Clocking, EngineReport, StopCondition, StopReason};
+pub use error::ProtocolError;
 pub use event::{EventQueue, ScheduledEvent};
+pub use field::{Field, InitialCondition};
 pub use metrics::{ConvergenceTrace, TracePoint, TransmissionCounter};
 pub use rng::SeedStream;

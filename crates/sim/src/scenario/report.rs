@@ -1,0 +1,266 @@
+//! Structured results of a scenario run: per-trial costs plus summary
+//! statistics, serializable to JSON and renderable as a table.
+
+use crate::metrics::{ConvergenceTrace, TransmissionCounter};
+use crate::scenario::spec::ScenarioSpec;
+use geogossip_analysis::json::JsonValue;
+use geogossip_analysis::{Summary, Table};
+use serde::{Deserialize, Serialize};
+
+/// The cost outcome of one trial, reduced to the quantities the experiment
+/// tables report (plus the trace and protocol metrics for the experiments
+/// that need more).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialCost {
+    /// Whether the accuracy target was reached.
+    pub converged: bool,
+    /// Transmission counters (routing / local / control).
+    pub transmissions: TransmissionCounter,
+    /// "Rounds": the protocol's own round counter when it has one (top-level
+    /// rounds for the round-based affine protocol), engine ticks otherwise.
+    pub rounds: u64,
+    /// Engine ticks consumed (equals `rounds` for tick-driven protocols).
+    pub ticks: u64,
+    /// Final relative ℓ₂ error.
+    pub final_error: f64,
+    /// Protocol-specific numeric outcomes (`Activation::metrics`).
+    pub metrics: Vec<(String, f64)>,
+    /// Error-vs-cost trace of the trial (not serialized into report JSON;
+    /// experiments read it in-process).
+    pub trace: ConvergenceTrace,
+}
+
+impl TrialCost {
+    /// Looks up a protocol metric by key.
+    pub fn metric(&self, key: &str) -> Option<f64> {
+        self.metrics.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+}
+
+/// Aggregate statistics over a scenario's trials.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSummary {
+    /// Trials that reached the accuracy target.
+    pub converged_trials: u64,
+    /// Total trials.
+    pub trials: u64,
+    /// Mean transmissions across trials.
+    pub mean_transmissions: f64,
+    /// Smallest per-trial transmission total.
+    pub min_transmissions: u64,
+    /// Largest per-trial transmission total.
+    pub max_transmissions: u64,
+    /// Mean protocol rounds across trials.
+    pub mean_rounds: f64,
+    /// Mean final relative error across trials.
+    pub mean_final_error: f64,
+}
+
+/// The structured result of running one [`ScenarioSpec`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// The spec that produced this report (self-describing output).
+    pub spec: ScenarioSpec,
+    /// Protocol display name as reported by the running instance.
+    pub protocol_label: String,
+    /// Per-trial outcomes, ordered by trial index.
+    pub trials: Vec<TrialCost>,
+    /// Aggregate statistics.
+    pub summary: ScenarioSummary,
+}
+
+impl ScenarioReport {
+    /// Assembles a report, computing the summary from the trial costs.
+    pub fn new(spec: ScenarioSpec, protocol_label: String, trials: Vec<TrialCost>) -> Self {
+        let mut tx = Summary::new();
+        let mut rounds = Summary::new();
+        let mut error = Summary::new();
+        let mut converged = 0u64;
+        for trial in &trials {
+            tx.push(trial.transmissions.total() as f64);
+            rounds.push(trial.rounds as f64);
+            error.push(trial.final_error);
+            if trial.converged {
+                converged += 1;
+            }
+        }
+        let summary = ScenarioSummary {
+            converged_trials: converged,
+            trials: trials.len() as u64,
+            mean_transmissions: tx.mean(),
+            min_transmissions: if trials.is_empty() {
+                0
+            } else {
+                tx.min() as u64
+            },
+            max_transmissions: if trials.is_empty() {
+                0
+            } else {
+                tx.max() as u64
+            },
+            mean_rounds: rounds.mean(),
+            mean_final_error: error.mean(),
+        };
+        ScenarioReport {
+            spec,
+            protocol_label,
+            trials,
+            summary,
+        }
+    }
+
+    /// Whether every trial converged.
+    pub fn all_converged(&self) -> bool {
+        self.summary.converged_trials == self.summary.trials
+    }
+
+    /// Serialises the report (spec echo, per-trial costs, summary) to the
+    /// JSON document model. Traces are omitted — they can run to millions of
+    /// points; experiments that need them read [`TrialCost::trace`]
+    /// in-process.
+    pub fn to_json_value(&self) -> JsonValue {
+        let trials = self
+            .trials
+            .iter()
+            .map(|t| {
+                let mut entries = vec![
+                    ("converged", JsonValue::Bool(t.converged)),
+                    ("transmissions", t.transmissions.total().into()),
+                    ("routing", t.transmissions.routing().into()),
+                    ("local", t.transmissions.local().into()),
+                    ("control", t.transmissions.control().into()),
+                    ("rounds", t.rounds.into()),
+                    ("ticks", t.ticks.into()),
+                    ("final-error", t.final_error.into()),
+                ];
+                if !t.metrics.is_empty() {
+                    entries.push((
+                        "metrics",
+                        JsonValue::Object(
+                            t.metrics
+                                .iter()
+                                .map(|(k, v)| (k.clone(), JsonValue::Number(*v)))
+                                .collect(),
+                        ),
+                    ));
+                }
+                JsonValue::object(entries)
+            })
+            .collect();
+        JsonValue::object(vec![
+            ("spec", self.spec.to_json_value()),
+            (
+                "protocol-label",
+                JsonValue::string(self.protocol_label.clone()),
+            ),
+            ("trials", JsonValue::Array(trials)),
+            (
+                "summary",
+                JsonValue::object(vec![
+                    ("converged-trials", self.summary.converged_trials.into()),
+                    ("trials", self.summary.trials.into()),
+                    ("mean-transmissions", self.summary.mean_transmissions.into()),
+                    ("min-transmissions", self.summary.min_transmissions.into()),
+                    ("max-transmissions", self.summary.max_transmissions.into()),
+                    ("mean-rounds", self.summary.mean_rounds.into()),
+                    ("mean-final-error", self.summary.mean_final_error.into()),
+                ]),
+            ),
+        ])
+    }
+
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().pretty()
+    }
+}
+
+/// Renders a set of reports as one comparison table (one row per scenario),
+/// the shape every experiment and the CLI print.
+pub fn reports_table(reports: &[ScenarioReport]) -> Table {
+    let mut table = Table::new(vec![
+        "scenario",
+        "protocol",
+        "n",
+        "ε",
+        "converged",
+        "mean tx",
+        "mean rounds",
+        "mean final error",
+    ]);
+    for report in reports {
+        table.add_row(vec![
+            report.spec.name.clone(),
+            report.protocol_label.clone(),
+            report.spec.topology.n.to_string(),
+            format!("{}", report.spec.stop.epsilon),
+            format!(
+                "{}/{}",
+                report.summary.converged_trials, report.summary.trials
+            ),
+            format!("{:.0}", report.summary.mean_transmissions),
+            format!("{:.0}", report.summary.mean_rounds),
+            format!("{:.3e}", report.summary.mean_final_error),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(converged: bool, tx: u64, rounds: u64, err: f64) -> TrialCost {
+        let mut counter = TransmissionCounter::new();
+        counter.charge_local(tx);
+        TrialCost {
+            converged,
+            transmissions: counter,
+            rounds,
+            ticks: rounds,
+            final_error: err,
+            metrics: vec![("exchanges".into(), rounds as f64)],
+            trace: ConvergenceTrace::new(),
+        }
+    }
+
+    #[test]
+    fn summary_aggregates_trials() {
+        let spec = ScenarioSpec::standard("pairwise", 64, 0.1);
+        let report = ScenarioReport::new(
+            spec,
+            "pairwise".into(),
+            vec![cost(true, 100, 10, 0.05), cost(false, 300, 30, 0.2)],
+        );
+        assert_eq!(report.summary.trials, 2);
+        assert_eq!(report.summary.converged_trials, 1);
+        assert!(!report.all_converged());
+        assert_eq!(report.summary.mean_transmissions, 200.0);
+        assert_eq!(report.summary.min_transmissions, 100);
+        assert_eq!(report.summary.max_transmissions, 300);
+        assert_eq!(report.summary.mean_rounds, 20.0);
+        assert_eq!(report.trials[0].metric("exchanges"), Some(10.0));
+        assert_eq!(report.trials[0].metric("nope"), None);
+    }
+
+    #[test]
+    fn report_json_contains_summary_and_trials_but_no_trace() {
+        let spec = ScenarioSpec::standard("pairwise", 64, 0.1);
+        let report = ScenarioReport::new(spec, "pairwise".into(), vec![cost(true, 100, 10, 0.05)]);
+        let json = report.to_json();
+        assert!(json.contains("\"mean-transmissions\""));
+        assert!(json.contains("\"metrics\""));
+        assert!(!json.contains("trace"));
+        // The document parses back.
+        assert!(JsonValue::parse(&json).is_ok());
+    }
+
+    #[test]
+    fn table_has_one_row_per_report() {
+        let spec = ScenarioSpec::standard("pairwise", 64, 0.1);
+        let report = ScenarioReport::new(spec, "pairwise".into(), vec![cost(true, 10, 1, 0.01)]);
+        let table = reports_table(&[report.clone(), report]);
+        assert_eq!(table.len(), 2);
+        assert!(table.to_markdown().contains("pairwise"));
+    }
+}

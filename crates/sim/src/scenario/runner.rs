@@ -1,0 +1,300 @@
+//! The `Runner` facade: executes [`ScenarioSpec`]s against a protocol
+//! factory, with rayon-parallel trials under the workspace's
+//! determinism-under-rayon contract.
+
+use crate::engine::{Activation, AsyncEngine};
+use crate::error::ProtocolError;
+use crate::rng::SeedStream;
+use crate::scenario::report::{ScenarioReport, TrialCost};
+use crate::scenario::spec::{ProtocolSpec, ScenarioSpec};
+use geogossip_graph::GeometricGraph;
+use rand::RngCore;
+use rayon::prelude::*;
+
+/// Resolves protocol names from a [`ScenarioSpec`] into runnable
+/// [`Activation`] instances.
+///
+/// The canonical implementation is `geogossip_core::registry::ProtocolRegistry`
+/// (the trait lives here, below the protocol crate, so the scenario layer
+/// stays protocol-agnostic and new protocols plug in without touching the
+/// runner).
+pub trait ProtocolFactory: Send + Sync {
+    /// The names this factory resolves, in presentation order.
+    fn names(&self) -> Vec<String>;
+
+    /// The seed tag mixed into the per-trial run stream for `name`
+    /// (`seeds.trial("run", trial ^ (tag << 32))`), or `None` for unknown
+    /// names. Distinct tags keep different protocols on the same instance
+    /// statistically independent; the built-in tags reproduce the historical
+    /// per-protocol streams bit-for-bit.
+    fn seed_tag(&self, name: &str) -> Option<u64>;
+
+    /// Builds a protocol instance over `graph` with the given initial values.
+    ///
+    /// `epsilon` is the scenario's stop target (round-based protocols derive
+    /// their internal accuracy cascade from it); `rng` is the trial's run
+    /// stream — builders that need randomness (random coefficients, rejection
+    /// sampling) draw from it, others must leave it untouched.
+    fn build<'a>(
+        &self,
+        spec: &ProtocolSpec,
+        graph: &'a GeometricGraph,
+        values: Vec<f64>,
+        epsilon: f64,
+        rng: &mut dyn RngCore,
+    ) -> Result<Box<dyn Activation + 'a>, ProtocolError>;
+}
+
+/// Executes scenarios: builds the per-trial network, field and protocol, and
+/// drives the engine — in parallel across trials and scenarios.
+///
+/// # Determinism
+///
+/// Results are **bit-identical** to a sequential loop: every trial derives
+/// all of its RNG streams from `(spec.seed, trial index)` via
+/// [`SeedStream::trial`] and shares nothing, and the vendored rayon stand-in
+/// preserves input order on collect. The run stream additionally mixes in the
+/// protocol's seed tag, so different protocols compared on the same topology
+/// see the same networks and fields but independent run randomness — exactly
+/// the historical `run_protocol` contract.
+pub struct Runner {
+    factory: Box<dyn ProtocolFactory>,
+}
+
+impl Runner {
+    /// Creates a runner over the given protocol factory.
+    pub fn new(factory: Box<dyn ProtocolFactory>) -> Self {
+        Runner { factory }
+    }
+
+    /// The factory backing this runner (for listing protocols).
+    pub fn factory(&self) -> &dyn ProtocolFactory {
+        &*self.factory
+    }
+
+    /// Runs one scenario, parallelising its trials across cores.
+    pub fn run(&self, spec: &ScenarioSpec) -> Result<ScenarioReport, ProtocolError> {
+        spec.validate()?;
+        let tag = self.resolve_tag(spec)?;
+        let outcomes: Vec<Result<(TrialCost, String), ProtocolError>> = (0..spec.trials)
+            .into_par_iter()
+            .map(|trial| self.run_trial(spec, tag, trial))
+            .collect();
+        let mut label = spec.protocol.name.clone();
+        let mut trials = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            let (cost, trial_label) = outcome?;
+            label = trial_label;
+            trials.push(cost);
+        }
+        Ok(ScenarioReport::new(spec.clone(), label, trials))
+    }
+
+    /// Runs several scenarios as one parallel workload.
+    ///
+    /// The flattened grid is **trial-major** (`(s₀,t₀), (s₁,t₀), …, (s₀,t₁),
+    /// …`) so that workers splitting it into contiguous chunks each receive a
+    /// mix of scenarios — laying it out scenario-major would park every
+    /// expensive largest-`n` trial in the same trailing chunk and serialise
+    /// them on one core. Results are reassembled by index, so the reports are
+    /// identical to calling [`Runner::run`] per spec.
+    pub fn run_all(&self, specs: &[ScenarioSpec]) -> Result<Vec<ScenarioReport>, ProtocolError> {
+        let mut tags = Vec::with_capacity(specs.len());
+        for spec in specs {
+            spec.validate()?;
+            tags.push(self.resolve_tag(spec)?);
+        }
+        let max_trials = specs.iter().map(|s| s.trials).max().unwrap_or(0);
+        let grid: Vec<(usize, u64)> = (0..max_trials)
+            .flat_map(|t| {
+                specs
+                    .iter()
+                    .enumerate()
+                    .filter(move |(_, s)| t < s.trials)
+                    .map(move |(i, _)| (i, t))
+            })
+            .collect();
+        let flat: Vec<Result<(TrialCost, String), ProtocolError>> = grid
+            .clone()
+            .into_par_iter()
+            .map(|(i, trial)| self.run_trial(&specs[i], tags[i], trial))
+            .collect();
+
+        // Reassemble per scenario in trial order.
+        let mut per_spec: Vec<Vec<(TrialCost, String)>> = specs
+            .iter()
+            .map(|s| Vec::with_capacity(s.trials as usize))
+            .collect();
+        for ((i, _trial), outcome) in grid.into_iter().zip(flat) {
+            per_spec[i].push(outcome?);
+        }
+        Ok(specs
+            .iter()
+            .zip(per_spec)
+            .map(|(spec, outcomes)| {
+                let label = outcomes
+                    .last()
+                    .map(|(_, l)| l.clone())
+                    .unwrap_or_else(|| spec.protocol.name.clone());
+                let trials = outcomes.into_iter().map(|(c, _)| c).collect();
+                ScenarioReport::new(spec.clone(), label, trials)
+            })
+            .collect())
+    }
+
+    fn resolve_tag(&self, spec: &ScenarioSpec) -> Result<u64, ProtocolError> {
+        self.factory
+            .seed_tag(&spec.protocol.name)
+            .ok_or_else(|| ProtocolError::UnknownProtocol {
+                name: spec.protocol.name.clone(),
+            })
+    }
+
+    /// One trial: placement → field → protocol → engine, every stream derived
+    /// from `(spec.seed, trial)`.
+    fn run_trial(
+        &self,
+        spec: &ScenarioSpec,
+        tag: u64,
+        trial: u64,
+    ) -> Result<(TrialCost, String), ProtocolError> {
+        let seeds = SeedStream::new(spec.seed);
+        let graph = spec.topology.build(&seeds, trial);
+        let values = spec.field.values(&graph, &mut seeds.trial("values", trial));
+        let mut rng = seeds.trial("run", trial ^ (tag << 32));
+        let mut protocol =
+            self.factory
+                .build(&spec.protocol, &graph, values, spec.stop.epsilon, &mut rng)?;
+        let report = AsyncEngine::new(graph.len()).run(&mut *protocol, spec.stop, &mut rng);
+        let label = protocol.name().to_string();
+        let cost = TrialCost {
+            converged: report.converged(),
+            transmissions: report.transmissions,
+            rounds: protocol.rounds().unwrap_or(report.ticks),
+            ticks: report.ticks,
+            final_error: report.final_error,
+            metrics: protocol.metrics(),
+            trace: report.trace,
+        };
+        Ok((cost, label))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Tick;
+    use crate::metrics::TransmissionCounter;
+    use rand::Rng;
+
+    /// A stand-in protocol for runner tests: converges once the accumulated
+    /// random drift crosses a threshold, so the outcome depends on every RNG
+    /// stream the runner derives.
+    struct DriftProtocol {
+        error: f64,
+        fingerprint: f64,
+    }
+
+    impl Activation for DriftProtocol {
+        fn on_tick(&mut self, _tick: Tick, tx: &mut TransmissionCounter, rng: &mut dyn RngCore) {
+            tx.charge_local(1);
+            self.error *= 0.9 + 0.05 * rng.gen::<f64>();
+        }
+        fn relative_error(&self) -> f64 {
+            self.error
+        }
+        fn name(&self) -> &str {
+            "drift"
+        }
+        fn metrics(&self) -> Vec<(String, f64)> {
+            vec![("fingerprint".into(), self.fingerprint)]
+        }
+    }
+
+    struct DriftFactory;
+
+    impl ProtocolFactory for DriftFactory {
+        fn names(&self) -> Vec<String> {
+            vec!["drift".into()]
+        }
+        fn seed_tag(&self, name: &str) -> Option<u64> {
+            (name == "drift").then_some(11)
+        }
+        fn build<'a>(
+            &self,
+            spec: &ProtocolSpec,
+            _graph: &'a GeometricGraph,
+            values: Vec<f64>,
+            _epsilon: f64,
+            _rng: &mut dyn RngCore,
+        ) -> Result<Box<dyn Activation + 'a>, ProtocolError> {
+            spec.reject_unknown(&[])?;
+            Ok(Box::new(DriftProtocol {
+                error: 1.0,
+                fingerprint: values.iter().sum(),
+            }))
+        }
+    }
+
+    fn spec(trials: u64, seed: u64) -> ScenarioSpec {
+        ScenarioSpec::standard("drift", 32, 0.05)
+            .with_trials(trials)
+            .with_seed(seed)
+    }
+
+    #[test]
+    fn runs_are_deterministic_and_trial_streams_differ() {
+        let runner = Runner::new(Box::new(DriftFactory));
+        let a = runner.run(&spec(3, 5)).unwrap();
+        let b = runner.run(&spec(3, 5)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.trials.len(), 3);
+        assert!(a.all_converged());
+        // Different trials see different randomness.
+        assert_ne!(a.trials[0].ticks, a.trials[1].ticks);
+        // Different seeds change the outcome.
+        let c = runner.run(&spec(3, 6)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn run_all_matches_individual_runs() {
+        let runner = Runner::new(Box::new(DriftFactory));
+        let specs = vec![spec(2, 5), spec(3, 7)];
+        let batch = runner.run_all(&specs).unwrap();
+        let individual: Vec<ScenarioReport> =
+            specs.iter().map(|s| runner.run(s).unwrap()).collect();
+        assert_eq!(batch, individual);
+    }
+
+    #[test]
+    fn unknown_protocols_are_rejected_by_name() {
+        let runner = Runner::new(Box::new(DriftFactory));
+        let bad = ScenarioSpec::standard("no-such-protocol", 32, 0.1);
+        assert!(matches!(
+            runner.run(&bad),
+            Err(ProtocolError::UnknownProtocol { name }) if name == "no-such-protocol"
+        ));
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_before_any_work() {
+        let runner = Runner::new(Box::new(DriftFactory));
+        let bad = ScenarioSpec::standard("drift", 32, -0.5);
+        assert!(matches!(
+            runner.run(&bad),
+            Err(ProtocolError::InvalidParameter { name, .. }) if name == "epsilon"
+        ));
+    }
+
+    #[test]
+    fn unknown_params_fail_loudly() {
+        let runner = Runner::new(Box::new(DriftFactory));
+        let mut s = spec(1, 5);
+        s.protocol = ProtocolSpec::named("drift").with_number("typo", 1.0);
+        assert!(matches!(
+            runner.run(&s),
+            Err(ProtocolError::InvalidParameter { name, .. }) if name == "typo"
+        ));
+    }
+}

@@ -13,22 +13,28 @@
 //! ```
 
 use geogossip::core::affine::Hierarchy;
-use geogossip::geometry::{sampling::sample_unit_square, PartitionConfig, Point};
-use geogossip::graph::GeometricGraph;
+use geogossip::geometry::{PartitionConfig, Point};
 use geogossip::routing::flood::flood_cell;
 use geogossip::routing::greedy::{route_to_node, route_to_position};
+use geogossip::sim::scenario::{RadiusSpec, TopologySpec};
 use geogossip::sim::SeedStream;
 
 fn main() {
     let n = 2048;
     let seeds = SeedStream::new(5);
 
-    // The sensor deployment.
-    let positions = sample_unit_square(n, &mut seeds.stream("placement"));
-    let network = GeometricGraph::build_at_connectivity_radius(positions, 2.0);
+    // The sensor deployment, described as scenario topology data (uniform
+    // placement at radius 2·sqrt(log n / n) on the plain unit square).
+    let mut topology = TopologySpec::standard(n);
+    topology.radius = RadiusSpec::ConnectivityConstant(2.0);
+    let network = topology.build(&seeds, 0);
     let degrees = network.degree_summary();
     println!("== geometric random graph ==");
-    println!("n = {n}, r = {:.4}", network.radius());
+    println!(
+        "n = {n}, r = {:.4} ({})",
+        network.radius(),
+        network.topology()
+    );
     println!(
         "edges = {}, degree min/mean/max = {}/{:.1}/{}, connected = {}",
         network.edge_count(),

@@ -1,9 +1,11 @@
 //! Quickstart: average a sensor field with the paper's protocol.
 //!
-//! Builds a 1 024-node geometric random graph at the standard connectivity
-//! radius, gives every sensor a measurement, and runs the hierarchical
-//! affine-combination protocol until the ℓ₂ error falls below 1% — printing
-//! the cost breakdown the paper's analysis is about.
+//! Describes the whole experiment as **data** — a [`ScenarioSpec`] composing
+//! a 1 024-node geometric random graph at the standard connectivity radius, a
+//! spike field, and the hierarchical affine-combination protocol run until
+//! the ℓ₂ error falls below 1% — and hands it to the scenario [`Runner`].
+//! The same JSON printed below can be saved and replayed with
+//! `cargo run --release --bin geogossip -- run spec.json`.
 //!
 //! Run with:
 //!
@@ -11,65 +13,40 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use geogossip::core::prelude::*;
-use geogossip::geometry::sampling::sample_unit_square;
-use geogossip::graph::GeometricGraph;
-use geogossip::sim::SeedStream;
+use geogossip::core::registry::builtin_runner;
+use geogossip::core::ProtocolError;
+use geogossip::sim::field::{Field, InitialCondition};
+use geogossip::sim::scenario::ScenarioSpec;
 
 fn main() -> Result<(), ProtocolError> {
-    let n = 1024;
-    let epsilon = 0.01;
-    let seeds = SeedStream::new(2024);
+    // 1. The scenario, as data: n sensors uniform in the unit square at
+    //    radius 1.5·sqrt(log n / n), a single-spike measurement field, the
+    //    paper's protocol (round-based form, idealised local averaging), 1%
+    //    accuracy target.
+    let spec = ScenarioSpec::standard("affine-idealized", 1024, 0.01)
+        .with_field(Field::Condition(InitialCondition::Spike))
+        .with_seed(2024);
+    println!("scenario spec (replayable via `geogossip run <file>`):\n");
+    println!("{}\n", spec.to_json());
 
-    // 1. Deploy the sensor network: n uniform positions, radio radius
-    //    r = 2·sqrt(log n / n) (comfortably above the connectivity threshold).
-    let positions = sample_unit_square(n, &mut seeds.stream("placement"));
-    let network = GeometricGraph::build_at_connectivity_radius(positions, 2.0);
-    println!("network: n = {n}, radius = {:.4}", network.radius());
-    println!(
-        "         {} edges, mean degree {:.1}, connected: {}",
-        network.edge_count(),
-        network.degree_summary().mean,
-        network.is_connected()
-    );
+    // 2. Execute it.
+    let report = builtin_runner().run(&spec)?;
+    let trial = &report.trials[0];
 
-    // 2. Initial measurements: a single sensor observed an event (spike).
-    let values = InitialCondition::Spike.generate(n, &mut seeds.stream("values"));
-
-    // 3. Run the paper's protocol (round-based form, idealised local
-    //    averaging) until the relative ℓ₂ error is below 1%.
-    let mut protocol =
-        RoundBasedAffineGossip::new(&network, values, RoundBasedConfig::idealized(n))?;
-    println!(
-        "hierarchy: {} levels, {} cells, {} leader conflicts",
-        protocol.hierarchy().levels(),
-        protocol.hierarchy().partition().num_cells(),
-        protocol.hierarchy().leader_conflicts()
-    );
-
-    let report = protocol.run_until(epsilon, &mut seeds.stream("run"));
-
-    // 4. Report.
-    println!();
-    println!("converged:            {}", report.converged);
-    println!("final relative error: {:.2e}", report.final_error);
-    println!("top-level rounds:     {}", report.stats.top_rounds);
-    println!(
-        "long-range exchanges: {}",
-        report.stats.long_range_exchanges
-    );
-    println!("transmissions:        {}", report.transmissions.total());
-    println!("  routing (Far):      {}", report.transmissions.routing());
-    println!("  local (Near):       {}", report.transmissions.local());
-    println!("  control (floods):   {}", report.transmissions.control());
+    // 3. Report the cost breakdown the paper's analysis is about.
+    let metric = |key: &str| trial.metric(key).unwrap_or(0.0);
+    println!("protocol:             {}", report.protocol_label);
+    println!("converged:            {}", trial.converged);
+    println!("final relative error: {:.2e}", trial.final_error);
+    println!("top-level rounds:     {}", trial.rounds);
+    println!("long-range exchanges: {}", metric("long_range_exchanges"));
+    println!("transmissions:        {}", trial.transmissions.total());
+    println!("  routing (Far):      {}", trial.transmissions.routing());
+    println!("  local (Near):       {}", trial.transmissions.local());
+    println!("  control (floods):   {}", trial.transmissions.control());
     println!(
         "transmissions per sensor: {:.1}",
-        report.transmissions.total() as f64 / n as f64
-    );
-    println!(
-        "value at sensor 0 after averaging: {:.6} (true mean {:.6})",
-        protocol.state().values()[0],
-        protocol.state().mean()
+        trial.transmissions.total() as f64 / spec.topology.n as f64
     );
     Ok(())
 }

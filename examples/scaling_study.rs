@@ -7,6 +7,11 @@
 //! gossip, `k ≈ 1.5` for geographic gossip and `k → 1` for the affine
 //! hierarchy.
 //!
+//! The whole ladder is a list of [`ScenarioSpec`]s run as one parallel batch;
+//! the east–west gradient field (the scenario default) makes the protocols
+//! move mass across the whole unit square, the regime where long-range
+//! exchanges pay off.
+//!
 //! Run with:
 //!
 //! ```text
@@ -14,65 +19,38 @@
 //! ```
 
 use geogossip::analysis::{fit_power_law, Table};
-use geogossip::core::prelude::*;
-use geogossip::geometry::sampling::sample_unit_square;
-use geogossip::graph::GeometricGraph;
-use geogossip::sim::{AsyncEngine, SeedStream, StopCondition};
-
-/// The field being averaged: every sensor measures its own x-coordinate, so
-/// averaging requires moving mass across the whole unit square (the regime
-/// where long-range exchanges pay off; a position-independent field can be
-/// averaged mostly locally and understates the gap between the protocols).
-fn gradient_field(network: &GeometricGraph) -> Vec<f64> {
-    network.positions().iter().map(|p| p.x).collect()
-}
+use geogossip::core::registry::builtin_runner;
+use geogossip::core::ProtocolError;
+use geogossip::sim::scenario::{ScenarioReport, ScenarioSpec};
 
 fn main() -> Result<(), ProtocolError> {
     let sizes = [128usize, 256, 512, 1024];
+    let protocols = ["pairwise", "geographic", "affine-idealized"];
     let epsilon = 0.05;
-    let seeds = SeedStream::new(99);
+
+    let specs: Vec<ScenarioSpec> = protocols
+        .iter()
+        .flat_map(|&protocol| {
+            sizes
+                .iter()
+                .map(move |&n| ScenarioSpec::standard(protocol, n, epsilon).with_seed(99))
+        })
+        .collect();
+    let reports = builtin_runner().run_all(&specs)?;
+    let report_for =
+        |p_idx: usize, n_idx: usize| -> &ScenarioReport { &reports[p_idx * sizes.len() + n_idx] };
 
     let mut table = Table::new(vec!["n", "pairwise tx", "geographic tx", "affine tx"]);
-    let mut pairwise_costs = Vec::new();
-    let mut geographic_costs = Vec::new();
-    let mut affine_costs = Vec::new();
-
-    for &n in &sizes {
-        let positions = sample_unit_square(n, &mut seeds.trial("placement", n as u64));
-        // Radius just above the connectivity threshold, as the paper assumes.
-        let network = GeometricGraph::build_at_connectivity_radius(positions, 1.5);
-        let values = gradient_field(&network);
-
-        let mut pairwise = PairwiseGossip::new(&network, values.clone())?;
-        let pw = AsyncEngine::new(n).run(
-            &mut pairwise,
-            StopCondition::at_epsilon(epsilon).with_max_ticks(50_000_000),
-            &mut seeds.trial("pairwise", n as u64),
-        );
-
-        let mut geographic = GeographicGossip::new(&network, values.clone())?;
-        let geo = AsyncEngine::new(n).run(
-            &mut geographic,
-            StopCondition::at_epsilon(epsilon).with_max_ticks(50_000_000),
-            &mut seeds.trial("geographic", n as u64),
-        );
-
-        let mut affine =
-            RoundBasedAffineGossip::new(&network, values, RoundBasedConfig::idealized(n))?;
-        let aff = affine.run_until(epsilon, &mut seeds.trial("affine", n as u64));
-
-        pairwise_costs.push(pw.transmissions.total() as f64);
-        geographic_costs.push(geo.transmissions.total() as f64);
-        affine_costs.push(aff.transmissions.total() as f64);
-        table.add_row(vec![
-            n.to_string(),
-            pw.transmissions.total().to_string(),
-            geo.transmissions.total().to_string(),
-            aff.transmissions.total().to_string(),
-        ]);
-        eprintln!("finished n = {n}");
+    for (n_idx, &n) in sizes.iter().enumerate() {
+        let mut row = vec![n.to_string()];
+        for (p_idx, _) in protocols.iter().enumerate() {
+            row.push(format!(
+                "{:.0}",
+                report_for(p_idx, n_idx).summary.mean_transmissions
+            ));
+        }
+        table.add_row(row);
     }
-
     println!("{}", table.to_markdown());
 
     let xs: Vec<f64> = sizes.iter().map(|&n| n as f64).collect();
@@ -82,17 +60,23 @@ fn main() -> Result<(), ProtocolError> {
         "R²",
         "paper's prediction",
     ]);
-    for (name, costs, paper) in [
-        ("pairwise", &pairwise_costs, "≈ 2"),
-        ("geographic", &geographic_costs, "≈ 1.5"),
-        ("affine hierarchy", &affine_costs, "1 + o(1)"),
-    ] {
-        if let Some(fit) = fit_power_law(&xs, costs) {
+    for (p_idx, (name, paper)) in [
+        ("pairwise", "≈ 2"),
+        ("geographic", "≈ 1.5"),
+        ("affine hierarchy", "1 + o(1)"),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let costs: Vec<f64> = (0..sizes.len())
+            .map(|n_idx| report_for(p_idx, n_idx).summary.mean_transmissions)
+            .collect();
+        if let Some(fit) = fit_power_law(&xs, &costs) {
             fits.add_row(vec![
-                name.into(),
+                (*name).into(),
                 format!("{:.2}", fit.exponent),
                 format!("{:.3}", fit.r_squared),
-                paper.into(),
+                (*paper).into(),
             ]);
         }
     }

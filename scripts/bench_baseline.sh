@@ -1,10 +1,17 @@
 #!/usr/bin/env bash
 # Measures the headline hot-path medians (graph build, corner-to-corner route,
 # geographic-gossip tick at n ∈ {1024, 4096}, plus the tick speedup over the
-# preserved pre-CSR implementation) and writes them to BENCH_baseline.json —
-# the first point of the repository's performance trajectory.
+# preserved pre-CSR implementation) and records them in BENCH_baseline.json —
+# the repository's performance trajectory.
+#
+# The classic baseline section is only (re)generated when the output file does
+# not exist yet; every invocation then APPENDS a dyn-dispatch vs generic-path
+# tick measurement to the file's `dyn_dispatch` array (the scenario redesign's
+# object-safe protocol trait adds a `dyn RngCore` vtable to the hot path; this
+# keeps its overhead measured over time without overwriting history).
 #
 # Usage: scripts/bench_baseline.sh [output.json]   (default BENCH_baseline.json)
+# Force a fresh classic baseline by deleting the file first.
 #
 # `cargo bench -p geogossip-bench` prints the same quantities interactively
 # through the criterion harness; this script uses the dedicated binary so the
@@ -13,4 +20,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_baseline.json}"
-cargo run --release -p geogossip-bench --bin bench_baseline -- "$OUT"
+if [ ! -f "$OUT" ]; then
+    cargo run --release -p geogossip-bench --bin bench_baseline -- "$OUT"
+fi
+cargo run --release -p geogossip-bench --bin bench_baseline -- --append-dyn "$OUT"

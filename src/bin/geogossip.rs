@@ -1,0 +1,238 @@
+//! The `geogossip` CLI: run gossip scenarios from JSON specs or flags.
+//!
+//! ```text
+//! geogossip run scenarios/smoke.json            # run a spec file
+//! geogossip run scenarios/smoke.json --json out.json
+//! geogossip run --protocol pairwise --n 256 --epsilon 0.1 --trials 2
+//! geogossip protocols                           # list the registry
+//! geogossip template                            # print an example spec
+//! ```
+//!
+//! A spec file holds either a single scenario object or
+//! `{"scenarios": [ … ]}`; see `geogossip_sim::scenario` for the schema.
+
+use geogossip::analysis::json::JsonValue;
+use geogossip::core::registry::builtin_runner;
+use geogossip::sim::field::Field;
+use geogossip::sim::scenario::{reports_table, ScenarioReport, ScenarioSpec, TopologySpec};
+use geogossip::sim::ProtocolError;
+use geogossip_geometry::Topology;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => run(&args[1..]),
+        Some("protocols") => {
+            list_protocols();
+            Ok(())
+        }
+        Some("template") => {
+            println!("{}", template_spec().to_json());
+            Ok(())
+        }
+        Some("--help" | "-h" | "help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(ProtocolError::malformed(format!(
+            "unknown command `{other}` (try `geogossip help`)"
+        ))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "geogossip — gossip averaging scenarios on geometric random graphs\n\
+         \n\
+         USAGE:\n\
+         \x20 geogossip run <spec.json> [--json <out.json>]\n\
+         \x20 geogossip run --protocol <name> [--n N] [--epsilon E] [--trials T]\n\
+         \x20               [--seed S] [--field F] [--radius-constant C] [--torus]\n\
+         \x20               [--param key=value]... [--json <out.json>]\n\
+         \x20 geogossip protocols        list registered protocols\n\
+         \x20 geogossip template         print an example scenario spec\n\
+         \n\
+         A spec file holds one scenario object or {{\"scenarios\": [...]}}.\n\
+         Fields: spike, uniform, ramp, bimodal, spatial-gradient."
+    );
+}
+
+fn list_protocols() {
+    let registry = geogossip::core::ProtocolRegistry::builtin();
+    println!("registered protocols:");
+    for entry in registry.entries() {
+        println!("  {:26} {}", entry.name, entry.summary);
+    }
+}
+
+fn template_spec() -> ScenarioSpec {
+    ScenarioSpec::standard("geographic", 512, 0.05).with_trials(2)
+}
+
+fn run(args: &[String]) -> Result<(), ProtocolError> {
+    let mut spec_path: Option<String> = None;
+    let mut json_out: Option<String> = None;
+    let mut flags = FlagSpec::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut take = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| ProtocolError::malformed(format!("`{name}` needs a value")))
+        };
+        match arg.as_str() {
+            "--json" => json_out = Some(take("--json")?),
+            "--protocol" => flags.protocol = Some(take("--protocol")?),
+            "--n" => flags.n = Some(parse_u64(&take("--n")?, "--n")? as usize),
+            "--epsilon" => flags.epsilon = Some(parse_f64(&take("--epsilon")?, "--epsilon")?),
+            "--trials" => flags.trials = Some(parse_u64(&take("--trials")?, "--trials")?),
+            "--seed" => flags.seed = Some(parse_u64(&take("--seed")?, "--seed")?),
+            "--field" => flags.field = Some(take("--field")?),
+            "--radius-constant" => {
+                flags.radius_constant =
+                    Some(parse_f64(&take("--radius-constant")?, "--radius-constant")?)
+            }
+            "--torus" => flags.torus = true,
+            "--param" => flags.params.push(take("--param")?),
+            other if other.starts_with('-') => {
+                return Err(ProtocolError::malformed(format!("unknown flag `{other}`")))
+            }
+            other => {
+                if spec_path.replace(other.to_string()).is_some() {
+                    return Err(ProtocolError::malformed(
+                        "only one spec file can be given per run",
+                    ));
+                }
+            }
+        }
+    }
+
+    let specs = match (spec_path, flags.protocol.is_some()) {
+        (Some(path), false) => load_specs(&path)?,
+        (None, true) => vec![flags.into_spec()?],
+        (Some(_), true) => {
+            return Err(ProtocolError::malformed(
+                "pass either a spec file or --protocol flags, not both",
+            ))
+        }
+        (None, false) => {
+            return Err(ProtocolError::malformed(
+                "nothing to run: pass a spec file or --protocol (see `geogossip help`)",
+            ))
+        }
+    };
+
+    let runner = builtin_runner();
+    let reports = runner.run_all(&specs)?;
+    println!("{}", reports_table(&reports).to_markdown());
+    for report in &reports {
+        if !report.all_converged() {
+            println!(
+                "note: `{}` converged in {}/{} trials (mean final error {:.3e})",
+                report.spec.name,
+                report.summary.converged_trials,
+                report.summary.trials,
+                report.summary.mean_final_error
+            );
+        }
+    }
+    if let Some(path) = json_out {
+        let doc = JsonValue::Array(reports.iter().map(ScenarioReport::to_json_value).collect());
+        std::fs::write(&path, doc.pretty() + "\n")
+            .map_err(|e| ProtocolError::malformed(format!("cannot write `{path}`: {e}")))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Loads one spec or a `{"scenarios": [...]}` bundle from a JSON file.
+fn load_specs(path: &str) -> Result<Vec<ScenarioSpec>, ProtocolError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ProtocolError::malformed(format!("cannot read `{path}`: {e}")))?;
+    let doc =
+        JsonValue::parse(&text).map_err(|e| ProtocolError::malformed(format!("{path}: {e}")))?;
+    if let Some(list) = doc.get("scenarios") {
+        let items = list
+            .as_array()
+            .ok_or_else(|| ProtocolError::malformed("`scenarios` must be an array"))?;
+        if items.is_empty() {
+            return Err(ProtocolError::malformed("`scenarios` is empty"));
+        }
+        items.iter().map(ScenarioSpec::from_json_value).collect()
+    } else {
+        Ok(vec![ScenarioSpec::from_json_value(&doc)?])
+    }
+}
+
+/// Scenario assembled from command-line flags instead of a file.
+#[derive(Default)]
+struct FlagSpec {
+    protocol: Option<String>,
+    n: Option<usize>,
+    epsilon: Option<f64>,
+    trials: Option<u64>,
+    seed: Option<u64>,
+    field: Option<String>,
+    radius_constant: Option<f64>,
+    torus: bool,
+    params: Vec<String>,
+}
+
+impl FlagSpec {
+    fn into_spec(self) -> Result<ScenarioSpec, ProtocolError> {
+        let protocol = self.protocol.expect("checked by the caller");
+        let n = self.n.unwrap_or(256);
+        let mut spec = ScenarioSpec::standard(&protocol, n, self.epsilon.unwrap_or(0.1));
+        if let Some(trials) = self.trials {
+            spec = spec.with_trials(trials);
+        }
+        if let Some(seed) = self.seed {
+            spec = spec.with_seed(seed);
+        }
+        if let Some(field) = &self.field {
+            spec = spec.with_field(Field::parse(field).ok_or_else(|| {
+                ProtocolError::malformed(format!(
+                    "unknown field `{field}` (known: spike, uniform, ramp, bimodal, spatial-gradient)"
+                ))
+            })?);
+        }
+        if let Some(c) = self.radius_constant {
+            spec.topology = TopologySpec {
+                radius: geogossip::sim::scenario::RadiusSpec::ConnectivityConstant(c),
+                ..spec.topology
+            };
+        }
+        if self.torus {
+            spec.topology.surface = Topology::Torus;
+        }
+        for param in &self.params {
+            let (key, value) = param.split_once('=').ok_or_else(|| {
+                ProtocolError::malformed(format!("`--param` expects key=value, got `{param}`"))
+            })?;
+            spec.protocol = match value.parse::<f64>() {
+                Ok(number) => spec.protocol.with_number(key, number),
+                Err(_) => spec.protocol.with_text(key, value),
+            };
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+fn parse_u64(text: &str, flag: &str) -> Result<u64, ProtocolError> {
+    text.parse()
+        .map_err(|_| ProtocolError::malformed(format!("`{flag}` expects a whole number")))
+}
+
+fn parse_f64(text: &str, flag: &str) -> Result<f64, ProtocolError> {
+    text.parse()
+        .map_err(|_| ProtocolError::malformed(format!("`{flag}` expects a number")))
+}

@@ -1,0 +1,198 @@
+//! Integration tests for the scenario API redesign:
+//!
+//! 1. `ScenarioSpec` round-trips through JSON (JSON → spec → JSON).
+//! 2. Every built-in protocol resolves by name through the registry and runs.
+//! 3. The `Runner` is **bit-identical** to the pre-redesign
+//!    `run_protocol_trials` harness for the four comparison protocols — the
+//!    legacy path (direct protocol construction and seed derivation, exactly
+//!    as the retired `ProtocolKind` match did it) is reimplemented inline
+//!    here as the reference.
+
+use geogossip::core::prelude::*;
+use geogossip::core::registry::builtin_runner;
+use geogossip::geometry::sampling::sample_unit_square;
+use geogossip::graph::GeometricGraph;
+use geogossip::sim::field::Field;
+use geogossip::sim::scenario::{PlacementSpec, ProtocolSpec, RadiusSpec, ScenarioSpec};
+use geogossip::sim::{AsyncEngine, EngineReport, SeedStream, StopCondition};
+use geogossip_geometry::{Point, Rect, Topology};
+
+#[test]
+fn scenario_spec_round_trips_through_json() {
+    // A spec touching every schema branch: clustered placement, absolute
+    // radius, torus surface, protocol params of all three kinds, a disabled
+    // cap.
+    let mut spec = ScenarioSpec::standard("affine-recursive", 384, 0.07)
+        .with_trials(4)
+        .with_seed(99)
+        .with_field(Field::Condition(InitialCondition::Uniform));
+    spec.name = "round-trip".into();
+    spec.topology.placement = PlacementSpec::Clustered {
+        clusters: 3,
+        spread: 0.1,
+    };
+    spec.topology.radius = RadiusSpec::Absolute(0.12);
+    spec.topology.surface = Topology::Torus;
+    spec.protocol = ProtocolSpec::named("affine-recursive")
+        .with_number("epsilon-decay", 0.2)
+        .with_text("note", "ignored-by-validation-until-built");
+    spec.stop.max_transmissions = None;
+
+    let json = spec.to_json();
+    let parsed = ScenarioSpec::from_json(&json).expect("round trip parses");
+    assert_eq!(parsed, spec);
+    assert_eq!(
+        parsed.to_json(),
+        json,
+        "JSON → spec → JSON is a fixed point"
+    );
+
+    // Perforated placement too.
+    spec.topology.placement = PlacementSpec::Perforated {
+        hole: Rect::new(Point::new(0.4, 0.4), Point::new(0.6, 0.6)),
+    };
+    let reparsed = ScenarioSpec::from_json(&spec.to_json()).expect("perforated parses");
+    assert_eq!(reparsed, spec);
+}
+
+#[test]
+fn every_builtin_protocol_resolves_by_name_and_runs() {
+    let runner = builtin_runner();
+    let names = runner.factory().names();
+    assert!(
+        names.len() >= 7,
+        "expected the full builtin registry, got {names:?}"
+    );
+    for name in names {
+        // A loose target plus a small tick cap: this asserts resolution and a
+        // healthy run, not convergence.
+        let mut spec = ScenarioSpec::standard(&name, 128, 0.5);
+        spec.stop = spec.stop.with_max_ticks(20_000);
+        let report = runner
+            .run(&spec)
+            .unwrap_or_else(|e| panic!("`{name}` failed to run: {e}"));
+        assert_eq!(report.summary.trials, 1);
+        assert!(!report.protocol_label.is_empty());
+    }
+}
+
+/// The pre-redesign cost record, byte-comparable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct LegacyCost {
+    converged: bool,
+    transmissions: u64,
+    rounds: u64,
+    final_error_bits: u64,
+}
+
+impl LegacyCost {
+    fn from_engine(report: &EngineReport) -> Self {
+        LegacyCost {
+            converged: report.converged(),
+            transmissions: report.transmissions.total(),
+            rounds: report.ticks,
+            final_error_bits: report.final_error.to_bits(),
+        }
+    }
+}
+
+/// The retired `run_protocol` harness, verbatim: standard network at radius
+/// constant 1.5, gradient field, per-protocol seed tag folded into the run
+/// stream, engine for the tick-driven protocols and `run_until` for the
+/// round-based ones.
+fn legacy_run_protocol(
+    tag: u64,
+    n: usize,
+    epsilon: f64,
+    seeds: &SeedStream,
+    trial: u64,
+) -> LegacyCost {
+    let positions = sample_unit_square(n, &mut seeds.trial("placement", trial));
+    let network = GeometricGraph::build_at_connectivity_radius(positions, 1.5);
+    let values: Vec<f64> = network.positions().iter().map(|p| p.x).collect();
+    let mut rng = seeds.trial("run", trial ^ (tag << 32));
+    let stop = StopCondition::at_epsilon(epsilon).with_max_ticks(200_000_000);
+    match tag {
+        0 => {
+            let mut p = PairwiseGossip::new(&network, values).expect("valid instance");
+            LegacyCost::from_engine(&AsyncEngine::new(n).run(&mut p, stop, &mut rng))
+        }
+        1 => {
+            let mut p = GeographicGossip::new(&network, values).expect("valid instance");
+            LegacyCost::from_engine(&AsyncEngine::new(n).run(&mut p, stop, &mut rng))
+        }
+        2 | 3 => {
+            let config = if tag == 2 {
+                RoundBasedConfig::idealized(n)
+            } else {
+                RoundBasedConfig::practical(n)
+            };
+            let mut p =
+                RoundBasedAffineGossip::new(&network, values, config).expect("valid instance");
+            let report = p.run_until(epsilon, &mut rng);
+            LegacyCost {
+                converged: report.converged,
+                transmissions: report.transmissions.total(),
+                rounds: report.stats.top_rounds,
+                final_error_bits: report.final_error.to_bits(),
+            }
+        }
+        _ => unreachable!("legacy harness had four protocols"),
+    }
+}
+
+#[test]
+fn runner_is_bit_identical_to_the_legacy_harness() {
+    let protocols = [
+        ("pairwise", 0u64),
+        ("geographic", 1),
+        ("affine-idealized", 2),
+        ("affine-recursive", 3),
+    ];
+    let (n, epsilon, trials, seed) = (128usize, 0.1f64, 3u64, 20070612u64);
+    let runner = builtin_runner();
+    let seeds = SeedStream::new(seed);
+
+    for (name, tag) in protocols {
+        let spec = ScenarioSpec::standard(name, n, epsilon)
+            .with_trials(trials)
+            .with_seed(seed);
+        assert_eq!(
+            runner.factory().seed_tag(name),
+            Some(tag),
+            "registry seed tag drifted for {name}"
+        );
+        let report = runner.run(&spec).expect("standard spec runs");
+        assert_eq!(report.trials.len(), trials as usize);
+        for (trial, cost) in report.trials.iter().enumerate() {
+            let legacy = legacy_run_protocol(tag, n, epsilon, &seeds, trial as u64);
+            let via_runner = LegacyCost {
+                converged: cost.converged,
+                transmissions: cost.transmissions.total(),
+                rounds: cost.rounds,
+                final_error_bits: cost.final_error.to_bits(),
+            };
+            assert_eq!(
+                via_runner, legacy,
+                "{name} trial {trial}: runner diverged from the legacy harness"
+            );
+        }
+    }
+}
+
+#[test]
+fn torus_scenarios_run_and_use_denser_adjacency() {
+    let runner = builtin_runner();
+    let mut planar = ScenarioSpec::standard("pairwise", 256, 0.2).with_trials(1);
+    let mut torus = planar.clone();
+    torus.topology.surface = Topology::Torus;
+    planar.name = "planar".into();
+    torus.name = "torus".into();
+    let reports = runner.run_all(&[planar, torus]).expect("specs run");
+    assert!(reports.iter().all(|r| r.all_converged()));
+    // Same placement stream; the torus adds seam edges, so pairwise mixing is
+    // at least as fast in ticks on average. (Not asserted strictly — just
+    // sanity that both produced work.)
+    assert!(reports[0].summary.mean_transmissions > 0.0);
+    assert!(reports[1].summary.mean_transmissions > 0.0);
+}
