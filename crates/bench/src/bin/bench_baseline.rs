@@ -22,6 +22,12 @@
 //!   generic `step` path) and **appends** the record to the existing file's
 //!   `dyn_dispatch` array, preserving all prior entries (the BENCH history
 //!   rule: append comparable numbers, never overwrite history).
+//! * `… --bin bench_baseline -- --append-build [output.json]` — measures the
+//!   two-pass parallel graph build at `n ∈ {65 536, 262 144, 1 048 576}`
+//!   against the preserved sequential reference
+//!   ([`GeometricGraph::build_reference`], skipped at the largest size where
+//!   it would take minutes) and **appends** the records to the file's
+//!   `graph_build` array under the same never-clobber-history discipline.
 
 use geogossip_analysis::json::JsonValue;
 use geogossip_bench::legacy::{csr_geographic_tick, legacy_geographic_tick, LegacyGraph};
@@ -181,6 +187,101 @@ fn measure_dyn(n: usize, seeds: &SeedStream) -> DynBaseline {
     }
 }
 
+/// One large-`n` graph-build measurement.
+struct BuildBaseline {
+    n: usize,
+    samples: usize,
+    parallel_ns: f64,
+    /// `None` when the sequential reference was skipped (largest size).
+    reference_ns: Option<f64>,
+}
+
+/// Measures the two-pass parallel build — and, when affordable, the preserved
+/// sequential reference build — on one placement of `n` sensors at the
+/// standard bench radius `2·sqrt(log n / n)` (the constant the classic
+/// `graph_build_median_ns` rows used, so the series stays comparable).
+fn measure_build(
+    n: usize,
+    samples: usize,
+    with_reference: bool,
+    seeds: &SeedStream,
+) -> BuildBaseline {
+    let budget = Duration::from_millis(1500);
+    let positions = sample_unit_square(n, &mut seeds.trial("bench-placement", n as u64));
+    let radius = geogossip_geometry::connectivity_radius(n, 2.0);
+    let parallel_ns = geogossip_bench::timing::median_ns_per_iter_with_samples(
+        || {
+            std::hint::black_box(GeometricGraph::build(positions.clone(), radius));
+        },
+        budget,
+        samples,
+    );
+    let reference_ns = with_reference.then(|| {
+        geogossip_bench::timing::median_ns_per_iter_with_samples(
+            || {
+                std::hint::black_box(GeometricGraph::build_reference(
+                    positions.clone(),
+                    radius,
+                    geogossip_geometry::Topology::UnitSquare,
+                ));
+            },
+            budget,
+            samples,
+        )
+    });
+    BuildBaseline {
+        n,
+        samples,
+        parallel_ns,
+        reference_ns,
+    }
+}
+
+/// Appends the large-`n` build measurements to `out_path`'s `graph_build`
+/// array, preserving every existing entry of the file.
+fn append_build_baseline(out_path: &str) {
+    let seeds = SeedStream::new(20070612);
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
+    // Sample counts shrink as the per-build cost grows; the sequential
+    // reference is skipped at the largest size (it would add minutes for a
+    // number the 65k/262k rows already establish).
+    let records: Vec<JsonValue> = [(65_536usize, 15, true), (262_144, 7, true), (1_048_576, 5, false)]
+        .iter()
+        .map(|&(n, samples, with_reference)| {
+            let b = measure_build(n, samples, with_reference, &seeds);
+            let speedup = b.reference_ns.map(|r| r / b.parallel_ns);
+            match (b.reference_ns, speedup) {
+                (Some(r), Some(s)) => println!(
+                    "n={:8}  parallel build {:>12.0} ns | sequential reference {:>12.0} ns | speedup {:.2}x",
+                    b.n, b.parallel_ns, r, s
+                ),
+                _ => println!(
+                    "n={:8}  parallel build {:>12.0} ns | sequential reference skipped",
+                    b.n, b.parallel_ns
+                ),
+            }
+            JsonValue::object(vec![
+                ("n", b.n.into()),
+                ("samples", b.samples.into()),
+                ("threads", threads.into()),
+                ("parallel_build_median_ns", b.parallel_ns.round().into()),
+                (
+                    "reference_build_median_ns",
+                    b.reference_ns.map_or(JsonValue::Null, |r| r.round().into()),
+                ),
+                (
+                    "speedup_vs_reference",
+                    speedup.map_or(JsonValue::Null, |s| ((s * 100.0).round() / 100.0).into()),
+                ),
+            ])
+        })
+        .collect();
+    append_records(out_path, "graph_build", records);
+    println!("appended graph-build baseline to {out_path}");
+}
+
 /// Appends the dyn-dispatch measurements to `out_path`'s `dyn_dispatch`
 /// array, preserving every existing entry of the file.
 fn append_dyn_baseline(out_path: &str) {
@@ -206,6 +307,14 @@ fn append_dyn_baseline(out_path: &str) {
         })
         .collect();
 
+    append_records(out_path, "dyn_dispatch", records);
+    println!("appended dyn-dispatch baseline to {out_path}");
+}
+
+/// Appends `records` to the array under `key` in the JSON document at
+/// `out_path`, preserving every existing entry (and every other key) of the
+/// file — the BENCH history rule shared by every `--append-*` mode.
+fn append_records(out_path: &str, key: &str, records: Vec<JsonValue>) {
     let mut doc = match std::fs::read_to_string(out_path) {
         Ok(text) => JsonValue::parse(&text).expect("existing baseline file must be valid JSON"),
         Err(_) => JsonValue::object(vec![(
@@ -216,27 +325,29 @@ fn append_dyn_baseline(out_path: &str) {
     let JsonValue::Object(entries) = &mut doc else {
         panic!("baseline file must hold a JSON object");
     };
-    match entries.iter_mut().find(|(k, _)| k == "dyn_dispatch") {
+    match entries.iter_mut().find(|(k, _)| k == key) {
         Some((_, JsonValue::Array(existing))) => existing.extend(records),
-        Some((_, other)) => panic!("`dyn_dispatch` must be an array, found {other:?}"),
-        None => entries.push(("dyn_dispatch".to_string(), JsonValue::Array(records))),
+        Some((_, other)) => panic!("`{key}` must be an array, found {other:?}"),
+        None => entries.push((key.to_string(), JsonValue::Array(records))),
     }
     std::fs::write(out_path, doc.pretty() + "\n").expect("writing the baseline file must succeed");
-    println!("appended dyn-dispatch baseline to {out_path}");
 }
 
 fn main() {
-    // `--append-dyn` is recognised anywhere on the command line; any other
-    // flag is an error rather than silently being taken for an output path
-    // (the classic mode overwrites its output, so a mis-parsed flag would
-    // destroy the appended history).
+    // `--append-dyn` / `--append-build` are recognised anywhere on the
+    // command line; any other flag is an error rather than silently being
+    // taken for an output path (the classic mode overwrites its output, so a
+    // mis-parsed flag would destroy the appended history).
     let mut append_dyn = false;
+    let mut append_build = false;
     let mut out_path: Option<String> = None;
     for arg in std::env::args().skip(1) {
         if arg == "--append-dyn" {
             append_dyn = true;
+        } else if arg == "--append-build" {
+            append_build = true;
         } else if arg.starts_with('-') {
-            eprintln!("unknown flag `{arg}` (only --append-dyn is supported)");
+            eprintln!("unknown flag `{arg}` (only --append-dyn and --append-build are supported)");
             std::process::exit(2);
         } else if out_path.replace(arg).is_some() {
             eprintln!("expected at most one output path");
@@ -244,8 +355,13 @@ fn main() {
         }
     }
     let out_path = out_path.unwrap_or_else(|| "BENCH_baseline.json".to_string());
-    if append_dyn {
-        append_dyn_baseline(&out_path);
+    if append_dyn || append_build {
+        if append_dyn {
+            append_dyn_baseline(&out_path);
+        }
+        if append_build {
+            append_build_baseline(&out_path);
+        }
         return;
     }
     let seeds = SeedStream::new(20070612);

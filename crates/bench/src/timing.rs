@@ -15,25 +15,42 @@ pub const SAMPLES: usize = 15;
 ///
 /// `budget` is the total measurement budget; each of the [`SAMPLES`] samples
 /// runs enough iterations to fill its share of it (at least one).
-pub fn median_ns_per_iter<F: FnMut()>(mut f: F, budget: Duration) -> f64 {
+pub fn median_ns_per_iter<F: FnMut()>(f: F, budget: Duration) -> f64 {
+    median_ns_per_iter_with_samples(f, budget, SAMPLES)
+}
+
+/// [`median_ns_per_iter`] with an explicit sample count, for slow workloads
+/// (e.g. a million-node graph build) where the default [`SAMPLES`] repeats
+/// would take minutes: fewer samples of a second-scale measurement still give
+/// a stable median.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero.
+pub fn median_ns_per_iter_with_samples<F: FnMut()>(
+    mut f: F,
+    budget: Duration,
+    samples: usize,
+) -> f64 {
+    assert!(samples > 0, "need at least one timing sample");
     // Warm-up + calibration run.
     let start = Instant::now();
     f();
     let first = start.elapsed().max(Duration::from_nanos(1));
-    let per_sample = (budget / SAMPLES as u32).max(Duration::from_micros(200));
+    let per_sample = (budget / samples as u32).max(Duration::from_micros(200));
     let iters =
         ((per_sample.as_secs_f64() / first.as_secs_f64()).ceil() as u64).clamp(1, 10_000_000);
 
-    let mut samples = Vec::with_capacity(SAMPLES);
-    for _ in 0..SAMPLES {
+    let mut timings = Vec::with_capacity(samples);
+    for _ in 0..samples {
         let start = Instant::now();
         for _ in 0..iters {
             f();
         }
-        samples.push(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        timings.push(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
     }
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
-    samples[samples.len() / 2]
+    timings.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    timings[timings.len() / 2]
 }
 
 #[cfg(test)]

@@ -2,13 +2,29 @@
 //!
 //! Geometric-random-graph construction and greedy geographic routing both need
 //! "all sensors within distance `r` of position `p`" queries. A uniform grid
-//! with cell side `≥ r` answers these by scanning only the 3×3 block of cells
-//! around `p`, which is expected `O(1)` work per reported neighbor when points
-//! are uniform — exactly the regime of the paper.
+//! with cell side `≥ r` answers these by scanning only the small block of
+//! cells around `p`, which is expected `O(1)` work per reported neighbor when
+//! points are uniform — exactly the regime of the paper.
+//!
+//! The grid stores its buckets in a flat CSR-style layout (one offset array
+//! plus one concatenated entry array, built by counting sort) instead of a
+//! `Vec<Vec<usize>>`: construction is two linear passes with exactly two heap
+//! allocations regardless of `n`, and bucket scans stream contiguous memory.
+//! The cell count is additionally capped at `O(n)` (see
+//! [`UniformGrid::build`]), so a tiny-but-valid radius can never allocate an
+//! unbounded number of empty cells.
 
 use crate::point::{NodeId, Point};
 use crate::rect::Rect;
+use crate::topology::wrap_delta;
 use serde::{Deserialize, Serialize};
+
+/// Cell-count cap: the grid never allocates more than `max(1024, 4·n)` cells.
+///
+/// Cells only ever *grow* when the cap binds (fewer, larger cells), so
+/// radius-`r` queries stay complete; the cap merely stops a radius far below
+/// the point spacing (e.g. `1e-7`) from requesting `~10¹⁴` empty cells.
+const MIN_CELL_CAP: usize = 1024;
 
 /// A spatial hash of point indices over a bounding rectangle.
 ///
@@ -32,8 +48,11 @@ pub struct UniformGrid {
     rows: usize,
     cell_w: f64,
     cell_h: f64,
-    /// `cells[row * cols + col]` lists the indices of points in that cell.
-    cells: Vec<Vec<usize>>,
+    /// `entries[bucket_offsets[c] .. bucket_offsets[c + 1]]` lists the indices
+    /// of the points in cell `c` (row-major), ascending by point index.
+    bucket_offsets: Vec<u32>,
+    /// Concatenated per-cell point-index lists.
+    entries: Vec<u32>,
     len: usize,
 }
 
@@ -41,40 +60,75 @@ impl UniformGrid {
     /// Builds a grid over `bounds` containing every point of `points`.
     ///
     /// `cell_side` is a *lower bound* on the side length of a grid cell; the
-    /// actual side is `bounds.side / floor(bounds.side / cell_side)` so the
-    /// grid tiles the bounds exactly. Radius-`r` queries are complete whenever
-    /// `cell_side ≥ r`.
+    /// actual side is `bounds.side / cols` with
+    /// `cols ≤ floor(bounds.side / cell_side)`, so the grid tiles the bounds
+    /// exactly and radius-`r` queries are complete whenever `cell_side ≥ r`.
+    ///
+    /// The total cell count is capped at `max(1024, 4·points.len())`: when
+    /// `cell_side` is far below the point spacing the grid uses fewer, larger
+    /// cells rather than allocating memory proportional to `1 / cell_side²`.
+    /// Larger cells keep queries complete (only their cost degrades, and only
+    /// in the regime where the graph is empty anyway).
     ///
     /// # Panics
     ///
-    /// Panics if `cell_side` is not strictly positive or not finite.
+    /// Panics if `cell_side` is not strictly positive or not finite, or if
+    /// `points.len()` exceeds `u32::MAX` (entries are stored as `u32`).
     pub fn build(bounds: Rect, points: &[Point], cell_side: f64) -> Self {
         assert!(
             cell_side.is_finite() && cell_side > 0.0,
             "grid cell side must be positive and finite"
         );
-        let cols = ((bounds.width() / cell_side).floor() as usize).max(1);
-        let rows = ((bounds.height() / cell_side).floor() as usize).max(1);
+        assert!(
+            points.len() <= u32::MAX as usize,
+            "grid entries are stored as u32"
+        );
+        let mut cols = ((bounds.width() / cell_side).floor() as usize).max(1);
+        let mut rows = ((bounds.height() / cell_side).floor() as usize).max(1);
+        let cap = MIN_CELL_CAP.max(4 * points.len());
+        if cols.saturating_mul(rows) > cap {
+            // Shrink both axes by the same factor so cells stay near-square;
+            // fewer cells means larger cells, which preserves completeness.
+            let scale = (cap as f64 / (cols as f64 * rows as f64)).sqrt();
+            cols = ((cols as f64 * scale).floor() as usize).max(1);
+            rows = ((rows as f64 * scale).floor() as usize).max(1);
+            // For extremely anisotropic bounds the sqrt shrink can clamp one
+            // axis at 1 while the other still exceeds the cap; enforce the
+            // invariant axis-by-axis so `cols × rows ≤ cap` always holds.
+            cols = cols.min(cap);
+            rows = rows.min((cap / cols).max(1));
+        }
         let cell_w = bounds.width() / cols as f64;
         let cell_h = bounds.height() / rows as f64;
-        let mut cells = vec![Vec::new(); cols * rows];
-        for (i, &p) in points.iter().enumerate() {
-            let idx = Self::cell_index_for(bounds, cols, rows, p);
-            cells[idx].push(i);
+
+        // Counting sort: per-cell counts, exclusive prefix sum, then scatter.
+        // Scattering in point order leaves every bucket ascending by index.
+        let cell_count = cols * rows;
+        let mut bucket_offsets = vec![0u32; cell_count + 1];
+        for &p in points {
+            bucket_offsets[bounds.grid_index_of(p, cols, rows) + 1] += 1;
         }
+        for c in 0..cell_count {
+            bucket_offsets[c + 1] += bucket_offsets[c];
+        }
+        let mut cursor: Vec<u32> = bucket_offsets[..cell_count].to_vec();
+        let mut entries = vec![0u32; points.len()];
+        for (i, &p) in points.iter().enumerate() {
+            let cell = bounds.grid_index_of(p, cols, rows);
+            entries[cursor[cell] as usize] = i as u32;
+            cursor[cell] += 1;
+        }
+
         UniformGrid {
             bounds,
             cols,
             rows,
             cell_w,
             cell_h,
-            cells,
+            bucket_offsets,
+            entries,
             len: points.len(),
         }
-    }
-
-    fn cell_index_for(bounds: Rect, cols: usize, rows: usize, p: Point) -> usize {
-        bounds.grid_index_of(p, cols, rows)
     }
 
     /// Number of points indexed by the grid.
@@ -97,13 +151,131 @@ impl UniformGrid {
         self.rows
     }
 
+    /// Total number of cells (`cols × rows`); bounded by
+    /// `max(1024, 4·len)` — the construction invariant that keeps tiny radii
+    /// from allocating unbounded memory.
+    pub fn cell_count(&self) -> usize {
+        self.cols * self.rows
+    }
+
     /// The bounding rectangle the grid was built over.
     pub fn bounds(&self) -> Rect {
         self.bounds
     }
 
+    /// The concatenated per-cell point-index lists, cell-major: the slot
+    /// range of cell `(col, row)` is [`UniformGrid::cell_range`]. Callers
+    /// that stream candidates (the graph build) mirror the *positions* into
+    /// this order once, so distance checks read memory sequentially instead
+    /// of gathering `points[j]` per candidate.
+    pub fn entries(&self) -> &[u32] {
+        &self.entries
+    }
+
+    /// Slot range (into [`UniformGrid::entries`]) of cell `(col, row)`.
+    #[inline]
+    pub fn cell_range(&self, col: usize, row: usize) -> std::ops::Range<usize> {
+        let cell = row * self.cols + col;
+        self.bucket_offsets[cell] as usize..self.bucket_offsets[cell + 1] as usize
+    }
+
+    /// The point indices bucketed in cell `(col, row)`, ascending.
+    #[inline]
+    fn cell_points(&self, col: usize, row: usize) -> &[u32] {
+        &self.entries[self.cell_range(col, row)]
+    }
+
+    /// Column of the cell containing x-coordinate `x`, *unclamped*: queries
+    /// left of the bounds yield negative values, queries right of the bounds
+    /// yield values `≥ cols`. Uses the same normalisation as
+    /// [`Rect::grid_index_of`] so in-bounds points agree with their bucket.
+    #[inline]
+    fn col_of_unclamped(&self, x: f64) -> isize {
+        (((x - self.bounds.min().x) / self.bounds.width()) * self.cols as f64).floor() as isize
+    }
+
+    /// Row counterpart of [`UniformGrid::col_of_unclamped`].
+    #[inline]
+    fn row_of_unclamped(&self, y: f64) -> isize {
+        (((y - self.bounds.min().y) / self.bounds.height()) * self.rows as f64).floor() as isize
+    }
+
+    /// Calls `f` with the entry-slot range ([`UniformGrid::entries`] /
+    /// [`UniformGrid::cell_range`]) of every cell that can contain a point
+    /// within Euclidean distance `radius` of `query`.
+    ///
+    /// The candidate block is exact (`±ceil(r / cell_side)` cells around the
+    /// query's unclamped cell, clipped to the grid), so an in-range query
+    /// visits at most a 3×3 block when the grid was built with
+    /// `cell_side ≥ radius`. Out-of-bounds queries are handled without
+    /// clamping slack: the block is computed from the query's virtual cell.
+    #[inline]
+    pub fn for_each_candidate_range(
+        &self,
+        query: Point,
+        radius: f64,
+        mut f: impl FnMut(std::ops::Range<usize>),
+    ) {
+        let (row_lo, row_end) = clip_window(
+            self.row_of_unclamped(query.y),
+            (radius / self.cell_h).ceil() as isize,
+            self.rows,
+        );
+        let (col_lo, col_end) = clip_window(
+            self.col_of_unclamped(query.x),
+            (radius / self.cell_w).ceil() as isize,
+            self.cols,
+        );
+        if col_lo >= col_end {
+            return;
+        }
+        for row in row_lo..row_end {
+            // Adjacent columns of one grid row are adjacent slot ranges, so
+            // the whole row of candidate cells is a single contiguous range.
+            f(self.cell_range(col_lo, row).start..self.cell_range(col_end - 1, row).end);
+        }
+    }
+
+    /// Calls `f` with the entry-slot range of every cell that can contain a
+    /// point within *wrapped* (torus) distance `radius` of `query`, visiting
+    /// each cell **at most once**.
+    ///
+    /// Wrapped cell coordinates are enumerated directly (`(qcol + d) mod
+    /// cols`) instead of querying periodic images of the point, so a bucket —
+    /// and therefore a point — can never be reported through two images: the
+    /// per-row dedup of torus adjacency holds by construction, even at radii
+    /// approaching `1/2`. The grid must have been built over the unit square
+    /// (the only surface the torus metric is defined on).
+    #[inline]
+    pub fn for_each_candidate_range_torus(
+        &self,
+        query: Point,
+        radius: f64,
+        mut f: impl FnMut(std::ops::Range<usize>),
+    ) {
+        debug_assert!(
+            self.bounds.min() == Point::new(0.0, 0.0) && self.bounds.max() == Point::new(1.0, 1.0),
+            "torus queries require a unit-square grid"
+        );
+        let col_span = (radius / self.cell_w).ceil() as isize;
+        let row_span = (radius / self.cell_h).ceil() as isize;
+        let qcol = self.col_of_unclamped(query.x);
+        let qrow = self.row_of_unclamped(query.y);
+        let cols = self.cols as isize;
+        let rows = self.rows as isize;
+        let row_iters = (2 * row_span + 1).min(rows);
+        let col_iters = (2 * col_span + 1).min(cols);
+        for dr in 0..row_iters {
+            let row = wrap_window(qrow, row_span, rows, dr);
+            for dc in 0..col_iters {
+                let col = wrap_window(qcol, col_span, cols, dc);
+                f(self.cell_range(col, row));
+            }
+        }
+    }
+
     /// Iterates over the indices of all points within Euclidean distance
-    /// `radius` of `query` (excluding points at distance exactly greater than
+    /// `radius` of `query` (excluding points at distance strictly greater than
     /// `radius`; a point coincident with `query` *is* reported).
     ///
     /// `points` must be the same slice the grid was built from.
@@ -124,13 +296,70 @@ impl UniformGrid {
             "grid built over a different point set"
         );
         let r2 = radius * radius;
-        self.candidate_cells(query, radius)
-            .flat_map(move |cell| self.cells[cell].iter().copied())
+        let (row_lo, row_end) = clip_window(
+            self.row_of_unclamped(query.y),
+            (radius / self.cell_h).ceil() as isize,
+            self.rows,
+        );
+        let (col_lo, col_end) = clip_window(
+            self.col_of_unclamped(query.x),
+            (radius / self.cell_w).ceil() as isize,
+            self.cols,
+        );
+        (row_lo..row_end)
+            .flat_map(move |row| {
+                (col_lo..col_end).flat_map(move |col| self.cell_points(col, row).iter().copied())
+            })
+            .map(|i| i as usize)
             .filter(move |&i| points[i].distance_squared(query) <= r2)
     }
 
-    /// Returns the index of the point nearest to `query`, or `None` when the
-    /// grid is empty.
+    /// Iterates over the indices of all points within *wrapped* (torus)
+    /// distance `radius` of `query`, each reported exactly once.
+    ///
+    /// `points` must be the same slice the grid was built from, and the grid
+    /// must span the unit square.
+    pub fn neighbors_within_torus<'a>(
+        &'a self,
+        points: &'a [Point],
+        query: Point,
+        radius: f64,
+    ) -> impl Iterator<Item = usize> + 'a {
+        debug_assert_eq!(
+            points.len(),
+            self.len,
+            "grid built over a different point set"
+        );
+        let r2 = radius * radius;
+        let (qcol, qrow) = (
+            self.col_of_unclamped(query.x),
+            self.row_of_unclamped(query.y),
+        );
+        let (col_span, row_span) = (
+            (radius / self.cell_w).ceil() as isize,
+            (radius / self.cell_h).ceil() as isize,
+        );
+        let (cols, rows) = (self.cols as isize, self.rows as isize);
+        let row_iters = (2 * row_span + 1).min(rows);
+        let col_iters = (2 * col_span + 1).min(cols);
+        (0..row_iters)
+            .flat_map(move |dr| {
+                let row = wrap_window(qrow, row_span, rows, dr);
+                (0..col_iters).flat_map(move |dc| {
+                    let col = wrap_window(qcol, col_span, cols, dc);
+                    self.cell_points(col, row).iter().copied()
+                })
+            })
+            .map(|i| i as usize)
+            .filter(move |&i| {
+                let dx = wrap_delta(points[i].x - query.x);
+                let dy = wrap_delta(points[i].y - query.y);
+                dx * dx + dy * dy <= r2
+            })
+    }
+
+    /// Returns the index of the point nearest to `query` under the Euclidean
+    /// metric, or `None` when the grid is empty.
     ///
     /// This is the primitive behind both greedy geographic routing ("node
     /// nearest to the random target position") and leader election ("sensor
@@ -162,10 +391,53 @@ impl UniformGrid {
                 }
             }
             for (col, row) in ring_cells(qcol, qrow, ring, self.cols, self.rows) {
-                for &i in &self.cells[row * self.cols + col] {
-                    let d2 = points[i].distance_squared(query);
+                for &i in self.cell_points(col, row) {
+                    let d2 = points[i as usize].distance_squared(query);
                     if best.is_none_or(|(_, bd)| d2 < bd) {
-                        best = Some((i, d2));
+                        best = Some((i as usize, d2));
+                    }
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Returns the index of the point nearest to `query` under the *wrapped*
+    /// (torus) metric, or `None` when the grid is empty.
+    ///
+    /// Rings wrap around the grid instead of being clipped at its edges, so a
+    /// query near the seam finds its true wrapped-nearest point. The same
+    /// clearance argument as [`UniformGrid::nearest`] applies: a cell at
+    /// wrapped Chebyshev ring `k` is first visited at ring `k`, and its points
+    /// are at wrapped distance at least `(k − 1)·min(cell_w, cell_h)`.
+    pub fn nearest_torus(&self, points: &[Point], query: Point) -> Option<usize> {
+        debug_assert_eq!(
+            points.len(),
+            self.len,
+            "grid built over a different point set"
+        );
+        if self.len == 0 {
+            return None;
+        }
+        let qc = self.bounds.grid_index_of(query, self.cols, self.rows);
+        let (qcol, qrow) = (qc % self.cols, qc / self.cols);
+        let mut best: Option<(usize, f64)> = None;
+        // Every cell is within wrapped Chebyshev distance ceil(extent / 2).
+        let max_ring = self.cols.max(self.rows).div_ceil(2);
+        for ring in 0..=max_ring {
+            if let Some((_, best_d2)) = best {
+                let ring_clearance = (ring as f64 - 1.0).max(0.0) * self.cell_w.min(self.cell_h);
+                if ring_clearance * ring_clearance > best_d2 {
+                    break;
+                }
+            }
+            for (col, row) in ring_cells_torus(qcol, qrow, ring, self.cols, self.rows) {
+                for &i in self.cell_points(col, row) {
+                    let dx = wrap_delta(points[i as usize].x - query.x);
+                    let dy = wrap_delta(points[i as usize].y - query.y);
+                    let d2 = dx * dx + dy * dy;
+                    if best.is_none_or(|(_, bd)| d2 < bd) {
+                        best = Some((i as usize, d2));
                     }
                 }
             }
@@ -178,27 +450,32 @@ impl UniformGrid {
     pub fn nearest_node(&self, points: &[Point], query: Point) -> Option<NodeId> {
         self.nearest(points, query).map(NodeId)
     }
+}
 
-    /// Iterator over the grid-cell indices that can contain points within
-    /// `radius` of `query`.
-    fn candidate_cells(&self, query: Point, radius: f64) -> impl Iterator<Item = usize> + '_ {
-        let col_span = (radius / self.cell_w).ceil() as isize + 1;
-        let row_span = (radius / self.cell_h).ceil() as isize + 1;
-        let qc = self.bounds.grid_index_of(query, self.cols, self.rows);
-        let (qcol, qrow) = ((qc % self.cols) as isize, (qc / self.cols) as isize);
-        let cols = self.cols as isize;
-        let rows = self.rows as isize;
-        (-row_span..=row_span).flat_map(move |dr| {
-            (-col_span..=col_span).filter_map(move |dc| {
-                let c = qcol + dc;
-                let r = qrow + dr;
-                if c >= 0 && c < cols && r >= 0 && r < rows {
-                    Some((r * cols + c) as usize)
-                } else {
-                    None
-                }
-            })
-        })
+/// Clips the window `base ± span` to `[0, extent)`, returned as a half-open
+/// `(lo, end)` range (empty as `(0, 0)` when the window misses the axis).
+#[inline]
+fn clip_window(base: isize, span: isize, extent: usize) -> (usize, usize) {
+    let lo = (base - span).max(0);
+    let end = (base + span + 1).min(extent as isize);
+    if end <= lo {
+        (0, 0)
+    } else {
+        (lo as usize, end as usize)
+    }
+}
+
+/// The `d`-th coordinate of the wrapped window `base ± span` on an axis of
+/// `extent` cells. When the window covers the whole axis the caller iterates
+/// `d ∈ 0..extent` and coordinates are taken verbatim; otherwise the window
+/// (width `< extent`) wraps, so every produced coordinate is distinct — the
+/// structural guarantee that a torus query reports each cell at most once.
+#[inline]
+fn wrap_window(base: isize, span: isize, extent: isize, d: isize) -> usize {
+    if 2 * span + 1 >= extent {
+        d as usize
+    } else {
+        (base + d - span).rem_euclid(extent) as usize
     }
 }
 
@@ -238,10 +515,43 @@ fn ring_cells(
     out
 }
 
+/// Cells at Chebyshev distance exactly `ring` from `(qcol, qrow)` with
+/// wrap-around, deduplicated (wrapping can fold several ring positions onto
+/// one cell once `2·ring + 1` exceeds an axis extent).
+fn ring_cells_torus(
+    qcol: usize,
+    qrow: usize,
+    ring: usize,
+    cols: usize,
+    rows: usize,
+) -> Vec<(usize, usize)> {
+    if ring == 0 {
+        return vec![(qcol, qrow)];
+    }
+    let mut out = Vec::new();
+    let (qcol, qrow, ring) = (qcol as isize, qrow as isize, ring as isize);
+    let (cols, rows) = (cols as isize, rows as isize);
+    let mut push = |c: isize, r: isize| {
+        out.push((c.rem_euclid(cols) as usize, r.rem_euclid(rows) as usize));
+    };
+    for dc in -ring..=ring {
+        push(qcol + dc, qrow - ring);
+        push(qcol + dc, qrow + ring);
+    }
+    for dr in (-ring + 1)..ring {
+        push(qcol - ring, qrow + dr);
+        push(qcol + ring, qrow + dr);
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::sampling::sample_unit_square;
+    use crate::topology::Topology;
     use crate::unit_square;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
@@ -257,6 +567,17 @@ mod tests {
         v
     }
 
+    fn brute_force_within_torus(points: &[Point], q: Point, r: f64) -> Vec<usize> {
+        let mut v: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| Topology::Torus.distance(**p, q) <= r)
+            .map(|(i, _)| i)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
     #[test]
     fn neighbors_match_brute_force() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
@@ -266,6 +587,23 @@ mod tests {
             let mut got: Vec<usize> = grid.neighbors_within(&pts, q, 0.08).collect();
             got.sort_unstable();
             assert_eq!(got, brute_force_within(&pts, q, 0.08));
+        }
+    }
+
+    #[test]
+    fn torus_neighbors_match_brute_force_and_never_duplicate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let pts = sample_unit_square(400, &mut rng);
+        for radius in [0.03, 0.11, 0.3, 0.49] {
+            let grid = UniformGrid::build(unit_square(), &pts, radius);
+            for &q in pts.iter().step_by(29) {
+                let got: Vec<usize> = grid.neighbors_within_torus(&pts, q, radius).collect();
+                let mut sorted = got.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), got.len(), "duplicate reports at r={radius}");
+                assert_eq!(sorted, brute_force_within_torus(&pts, q, radius));
+            }
         }
     }
 
@@ -300,9 +638,44 @@ mod tests {
     }
 
     #[test]
+    fn nearest_torus_matches_brute_force() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let pts = sample_unit_square(300, &mut rng);
+        let grid = UniformGrid::build(unit_square(), &pts, 0.05);
+        for &q in &[
+            Point::new(0.005, 0.5),
+            Point::new(0.995, 0.5),
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.5, 0.001),
+            Point::new(0.62, 0.97),
+        ] {
+            let got = grid.nearest_torus(&pts, q).unwrap();
+            let want = pts
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    Topology::Torus
+                        .distance_squared(*a.1, q)
+                        .partial_cmp(&Topology::Torus.distance_squared(*b.1, q))
+                        .unwrap()
+                })
+                .map(|(i, _)| i)
+                .unwrap();
+            assert!(
+                (Topology::Torus.distance(pts[got], q) - Topology::Torus.distance(pts[want], q))
+                    .abs()
+                    < 1e-12,
+                "wrapped nearest mismatch at {q}"
+            );
+        }
+    }
+
+    #[test]
     fn empty_grid_has_no_nearest() {
         let grid = UniformGrid::build(unit_square(), &[], 0.1);
         assert!(grid.nearest(&[], Point::new(0.5, 0.5)).is_none());
+        assert!(grid.nearest_torus(&[], Point::new(0.5, 0.5)).is_none());
         assert!(grid.is_empty());
     }
 
@@ -323,6 +696,46 @@ mod tests {
         // floor(1.0 / 0.26) = 3 columns/rows of side 1/3 >= 0.26.
         assert_eq!(grid.cols(), 3);
         assert_eq!(grid.rows(), 3);
+        assert_eq!(grid.cell_count(), 9);
+    }
+
+    #[test]
+    fn tiny_cell_side_is_capped_at_order_n_cells() {
+        // Without the cap this would request ~10^14 cells and abort.
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let pts = sample_unit_square(100, &mut rng);
+        let grid = UniformGrid::build(unit_square(), &pts, 1e-7);
+        assert!(
+            grid.cell_count() <= 1024,
+            "cap violated: {} cells",
+            grid.cell_count()
+        );
+        // Queries remain complete despite the coarser cells.
+        let q = pts[17];
+        let got: Vec<usize> = grid.neighbors_within(&pts, q, 1e-7).collect();
+        assert_eq!(got, brute_force_within(&pts, q, 1e-7));
+    }
+
+    #[test]
+    fn cap_holds_for_anisotropic_bounds() {
+        // The sqrt shrink alone can clamp one axis at 1 while the other still
+        // exceeds the cap; the axis-by-axis clamp must keep the invariant.
+        let bounds = Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 1e-4));
+        let grid = UniformGrid::build(bounds, &[], 1e-9);
+        assert!(
+            grid.cell_count() <= 1024,
+            "cap violated: {} cells",
+            grid.cell_count()
+        );
+    }
+
+    #[test]
+    fn cap_scales_with_point_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let pts = sample_unit_square(2000, &mut rng);
+        let grid = UniformGrid::build(unit_square(), &pts, 1e-9);
+        assert!(grid.cell_count() <= 4 * pts.len());
+        assert!(grid.cell_count() > 1024);
     }
 
     #[test]
@@ -341,5 +754,22 @@ mod tests {
             let dr = (r as isize - 5).abs();
             dc.max(dr) == 2
         }));
+    }
+
+    #[test]
+    fn torus_ring_cells_wrap_and_dedup() {
+        // Full ring away from the seam: same 16 cells as the clipped version.
+        let cells = ring_cells_torus(5, 5, 2, 11, 11);
+        assert_eq!(cells.len(), 16);
+        // Ring at the corner wraps instead of clipping: still 16 distinct.
+        let wrapped = ring_cells_torus(0, 0, 2, 11, 11);
+        assert_eq!(wrapped.len(), 16);
+        // Ring wider than the grid folds onto itself without duplicates.
+        let folded = ring_cells_torus(1, 1, 2, 3, 3);
+        let mut sorted = folded.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(folded.len(), sorted.len());
+        assert!(folded.iter().all(|&(c, r)| c < 3 && r < 3));
     }
 }

@@ -85,7 +85,12 @@ impl std::fmt::Display for Topology {
 
 /// Wraps a coordinate difference onto the torus: the representative of `d`
 /// (mod 1) with the smallest absolute value.
-fn wrap_delta(d: f64) -> f64 {
+///
+/// Exposed so hot loops (grid queries, greedy routing) can form wrapped
+/// squared distances from raw coordinate deltas without going through
+/// [`Topology::distance_squared`]'s enum dispatch per pair.
+#[inline]
+pub fn wrap_delta(d: f64) -> f64 {
     let d = d.abs() % 1.0;
     d.min(1.0 - d)
 }

@@ -58,6 +58,34 @@ impl CsrAdjacency {
         builder.finish()
     }
 
+    /// Assembles CSR storage from pre-computed raw arrays — the entry point of
+    /// the two-pass parallel graph build, which produces exact `offsets` by
+    /// prefix-summing a degree pass and fills `neighbors` row-by-row into
+    /// disjoint slices.
+    ///
+    /// The caller guarantees each row `offsets[u]..offsets[u+1]` is sorted
+    /// ascending (checked in debug builds, along with offset monotonicity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` is empty or its last entry does not equal
+    /// `neighbors.len()`.
+    pub fn from_raw_parts(offsets: Vec<u32>, neighbors: Vec<u32>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must hold at least the 0 row");
+        assert_eq!(
+            *offsets.last().expect("non-empty") as usize,
+            neighbors.len(),
+            "final offset must seal the neighbor array"
+        );
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(offsets
+            .windows(2)
+            .all(|w| neighbors[w[0] as usize..w[1] as usize]
+                .windows(2)
+                .all(|p| p[0] < p[1])));
+        CsrAdjacency { offsets, neighbors }
+    }
+
     /// Number of nodes.
     pub fn len(&self) -> usize {
         self.offsets.len() - 1

@@ -4,8 +4,11 @@ use crate::connectivity::ConnectivityReport;
 use crate::csr::{CsrAdjacency, CsrBuilder};
 use crate::degree::DegreeSummary;
 use geogossip_geometry::point::NodeId;
-use geogossip_geometry::{unit_square, Point, Topology, UniformGrid};
+use geogossip_geometry::topology::wrap_delta;
+use geogossip_geometry::{unit_square, Point, Rect, Topology, UniformGrid};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
 
 /// A geometric graph over a fixed set of sensor positions.
 ///
@@ -75,27 +78,217 @@ impl GeometricGraph {
     /// distance is within `radius`, so boundary sensors get the same expected
     /// degree as bulk sensors; torus neighbor sets are always supersets of the
     /// unit-square neighbor sets at equal radius (enforced by
-    /// `tests/torus_properties.rs`). The spatial grid still indexes the raw
-    /// coordinates: torus adjacency queries the grid once per periodic image
-    /// of the node that can reach the square, then filters by wrapped
-    /// distance. Greedy routing and `nearest_node` keep using raw Euclidean
-    /// geometry — routing across the seam is not modelled.
+    /// `tests/torus_properties.rs`). Torus adjacency enumerates *wrapped grid
+    /// cells* directly (`UniformGrid::for_each_candidate_range_torus`), so
+    /// every cell — and therefore every neighbor — is visited at most once per
+    /// row even at radii approaching `1/2`; rows need no dedup pass. Greedy
+    /// routing and `nearest_node` likewise use the wrapped metric on the
+    /// torus, so routing across the seam is modelled faithfully (see
+    /// `geogossip_routing::greedy`).
+    ///
+    /// # Construction pipeline
+    ///
+    /// The build is a two-pass parallel pipeline over the spatial grid
+    /// (cell side `radius / 3`, which keeps candidate windows ~37% smaller
+    /// in area than radius-sized cells):
+    ///
+    /// 1. the node *positions* are mirrored into the grid's cell order once,
+    ///    so candidate distance checks stream contiguous memory instead of
+    ///    gathering `positions[j]` per candidate,
+    /// 2. a parallel **degree pass** counts each node's neighbors — walking
+    ///    the nodes in *cell order*, so consecutive queries share hot
+    ///    candidate windows,
+    /// 3. an exclusive prefix sum turns the counts into exact CSR `offsets`,
+    /// 4. a parallel **fill pass** re-queries each node in *index order* —
+    ///    so the output arrays are written strictly sequentially — sorting
+    ///    each row by packed `(neighbor, slot)` keys against row-local
+    ///    coordinate buffers (the coordinates are in hand from the distance
+    ///    check; no post-sort position gather ever touches main memory).
+    ///
+    /// Both passes split their iteration space into one contiguous chunk per
+    /// core, and every chunk's output is an independent pure function of
+    /// `positions`, so the result is bit-identical to the preserved
+    /// sequential reference build ([`GeometricGraph::build_reference`],
+    /// pinned by `tests/build_pipeline_properties.rs`) regardless of thread
+    /// count.
     ///
     /// # Panics
     ///
     /// Panics if `radius` is not strictly positive and finite, or if a torus
     /// radius is `≥ 1/2` (wrap-around would make neighbor sets ambiguous).
     pub fn build_with_topology(positions: Vec<Point>, radius: f64, topology: Topology) -> Self {
-        assert!(
-            radius.is_finite() && radius > 0.0,
-            "connectivity radius must be positive and finite"
-        );
-        assert!(
-            topology == Topology::UnitSquare || radius < 0.5,
-            "torus adjacency requires radius < 1/2"
-        );
-        let grid = UniformGrid::build(unit_square(), &positions, radius.max(1e-9));
+        let chunks = rayon::current_num_threads().max(1);
+        Self::build_two_pass(positions, radius, topology, chunks)
+    }
+
+    /// The two-pass pipeline behind [`GeometricGraph::build_with_topology`],
+    /// with an explicit chunk count so tests can exercise the multi-chunk
+    /// structure on any machine.
+    #[doc(hidden)]
+    pub fn build_two_pass(
+        positions: Vec<Point>,
+        radius: f64,
+        topology: Topology,
+        chunks: usize,
+    ) -> Self {
+        Self::build_two_pass_inner(positions, radius, topology, chunks, false)
+    }
+
+    /// [`GeometricGraph::build_two_pass`] with the `u64` row-key path forced,
+    /// so tests can pin the wide-key fill against the `u32` fast path without
+    /// building a 65 537-node graph.
+    #[doc(hidden)]
+    pub fn build_two_pass_wide_keys(
+        positions: Vec<Point>,
+        radius: f64,
+        topology: Topology,
+        chunks: usize,
+    ) -> Self {
+        Self::build_two_pass_inner(positions, radius, topology, chunks, true)
+    }
+
+    fn build_two_pass_inner(
+        positions: Vec<Point>,
+        radius: f64,
+        topology: Topology,
+        chunks: usize,
+        wide_keys: bool,
+    ) -> Self {
+        let (grid, n) = Self::validate_and_grid(&positions, radius, topology);
+        let chunk_len = n.div_ceil(chunks.max(1)).max(1);
+
+        // Cell-ordered mirror of the positions, aligned with `grid.entries()`:
+        // the candidates of one query cell are one contiguous slice of this
+        // array, which turns the filter's memory traffic from random gathers
+        // into linear streams (a ~4x difference for a million-node build on
+        // one core of a machine with slow memory).
+        let cell_pts: Vec<Point> = grid
+            .entries()
+            .iter()
+            .map(|&e| positions[e as usize])
+            .collect();
+        let scan = NeighborScan {
+            grid: &grid,
+            cell_pts: &cell_pts,
+            radius,
+            topology,
+        };
+
+        // Pass 1: per-node degrees. Nodes are visited in cell order (slot
+        // order), so each query's candidate windows overlap the previous
+        // query's — the whole pass streams `cell_pts` roughly once instead
+        // of refetching ~5 KB of windows per spatially-random node. Each
+        // chunk counts a contiguous slot range into its own buffer.
+        let entries = grid.entries();
+        // One contiguous chunk per core; the same layout drives both passes
+        // (pass 1 interprets a range as slots, pass 2 as rows — both spaces
+        // have n elements).
+        let chunk_ranges: Vec<Range<usize>> = (0..n)
+            .step_by(chunk_len)
+            .map(|lo| lo..(lo + chunk_len).min(n))
+            .collect();
+        let deg_parts: Vec<Vec<u32>> = chunk_ranges
+            .clone()
+            .into_par_iter()
+            .map(|slots| {
+                let mut degs = Vec::with_capacity(slots.len());
+                for s in slots {
+                    degs.push(scan.count_row(cell_pts[s]));
+                }
+                degs
+            })
+            .collect();
+
+        // Scatter the slot-ordered counts to node order and prefix-sum them
+        // into exact CSR offsets.
+        let mut offsets = vec![0u32; n + 1];
+        for (s, deg) in deg_parts.into_iter().flatten().enumerate() {
+            offsets[entries[s] as usize + 1] = deg;
+        }
+        let mut acc = 0u64;
+        for slot in offsets.iter_mut() {
+            acc += u64::from(*slot);
+            assert!(
+                acc <= u32::MAX as u64,
+                "CSR adjacency offsets are u32; too many edges"
+            );
+            *slot = acc as u32;
+        }
+
+        // Pass 2: fill neighbor indices + coordinates. Rows are produced in
+        // index order so every chunk appends to its own output vectors
+        // strictly sequentially (no scattered writes — the other half of the
+        // memory-traffic story). Each row sorts packed (neighbor, slot) keys;
+        // the coordinates are then recovered from the cell-ordered mirror at
+        // the packed slot, whose ~5 KB of candidate windows the query just
+        // streamed — a cache-hot gather at any n. Keys are `u32` when both
+        // halves fit in 16 bits (n ≤ 65 536), halving the sort's memory
+        // traffic exactly where whole-row sorting dominates the build.
+        let offsets_ref = &offsets;
+        let positions_ref = &positions;
+        let scan_ref = &scan;
+        let fill = |rows: Range<usize>| {
+            if n <= (1usize << 16) && !wide_keys {
+                fill_chunk::<u32>(scan_ref, positions_ref, offsets_ref, rows)
+            } else {
+                fill_chunk::<u64>(scan_ref, positions_ref, offsets_ref, rows)
+            }
+        };
+        let mut parts: Vec<FillPart> = chunk_ranges.into_par_iter().map(fill).collect();
+
+        let total = *offsets.last().expect("offsets non-empty") as usize;
+        let (neighbors, nbr_x, nbr_y) = if parts.len() == 1 {
+            let part = parts.pop().expect("one part");
+            (part.nbrs, part.xs, part.ys)
+        } else {
+            let mut neighbors = Vec::with_capacity(total);
+            let mut nbr_x = Vec::with_capacity(total);
+            let mut nbr_y = Vec::with_capacity(total);
+            for part in parts {
+                neighbors.extend_from_slice(&part.nbrs);
+                nbr_x.extend_from_slice(&part.xs);
+                nbr_y.extend_from_slice(&part.ys);
+            }
+            (neighbors, nbr_x, nbr_y)
+        };
+
+        // Adjacency is symmetric under both metrics, so every undirected edge
+        // contributed exactly two directed entries.
+        debug_assert_eq!(total % 2, 0, "asymmetric adjacency");
+        let edge_count = total / 2;
+        GeometricGraph {
+            positions,
+            radius,
+            topology,
+            adjacency: CsrAdjacency::from_raw_parts(offsets, neighbors),
+            nbr_x,
+            nbr_y,
+            grid,
+            edge_count,
+        }
+    }
+
+    /// The preserved sequential reference build — the pre-parallel
+    /// implementation kept verbatim (nested-`Vec` spatial grid with its
+    /// conservative candidate windows, one streaming [`CsrBuilder`] scan,
+    /// image-queried torus adjacency with a sort+dedup per row, and a
+    /// separate post-hoc coordinate mirror pass) — so that:
+    ///
+    /// * the two-pass parallel pipeline can be checked **bit-for-bit**
+    ///   against an independent implementation (offsets, neighbors, mirrored
+    ///   coordinates, edge count; `tests/build_pipeline_properties.rs`), and
+    /// * `bench_baseline --append-build` measures the speedup on the same
+    ///   tree and the same instances, like `legacy.rs` does for the tick.
+    ///
+    /// Not a hot path — use [`GeometricGraph::build_with_topology`].
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`GeometricGraph::build_with_topology`].
+    pub fn build_reference(positions: Vec<Point>, radius: f64, topology: Topology) -> Self {
+        Self::validate_params(&positions, radius, topology);
         let n = positions.len();
+        let grid = ReferenceGrid::build(&positions, radius.max(1e-9));
         // Expected degree at the connectivity radius is Θ(log n); reserve for
         // it so the flat neighbor array grows without repeated reallocation.
         let expected_entries = if n > 1 {
@@ -124,8 +317,8 @@ impl GeometricGraph {
                     // reach the unit square; a sensor within `radius` of any
                     // image is within wrapped distance `radius` of p. The
                     // clamped out-of-bounds queries stay complete because the
-                    // grid's candidate span covers one extra cell and the
-                    // cell side is at least `radius`.
+                    // reference grid's candidate span covers one extra cell
+                    // and the cell side is at least `radius`.
                     let p = positions[i];
                     wrapped.clear();
                     for dx in [-1.0, 0.0, 1.0] {
@@ -165,6 +358,10 @@ impl GeometricGraph {
             nbr_x.push(p.x);
             nbr_y.push(p.y);
         }
+        // The graph still carries the *current* grid type for nearest-node
+        // queries; only the adjacency construction above is the preserved
+        // code path.
+        let grid = UniformGrid::build(unit_square(), &positions, radius.max(1e-9));
         GeometricGraph {
             positions,
             radius,
@@ -175,6 +372,41 @@ impl GeometricGraph {
             grid,
             edge_count,
         }
+    }
+
+    /// Shared construction preamble: parameter validation plus the spatial
+    /// grid the two-pass build queries.
+    ///
+    /// The grid cell side is `radius / 3` rather than `radius`: a radius
+    /// query then scans a 7×7 cell window of area `(7r/3)² ≈ 5.4 r²` instead
+    /// of a 3×3 window of `9 r²` — ~40% fewer candidate distance checks, the
+    /// dominant cost of construction. Queries at any radius stay complete
+    /// (the window span adapts), and the grid's cell cap keeps the finer
+    /// tiling at `O(n)` cells.
+    fn validate_and_grid(
+        positions: &[Point],
+        radius: f64,
+        topology: Topology,
+    ) -> (UniformGrid, usize) {
+        Self::validate_params(positions, radius, topology);
+        let grid = UniformGrid::build(unit_square(), positions, (radius / 3.0).max(1e-9));
+        (grid, positions.len())
+    }
+
+    /// Construction parameter checks shared by both build paths.
+    fn validate_params(positions: &[Point], radius: f64, topology: Topology) {
+        assert!(
+            radius.is_finite() && radius > 0.0,
+            "connectivity radius must be positive and finite"
+        );
+        assert!(
+            topology == Topology::UnitSquare || radius < 0.5,
+            "torus adjacency requires radius < 1/2"
+        );
+        assert!(
+            positions.len() <= u32::MAX as usize,
+            "CSR adjacency indexes nodes as u32"
+        );
     }
 
     /// Builds the graph at the standard connectivity radius
@@ -273,18 +505,26 @@ impl GeometricGraph {
         self.adjacency.contains_edge(a.index(), b.index())
     }
 
-    /// The spatial grid built over the node positions (cell side = radius).
+    /// The spatial grid built over the node positions (cell side
+    /// `radius / 3`, capped at `O(n)` cells — see
+    /// [`UniformGrid::build`]).
     pub fn grid(&self) -> &UniformGrid {
         &self.grid
     }
 
-    /// The node nearest to an arbitrary position in the unit square.
+    /// The node nearest to an arbitrary position, under the metric the graph
+    /// was built with (wrapped distance on the torus, so a target across the
+    /// seam resolves to its true wrapped-nearest sensor).
     ///
     /// Returns `None` only for the empty graph. This is the primitive behind
     /// the Dimakis-style "route towards a uniformly random location and talk
     /// to the node nearest it" step.
     pub fn nearest_node(&self, target: Point) -> Option<NodeId> {
-        self.grid.nearest_node(&self.positions, target)
+        match self.topology {
+            Topology::UnitSquare => self.grid.nearest(&self.positions, target),
+            Topology::Torus => self.grid.nearest_torus(&self.positions, target),
+        }
+        .map(NodeId)
     }
 
     /// Whether the graph is connected (single BFS component).
@@ -331,6 +571,277 @@ impl GeometricGraph {
                 .iter()
                 .filter(move |&&v| v as usize > u)
                 .map(move |&v| (u, v as usize))
+        })
+    }
+}
+
+/// One fill-pass chunk's output: the CSR entries of a contiguous row range,
+/// appended sequentially and concatenated in chunk order afterwards.
+struct FillPart {
+    nbrs: Vec<u32>,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+/// The query primitive shared by the degree pass and the fill pass: candidate
+/// cells from the grid, candidate *positions* from the cell-ordered mirror
+/// (`cell_pts[slot]`, a linear stream), membership by the topology's metric.
+/// Both passes call the same scan, so they agree on every row by
+/// construction; only what they do with the hits differs.
+struct NeighborScan<'a> {
+    grid: &'a UniformGrid,
+    /// Positions permuted into grid entry order, aligned with
+    /// `grid.entries()`.
+    cell_pts: &'a [Point],
+    radius: f64,
+    topology: Topology,
+}
+
+impl NeighborScan<'_> {
+    /// Degree of the node at position `p` (its own entry excluded).
+    ///
+    /// Branch-free: every candidate contributes `(d² ≤ r²)` to a pure
+    /// counting reduction (which the compiler vectorizes — acceptance at the
+    /// connectivity radius is ~58%, the worst case for a branchy scan), and
+    /// the node itself — always a candidate at distance zero — is subtracted
+    /// at the end. No neighbor identity is ever loaded.
+    #[inline]
+    fn count_row(&self, p: Point) -> u32 {
+        let cell_pts = self.cell_pts;
+        let r2 = self.radius * self.radius;
+        let mut hits = 0u32;
+        match self.topology {
+            Topology::UnitSquare => self.grid.for_each_candidate_range(p, self.radius, |range| {
+                for q in &cell_pts[range] {
+                    let dx = q.x - p.x;
+                    let dy = q.y - p.y;
+                    hits += u32::from(dx * dx + dy * dy <= r2);
+                }
+            }),
+            Topology::Torus => self
+                .grid
+                .for_each_candidate_range_torus(p, self.radius, |range| {
+                    for q in &cell_pts[range] {
+                        let dx = wrap_delta(q.x - p.x);
+                        let dy = wrap_delta(q.y - p.y);
+                        hits += u32::from(dx * dx + dy * dy <= r2);
+                    }
+                }),
+        }
+        hits - 1
+    }
+
+    /// Collects the row of node `i` at position `p` into `keys` as packed
+    /// `(neighbor, slot)` values, returning the row length (which always
+    /// equals `expected`, the degree-pass count — asserted in debug builds).
+    /// The buffer is compacted branch-free — every candidate is written
+    /// unconditionally at the current cursor, and the cursor advances only
+    /// for accepted neighbors, so `expected + 1` slots suffice (a rejected
+    /// candidate after the final accept writes one past the row).
+    /// Coordinates are *not* copied here: the packed slot recovers them from
+    /// the cell-ordered mirror after the row sort, while the queried windows
+    /// are still cache-hot.
+    ///
+    /// On the torus the wrapped-cell enumeration visits each grid cell at
+    /// most once, so a neighbor reachable through several periodic images
+    /// (radius near `1/2`) is still reported exactly once — rows need no
+    /// dedup.
+    #[inline]
+    fn collect_row<K: PackedKey>(
+        &self,
+        i: usize,
+        p: Point,
+        expected: usize,
+        keys: &mut Vec<K>,
+    ) -> usize {
+        let entries = self.grid.entries();
+        let cell_pts = self.cell_pts;
+        let r2 = self.radius * self.radius;
+        if keys.len() < expected + 1 {
+            keys.resize(expected + 1, K::default());
+        }
+        let mut t = 0usize;
+        match self.topology {
+            Topology::UnitSquare => self.grid.for_each_candidate_range(p, self.radius, |range| {
+                for slot in range {
+                    let q = cell_pts[slot];
+                    let dx = q.x - p.x;
+                    let dy = q.y - p.y;
+                    let j = entries[slot];
+                    keys[t] = K::pack(j, slot);
+                    t += usize::from((dx * dx + dy * dy <= r2) & (j as usize != i));
+                }
+            }),
+            Topology::Torus => self
+                .grid
+                .for_each_candidate_range_torus(p, self.radius, |range| {
+                    for slot in range {
+                        let q = cell_pts[slot];
+                        let dx = wrap_delta(q.x - p.x);
+                        let dy = wrap_delta(q.y - p.y);
+                        let j = entries[slot];
+                        keys[t] = K::pack(j, slot);
+                        t += usize::from((dx * dx + dy * dy <= r2) & (j as usize != i));
+                    }
+                }),
+        }
+        t
+    }
+}
+
+/// A row-sort key packing `(neighbor index, grid slot)` so that sorting keys
+/// sorts rows by neighbor index while carrying the slot along for the
+/// post-sort coordinate lookup. `u64` packs 32+32 bits and always works;
+/// `u32` packs 16+16 bits and is used when `n ≤ 65 536` (both halves then
+/// fit), halving the sort's memory traffic.
+trait PackedKey: Copy + Ord + Default {
+    /// Packs a neighbor index and its grid slot.
+    fn pack(neighbor: u32, slot: usize) -> Self;
+    /// The neighbor index.
+    fn neighbor(self) -> u32;
+    /// The grid slot (index into the cell-ordered position mirror).
+    fn slot(self) -> usize;
+}
+
+impl PackedKey for u64 {
+    #[inline(always)]
+    fn pack(neighbor: u32, slot: usize) -> Self {
+        (u64::from(neighbor) << 32) | slot as u64
+    }
+    #[inline(always)]
+    fn neighbor(self) -> u32 {
+        (self >> 32) as u32
+    }
+    #[inline(always)]
+    fn slot(self) -> usize {
+        (self & u64::from(u32::MAX)) as usize
+    }
+}
+
+impl PackedKey for u32 {
+    #[inline(always)]
+    fn pack(neighbor: u32, slot: usize) -> Self {
+        (neighbor << 16) | slot as u32
+    }
+    #[inline(always)]
+    fn neighbor(self) -> u32 {
+        self >> 16
+    }
+    #[inline(always)]
+    fn slot(self) -> usize {
+        (self & 0xffff) as usize
+    }
+}
+
+/// Fills the CSR entries of one contiguous row range (pass 2 of the build):
+/// query each row, sort its packed keys, recover coordinates from the
+/// cell-ordered mirror. Generic over the key width so the `n ≤ 65 536` case
+/// sorts `u32`s.
+fn fill_chunk<K: PackedKey>(
+    scan: &NeighborScan<'_>,
+    positions: &[Point],
+    offsets: &[u32],
+    rows: Range<usize>,
+) -> FillPart {
+    let span = (offsets[rows.end] - offsets[rows.start]) as usize;
+    let mut part = FillPart {
+        nbrs: vec![0u32; span],
+        xs: vec![0f64; span],
+        ys: vec![0f64; span],
+    };
+    let mut keys: Vec<K> = Vec::new();
+    let mut cursor = 0usize;
+    for i in rows {
+        let expected = (offsets[i + 1] - offsets[i]) as usize;
+        let len = scan.collect_row(i, positions[i], expected, &mut keys);
+        debug_assert_eq!(len, expected, "degree pass and fill pass disagree");
+        let row = &mut keys[..len];
+        row.sort_unstable();
+        for &key in row.iter() {
+            let q = scan.cell_pts[key.slot()];
+            part.nbrs[cursor] = key.neighbor();
+            part.xs[cursor] = q.x;
+            part.ys[cursor] = q.y;
+            cursor += 1;
+        }
+    }
+    part
+}
+
+/// The spatial grid of the seed implementation, preserved verbatim for
+/// [`GeometricGraph::build_reference`]: per-cell `Vec` buckets (one heap
+/// allocation each), clamped query cells with a one-cell slack margin (5×5
+/// candidate windows at the connectivity radius), no cell-count cap. Kept
+/// private to the reference build — everything else uses [`UniformGrid`].
+struct ReferenceGrid {
+    bounds: Rect,
+    cols: usize,
+    rows: usize,
+    cell_w: f64,
+    cell_h: f64,
+    cells: Vec<Vec<usize>>,
+}
+
+impl ReferenceGrid {
+    fn build(points: &[Point], cell_side: f64) -> Self {
+        let bounds = unit_square();
+        let mut cols = ((bounds.width() / cell_side).floor() as usize).max(1);
+        let mut rows = ((bounds.height() / cell_side).floor() as usize).max(1);
+        // The one deviation from the seed code: the cell-count cap, shared
+        // with `UniformGrid` as a construction invariant so the preserved
+        // path cannot abort on a tiny-but-valid radius either. It never binds
+        // at benchmarked radii, so the preserved performance is unchanged.
+        let cap = 1024usize.max(4 * points.len());
+        if cols.saturating_mul(rows) > cap {
+            let scale = (cap as f64 / (cols as f64 * rows as f64)).sqrt();
+            cols = ((cols as f64 * scale).floor() as usize).max(1);
+            rows = ((rows as f64 * scale).floor() as usize).max(1);
+        }
+        let cell_w = bounds.width() / cols as f64;
+        let cell_h = bounds.height() / rows as f64;
+        let mut cells = vec![Vec::new(); cols * rows];
+        for (i, &p) in points.iter().enumerate() {
+            cells[bounds.grid_index_of(p, cols, rows)].push(i);
+        }
+        ReferenceGrid {
+            bounds,
+            cols,
+            rows,
+            cell_w,
+            cell_h,
+            cells,
+        }
+    }
+
+    fn neighbors_within<'a>(
+        &'a self,
+        points: &'a [Point],
+        query: Point,
+        radius: f64,
+    ) -> impl Iterator<Item = usize> + 'a {
+        let r2 = radius * radius;
+        self.candidate_cells(query, radius)
+            .flat_map(move |cell| self.cells[cell].iter().copied())
+            .filter(move |&i| points[i].distance_squared(query) <= r2)
+    }
+
+    fn candidate_cells(&self, query: Point, radius: f64) -> impl Iterator<Item = usize> + '_ {
+        let col_span = (radius / self.cell_w).ceil() as isize + 1;
+        let row_span = (radius / self.cell_h).ceil() as isize + 1;
+        let qc = self.bounds.grid_index_of(query, self.cols, self.rows);
+        let (qcol, qrow) = ((qc % self.cols) as isize, (qc / self.cols) as isize);
+        let cols = self.cols as isize;
+        let rows = self.rows as isize;
+        (-row_span..=row_span).flat_map(move |dr| {
+            (-col_span..=col_span).filter_map(move |dc| {
+                let c = qcol + dc;
+                let r = qrow + dr;
+                if c >= 0 && c < cols && r >= 0 && r < rows {
+                    Some((r * cols + c) as usize)
+                } else {
+                    None
+                }
+            })
         })
     }
 }

@@ -7,6 +7,11 @@
 //! `O(sqrt(n / log n))` hops (Dimakis et al., cited as [5]; the paper uses the
 //! coarser `O(√n)` bound). Experiment E5 measures the constant.
 //!
+//! "Closest" is measured in the metric of the [`Topology`] the graph was
+//! built with: Euclidean on the unit square, wrapped distance on the torus.
+//! A torus packet therefore routes *across* the seam when that is shorter,
+//! matching the adjacency (which also wraps) instead of fighting it.
+//!
 //! # Fast path vs. path-recording API
 //!
 //! The gossip protocols route twice per clock tick and only need the terminus
@@ -19,7 +24,8 @@
 //! inspect the actual path.
 
 use geogossip_geometry::point::NodeId;
-use geogossip_geometry::Point;
+use geogossip_geometry::topology::wrap_delta;
+use geogossip_geometry::{Point, Topology};
 use geogossip_graph::GeometricGraph;
 use serde::{Deserialize, Serialize};
 
@@ -67,7 +73,48 @@ impl FastRoute {
     }
 }
 
+/// Squared distance-to-target from raw coordinate deltas. Implementations are
+/// zero-sized tokens, so the walk monomorphises into one tight loop per
+/// metric: the unit-square loop is exactly the historical branch-free scan,
+/// and the torus loop folds each delta through [`wrap_delta`] inline.
+trait RouteMetric: Copy {
+    /// Squared distance corresponding to coordinate deltas `(dx, dy)`.
+    fn d2(self, dx: f64, dy: f64) -> f64;
+}
+
+/// Plain Euclidean metric — the paper's unit-square model.
+#[derive(Clone, Copy)]
+struct EuclideanMetric;
+
+impl RouteMetric for EuclideanMetric {
+    #[inline(always)]
+    fn d2(self, dx: f64, dy: f64) -> f64 {
+        dx * dx + dy * dy
+    }
+}
+
+/// Wrapped (torus) metric: per-axis deltas fold onto `[0, 1/2]` before
+/// squaring, so a target across the seam is correctly seen as close.
+#[derive(Clone, Copy)]
+struct TorusMetric;
+
+impl RouteMetric for TorusMetric {
+    #[inline(always)]
+    fn d2(self, dx: f64, dy: f64) -> f64 {
+        let dx = wrap_delta(dx);
+        let dy = wrap_delta(dy);
+        dx * dx + dy * dy
+    }
+}
+
 /// The greedy walk itself, shared by every routing entry point.
+///
+/// Distance comparisons use the metric of the topology the graph was built
+/// with: Euclidean on the unit square, wrapped distance on the torus (so a
+/// packet near the seam correctly hops *across* it instead of trekking the
+/// long way around — the seam defect fixed by this dispatch is pinned in
+/// `tests/torus_routing.rs`). The dispatch happens once per walk; the
+/// inner loop stays monomorphised and branch-free.
 ///
 /// Invokes `on_hop` with each node the packet moves to (excluding the source)
 /// and returns `(terminus, hops)`. Inlined so the no-op callback of the fast
@@ -77,10 +124,26 @@ fn greedy_walk(
     graph: &GeometricGraph,
     source: NodeId,
     target: Point,
+    on_hop: impl FnMut(NodeId),
+) -> (NodeId, usize) {
+    match graph.topology() {
+        Topology::UnitSquare => greedy_walk_metric(graph, source, target, EuclideanMetric, on_hop),
+        Topology::Torus => greedy_walk_metric(graph, source, target, TorusMetric, on_hop),
+    }
+}
+
+/// Monomorphised walk body behind [`greedy_walk`].
+#[inline(always)]
+fn greedy_walk_metric<M: RouteMetric>(
+    graph: &GeometricGraph,
+    source: NodeId,
+    target: Point,
+    metric: M,
     mut on_hop: impl FnMut(NodeId),
 ) -> (NodeId, usize) {
     let mut current = source.index();
-    let mut current_dist = graph.position(source).distance_squared(target);
+    let src = graph.position(source);
+    let mut current_dist = metric.d2(src.x - target.x, src.y - target.y);
     let mut hops = 0usize;
     loop {
         // Scan the CSR neighbor block: indices and coordinates live in
@@ -96,9 +159,7 @@ fn greedy_walk(
         let (nbrs, xs, ys) = graph.neighbor_block(NodeId(current));
         let mut min_dist = f64::INFINITY;
         for k in 0..nbrs.len() {
-            let dx = xs[k] - target.x;
-            let dy = ys[k] - target.y;
-            let d = dx * dx + dy * dy;
+            let d = metric.d2(xs[k] - target.x, ys[k] - target.y);
             min_dist = min_dist.min(d);
         }
         // A neighbor must be strictly closer than the current node to make
@@ -109,9 +170,7 @@ fn greedy_walk(
         }
         let mut best = 0usize;
         for k in 0..nbrs.len() {
-            let dx = xs[k] - target.x;
-            let dy = ys[k] - target.y;
-            if dx * dx + dy * dy == min_dist {
+            if metric.d2(xs[k] - target.x, ys[k] - target.y) == min_dist {
                 best = k;
                 break;
             }

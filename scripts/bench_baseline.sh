@@ -5,12 +5,21 @@
 # the repository's performance trajectory.
 #
 # The classic baseline section is only (re)generated when the output file does
-# not exist yet; every invocation then APPENDS a dyn-dispatch vs generic-path
-# tick measurement to the file's `dyn_dispatch` array (the scenario redesign's
-# object-safe protocol trait adds a `dyn RngCore` vtable to the hot path; this
-# keeps its overhead measured over time without overwriting history).
+# not exist yet; every plain invocation then APPENDS a dyn-dispatch vs
+# generic-path tick measurement to the file's `dyn_dispatch` array (the
+# scenario redesign's object-safe protocol trait adds a `dyn RngCore` vtable
+# to the hot path; this keeps its overhead measured over time without
+# overwriting history).
 #
-# Usage: scripts/bench_baseline.sh [output.json]   (default BENCH_baseline.json)
+# With `--append-build`, the script instead APPENDS large-n graph-construction
+# rows (n ∈ {65 536, 262 144, 1 048 576}: two-pass parallel build vs the
+# preserved sequential reference) to the file's `graph_build` array — same
+# never-clobber-history discipline, so the build trajectory accumulates
+# alongside the tick trajectory. Expect this mode to take a few minutes: the
+# largest row times several million-node builds.
+#
+# Usage: scripts/bench_baseline.sh [--append-build] [output.json]
+#        (default output: BENCH_baseline.json)
 # Force a fresh classic baseline by deleting the file first.
 #
 # `cargo bench -p geogossip-bench` prints the same quantities interactively
@@ -19,7 +28,24 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_baseline.json}"
+APPEND_BUILD=0
+OUT="BENCH_baseline.json"
+for arg in "$@"; do
+    case "$arg" in
+        --append-build) APPEND_BUILD=1 ;;
+        -*)
+            echo "unknown flag \`$arg\` (only --append-build is supported)" >&2
+            exit 2
+            ;;
+        *) OUT="$arg" ;;
+    esac
+done
+
+if [ "$APPEND_BUILD" -eq 1 ]; then
+    cargo run --release -p geogossip-bench --bin bench_baseline -- --append-build "$OUT"
+    exit 0
+fi
+
 if [ ! -f "$OUT" ]; then
     cargo run --release -p geogossip-bench --bin bench_baseline -- "$OUT"
 fi

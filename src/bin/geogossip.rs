@@ -3,6 +3,7 @@
 //! ```text
 //! geogossip run scenarios/smoke.json            # run a spec file
 //! geogossip run scenarios/smoke.json --json out.json
+//! geogossip run scenarios/large_n.json --only large-uniform-torus
 //! geogossip run --protocol pairwise --n 256 --epsilon 0.1 --trials 2
 //! geogossip protocols                           # list the registry
 //! geogossip template                            # print an example spec
@@ -53,7 +54,7 @@ fn print_usage() {
         "geogossip — gossip averaging scenarios on geometric random graphs\n\
          \n\
          USAGE:\n\
-         \x20 geogossip run <spec.json> [--json <out.json>]\n\
+         \x20 geogossip run <spec.json> [--only <name>] [--json <out.json>]\n\
          \x20 geogossip run --protocol <name> [--n N] [--epsilon E] [--trials T]\n\
          \x20               [--seed S] [--field F] [--radius-constant C] [--torus]\n\
          \x20               [--param key=value]... [--json <out.json>]\n\
@@ -80,6 +81,7 @@ fn template_spec() -> ScenarioSpec {
 fn run(args: &[String]) -> Result<(), ProtocolError> {
     let mut spec_path: Option<String> = None;
     let mut json_out: Option<String> = None;
+    let mut only: Option<String> = None;
     let mut flags = FlagSpec::default();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -90,6 +92,7 @@ fn run(args: &[String]) -> Result<(), ProtocolError> {
         };
         match arg.as_str() {
             "--json" => json_out = Some(take("--json")?),
+            "--only" => only = Some(take("--only")?),
             "--protocol" => flags.protocol = Some(take("--protocol")?),
             "--n" => flags.n = Some(parse_u64(&take("--n")?, "--n")? as usize),
             "--epsilon" => flags.epsilon = Some(parse_f64(&take("--epsilon")?, "--epsilon")?),
@@ -115,7 +118,7 @@ fn run(args: &[String]) -> Result<(), ProtocolError> {
         }
     }
 
-    let specs = match (spec_path, flags.protocol.is_some()) {
+    let mut specs = match (spec_path, flags.protocol.is_some()) {
         (Some(path), false) => load_specs(&path)?,
         (None, true) => vec![flags.into_spec()?],
         (Some(_), true) => {
@@ -129,6 +132,16 @@ fn run(args: &[String]) -> Result<(), ProtocolError> {
             ))
         }
     };
+    if let Some(name) = &only {
+        let known: Vec<String> = specs.iter().map(|s| s.name.clone()).collect();
+        specs.retain(|s| &s.name == name);
+        if specs.is_empty() {
+            return Err(ProtocolError::malformed(format!(
+                "`--only {name}` matches no scenario (known: {})",
+                known.join(", ")
+            )));
+        }
+    }
 
     let runner = builtin_runner();
     let reports = runner.run_all(&specs)?;
