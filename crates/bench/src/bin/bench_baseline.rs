@@ -28,9 +28,26 @@
 //!   ([`GeometricGraph::build_reference`], skipped at the largest size where
 //!   it would take minutes) and **appends** the records to the file's
 //!   `graph_build` array under the same never-clobber-history discipline.
+//! * `… --bin bench_baseline -- --append-tick-large [output.json]` — drives
+//!   whole fixed-tick-budget geographic-gossip runs at `n ∈ {65 536, 262 144}`
+//!   through the overhauled engine loop (`AsyncEngine::run`: batched clock,
+//!   squared-domain stop check, vectorized greedy scan) and the preserved
+//!   pre-overhaul loop (`AsyncEngine::run_reference`), and **appends** the
+//!   per-tick medians to the file's `tick_loop_large` array.
+//! * `… --bin bench_baseline -- --append-trial [output.json]` — runs every
+//!   member of `scenarios/large_n.json` through the scenario `Runner` and
+//!   **appends** whole-trial wall clock and tick throughput to the file's
+//!   `trial_wall_clock` array.
+//! * `--smoke` (combinable with every mode) shrinks sizes and sample counts
+//!   to seconds-scale so CI can exercise each append mode — and the
+//!   never-clobber JSON parsing they share — against a scratch file on every
+//!   push. Smoke numbers are not comparable to the real series; never point
+//!   `--smoke` at the committed `BENCH_baseline.json`.
 
 use geogossip_analysis::json::JsonValue;
-use geogossip_bench::legacy::{csr_geographic_tick, legacy_geographic_tick, LegacyGraph};
+use geogossip_bench::legacy::{
+    csr_geographic_tick, legacy_geographic_tick, LegacyGraph, ReferenceGeographicGossip,
+};
 use geogossip_bench::timing::median_ns_per_iter;
 use geogossip_core::prelude::*;
 use geogossip_geometry::point::NodeId;
@@ -40,11 +57,12 @@ use geogossip_graph::GeometricGraph;
 use geogossip_routing::greedy::route_terminus;
 use geogossip_sim::clock::Tick;
 use geogossip_sim::engine::Activation;
-use geogossip_sim::SeedStream;
+use geogossip_sim::scenario::ScenarioSpec;
+use geogossip_sim::{AsyncEngine, SeedStream, StopCondition, StopReason};
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::fmt::Write as _;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 struct SizeBaseline {
     n: usize,
@@ -237,9 +255,179 @@ fn measure_build(
     }
 }
 
+/// One engine-tick-loop measurement at size `n`: whole fixed-budget runs
+/// through the overhauled loop and the preserved reference loop, reduced to
+/// per-tick medians.
+struct TickLoopBaseline {
+    n: usize,
+    ticks_per_run: u64,
+    samples: usize,
+    engine_ns: f64,
+    reference_ns: f64,
+}
+
+/// Times complete `AsyncEngine` runs of geographic gossip capped at
+/// `ticks_per_run` ticks (the error target is unreachable in that budget, so
+/// both paths execute exactly the same number of ticks) and reports the
+/// median nanoseconds per tick for the overhauled loop
+/// (`AsyncEngine::run` + `GeographicGossip`: batched clock, squared-domain
+/// stop check, f32-filtered routing scan) and the complete pre-overhaul loop
+/// (`AsyncEngine::run_reference` + [`ReferenceGeographicGossip`]: sequential
+/// clock, exact per-tick sqrt/divide stop check, preserved scalar walk) on
+/// the same instance. The two runs are asserted to produce **identical**
+/// reports, so the speedup compares bit-identical work — this is the whole
+/// tick loop the `≥ 1.5×` acceptance row asserts.
+fn measure_tick_loop(
+    n: usize,
+    ticks_per_run: u64,
+    samples: usize,
+    seeds: &SeedStream,
+) -> TickLoopBaseline {
+    let positions = sample_unit_square(n, &mut seeds.trial("bench-placement", n as u64));
+    let graph = GeometricGraph::build_at_connectivity_radius(positions, 2.0);
+    let values: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+    let stop = StopCondition::at_epsilon(1e-12).with_max_ticks(ticks_per_run);
+
+    let run_once = |reference: bool| -> (f64, geogossip_sim::EngineReport) {
+        let mut rng = ChaCha8Rng::seed_from_u64(4242);
+        let mut engine = AsyncEngine::new(n);
+        let start;
+        let report = if reference {
+            let mut protocol = ReferenceGeographicGossip::new(&graph, values.clone());
+            start = Instant::now();
+            engine.run_reference(&mut protocol, stop, &mut rng)
+        } else {
+            let mut protocol =
+                GeographicGossip::new(&graph, values.clone()).expect("valid instance");
+            start = Instant::now();
+            engine.run(&mut protocol, stop, &mut rng)
+        };
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(report.reason, StopReason::TickBudgetExhausted);
+        assert_eq!(report.ticks, ticks_per_run);
+        (elapsed * 1e9 / ticks_per_run as f64, report)
+    };
+
+    let median = |timings: &mut Vec<f64>| -> f64 {
+        timings.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        timings[timings.len() / 2]
+    };
+    // Alternate the two paths so slow drift (thermal, background load)
+    // affects both medians equally; assert the runs are bit-identical so the
+    // comparison stays apples to apples.
+    let mut engine_timings = Vec::with_capacity(samples);
+    let mut reference_timings = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let (engine_ns, engine_report) = run_once(false);
+        let (reference_ns, reference_report) = run_once(true);
+        assert_eq!(
+            engine_report, reference_report,
+            "overhauled and reference loops diverged at n={n}"
+        );
+        engine_timings.push(engine_ns);
+        reference_timings.push(reference_ns);
+    }
+    TickLoopBaseline {
+        n,
+        ticks_per_run,
+        samples,
+        engine_ns: median(&mut engine_timings),
+        reference_ns: median(&mut reference_timings),
+    }
+}
+
+/// Appends the overhauled-vs-reference tick-loop medians to `out_path`'s
+/// `tick_loop_large` array, preserving every existing entry of the file.
+fn append_tick_large_baseline(out_path: &str, smoke: bool) {
+    let seeds = SeedStream::new(20070612);
+    // Tick budgets shrink with n so each sample stays sub-second-to-seconds;
+    // per-tick cost grows with n (longer routes, wider neighbor blocks).
+    let sizes: &[(usize, u64, usize)] = if smoke {
+        &[(512, 2_000, 3), (1_024, 2_000, 3)]
+    } else {
+        &[(65_536, 16_384, 5), (262_144, 8_192, 5)]
+    };
+    let records: Vec<JsonValue> = sizes
+        .iter()
+        .map(|&(n, ticks_per_run, samples)| {
+            let b = measure_tick_loop(n, ticks_per_run, samples, &seeds);
+            let speedup = b.reference_ns / b.engine_ns;
+            println!(
+                "n={:7}  engine tick {:>9.0} ns | reference tick {:>9.0} ns | speedup {:.2}x",
+                b.n, b.engine_ns, b.reference_ns, speedup
+            );
+            JsonValue::object(vec![
+                ("n", b.n.into()),
+                ("ticks_per_sample", b.ticks_per_run.into()),
+                ("samples", b.samples.into()),
+                ("smoke", JsonValue::Bool(smoke)),
+                ("engine_tick_median_ns", b.engine_ns.round().into()),
+                ("reference_tick_median_ns", b.reference_ns.round().into()),
+                (
+                    "speedup_vs_reference",
+                    (((speedup) * 100.0).round() / 100.0).into(),
+                ),
+            ])
+        })
+        .collect();
+    append_records(out_path, "tick_loop_large", records);
+    println!("appended tick-loop baseline to {out_path}");
+}
+
+/// Appends whole-trial wall-clock rows for every member of the large-`n`
+/// scenario sweep (`scenarios/smoke.json` under `--smoke`) to `out_path`'s
+/// `trial_wall_clock` array, preserving every existing entry of the file.
+fn append_trial_baseline(out_path: &str, smoke: bool) {
+    let spec_path = if smoke {
+        "scenarios/smoke.json"
+    } else {
+        "scenarios/large_n.json"
+    };
+    // Shared loader with the `geogossip` CLI, so the accepted file shapes
+    // cannot drift between the two binaries.
+    let specs = ScenarioSpec::load_file(spec_path)
+        .unwrap_or_else(|e| panic!("cannot load scenario file `{spec_path}`: {e}"));
+    let runner = builtin_runner();
+    let records: Vec<JsonValue> = specs
+        .iter()
+        .map(|spec| {
+            let start = Instant::now();
+            let report = runner
+                .run(spec)
+                .unwrap_or_else(|e| panic!("scenario `{}` failed: {e}", spec.name));
+            let seconds = start.elapsed().as_secs_f64();
+            let ticks = report.total_ticks();
+            let ticks_per_sec = report.ticks_per_second().unwrap_or(0.0);
+            println!(
+                "{:24} n={:7}  {:>8.2} s wall | {:>10} ticks | {:>9.0} ticks/s | converged {}/{}",
+                spec.name,
+                spec.topology.n,
+                seconds,
+                ticks,
+                ticks_per_sec,
+                report.summary.converged_trials,
+                report.summary.trials
+            );
+            JsonValue::object(vec![
+                ("scenario", JsonValue::string(spec.name.clone())),
+                ("n", spec.topology.n.into()),
+                ("protocol", JsonValue::string(spec.protocol.name.clone())),
+                ("trials", spec.trials.into()),
+                ("smoke", JsonValue::Bool(smoke)),
+                ("wall_seconds", ((seconds * 1000.0).round() / 1000.0).into()),
+                ("ticks", ticks.into()),
+                ("ticks_per_sec", ticks_per_sec.round().into()),
+                ("converged_trials", report.summary.converged_trials.into()),
+            ])
+        })
+        .collect();
+    append_records(out_path, "trial_wall_clock", records);
+    println!("appended trial wall-clock baseline to {out_path}");
+}
+
 /// Appends the large-`n` build measurements to `out_path`'s `graph_build`
 /// array, preserving every existing entry of the file.
-fn append_build_baseline(out_path: &str) {
+fn append_build_baseline(out_path: &str, smoke: bool) {
     let seeds = SeedStream::new(20070612);
     let threads = std::thread::available_parallelism()
         .map(|t| t.get())
@@ -247,7 +435,16 @@ fn append_build_baseline(out_path: &str) {
     // Sample counts shrink as the per-build cost grows; the sequential
     // reference is skipped at the largest size (it would add minutes for a
     // number the 65k/262k rows already establish).
-    let records: Vec<JsonValue> = [(65_536usize, 15, true), (262_144, 7, true), (1_048_576, 5, false)]
+    let sizes: &[(usize, usize, bool)] = if smoke {
+        &[(4_096, 3, true), (8_192, 2, true)]
+    } else {
+        &[
+            (65_536, 15, true),
+            (262_144, 7, true),
+            (1_048_576, 5, false),
+        ]
+    };
+    let records: Vec<JsonValue> = sizes
         .iter()
         .map(|&(n, samples, with_reference)| {
             let b = measure_build(n, samples, with_reference, &seeds);
@@ -284,9 +481,10 @@ fn append_build_baseline(out_path: &str) {
 
 /// Appends the dyn-dispatch measurements to `out_path`'s `dyn_dispatch`
 /// array, preserving every existing entry of the file.
-fn append_dyn_baseline(out_path: &str) {
+fn append_dyn_baseline(out_path: &str, smoke: bool) {
     let seeds = SeedStream::new(20070612);
-    let records: Vec<JsonValue> = [1024usize, 4096]
+    let sizes: &[usize] = if smoke { &[256, 512] } else { &[1024, 4096] };
+    let records: Vec<JsonValue> = sizes
         .iter()
         .map(|&n| {
             let b = measure_dyn(n, &seeds);
@@ -334,20 +532,32 @@ fn append_records(out_path: &str, key: &str, records: Vec<JsonValue>) {
 }
 
 fn main() {
-    // `--append-dyn` / `--append-build` are recognised anywhere on the
-    // command line; any other flag is an error rather than silently being
-    // taken for an output path (the classic mode overwrites its output, so a
-    // mis-parsed flag would destroy the appended history).
+    // `--append-*` / `--smoke` are recognised anywhere on the command line;
+    // any other flag is an error rather than silently being taken for an
+    // output path (the classic mode overwrites its output, so a mis-parsed
+    // flag would destroy the appended history).
     let mut append_dyn = false;
     let mut append_build = false;
+    let mut append_tick_large = false;
+    let mut append_trial = false;
+    let mut smoke = false;
     let mut out_path: Option<String> = None;
     for arg in std::env::args().skip(1) {
         if arg == "--append-dyn" {
             append_dyn = true;
         } else if arg == "--append-build" {
             append_build = true;
+        } else if arg == "--append-tick-large" {
+            append_tick_large = true;
+        } else if arg == "--append-trial" {
+            append_trial = true;
+        } else if arg == "--smoke" {
+            smoke = true;
         } else if arg.starts_with('-') {
-            eprintln!("unknown flag `{arg}` (only --append-dyn and --append-build are supported)");
+            eprintln!(
+                "unknown flag `{arg}` (supported: --append-dyn, --append-build, \
+                 --append-tick-large, --append-trial, --smoke)"
+            );
             std::process::exit(2);
         } else if out_path.replace(arg).is_some() {
             eprintln!("expected at most one output path");
@@ -355,12 +565,24 @@ fn main() {
         }
     }
     let out_path = out_path.unwrap_or_else(|| "BENCH_baseline.json".to_string());
-    if append_dyn || append_build {
+    if smoke && out_path == "BENCH_baseline.json" {
+        // Smoke numbers are not comparable to the real series; refusing the
+        // default path keeps them out of the committed history.
+        eprintln!("--smoke requires an explicit scratch output path");
+        std::process::exit(2);
+    }
+    if append_dyn || append_build || append_tick_large || append_trial {
         if append_dyn {
-            append_dyn_baseline(&out_path);
+            append_dyn_baseline(&out_path, smoke);
         }
         if append_build {
-            append_build_baseline(&out_path);
+            append_build_baseline(&out_path, smoke);
+        }
+        if append_tick_large {
+            append_tick_large_baseline(&out_path, smoke);
+        }
+        if append_trial {
+            append_trial_baseline(&out_path, smoke);
         }
         return;
     }
@@ -369,10 +591,8 @@ fn main() {
     // stack regresses (the tick measurement relies on it).
     let _: u64 = seeds.stream("smoke").gen();
 
-    let baselines: Vec<SizeBaseline> = [1024usize, 4096]
-        .iter()
-        .map(|&n| measure(n, &seeds))
-        .collect();
+    let sizes: &[usize] = if smoke { &[256, 512] } else { &[1024, 4096] };
+    let baselines: Vec<SizeBaseline> = sizes.iter().map(|&n| measure(n, &seeds)).collect();
 
     let mut json = String::from("{\n  \"benchmark\": \"geogossip hot-path baseline\",\n");
     let _ = writeln!(

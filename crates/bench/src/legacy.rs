@@ -124,6 +124,75 @@ pub fn csr_geographic_tick<R: Rng + ?Sized>(
     out.hops + back.hops
 }
 
+/// The full pre-overhaul geographic-gossip protocol: the exact per-tick work
+/// `GeographicGossip` performed before the engine/routing tick-loop overhaul,
+/// with the **preserved scalar reference walk**
+/// ([`geogossip_routing::greedy::route_terminus_reference`]) for both legs
+/// and no squared-domain stop hook (so `AsyncEngine::run_reference` checks
+/// convergence with the exact sqrt/divide comparison every tick, exactly as
+/// the pre-overhaul loop did).
+///
+/// Driving this through `AsyncEngine::run_reference` therefore reproduces
+/// the complete pre-PR tick loop in the current tree, which is what
+/// `bench_baseline --append-tick-large` measures the overhauled loop
+/// against; the two runs are asserted to produce identical reports, so the
+/// speedup is apples to apples.
+pub struct ReferenceGeographicGossip<'a> {
+    graph: &'a GeometricGraph,
+    state: geogossip_core::GossipState,
+}
+
+impl<'a> ReferenceGeographicGossip<'a> {
+    /// Wraps a graph and an initial value vector.
+    pub fn new(graph: &'a GeometricGraph, initial_values: Vec<f64>) -> Self {
+        ReferenceGeographicGossip {
+            graph,
+            state: geogossip_core::GossipState::new(initial_values),
+        }
+    }
+}
+
+impl geogossip_sim::Activation for ReferenceGeographicGossip<'_> {
+    fn on_tick(
+        &mut self,
+        tick: geogossip_sim::Tick,
+        tx: &mut geogossip_sim::TransmissionCounter,
+        rng: &mut dyn rand::RngCore,
+    ) {
+        use geogossip_routing::greedy::{
+            route_terminus_reference, route_terminus_to_node_reference,
+        };
+        if self.graph.len() < 2 {
+            return;
+        }
+        let s = tick.node;
+        // Identical RNG draws and update sequence to `GeographicGossip::step`
+        // with the default selector; only the walk implementation differs.
+        let target = uniform_point_in(unit_square(), rng);
+        let outcome = route_terminus_reference(self.graph, s, target);
+        let (partner, outbound_hops) = (outcome.terminus, outcome.hops);
+        if partner == s {
+            return;
+        }
+        let (back, _) = route_terminus_to_node_reference(self.graph, partner, s);
+        let (new_s, new_p) = geogossip_core::update::convex_average(
+            self.state.value(s.index()),
+            self.state.value(partner.index()),
+        );
+        self.state.set(s.index(), new_s);
+        self.state.set(partner.index(), new_p);
+        tx.charge_routing((outbound_hops + back.hops) as u64);
+    }
+
+    fn relative_error(&self) -> f64 {
+        self.state.relative_error()
+    }
+
+    fn name(&self) -> &str {
+        "geographic (pre-overhaul reference)"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -32,7 +32,7 @@ use geogossip_geometry::PartitionConfig;
 use geogossip_graph::GeometricGraph;
 use geogossip_routing::greedy::route_terminus_to_node;
 use geogossip_sim::clock::Tick;
-use geogossip_sim::engine::{Activation, Clocking};
+use geogossip_sim::engine::{Activation, Clocking, SquaredError};
 use geogossip_sim::metrics::{ConvergenceTrace, TracePoint, TransmissionCounter};
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
@@ -740,6 +740,13 @@ impl Activation for RoundBasedActivation<'_> {
 
     fn relative_error(&self) -> f64 {
         self.inner.state.relative_error()
+    }
+
+    fn squared_error(&self) -> Option<SquaredError> {
+        Some(SquaredError {
+            current_sq: self.inner.state.deviation_sq(),
+            initial: self.inner.state.initial_deviation(),
+        })
     }
 
     fn name(&self) -> &str {

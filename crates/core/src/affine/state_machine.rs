@@ -38,7 +38,7 @@ use geogossip_graph::GeometricGraph;
 use geogossip_routing::flood::flood_cell;
 use geogossip_routing::greedy::route_terminus_to_node;
 use geogossip_sim::clock::Tick;
-use geogossip_sim::engine::Activation;
+use geogossip_sim::engine::{Activation, SquaredError};
 use geogossip_sim::metrics::TransmissionCounter;
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
@@ -534,6 +534,13 @@ impl Activation for AffineStateMachine<'_> {
 
     fn relative_error(&self) -> f64 {
         self.state.relative_error()
+    }
+
+    fn squared_error(&self) -> Option<SquaredError> {
+        Some(SquaredError {
+            current_sq: self.state.deviation_sq(),
+            initial: self.state.initial_deviation(),
+        })
     }
 
     fn name(&self) -> &str {

@@ -15,7 +15,7 @@ use geogossip_graph::GeometricGraph;
 use geogossip_routing::greedy::{route_terminus, route_terminus_to_node};
 use geogossip_routing::target::TargetSelector;
 use geogossip_sim::clock::Tick;
-use geogossip_sim::engine::Activation;
+use geogossip_sim::engine::{Activation, SquaredError};
 use geogossip_sim::metrics::TransmissionCounter;
 use rand::{Rng, RngCore};
 
@@ -176,6 +176,13 @@ impl Activation for GeographicGossip<'_> {
 
     fn relative_error(&self) -> f64 {
         self.state.relative_error()
+    }
+
+    fn squared_error(&self) -> Option<SquaredError> {
+        Some(SquaredError {
+            current_sq: self.state.deviation_sq(),
+            initial: self.state.initial_deviation(),
+        })
     }
 
     fn name(&self) -> &str {

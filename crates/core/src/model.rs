@@ -20,7 +20,7 @@
 use crate::error::ProtocolError;
 use geogossip_geometry::sampling::uniform_index_excluding;
 use geogossip_sim::clock::Tick;
-use geogossip_sim::engine::{Activation, Clocking};
+use geogossip_sim::engine::{Activation, Clocking, SquaredError};
 use geogossip_sim::metrics::TransmissionCounter;
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
@@ -472,6 +472,13 @@ impl Activation for CompleteGraphActivation {
         self.model.squared_norm().sqrt() / self.initial_norm
     }
 
+    fn squared_error(&self) -> Option<SquaredError> {
+        Some(SquaredError {
+            current_sq: self.model.squared_norm(),
+            initial: self.initial_norm,
+        })
+    }
+
     fn name(&self) -> &str {
         "affine complete graph (Lemma 1)"
     }
@@ -523,6 +530,17 @@ impl Activation for PerturbedCompleteGraphActivation {
             return 0.0;
         }
         self.model.norm() / self.model.initial_norm()
+    }
+
+    fn squared_error(&self) -> Option<SquaredError> {
+        // The perturbed model tracks the unsquared norm; squaring it here is
+        // within the few-ulp contract of the hook (the engine's filter is
+        // conservative and confirms crossings exactly).
+        let norm = self.model.norm();
+        Some(SquaredError {
+            current_sq: norm * norm,
+            initial: self.model.initial_norm(),
+        })
     }
 
     fn name(&self) -> &str {

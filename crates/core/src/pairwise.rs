@@ -12,7 +12,7 @@ use crate::state::GossipState;
 use crate::update::convex_average;
 use geogossip_graph::GeometricGraph;
 use geogossip_sim::clock::Tick;
-use geogossip_sim::engine::Activation;
+use geogossip_sim::engine::{Activation, SquaredError};
 use geogossip_sim::metrics::TransmissionCounter;
 use rand::{Rng, RngCore};
 
@@ -121,6 +121,13 @@ impl Activation for PairwiseGossip<'_> {
 
     fn relative_error(&self) -> f64 {
         self.state.relative_error()
+    }
+
+    fn squared_error(&self) -> Option<SquaredError> {
+        Some(SquaredError {
+            current_sq: self.state.deviation_sq(),
+            initial: self.state.initial_deviation(),
+        })
     }
 
     fn name(&self) -> &str {

@@ -184,11 +184,23 @@ impl GossipState {
     /// cached value may have lost more than ~10 digits (see the type-level
     /// docs).
     pub fn deviation(&self) -> f64 {
+        self.deviation_sq().sqrt()
+    }
+
+    /// `Σ (x_i − x̄)²` — the centered **squared** norm `‖x(t) − x̄·1‖₂²`,
+    /// without the final square root.
+    ///
+    /// Applies exactly the same stale/drift refresh discipline as
+    /// [`GossipState::deviation`] (of which it is the pre-sqrt value), so the
+    /// engine's squared-domain stop check observes the identical cache
+    /// trajectory as the sqrt-based path and per-tick convergence checks cost
+    /// no sqrt at all.
+    pub fn deviation_sq(&self) -> f64 {
         let sum = self.sum_sq.get();
         if self.stale.get() || sum < self.drift_bound.get() * DRIFT_GUARD {
             self.refresh_deviation();
         }
-        self.sum_sq.get().max(0.0).sqrt()
+        self.sum_sq.get().max(0.0)
     }
 
     /// Recomputes the cached centered squared norm from scratch and resets the
@@ -317,6 +329,23 @@ mod tests {
         let s = GossipState::new(vec![3.5; 8]);
         assert_eq!(s.relative_error(), 0.0);
         assert_eq!(s.deviation(), 0.0);
+        assert_eq!(s.deviation_sq(), 0.0);
+    }
+
+    #[test]
+    fn deviation_is_the_square_root_of_deviation_sq() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let mut s = GossipState::new(InitialCondition::Uniform.generate(64, &mut rng));
+        for step in 0..5_000u32 {
+            let i = rng.gen_range(0..64usize);
+            let j = (i + 1 + rng.gen_range(0..63usize)) % 64;
+            let (a, b) = crate::update::convex_average(s.value(i), s.value(j));
+            s.set(i, a);
+            s.set(j, b);
+            if step % 500 == 0 {
+                assert_eq!(s.deviation().to_bits(), s.deviation_sq().sqrt().to_bits());
+            }
+        }
     }
 
     #[test]

@@ -23,6 +23,9 @@ use std::ops::Range;
 /// routing inner loop ("which neighbor is closest to the target?") therefore
 /// streams contiguous memory instead of pointer-chasing per-node `Vec`s and
 /// gathering positions by index — see [`GeometricGraph::neighbor_block`].
+/// A half-width row-blocked `f32` mirror of the same coordinates
+/// ([`GeometricGraph::scan_block`]) additionally halves the memory traffic of
+/// the routing hot loop's approximate argmin pass.
 ///
 /// Besides adjacency the graph keeps the spatial grid it was built with, so
 /// downstream code (greedy geographic routing, leader lookup) can answer
@@ -54,8 +57,34 @@ pub struct GeometricGraph {
     nbr_x: Vec<f64>,
     /// `y` coordinate of each neighbor, aligned with the CSR neighbor array.
     nbr_y: Vec<f64>,
+    /// Half-width scan mirror of the neighbor rows, row-blocked: row `i`
+    /// occupies `3·offsets[i] .. 3·offsets[i+1]` as `[x_bits… y_bits… idx…]`
+    /// — each coordinate rounded to `f32` and stored as its bit pattern, the
+    /// neighbor indices copied alongside. The greedy-routing hot loop
+    /// streams this **single** contiguous 12-byte-per-neighbor array per
+    /// hop: the coordinate halves feed the vectorized approximate argmin
+    /// (half the traffic of the two `f64` arrays), and the index third lets
+    /// the walk resolve near-minimal candidates exactly against
+    /// [`GeometricGraph::position`] (a table small enough to sit in L2/L3)
+    /// without touching the cold `f64` mirrors at all. Derived data — always
+    /// exactly `(nbr_x/nbr_y as f32).to_bits()` plus the CSR neighbor row
+    /// (see [`GeometricGraph::scan_block`]).
+    scan_rows: Vec<u32>,
     grid: UniformGrid,
     edge_count: usize,
+}
+
+/// Builds the row-blocked scan mirror from the CSR row and coordinate
+/// arrays (see the `scan_rows` field docs for the layout).
+fn build_scan_mirror(adjacency: &CsrAdjacency, nbr_x: &[f64], nbr_y: &[f64]) -> Vec<u32> {
+    let mut mirror = Vec::with_capacity(nbr_x.len() * 3);
+    for i in 0..adjacency.len() {
+        let range = adjacency.neighbor_range(i);
+        mirror.extend(nbr_x[range.clone()].iter().map(|&x| (x as f32).to_bits()));
+        mirror.extend(nbr_y[range.clone()].iter().map(|&y| (y as f32).to_bits()));
+        mirror.extend_from_slice(&adjacency.raw_neighbors()[range]);
+    }
+    mirror
 }
 
 impl GeometricGraph {
@@ -256,13 +285,16 @@ impl GeometricGraph {
         // contributed exactly two directed entries.
         debug_assert_eq!(total % 2, 0, "asymmetric adjacency");
         let edge_count = total / 2;
+        let adjacency = CsrAdjacency::from_raw_parts(offsets, neighbors);
+        let scan_rows = build_scan_mirror(&adjacency, &nbr_x, &nbr_y);
         GeometricGraph {
             positions,
             radius,
             topology,
-            adjacency: CsrAdjacency::from_raw_parts(offsets, neighbors),
+            adjacency,
             nbr_x,
             nbr_y,
+            scan_rows,
             grid,
             edge_count,
         }
@@ -359,9 +391,10 @@ impl GeometricGraph {
             nbr_y.push(p.y);
         }
         // The graph still carries the *current* grid type for nearest-node
-        // queries; only the adjacency construction above is the preserved
-        // code path.
+        // queries (and derives the same f32 scan mirror); only the adjacency
+        // construction above is the preserved code path.
         let grid = UniformGrid::build(unit_square(), &positions, radius.max(1e-9));
+        let scan_rows = build_scan_mirror(&adjacency, &nbr_x, &nbr_y);
         GeometricGraph {
             positions,
             radius,
@@ -369,6 +402,7 @@ impl GeometricGraph {
             adjacency,
             nbr_x,
             nbr_y,
+            scan_rows,
             grid,
             edge_count,
         }
@@ -492,6 +526,32 @@ impl GeometricGraph {
             &self.nbr_x[range.clone()],
             &self.nbr_y[range],
         )
+    }
+
+    /// The half-width scan view of `node`'s neighbor row: CSR-aligned
+    /// `(x_bits, y_bits, indices)` slices of one contiguous row-blocked
+    /// `u32` array.
+    ///
+    /// The first two slices are exactly the corresponding
+    /// [`GeometricGraph::neighbor_block`] coordinates rounded to `f32` and
+    /// stored as bit patterns (`f32::from_bits` recovers them for free;
+    /// pinned by tests), so `|x32 − x| ≤ 2⁻²⁴` on the unit square; the third
+    /// is the CSR neighbor row itself. The greedy-routing hot loop streams
+    /// this single 12-byte-per-neighbor array per hop — the random-access
+    /// memory traffic the per-hop argmin is bound by at large `n` — and
+    /// resolves near-minimal candidates exactly from
+    /// [`GeometricGraph::position`], never touching the cold `f64` mirrors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[inline]
+    pub fn scan_block(&self, node: NodeId) -> (&[u32], &[u32], &[u32]) {
+        let range = self.adjacency.neighbor_range(node.index());
+        let row = &self.scan_rows[3 * range.start..3 * range.end];
+        let (xs, rest) = row.split_at(range.len());
+        let (ys, idx) = rest.split_at(range.len());
+        (xs, ys, idx)
     }
 
     /// Degree of `node`.
@@ -884,6 +944,22 @@ mod tests {
                 let p = g.position(NodeId(j as usize));
                 assert_eq!(xs[k], p.x);
                 assert_eq!(ys[k], p.y);
+            }
+        }
+    }
+
+    #[test]
+    fn scan_block_is_the_f32_rounding_of_neighbor_block() {
+        let g = random_graph(250, 1.5, 9);
+        for i in 0..g.len() {
+            let (nbrs, xs, ys) = g.neighbor_block(NodeId(i));
+            let (xs32, ys32, idx) = g.scan_block(NodeId(i));
+            assert_eq!(xs32.len(), nbrs.len());
+            assert_eq!(ys32.len(), nbrs.len());
+            assert_eq!(idx, nbrs);
+            for k in 0..nbrs.len() {
+                assert_eq!(xs32[k], (xs[k] as f32).to_bits());
+                assert_eq!(ys32[k], (ys[k] as f32).to_bits());
             }
         }
     }

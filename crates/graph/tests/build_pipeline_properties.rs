@@ -31,6 +31,11 @@ fn assert_bit_identical(a: &GeometricGraph, b: &GeometricGraph) {
         assert_eq!(an, bn, "neighbor row {i} differs");
         assert_eq!(ax, bx, "nbr_x row {i} differs");
         assert_eq!(ay, by, "nbr_y row {i} differs");
+        let (ax32, ay32, aidx) = a.scan_block(NodeId(i));
+        let (bx32, by32, bidx) = b.scan_block(NodeId(i));
+        assert_eq!(ax32, bx32, "scan mirror xs row {i} differs");
+        assert_eq!(ay32, by32, "scan mirror ys row {i} differs");
+        assert_eq!(aidx, bidx, "scan mirror idx row {i} differs");
     }
 }
 

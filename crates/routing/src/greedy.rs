@@ -22,6 +22,17 @@
 //! ([`route_to_position`], [`route_to_node`], and the scratch-buffer variant
 //! [`route_to_position_into`]) wraps the same walk for experiments that
 //! inspect the actual path.
+//!
+//! The per-hop argmin is a two-pass filtered scan: pass 1 streams the
+//! graph's half-width `f32` scan mirror (8 bytes/neighbor — the walk is
+//! memory-bound at large `n`) through a chunked, unrolled multi-accumulator
+//! min-reduction the compiler vectorizes ([`min_d2_scan`]); pass 2 confirms
+//! the few neighbors inside a provably conservative error window with exact
+//! `f64` distances, so the selected hop is **bit-identical** to the
+//! preserved all-`f64` scalar walk ([`route_terminus_reference`]) — including
+//! tie-breaking, which always selects the **lowest neighbor index** among
+//! equidistant neighbors (CSR rows are sorted, and both walks resolve ties
+//! to the first occurrence).
 
 use geogossip_geometry::point::NodeId;
 use geogossip_geometry::topology::wrap_delta;
@@ -76,10 +87,18 @@ impl FastRoute {
 /// Squared distance-to-target from raw coordinate deltas. Implementations are
 /// zero-sized tokens, so the walk monomorphises into one tight loop per
 /// metric: the unit-square loop is exactly the historical branch-free scan,
-/// and the torus loop folds each delta through [`wrap_delta`] inline.
+/// and the torus loop folds each delta through [`wrap_delta`] inline. The
+/// `f32` companion backs the half-width approximate scan pass
+/// ([`min_d2_scan`]); its torus fold is branch-free (`min`-of-two) so the
+/// pass vectorizes on both metrics.
 trait RouteMetric: Copy {
     /// Squared distance corresponding to coordinate deltas `(dx, dy)`.
     fn d2(self, dx: f64, dy: f64) -> f64;
+
+    /// `f32` squared distance for the approximate scan pass. Must track
+    /// [`RouteMetric::d2`] within [`SCAN_ABS_ERROR`] for deltas produced by
+    /// unit-square coordinates rounded to `f32`.
+    fn d2_f32(self, dx: f32, dy: f32) -> f32;
 }
 
 /// Plain Euclidean metric — the paper's unit-square model.
@@ -89,6 +108,11 @@ struct EuclideanMetric;
 impl RouteMetric for EuclideanMetric {
     #[inline(always)]
     fn d2(self, dx: f64, dy: f64) -> f64 {
+        dx * dx + dy * dy
+    }
+
+    #[inline(always)]
+    fn d2_f32(self, dx: f32, dy: f32) -> f32 {
         dx * dx + dy * dy
     }
 }
@@ -103,6 +127,19 @@ impl RouteMetric for TorusMetric {
     fn d2(self, dx: f64, dy: f64) -> f64 {
         let dx = wrap_delta(dx);
         let dy = wrap_delta(dy);
+        dx * dx + dy * dy
+    }
+
+    #[inline(always)]
+    fn d2_f32(self, dx: f32, dy: f32) -> f32 {
+        // `wrap_delta` restricted to |d| ≤ 1 (unit-square coordinate deltas):
+        // fold by reflection instead of `%` so the scan pass stays free of
+        // libm calls and vectorizes. Identical to `wrap_delta` on that
+        // domain; 1-Lipschitz, so the f32 error bound carries through.
+        let dx = dx.abs();
+        let dx = if dx > 0.5 { 1.0 - dx } else { dx };
+        let dy = dy.abs();
+        let dy = if dy > 0.5 { 1.0 - dy } else { dy };
         dx * dx + dy * dy
     }
 }
@@ -132,7 +169,104 @@ fn greedy_walk(
     }
 }
 
-/// Monomorphised walk body behind [`greedy_walk`].
+/// Lane count of the chunked min-reduction in [`min_d2_scan`]: eight
+/// independent `f32` accumulators fill one 256-bit vector register (or two
+/// 128-bit ones) and break the serial `min` dependency chain of the scalar
+/// scan.
+const SCAN_LANES: usize = 8;
+
+/// Upper bound on `|d2_f32 − d2|` over the scan's whole input domain
+/// (unit-square coordinates and targets, both rounded to `f32` before the
+/// subtraction), with a ≥4× safety margin.
+///
+/// Derivation: each coordinate rounds with error ≤ 2⁻²⁴; each delta is then
+/// off by ≤ 2·2⁻²⁴ plus half an ulp of the subtraction, so `|δdx| ≤ 1.9e-7`
+/// with `|dx| ≤ 1` (the torus fold is 1-Lipschitz and only shrinks deltas).
+/// Squaring and summing: `|d2_f32 − d2| ≤ 2(|dx| + |dy|)·1.9e-7` plus three
+/// `f32` roundings of values ≤ 2, together ≤ 9e-7. The candidate window in
+/// [`greedy_walk_metric`] needs twice that (error on the minimum plus error
+/// on the probe) plus one more `f32` add rounding; `4e-6` covers it all with
+/// margin.
+const SCAN_ABS_ERROR: f32 = 4e-6;
+
+/// Capacity of the per-walk scan scratch buffer, in neighbors. Degrees at
+/// the connectivity radius are `Θ(log n)` (≈ 160 even at `n = 2²⁰`), so the
+/// buffered fast path virtually always applies; wider rows fall back to the
+/// buffer-free scan, which is bit-identical.
+const SCAN_BUF: usize = 512;
+
+/// Pass 1 of the per-hop argmin: computes every approximate squared
+/// distance-to-target over a node's half-width scan row
+/// ([`GeometricGraph::scan_block`]) into `buf`, returning their minimum — a
+/// chunked, unrolled multi-accumulator `f32` scan.
+///
+/// The body processes [`SCAN_LANES`] neighbors per iteration into
+/// independent accumulators (no cross-lane dependency, no bounds checks —
+/// the lanes come from `chunks_exact`, the min is a branch-free select),
+/// which is the shape the compiler auto-vectorizes; the remainder folds
+/// scalar. Reading 8 bytes per neighbor instead of the 16 the `f64` mirror
+/// costs also halves the random-access memory traffic the walk is bound by
+/// at large `n`. The stored distances let pass 2 test the candidate window
+/// without recomputing; the minimum is only used to open a
+/// [`SCAN_ABS_ERROR`]-wide window that provably contains the exact argmin —
+/// see [`greedy_walk_metric`].
+///
+/// # Panics
+///
+/// Panics if `buf` is shorter than the row (callers slice it to length).
+#[inline(always)]
+fn min_d2_scan<M: RouteMetric>(
+    metric: M,
+    xs: &[u32],
+    ys: &[u32],
+    buf: &mut [f32],
+    tx: f32,
+    ty: f32,
+) -> f32 {
+    let mut acc = [f32::INFINITY; SCAN_LANES];
+    let mut chunks_x = xs.chunks_exact(SCAN_LANES);
+    let mut chunks_y = ys.chunks_exact(SCAN_LANES);
+    let mut chunks_buf = buf.chunks_exact_mut(SCAN_LANES);
+    for ((px, py), pb) in (&mut chunks_x).zip(&mut chunks_y).zip(&mut chunks_buf) {
+        for lane in 0..SCAN_LANES {
+            // `from_bits` is a free reinterpretation of the packed row.
+            let d = metric.d2_f32(f32::from_bits(px[lane]) - tx, f32::from_bits(py[lane]) - ty);
+            pb[lane] = d;
+            acc[lane] = if d < acc[lane] { d } else { acc[lane] };
+        }
+    }
+    let mut min_dist = f32::INFINITY;
+    for lane_min in acc {
+        min_dist = min_dist.min(lane_min);
+    }
+    let tail = chunks_buf.into_remainder();
+    for ((&x, &y), b) in chunks_x
+        .remainder()
+        .iter()
+        .zip(chunks_y.remainder())
+        .zip(tail)
+    {
+        let d = metric.d2_f32(f32::from_bits(x) - tx, f32::from_bits(y) - ty);
+        *b = d;
+        min_dist = min_dist.min(d);
+    }
+    min_dist
+}
+
+/// Monomorphised walk body behind [`greedy_walk`] — the overhauled per-hop
+/// argmin.
+///
+/// Per hop: **pass 1** streams the half-width `f32` scan row into a stack
+/// scratch buffer and finds the approximate minimum ([`min_d2_scan`],
+/// vectorized, 8 bytes/neighbor). **Pass 2** walks the (L1-hot) buffer and,
+/// for every neighbor within [`SCAN_ABS_ERROR`] of the approximate minimum —
+/// the window provably contains every exact minimizer, see the constant's
+/// docs — gathers the **exact** `f64` distance from the CSR coordinate
+/// mirror and keeps the strictly-smallest, first-encountered winner. Since
+/// CSR rows are sorted and the window is conservative, the selected
+/// neighbor, its exact distance, and the tie-breaking (lowest neighbor index
+/// on equal distance) are **bit-identical** to the preserved all-`f64`
+/// scalar walk ([`greedy_walk_reference`]), which property tests pin.
 #[inline(always)]
 fn greedy_walk_metric<M: RouteMetric>(
     graph: &GeometricGraph,
@@ -144,27 +278,98 @@ fn greedy_walk_metric<M: RouteMetric>(
     let mut current = source.index();
     let src = graph.position(source);
     let mut current_dist = metric.d2(src.x - target.x, src.y - target.y);
+    let tx = target.x as f32;
+    let ty = target.y as f32;
+    // Per-walk scratch for pass 1's approximate distances (stack, zeroed
+    // once per walk, reused across hops).
+    let mut scratch = [0f32; SCAN_BUF];
     let mut hops = 0usize;
     loop {
-        // Scan the CSR neighbor block: indices and coordinates live in
-        // parallel contiguous slices, so both passes below stream memory
-        // linearly instead of gathering positions node by node.
-        //
-        // Pass 1 is a pure min-reduction over the squared distances — no
-        // index tracking, no data-dependent branch — which the compiler
-        // vectorizes. Pass 2 recovers the winning index by recomputing until
-        // the (bit-identical) minimum reappears; since the minimum is unique
-        // w.p. 1 and ties resolve to the first occurrence, this selects
-        // exactly the neighbor the classic branchy scan selected.
+        // One hop touches exactly one random-access stream — the packed scan
+        // row `[x_bits… y_bits… idx…]` — plus the position table for the few
+        // exact confirmations (small enough to stay cache-resident). The
+        // cold `f64` coordinate mirrors are never read on this path.
+        let (xs32, ys32, idx) = graph.scan_block(NodeId(current));
+        let mut min_dist = f64::INFINITY;
+        let mut best = u32::MAX;
+        if xs32.len() <= SCAN_BUF {
+            let buf = &mut scratch[..xs32.len()];
+            let approx_min = min_d2_scan(metric, xs32, ys32, buf, tx, ty);
+            // Every exact minimizer's approximate distance lies within the
+            // window (an empty row leaves it at infinity and stops below).
+            let window = approx_min + SCAN_ABS_ERROR;
+            for (k, &d32) in buf.iter().enumerate() {
+                if d32 <= window {
+                    let p = graph.position(NodeId(idx[k] as usize));
+                    let d = metric.d2(p.x - target.x, p.y - target.y);
+                    // Strict `<` keeps the first-encountered minimum: the
+                    // lowest neighbor index, CSR rows being sorted.
+                    if d < min_dist {
+                        min_dist = d;
+                        best = idx[k];
+                    }
+                }
+            }
+        } else {
+            // Rows wider than the scratch buffer (far above any
+            // connectivity-radius degree) recompute the approximate
+            // distances in pass 2 — same window, same winner.
+            let mut approx_min = f32::INFINITY;
+            for (&x, &y) in xs32.iter().zip(ys32) {
+                approx_min =
+                    approx_min.min(metric.d2_f32(f32::from_bits(x) - tx, f32::from_bits(y) - ty));
+            }
+            let window = approx_min + SCAN_ABS_ERROR;
+            for (k, (&x32, &y32)) in xs32.iter().zip(ys32).enumerate() {
+                if metric.d2_f32(f32::from_bits(x32) - tx, f32::from_bits(y32) - ty) <= window {
+                    let p = graph.position(NodeId(idx[k] as usize));
+                    let d = metric.d2(p.x - target.x, p.y - target.y);
+                    if d < min_dist {
+                        min_dist = d;
+                        best = idx[k];
+                    }
+                }
+            }
+        }
+        // A neighbor must be strictly closer than the current node to make
+        // progress; otherwise the packet stops here.
+        if min_dist >= current_dist {
+            return (NodeId(current), hops);
+        }
+        current = best as usize;
+        current_dist = min_dist;
+        hops += 1;
+        on_hop(NodeId(current));
+    }
+}
+
+/// The preserved pre-overhaul walk, kept **verbatim** (the same
+/// keep-the-reference discipline as `GeometricGraph::build_reference`): an
+/// all-`f64` two-pass scan of the CSR neighbor block — pass 1 a plain
+/// left-to-right min-reduction over the squared distances, pass 2 recovering
+/// the winning index by recomputing until the bit-identical minimum
+/// reappears (first occurrence = lowest neighbor index, CSR rows being
+/// sorted). Backs [`route_terminus_reference`] so property tests and the
+/// bench can pin the `f32`-filtered production walk against it on the same
+/// instances.
+#[inline(always)]
+fn greedy_walk_reference<M: RouteMetric>(
+    graph: &GeometricGraph,
+    source: NodeId,
+    target: Point,
+    metric: M,
+) -> (NodeId, usize) {
+    let mut current = source.index();
+    let src = graph.position(source);
+    let mut current_dist = metric.d2(src.x - target.x, src.y - target.y);
+    let mut hops = 0usize;
+    loop {
         let (nbrs, xs, ys) = graph.neighbor_block(NodeId(current));
         let mut min_dist = f64::INFINITY;
         for k in 0..nbrs.len() {
             let d = metric.d2(xs[k] - target.x, ys[k] - target.y);
             min_dist = min_dist.min(d);
         }
-        // A neighbor must be strictly closer than the current node to make
-        // progress; otherwise the packet stops here (an empty neighbor block
-        // leaves the minimum at infinity and stops too).
         if min_dist >= current_dist {
             return (NodeId(current), hops);
         }
@@ -178,7 +383,6 @@ fn greedy_walk_metric<M: RouteMetric>(
         current = nbrs[best] as usize;
         current_dist = min_dist;
         hops += 1;
-        on_hop(NodeId(current));
     }
 }
 
@@ -196,6 +400,47 @@ pub fn route_terminus(graph: &GeometricGraph, source: NodeId, target: Point) -> 
         terminus,
         hops,
     }
+}
+
+/// [`route_terminus`] through the preserved scalar reference walk, for
+/// property tests and benches that pin the chunked vectorizable scan
+/// bit-identical to the pre-overhaul implementation (same terminus, same hop
+/// count, same tie-breaking). Production callers should use
+/// [`route_terminus`].
+///
+/// # Panics
+///
+/// Panics if `source` is out of range for the graph.
+pub fn route_terminus_reference(
+    graph: &GeometricGraph,
+    source: NodeId,
+    target: Point,
+) -> FastRoute {
+    let (terminus, hops) = match graph.topology() {
+        Topology::UnitSquare => greedy_walk_reference(graph, source, target, EuclideanMetric),
+        Topology::Torus => greedy_walk_reference(graph, source, target, TorusMetric),
+    };
+    FastRoute {
+        source,
+        terminus,
+        hops,
+    }
+}
+
+/// [`route_terminus_to_node`] through the preserved scalar reference walk —
+/// see [`route_terminus_reference`].
+///
+/// # Panics
+///
+/// Panics if `source` or `destination` is out of range for the graph.
+pub fn route_terminus_to_node_reference(
+    graph: &GeometricGraph,
+    source: NodeId,
+    destination: NodeId,
+) -> (FastRoute, bool) {
+    let route = route_terminus_reference(graph, source, graph.position(destination));
+    let delivered = route.terminus == destination;
+    (route, delivered)
 }
 
 /// Allocation-free variant of [`route_to_node`]: greedy-routes from `source`

@@ -1,14 +1,17 @@
 //! Property tests for the allocation-free routing fast path: on arbitrary
 //! random instances and targets, `route_terminus` / `route_terminus_to_node` /
-//! the scratch-buffer variant must agree exactly with the path-returning API.
+//! the scratch-buffer variant must agree exactly with the path-returning API,
+//! and the chunked vectorizable argmin scan must agree exactly with the
+//! preserved scalar reference walk (`route_terminus_reference`).
 
 use geogossip_geometry::point::NodeId;
 use geogossip_geometry::sampling::{sample_unit_square, uniform_point_in};
 use geogossip_geometry::unit_square;
+use geogossip_geometry::Topology;
 use geogossip_graph::GeometricGraph;
 use geogossip_routing::greedy::{
-    round_trip, route_terminus, route_terminus_to_node, route_to_node, route_to_position,
-    route_to_position_into,
+    round_trip, route_terminus, route_terminus_reference, route_terminus_to_node, route_to_node,
+    route_to_position, route_to_position_into,
 };
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -63,6 +66,54 @@ proptest! {
         prop_assert_eq!(fast.terminus, full.terminus);
         prop_assert_eq!(fast.hops, full.hops);
         prop_assert_eq!(delivered, full.delivered);
+    }
+
+    /// The chunked, unrolled argmin scan is bit-identical to the preserved
+    /// scalar reference walk — same terminus, same hop count — on arbitrary
+    /// graphs (both topologies, dead ends included) and arbitrary targets.
+    /// Degree sweeps past the scan's lane width in both directions, so the
+    /// chunked body and the scalar remainder are both exercised.
+    #[test]
+    fn vectorized_scan_matches_scalar_reference(
+        n in 2usize..300,
+        seed in 0u64..1000,
+        c in 0.8f64..2.5,
+        torus in 0usize..2,
+    ) {
+        let topology = if torus == 1 { Topology::Torus } else { Topology::UnitSquare };
+        let pts = sample_unit_square(n, &mut ChaCha8Rng::seed_from_u64(seed));
+        // Torus adjacency requires radius < 1/2; small n at a generous
+        // connectivity constant can exceed it, so clamp.
+        let radius = geogossip_geometry::connectivity_radius(n, c).min(0.49);
+        let g = GeometricGraph::build_with_topology(pts, radius, topology);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xfa57);
+        for k in 0..12 {
+            let src = NodeId((seed as usize + k) % n);
+            let target = uniform_point_in(unit_square(), &mut rng);
+            let fast = route_terminus(&g, src, target);
+            let reference = route_terminus_reference(&g, src, target);
+            prop_assert_eq!(fast, reference);
+        }
+    }
+
+    /// Degrees beyond the walk's stack scratch capacity take the buffer-free
+    /// fallback; it must agree with the reference exactly too. A radius of
+    /// 0.9 on 600 nodes makes nearly every row wider than the buffer.
+    #[test]
+    fn dense_rows_beyond_scratch_capacity_match_reference(
+        seed in 0u64..200,
+    ) {
+        let n = 600;
+        let pts = sample_unit_square(n, &mut ChaCha8Rng::seed_from_u64(seed));
+        let g = GeometricGraph::build(pts, 0.9);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xdee9);
+        for k in 0..6 {
+            let src = NodeId((seed as usize + k) % n);
+            let target = uniform_point_in(unit_square(), &mut rng);
+            let fast = route_terminus(&g, src, target);
+            let reference = route_terminus_reference(&g, src, target);
+            prop_assert_eq!(fast, reference);
+        }
     }
 
     /// Round trips cost exactly the sum of the two one-way fast routes.

@@ -6,6 +6,12 @@
 //! chosen uniformly at random; the simulator uses this equivalent global view
 //! because it is what the analysis (and the `t`-th "global clock tick"
 //! notation) refers to.
+//!
+//! Two implementations share the identical draw sequence:
+//! [`GlobalPoissonClock`] computes exact per-tick times, and
+//! [`BatchedPoissonClock`] (the engine's hot-path clock) defers the gap
+//! arithmetic into block reductions while staying bit-identical on the final
+//! time and on every RNG draw.
 
 use geogossip_geometry::point::NodeId;
 use rand::Rng;
@@ -99,6 +105,112 @@ impl GlobalPoissonClock {
     }
 }
 
+/// Number of pending uniform draws a [`BatchedPoissonClock`] accumulates
+/// before reducing them to elapsed time in one pass.
+const GAP_BLOCK: usize = 1024;
+
+/// The global Poisson clock with block-deferred gap reduction — the engine's
+/// hot-path clock.
+///
+/// Draws the **same RNG stream in the same order** as
+/// [`GlobalPoissonClock::next_tick`] (one uniform for the `Exp(n)` gap, then
+/// the tick's node), so a protocol sharing the RNG with the clock sees
+/// bit-identical randomness. What is deferred is only the *arithmetic* on the
+/// gap draws: instead of computing `-(ln(1 − u)) / n` and accumulating it on
+/// every tick, the raw uniforms are buffered and reduced [`GAP_BLOCK`] at a
+/// time in a tight loop over contiguous memory, keeping the transcendental
+/// call and the serial floating-point accumulation off the per-tick critical
+/// path. Because the reduction performs exactly the per-tick operations in
+/// exactly the per-tick order, [`BatchedPoissonClock::now`] is **bit-identical**
+/// to the sequential clock's time after any number of ticks (pinned by tests
+/// below and by the engine parity suite).
+///
+/// The deferral has one observable consequence: the `time` field of the
+/// [`Tick`]s this clock hands out is the exact simulation time *as of the last
+/// completed block reduction* (coarse, always ≤ the true tick time), not the
+/// per-tick time. No protocol in the workspace reads per-tick time — the
+/// engine reports only the final [`BatchedPoissonClock::now`], which flushes —
+/// but a driver that needs exact per-tick times should use
+/// [`GlobalPoissonClock`] instead.
+#[derive(Debug, Clone)]
+pub struct BatchedPoissonClock {
+    n: usize,
+    rate: f64,
+    /// Exact simulation time through the last reduced block.
+    flushed: f64,
+    ticks: u64,
+    /// Raw uniform gap draws awaiting reduction, in draw order.
+    pending: Vec<f64>,
+}
+
+impl BatchedPoissonClock {
+    /// Creates the clock for a network of `n` sensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero — a network with no sensors has no clock.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a Poisson clock needs at least one sensor");
+        BatchedPoissonClock {
+            n,
+            rate: n as f64,
+            flushed: 0.0,
+            ticks: 0,
+            pending: Vec::with_capacity(GAP_BLOCK),
+        }
+    }
+
+    /// Number of sensors whose clocks are multiplexed onto this global clock.
+    pub fn population(&self) -> usize {
+        self.n
+    }
+
+    /// Number of ticks drawn so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Draws the next tick: buffers the `Exp(n)` gap draw for block reduction
+    /// and assigns the tick to a uniformly random sensor.
+    ///
+    /// The returned [`Tick::time`] is the coarse block-boundary time (see the
+    /// type-level docs); `index` and `node` are exact.
+    pub fn next_tick<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Tick {
+        // Same draw order as `GlobalPoissonClock::next_tick`: gap uniform
+        // first (the draw `sampling::exponential` performs), then the node.
+        let u: f64 = rng.gen::<f64>();
+        self.pending.push(u);
+        if self.pending.len() == GAP_BLOCK {
+            self.reduce_pending();
+        }
+        self.ticks += 1;
+        Tick {
+            time: self.flushed,
+            index: self.ticks,
+            node: NodeId(rng.gen_range(0..self.n)),
+        }
+    }
+
+    /// Reduces the buffered gap draws into `flushed`, replicating the
+    /// sequential clock's per-tick arithmetic (`-(ln(1 − u)) / n`, accumulated
+    /// left to right) so the running time stays bit-identical.
+    fn reduce_pending(&mut self) {
+        for &u in &self.pending {
+            // Inverse-CDF sampling; `1 - u` avoids ln(0). This expression
+            // must match `geogossip_geometry::sampling::exponential` exactly.
+            self.flushed += -(1.0 - u).ln() / self.rate;
+        }
+        self.pending.clear();
+    }
+
+    /// Current simulation time (time of the last tick, 0 before any tick).
+    /// Flushes any pending gap draws first, so the result is exact.
+    pub fn now(&mut self) -> f64 {
+        self.reduce_pending();
+        self.flushed
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +288,53 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.next_tick(&mut ra), b.next_tick(&mut rb));
         }
+    }
+
+    /// The batched clock must consume the identical RNG stream and reduce to
+    /// the identical time as the sequential clock — across block boundaries
+    /// (the tick counts straddle multiples of the internal block size).
+    #[test]
+    fn batched_clock_is_bit_identical_to_sequential() {
+        for &(n, ticks) in &[(1usize, 10u64), (7, 1000), (30, 1024), (64, 5000)] {
+            let mut sequential = GlobalPoissonClock::new(n);
+            let mut batched = BatchedPoissonClock::new(n);
+            let mut rs = ChaCha8Rng::seed_from_u64(1234 ^ ticks);
+            let mut rb = rs.clone();
+            for _ in 0..ticks {
+                let s = sequential.next_tick(&mut rs);
+                let b = batched.next_tick(&mut rb);
+                assert_eq!(s.index, b.index);
+                assert_eq!(s.node, b.node);
+                // Coarse time trails the exact time but never exceeds it.
+                assert!(b.time <= s.time);
+            }
+            // Same RNG consumption: the two generators are in the same state.
+            assert_eq!(
+                rand::RngCore::next_u64(&mut rs),
+                rand::RngCore::next_u64(&mut rb)
+            );
+            // Same accumulated time, bit for bit (the deferred reduction
+            // performs the identical operations in the identical order).
+            assert_eq!(batched.now().to_bits(), sequential.now().to_bits());
+            assert_eq!(batched.ticks(), sequential.ticks());
+        }
+    }
+
+    #[test]
+    fn batched_clock_now_is_idempotent_and_population_is_kept() {
+        let mut clock = BatchedPoissonClock::new(9);
+        assert_eq!(clock.population(), 9);
+        assert_eq!(clock.now(), 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        clock.next_tick(&mut rng);
+        let t1 = clock.now();
+        assert!(t1 > 0.0);
+        assert_eq!(clock.now(), t1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sensor")]
+    fn batched_zero_population_rejected() {
+        let _ = BatchedPoissonClock::new(0);
     }
 }

@@ -10,6 +10,22 @@
 //! only in what happens on a tick, so the engine is the single place where the
 //! time model and the stopping logic live.
 //!
+//! # The overhauled tick loop (and its preserved reference)
+//!
+//! [`AsyncEngine::run`] is the hot path: it draws ticks from a
+//! [`BatchedPoissonClock`] (same RNG stream as the sequential clock, gap
+//! arithmetic deferred into block reductions), checks convergence in the
+//! **squared domain** (the protocol's cached `Σ(x−x̄)²` against a precomputed
+//! `≳ ε²·‖x(0)−x̄·1‖²` threshold via [`Activation::squared_error`] — zero
+//! sqrt/divides per tick; any apparent crossing is confirmed with the exact
+//! [`Activation::relative_error`] before stopping, so the stopping tick cannot
+//! drift), and caps the convergence trace by stride doubling
+//! ([`AsyncEngine::max_trace_points`]). The pre-overhaul loop is preserved
+//! verbatim as [`AsyncEngine::run_reference`], and the parity property tests
+//! (`tests/engine_parity.rs` at the workspace root) pin the two paths
+//! bit-identical — same reports, same termini and hop counts, same RNG
+//! consumption — whenever the trace stays under the cap.
+//!
 //! # Object safety and the generic hot path
 //!
 //! [`Activation`] is **dyn-compatible**: `on_tick` takes its randomness as
@@ -22,11 +38,34 @@
 //! tick, measured by `bench_baseline --append-dyn` to be within noise of the
 //! fully monomorphised path).
 
-use crate::clock::{GlobalPoissonClock, Tick};
+use crate::clock::{BatchedPoissonClock, GlobalPoissonClock, Tick};
 use crate::metrics::{ConvergenceTrace, TracePoint, TransmissionCounter};
 use geogossip_geometry::point::NodeId;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
+
+/// A protocol's convergence metric exposed in the squared domain, for the
+/// engine's sqrt-free per-tick stop check.
+///
+/// The contract (relative to [`Activation::relative_error`]):
+/// `relative_error() == sqrt(current_sq) / initial` up to a few ulps of
+/// floating-point evaluation. The engine only ever uses these values as a
+/// **conservative pre-filter** — "is the squared deviation still clearly above
+/// the squared threshold?" — and confirms any apparent crossing with the exact
+/// `relative_error()` comparison, so a protocol whose squared view is a few
+/// ulps off can never stop early or at a different tick than the exact check
+/// would.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SquaredError {
+    /// Current centered squared deviation `Σ (x_i − x̄)²` (the numerator of
+    /// the relative error, squared). Must be `O(1)` amortised — the engine
+    /// reads it every tick.
+    pub current_sq: f64,
+    /// Initial deviation `‖x(0) − x̄·1‖` (the *unsquared* denominator of the
+    /// relative error). Constant over a run; the engine reads it once to
+    /// precompute the squared threshold.
+    pub initial: f64,
+}
 
 /// How an [`Activation`] consumes simulated time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -106,6 +145,18 @@ pub trait Activation {
     /// would collapse a sub-`n`-round run to its endpoints). `None` defers to
     /// the engine's configured interval.
     fn trace_interval(&self) -> Option<u64> {
+        None
+    }
+
+    /// The squared-domain view of the convergence metric, when the protocol
+    /// can expose it in `O(1)` (see [`SquaredError`] for the contract).
+    ///
+    /// Protocols backed by `GossipState` forward to its cached centered
+    /// squared norm, which lets the engine's per-tick stop check run without
+    /// any sqrt or divide; the default `None` keeps the exact
+    /// [`Activation::relative_error`] check per tick, so implementing this is
+    /// purely an optimisation, never a behaviour change.
+    fn squared_error(&self) -> Option<SquaredError> {
         None
     }
 }
@@ -202,11 +253,30 @@ impl EngineReport {
     }
 }
 
+/// Default cap on recorded [`TracePoint`]s per run (initial sample plus
+/// interior samples; the final sample is always appended on top). Beyond the
+/// cap the engine doubles its sampling stride and thins the trace to match,
+/// so a `10^6`-tick run keeps a bounded, evenly-strided trace instead of
+/// accumulating one point per interval forever.
+pub const DEFAULT_MAX_TRACE_POINTS: usize = 4096;
+
+/// Multiplicative slack applied to the squared stop threshold so the
+/// squared-domain pre-filter is strictly conservative.
+///
+/// The exact check compares `fl(fl(sqrt(S)) / D) ≤ ε`; whenever it holds,
+/// real arithmetic gives `S ≤ (ε·D)²·(1 + O(δ))` with `δ = 2⁻⁵³`, so a
+/// threshold of `fl(fl(ε·D)²)` inflated by `1 + 10⁻⁹` (nine orders of
+/// magnitude more slack than the accumulated rounding) can never reject a
+/// state the exact check would accept. States inside the slack band simply
+/// fall through to the exact check.
+const SQ_THRESHOLD_SLACK: f64 = 1.0 + 1e-9;
+
 /// The asynchronous engine: a Poisson clock plus bookkeeping.
 #[derive(Debug, Clone)]
 pub struct AsyncEngine {
-    clock: GlobalPoissonClock,
+    n: usize,
     sample_every: u64,
+    max_trace_points: usize,
 }
 
 impl AsyncEngine {
@@ -216,9 +286,11 @@ impl AsyncEngine {
     ///
     /// Panics if `n` is zero.
     pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a Poisson clock needs at least one sensor");
         AsyncEngine {
-            clock: GlobalPoissonClock::new(n),
+            n,
             sample_every: (n as u64).max(1),
+            max_trace_points: DEFAULT_MAX_TRACE_POINTS,
         }
     }
 
@@ -234,6 +306,23 @@ impl AsyncEngine {
         self
     }
 
+    /// Sets the cap on recorded trace samples (default
+    /// [`DEFAULT_MAX_TRACE_POINTS`]). When the trace reaches the cap, the
+    /// engine doubles its sampling stride and thins the recorded samples to
+    /// the new stride ([`ConvergenceTrace::thin_to_stride`]), so arbitrarily
+    /// long runs hold a bounded trace whose points are exactly the multiples
+    /// of the final stride. The final sample is appended on top of the cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is smaller than 2 (the trace must have room for the
+    /// initial sample and at least one interior sample).
+    pub fn max_trace_points(mut self, cap: usize) -> Self {
+        assert!(cap >= 2, "trace cap must allow at least two samples");
+        self.max_trace_points = cap;
+        self
+    }
+
     /// Drives `protocol` until `stop` is satisfied, returning the run report.
     ///
     /// `protocol` may be unsized (`&mut dyn Activation`), so boxed registry
@@ -241,12 +330,136 @@ impl AsyncEngine {
     /// protocols ([`Clocking::SelfPaced`]) receive synthetic sequential ticks
     /// and leave the RNG entirely to the protocol; Poisson protocols share it
     /// with the clock exactly as before.
+    ///
+    /// This is the overhauled hot loop: batched clock, squared-domain stop
+    /// pre-filter, strided trace cap (see the module docs). It is pinned
+    /// bit-identical to [`AsyncEngine::run_reference`] whenever the trace
+    /// stays under [`AsyncEngine::max_trace_points`].
     pub fn run<P, R>(&mut self, protocol: &mut P, stop: StopCondition, rng: &mut R) -> EngineReport
     where
         P: Activation + ?Sized,
         R: RngCore + ?Sized,
     {
-        self.clock.reset();
+        let self_paced = protocol.clocking() == Clocking::SelfPaced;
+        let mut stride = protocol
+            .trace_interval()
+            .unwrap_or(self.sample_every)
+            .max(1);
+        let mut clock = BatchedPoissonClock::new(self.n);
+        let mut ticks: u64 = 0;
+        let mut tx = TransmissionCounter::new();
+        let mut trace = ConvergenceTrace::new();
+        trace.push(TracePoint {
+            transmissions: 0,
+            ticks: 0,
+            relative_error: protocol.relative_error(),
+        });
+
+        // Precompute the squared stop threshold: the per-tick check then
+        // compares the protocol's cached Σ(x−x̄)² against it — no sqrt, no
+        // divide. `threshold_hi` deliberately overshoots by
+        // `SQ_THRESHOLD_SLACK`; crossings are confirmed with the exact check,
+        // which keeps the stopping tick bit-identical to the reference loop.
+        let threshold_hi = protocol.squared_error().map(|sq| {
+            let target = stop.epsilon * sq.initial;
+            (target * target) * SQ_THRESHOLD_SLACK
+        });
+
+        let reason = loop {
+            // Squared-domain pre-filter: while the squared deviation is
+            // clearly above the squared threshold, skip the exact (sqrt +
+            // divide) comparison entirely.
+            let clearly_above = match (threshold_hi, protocol.squared_error()) {
+                (Some(hi), Some(sq)) => sq.current_sq > hi,
+                _ => false,
+            };
+            if !clearly_above && protocol.relative_error() <= stop.epsilon {
+                break StopReason::Converged;
+            }
+            if protocol.halted() {
+                break StopReason::ProtocolStalled;
+            }
+            if stop.max_ticks.is_some_and(|m| ticks >= m) {
+                break StopReason::TickBudgetExhausted;
+            }
+            if stop.max_transmissions.is_some_and(|m| tx.total() >= m) {
+                break StopReason::TransmissionBudgetExhausted;
+            }
+            let tick = if self_paced {
+                ticks += 1;
+                Tick {
+                    time: ticks as f64,
+                    index: ticks,
+                    node: NodeId(0),
+                }
+            } else {
+                let tick = clock.next_tick(&mut *rng);
+                ticks = tick.index;
+                tick
+            };
+            // `&mut &mut R` coerces to `&mut dyn RngCore` via the blanket
+            // `RngCore for &mut R` impl, without requiring `R: Sized`.
+            let mut reborrow = &mut *rng;
+            protocol.on_tick(tick, &mut tx, &mut reborrow);
+            if tick.index.is_multiple_of(stride) {
+                // Cap the trace by stride doubling: beyond the cap, halve the
+                // sampling density (thinning what was already recorded so the
+                // trace is exactly "sampled at the final stride throughout").
+                while trace.len() >= self.max_trace_points {
+                    stride = stride.saturating_mul(2);
+                    trace.thin_to_stride(stride);
+                }
+                if tick.index.is_multiple_of(stride) {
+                    trace.push(TracePoint {
+                        transmissions: tx.total(),
+                        ticks: tick.index,
+                        relative_error: protocol.relative_error(),
+                    });
+                }
+            }
+        };
+
+        trace.push(TracePoint {
+            transmissions: tx.total(),
+            ticks,
+            relative_error: protocol.relative_error(),
+        });
+        EngineReport {
+            reason,
+            transmissions: tx,
+            ticks,
+            time: if self_paced {
+                ticks as f64
+            } else {
+                clock.now()
+            },
+            final_error: protocol.relative_error(),
+            trace,
+        }
+    }
+
+    /// The pre-overhaul tick loop, preserved **verbatim** (sequential
+    /// [`GlobalPoissonClock`], exact `relative_error` comparison every tick,
+    /// unbounded trace) for the engine parity property tests and the
+    /// `bench_baseline --append-tick-large` comparison — the same
+    /// keep-the-reference discipline as `GeometricGraph::build_reference` and
+    /// `geogossip_bench::legacy`.
+    ///
+    /// Production callers should use [`AsyncEngine::run`]; the two are
+    /// bit-identical (reports and RNG consumption) whenever the trace stays
+    /// under the cap, which the parity suite pins.
+    pub fn run_reference<P, R>(
+        &mut self,
+        protocol: &mut P,
+        stop: StopCondition,
+        rng: &mut R,
+    ) -> EngineReport
+    where
+        P: Activation + ?Sized,
+        R: RngCore + ?Sized,
+    {
+        let mut clock = GlobalPoissonClock::new(self.n);
+        clock.reset();
         let self_paced = protocol.clocking() == Clocking::SelfPaced;
         let sample_every = protocol
             .trace_interval()
@@ -288,7 +501,7 @@ impl AsyncEngine {
                     node: NodeId(0),
                 }
             } else {
-                let tick = self.clock.next_tick(&mut *rng);
+                let tick = clock.next_tick(&mut *rng);
                 ticks = tick.index;
                 tick
             };
@@ -317,7 +530,7 @@ impl AsyncEngine {
             time: if self_paced {
                 ticks as f64
             } else {
-                self.clock.now()
+                clock.now()
             },
             final_error: protocol.relative_error(),
             trace,
@@ -505,6 +718,100 @@ mod tests {
         let report = engine.run(&mut proto, StopCondition::at_epsilon(1e-6), &mut rng);
         // Initial point + one per round + final.
         assert_eq!(report.trace.len(), 7);
+    }
+
+    /// A protocol that never converges, for driving the loop a fixed number
+    /// of ticks.
+    struct Stuck;
+    impl Activation for Stuck {
+        fn on_tick(&mut self, _t: Tick, tx: &mut TransmissionCounter, _r: &mut dyn RngCore) {
+            tx.charge_local(1);
+        }
+        fn relative_error(&self) -> f64 {
+            1.0
+        }
+    }
+
+    /// The trace cap doubles the stride and thins in place, so the sampled
+    /// ticks are exactly the multiples of the final stride (satellite pin:
+    /// a long run cannot accumulate unbounded `TracePoint`s).
+    #[test]
+    fn trace_cap_doubles_stride_and_pins_sampled_ticks() {
+        let mut engine = AsyncEngine::new(5).sample_every(1).max_trace_points(5);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let stop = StopCondition::at_epsilon(1e-9).with_max_ticks(40);
+        let report = engine.run(&mut Stuck, stop, &mut rng);
+        let ticks: Vec<u64> = report.trace.points().iter().map(|p| p.ticks).collect();
+        // Per-tick sampling under cap 5 over 40 ticks settles at stride 16
+        // ({0, 16, 32}); the final sample (tick 40) is appended on top.
+        assert_eq!(ticks, vec![0, 16, 32, 40]);
+        assert_eq!(report.reason, StopReason::TickBudgetExhausted);
+    }
+
+    #[test]
+    fn trace_cap_bounds_million_tick_runs() {
+        let mut engine = AsyncEngine::new(3).sample_every(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let stop = StopCondition::at_epsilon(1e-9).with_max_ticks(1_000_000);
+        let report = engine.run(&mut Stuck, stop, &mut rng);
+        assert_eq!(report.ticks, 1_000_000);
+        // Initial + interior capped at DEFAULT_MAX_TRACE_POINTS + final.
+        assert!(report.trace.len() <= DEFAULT_MAX_TRACE_POINTS + 1);
+        assert!(report.trace.len() > DEFAULT_MAX_TRACE_POINTS / 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "trace cap")]
+    fn tiny_trace_cap_rejected() {
+        let _ = AsyncEngine::new(3).max_trace_points(1);
+    }
+
+    /// A protocol exposing the squared-domain stop hook; its error halves on
+    /// every tick that is a multiple of `n`.
+    struct SqHalver {
+        n: u64,
+        error: f64,
+    }
+
+    impl Activation for SqHalver {
+        fn on_tick(&mut self, tick: Tick, tx: &mut TransmissionCounter, _rng: &mut dyn RngCore) {
+            tx.charge_local(1);
+            if tick.index.is_multiple_of(self.n) {
+                self.error /= 2.0;
+            }
+        }
+        fn relative_error(&self) -> f64 {
+            self.error
+        }
+        fn squared_error(&self) -> Option<SquaredError> {
+            Some(SquaredError {
+                current_sq: self.error * self.error,
+                initial: 1.0,
+            })
+        }
+    }
+
+    /// The squared-domain pre-filter must stop at exactly the tick the exact
+    /// per-tick comparison stops at.
+    #[test]
+    fn squared_stop_filter_matches_reference_stopping_tick() {
+        for epsilon in [0.5, 0.1, 1e-3, 1e-6] {
+            let stop = StopCondition::at_epsilon(epsilon);
+            let mut fast = AsyncEngine::new(10);
+            let report_fast = fast.run(
+                &mut SqHalver { n: 7, error: 1.0 },
+                stop,
+                &mut ChaCha8Rng::seed_from_u64(11),
+            );
+            let mut reference = AsyncEngine::new(10);
+            let report_reference = reference.run_reference(
+                &mut SqHalver { n: 7, error: 1.0 },
+                stop,
+                &mut ChaCha8Rng::seed_from_u64(11),
+            );
+            assert_eq!(report_fast, report_reference);
+            assert!(report_fast.converged());
+        }
     }
 
     #[test]

@@ -53,8 +53,10 @@ pub mod metrics;
 pub mod rng;
 pub mod scenario;
 
-pub use clock::{GlobalPoissonClock, Tick};
-pub use engine::{Activation, AsyncEngine, Clocking, EngineReport, StopCondition, StopReason};
+pub use clock::{BatchedPoissonClock, GlobalPoissonClock, Tick};
+pub use engine::{
+    Activation, AsyncEngine, Clocking, EngineReport, SquaredError, StopCondition, StopReason,
+};
 pub use error::ProtocolError;
 pub use event::{EventQueue, ScheduledEvent};
 pub use field::{Field, InitialCondition};

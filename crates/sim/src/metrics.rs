@@ -157,6 +157,23 @@ impl ConvergenceTrace {
             .map(|p| p.ticks)
     }
 
+    /// Drops every sample whose tick index is not a multiple of `stride`,
+    /// in place.
+    ///
+    /// This is the engine's trace-capping primitive: when a long run would
+    /// accumulate unbounded [`TracePoint`]s, the engine doubles its sampling
+    /// stride and thins the already-recorded samples to match, so the trace
+    /// always looks as if it had been sampled at the final stride from the
+    /// start. The initial sample (tick 0) is always retained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn thin_to_stride(&mut self, stride: u64) {
+        assert!(stride > 0, "thinning stride must be positive");
+        self.points.retain(|p| p.ticks.is_multiple_of(stride));
+    }
+
     /// Downsamples the trace to at most `max_points` samples (keeping the
     /// first and last), for compact figure output.
     pub fn downsample(&self, max_points: usize) -> ConvergenceTrace {
@@ -238,6 +255,24 @@ mod tests {
         assert_eq!(d.points().last(), t.points().last());
         // Downsampling a short trace is the identity.
         assert_eq!(t.downsample(100), t);
+    }
+
+    #[test]
+    fn thin_to_stride_keeps_multiples_and_the_origin() {
+        let mut t = sample_trace(); // ticks 0, 10, 20, …, 90
+        t.thin_to_stride(20);
+        let ticks: Vec<u64> = t.points().iter().map(|p| p.ticks).collect();
+        assert_eq!(ticks, vec![0, 20, 40, 60, 80]);
+        // Thinning again at a doubled stride composes as expected.
+        t.thin_to_stride(40);
+        let ticks: Vec<u64> = t.points().iter().map(|p| p.ticks).collect();
+        assert_eq!(ticks, vec![0, 40, 80]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn thin_to_stride_rejects_zero() {
+        sample_trace().thin_to_stride(0);
     }
 
     #[test]

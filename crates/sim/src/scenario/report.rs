@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// The cost outcome of one trial, reduced to the quantities the experiment
 /// tables report (plus the trace and protocol metrics for the experiments
 /// that need more).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrialCost {
     /// Whether the accuracy target was reached.
     pub converged: bool,
@@ -28,12 +28,34 @@ pub struct TrialCost {
     /// Error-vs-cost trace of the trial (not serialized into report JSON;
     /// experiments read it in-process).
     pub trace: ConvergenceTrace,
+    /// Wall-clock seconds of the whole trial (placement + graph build +
+    /// field + protocol construction + engine run). Timing, not semantics —
+    /// excluded from equality.
+    pub seconds: f64,
+    /// Wall-clock seconds of the engine run alone; `ticks / engine_seconds`
+    /// is the trial's tick throughput.
+    pub engine_seconds: f64,
 }
 
 impl TrialCost {
     /// Looks up a protocol metric by key.
     pub fn metric(&self, key: &str) -> Option<f64> {
         self.metrics.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+}
+
+/// Semantic equality: two trial outcomes are equal when the *simulation
+/// results* match; wall-clock timings vary run to run and are excluded (the
+/// determinism contract is about results, not machine speed).
+impl PartialEq for TrialCost {
+    fn eq(&self, other: &Self) -> bool {
+        self.converged == other.converged
+            && self.transmissions == other.transmissions
+            && self.rounds == other.rounds
+            && self.ticks == other.ticks
+            && self.final_error == other.final_error
+            && self.metrics == other.metrics
+            && self.trace == other.trace
     }
 }
 
@@ -114,6 +136,32 @@ impl ScenarioReport {
         self.summary.converged_trials == self.summary.trials
     }
 
+    /// Wall-clock seconds **summed over trials** (whole trials: build + run).
+    ///
+    /// Trials run in parallel across cores, so this is aggregate compute
+    /// time, not elapsed time — it can exceed the real wall clock by up to
+    /// the core count when `trials > 1` (it equals elapsed time for
+    /// single-trial scenarios such as the `large_n.json` members).
+    pub fn total_seconds(&self) -> f64 {
+        self.trials.iter().map(|t| t.seconds).sum()
+    }
+
+    /// Total engine ticks across trials.
+    pub fn total_ticks(&self) -> u64 {
+        self.trials.iter().map(|t| t.ticks).sum()
+    }
+
+    /// Per-trial engine tick throughput: total ticks over summed engine
+    /// seconds, or `None` when no engine time was recorded (e.g. synthetic
+    /// reports). Because the denominator sums across parallel trials, this
+    /// is the rate of a single engine loop (per core), not the machine-wide
+    /// aggregate. This is the number the CLI's per-scenario summary line
+    /// prints, straight off the trial reports.
+    pub fn ticks_per_second(&self) -> Option<f64> {
+        let engine_seconds: f64 = self.trials.iter().map(|t| t.engine_seconds).sum();
+        (engine_seconds > 0.0).then(|| self.total_ticks() as f64 / engine_seconds)
+    }
+
     /// Serialises the report (spec echo, per-trial costs, summary) to the
     /// JSON document model. Traces are omitted — they can run to millions of
     /// points; experiments that need them read [`TrialCost::trace`]
@@ -132,6 +180,8 @@ impl ScenarioReport {
                     ("rounds", t.rounds.into()),
                     ("ticks", t.ticks.into()),
                     ("final-error", t.final_error.into()),
+                    ("seconds", t.seconds.into()),
+                    ("engine-seconds", t.engine_seconds.into()),
                 ];
                 if !t.metrics.is_empty() {
                     entries.push((
@@ -221,6 +271,8 @@ mod tests {
             final_error: err,
             metrics: vec![("exchanges".into(), rounds as f64)],
             trace: ConvergenceTrace::new(),
+            seconds: 0.25,
+            engine_seconds: 0.2,
         }
     }
 
@@ -241,6 +293,21 @@ mod tests {
         assert_eq!(report.summary.mean_rounds, 20.0);
         assert_eq!(report.trials[0].metric("exchanges"), Some(10.0));
         assert_eq!(report.trials[0].metric("nope"), None);
+        assert!((report.total_seconds() - 0.5).abs() < 1e-12);
+        assert_eq!(report.total_ticks(), 40);
+        let tps = report.ticks_per_second().unwrap();
+        assert!((tps - 100.0).abs() < 1e-9, "got {tps}");
+    }
+
+    #[test]
+    fn trial_equality_ignores_wall_clock_timings() {
+        let mut a = cost(true, 100, 10, 0.05);
+        let mut b = a.clone();
+        b.seconds = 99.0;
+        b.engine_seconds = 98.0;
+        assert_eq!(a, b);
+        a.ticks += 1;
+        assert_ne!(a, b);
     }
 
     #[test]

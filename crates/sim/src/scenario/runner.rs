@@ -151,13 +151,16 @@ impl Runner {
     }
 
     /// One trial: placement → field → protocol → engine, every stream derived
-    /// from `(spec.seed, trial)`.
+    /// from `(spec.seed, trial)`. Wall-clock timings (whole trial and engine
+    /// run) ride along in the [`TrialCost`]; they are observability only and
+    /// excluded from report equality.
     fn run_trial(
         &self,
         spec: &ScenarioSpec,
         tag: u64,
         trial: u64,
     ) -> Result<(TrialCost, String), ProtocolError> {
+        let trial_start = std::time::Instant::now();
         let seeds = SeedStream::new(spec.seed);
         let graph = spec.topology.build(&seeds, trial);
         let values = spec.field.values(&graph, &mut seeds.trial("values", trial));
@@ -165,7 +168,9 @@ impl Runner {
         let mut protocol =
             self.factory
                 .build(&spec.protocol, &graph, values, spec.stop.epsilon, &mut rng)?;
+        let engine_start = std::time::Instant::now();
         let report = AsyncEngine::new(graph.len()).run(&mut *protocol, spec.stop, &mut rng);
+        let engine_seconds = engine_start.elapsed().as_secs_f64();
         let label = protocol.name().to_string();
         let cost = TrialCost {
             converged: report.converged(),
@@ -175,6 +180,8 @@ impl Runner {
             final_error: report.final_error,
             metrics: protocol.metrics(),
             trace: report.trace,
+            seconds: trial_start.elapsed().as_secs_f64(),
+            engine_seconds,
         };
         Ok((cost, label))
     }

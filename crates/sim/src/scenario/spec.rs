@@ -469,6 +469,35 @@ impl ScenarioSpec {
         Ok(spec)
     }
 
+    /// Loads one spec or a `{"scenarios": [...]}` bundle from a JSON file —
+    /// the shared loader behind the `geogossip` CLI and the bench binary, so
+    /// the accepted file shapes cannot drift between them.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::MalformedSpec`] when the file cannot be read, does
+    /// not parse, holds an empty or non-array `scenarios` key, or any member
+    /// fails spec validation; messages carry the file path.
+    pub fn load_file(path: &str) -> Result<Vec<Self>, ProtocolError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ProtocolError::malformed(format!("cannot read `{path}`: {e}")))?;
+        let doc = JsonValue::parse(&text)
+            .map_err(|e| ProtocolError::malformed(format!("{path}: {e}")))?;
+        if let Some(list) = doc.get("scenarios") {
+            let items = list.as_array().ok_or_else(|| {
+                ProtocolError::malformed(format!("{path}: `scenarios` must be an array"))
+            })?;
+            if items.is_empty() {
+                return Err(ProtocolError::malformed(format!(
+                    "{path}: `scenarios` is empty"
+                )));
+            }
+            items.iter().map(Self::from_json_value).collect()
+        } else {
+            Ok(vec![Self::from_json_value(&doc)?])
+        }
+    }
+
     fn decode(doc: &JsonValue) -> Result<Self, ProtocolError> {
         let obj = doc
             .as_object()

@@ -18,7 +18,18 @@
 # alongside the tick trajectory. Expect this mode to take a few minutes: the
 # largest row times several million-node builds.
 #
-# Usage: scripts/bench_baseline.sh [--append-build] [output.json]
+# With `--append-tick-large`, it APPENDS overhauled-vs-pre-overhaul engine
+# tick-loop medians at n ∈ {65 536, 262 144} to the `tick_loop_large` array
+# (whole fixed-budget geographic-gossip runs, reports asserted identical).
+# With `--append-trial`, it APPENDS whole-trial wall clock and ticks/sec for
+# every member of scenarios/large_n.json to the `trial_wall_clock` array —
+# expect minutes (a 262 144-node scenario runs to convergence).
+#
+# `--smoke` shrinks every mode to seconds-scale for CI; it requires an
+# explicit scratch output path and must never target the committed JSON.
+#
+# Usage: scripts/bench_baseline.sh [--append-build] [--append-tick-large]
+#        [--append-trial] [--smoke] [output.json]
 #        (default output: BENCH_baseline.json)
 # Force a fresh classic baseline by deleting the file first.
 #
@@ -28,25 +39,31 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-APPEND_BUILD=0
+# Note: expansions of the possibly-empty arrays use the `${arr[@]+...}`
+# guard so `set -u` stays happy on bash < 4.4 (macOS ships 3.2).
+MODES=()
+SMOKE=()
 OUT="BENCH_baseline.json"
 for arg in "$@"; do
     case "$arg" in
-        --append-build) APPEND_BUILD=1 ;;
+        --append-build | --append-tick-large | --append-trial) MODES+=("$arg") ;;
+        --smoke) SMOKE=(--smoke) ;;
         -*)
-            echo "unknown flag \`$arg\` (only --append-build is supported)" >&2
+            echo "unknown flag \`$arg\` (supported: --append-build, --append-tick-large, --append-trial, --smoke)" >&2
             exit 2
             ;;
         *) OUT="$arg" ;;
     esac
 done
 
-if [ "$APPEND_BUILD" -eq 1 ]; then
-    cargo run --release -p geogossip-bench --bin bench_baseline -- --append-build "$OUT"
+if [ "${#MODES[@]}" -gt 0 ]; then
+    for mode in "${MODES[@]}"; do
+        cargo run --release -p geogossip-bench --bin bench_baseline -- "$mode" ${SMOKE[@]+"${SMOKE[@]}"} "$OUT"
+    done
     exit 0
 fi
 
 if [ ! -f "$OUT" ]; then
-    cargo run --release -p geogossip-bench --bin bench_baseline -- "$OUT"
+    cargo run --release -p geogossip-bench --bin bench_baseline -- ${SMOKE[@]+"${SMOKE[@]}"} "$OUT"
 fi
-cargo run --release -p geogossip-bench --bin bench_baseline -- --append-dyn "$OUT"
+cargo run --release -p geogossip-bench --bin bench_baseline -- --append-dyn ${SMOKE[@]+"${SMOKE[@]}"} "$OUT"

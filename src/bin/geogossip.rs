@@ -146,6 +146,26 @@ fn run(args: &[String]) -> Result<(), ProtocolError> {
     let runner = builtin_runner();
     let reports = runner.run_all(&specs)?;
     println!("{}", reports_table(&reports).to_markdown());
+    // Per-scenario throughput, straight off the trial reports — large-n
+    // sweeps show throughput without a separate bench run. Trials run in
+    // parallel, so the seconds are summed trial time (== elapsed wall time
+    // only for single-trial scenarios) and ticks/s is the per-trial engine
+    // rate.
+    for report in &reports {
+        let ticks_per_sec = report
+            .ticks_per_second()
+            .map(|t| format!("{t:.0}"))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "timing: `{}` {:.2}s trial time ({} trial{}, parallel), {} ticks, {} ticks/s per trial",
+            report.spec.name,
+            report.total_seconds(),
+            report.summary.trials,
+            if report.summary.trials == 1 { "" } else { "s" },
+            report.total_ticks(),
+            ticks_per_sec
+        );
+    }
     for report in &reports {
         if !report.all_converged() {
             println!(
@@ -166,23 +186,10 @@ fn run(args: &[String]) -> Result<(), ProtocolError> {
     Ok(())
 }
 
-/// Loads one spec or a `{"scenarios": [...]}` bundle from a JSON file.
+/// Loads one spec or a `{"scenarios": [...]}` bundle from a JSON file
+/// (shared with the bench binary via [`ScenarioSpec::load_file`]).
 fn load_specs(path: &str) -> Result<Vec<ScenarioSpec>, ProtocolError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| ProtocolError::malformed(format!("cannot read `{path}`: {e}")))?;
-    let doc =
-        JsonValue::parse(&text).map_err(|e| ProtocolError::malformed(format!("{path}: {e}")))?;
-    if let Some(list) = doc.get("scenarios") {
-        let items = list
-            .as_array()
-            .ok_or_else(|| ProtocolError::malformed("`scenarios` must be an array"))?;
-        if items.is_empty() {
-            return Err(ProtocolError::malformed("`scenarios` is empty"));
-        }
-        items.iter().map(ScenarioSpec::from_json_value).collect()
-    } else {
-        Ok(vec![ScenarioSpec::from_json_value(&doc)?])
-    }
+    ScenarioSpec::load_file(path)
 }
 
 /// Scenario assembled from command-line flags instead of a file.

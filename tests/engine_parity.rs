@@ -1,0 +1,158 @@
+//! Parity property tests for the overhauled engine tick loop.
+//!
+//! `AsyncEngine::run` (batched Poisson clock, squared-domain stop pre-filter,
+//! strided trace cap) must be **bit-identical** to the preserved pre-overhaul
+//! loop `AsyncEngine::run_reference` — same `EngineReport` (reason, ticks,
+//! simulation time, transmissions, final error, every trace point) and same
+//! RNG consumption (the shared generator ends in the same state) — across
+//! protocols, topologies, fields, stop conditions, and stop reasons, as long
+//! as the trace stays under the engine's cap. This is the PR 3-style pin that
+//! lets the hot loop keep evolving without silently changing results.
+
+use geogossip::core::prelude::*;
+use geogossip::graph::GeometricGraph;
+use geogossip::sim::{AsyncEngine, EngineReport, StopCondition};
+use geogossip_geometry::sampling::sample_unit_square;
+use geogossip_geometry::Topology;
+use proptest::prelude::*;
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Runs `build_protocol`'s instance through both engine paths from
+/// identically seeded RNGs and asserts reports and RNG end states match.
+fn assert_parity<'a, P, F>(n: usize, stop: StopCondition, run_seed: u64, mut build_protocol: F)
+where
+    P: geogossip::sim::Activation + 'a,
+    F: FnMut() -> P,
+{
+    let mut rng_fast = ChaCha8Rng::seed_from_u64(run_seed);
+    let mut rng_reference = rng_fast.clone();
+
+    let mut fast_protocol = build_protocol();
+    let fast: EngineReport = AsyncEngine::new(n).run(&mut fast_protocol, stop, &mut rng_fast);
+
+    let mut reference_protocol = build_protocol();
+    let reference: EngineReport =
+        AsyncEngine::new(n).run_reference(&mut reference_protocol, stop, &mut rng_reference);
+
+    assert_eq!(fast, reference, "EngineReports diverged");
+    assert_eq!(
+        fast.time.to_bits(),
+        reference.time.to_bits(),
+        "simulation time not bit-identical"
+    );
+    for _ in 0..4 {
+        assert_eq!(
+            rng_fast.next_u64(),
+            rng_reference.next_u64(),
+            "RNG consumption diverged"
+        );
+    }
+}
+
+fn graph(n: usize, c: f64, topology: Topology, seed: u64) -> GeometricGraph {
+    let pts = sample_unit_square(n, &mut ChaCha8Rng::seed_from_u64(seed));
+    let radius = geogossip_geometry::connectivity_radius(n, c).min(0.49);
+    GeometricGraph::build_with_topology(pts, radius, topology)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Geographic gossip (routing-heavy Poisson protocol, shares the RNG
+    /// with the clock) on both topologies, across converging and
+    /// budget-capped runs.
+    #[test]
+    fn geographic_runs_are_bit_identical(
+        n in 24usize..160,
+        seed in 0u64..500,
+        torus in 0usize..2,
+        epsilon in 0.02f64..0.6,
+        max_ticks in 200u64..20_000,
+    ) {
+        let topology = if torus == 1 { Topology::Torus } else { Topology::UnitSquare };
+        let g = graph(n, 2.0, topology, seed);
+        let values =
+            InitialCondition::Spike.generate(n, &mut ChaCha8Rng::seed_from_u64(seed ^ 0xf1e1d));
+        let stop = StopCondition::at_epsilon(epsilon).with_max_ticks(max_ticks);
+        assert_parity(n, stop, seed ^ 0x9e0, || {
+            GeographicGossip::new(&g, values.clone()).expect("valid instance")
+        });
+    }
+
+    /// Pairwise gossip, including transmission-budget stops.
+    #[test]
+    fn pairwise_runs_are_bit_identical(
+        n in 16usize..200,
+        seed in 0u64..500,
+        epsilon in 0.01f64..0.5,
+        max_tx in 100u64..50_000,
+    ) {
+        let g = graph(n, 2.0, Topology::UnitSquare, seed);
+        let values =
+            InitialCondition::Bimodal.generate(n, &mut ChaCha8Rng::seed_from_u64(seed ^ 0xb1));
+        let stop = StopCondition::at_epsilon(epsilon)
+            .with_max_ticks(100_000)
+            .with_max_transmissions(max_tx);
+        assert_parity(n, stop, seed ^ 0x7a17, || {
+            PairwiseGossip::new(&g, values.clone()).expect("valid instance")
+        });
+    }
+}
+
+/// A self-paced protocol (the round-based affine recursion) must also be
+/// bit-identical: synthetic ticks, all randomness to the protocol, stall
+/// detection included.
+#[test]
+fn self_paced_round_protocol_is_bit_identical() {
+    for seed in 0..6u64 {
+        let n = 96;
+        let g = graph(n, 2.0, Topology::UnitSquare, seed);
+        let values =
+            InitialCondition::Uniform.generate(n, &mut ChaCha8Rng::seed_from_u64(seed ^ 0xaff));
+        let config = RoundBasedConfig::practical(n);
+        let stop = StopCondition::at_epsilon(0.05).with_max_ticks(10_000);
+        assert_parity(n, stop, seed ^ 0x5e1f, || {
+            RoundBasedActivation::new(&g, values.clone(), config, 0.05).expect("valid instance")
+        });
+    }
+}
+
+/// The squared-domain pre-filter must not change the stopping tick even at
+/// knife-edge targets: epsilons are taken from the reference run's own error
+/// trajectory (exact crossings), then perturbed by one ulp in each direction.
+#[test]
+fn knife_edge_epsilons_stop_at_the_same_tick() {
+    let n = 64;
+    let g = graph(n, 2.0, Topology::UnitSquare, 42);
+    let values = InitialCondition::Spike.generate(n, &mut ChaCha8Rng::seed_from_u64(43));
+
+    // Harvest exact trace errors from a reference run.
+    let mut probe = PairwiseGossip::new(&g, values.clone()).expect("valid instance");
+    let report = AsyncEngine::new(n).sample_every(13).run_reference(
+        &mut probe,
+        StopCondition::at_epsilon(0.05).with_max_ticks(20_000),
+        &mut ChaCha8Rng::seed_from_u64(44),
+    );
+    let harvested: Vec<f64> = report
+        .trace
+        .points()
+        .iter()
+        .map(|p| p.relative_error)
+        .filter(|e| *e > 0.0 && e.is_finite())
+        .collect();
+    assert!(harvested.len() >= 4, "probe run produced too few samples");
+
+    for &error in harvested.iter().take(12) {
+        for epsilon in [
+            error,
+            f64::from_bits(error.to_bits() + 1),
+            f64::from_bits(error.to_bits() - 1),
+        ] {
+            let stop = StopCondition::at_epsilon(epsilon).with_max_ticks(20_000);
+            assert_parity(n, stop, 44, || {
+                PairwiseGossip::new(&g, values.clone()).expect("valid instance")
+            });
+        }
+    }
+}
