@@ -39,6 +39,9 @@ pub mod table;
 
 pub use concentration::OccupancyCheck;
 pub use json::JsonValue;
-pub use regression::{fit_power_law, linear_fit, LinearFit, PowerLawFit};
-pub use stats::{ConfidenceInterval, Summary};
+pub use regression::{
+    fit_power_law, fit_power_law_detailed, linear_fit, linear_fit_detailed, LinearFit,
+    LinearFitDetail, PowerLawFit, PowerLawFitDetail,
+};
+pub use stats::{ConfidenceInterval, P2Quantile, Summary};
 pub use table::Table;

@@ -7,6 +7,7 @@
 //! and fits `cost ≈ C·n^k` by ordinary least squares in log–log space; the
 //! fitted `k` values are the reproduction's headline numbers.
 
+use crate::stats::ConfidenceInterval;
 use serde::{Deserialize, Serialize};
 
 /// Result of an ordinary least-squares line fit `y ≈ slope·x + intercept`.
@@ -77,6 +78,61 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
     })
 }
 
+/// A [`LinearFit`] together with the sampling uncertainty of its slope.
+///
+/// The slope standard error is the textbook OLS estimate
+/// `√(SSE / ((m − 2) · Sxx))`; with exactly two points there are no residual
+/// degrees of freedom and the standard error is reported as `0` (the fit is
+/// an interpolation, not an estimate).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFitDetail {
+    /// The underlying least-squares fit.
+    pub fit: LinearFit,
+    /// Standard error of the fitted slope (0 when `m == 2`).
+    pub slope_stderr: f64,
+    /// Residual degrees of freedom (`m − 2`).
+    pub dof: u64,
+}
+
+impl LinearFitDetail {
+    /// Normal-approximation confidence interval around the slope at the
+    /// given z-score (1.96 ≈ 95%).
+    pub fn slope_interval(&self, z: f64) -> ConfidenceInterval {
+        let half = z * self.slope_stderr;
+        ConfidenceInterval {
+            lower: self.fit.slope - half,
+            upper: self.fit.slope + half,
+        }
+    }
+}
+
+/// Fits `y ≈ slope·x + intercept` and additionally reports the slope's
+/// standard error. Same degeneracy rules as [`linear_fit`].
+pub fn linear_fit_detailed(xs: &[f64], ys: &[f64]) -> Option<LinearFitDetail> {
+    let fit = linear_fit(xs, ys)?;
+    let m = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / m;
+    let mut sxx = 0.0;
+    let mut sse = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mean_x;
+        sxx += dx * dx;
+        let r = y - fit.predict(x);
+        sse += r * r;
+    }
+    let dof = xs.len().saturating_sub(2) as u64;
+    let slope_stderr = if dof == 0 {
+        0.0
+    } else {
+        (sse / (dof as f64 * sxx)).sqrt()
+    };
+    Some(LinearFitDetail {
+        fit,
+        slope_stderr,
+        dof,
+    })
+}
+
 /// Result of a power-law fit `y ≈ prefactor · x^exponent`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PowerLawFit {
@@ -124,6 +180,58 @@ pub fn fit_power_law(xs: &[f64], ys: &[f64]) -> Option<PowerLawFit> {
         exponent: fit.slope,
         prefactor: fit.intercept.exp(),
         r_squared: fit.r_squared,
+    })
+}
+
+/// A [`PowerLawFit`] together with the sampling uncertainty of its exponent.
+///
+/// The exponent of a power-law fit is the slope of the underlying log–log
+/// linear fit, so its standard error is that slope's standard error — this
+/// is the number the sweep lab's scaling report prints a confidence interval
+/// from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerLawFitDetail {
+    /// The underlying power-law fit.
+    pub fit: PowerLawFit,
+    /// Standard error of the fitted exponent (0 when only two points were
+    /// fitted — no residual degrees of freedom).
+    pub exponent_stderr: f64,
+    /// Residual degrees of freedom of the log–log fit (`m − 2`).
+    pub dof: u64,
+}
+
+impl PowerLawFitDetail {
+    /// Normal-approximation confidence interval around the exponent at the
+    /// given z-score (1.96 ≈ 95%).
+    pub fn exponent_interval(&self, z: f64) -> ConfidenceInterval {
+        let half = z * self.exponent_stderr;
+        ConfidenceInterval {
+            lower: self.fit.exponent - half,
+            upper: self.fit.exponent + half,
+        }
+    }
+}
+
+/// Fits `y ≈ C·x^k` and additionally reports the exponent's standard error.
+/// Same degeneracy rules as [`fit_power_law`].
+pub fn fit_power_law_detailed(xs: &[f64], ys: &[f64]) -> Option<PowerLawFitDetail> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    if xs.iter().chain(ys).any(|v| *v <= 0.0 || !v.is_finite()) {
+        return None;
+    }
+    let log_x: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let log_y: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    let detail = linear_fit_detailed(&log_x, &log_y)?;
+    Some(PowerLawFitDetail {
+        fit: PowerLawFit {
+            exponent: detail.fit.slope,
+            prefactor: detail.fit.intercept.exp(),
+            r_squared: detail.fit.r_squared,
+        },
+        exponent_stderr: detail.slope_stderr,
+        dof: detail.dof,
     })
 }
 
@@ -185,6 +293,74 @@ mod tests {
         let ys: Vec<f64> = xs.iter().map(|&x| 4.0 * x.powf(1.2)).collect();
         let fit = fit_power_law(&xs, &ys).unwrap();
         assert!((fit.predict(50.0) - 4.0 * 50.0_f64.powf(1.2)).abs() / fit.predict(50.0) < 1e-6);
+    }
+
+    #[test]
+    fn detailed_fit_matches_plain_fit_and_exact_data_has_zero_stderr() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let detail = linear_fit_detailed(&xs, &ys).unwrap();
+        assert_eq!(detail.fit, linear_fit(&xs, &ys).unwrap());
+        assert_eq!(detail.dof, 2);
+        assert!(detail.slope_stderr < 1e-12);
+        let ci = detail.slope_interval(1.96);
+        assert!(ci.contains(2.0) && ci.width() < 1e-9);
+    }
+
+    #[test]
+    fn slope_stderr_matches_textbook_value() {
+        // y = x with one outlier: stderr computable by hand.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [0.0, 1.0, 2.0, 4.0];
+        let detail = linear_fit_detailed(&xs, &ys).unwrap();
+        // slope = Sxy/Sxx = 6.5/5 = 1.3, SSE = Σ(y − ŷ)², Sxx = 5.
+        let fit = detail.fit;
+        let sse: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(&x, &y)| (y - fit.predict(x)).powi(2))
+            .sum();
+        let expected = (sse / (2.0 * 5.0)).sqrt();
+        assert!((fit.slope - 1.3).abs() < 1e-12);
+        assert!((detail.slope_stderr - expected).abs() < 1e-12);
+        assert!(detail.slope_stderr > 0.0);
+    }
+
+    #[test]
+    fn two_point_fits_report_zero_stderr() {
+        let detail = linear_fit_detailed(&[1.0, 2.0], &[3.0, 5.0]).unwrap();
+        assert_eq!(detail.dof, 0);
+        assert_eq!(detail.slope_stderr, 0.0);
+        let pl = fit_power_law_detailed(&[2.0, 4.0], &[4.0, 16.0]).unwrap();
+        assert_eq!(pl.dof, 0);
+        assert_eq!(pl.exponent_stderr, 0.0);
+        assert!((pl.fit.exponent - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_law_detail_recovers_exponent_with_tight_interval_on_clean_data() {
+        let xs: [f64; 5] = [64.0, 128.0, 256.0, 512.0, 1024.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x.powf(1.5)).collect();
+        let detail = fit_power_law_detailed(&xs, &ys).unwrap();
+        assert_eq!(detail.fit, fit_power_law(&xs, &ys).unwrap());
+        assert!(detail.exponent_interval(1.96).contains(1.5));
+        assert!(detail.exponent_stderr < 1e-9);
+        // Noisy data widens the interval but still covers the truth.
+        let noisy: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| 3.0 * x.powf(1.5) * if i % 2 == 0 { 1.15 } else { 0.85 })
+            .collect();
+        let noisy_detail = fit_power_law_detailed(&xs, &noisy).unwrap();
+        assert!(noisy_detail.exponent_stderr > 1e-3);
+        assert!(noisy_detail.exponent_interval(1.96).contains(1.5));
+    }
+
+    #[test]
+    fn detailed_fits_reject_degenerate_input() {
+        assert!(linear_fit_detailed(&[1.0], &[1.0]).is_none());
+        assert!(fit_power_law_detailed(&[1.0, 2.0], &[0.0, 1.0]).is_none());
+        assert!(fit_power_law_detailed(&[1.0, 2.0], &[1.0]).is_none());
     }
 
     #[test]

@@ -189,6 +189,160 @@ pub fn median(data: &[f64]) -> Option<f64> {
     quantile(data, 0.5)
 }
 
+/// Streaming quantile estimator (the P² algorithm of Jain & Chlamtac, 1985).
+///
+/// Tracks a single `q`-quantile in `O(1)` memory: five markers whose heights
+/// are nudged toward their ideal positions with a piecewise-parabolic update
+/// on every observation. The sweep lab uses it for per-cell medians and p95s
+/// over trials without buffering whole sweeps.
+///
+/// Up to five observations the estimate is **exact** (the observations are
+/// simply kept and interpolated like [`quantile`]); beyond that it is an
+/// approximation whose error vanishes as the sample grows.
+///
+/// # Example
+///
+/// ```
+/// use geogossip_analysis::stats::P2Quantile;
+/// let mut med = P2Quantile::new(0.5);
+/// for v in [5.0, 1.0, 3.0] {
+///     med.push(v);
+/// }
+/// assert_eq!(med.value(), Some(3.0)); // exact while the sample is small
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct P2Quantile {
+    q: f64,
+    count: u64,
+    heights: [f64; 5],
+    positions: [f64; 5],
+    desired: [f64; 5],
+    increments: [f64; 5],
+    initial: [f64; 5],
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the `q`-quantile.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < q < 1` (the extremes are tracked exactly by
+    /// [`Summary::min`]/[`Summary::max`]; P² needs an interior quantile).
+    pub fn new(q: f64) -> Self {
+        assert!(
+            q > 0.0 && q < 1.0,
+            "P² tracks interior quantiles (0 < q < 1), got {q}"
+        );
+        P2Quantile {
+            q,
+            count: 0,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            initial: [0.0; 5],
+        }
+    }
+
+    /// The quantile this estimator tracks.
+    pub fn quantile(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of observations pushed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn push(&mut self, value: f64) {
+        assert!(!value.is_nan(), "quantile observations must not be NaN");
+        if self.count < 5 {
+            self.initial[self.count as usize] = value;
+            self.count += 1;
+            if self.count == 5 {
+                let mut sorted = self.initial;
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN rejected above"));
+                self.heights = sorted;
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Locate the cell of the new observation, absorbing it into the
+        // extreme markers when it falls outside the current range.
+        let k = if value < self.heights[0] {
+            self.heights[0] = value;
+            0
+        } else if value >= self.heights[4] {
+            self.heights[4] = value;
+            3
+        } else {
+            // heights[k] <= value < heights[k+1] for some k in 0..=3.
+            (0..4)
+                .rev()
+                .find(|&i| self.heights[i] <= value)
+                .expect("value is within [heights[0], heights[4])")
+        };
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // Nudge the three interior markers toward their desired positions.
+        for i in 1..4 {
+            let gap = self.desired[i] - self.positions[i];
+            let room_right = self.positions[i + 1] - self.positions[i] > 1.0;
+            let room_left = self.positions[i - 1] - self.positions[i] < -1.0;
+            if (gap >= 1.0 && room_right) || (gap <= -1.0 && room_left) {
+                let d = gap.signum();
+                let parabolic = self.parabolic(i, d);
+                self.heights[i] =
+                    if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
+                        parabolic
+                    } else {
+                        self.linear(i, d)
+                    };
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    /// The piecewise-parabolic (P²) height update for marker `i` moved by
+    /// `d ∈ {−1, +1}`.
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (q, n) = (&self.heights, &self.positions);
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    /// The linear fallback height update when the parabola would leave the
+    /// bracket.
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let (q, n) = (&self.heights, &self.positions);
+        let j = (i as f64 + d) as usize;
+        q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
+    }
+
+    /// The current estimate, or `None` before any observation.
+    pub fn value(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.count <= 5 {
+            return quantile(&self.initial[..self.count as usize], self.q);
+        }
+        Some(self.heights[2])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,5 +410,97 @@ mod tests {
     #[should_panic(expected = "quantile must be in")]
     fn quantile_range_checked() {
         let _ = quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn p2_is_exact_on_small_inputs() {
+        // Up to five observations the estimator keeps the sample and must
+        // agree bit-for-bit with the exact interpolated quantile.
+        let data = [7.0, 2.0, 9.0, 4.0, 5.5];
+        for &q in &[0.25, 0.5, 0.9, 0.95] {
+            let mut est = P2Quantile::new(q);
+            assert_eq!(est.value(), None);
+            for (i, &v) in data.iter().enumerate() {
+                est.push(v);
+                let exact = quantile(&data[..=i], q).unwrap();
+                assert_eq!(
+                    est.value(),
+                    Some(exact),
+                    "q={q} after {} observations",
+                    i + 1
+                );
+            }
+            assert_eq!(est.count(), 5);
+            assert_eq!(est.quantile(), q);
+        }
+    }
+
+    #[test]
+    fn p2_median_tracks_exact_median_on_uniform_stream() {
+        // Deterministic low-discrepancy stream in (0, 1): the true median is
+        // 0.5 and P² must land close to the exact sample median.
+        let mut est = P2Quantile::new(0.5);
+        let mut data = Vec::new();
+        let mut x = 0.0f64;
+        for _ in 0..500 {
+            x = (x + 0.618_033_988_749_895) % 1.0;
+            est.push(x);
+            data.push(x);
+        }
+        let exact = median(&data).unwrap();
+        let approx = est.value().unwrap();
+        assert!(
+            (approx - exact).abs() < 0.02,
+            "P² median {approx} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn p2_p95_tracks_exact_p95() {
+        // A skewed deterministic stream (squares of a low-discrepancy
+        // sequence) exercises the parabolic and linear update paths.
+        let mut est = P2Quantile::new(0.95);
+        let mut data = Vec::new();
+        let mut x = 0.0f64;
+        for _ in 0..2000 {
+            x = (x + 0.618_033_988_749_895) % 1.0;
+            let v = x * x * 100.0;
+            est.push(v);
+            data.push(v);
+        }
+        let exact = quantile(&data, 0.95).unwrap();
+        let approx = est.value().unwrap();
+        assert!(
+            (approx - exact).abs() / exact < 0.05,
+            "P² p95 {approx} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn p2_handles_sorted_and_constant_streams() {
+        let mut up = P2Quantile::new(0.5);
+        for i in 0..100 {
+            up.push(i as f64);
+        }
+        let v = up.value().unwrap();
+        assert!((v - 49.5).abs() < 3.0, "sorted-stream median drifted: {v}");
+
+        let mut flat = P2Quantile::new(0.9);
+        for _ in 0..50 {
+            flat.push(4.25);
+        }
+        assert_eq!(flat.value(), Some(4.25));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn p2_rejects_nan() {
+        P2Quantile::new(0.5).push(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "interior quantiles")]
+    fn p2_rejects_extreme_quantiles() {
+        let _ = P2Quantile::new(1.0);
     }
 }

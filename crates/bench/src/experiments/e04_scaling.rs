@@ -21,7 +21,7 @@
 
 use super::{ExperimentOutput, Scale};
 use crate::workload::{runner, standard_spec, COMPARISON_PROTOCOLS};
-use geogossip_analysis::{fit_power_law, Table};
+use geogossip_analysis::{fit_power_law, fit_power_law_detailed, Table};
 use geogossip_sim::scenario::ScenarioSpec;
 
 /// Runs experiment E4.
@@ -90,11 +90,12 @@ pub fn run(scale: Scale, seed: u64) -> ExperimentOutput {
     let mut exponents = Vec::new();
     for (p_idx, _) in protocols.iter().enumerate() {
         let label = &report_for(p_idx, 0).protocol_label;
-        if let Some(fit) = fit_power_law(&points[p_idx].0, &points[p_idx].1) {
-            exponents.push(fit.exponent);
+        if let Some(detail) = fit_power_law_detailed(&points[p_idx].0, &points[p_idx].1) {
+            let ci = detail.exponent_interval(1.96);
+            exponents.push(detail.fit.exponent);
             summary.push(format!(
-                "{}: fitted exponent k = {:.2} (R² = {:.3}), paper predicts {}",
-                label, fit.exponent, fit.r_squared, predictions[p_idx]
+                "{}: fitted exponent k = {:.2} (95% CI [{:.2}, {:.2}], R² = {:.3}), paper predicts {}",
+                label, detail.fit.exponent, ci.lower, ci.upper, detail.fit.r_squared, predictions[p_idx]
             ));
         } else {
             exponents.push(f64::NAN);

@@ -1,0 +1,521 @@
+//! Streaming aggregation over results-log records: per-cell summaries,
+//! per-axis power-law fits, and scaling-law verdicts.
+//!
+//! The aggregator consumes [`CellRecord`]s one at a time — per-cell
+//! statistics stream through [`Summary`] (mean/CI) and [`P2Quantile`]
+//! (median/p95) without buffering trial vectors, and only `(n, mean cost)`
+//! points per fit group are retained — so a log far larger than memory could
+//! still aggregate. `finish()` fits `cost ≈ C·n^k` per `(protocol, group)`
+//! in log–log space ([`fit_power_law_detailed`]) and derives the verdicts the
+//! paper's headline comparison is about.
+
+use crate::log::CellRecord;
+use geogossip_analysis::{
+    fit_power_law_detailed, ConfidenceInterval, P2Quantile, PowerLawFitDetail, Summary,
+};
+
+/// z-score of the reports' 95% confidence intervals.
+pub const REPORT_Z: f64 = 1.96;
+
+/// Aggregate statistics of one sweep cell, reduced from its trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSummary {
+    /// Cell index in expansion order.
+    pub index: u64,
+    /// Cell name.
+    pub name: String,
+    /// Protocol key (registry name + params).
+    pub protocol: String,
+    /// Non-protocol, non-`n` axis coordinates (fit-grouping key).
+    pub group: String,
+    /// Network size.
+    pub n: usize,
+    /// Stop target.
+    pub epsilon: f64,
+    /// Trials recorded.
+    pub trials: u64,
+    /// Trials that reached the target.
+    pub converged: u64,
+    /// Mean total transmissions ("messages").
+    pub mean_transmissions: f64,
+    /// 95% CI around the transmission mean.
+    pub ci_transmissions: ConfidenceInterval,
+    /// Streaming median of total transmissions (P², exact for ≤ 5 trials).
+    pub median_transmissions: f64,
+    /// Streaming p95 of total transmissions.
+    pub p95_transmissions: f64,
+    /// Mean routed one-hop transmissions ("hops").
+    pub mean_hops: f64,
+    /// 95% CI around the hop mean.
+    pub ci_hops: ConfidenceInterval,
+    /// Mean engine ticks.
+    pub mean_ticks: f64,
+    /// 95% CI around the tick mean.
+    pub ci_ticks: ConfidenceInterval,
+    /// Streaming median of engine ticks.
+    pub median_ticks: f64,
+    /// Mean protocol rounds.
+    pub mean_rounds: f64,
+    /// Mean final relative error.
+    pub mean_final_error: f64,
+    /// Mean whole-trial wall-clock seconds (timing — kept out of the
+    /// equality-checked report files).
+    pub mean_seconds: f64,
+    /// Mean engine wall-clock seconds.
+    pub mean_engine_seconds: f64,
+}
+
+impl CellSummary {
+    fn new(record: &CellRecord) -> Self {
+        let mut tx = Summary::new();
+        let mut hops = Summary::new();
+        let mut ticks = Summary::new();
+        let mut rounds = Summary::new();
+        let mut error = Summary::new();
+        let mut seconds = Summary::new();
+        let mut engine_seconds = Summary::new();
+        let mut tx_median = P2Quantile::new(0.5);
+        let mut tx_p95 = P2Quantile::new(0.95);
+        let mut ticks_median = P2Quantile::new(0.5);
+        let mut converged = 0u64;
+        for trial in &record.trials {
+            tx.push(trial.transmissions as f64);
+            hops.push(trial.routing as f64);
+            ticks.push(trial.ticks as f64);
+            rounds.push(trial.rounds as f64);
+            error.push(trial.final_error);
+            seconds.push(trial.seconds);
+            engine_seconds.push(trial.engine_seconds);
+            tx_median.push(trial.transmissions as f64);
+            tx_p95.push(trial.transmissions as f64);
+            ticks_median.push(trial.ticks as f64);
+            if trial.converged {
+                converged += 1;
+            }
+        }
+        CellSummary {
+            index: record.index,
+            name: record.name.clone(),
+            protocol: record.protocol.clone(),
+            group: record.group.clone(),
+            n: record.n,
+            epsilon: record.epsilon,
+            trials: record.trials.len() as u64,
+            converged,
+            mean_transmissions: tx.mean(),
+            ci_transmissions: tx.confidence_interval(REPORT_Z),
+            median_transmissions: tx_median.value().unwrap_or(0.0),
+            p95_transmissions: tx_p95.value().unwrap_or(0.0),
+            mean_hops: hops.mean(),
+            ci_hops: hops.confidence_interval(REPORT_Z),
+            mean_ticks: ticks.mean(),
+            ci_ticks: ticks.confidence_interval(REPORT_Z),
+            median_ticks: ticks_median.value().unwrap_or(0.0),
+            mean_rounds: rounds.mean(),
+            mean_final_error: error.mean(),
+            mean_seconds: seconds.mean(),
+            mean_engine_seconds: engine_seconds.mean(),
+        }
+    }
+}
+
+/// A fitted power law `mean transmissions ≈ C·n^k` for one
+/// `(protocol, group)` series of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupFit {
+    /// Protocol key of the series.
+    pub protocol: String,
+    /// Non-protocol axis coordinates of the series.
+    pub group: String,
+    /// Number of `(n, cost)` points fitted.
+    pub points: usize,
+    /// Cells of this series excluded from the fit because not every trial
+    /// converged — their transmission counts are cap-saturated, not
+    /// cost-to-ε, and would flatten the exponent.
+    pub excluded: usize,
+    /// The detailed fit (exponent, prefactor, R², exponent stderr).
+    pub detail: PowerLawFitDetail,
+    /// 95% confidence interval around the exponent.
+    pub interval: ConfidenceInterval,
+}
+
+/// One machine-checked claim about the fitted exponents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// The claim, in words.
+    pub claim: String,
+    /// Whether the sweep's numbers support it.
+    pub holds: bool,
+    /// The numbers behind the call.
+    pub details: String,
+}
+
+/// The paper's predicted exponent window for plain geographic gossip
+/// (`~n^{3/2}√log n` ⇒ a log–log fit lands near 1.5).
+pub const GEOGRAPHIC_EXPONENT_RANGE: (f64, f64) = (1.3, 1.7);
+
+/// A `(protocol, group)` series key.
+type SeriesKey = (String, String);
+
+/// The accumulating `(n, cost)` points of one series, plus how many cells
+/// were left out of the fit.
+#[derive(Debug, Default)]
+struct SeriesPoints {
+    points: Vec<(f64, f64)>,
+    excluded: usize,
+}
+
+/// Streaming aggregator: push records, then [`SweepAggregator::finish`].
+#[derive(Debug, Default)]
+pub struct SweepAggregator {
+    cells: Vec<CellSummary>,
+    // (protocol, group) → (n, mean transmissions) points, insertion-ordered.
+    series: Vec<(SeriesKey, SeriesPoints)>,
+}
+
+impl SweepAggregator {
+    /// Creates an empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one record into the running aggregate. Only cells whose trials
+    /// **all converged** contribute fit points: a cell that hit its
+    /// tick/transmission cap reports the cap, not the cost-to-ε, and would
+    /// silently flatten the fitted exponent. Excluded cells are counted per
+    /// series ([`GroupFit::excluded`]) so the report can say so.
+    pub fn push(&mut self, record: &CellRecord) {
+        let summary = CellSummary::new(record);
+        let key = (summary.protocol.clone(), summary.group.clone());
+        let series = match self.series.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, series)) => series,
+            None => {
+                self.series.push((key, SeriesPoints::default()));
+                &mut self.series.last_mut().expect("just pushed").1
+            }
+        };
+        if summary.trials > 0 && summary.converged == summary.trials {
+            series
+                .points
+                .push((summary.n as f64, summary.mean_transmissions));
+        } else {
+            series.excluded += 1;
+        }
+        self.cells.push(summary);
+    }
+
+    /// Completes the aggregation: sorts each series by `n`, fits the power
+    /// laws, and derives the verdicts.
+    pub fn finish(mut self) -> SweepAggregate {
+        self.cells.sort_by_key(|c| c.index);
+        let mut fits = Vec::new();
+        for ((protocol, group), mut series) in self.series {
+            series
+                .points
+                .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("n is finite"));
+            let xs: Vec<f64> = series.points.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = series.points.iter().map(|p| p.1).collect();
+            if let Some(detail) = fit_power_law_detailed(&xs, &ys) {
+                fits.push(GroupFit {
+                    protocol,
+                    group,
+                    points: series.points.len(),
+                    excluded: series.excluded,
+                    interval: detail.exponent_interval(REPORT_Z),
+                    detail,
+                });
+            }
+        }
+        let verdicts = derive_verdicts(&fits);
+        SweepAggregate {
+            cells: self.cells,
+            fits,
+            verdicts,
+        }
+    }
+}
+
+/// The finished aggregate: per-cell summaries, per-series fits, verdicts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepAggregate {
+    /// Per-cell summaries in cell order.
+    pub cells: Vec<CellSummary>,
+    /// Per-`(protocol, group)` power-law fits.
+    pub fits: Vec<GroupFit>,
+    /// Machine-checked scaling claims.
+    pub verdicts: Vec<Verdict>,
+}
+
+/// Derives the headline scaling verdicts from the fitted exponents:
+///
+/// * plain geographic gossip lands in the paper's predicted window
+///   [`GEOGRAPHIC_EXPONENT_RANGE`];
+/// * every affine variant scales **strictly below** geographic gossip on the
+///   same axis combination;
+/// * geographic gossip scales strictly below pairwise gossip (the
+///   `n^{3/2}` vs `n²` separation of Dimakis et al.).
+fn derive_verdicts(fits: &[GroupFit]) -> Vec<Verdict> {
+    let mut verdicts = Vec::new();
+    fn base_name(protocol: &str) -> &str {
+        protocol.split('{').next().unwrap_or(protocol)
+    }
+    for fit in fits {
+        if base_name(&fit.protocol) == "geographic" {
+            let (lo, hi) = GEOGRAPHIC_EXPONENT_RANGE;
+            let k = fit.detail.fit.exponent;
+            verdicts.push(Verdict {
+                claim: format!(
+                    "geographic gossip exponent within [{lo}, {hi}] ({})",
+                    fit.group
+                ),
+                holds: (lo..=hi).contains(&k),
+                details: format!(
+                    "fitted k = {k:.3} (95% CI [{:.3}, {:.3}], R² = {:.3})",
+                    fit.interval.lower, fit.interval.upper, fit.detail.fit.r_squared
+                ),
+            });
+        }
+    }
+    for geographic in fits
+        .iter()
+        .filter(|f| base_name(&f.protocol) == "geographic")
+    {
+        for other in fits.iter().filter(|f| f.group == geographic.group) {
+            let name = base_name(&other.protocol);
+            if name.starts_with("affine") {
+                let (ka, kg) = (other.detail.fit.exponent, geographic.detail.fit.exponent);
+                verdicts.push(Verdict {
+                    claim: format!(
+                        "{} scales strictly below geographic gossip ({})",
+                        other.protocol, geographic.group
+                    ),
+                    holds: ka < kg,
+                    details: format!(
+                        "k[{}] = {ka:.3} (95% CI [{:.3}, {:.3}]) vs k[geographic] = {kg:.3} \
+                         (95% CI [{:.3}, {:.3}])",
+                        other.protocol,
+                        other.interval.lower,
+                        other.interval.upper,
+                        geographic.interval.lower,
+                        geographic.interval.upper
+                    ),
+                });
+            } else if name == "pairwise" {
+                let (kp, kg) = (other.detail.fit.exponent, geographic.detail.fit.exponent);
+                verdicts.push(Verdict {
+                    claim: format!(
+                        "geographic gossip scales strictly below pairwise gossip ({})",
+                        geographic.group
+                    ),
+                    holds: kg < kp,
+                    details: format!(
+                        "k[geographic] = {kg:.3} (95% CI [{:.3}, {:.3}]) vs k[pairwise] = {kp:.3} \
+                         (95% CI [{:.3}, {:.3}])",
+                        geographic.interval.lower,
+                        geographic.interval.upper,
+                        other.interval.lower,
+                        other.interval.upper
+                    ),
+                });
+            }
+        }
+    }
+    verdicts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::TrialOutcome;
+
+    fn trial(transmissions: u64, ticks: u64) -> TrialOutcome {
+        TrialOutcome {
+            converged: true,
+            transmissions,
+            routing: transmissions / 2,
+            local: transmissions - transmissions / 2,
+            control: 0,
+            rounds: ticks,
+            ticks,
+            final_error: 0.04,
+            seconds: 0.1,
+            engine_seconds: 0.08,
+        }
+    }
+
+    fn record(index: u64, protocol: &str, n: usize, cost: u64) -> CellRecord {
+        CellRecord {
+            index,
+            name: format!("s/c{index:04}-{protocol}-n{n}"),
+            protocol: protocol.into(),
+            group: "unit-square/uniform-square/cc=1.5/eps=0.05".into(),
+            n,
+            epsilon: 0.05,
+            trials: vec![trial(cost - 10, 100), trial(cost + 10, 120)],
+        }
+    }
+
+    /// Synthetic records with exact power-law mean costs.
+    fn power_law_records(protocol: &str, k: f64, start_index: u64) -> Vec<CellRecord> {
+        [64usize, 128, 256, 512]
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let cost = (3.0 * (n as f64).powf(k)).round() as u64;
+                record(start_index + i as u64, protocol, n, cost)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cell_summaries_compute_means_cis_and_quantiles() {
+        let mut agg = SweepAggregator::new();
+        agg.push(&record(0, "pairwise", 64, 1000));
+        let result = agg.finish();
+        let cell = &result.cells[0];
+        assert_eq!(cell.trials, 2);
+        assert_eq!(cell.converged, 2);
+        assert!((cell.mean_transmissions - 1000.0).abs() < 1e-9);
+        assert!((cell.median_transmissions - 1000.0).abs() < 1e-9);
+        assert!(cell.ci_transmissions.contains(1000.0));
+        assert!((cell.mean_ticks - 110.0).abs() < 1e-9);
+        assert!((cell.mean_hops - 500.0).abs() < 1.0);
+        assert!((cell.mean_seconds - 0.1).abs() < 1e-12);
+        // One cell alone cannot support a fit.
+        assert!(result.fits.is_empty());
+    }
+
+    #[test]
+    fn fits_recover_planted_exponents_with_intervals() {
+        let mut agg = SweepAggregator::new();
+        for r in power_law_records("geographic", 1.5, 0) {
+            agg.push(&r);
+        }
+        for r in power_law_records("affine-idealized", 1.05, 4) {
+            agg.push(&r);
+        }
+        for r in power_law_records("pairwise", 2.0, 8) {
+            agg.push(&r);
+        }
+        let result = agg.finish();
+        assert_eq!(result.fits.len(), 3);
+        for fit in &result.fits {
+            let expected = match fit.protocol.as_str() {
+                "geographic" => 1.5,
+                "affine-idealized" => 1.05,
+                "pairwise" => 2.0,
+                other => panic!("unexpected series {other}"),
+            };
+            assert!(
+                (fit.detail.fit.exponent - expected).abs() < 0.02,
+                "{}: fitted {} expected {expected}",
+                fit.protocol,
+                fit.detail.fit.exponent
+            );
+            // The CI is symmetric around the fitted exponent (the planted
+            // value can fall just outside it: integer-rounding the costs
+            // biases the fit while leaving a near-zero stderr).
+            assert!(fit.interval.contains(fit.detail.fit.exponent));
+            assert!(fit.interval.width() >= 0.0);
+            assert_eq!(fit.points, 4);
+        }
+    }
+
+    #[test]
+    fn verdicts_cover_the_headline_claims_and_hold_on_planted_data() {
+        let mut agg = SweepAggregator::new();
+        for r in power_law_records("geographic", 1.5, 0) {
+            agg.push(&r);
+        }
+        for r in power_law_records("affine-idealized", 1.05, 4) {
+            agg.push(&r);
+        }
+        for r in power_law_records("pairwise", 2.0, 8) {
+            agg.push(&r);
+        }
+        let result = agg.finish();
+        assert_eq!(result.verdicts.len(), 3);
+        assert!(
+            result.verdicts.iter().all(|v| v.holds),
+            "{:#?}",
+            result.verdicts
+        );
+        assert!(result
+            .verdicts
+            .iter()
+            .any(|v| v.claim.contains("within [1.3, 1.7]")));
+        assert!(result
+            .verdicts
+            .iter()
+            .any(|v| v.claim.contains("strictly below geographic")));
+        assert!(result
+            .verdicts
+            .iter()
+            .any(|v| v.claim.contains("strictly below pairwise")));
+    }
+
+    #[test]
+    fn verdicts_flag_violations() {
+        let mut agg = SweepAggregator::new();
+        // Geographic planted at k = 2.5: outside the window, and *below*
+        // nothing — an affine series planted above it must fail the
+        // strictly-below verdict.
+        for r in power_law_records("geographic", 2.5, 0) {
+            agg.push(&r);
+        }
+        for r in power_law_records("affine-idealized", 2.8, 4) {
+            agg.push(&r);
+        }
+        let result = agg.finish();
+        assert!(
+            result.verdicts.iter().all(|v| !v.holds),
+            "{:#?}",
+            result.verdicts
+        );
+    }
+
+    #[test]
+    fn non_converged_cells_are_excluded_from_fits_and_counted() {
+        let mut agg = SweepAggregator::new();
+        let mut records = power_law_records("geographic", 1.5, 0);
+        // Saturate the largest-n cell at a cap: one trial fails to converge
+        // and its cost is far off the power law.
+        let last = records.last_mut().unwrap();
+        last.trials[0].converged = false;
+        last.trials[0].transmissions = 1_000_000_000;
+        for r in &records {
+            agg.push(r);
+        }
+        let result = agg.finish();
+        assert_eq!(result.fits.len(), 1);
+        let fit = &result.fits[0];
+        assert_eq!(fit.points, 3, "the saturated cell must not be fitted");
+        assert_eq!(fit.excluded, 1);
+        assert!(
+            (fit.detail.fit.exponent - 1.5).abs() < 0.02,
+            "exponent distorted by a cap-saturated cell: {}",
+            fit.detail.fit.exponent
+        );
+        // The excluded cell still appears in the per-cell summaries.
+        assert_eq!(result.cells.len(), 4);
+        assert_eq!(result.cells[3].converged, 1);
+    }
+
+    #[test]
+    fn push_order_does_not_change_the_aggregate() {
+        let mut forward = SweepAggregator::new();
+        let mut reverse = SweepAggregator::new();
+        let records = power_law_records("geographic", 1.5, 0);
+        for r in &records {
+            forward.push(r);
+        }
+        for r in records.iter().rev() {
+            reverse.push(r);
+        }
+        let a = forward.finish();
+        let b = reverse.finish();
+        assert_eq!(a.cells, b.cells);
+        assert_eq!(a.fits, b.fits);
+        assert_eq!(a.verdicts, b.verdicts);
+    }
+}

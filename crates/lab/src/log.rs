@@ -1,0 +1,489 @@
+//! The append-only JSONL results log — the sweep lab's checkpoint format.
+//!
+//! Every completed cell becomes **one line** of JSON, written with a single
+//! `write` + flush after the cell's trials finish. Re-running a sweep against
+//! the same log skips every cell already present, so a campaign can be killed
+//! at any point and resumed bit-identically: the already-written lines are
+//! never touched (append-only discipline), and the missing cells re-run from
+//! their own `(master_seed, cell_index)`-derived seeds.
+//!
+//! A kill can tear the final line mid-write. [`ResultsLog::load`] therefore
+//! drops a trailing line that does not parse (the cell simply re-runs on
+//! resume); a malformed line anywhere *else* is a hard error — that is
+//! corruption, not a torn tail.
+//!
+//! Wall-clock fields (`seconds`, `engine-seconds`) ride along in every trial
+//! record for observability but are **excluded from record equality**, the
+//! same contract as `TrialCost`.
+
+use geogossip_analysis::json::JsonValue;
+use geogossip_sim::scenario::{ParamValue, PlacementSpec, RadiusSpec, ScenarioReport, SweepCell};
+use geogossip_sim::ProtocolError;
+use serde::{Deserialize, Serialize};
+use std::io::Write as _;
+use std::path::Path;
+
+/// One trial's outcome, reduced to the log's schema.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrialOutcome {
+    /// Whether the accuracy target was reached.
+    pub converged: bool,
+    /// Total one-hop transmissions.
+    pub transmissions: u64,
+    /// Routing (multi-hop) share of the total — the "hops" cost.
+    pub routing: u64,
+    /// Local-exchange share of the total.
+    pub local: u64,
+    /// Control-traffic share of the total.
+    pub control: u64,
+    /// Protocol rounds (engine ticks for tick-driven protocols).
+    pub rounds: u64,
+    /// Engine ticks consumed.
+    pub ticks: u64,
+    /// Final relative ℓ₂ error.
+    pub final_error: f64,
+    /// Whole-trial wall-clock seconds (timing, not semantics).
+    pub seconds: f64,
+    /// Engine-run wall-clock seconds (timing, not semantics).
+    pub engine_seconds: f64,
+}
+
+/// Semantic equality: wall-clock timings are excluded, mirroring
+/// `TrialCost`'s contract — determinism is about results, not machine speed.
+impl PartialEq for TrialOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.converged == other.converged
+            && self.transmissions == other.transmissions
+            && self.routing == other.routing
+            && self.local == other.local
+            && self.control == other.control
+            && self.rounds == other.rounds
+            && self.ticks == other.ticks
+            && self.final_error.to_bits() == other.final_error.to_bits()
+    }
+}
+
+/// One completed sweep cell: its grid coordinates plus per-trial outcomes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellRecord {
+    /// Flat cell index in the sweep's canonical expansion order.
+    pub index: u64,
+    /// The cell's scenario name (`{sweep}/c{index:04}-{protocol}-n{n}`).
+    pub name: String,
+    /// Protocol key: registry name plus rendered params when present.
+    pub protocol: String,
+    /// The non-protocol, non-`n` axis coordinates
+    /// (`surface/placement/radius/eps=…`) — the fit-grouping key.
+    pub group: String,
+    /// Network size of the cell.
+    pub n: usize,
+    /// Stop target of the cell.
+    pub epsilon: f64,
+    /// Per-trial outcomes in trial order.
+    pub trials: Vec<TrialOutcome>,
+}
+
+/// Renders a protocol spec as a stable key: the registry name, plus compact
+/// `{k=v, …}` params when any are set (two axis entries sharing a name but
+/// differing in params must group separately).
+fn protocol_key(spec: &geogossip_sim::scenario::ProtocolSpec) -> String {
+    if spec.params.is_empty() {
+        return spec.name.clone();
+    }
+    let params: Vec<String> = spec
+        .params
+        .iter()
+        .map(|(k, v)| match v {
+            ParamValue::Number(x) => format!("{k}={x}"),
+            ParamValue::Text(s) => format!("{k}={s}"),
+            ParamValue::Flag(b) => format!("{k}={b}"),
+        })
+        .collect();
+    format!("{}{{{}}}", spec.name, params.join(","))
+}
+
+impl CellRecord {
+    /// Builds the record for a just-completed cell from its scenario report.
+    pub fn new(cell: &SweepCell, report: &ScenarioReport) -> Self {
+        let spec = &cell.spec;
+        let placement = match spec.topology.placement {
+            PlacementSpec::UniformSquare => "uniform-square".to_string(),
+            PlacementSpec::Clustered { clusters, spread } => {
+                format!("clustered(k={clusters},spread={spread})")
+            }
+            PlacementSpec::Perforated { hole } => format!(
+                "perforated({},{},{},{})",
+                hole.min().x,
+                hole.min().y,
+                hole.max().x,
+                hole.max().y
+            ),
+        };
+        let radius = match spec.topology.radius {
+            RadiusSpec::ConnectivityConstant(c) => format!("cc={c}"),
+            RadiusSpec::Absolute(r) => format!("r={r}"),
+        };
+        // `/`-separated (not `|`): group strings land in Markdown table
+        // cells, where a pipe would split the column.
+        let group = format!(
+            "{}/{}/{}/eps={}",
+            spec.topology.surface.token(),
+            placement,
+            radius,
+            spec.stop.epsilon
+        );
+        let trials = report
+            .trials
+            .iter()
+            .map(|t| TrialOutcome {
+                converged: t.converged,
+                transmissions: t.transmissions.total(),
+                routing: t.transmissions.routing(),
+                local: t.transmissions.local(),
+                control: t.transmissions.control(),
+                rounds: t.rounds,
+                ticks: t.ticks,
+                final_error: t.final_error,
+                seconds: t.seconds,
+                engine_seconds: t.engine_seconds,
+            })
+            .collect();
+        CellRecord {
+            index: cell.index,
+            name: spec.name.clone(),
+            protocol: protocol_key(&spec.protocol),
+            group,
+            n: spec.topology.n,
+            epsilon: spec.stop.epsilon,
+            trials,
+        }
+    }
+
+    /// Serialises the record to its (single-line) JSON document model.
+    pub fn to_json_value(&self) -> JsonValue {
+        let trials = self
+            .trials
+            .iter()
+            .map(|t| {
+                JsonValue::object(vec![
+                    ("converged", JsonValue::Bool(t.converged)),
+                    ("transmissions", t.transmissions.into()),
+                    ("routing", t.routing.into()),
+                    ("local", t.local.into()),
+                    ("control", t.control.into()),
+                    ("rounds", t.rounds.into()),
+                    ("ticks", t.ticks.into()),
+                    ("final-error", t.final_error.into()),
+                    ("seconds", t.seconds.into()),
+                    ("engine-seconds", t.engine_seconds.into()),
+                ])
+            })
+            .collect();
+        JsonValue::object(vec![
+            ("cell", self.index.into()),
+            ("name", JsonValue::string(self.name.clone())),
+            ("protocol", JsonValue::string(self.protocol.clone())),
+            ("group", JsonValue::string(self.group.clone())),
+            ("n", self.n.into()),
+            ("epsilon", self.epsilon.into()),
+            ("trials", JsonValue::Array(trials)),
+        ])
+    }
+
+    /// Parses a record from its JSON document model.
+    pub fn from_json_value(doc: &JsonValue) -> Result<Self, ProtocolError> {
+        let field_u64 = |key: &str| {
+            doc.get(key).and_then(JsonValue::as_u64).ok_or_else(|| {
+                ProtocolError::malformed(format!("record `{key}` must be a whole number"))
+            })
+        };
+        let field_str = |key: &str| {
+            doc.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| ProtocolError::malformed(format!("record `{key}` must be a string")))
+        };
+        let epsilon = doc
+            .get("epsilon")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| ProtocolError::malformed("record `epsilon` must be a number"))?;
+        let trial_docs = doc
+            .get("trials")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| ProtocolError::malformed("record `trials` must be an array"))?;
+        let mut trials = Vec::with_capacity(trial_docs.len());
+        for t in trial_docs {
+            let u = |key: &str| {
+                t.get(key).and_then(JsonValue::as_u64).ok_or_else(|| {
+                    ProtocolError::malformed(format!("trial `{key}` must be a whole number"))
+                })
+            };
+            let f = |key: &str| {
+                t.get(key).and_then(JsonValue::as_f64).ok_or_else(|| {
+                    ProtocolError::malformed(format!("trial `{key}` must be a number"))
+                })
+            };
+            trials.push(TrialOutcome {
+                converged: t
+                    .get("converged")
+                    .and_then(JsonValue::as_bool)
+                    .ok_or_else(|| ProtocolError::malformed("trial `converged` must be a bool"))?,
+                transmissions: u("transmissions")?,
+                routing: u("routing")?,
+                local: u("local")?,
+                control: u("control")?,
+                rounds: u("rounds")?,
+                ticks: u("ticks")?,
+                final_error: f("final-error")?,
+                seconds: f("seconds")?,
+                engine_seconds: f("engine-seconds")?,
+            });
+        }
+        Ok(CellRecord {
+            index: field_u64("cell")?,
+            name: field_str("name")?,
+            protocol: field_str("protocol")?,
+            group: field_str("group")?,
+            n: field_u64("n")? as usize,
+            epsilon,
+            trials,
+        })
+    }
+}
+
+/// What [`ResultsLog::load`] found on disk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogContents {
+    /// The parsed records, in file order.
+    pub records: Vec<CellRecord>,
+    /// Whether a torn (unparseable) trailing line was dropped — the sign of
+    /// a kill mid-append; the affected cell simply re-runs.
+    pub dropped_torn_tail: bool,
+    /// Byte length of the valid prefix (up to and including the newline of
+    /// the last good record). When a torn tail was dropped, the file must be
+    /// truncated to this length **before** the next append — otherwise the
+    /// appended record would concatenate onto the torn fragment and corrupt
+    /// the line ([`ResultsLog::truncate`]).
+    pub valid_len: u64,
+}
+
+/// Handle on an append-only JSONL results log.
+pub struct ResultsLog;
+
+impl ResultsLog {
+    /// Loads every record from `path`. A missing file is an empty log. A
+    /// trailing line that fails to parse is dropped (torn by a kill); a
+    /// malformed line anywhere else is a hard error carrying its line
+    /// number.
+    pub fn load(path: &Path) -> Result<LogContents, ProtocolError> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(LogContents {
+                    records: Vec::new(),
+                    dropped_torn_tail: false,
+                    valid_len: 0,
+                })
+            }
+            Err(e) => {
+                return Err(ProtocolError::malformed(format!(
+                    "cannot read results log `{}`: {e}",
+                    path.display()
+                )))
+            }
+        };
+        // Non-empty lines with the byte offset where each starts, so the
+        // valid prefix length survives interleaved blank lines.
+        let mut lines: Vec<(usize, &str)> = Vec::new();
+        let mut offset = 0usize;
+        for segment in text.split_inclusive('\n') {
+            if !segment.trim().is_empty() {
+                lines.push((offset, segment));
+            }
+            offset += segment.len();
+        }
+        let mut records = Vec::with_capacity(lines.len());
+        let mut dropped_torn_tail = false;
+        let mut valid_len = 0u64;
+        for (i, (start, line)) in lines.iter().enumerate() {
+            let parsed = JsonValue::parse(line.trim_end())
+                .map_err(|e| ProtocolError::malformed(e.to_string()))
+                .and_then(|doc| CellRecord::from_json_value(&doc));
+            match parsed {
+                Ok(record) => {
+                    records.push(record);
+                    valid_len = (start + line.len()) as u64;
+                }
+                Err(e) if i + 1 == lines.len() => {
+                    // Torn tail: the final append was interrupted. Drop the
+                    // line; its cell re-runs on resume.
+                    let _ = e;
+                    dropped_torn_tail = true;
+                }
+                Err(e) => {
+                    return Err(ProtocolError::malformed(format!(
+                        "results log `{}` line {}: {e}",
+                        path.display(),
+                        i + 1
+                    )))
+                }
+            }
+        }
+        Ok(LogContents {
+            records,
+            dropped_torn_tail,
+            valid_len,
+        })
+    }
+
+    /// Truncates the log to its valid prefix, discarding a torn tail so the
+    /// next append starts on a fresh line. The only write that ever shortens
+    /// the file; callers invoke it exactly when `load` reported
+    /// `dropped_torn_tail`.
+    pub fn truncate(path: &Path, valid_len: u64) -> Result<(), ProtocolError> {
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| {
+                ProtocolError::malformed(format!(
+                    "cannot open results log `{}` for repair: {e}",
+                    path.display()
+                ))
+            })?;
+        file.set_len(valid_len).map_err(|e| {
+            ProtocolError::malformed(format!(
+                "cannot truncate results log `{}` to {valid_len} bytes: {e}",
+                path.display()
+            ))
+        })
+    }
+
+    /// Appends one record as a single compact line (one `write` call plus a
+    /// flush, so a kill can tear at most the final line).
+    pub fn append(path: &Path, record: &CellRecord) -> Result<(), ProtocolError> {
+        let io_err = |e: std::io::Error| {
+            ProtocolError::malformed(format!(
+                "cannot append to results log `{}`: {e}",
+                path.display()
+            ))
+        };
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(io_err)?;
+        let line = record.to_json_value().render() + "\n";
+        file.write_all(line.as_bytes()).map_err(io_err)?;
+        file.flush().map_err(io_err)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(index: u64) -> CellRecord {
+        CellRecord {
+            index,
+            name: format!("demo/c{index:04}-pairwise-n64"),
+            protocol: "pairwise".into(),
+            group: "unit-square/uniform-square/cc=1.5/eps=0.05".into(),
+            n: 64,
+            epsilon: 0.05,
+            trials: vec![TrialOutcome {
+                converged: true,
+                transmissions: 1000 + index,
+                routing: 400,
+                local: 600,
+                control: index,
+                rounds: 37,
+                ticks: 37,
+                final_error: 0.042,
+                seconds: 0.5,
+                engine_seconds: 0.4,
+            }],
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_single_line_json() {
+        let r = record(3);
+        let line = r.to_json_value().render();
+        assert!(!line.contains('\n'), "records must be single-line");
+        let parsed = CellRecord::from_json_value(&JsonValue::parse(&line).unwrap()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn equality_ignores_wall_clock() {
+        let a = record(1);
+        let mut b = a.clone();
+        b.trials[0].seconds = 99.0;
+        b.trials[0].engine_seconds = 98.0;
+        assert_eq!(a, b);
+        b.trials[0].ticks += 1;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn append_then_load_round_trips() {
+        let dir = std::env::temp_dir().join("geogossip-lab-log-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.jsonl");
+        let _ = std::fs::remove_file(&path);
+        for i in 0..3 {
+            ResultsLog::append(&path, &record(i)).unwrap();
+        }
+        let contents = ResultsLog::load(&path).unwrap();
+        assert!(!contents.dropped_torn_tail);
+        assert_eq!(contents.records, vec![record(0), record(1), record(2)]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_log_is_empty() {
+        let contents = ResultsLog::load(Path::new("/nonexistent/geogossip-lab.jsonl")).unwrap();
+        assert!(contents.records.is_empty());
+        assert!(!contents.dropped_torn_tail);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_but_interior_corruption_is_fatal() {
+        let dir = std::env::temp_dir().join("geogossip-lab-log-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.jsonl");
+        let good = record(0).to_json_value().render();
+        // Torn tail: final line cut mid-JSON.
+        std::fs::write(&path, format!("{good}\n{}", &good[..good.len() / 2])).unwrap();
+        let contents = ResultsLog::load(&path).unwrap();
+        assert!(contents.dropped_torn_tail);
+        assert_eq!(contents.records, vec![record(0)]);
+        assert_eq!(contents.valid_len as usize, good.len() + 1);
+        // Interior corruption: the same torn text followed by a good line.
+        std::fs::write(&path, format!("{}\n{good}\n", &good[..good.len() / 2])).unwrap();
+        let err = ResultsLog::load(&path).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "got {err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncate_then_append_keeps_the_log_parseable() {
+        let dir = std::env::temp_dir().join("geogossip-lab-log-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("repair.jsonl");
+        let good = record(0).to_json_value().render();
+        std::fs::write(&path, format!("{good}\n{}", &good[..good.len() / 2])).unwrap();
+        let contents = ResultsLog::load(&path).unwrap();
+        assert!(contents.dropped_torn_tail);
+        // Repair, then append the re-run cell: the log must parse cleanly
+        // with both records (without the truncation the append would
+        // concatenate onto the torn fragment and corrupt the line).
+        ResultsLog::truncate(&path, contents.valid_len).unwrap();
+        ResultsLog::append(&path, &record(1)).unwrap();
+        let repaired = ResultsLog::load(&path).unwrap();
+        assert!(!repaired.dropped_torn_tail);
+        assert_eq!(repaired.records, vec![record(0), record(1)]);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -174,6 +174,25 @@ impl ConvergenceTrace {
         self.points.retain(|p| p.ticks.is_multiple_of(stride));
     }
 
+    /// Renders the trace as a three-column table (`ticks`, `transmissions`,
+    /// `relative-error`) for CSV/Markdown emission — the shape
+    /// `geogossip run --trace-csv` writes, one file per trial, so the
+    /// stride-thinned engine traces are plottable outside the report JSON.
+    /// Errors use Rust's shortest-round-trip float formatting (parse back
+    /// exactly).
+    pub fn to_table(&self) -> geogossip_analysis::Table {
+        let mut table =
+            geogossip_analysis::Table::new(vec!["ticks", "transmissions", "relative-error"]);
+        for point in &self.points {
+            table.add_row(vec![
+                point.ticks.to_string(),
+                point.transmissions.to_string(),
+                format!("{}", point.relative_error),
+            ]);
+        }
+        table
+    }
+
     /// Downsamples the trace to at most `max_points` samples (keeping the
     /// first and last), for compact figure output.
     pub fn downsample(&self, max_points: usize) -> ConvergenceTrace {
@@ -273,6 +292,32 @@ mod tests {
     #[should_panic(expected = "stride must be positive")]
     fn thin_to_stride_rejects_zero() {
         sample_trace().thin_to_stride(0);
+    }
+
+    #[test]
+    fn trace_table_has_one_row_per_point_and_round_trips_errors() {
+        let t = sample_trace();
+        let table = t.to_table();
+        assert_eq!(table.len(), t.len());
+        assert_eq!(
+            table.headers(),
+            &[
+                "ticks".to_string(),
+                "transmissions".into(),
+                "relative-error".into()
+            ]
+        );
+        // Every rendered error parses back to the exact stored bits.
+        for (row, point) in table.rows().iter().zip(t.points()) {
+            assert_eq!(row[0].parse::<u64>().unwrap(), point.ticks);
+            assert_eq!(row[1].parse::<u64>().unwrap(), point.transmissions);
+            assert_eq!(
+                row[2].parse::<f64>().unwrap().to_bits(),
+                point.relative_error.to_bits()
+            );
+        }
+        let csv = table.to_csv();
+        assert!(csv.starts_with("ticks,transmissions,relative-error\n"));
     }
 
     #[test]

@@ -50,6 +50,7 @@
 pub mod report;
 pub mod runner;
 pub mod spec;
+pub mod sweep;
 
 pub use report::{reports_table, ScenarioReport, ScenarioSummary, TrialCost};
 pub use runner::{ProtocolFactory, Runner};
@@ -57,3 +58,4 @@ pub use spec::{
     ParamMap, ParamValue, PlacementSpec, ProtocolSpec, RadiusSpec, ScenarioSpec, TopologySpec,
     STANDARD_MAX_TICKS, STANDARD_RADIUS_CONSTANT, STANDARD_SEED,
 };
+pub use sweep::{derive_cell_seed, SweepCell, SweepSpec};

@@ -368,48 +368,6 @@ impl ScenarioSpec {
 
     /// Serialises the spec to its JSON document model.
     pub fn to_json_value(&self) -> JsonValue {
-        let placement = match self.topology.placement {
-            PlacementSpec::UniformSquare => JsonValue::string("uniform-square"),
-            PlacementSpec::Clustered { clusters, spread } => JsonValue::object(vec![(
-                "clustered",
-                JsonValue::object(vec![
-                    ("clusters", clusters.into()),
-                    ("spread", spread.into()),
-                ]),
-            )]),
-            PlacementSpec::Perforated { hole } => JsonValue::object(vec![(
-                "perforated",
-                JsonValue::object(vec![(
-                    "hole",
-                    JsonValue::Array(vec![
-                        hole.min().x.into(),
-                        hole.min().y.into(),
-                        hole.max().x.into(),
-                        hole.max().y.into(),
-                    ]),
-                )]),
-            )]),
-        };
-        let radius = match self.topology.radius {
-            RadiusSpec::ConnectivityConstant(c) => {
-                JsonValue::object(vec![("connectivity-constant", c.into())])
-            }
-            RadiusSpec::Absolute(r) => JsonValue::object(vec![("absolute", r.into())]),
-        };
-        let params = JsonValue::Object(
-            self.protocol
-                .params
-                .iter()
-                .map(|(k, v)| {
-                    let value = match v {
-                        ParamValue::Number(x) => JsonValue::Number(*x),
-                        ParamValue::Text(s) => JsonValue::string(s.clone()),
-                        ParamValue::Flag(b) => JsonValue::Bool(*b),
-                    };
-                    (k.clone(), value)
-                })
-                .collect(),
-        );
         let optional_cap = |cap: Option<u64>| cap.map_or(JsonValue::Null, JsonValue::from);
         JsonValue::object(vec![
             ("name", JsonValue::string(self.name.clone())),
@@ -417,19 +375,13 @@ impl ScenarioSpec {
                 "topology",
                 JsonValue::object(vec![
                     ("n", self.topology.n.into()),
-                    ("placement", placement),
-                    ("radius", radius),
+                    ("placement", placement_to_json(&self.topology.placement)),
+                    ("radius", radius_to_json(&self.topology.radius)),
                     ("surface", JsonValue::string(self.topology.surface.token())),
                 ]),
             ),
             ("field", JsonValue::string(self.field.token())),
-            (
-                "protocol",
-                JsonValue::object(vec![
-                    ("name", JsonValue::string(self.protocol.name.clone())),
-                    ("params", params),
-                ]),
-            ),
+            ("protocol", protocol_to_json(&self.protocol)),
             (
                 "stop",
                 JsonValue::object(vec![
@@ -567,16 +519,72 @@ impl ScenarioSpec {
     }
 }
 
-fn decode_topology(doc: &JsonValue) -> Result<TopologySpec, ProtocolError> {
-    let n = doc
-        .get("n")
-        .and_then(JsonValue::as_u64)
-        .ok_or_else(|| ProtocolError::malformed("`topology.n` must be a whole number"))?
-        as usize;
-    let placement = match doc.get("placement") {
-        None => PlacementSpec::UniformSquare,
-        Some(JsonValue::String(s)) if s == "uniform-square" => PlacementSpec::UniformSquare,
-        Some(value) => {
+/// Renders a [`PlacementSpec`] to its JSON form (shared with the sweep
+/// schema, so the placement grammar cannot drift between the two).
+pub(crate) fn placement_to_json(placement: &PlacementSpec) -> JsonValue {
+    match *placement {
+        PlacementSpec::UniformSquare => JsonValue::string("uniform-square"),
+        PlacementSpec::Clustered { clusters, spread } => JsonValue::object(vec![(
+            "clustered",
+            JsonValue::object(vec![
+                ("clusters", clusters.into()),
+                ("spread", spread.into()),
+            ]),
+        )]),
+        PlacementSpec::Perforated { hole } => JsonValue::object(vec![(
+            "perforated",
+            JsonValue::object(vec![(
+                "hole",
+                JsonValue::Array(vec![
+                    hole.min().x.into(),
+                    hole.min().y.into(),
+                    hole.max().x.into(),
+                    hole.max().y.into(),
+                ]),
+            )]),
+        )]),
+    }
+}
+
+/// Renders a [`RadiusSpec`] to its JSON form (shared with the sweep schema).
+pub(crate) fn radius_to_json(radius: &RadiusSpec) -> JsonValue {
+    match *radius {
+        RadiusSpec::ConnectivityConstant(c) => {
+            JsonValue::object(vec![("connectivity-constant", c.into())])
+        }
+        RadiusSpec::Absolute(r) => JsonValue::object(vec![("absolute", r.into())]),
+    }
+}
+
+/// Renders a [`ProtocolSpec`] (name + params) to its JSON form (shared with
+/// the sweep schema).
+pub(crate) fn protocol_to_json(protocol: &ProtocolSpec) -> JsonValue {
+    let params = JsonValue::Object(
+        protocol
+            .params
+            .iter()
+            .map(|(k, v)| {
+                let value = match v {
+                    ParamValue::Number(x) => JsonValue::Number(*x),
+                    ParamValue::Text(s) => JsonValue::string(s.clone()),
+                    ParamValue::Flag(b) => JsonValue::Bool(*b),
+                };
+                (k.clone(), value)
+            })
+            .collect(),
+    );
+    JsonValue::object(vec![
+        ("name", JsonValue::string(protocol.name.clone())),
+        ("params", params),
+    ])
+}
+
+/// Decodes a placement value (`"uniform-square"`, `{"clustered": …}` or
+/// `{"perforated": …}`).
+pub(crate) fn decode_placement(value: &JsonValue) -> Result<PlacementSpec, ProtocolError> {
+    match value {
+        JsonValue::String(s) if s == "uniform-square" => Ok(PlacementSpec::UniformSquare),
+        value => {
             if let Some(clustered) = value.get("clustered") {
                 let clusters = clustered
                     .get("clusters")
@@ -590,7 +598,7 @@ fn decode_topology(doc: &JsonValue) -> Result<TopologySpec, ProtocolError> {
                     .ok_or_else(|| {
                         ProtocolError::malformed("`clustered.spread` must be a number")
                     })?;
-                PlacementSpec::Clustered { clusters, spread }
+                Ok(PlacementSpec::Clustered { clusters, spread })
             } else if let Some(perforated) = value.get("perforated") {
                 let hole = perforated
                     .get("hole")
@@ -606,48 +614,67 @@ fn decode_topology(doc: &JsonValue) -> Result<TopologySpec, ProtocolError> {
                         ProtocolError::malformed("`perforated.hole` entries must be numbers")
                     })
                 };
-                PlacementSpec::Perforated {
+                Ok(PlacementSpec::Perforated {
                     hole: Rect::new(
                         Point::new(coord(0)?, coord(1)?),
                         Point::new(coord(2)?, coord(3)?),
                     ),
-                }
+                })
             } else {
-                return Err(ProtocolError::malformed(
-                    "`topology.placement` must be \"uniform-square\", {\"clustered\": …} or {\"perforated\": …}",
-                ));
+                Err(ProtocolError::malformed(
+                    "placement must be \"uniform-square\", {\"clustered\": …} or {\"perforated\": …}",
+                ))
             }
         }
+    }
+}
+
+/// Decodes a radius value (`{"connectivity-constant": c}` or
+/// `{"absolute": r}`).
+pub(crate) fn decode_radius(value: &JsonValue) -> Result<RadiusSpec, ProtocolError> {
+    if let Some(c) = value
+        .get("connectivity-constant")
+        .and_then(JsonValue::as_f64)
+    {
+        Ok(RadiusSpec::ConnectivityConstant(c))
+    } else if let Some(r) = value.get("absolute").and_then(JsonValue::as_f64) {
+        Ok(RadiusSpec::Absolute(r))
+    } else {
+        Err(ProtocolError::malformed(
+            "radius must be {\"connectivity-constant\": c} or {\"absolute\": r}",
+        ))
+    }
+}
+
+/// Decodes a surface token (`"unit-square"` / `"torus"`).
+pub(crate) fn decode_surface(value: &JsonValue) -> Result<Topology, ProtocolError> {
+    let token = value
+        .as_str()
+        .ok_or_else(|| ProtocolError::malformed("surface must be a string"))?;
+    Topology::parse(token).ok_or_else(|| {
+        ProtocolError::malformed(format!(
+            "unknown surface `{token}` (known: unit-square, torus)"
+        ))
+    })
+}
+
+fn decode_topology(doc: &JsonValue) -> Result<TopologySpec, ProtocolError> {
+    let n = doc
+        .get("n")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| ProtocolError::malformed("`topology.n` must be a whole number"))?
+        as usize;
+    let placement = match doc.get("placement") {
+        None => PlacementSpec::UniformSquare,
+        Some(value) => decode_placement(value)?,
     };
     let radius = match doc.get("radius") {
         None => RadiusSpec::ConnectivityConstant(STANDARD_RADIUS_CONSTANT),
-        Some(value) => {
-            if let Some(c) = value
-                .get("connectivity-constant")
-                .and_then(JsonValue::as_f64)
-            {
-                RadiusSpec::ConnectivityConstant(c)
-            } else if let Some(r) = value.get("absolute").and_then(JsonValue::as_f64) {
-                RadiusSpec::Absolute(r)
-            } else {
-                return Err(ProtocolError::malformed(
-                    "`topology.radius` must be {\"connectivity-constant\": c} or {\"absolute\": r}",
-                ));
-            }
-        }
+        Some(value) => decode_radius(value)?,
     };
     let surface = match doc.get("surface") {
         None => Topology::UnitSquare,
-        Some(value) => {
-            let token = value
-                .as_str()
-                .ok_or_else(|| ProtocolError::malformed("`topology.surface` must be a string"))?;
-            Topology::parse(token).ok_or_else(|| {
-                ProtocolError::malformed(format!(
-                    "unknown surface `{token}` (known: unit-square, torus)"
-                ))
-            })?
-        }
+        Some(value) => decode_surface(value)?,
     };
     Ok(TopologySpec {
         n,
@@ -657,7 +684,7 @@ fn decode_topology(doc: &JsonValue) -> Result<TopologySpec, ProtocolError> {
     })
 }
 
-fn decode_protocol(doc: &JsonValue) -> Result<ProtocolSpec, ProtocolError> {
+pub(crate) fn decode_protocol(doc: &JsonValue) -> Result<ProtocolSpec, ProtocolError> {
     let name = doc
         .get("name")
         .and_then(JsonValue::as_str)

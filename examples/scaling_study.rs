@@ -1,16 +1,16 @@
-//! Small scaling study: how the cost of each protocol grows with `n`.
+//! Small scaling study: how the cost of each protocol grows with `n` — now
+//! expressed as a **sweep** through the lab instead of a hand-written
+//! scenario loop.
 //!
 //! A lighter-weight version of experiment E4 (the full version lives in
-//! `crates/bench/src/bin/e4_scaling_exponents.rs`): run every protocol on a
-//! ladder of network sizes, record transmissions to reach the accuracy target,
-//! and fit a power law `cost ≈ C·n^k`. The paper predicts `k ≈ 2` for pairwise
-//! gossip, `k ≈ 1.5` for geographic gossip and `k → 1` for the affine
-//! hierarchy.
-//!
-//! The whole ladder is a list of [`ScenarioSpec`]s run as one parallel batch;
-//! the east–west gradient field (the scenario default) makes the protocols
-//! move mass across the whole unit square, the regime where long-range
-//! exchanges pay off.
+//! `crates/bench/src/bin/e4_scaling_exponents.rs`) and of the committed
+//! `scenarios/sweeps/scaling_headline.json` campaign: declare the
+//! protocol × size grid as a [`SweepSpec`], run it in memory through
+//! [`run_sweep`] (no checkpoint log — pass a path to get resumable
+//! execution), and let the lab's aggregation fit the power law
+//! `cost ≈ C·n^k` per protocol, with a 95% confidence interval around each
+//! exponent. The paper predicts `k ≈ 2` for pairwise gossip, `k ≈ 1.5` for
+//! geographic gossip and `k → 1` for the affine hierarchy.
 //!
 //! Run with:
 //!
@@ -18,68 +18,87 @@
 //! cargo run --release --example scaling_study
 //! ```
 
-use geogossip::analysis::{fit_power_law, Table};
+use geogossip::analysis::Table;
 use geogossip::core::registry::builtin_runner;
 use geogossip::core::ProtocolError;
-use geogossip::sim::scenario::{ScenarioReport, ScenarioSpec};
+use geogossip::lab::{run_sweep, SweepAggregator, SweepOptions, SweepReport};
+use geogossip::sim::scenario::{ProtocolSpec, SweepSpec};
 
 fn main() -> Result<(), ProtocolError> {
-    let sizes = [128usize, 256, 512, 1024];
-    let protocols = ["pairwise", "geographic", "affine-idealized"];
-    let epsilon = 0.05;
+    let sweep = SweepSpec::new(
+        "scaling-study",
+        vec![128, 256, 512, 1024],
+        vec![
+            ProtocolSpec::named("pairwise"),
+            ProtocolSpec::named("geographic"),
+            ProtocolSpec::named("affine-idealized"),
+        ],
+    )
+    .with_trials(3)
+    .with_seed(99);
 
-    let specs: Vec<ScenarioSpec> = protocols
-        .iter()
-        .flat_map(|&protocol| {
-            sizes
-                .iter()
-                .map(move |&n| ScenarioSpec::standard(protocol, n, epsilon).with_seed(99))
-        })
-        .collect();
-    let reports = builtin_runner().run_all(&specs)?;
-    let report_for =
-        |p_idx: usize, n_idx: usize| -> &ScenarioReport { &reports[p_idx * sizes.len() + n_idx] };
+    let runner = builtin_runner();
+    let outcome = run_sweep(&runner, &sweep, None, &SweepOptions::default(), |_| {})?;
 
-    let mut table = Table::new(vec!["n", "pairwise tx", "geographic tx", "affine tx"]);
-    for (n_idx, &n) in sizes.iter().enumerate() {
-        let mut row = vec![n.to_string()];
-        for (p_idx, _) in protocols.iter().enumerate() {
-            row.push(format!(
-                "{:.0}",
-                report_for(p_idx, n_idx).summary.mean_transmissions
-            ));
-        }
-        table.add_row(row);
+    let mut aggregator = SweepAggregator::new();
+    for record in &outcome.records {
+        aggregator.push(record);
     }
-    println!("{}", table.to_markdown());
+    let report = SweepReport::new(sweep.name.clone(), sweep.cell_count(), aggregator.finish());
 
-    let xs: Vec<f64> = sizes.iter().map(|&n| n as f64).collect();
+    // Cost ladder, one row per size (the historical table shape).
+    let mut costs = Table::new(vec!["n", "pairwise tx", "geographic tx", "affine tx"]);
+    for &n in &sweep.sizes {
+        let mut row = vec![n.to_string()];
+        for protocol in &sweep.protocols {
+            let cell = report
+                .aggregate
+                .cells
+                .iter()
+                .find(|c| c.n == n && c.protocol == protocol.name)
+                .expect("every grid cell ran");
+            row.push(format!("{:.0}", cell.mean_transmissions));
+        }
+        costs.add_row(row);
+    }
+    println!("{}", costs.to_markdown());
+
+    // Fitted exponents with confidence intervals, plus the paper's claims.
+    let paper = [
+        ("pairwise", "≈ 2"),
+        ("geographic", "≈ 1.5"),
+        ("affine-idealized", "1 + o(1)"),
+    ];
     let mut fits = Table::new(vec![
         "protocol",
         "fitted exponent k",
+        "95% CI",
         "R²",
         "paper's prediction",
     ]);
-    for (p_idx, (name, paper)) in [
-        ("pairwise", "≈ 2"),
-        ("geographic", "≈ 1.5"),
-        ("affine hierarchy", "1 + o(1)"),
-    ]
-    .iter()
-    .enumerate()
-    {
-        let costs: Vec<f64> = (0..sizes.len())
-            .map(|n_idx| report_for(p_idx, n_idx).summary.mean_transmissions)
-            .collect();
-        if let Some(fit) = fit_power_law(&xs, &costs) {
-            fits.add_row(vec![
-                (*name).into(),
-                format!("{:.2}", fit.exponent),
-                format!("{:.3}", fit.r_squared),
-                (*paper).into(),
-            ]);
-        }
+    for fit in &report.aggregate.fits {
+        let prediction = paper
+            .iter()
+            .find(|(name, _)| *name == fit.protocol)
+            .map(|(_, p)| *p)
+            .unwrap_or("—");
+        fits.add_row(vec![
+            fit.protocol.clone(),
+            format!("{:.2}", fit.detail.fit.exponent),
+            format!("[{:.2}, {:.2}]", fit.interval.lower, fit.interval.upper),
+            format!("{:.3}", fit.detail.fit.r_squared),
+            prediction.into(),
+        ]);
     }
     println!("{}", fits.to_markdown());
+
+    for verdict in &report.aggregate.verdicts {
+        println!(
+            "{} {} — {}",
+            if verdict.holds { "PASS" } else { "FAIL" },
+            verdict.claim,
+            verdict.details
+        );
+    }
     Ok(())
 }

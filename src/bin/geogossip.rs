@@ -1,29 +1,40 @@
-//! The `geogossip` CLI: run gossip scenarios from JSON specs or flags.
+//! The `geogossip` CLI: run gossip scenarios from JSON specs or flags, and
+//! sweep parameter-grid campaigns through the lab.
 //!
 //! ```text
 //! geogossip run scenarios/smoke.json            # run a spec file
-//! geogossip run scenarios/smoke.json --json out.json
+//! geogossip run scenarios/smoke.json --json out.json --trace-csv traces/
 //! geogossip run scenarios/large_n.json --only large-uniform-torus
 //! geogossip run --protocol pairwise --n 256 --epsilon 0.1 --trials 2
+//! geogossip sweep scenarios/sweeps/smoke_sweep.json --report out/
+//! geogossip sweep scenarios/sweeps/scaling_headline.json --resume
+//! geogossip validate scenarios/smoke.json       # schema check, no run
 //! geogossip protocols                           # list the registry
 //! geogossip template                            # print an example spec
 //! ```
 //!
 //! A spec file holds either a single scenario object or
-//! `{"scenarios": [ … ]}`; see `geogossip_sim::scenario` for the schema.
+//! `{"scenarios": [ … ]}`; a sweep file carries the top-level `"sweep"` key.
+//! See `geogossip_sim::scenario` for both schemas.
 
 use geogossip::analysis::json::JsonValue;
 use geogossip::core::registry::builtin_runner;
+use geogossip::lab::{run_sweep, SweepAggregator, SweepOptions, SweepProgress, SweepReport};
 use geogossip::sim::field::Field;
-use geogossip::sim::scenario::{reports_table, ScenarioReport, ScenarioSpec, TopologySpec};
+use geogossip::sim::scenario::{
+    reports_table, ScenarioReport, ScenarioSpec, SweepSpec, TopologySpec,
+};
 use geogossip::sim::ProtocolError;
 use geogossip_geometry::Topology;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => run(&args[1..]),
+        Some("sweep") => sweep(&args[1..]),
+        Some("validate") => validate(&args[1..]),
         Some("protocols") => {
             list_protocols();
             Ok(())
@@ -55,13 +66,19 @@ fn print_usage() {
          \n\
          USAGE:\n\
          \x20 geogossip run <spec.json> [--only <name>] [--json <out.json>]\n\
+         \x20               [--trace-csv <dir>]\n\
          \x20 geogossip run --protocol <name> [--n N] [--epsilon E] [--trials T]\n\
          \x20               [--seed S] [--field F] [--radius-constant C] [--torus]\n\
          \x20               [--param key=value]... [--json <out.json>]\n\
+         \x20 geogossip sweep <sweep.json> [--resume] [--report <dir>]\n\
+         \x20               [--log <path.jsonl>] [--max-cells K]\n\
+         \x20 geogossip validate <spec.json>   parse + validate a scenario or\n\
+         \x20                                  sweep spec without running it\n\
          \x20 geogossip protocols        list registered protocols\n\
          \x20 geogossip template         print an example scenario spec\n\
          \n\
-         A spec file holds one scenario object or {{\"scenarios\": [...]}}.\n\
+         A spec file holds one scenario object or {{\"scenarios\": [...]}};\n\
+         a sweep file carries the top-level \"sweep\" key.\n\
          Fields: spike, uniform, ramp, bimodal, spatial-gradient."
     );
 }
@@ -81,6 +98,7 @@ fn template_spec() -> ScenarioSpec {
 fn run(args: &[String]) -> Result<(), ProtocolError> {
     let mut spec_path: Option<String> = None;
     let mut json_out: Option<String> = None;
+    let mut trace_csv: Option<String> = None;
     let mut only: Option<String> = None;
     let mut flags = FlagSpec::default();
     let mut iter = args.iter();
@@ -92,6 +110,7 @@ fn run(args: &[String]) -> Result<(), ProtocolError> {
         };
         match arg.as_str() {
             "--json" => json_out = Some(take("--json")?),
+            "--trace-csv" => trace_csv = Some(take("--trace-csv")?),
             "--only" => only = Some(take("--only")?),
             "--protocol" => flags.protocol = Some(take("--protocol")?),
             "--n" => flags.n = Some(parse_u64(&take("--n")?, "--n")? as usize),
@@ -182,6 +201,174 @@ fn run(args: &[String]) -> Result<(), ProtocolError> {
         std::fs::write(&path, doc.pretty() + "\n")
             .map_err(|e| ProtocolError::malformed(format!("cannot write `{path}`: {e}")))?;
         println!("wrote {path}");
+    }
+    if let Some(dir) = trace_csv {
+        write_trace_csvs(Path::new(&dir), &reports)?;
+    }
+    Ok(())
+}
+
+/// Writes one CSV per trial (`<scenario>-t<trial>.csv`, `/` sanitised to
+/// `_`) holding the stride-thinned convergence trace — the plottable form of
+/// what the engine records.
+fn write_trace_csvs(dir: &Path, reports: &[ScenarioReport]) -> Result<(), ProtocolError> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| ProtocolError::malformed(format!("cannot create `{}`: {e}", dir.display())))?;
+    let mut written = 0usize;
+    for report in reports {
+        let stem: String = report
+            .spec
+            .name
+            .chars()
+            .map(|c| if c == '/' || c == '\\' { '_' } else { c })
+            .collect();
+        for (trial, cost) in report.trials.iter().enumerate() {
+            let path = dir.join(format!("{stem}-t{trial}.csv"));
+            std::fs::write(&path, cost.trace.to_table().to_csv()).map_err(|e| {
+                ProtocolError::malformed(format!("cannot write `{}`: {e}", path.display()))
+            })?;
+            written += 1;
+        }
+    }
+    println!("wrote {written} trace CSV(s) to {}", dir.display());
+    Ok(())
+}
+
+/// `geogossip sweep <sweep.json> [--resume] [--report <dir>] [--log <path>]
+/// [--max-cells K]`: checkpointed campaign execution through the lab.
+fn sweep(args: &[String]) -> Result<(), ProtocolError> {
+    let mut sweep_path: Option<String> = None;
+    let mut resume = false;
+    let mut report_dir: Option<String> = None;
+    let mut log_path: Option<String> = None;
+    let mut max_cells: Option<usize> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut take = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| ProtocolError::malformed(format!("`{name}` needs a value")))
+        };
+        match arg.as_str() {
+            "--resume" => resume = true,
+            "--report" => report_dir = Some(take("--report")?),
+            "--log" => log_path = Some(take("--log")?),
+            "--max-cells" => {
+                max_cells = Some(parse_u64(&take("--max-cells")?, "--max-cells")? as usize)
+            }
+            other if other.starts_with('-') => {
+                return Err(ProtocolError::malformed(format!("unknown flag `{other}`")))
+            }
+            other => {
+                if sweep_path.replace(other.to_string()).is_some() {
+                    return Err(ProtocolError::malformed(
+                        "only one sweep file can be given per run",
+                    ));
+                }
+            }
+        }
+    }
+    let sweep_path = sweep_path.ok_or_else(|| {
+        ProtocolError::malformed("nothing to sweep: pass a sweep file (see `geogossip help`)")
+    })?;
+    let spec = SweepSpec::load_file(&sweep_path)?;
+    // Default checkpoint log: next to the sweep file, `<stem>.results.jsonl`.
+    let log_path: PathBuf = match log_path {
+        Some(path) => PathBuf::from(path),
+        None => Path::new(&sweep_path).with_extension("results.jsonl"),
+    };
+    let total = spec.cell_count();
+    println!(
+        "sweep `{}`: {} cells, {} trial(s) each, log {}",
+        spec.name,
+        total,
+        spec.trials,
+        log_path.display()
+    );
+    let runner = builtin_runner();
+    let options = SweepOptions { resume, max_cells };
+    let outcome = run_sweep(
+        &runner,
+        &spec,
+        Some(&log_path),
+        &options,
+        |progress| match progress {
+            SweepProgress::Skipped(record) => {
+                println!(
+                    "cell {}/{total} `{}`: checkpointed, skipped",
+                    record.index + 1,
+                    record.name
+                );
+            }
+            SweepProgress::Completed(record, seconds) => {
+                let converged = record.trials.iter().filter(|t| t.converged).count();
+                let mean_tx: f64 = record
+                    .trials
+                    .iter()
+                    .map(|t| t.transmissions as f64)
+                    .sum::<f64>()
+                    / record.trials.len().max(1) as f64;
+                println!(
+                    "cell {}/{total} `{}`: {converged}/{} converged, mean {mean_tx:.0} tx, {seconds:.2}s",
+                    record.index + 1,
+                    record.name,
+                    record.trials.len()
+                );
+            }
+        },
+    )?;
+    if outcome.recovered_torn_tail {
+        println!("note: dropped a torn trailing log line (interrupted append); its cell re-ran");
+    }
+    if !outcome.complete() {
+        println!(
+            "stopped early after {} executed cell(s); {} cell(s) remain — re-run with --resume",
+            outcome.executed, outcome.remaining
+        );
+    }
+
+    let mut aggregator = SweepAggregator::new();
+    for record in &outcome.records {
+        aggregator.push(record);
+    }
+    let report = SweepReport::new(spec.name.clone(), spec.cell_count(), aggregator.finish());
+    println!();
+    println!("{}", report.markdown());
+    if let Some(dir) = report_dir {
+        let written = report.write_dir(Path::new(&dir))?;
+        for path in written {
+            println!("wrote {}", path.display());
+        }
+    }
+    Ok(())
+}
+
+/// `geogossip validate <spec.json>`: parses and validates a scenario spec,
+/// scenario bundle, or sweep spec without running anything. The process
+/// exits non-zero (via `main`) with the precise schema error on failure.
+fn validate(args: &[String]) -> Result<(), ProtocolError> {
+    let [path] = args else {
+        return Err(ProtocolError::malformed(
+            "usage: geogossip validate <spec.json>",
+        ));
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ProtocolError::malformed(format!("cannot read `{path}`: {e}")))?;
+    let doc =
+        JsonValue::parse(&text).map_err(|e| ProtocolError::malformed(format!("{path}: {e}")))?;
+    if SweepSpec::is_sweep_document(&doc) {
+        let spec = SweepSpec::from_json_value(&doc)
+            .map_err(|e| ProtocolError::malformed(format!("{path}: {e}")))?;
+        println!(
+            "ok: sweep `{}` ({} cells, {} trial(s) each)",
+            spec.name,
+            spec.cell_count(),
+            spec.trials
+        );
+    } else {
+        let specs = ScenarioSpec::load_file(path)?;
+        let names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        println!("ok: {} scenario(s): {}", specs.len(), names.join(", "));
     }
     Ok(())
 }

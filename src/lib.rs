@@ -17,6 +17,7 @@
 //! | [`sim`] | `geogossip-sim` | Poisson clocks, the asynchronous engine, transmission accounting |
 //! | [`core`] | `geogossip-core` | the gossip protocols (pairwise, geographic, hierarchical affine) and the Lemma 1/2 models |
 //! | [`analysis`] | `geogossip-analysis` | statistics, power-law fits, occupancy checks, table rendering |
+//! | [`lab`] | `geogossip-lab` | sweep lab: checkpointed parameter-grid campaigns, streaming aggregation, scaling verdicts |
 //!
 //! # Quickstart
 //!
@@ -61,5 +62,6 @@ pub use geogossip_analysis as analysis;
 pub use geogossip_core as core;
 pub use geogossip_geometry as geometry;
 pub use geogossip_graph as graph;
+pub use geogossip_lab as lab;
 pub use geogossip_routing as routing;
 pub use geogossip_sim as sim;

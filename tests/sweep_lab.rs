@@ -1,0 +1,226 @@
+//! Integration tests for the sweep lab (mirroring `tests/scenario_api.rs`):
+//!
+//! 1. `SweepSpec` round-trips through JSON and hard-errors on unknown keys.
+//! 2. Sweep execution is deterministic: a parallel-trials run, a re-run, and
+//!    a killed-and-resumed run all produce bit-identical results logs
+//!    (modulo wall-clock fields, which are excluded from record equality)
+//!    and byte-identical reports.
+//! 3. The results log is append-only: resuming never rewrites the bytes a
+//!    previous invocation committed.
+
+use geogossip::core::registry::builtin_runner;
+use geogossip::lab::{run_sweep, ResultsLog, SweepAggregator, SweepOptions, SweepReport};
+use geogossip::sim::scenario::{derive_cell_seed, ProtocolSpec, RadiusSpec, SweepSpec};
+use geogossip_geometry::Topology;
+use std::path::PathBuf;
+
+fn tiny_sweep() -> SweepSpec {
+    SweepSpec::new(
+        "it-sweep",
+        vec![48, 96],
+        vec![
+            ProtocolSpec::named("pairwise"),
+            ProtocolSpec::named("geographic"),
+        ],
+    )
+    .with_trials(2)
+    .with_epsilons(vec![0.3])
+    .with_seed(411)
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("geogossip-sweep-it");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn sweep_spec_round_trips_through_json() {
+    // A sweep touching every axis branch: multiple placements, radii,
+    // surfaces, epsilons, a protocol with params, disabled transmission cap.
+    let mut sweep = tiny_sweep().with_epsilons(vec![0.1, 0.3]);
+    sweep.protocols.push(
+        ProtocolSpec::named("affine-idealized")
+            .with_number("coefficient-fraction", 0.3)
+            .with_text("local-averaging", "exact"),
+    );
+    sweep.surfaces = vec![Topology::UnitSquare, Topology::Torus];
+    sweep.radii = vec![
+        RadiusSpec::ConnectivityConstant(1.5),
+        RadiusSpec::Absolute(0.25),
+    ];
+    sweep.max_transmissions = None;
+
+    let json = sweep.to_json();
+    let parsed = SweepSpec::from_json(&json).expect("round trip parses");
+    assert_eq!(parsed, sweep);
+    assert_eq!(
+        parsed.to_json(),
+        json,
+        "JSON → sweep → JSON is a fixed point"
+    );
+
+    // Unknown keys are hard errors at every level of the schema.
+    for (bad, fragment) in [
+        (
+            json.replace("\"trials\"", "\"triais\""),
+            "unknown sweep key",
+        ),
+        (json.replace("\"epsilon\"", "\"epsilonn\""), "unknown axis"),
+    ] {
+        let err = SweepSpec::from_json(&bad).expect_err("unknown key accepted");
+        assert!(
+            err.to_string().contains(fragment),
+            "expected `{fragment}` in `{err}`"
+        );
+    }
+}
+
+#[test]
+fn expanded_cells_reproduce_the_documented_seed_derivation() {
+    let sweep = tiny_sweep();
+    for cell in sweep.expand() {
+        assert_eq!(cell.spec.seed, derive_cell_seed(sweep.seed, cell.index));
+        assert!(cell.spec.name.starts_with("it-sweep/c"));
+    }
+}
+
+#[test]
+fn parallel_rerun_and_resumed_runs_are_bit_identical() {
+    let runner = builtin_runner();
+    let sweep = tiny_sweep();
+
+    // Reference: one uninterrupted in-memory run (trials rayon-parallel
+    // inside each cell).
+    let reference =
+        run_sweep(&runner, &sweep, None, &SweepOptions::default(), |_| {}).expect("sweep runs");
+    assert!(reference.complete());
+    assert_eq!(reference.records.len(), 4);
+
+    // A re-run is bit-identical (record equality already excludes the
+    // wall-clock fields).
+    let rerun =
+        run_sweep(&runner, &sweep, None, &SweepOptions::default(), |_| {}).expect("sweep re-runs");
+    assert_eq!(reference.records, rerun.records);
+
+    // Killed-after-1-cell, resumed-in-two-steps run against a log.
+    let log = temp_path("resume.jsonl");
+    run_sweep(
+        &runner,
+        &sweep,
+        Some(&log),
+        &SweepOptions {
+            resume: false,
+            max_cells: Some(1),
+        },
+        |_| {},
+    )
+    .expect("partial run");
+    let bytes_after_kill = std::fs::read(&log).expect("log written");
+    run_sweep(
+        &runner,
+        &sweep,
+        Some(&log),
+        &SweepOptions {
+            resume: true,
+            max_cells: Some(2),
+        },
+        |_| {},
+    )
+    .expect("first resume");
+    let resumed = run_sweep(
+        &runner,
+        &sweep,
+        Some(&log),
+        &SweepOptions {
+            resume: true,
+            max_cells: None,
+        },
+        |_| {},
+    )
+    .expect("final resume");
+    assert!(resumed.complete());
+    assert_eq!(resumed.skipped, 3);
+    assert_eq!(resumed.records, reference.records);
+
+    // Append-only discipline: the bytes committed before the kill are a
+    // prefix of the final log.
+    let final_bytes = std::fs::read(&log).expect("log read");
+    assert!(
+        final_bytes.starts_with(&bytes_after_kill),
+        "resume rewrote already-committed log bytes"
+    );
+    // And loading the log back yields the reference records.
+    let loaded = ResultsLog::load(&log).expect("log parses");
+    assert!(!loaded.dropped_torn_tail);
+    assert_eq!(loaded.records, reference.records);
+
+    // The derived report is *byte*-identical between the uninterrupted and
+    // the resumed run: the equality-checked report set carries no wall-clock
+    // fields at all.
+    let render = |records: &[geogossip::lab::CellRecord]| {
+        let mut agg = SweepAggregator::new();
+        for r in records {
+            agg.push(r);
+        }
+        let report = SweepReport::new("it-sweep", 4, agg.finish());
+        (
+            report.markdown(),
+            report.cells_table().to_csv(),
+            report.fits_table().to_csv(),
+            report.to_json_value().pretty(),
+        )
+    };
+    assert_eq!(render(&reference.records), render(&resumed.records));
+
+    let _ = std::fs::remove_file(&log);
+}
+
+#[test]
+fn torn_log_tail_recovers_on_resume() {
+    let runner = builtin_runner();
+    let sweep = tiny_sweep();
+    let log = temp_path("torn.jsonl");
+    run_sweep(
+        &runner,
+        &sweep,
+        Some(&log),
+        &SweepOptions {
+            resume: false,
+            max_cells: Some(2),
+        },
+        |_| {},
+    )
+    .expect("partial run");
+    // Simulate a kill mid-append: truncate the final line in half.
+    let text = std::fs::read_to_string(&log).unwrap();
+    let keep = text.len() - text.lines().last().unwrap().len() / 2 - 1;
+    std::fs::write(&log, &text[..keep]).unwrap();
+
+    let resumed = run_sweep(
+        &runner,
+        &sweep,
+        Some(&log),
+        &SweepOptions {
+            resume: true,
+            max_cells: None,
+        },
+        |_| {},
+    )
+    .expect("resume over torn tail");
+    assert!(resumed.recovered_torn_tail);
+    assert!(resumed.complete());
+    // The torn cell re-ran; results still match an uninterrupted run.
+    let reference =
+        run_sweep(&runner, &sweep, None, &SweepOptions::default(), |_| {}).expect("reference run");
+    assert_eq!(resumed.records, reference.records);
+    // The repaired log parses cleanly end to end: the torn fragment was
+    // truncated before the resumed appends, so no garbled interior line
+    // survives for the *next* resume to choke on.
+    let reloaded = ResultsLog::load(&log).expect("repaired log parses cleanly");
+    assert!(!reloaded.dropped_torn_tail);
+    assert_eq!(reloaded.records, reference.records);
+    let _ = std::fs::remove_file(&log);
+}
