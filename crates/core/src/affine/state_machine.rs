@@ -39,6 +39,7 @@ use geogossip_routing::flood::flood_cell;
 use geogossip_routing::greedy::route_terminus_to_node;
 use geogossip_sim::clock::Tick;
 use geogossip_sim::engine::{Activation, SquaredError};
+use geogossip_sim::fault::{FaultContext, FaultSupport};
 use geogossip_sim::metrics::TransmissionCounter;
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
@@ -329,8 +330,15 @@ impl<'a> AffineStateMachine<'a> {
     }
 
     /// `Near(s)`: average with a uniformly random neighbor inside `s`'s leaf
-    /// square (Section 4.2).
-    fn near<R: Rng + ?Sized>(&mut self, s: usize, tx: &mut TransmissionCounter, rng: &mut R) {
+    /// square (Section 4.2). A dropped exchange still costs its two packets
+    /// but applies no averaging; stale endpoints keep their old value.
+    fn near<R: Rng + ?Sized>(
+        &mut self,
+        s: usize,
+        tx: &mut TransmissionCounter,
+        rng: &mut R,
+        faults: &FaultContext<'_>,
+    ) {
         let leaf = self.hierarchy.leaf_of(NodeId(s));
         let members = self.hierarchy.members(leaf);
         // Candidate partners: graph neighbors that share the leaf square.
@@ -345,16 +353,31 @@ impl<'a> AffineStateMachine<'a> {
             return;
         }
         let v = candidates[rng.gen_range(0..candidates.len())];
-        let (ns, nv) = convex_average(self.state.value(s), self.state.value(v));
-        self.state.set(s, ns);
-        self.state.set(v, nv);
         tx.charge_local(2);
+        if faults.dropped {
+            return;
+        }
+        let (ns, nv) = convex_average(self.state.value(s), self.state.value(v));
+        if !faults.is_stale(s) {
+            self.state.set(s, ns);
+        }
+        if !faults.is_stale(v) {
+            self.state.set(v, nv);
+        }
         self.stats.near_exchanges += 1;
     }
 
     /// `Far(s)` for the square at arena index `cell`: affine exchange with the
-    /// leader of a uniformly random sibling square (Section 4.2).
-    fn far<R: Rng + ?Sized>(&mut self, cell: usize, tx: &mut TransmissionCounter, rng: &mut R) {
+    /// leader of a uniformly random sibling square (Section 4.2). A dropped
+    /// exchange pays the full round trip but applies no affine update and
+    /// resets no counter; stale leaders keep their own value.
+    fn far<R: Rng + ?Sized>(
+        &mut self,
+        cell: usize,
+        tx: &mut TransmissionCounter,
+        rng: &mut R,
+        faults: &FaultContext<'_>,
+    ) {
         if self.siblings[cell].is_empty() {
             return;
         }
@@ -374,6 +397,11 @@ impl<'a> AffineStateMachine<'a> {
             self.stats.failed_routes += 1;
         }
         tx.charge_routing((out.hops + back.hops) as u64);
+        if faults.dropped {
+            // The packet was lost in flight: no affine update lands, and
+            // neither counter resets — the squares just keep averaging.
+            return;
+        }
 
         // Scale the coefficient by the smaller realized population of the two
         // squares (see `CoefficientRule` for why the paper's E#-based value is
@@ -389,8 +417,12 @@ impl<'a> AffineStateMachine<'a> {
             self.state.value(s_prime.index()),
         );
         let (ns, np) = affine_exchange(xs, xp, alpha);
-        self.state.set(s.index(), ns);
-        self.state.set(s_prime.index(), np);
+        if !faults.is_stale(s.index()) {
+            self.state.set(s.index(), ns);
+        }
+        if !faults.is_stale(s_prime.index()) {
+            self.state.set(s_prime.index(), np);
+        }
         self.stats.far_exchanges += 1;
 
         // Both squares must re-average: reset both counters so the next tick
@@ -478,6 +510,7 @@ impl<'a> AffineStateMachine<'a> {
         cell: usize,
         tx: &mut TransmissionCounter,
         rng: &mut R,
+        faults: &FaultContext<'_>,
     ) {
         let depth = self.hierarchy.partition().cell(cell).depth();
         if !self.global_state[cell] {
@@ -501,7 +534,7 @@ impl<'a> AffineStateMachine<'a> {
             // leader's next tick.
             let p_far = self.schedule.far_probability(depth);
             if p_far > 0.0 && !self.siblings[cell].is_empty() && rng.gen::<f64>() < p_far {
-                self.far(cell, tx, rng);
+                self.far(cell, tx, rng, faults);
             }
         }
     }
@@ -512,17 +545,33 @@ impl AffineStateMachine<'_> {
     /// object-safe [`Activation::on_tick`] forwards here with a `dyn` RNG.
     #[inline]
     pub fn step<R: Rng + ?Sized>(&mut self, tick: Tick, tx: &mut TransmissionCounter, rng: &mut R) {
+        let none = FaultContext::new(false, &[], &[]);
+        self.step_faulty(tick, tx, rng, &none);
+    }
+
+    /// One tick under fault injection: data-plane exchanges (`Near`, `Far`)
+    /// honour drops and stale sensors, while the control plane
+    /// (`Activate.square` / `Deactivate.square`) is assumed reliable — losing
+    /// control floods would wedge the state machine rather than degrade it,
+    /// which is a different failure model than lossy data transmission.
+    pub fn step_faulty<R: Rng + ?Sized>(
+        &mut self,
+        tick: Tick,
+        tx: &mut TransmissionCounter,
+        rng: &mut R,
+        faults: &FaultContext<'_>,
+    ) {
         let s = tick.node.index();
         // Leader duties for every square this sensor leads (usually at most
         // one; ties at small n are handled by iterating).
         let led = self.led_cells[s].clone();
         for cell in led {
-            self.square_tick(cell, tx, rng);
+            self.square_tick(cell, tx, rng, faults);
         }
         // Everyone — leaders included — participates in local averaging while
         // their leaf square is active.
         if self.local_state[s] {
-            self.near(s, tx, rng);
+            self.near(s, tx, rng, faults);
         }
     }
 }
@@ -530,6 +579,23 @@ impl AffineStateMachine<'_> {
 impl Activation for AffineStateMachine<'_> {
     fn on_tick(&mut self, tick: Tick, tx: &mut TransmissionCounter, rng: &mut dyn RngCore) {
         self.step(tick, tx, rng);
+    }
+
+    fn fault_support(&self) -> FaultSupport {
+        // Churn is out of scope for the hierarchical protocol: killing a
+        // leader would orphan its square, which needs leader re-election to
+        // degrade gracefully — not silently wrong behavior.
+        FaultSupport::loss_and_stale()
+    }
+
+    fn on_tick_faulty(
+        &mut self,
+        tick: Tick,
+        tx: &mut TransmissionCounter,
+        rng: &mut dyn RngCore,
+        faults: &FaultContext<'_>,
+    ) {
+        self.step_faulty(tick, tx, rng, faults);
     }
 
     fn relative_error(&self) -> f64 {
@@ -637,6 +703,28 @@ mod tests {
         assert!(stats.far_exchanges > 0, "no long-range exchanges happened");
         assert!(stats.near_exchanges > 0, "no local exchanges happened");
         assert!(stats.activations > 0);
+    }
+
+    #[test]
+    fn dropped_data_exchanges_leave_values_untouched_but_the_control_plane_runs() {
+        let g = graph(224, 10);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let values = InitialCondition::Spike.generate(g.len(), &mut rng);
+        let mut protocol = AffineStateMachine::practical(&g, values).unwrap();
+        let before = protocol.state().values().to_vec();
+        let mut clock = geogossip_sim::GlobalPoissonClock::new(g.len());
+        let mut tx = TransmissionCounter::new();
+        let dropped = FaultContext::new(true, &[], &[]);
+        for _ in 0..50_000 {
+            let tick = clock.next_tick(&mut rng);
+            protocol.step_faulty(tick, &mut tx, &mut rng, &dropped);
+        }
+        assert_eq!(protocol.state().values(), &before[..]);
+        let stats = protocol.stats();
+        assert_eq!(stats.near_exchanges, 0);
+        assert_eq!(stats.far_exchanges, 0);
+        assert!(stats.activations > 0, "the control plane keeps running");
+        assert!(tx.total() > 0, "dropped exchanges still cost transmissions");
     }
 
     #[test]

@@ -12,10 +12,13 @@ use crate::error::ProtocolError;
 use crate::state::GossipState;
 use crate::update::convex_average;
 use geogossip_graph::GeometricGraph;
-use geogossip_routing::greedy::{route_terminus, route_terminus_to_node};
+use geogossip_routing::greedy::{
+    route_terminus, route_terminus_masked, route_terminus_to_node, route_terminus_to_node_masked,
+};
 use geogossip_routing::target::TargetSelector;
 use geogossip_sim::clock::Tick;
 use geogossip_sim::engine::{Activation, SquaredError};
+use geogossip_sim::fault::{FaultContext, FaultSupport};
 use geogossip_sim::metrics::TransmissionCounter;
 use rand::{Rng, RngCore};
 
@@ -167,11 +170,100 @@ impl<'a> GeographicGossip<'a> {
         tx.charge_routing((outbound_hops + back.hops) as u64);
         self.exchanges += 1;
     }
+
+    /// One tick under fault injection. Routing skips dead sensors (the walk
+    /// degrades gracefully: it stops at the nearest *live* local minimum, so
+    /// a round whose target region has died exchanges with the closest
+    /// surviving sensor instead); a dropped round still pays every routed hop
+    /// but applies no averaging; stale endpoints keep their old value.
+    pub fn step_faulty<R: Rng + ?Sized>(
+        &mut self,
+        tick: Tick,
+        tx: &mut TransmissionCounter,
+        rng: &mut R,
+        faults: &FaultContext<'_>,
+    ) {
+        if self.graph.len() < 2 {
+            return;
+        }
+        let s = tick.node;
+        let alive = faults.alive_mask();
+        let (partner, outbound_hops) = match &self.selector {
+            TargetSelector::NearestToUniformPosition => {
+                let target = geogossip_geometry::sampling::uniform_point_in(
+                    geogossip_geometry::unit_square(),
+                    rng,
+                );
+                let outcome = if alive.is_empty() {
+                    route_terminus(self.graph, s, target)
+                } else {
+                    route_terminus_masked(self.graph, s, target, alive)
+                };
+                (outcome.terminus, outcome.hops)
+            }
+            selector => {
+                let Some(partner) = selector.draw(self.graph, s, rng) else {
+                    return;
+                };
+                let (outcome, delivered) = if alive.is_empty() {
+                    route_terminus_to_node(self.graph, s, partner)
+                } else {
+                    route_terminus_to_node_masked(self.graph, s, partner, alive)
+                };
+                if !delivered {
+                    self.failed_routes += 1;
+                }
+                (outcome.terminus, outcome.hops)
+            }
+        };
+        if partner == s {
+            return;
+        }
+        let (back, back_delivered) = if alive.is_empty() {
+            route_terminus_to_node(self.graph, partner, s)
+        } else {
+            route_terminus_to_node_masked(self.graph, partner, s, alive)
+        };
+        if !back_delivered {
+            self.failed_routes += 1;
+        }
+        // The packets travelled the full route either way: a dropped round is
+        // cost without progress.
+        tx.charge_routing((outbound_hops + back.hops) as u64);
+        if faults.dropped {
+            return;
+        }
+        let (new_s, new_p) = convex_average(
+            self.state.value(s.index()),
+            self.state.value(partner.index()),
+        );
+        if !faults.is_stale(s.index()) {
+            self.state.set(s.index(), new_s);
+        }
+        if !faults.is_stale(partner.index()) {
+            self.state.set(partner.index(), new_p);
+        }
+        self.exchanges += 1;
+    }
 }
 
 impl Activation for GeographicGossip<'_> {
     fn on_tick(&mut self, tick: Tick, tx: &mut TransmissionCounter, rng: &mut dyn RngCore) {
         self.step(tick, tx, rng);
+    }
+
+    fn fault_support(&self) -> FaultSupport {
+        FaultSupport::all()
+    }
+
+    fn on_tick_faulty(
+        &mut self,
+        tick: Tick,
+        tx: &mut TransmissionCounter,
+        rng: &mut dyn RngCore,
+        faults: &FaultContext<'_>,
+    ) {
+        self.step_faulty(tick, tx, rng, faults);
     }
 
     fn relative_error(&self) -> f64 {
@@ -302,6 +394,85 @@ mod tests {
             &mut rng,
         );
         assert!(report.converged());
+    }
+
+    #[test]
+    fn faulty_step_matches_plain_step_without_faults() {
+        let g = graph(96, 12);
+        let mut rng_a = ChaCha8Rng::seed_from_u64(13);
+        let mut rng_b = rng_a.clone();
+        let values = InitialCondition::Spike.generate(g.len(), &mut rng_a);
+        let _ = InitialCondition::Spike.generate(g.len(), &mut rng_b);
+        let mut plain = GeographicGossip::new(&g, values.clone()).unwrap();
+        let mut faulty = GeographicGossip::new(&g, values).unwrap();
+        let mut clock_a = geogossip_sim::GlobalPoissonClock::new(g.len());
+        let mut clock_b = geogossip_sim::GlobalPoissonClock::new(g.len());
+        let mut tx_a = TransmissionCounter::new();
+        let mut tx_b = TransmissionCounter::new();
+        let none = FaultContext::new(false, &[], &[]);
+        for _ in 0..2_000 {
+            let ta = clock_a.next_tick(&mut rng_a);
+            let tb = clock_b.next_tick(&mut rng_b);
+            plain.step(ta, &mut tx_a, &mut rng_a);
+            faulty.step_faulty(tb, &mut tx_b, &mut rng_b, &none);
+        }
+        assert_eq!(plain.state().values(), faulty.state().values());
+        assert_eq!(tx_a.total(), tx_b.total());
+        assert_eq!(plain.exchanges(), faulty.exchanges());
+    }
+
+    #[test]
+    fn dropped_rounds_pay_their_hops_without_averaging() {
+        let g = graph(96, 14);
+        let mut rng = ChaCha8Rng::seed_from_u64(15);
+        let values = InitialCondition::Spike.generate(g.len(), &mut rng);
+        let mut gossip = GeographicGossip::new(&g, values).unwrap();
+        let mut clock = geogossip_sim::GlobalPoissonClock::new(g.len());
+        let mut tx = TransmissionCounter::new();
+        let before = gossip.state().values().to_vec();
+        let dropped = FaultContext::new(true, &[], &[]);
+        for _ in 0..500 {
+            let tick = clock.next_tick(&mut rng);
+            gossip.step_faulty(tick, &mut tx, &mut rng, &dropped);
+        }
+        assert_eq!(gossip.state().values(), &before[..]);
+        assert_eq!(gossip.exchanges(), 0);
+        assert!(tx.routing() > 0, "dropped rounds still pay routed hops");
+    }
+
+    #[test]
+    fn routes_exchange_with_a_live_partner_when_the_target_region_is_dead() {
+        let g = graph(256, 16);
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let values = InitialCondition::Ramp.generate(g.len(), &mut rng);
+        // Kill the right half of the square; all activations come from live
+        // sensors (the wrapper guarantees that), so only routing sees death.
+        let alive: Vec<bool> = (0..g.len()).map(|i| g.position(i.into()).x < 0.5).collect();
+        let mut gossip = GeographicGossip::new(&g, values).unwrap();
+        let mut clock = geogossip_sim::GlobalPoissonClock::new(g.len());
+        let mut tx = TransmissionCounter::new();
+        let ctx = FaultContext::new(false, &alive, &[]);
+        let before = gossip.state().values().to_vec();
+        let mut exchanged = 0u64;
+        for _ in 0..2_000 {
+            let tick = clock.next_tick(&mut rng);
+            if !alive[tick.node.index()] {
+                continue;
+            }
+            gossip.step_faulty(tick, &mut tx, &mut rng, &ctx);
+            exchanged = gossip.exchanges();
+        }
+        assert!(exchanged > 0, "live sensors keep exchanging");
+        // Dead sensors never move: they are neither partners nor termini.
+        for (i, (&b, &a)) in before
+            .iter()
+            .zip(gossip.state().values().iter())
+            .enumerate()
+        {
+            if !alive[i] {
+                assert_eq!(b, a, "dead sensor {i} changed value");
+            }
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::update::convex_average;
 use geogossip_graph::GeometricGraph;
 use geogossip_sim::clock::Tick;
 use geogossip_sim::engine::{Activation, SquaredError};
+use geogossip_sim::fault::{FaultContext, FaultSupport};
 use geogossip_sim::metrics::TransmissionCounter;
 use rand::{Rng, RngCore};
 
@@ -112,11 +113,78 @@ impl<'a> PairwiseGossip<'a> {
         tx.charge_local(2);
         self.exchanges += 1;
     }
+
+    /// One tick under fault injection. A dead partner is never selected (the
+    /// uniform choice is over *live* neighbors only); a dropped exchange still
+    /// costs its two packets but applies no averaging; a stale endpoint keeps
+    /// its old value while its partner updates normally — which is exactly
+    /// what makes stale sensors drag the achievable error floor.
+    pub fn step_faulty<R: Rng + ?Sized>(
+        &mut self,
+        tick: Tick,
+        tx: &mut TransmissionCounter,
+        rng: &mut R,
+        faults: &FaultContext<'_>,
+    ) {
+        let s = tick.node.index();
+        let neighbors = self.graph.neighbors(tick.node);
+        let v = if faults.any_dead() {
+            let live = neighbors
+                .iter()
+                .filter(|&&v| faults.is_alive(v as usize))
+                .count();
+            if live == 0 {
+                self.isolated_activations += 1;
+                return;
+            }
+            let pick = rng.gen_range(0..live);
+            neighbors
+                .iter()
+                .copied()
+                .filter(|&v| faults.is_alive(v as usize))
+                .nth(pick)
+                .expect("pick < live neighbor count") as usize
+        } else {
+            if neighbors.is_empty() {
+                self.isolated_activations += 1;
+                return;
+            }
+            neighbors[rng.gen_range(0..neighbors.len())] as usize
+        };
+        // The packets travel either way: a dropped exchange is cost without
+        // progress.
+        tx.charge_local(2);
+        if faults.dropped {
+            return;
+        }
+        let (new_s, new_v) = convex_average(self.state.value(s), self.state.value(v));
+        if !faults.is_stale(s) {
+            self.state.set(s, new_s);
+        }
+        if !faults.is_stale(v) {
+            self.state.set(v, new_v);
+        }
+        self.exchanges += 1;
+    }
 }
 
 impl Activation for PairwiseGossip<'_> {
     fn on_tick(&mut self, tick: Tick, tx: &mut TransmissionCounter, rng: &mut dyn RngCore) {
         self.step(tick, tx, rng);
+    }
+
+    fn fault_support(&self) -> FaultSupport {
+        FaultSupport::all()
+    }
+
+    fn on_tick_faulty(
+        &mut self,
+        tick: Tick,
+        tx: &mut TransmissionCounter,
+        rng: &mut dyn RngCore,
+        faults: &FaultContext<'_>,
+    ) {
+        self.step_faulty(tick, tx, rng, faults);
     }
 
     fn relative_error(&self) -> f64 {
@@ -225,6 +293,117 @@ mod tests {
         assert!(!report.converged());
         assert_eq!(gossip.isolated_activations(), 100);
         assert_eq!(report.transmissions.total(), 0);
+    }
+
+    #[test]
+    fn faulty_step_matches_plain_step_without_faults() {
+        let g = graph(64, 9);
+        let mut rng_a = ChaCha8Rng::seed_from_u64(10);
+        let mut rng_b = rng_a.clone();
+        let values = InitialCondition::Bimodal.generate(g.len(), &mut rng_a);
+        let _ = InitialCondition::Bimodal.generate(g.len(), &mut rng_b);
+        let mut plain = PairwiseGossip::new(&g, values.clone()).unwrap();
+        let mut faulty = PairwiseGossip::new(&g, values).unwrap();
+        let mut clock_a = geogossip_sim::GlobalPoissonClock::new(g.len());
+        let mut clock_b = geogossip_sim::GlobalPoissonClock::new(g.len());
+        let mut tx_a = TransmissionCounter::new();
+        let mut tx_b = TransmissionCounter::new();
+        let none = FaultContext::new(false, &[], &[]);
+        for _ in 0..2_000 {
+            let ta = clock_a.next_tick(&mut rng_a);
+            let tb = clock_b.next_tick(&mut rng_b);
+            plain.step(ta, &mut tx_a, &mut rng_a);
+            faulty.step_faulty(tb, &mut tx_b, &mut rng_b, &none);
+        }
+        assert_eq!(plain.state().values(), faulty.state().values());
+        assert_eq!(tx_a.total(), tx_b.total());
+        assert_eq!(plain.exchanges(), faulty.exchanges());
+    }
+
+    #[test]
+    fn dropped_exchanges_cost_packets_but_change_nothing() {
+        let g = graph(32, 11);
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let values = InitialCondition::Bimodal.generate(g.len(), &mut rng);
+        let mut gossip = PairwiseGossip::new(&g, values).unwrap();
+        let mut clock = geogossip_sim::GlobalPoissonClock::new(g.len());
+        let mut tx = TransmissionCounter::new();
+        let before = gossip.state().values().to_vec();
+        let dropped = FaultContext::new(true, &[], &[]);
+        for _ in 0..100 {
+            let tick = clock.next_tick(&mut rng);
+            gossip.step_faulty(tick, &mut tx, &mut rng, &dropped);
+        }
+        assert_eq!(gossip.state().values(), &before[..]);
+        assert_eq!(gossip.exchanges(), 0);
+        assert_eq!(tx.total(), 200, "drops still cost two packets each");
+    }
+
+    #[test]
+    fn dead_neighbors_are_never_selected_and_stale_nodes_never_move() {
+        // Line graph 0–1–2: node 1 dead, node 2 stale.
+        let g = GeometricGraph::build(
+            vec![
+                Point::new(0.1, 0.5),
+                Point::new(0.2, 0.5),
+                Point::new(0.3, 0.5),
+            ],
+            0.12,
+        );
+        let alive = [true, false, true];
+        let stale = [false, false, true];
+        let mut gossip = PairwiseGossip::new(&g, vec![0.0, 10.0, 1.0]).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let mut tx = TransmissionCounter::new();
+        let ctx = FaultContext::new(false, &alive, &stale);
+        // Node 0's only neighbor (1) is dead: isolated, nothing charged.
+        gossip.step_faulty(
+            Tick {
+                index: 1,
+                time: 0.1,
+                node: 0.into(),
+            },
+            &mut tx,
+            &mut rng,
+            &ctx,
+        );
+        assert_eq!(gossip.isolated_activations(), 1);
+        assert_eq!(tx.total(), 0);
+        assert_eq!(gossip.state().value(0), 0.0);
+        // Node 2 is stale: its activation averages the partner but keeps its
+        // own value. Its only live... node 1 is its only neighbor and dead.
+        gossip.step_faulty(
+            Tick {
+                index: 2,
+                time: 0.2,
+                node: 2.into(),
+            },
+            &mut tx,
+            &mut rng,
+            &ctx,
+        );
+        assert_eq!(gossip.isolated_activations(), 2);
+        // Revive node 1, keep node 2 stale: 2's activation must select 1
+        // (its only neighbor), move 1 toward the average, and keep 2 fixed.
+        let all_alive = [true, true, true];
+        let ctx = FaultContext::new(false, &all_alive, &stale);
+        gossip.step_faulty(
+            Tick {
+                index: 3,
+                time: 0.3,
+                node: 2.into(),
+            },
+            &mut tx,
+            &mut rng,
+            &ctx,
+        );
+        assert_eq!(gossip.state().value(2), 1.0, "stale sensors never update");
+        assert_eq!(
+            gossip.state().value(1),
+            5.5,
+            "the live partner still averages"
+        );
+        assert_eq!(gossip.exchanges(), 1);
     }
 
     #[test]

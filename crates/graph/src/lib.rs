@@ -15,6 +15,9 @@
 //! * [`connectivity`] — BFS components, connectivity testing, and a union–find
 //!   structure used both by the graph code and by tests.
 //! * [`degree`] — degree distributions and summaries.
+//! * [`liveness`] — a [`LivenessMask`] bitmap kept alongside the immutable
+//!   CSR adjacency, so fault-injection scenarios can crash and revive nodes
+//!   without touching the graph itself.
 //! * [`radius`] — empirical estimation of the connectivity threshold
 //!   `r(n) = c·sqrt(log n / n)` (the Gupta–Kumar regime the paper assumes).
 //!
@@ -40,10 +43,12 @@ pub mod connectivity;
 pub mod csr;
 pub mod degree;
 pub mod geometric;
+pub mod liveness;
 pub mod radius;
 
 pub use connectivity::{ConnectivityReport, UnionFind};
 pub use csr::CsrAdjacency;
 pub use degree::DegreeSummary;
 pub use geometric::GeometricGraph;
+pub use liveness::LivenessMask;
 pub use radius::{connectivity_probability, ConnectivityScan};

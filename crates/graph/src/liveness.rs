@@ -1,0 +1,112 @@
+//! Node liveness tracking for fault-injection scenarios.
+//!
+//! A [`LivenessMask`] is a dense `alive` bitmap over node indices, maintained
+//! alongside (never inside) a [`GeometricGraph`](crate::GeometricGraph): the
+//! CSR adjacency stays immutable and shared, and fault-aware consumers skip
+//! dead rows by consulting the mask. This keeps the no-fault fast paths
+//! untouched — a graph with no mask behaves exactly as before.
+
+/// A dense liveness bitmap over the nodes of a graph.
+///
+/// Newly constructed masks mark every node alive. Killing a node is
+/// reversible ([`revive`](LivenessMask::revive)), which models churn: a node
+/// that rejoins keeps its (stale) state but becomes routable again.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LivenessMask {
+    alive: Vec<bool>,
+    dead: usize,
+}
+
+impl LivenessMask {
+    /// Creates a mask over `n` nodes, all alive.
+    pub fn all_alive(n: usize) -> Self {
+        LivenessMask {
+            alive: vec![true; n],
+            dead: 0,
+        }
+    }
+
+    /// The number of nodes the mask covers.
+    pub fn len(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Whether the mask covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.alive.is_empty()
+    }
+
+    /// Whether node `i` is alive. Out-of-range indices are dead.
+    pub fn is_alive(&self, i: usize) -> bool {
+        self.alive.get(i).copied().unwrap_or(false)
+    }
+
+    /// Marks node `i` dead. Idempotent.
+    pub fn kill(&mut self, i: usize) {
+        if self.alive[i] {
+            self.alive[i] = false;
+            self.dead += 1;
+        }
+    }
+
+    /// Marks node `i` alive again. Idempotent.
+    pub fn revive(&mut self, i: usize) {
+        if !self.alive[i] {
+            self.alive[i] = true;
+            self.dead -= 1;
+        }
+    }
+
+    /// How many nodes are currently alive.
+    pub fn alive_count(&self) -> usize {
+        self.alive.len() - self.dead
+    }
+
+    /// Whether any node is currently dead — fault-aware consumers use this
+    /// to keep the unmasked fast path while the mask is trivially all-true.
+    pub fn any_dead(&self) -> bool {
+        self.dead > 0
+    }
+
+    /// The raw bitmap, for masked scans (`slice[i]` ⇔ node `i` alive).
+    pub fn as_slice(&self) -> &[bool] {
+        &self.alive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_masks_are_all_alive() {
+        let mask = LivenessMask::all_alive(5);
+        assert_eq!(mask.len(), 5);
+        assert_eq!(mask.alive_count(), 5);
+        assert!(!mask.any_dead());
+        assert!((0..5).all(|i| mask.is_alive(i)));
+        assert!(!mask.is_alive(5));
+    }
+
+    #[test]
+    fn kill_and_revive_are_idempotent_and_tracked() {
+        let mut mask = LivenessMask::all_alive(4);
+        mask.kill(2);
+        mask.kill(2);
+        assert!(!mask.is_alive(2));
+        assert_eq!(mask.alive_count(), 3);
+        assert!(mask.any_dead());
+        mask.revive(2);
+        mask.revive(2);
+        assert!(mask.is_alive(2));
+        assert_eq!(mask.alive_count(), 4);
+        assert!(!mask.any_dead());
+    }
+
+    #[test]
+    fn slice_view_matches_queries() {
+        let mut mask = LivenessMask::all_alive(3);
+        mask.kill(0);
+        assert_eq!(mask.as_slice(), &[false, true, true]);
+    }
+}

@@ -226,7 +226,8 @@ impl SweepAggregator {
                 });
             }
         }
-        let verdicts = derive_verdicts(&fits);
+        let mut verdicts = derive_verdicts(&fits);
+        verdicts.extend(derive_degradation_verdicts(&self.cells));
         SweepAggregate {
             cells: self.cells,
             fits,
@@ -321,6 +322,203 @@ fn derive_verdicts(fits: &[GroupFit]) -> Vec<Verdict> {
         }
     }
     verdicts
+}
+
+/// Slack factor of the degradation verdicts: error floors must be monotone in
+/// fault severity and cost inflation bounded by `1/(1-p)` — each up to this
+/// multiplicative tolerance, absorbing trial noise without hiding regressions.
+pub const DEGRADATION_SLACK: f64 = 1.5;
+
+/// Upper drop rate below which convergence must still be reached (verdict
+/// V2): losing up to half of all transmissions slows gossip but cannot stall
+/// it, because every surviving exchange still contracts the error.
+pub const CONVERGENCE_DROP_CEILING: f64 = 0.5;
+
+/// The fault coordinates of one cell, parsed back out of its group key.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+struct FaultCoords {
+    drop: f64,
+    stale: f64,
+    churn: u64,
+}
+
+impl FaultCoords {
+    fn is_none(&self) -> bool {
+        self.drop == 0.0 && self.stale == 0.0 && self.churn == 0
+    }
+
+    /// Severity order: stale fraction dominates (it moves the floor), drop
+    /// rate breaks ties (it moves the cost), churn last.
+    fn severity(&self) -> (f64, f64, u64) {
+        (self.stale, self.drop, self.churn)
+    }
+}
+
+/// Splits a group key into its fault-free base and the fault coordinates the
+/// final segment encodes (`…/eps=0.05/drop=0.1+stale=0.05`). Groups without
+/// a fault segment — every pre-fault log line — parse as no-fault.
+fn split_fault_group(group: &str) -> (&str, FaultCoords) {
+    let Some((base, tail)) = group.rsplit_once('/') else {
+        return (group, FaultCoords::default());
+    };
+    let mut coords = FaultCoords::default();
+    let mut recognised = !tail.is_empty();
+    for part in tail.split('+') {
+        match part.split_once('=') {
+            Some(("drop", v)) => coords.drop = v.parse().unwrap_or(0.0),
+            Some(("stale", v)) => coords.stale = v.parse().unwrap_or(0.0),
+            Some(("churn", v)) => coords.churn = v.parse().unwrap_or(0),
+            _ => recognised = false,
+        }
+    }
+    if recognised {
+        (base, coords)
+    } else {
+        (group, FaultCoords::default())
+    }
+}
+
+/// Derives the degradation verdicts from the per-cell summaries, one triple
+/// per `(protocol, fault-free group, n)` series with at least two fault
+/// levels:
+///
+/// * **error floor monotone** — ordering the levels by severity
+///   (stale fraction, then drop rate), the mean final error never *drops* by
+///   more than [`DEGRADATION_SLACK`]: faults can only hurt accuracy;
+/// * **convergence retained** — every pure-loss level with
+///   `p ≤` [`CONVERGENCE_DROP_CEILING`] still converges on all trials;
+/// * **cost inflation bounded** — a pure-loss level at drop rate `p` costs at
+///   most `1/(1-p) ·` [`DEGRADATION_SLACK`] times the no-fault baseline:
+///   dropping a `p`-fraction of exchanges wastes exactly their cost, it does
+///   not compound.
+fn derive_degradation_verdicts(cells: &[CellSummary]) -> Vec<Verdict> {
+    fn base_name(protocol: &str) -> &str {
+        protocol.split('{').next().unwrap_or(protocol)
+    }
+    // (protocol, base group, n) → fault levels, insertion-ordered.
+    type LevelKey = (String, String, usize);
+    let mut series: Vec<(LevelKey, Vec<(FaultCoords, &CellSummary)>)> = Vec::new();
+    for cell in cells {
+        let (base_group, coords) = split_fault_group(&cell.group);
+        let key = (
+            base_name(&cell.protocol).to_string(),
+            base_group.to_string(),
+            cell.n,
+        );
+        match series.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, levels)) => levels.push((coords, cell)),
+            None => series.push((key, vec![(coords, cell)])),
+        }
+    }
+    let mut verdicts = Vec::new();
+    for ((protocol, base_group, n), mut levels) in series {
+        if levels.len() < 2 {
+            continue;
+        }
+        levels.sort_by(|a, b| {
+            a.0.severity()
+                .partial_cmp(&b.0.severity())
+                .expect("fault coordinates are finite")
+        });
+        let label = format!("{protocol}, {base_group}, n={n}");
+
+        // V1: the error floor is monotone in fault severity.
+        let mut floor_holds = true;
+        let mut floor_details = Vec::new();
+        for pair in levels.windows(2) {
+            let (lo, hi) = (&pair[0], &pair[1]);
+            if hi.1.mean_final_error * DEGRADATION_SLACK < lo.1.mean_final_error {
+                floor_holds = false;
+            }
+            floor_details.push(format!(
+                "err({}) = {:.4} → err({}) = {:.4}",
+                level_token(&lo.0),
+                lo.1.mean_final_error,
+                level_token(&hi.0),
+                hi.1.mean_final_error
+            ));
+        }
+        verdicts.push(Verdict {
+            claim: format!("error floor monotone in fault severity ({label})"),
+            holds: floor_holds,
+            details: floor_details.join("; "),
+        });
+
+        // V2: pure loss below the ceiling never costs convergence.
+        let mut conv_holds = true;
+        let mut conv_details = Vec::new();
+        for (coords, cell) in &levels {
+            if coords.stale == 0.0 && coords.churn == 0 && coords.drop <= CONVERGENCE_DROP_CEILING {
+                if cell.converged != cell.trials {
+                    conv_holds = false;
+                }
+                conv_details.push(format!(
+                    "{}: {}/{} trials converged",
+                    level_token(coords),
+                    cell.converged,
+                    cell.trials
+                ));
+            }
+        }
+        verdicts.push(Verdict {
+            claim: format!(
+                "convergence retained at drop rates ≤ {CONVERGENCE_DROP_CEILING} ({label})"
+            ),
+            holds: conv_holds,
+            details: conv_details.join("; "),
+        });
+
+        // V3: pure loss inflates cost by at most 1/(1-p), up to slack.
+        let baseline = levels
+            .iter()
+            .find(|(coords, _)| coords.is_none())
+            .map(|(_, cell)| cell.mean_transmissions);
+        let mut cost_holds = true;
+        let mut cost_details = Vec::new();
+        if let Some(baseline) = baseline {
+            for (coords, cell) in &levels {
+                if coords.drop > 0.0 && coords.stale == 0.0 && coords.churn == 0 {
+                    let bound = baseline * DEGRADATION_SLACK / (1.0 - coords.drop);
+                    if cell.mean_transmissions > bound {
+                        cost_holds = false;
+                    }
+                    cost_details.push(format!(
+                        "tx({}) = {:.0} vs bound {:.0} (baseline {:.0})",
+                        level_token(coords),
+                        cell.mean_transmissions,
+                        bound,
+                        baseline
+                    ));
+                }
+            }
+        }
+        if !cost_details.is_empty() {
+            verdicts.push(Verdict {
+                claim: format!("transmission cost inflation bounded by 1/(1-p) ({label})"),
+                holds: cost_holds,
+                details: cost_details.join("; "),
+            });
+        }
+    }
+    verdicts
+}
+
+/// Compact human token for one fault level (`none`, `drop=0.3`, …).
+fn level_token(coords: &FaultCoords) -> String {
+    if coords.is_none() {
+        return "none".into();
+    }
+    let mut parts = Vec::new();
+    if coords.drop > 0.0 {
+        parts.push(format!("drop={}", coords.drop));
+    }
+    if coords.stale > 0.0 {
+        parts.push(format!("stale={}", coords.stale));
+    }
+    if coords.churn > 0 {
+        parts.push(format!("churn={}", coords.churn));
+    }
+    parts.join("+")
 }
 
 #[cfg(test)]
@@ -499,6 +697,106 @@ mod tests {
         // The excluded cell still appears in the per-cell summaries.
         assert_eq!(result.cells.len(), 4);
         assert_eq!(result.cells[3].converged, 1);
+    }
+
+    /// A record at one fault level of the degradation ladder.
+    fn fault_record(
+        index: u64,
+        fault_tail: &str,
+        cost: u64,
+        final_error: f64,
+        converged: bool,
+    ) -> CellRecord {
+        let group = if fault_tail.is_empty() {
+            "unit-square/uniform-square/cc=1.5/eps=0.05".to_string()
+        } else {
+            format!("unit-square/uniform-square/cc=1.5/eps=0.05/{fault_tail}")
+        };
+        let mut t = trial(cost, 100);
+        t.final_error = final_error;
+        t.converged = converged;
+        CellRecord {
+            index,
+            name: format!("s/c{index:04}-pairwise-n96"),
+            protocol: "pairwise".into(),
+            group,
+            n: 96,
+            epsilon: 0.05,
+            trials: vec![t],
+        }
+    }
+
+    #[test]
+    fn fault_groups_split_into_base_and_coordinates() {
+        let (base, coords) =
+            split_fault_group("unit-square/uniform-square/cc=1.5/eps=0.05/drop=0.1+stale=0.05");
+        assert_eq!(base, "unit-square/uniform-square/cc=1.5/eps=0.05");
+        assert_eq!(coords.drop, 0.1);
+        assert_eq!(coords.stale, 0.05);
+        assert_eq!(coords.churn, 0);
+        // A fault-free group is its own base.
+        let (base, coords) = split_fault_group("unit-square/uniform-square/cc=1.5/eps=0.05");
+        assert_eq!(base, "unit-square/uniform-square/cc=1.5/eps=0.05");
+        assert!(coords.is_none());
+    }
+
+    #[test]
+    fn degradation_verdicts_pass_on_a_well_behaved_ladder() {
+        let mut agg = SweepAggregator::new();
+        agg.push(&fault_record(0, "", 1000, 0.048, true));
+        agg.push(&fault_record(1, "drop=0.1", 1100, 0.047, true));
+        agg.push(&fault_record(2, "drop=0.3", 1400, 0.049, true));
+        agg.push(&fault_record(3, "drop=0.1+stale=0.05", 1200, 0.09, false));
+        let result = agg.finish();
+        let degradation: Vec<&Verdict> = result
+            .verdicts
+            .iter()
+            .filter(|v| !v.claim.contains("exponent"))
+            .collect();
+        assert_eq!(degradation.len(), 3, "{:#?}", result.verdicts);
+        assert!(
+            degradation.iter().all(|v| v.holds),
+            "{:#?}",
+            result.verdicts
+        );
+        assert!(degradation
+            .iter()
+            .any(|v| v.claim.contains("error floor monotone")));
+        assert!(degradation
+            .iter()
+            .any(|v| v.claim.contains("convergence retained")));
+        assert!(degradation
+            .iter()
+            .any(|v| v.claim.contains("cost inflation bounded")));
+    }
+
+    #[test]
+    fn degradation_verdicts_flag_each_failure_mode() {
+        // Error floor *collapsing* under faults (nonsense → fail), a
+        // non-converged pure-drop cell below the ceiling, and runaway cost.
+        let mut agg = SweepAggregator::new();
+        agg.push(&fault_record(0, "", 1000, 0.048, true));
+        agg.push(&fault_record(1, "drop=0.3", 9000, 0.002, false));
+        let result = agg.finish();
+        let degradation: Vec<&Verdict> = result
+            .verdicts
+            .iter()
+            .filter(|v| !v.claim.contains("exponent"))
+            .collect();
+        assert_eq!(degradation.len(), 3);
+        assert!(
+            degradation.iter().all(|v| !v.holds),
+            "{:#?}",
+            result.verdicts
+        );
+    }
+
+    #[test]
+    fn degradation_verdicts_need_at_least_two_fault_levels() {
+        let mut agg = SweepAggregator::new();
+        agg.push(&fault_record(0, "", 1000, 0.048, true));
+        let result = agg.finish();
+        assert!(result.verdicts.is_empty(), "{:#?}", result.verdicts);
     }
 
     #[test]

@@ -73,7 +73,9 @@ pub struct CellRecord {
     /// Protocol key: registry name plus rendered params when present.
     pub protocol: String,
     /// The non-protocol, non-`n` axis coordinates
-    /// (`surface/placement/radius/eps=…`) — the fit-grouping key.
+    /// (`surface/placement/radius/eps=…`, plus the fault token as a final
+    /// `/drop=…+stale=…` segment when the cell injects faults) — the
+    /// fit-grouping key. No-fault cells keep the historical four-segment key.
     pub group: String,
     /// Network size of the cell.
     pub n: usize,
@@ -125,13 +127,17 @@ impl CellRecord {
         };
         // `/`-separated (not `|`): group strings land in Markdown table
         // cells, where a pipe would split the column.
-        let group = format!(
+        let mut group = format!(
             "{}/{}/{}/eps={}",
             spec.topology.surface.token(),
             placement,
             radius,
             spec.stop.epsilon
         );
+        if !spec.faults.is_none() {
+            group.push('/');
+            group.push_str(&spec.faults.token());
+        }
         let trials = report
             .trials
             .iter()
@@ -272,9 +278,9 @@ pub struct ResultsLog;
 
 impl ResultsLog {
     /// Loads every record from `path`. A missing file is an empty log. A
-    /// trailing line that fails to parse is dropped (torn by a kill); a
-    /// malformed line anywhere else is a hard error carrying its line
-    /// number.
+    /// trailing line that fails to parse — or parses but lost its trailing
+    /// newline — is dropped (torn by a kill); a malformed line anywhere else
+    /// is a hard error carrying its line number.
     pub fn load(path: &Path) -> Result<LogContents, ProtocolError> {
         let text = match std::fs::read_to_string(path) {
             Ok(text) => text,
@@ -310,9 +316,18 @@ impl ResultsLog {
                 .map_err(|e| ProtocolError::malformed(e.to_string()))
                 .and_then(|doc| CellRecord::from_json_value(&doc));
             match parsed {
-                Ok(record) => {
+                Ok(record) if line.ends_with('\n') => {
                     records.push(record);
                     valid_len = (start + line.len()) as u64;
+                }
+                Ok(_) => {
+                    // A record that parses but lost its trailing newline can
+                    // only be the final line (the append was killed between
+                    // the JSON and the `\n`). Keeping it would make the next
+                    // append concatenate onto it and corrupt the line — so it
+                    // is torn, like any other interrupted append: dropped,
+                    // truncated away, and its cell re-runs.
+                    dropped_torn_tail = true;
                 }
                 Err(e) if i + 1 == lines.len() => {
                     // Torn tail: the final append was interrupted. Drop the
@@ -464,6 +479,92 @@ mod tests {
         std::fs::write(&path, format!("{}\n{good}\n", &good[..good.len() / 2])).unwrap();
         let err = ResultsLog::load(&path).unwrap_err();
         assert!(err.to_string().contains("line 1"), "got {err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// The torn-tail property, exhaustively: truncate a valid 3-record log at
+    /// EVERY byte offset. Whatever the cut, `load` must recover every fully
+    /// written record (none silently dropped), report a torn tail exactly
+    /// when trailing bytes remain beyond the valid prefix, and after
+    /// repair + re-append the log must parse cleanly with exactly one cell
+    /// re-run.
+    #[test]
+    fn every_byte_truncation_recovers_the_valid_prefix_and_repairs() {
+        let dir = std::env::temp_dir().join("geogossip-lab-log-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("every-byte.jsonl");
+        let lines: Vec<String> = (0..3)
+            .map(|i| record(i).to_json_value().render() + "\n")
+            .collect();
+        let text = lines.concat();
+        // Byte offset where each fully-written record ends.
+        let boundaries: Vec<usize> = lines
+            .iter()
+            .scan(0usize, |acc, l| {
+                *acc += l.len();
+                Some(*acc)
+            })
+            .collect();
+        for cut in 0..=text.len() {
+            let complete = boundaries.iter().filter(|&&b| b <= cut).count();
+            let valid_len = if complete == 0 {
+                0
+            } else {
+                boundaries[complete - 1]
+            };
+            std::fs::write(&path, &text.as_bytes()[..cut]).unwrap();
+            let contents = ResultsLog::load(&path)
+                .unwrap_or_else(|e| panic!("cut at byte {cut} must not hard-error: {e}"));
+            let expected: Vec<CellRecord> = (0..complete as u64).map(record).collect();
+            assert_eq!(contents.records, expected, "cut at byte {cut}");
+            assert_eq!(contents.valid_len as usize, valid_len, "cut at byte {cut}");
+            assert_eq!(
+                contents.dropped_torn_tail,
+                cut > valid_len,
+                "cut at byte {cut}"
+            );
+            // Repair exactly as the sweep runner does, then re-run the one
+            // torn cell: the log must come back complete and untorn.
+            if contents.dropped_torn_tail {
+                ResultsLog::truncate(&path, contents.valid_len).unwrap();
+            }
+            ResultsLog::append(&path, &record(complete as u64)).unwrap();
+            let repaired = ResultsLog::load(&path).unwrap();
+            assert!(!repaired.dropped_torn_tail, "cut at byte {cut}");
+            let expected: Vec<CellRecord> = (0..=complete as u64).map(record).collect();
+            assert_eq!(repaired.records, expected, "cut at byte {cut}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Interior corruption at every line: a half-written line that is NOT the
+    /// tail must hard-error with that line's number — resuming over it would
+    /// silently drop a committed cell.
+    #[test]
+    fn interior_corruption_reports_the_right_line_number() {
+        let dir = std::env::temp_dir().join("geogossip-lab-log-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("interior.jsonl");
+        let lines: Vec<String> = (0..3)
+            .map(|i| record(i).to_json_value().render() + "\n")
+            .collect();
+        for corrupt in 0..2 {
+            let mut text = String::new();
+            for (i, line) in lines.iter().enumerate() {
+                if i == corrupt {
+                    text.push_str(&line[..line.len() / 2]);
+                    text.push('\n');
+                } else {
+                    text.push_str(line);
+                }
+            }
+            std::fs::write(&path, &text).unwrap();
+            let err = ResultsLog::load(&path).unwrap_err();
+            assert!(
+                err.to_string().contains(&format!("line {}", corrupt + 1)),
+                "corrupting line {corrupt} gave `{err}`"
+            );
+        }
         let _ = std::fs::remove_file(&path);
     }
 

@@ -386,6 +386,99 @@ fn greedy_walk_reference<M: RouteMetric>(
     }
 }
 
+/// Liveness-masked greedy walk for fault-injection scenarios: the per-hop
+/// argmin considers only neighbors marked alive, so packets route *around*
+/// crashed nodes. An all-`f64` scalar scan modeled on
+/// [`greedy_walk_reference`] — masked routing is only invoked while churn has
+/// actually killed nodes, so it trades the vectorized fast path for the
+/// simplest correct scan. Same progress rule and tie-breaking (strictly
+/// closer or stop; lowest neighbor index on equal distance, CSR rows being
+/// sorted), so with an all-alive mask the walk is bit-identical to the
+/// unmasked reference.
+///
+/// Graceful degradation: when every closer neighbor is dead the walk stops at
+/// the nearest **live** local minimum; if the source cannot move at all, the
+/// terminus is the source itself with zero hops (callers treat a self-partner
+/// as a free no-op). Indices beyond `alive`'s length count as alive, so an
+/// empty mask degenerates to the unmasked walk.
+#[inline(always)]
+fn greedy_walk_masked<M: RouteMetric>(
+    graph: &GeometricGraph,
+    source: NodeId,
+    target: Point,
+    metric: M,
+    alive: &[bool],
+) -> (NodeId, usize) {
+    let mut current = source.index();
+    let src = graph.position(source);
+    let mut current_dist = metric.d2(src.x - target.x, src.y - target.y);
+    let mut hops = 0usize;
+    loop {
+        let (nbrs, xs, ys) = graph.neighbor_block(NodeId(current));
+        let mut min_dist = f64::INFINITY;
+        let mut best = usize::MAX;
+        for k in 0..nbrs.len() {
+            if !alive.get(nbrs[k] as usize).copied().unwrap_or(true) {
+                continue;
+            }
+            let d = metric.d2(xs[k] - target.x, ys[k] - target.y);
+            if d < min_dist {
+                min_dist = d;
+                best = nbrs[k] as usize;
+            }
+        }
+        if min_dist >= current_dist {
+            return (NodeId(current), hops);
+        }
+        current = best;
+        current_dist = min_dist;
+        hops += 1;
+    }
+}
+
+/// [`route_terminus`] restricted to live nodes: routes from `source` towards
+/// the *position* `target`, skipping neighbors whose entry in `alive` is
+/// `false` (see [`greedy_walk_masked`] for the degradation semantics).
+///
+/// # Panics
+///
+/// Panics if `source` is out of range for the graph.
+pub fn route_terminus_masked(
+    graph: &GeometricGraph,
+    source: NodeId,
+    target: Point,
+    alive: &[bool],
+) -> FastRoute {
+    let (terminus, hops) = match graph.topology() {
+        Topology::UnitSquare => greedy_walk_masked(graph, source, target, EuclideanMetric, alive),
+        Topology::Torus => greedy_walk_masked(graph, source, target, TorusMetric, alive),
+    };
+    FastRoute {
+        source,
+        terminus,
+        hops,
+    }
+}
+
+/// [`route_terminus_to_node`] restricted to live nodes — greedy-routes
+/// towards `destination`'s position through [`route_terminus_masked`],
+/// returning the walk plus whether it actually reached `destination` (a dead
+/// destination region shows up as `delivered == false`, never a panic).
+///
+/// # Panics
+///
+/// Panics if `source` or `destination` is out of range for the graph.
+pub fn route_terminus_to_node_masked(
+    graph: &GeometricGraph,
+    source: NodeId,
+    destination: NodeId,
+    alive: &[bool],
+) -> (FastRoute, bool) {
+    let route = route_terminus_masked(graph, source, graph.position(destination), alive);
+    let delivered = route.terminus == destination;
+    (route, delivered)
+}
+
 /// Allocation-free variant of [`route_to_position`]: routes a packet from
 /// `source` towards the *position* `target` and returns only the stopping node
 /// and hop count.
@@ -674,6 +767,69 @@ mod tests {
             let one_way = route_to_node(&g, NodeId(0), NodeId(499)).transmissions();
             assert!(tx >= one_way, "round trip cheaper than one way");
         }
+    }
+
+    #[test]
+    fn masked_walk_with_all_alive_matches_the_reference() {
+        for seed in 0..6u64 {
+            let g = graph(300, 1.5, seed);
+            let alive = vec![true; g.len()];
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xa11e);
+            for _ in 0..30 {
+                let pts = sample_unit_square(2, &mut rng);
+                let src = g.nearest_node(pts[0]).unwrap();
+                let masked = route_terminus_masked(&g, src, pts[1], &alive);
+                let reference = route_terminus_reference(&g, src, pts[1]);
+                assert_eq!(masked, reference);
+                // An empty mask also degenerates to the unmasked walk.
+                assert_eq!(route_terminus_masked(&g, src, pts[1], &[]), reference);
+            }
+        }
+    }
+
+    #[test]
+    fn masked_walk_routes_around_a_dead_node() {
+        // Line graph 0 – 1 – 2 – 3 with node 1 dead: greedy from 0 towards 3
+        // cannot advance (its only closer neighbor is dead), so the walk
+        // degrades gracefully to a zero-hop self-terminus.
+        let pts = vec![
+            Point::new(0.10, 0.50),
+            Point::new(0.20, 0.50),
+            Point::new(0.30, 0.50),
+            Point::new(0.40, 0.50),
+        ];
+        let g = GeometricGraph::build(pts, 0.12);
+        let mut alive = vec![true; 4];
+        alive[1] = false;
+        let (route, delivered) = route_terminus_to_node_masked(&g, NodeId(0), NodeId(3), &alive);
+        assert!(!delivered);
+        assert_eq!(route.terminus, NodeId(0));
+        assert_eq!(route.hops, 0);
+        // From node 2 the path to 3 avoids the dead node entirely.
+        let (route, delivered) = route_terminus_to_node_masked(&g, NodeId(2), NodeId(3), &alive);
+        assert!(delivered);
+        assert_eq!(route.hops, 1);
+    }
+
+    #[test]
+    fn masked_walk_stops_at_nearest_live_local_minimum() {
+        // Dense graph: kill the destination and its surroundings; the walk
+        // must stop at a live node without ever visiting a dead one.
+        let g = graph(500, 2.0, 9);
+        let dst = NodeId(250);
+        let t = g.position(dst);
+        let mut alive = vec![true; g.len()];
+        for (i, live) in alive.iter_mut().enumerate() {
+            if g.position(NodeId(i)).distance(t) < 0.1 {
+                *live = false;
+            }
+        }
+        let src = (0..g.len())
+            .map(NodeId)
+            .find(|&i| alive[i.index()])
+            .unwrap();
+        let route = route_terminus_masked(&g, src, t, &alive);
+        assert!(alive[route.terminus.index()], "terminus must be live");
     }
 
     #[test]

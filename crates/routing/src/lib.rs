@@ -41,7 +41,8 @@ pub mod target;
 
 pub use flood::{flood_cell, FloodOutcome};
 pub use greedy::{
-    round_trip, route_terminus, route_terminus_to_node, route_to_node, route_to_position,
-    route_to_position_into, FastRoute, RouteOutcome,
+    round_trip, route_terminus, route_terminus_masked, route_terminus_to_node,
+    route_terminus_to_node_masked, route_to_node, route_to_position, route_to_position_into,
+    FastRoute, RouteOutcome,
 };
 pub use target::{TargetSelector, TargetStats};

@@ -159,6 +159,35 @@ pub trait Activation {
     fn squared_error(&self) -> Option<SquaredError> {
         None
     }
+
+    /// Which fault kinds this protocol can model under fault injection (see
+    /// [`crate::fault`]). The default declares **no** support, so the
+    /// scenario runner rejects fault specs for protocols that have not
+    /// implemented the semantics — faults are never silently ignored.
+    fn fault_support(&self) -> crate::fault::FaultSupport {
+        crate::fault::FaultSupport::default()
+    }
+
+    /// Handles a tick under fault injection: like [`Activation::on_tick`],
+    /// plus the per-tick [`FaultContext`](crate::fault::FaultContext) (drop
+    /// decision, liveness mask, stale set). Only the
+    /// [`FaultyActivation`](crate::fault::FaultyActivation) wrapper calls
+    /// this, and only for live sensors of a faulty scenario — the engine
+    /// itself still drives [`Activation::on_tick`]. The default forwards to
+    /// `on_tick`, ignoring the context; fault-aware protocols override it
+    /// and must keep their *protocol* randomness draws identical to the
+    /// fault-free path so loss/stale injection never perturbs partner
+    /// selection.
+    fn on_tick_faulty(
+        &mut self,
+        tick: Tick,
+        tx: &mut TransmissionCounter,
+        rng: &mut dyn RngCore,
+        faults: &crate::fault::FaultContext<'_>,
+    ) {
+        let _ = faults;
+        self.on_tick(tick, tx, rng);
+    }
 }
 
 /// When the engine should stop driving a protocol.

@@ -18,6 +18,10 @@
 //! * [`engine`] — a small driver that repeatedly draws the next clock tick,
 //!   invokes a protocol callback ([`engine::Activation`], an object-safe
 //!   trait), and stops on a caller-supplied condition.
+//! * [`fault`] — deterministic fault injection (lossy transmissions, node
+//!   churn, stale-value nodes) layered over any fault-aware protocol; a
+//!   no-fault spec runs the bare protocol, bit-identically to before faults
+//!   existed.
 //! * [`rng`] — deterministic seed management so experiments are reproducible.
 //! * [`field`] — initial measurement fields (spike, ramp, spatial gradient…).
 //! * [`error`] — the [`ProtocolError`] shared by protocol constructors and
@@ -48,6 +52,7 @@ pub mod clock;
 pub mod engine;
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod field;
 pub mod metrics;
 pub mod rng;
@@ -59,6 +64,7 @@ pub use engine::{
 };
 pub use error::ProtocolError;
 pub use event::{EventQueue, ScheduledEvent};
+pub use fault::{ChurnEvent, FaultContext, FaultSpec, FaultSupport, FaultyActivation};
 pub use field::{Field, InitialCondition};
 pub use metrics::{ConvergenceTrace, TracePoint, TransmissionCounter};
 pub use rng::SeedStream;

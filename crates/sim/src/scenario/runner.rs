@@ -4,6 +4,7 @@
 
 use crate::engine::{Activation, AsyncEngine};
 use crate::error::ProtocolError;
+use crate::fault::{FaultyActivation, FAULT_STREAM_LABEL};
 use crate::rng::SeedStream;
 use crate::scenario::report::{ScenarioReport, TrialCost};
 use crate::scenario::spec::{ProtocolSpec, ScenarioSpec};
@@ -168,6 +169,19 @@ impl Runner {
         let mut protocol =
             self.factory
                 .build(&spec.protocol, &graph, values, spec.stop.epsilon, &mut rng)?;
+        if !spec.faults.is_none() {
+            // Fault injection wraps the protocol only when the spec asks for
+            // it; the fault stream is dedicated, so the clock/run streams —
+            // and therefore every no-fault trial — stay byte-identical.
+            spec.faults
+                .check_support(&spec.protocol.name, protocol.fault_support())?;
+            protocol = Box::new(FaultyActivation::new(
+                protocol,
+                &spec.faults,
+                graph.len(),
+                seeds.trial(FAULT_STREAM_LABEL, trial),
+            ));
+        }
         let engine_start = std::time::Instant::now();
         let report = AsyncEngine::new(graph.len()).run(&mut *protocol, spec.stop, &mut rng);
         let engine_seconds = engine_start.elapsed().as_secs_f64();
@@ -191,6 +205,7 @@ impl Runner {
 mod tests {
     use super::*;
     use crate::clock::Tick;
+    use crate::fault::{ChurnEvent, FaultContext, FaultSpec, FaultSupport};
     use crate::metrics::TransmissionCounter;
     use rand::Rng;
 
@@ -206,6 +221,22 @@ mod tests {
         fn on_tick(&mut self, _tick: Tick, tx: &mut TransmissionCounter, rng: &mut dyn RngCore) {
             tx.charge_local(1);
             self.error *= 0.9 + 0.05 * rng.gen::<f64>();
+        }
+        fn fault_support(&self) -> FaultSupport {
+            FaultSupport::loss_and_stale()
+        }
+        fn on_tick_faulty(
+            &mut self,
+            _tick: Tick,
+            tx: &mut TransmissionCounter,
+            rng: &mut dyn RngCore,
+            faults: &FaultContext<'_>,
+        ) {
+            tx.charge_local(1);
+            let step = 0.9 + 0.05 * rng.gen::<f64>();
+            if !faults.dropped {
+                self.error *= step;
+            }
         }
         fn relative_error(&self) -> f64 {
             self.error
@@ -292,6 +323,50 @@ mod tests {
             runner.run(&bad),
             Err(ProtocolError::InvalidParameter { name, .. }) if name == "epsilon"
         ));
+    }
+
+    #[test]
+    fn drops_inflate_cost_and_are_counted() {
+        let runner = Runner::new(Box::new(DriftFactory));
+        let plain = runner.run(&spec(2, 5)).unwrap();
+        let lossy = runner
+            .run(&spec(2, 5).with_faults(FaultSpec {
+                drop_rate: 0.5,
+                ..FaultSpec::default()
+            }))
+            .unwrap();
+        assert!(lossy.all_converged());
+        for (p, l) in plain.trials.iter().zip(&lossy.trials) {
+            // Every dropped activation is cost without progress.
+            assert!(l.ticks > p.ticks, "drops must slow convergence");
+            let dropped = l
+                .metrics
+                .iter()
+                .find(|(k, _)| k == "dropped_activations")
+                .expect("fault metrics ride along")
+                .1;
+            assert!(dropped > 0.0);
+        }
+        // The no-fault run carries no fault metrics at all.
+        assert!(plain.trials[0]
+            .metrics
+            .iter()
+            .all(|(k, _)| k != "dropped_activations"));
+    }
+
+    #[test]
+    fn unsupported_fault_kinds_are_rejected_before_the_engine_runs() {
+        let runner = Runner::new(Box::new(DriftFactory));
+        let churny = spec(1, 5).with_faults(FaultSpec {
+            churn: vec![ChurnEvent {
+                fraction: 0.25,
+                at_tick: 10,
+                rejoin_tick: None,
+            }],
+            ..FaultSpec::default()
+        });
+        let err = runner.run(&churny).expect_err("drift cannot churn");
+        assert!(err.to_string().contains("churn"), "got `{err}`");
     }
 
     #[test]

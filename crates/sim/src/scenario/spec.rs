@@ -3,6 +3,7 @@
 //! `serde` is a marker stand-in; see `geogossip_analysis::json`).
 
 use crate::error::ProtocolError;
+use crate::fault::FaultSpec;
 use crate::field::Field;
 use crate::rng::SeedStream;
 use crate::StopCondition;
@@ -304,6 +305,10 @@ pub struct ScenarioSpec {
     pub protocol: ProtocolSpec,
     /// When a trial stops.
     pub stop: StopCondition,
+    /// Fault injection model ([`FaultSpec::default`] = no faults; the
+    /// `faults` key is optional in the JSON schema and omitted from the
+    /// rendering when default, per the schema-stability invariant).
+    pub faults: FaultSpec,
     /// Number of independent trials (run in parallel, deterministically).
     pub trials: u64,
     /// Master seed; every per-trial stream derives from it.
@@ -322,6 +327,7 @@ impl ScenarioSpec {
             field: Field::SpatialGradient,
             protocol: ProtocolSpec::named(protocol),
             stop: StopCondition::at_epsilon(epsilon).with_max_ticks(STANDARD_MAX_TICKS),
+            faults: FaultSpec::default(),
             trials: 1,
             seed: STANDARD_SEED,
         }
@@ -345,6 +351,12 @@ impl ScenarioSpec {
         self
     }
 
+    /// Replaces the fault model (builder style).
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Checks every parameter of the spec, returning the first violation.
     ///
     /// In particular the stop target must satisfy `epsilon > 0` and be
@@ -353,6 +365,7 @@ impl ScenarioSpec {
     pub fn validate(&self) -> Result<(), ProtocolError> {
         self.topology.validate()?;
         self.stop.validate()?;
+        self.faults.validate()?;
         if self.trials == 0 {
             return Err(ProtocolError::invalid("trials", "need at least one trial"));
         }
@@ -366,10 +379,12 @@ impl ScenarioSpec {
     // JSON serde (hand-rendered through `geogossip_analysis::json`).
     // ------------------------------------------------------------------
 
-    /// Serialises the spec to its JSON document model.
+    /// Serialises the spec to its JSON document model. The `faults` key is
+    /// emitted only when non-default, so pre-fault specs keep their
+    /// historical byte-exact rendering.
     pub fn to_json_value(&self) -> JsonValue {
         let optional_cap = |cap: Option<u64>| cap.map_or(JsonValue::Null, JsonValue::from);
-        JsonValue::object(vec![
+        let mut fields = vec![
             ("name", JsonValue::string(self.name.clone())),
             (
                 "topology",
@@ -393,9 +408,13 @@ impl ScenarioSpec {
                     ),
                 ]),
             ),
-            ("trials", self.trials.into()),
-            ("seed", self.seed.into()),
-        ])
+        ];
+        if !self.faults.is_none() {
+            fields.push(("faults", self.faults.to_json_value()));
+        }
+        fields.push(("trials", self.trials.into()));
+        fields.push(("seed", self.seed.into()));
+        JsonValue::object(fields)
     }
 
     /// Renders the spec as pretty-printed JSON.
@@ -457,7 +476,7 @@ impl ScenarioSpec {
         for (key, _) in obj {
             if !matches!(
                 key.as_str(),
-                "name" | "topology" | "field" | "protocol" | "stop" | "trials" | "seed"
+                "name" | "topology" | "field" | "protocol" | "stop" | "faults" | "trials" | "seed"
             ) {
                 return Err(ProtocolError::malformed(format!(
                     "unknown scenario key `{key}`"
@@ -490,6 +509,10 @@ impl ScenarioSpec {
             doc.get("stop")
                 .ok_or_else(|| ProtocolError::malformed("missing `stop`"))?,
         )?;
+        let faults = match doc.get("faults") {
+            None => FaultSpec::default(),
+            Some(value) => FaultSpec::decode(value)?,
+        };
         let trials = match doc.get("trials") {
             None => 1,
             Some(v) => v
@@ -513,6 +536,7 @@ impl ScenarioSpec {
             field,
             protocol,
             stop,
+            faults,
             trials,
             seed,
         })
@@ -845,6 +869,62 @@ mod tests {
             assert!(
                 err.to_string().contains(fragment),
                 "error for {bad} was `{err}`, expected to mention `{fragment}`"
+            );
+        }
+    }
+
+    #[test]
+    fn json_round_trips_a_faulty_spec_and_defaults_to_no_faults() {
+        use crate::fault::ChurnEvent;
+        let spec = ScenarioSpec::standard("pairwise", 128, 0.1).with_faults(FaultSpec {
+            drop_rate: 0.2,
+            stale_fraction: 0.05,
+            churn: vec![ChurnEvent {
+                fraction: 0.1,
+                at_tick: 500,
+                rejoin_tick: Some(2_000),
+            }],
+        });
+        let json = spec.to_json();
+        assert!(json.contains("\"faults\""));
+        let parsed = ScenarioSpec::from_json(&json).expect("faulty spec round trips");
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.to_json(), json);
+
+        // No faults → no `faults` key in the rendering (schema stability),
+        // and a missing key decodes to the default.
+        let plain = ScenarioSpec::standard("pairwise", 128, 0.1);
+        assert!(!plain.to_json().contains("faults"));
+        let parsed = ScenarioSpec::from_json(&plain.to_json()).unwrap();
+        assert!(parsed.faults.is_none());
+
+        // An explicit all-default faults object is the same spec.
+        let explicit = ScenarioSpec::from_json(
+            r#"{"topology": {"n": 64}, "protocol": {"name": "pairwise"},
+                "stop": {"epsilon": 0.5}, "faults": {}}"#,
+        )
+        .unwrap();
+        assert!(explicit.faults.is_none());
+    }
+
+    #[test]
+    fn json_rejects_bad_fault_specs() {
+        for (bad, fragment) in [
+            (
+                r#"{"topology": {"n": 64}, "protocol": {"name": "pairwise"},
+                    "stop": {"epsilon": 0.5}, "faults": {"oops": 1}}"#,
+                "unknown faults key",
+            ),
+            (
+                r#"{"topology": {"n": 64}, "protocol": {"name": "pairwise"},
+                    "stop": {"epsilon": 0.5}, "faults": {"drop-rate": 1.5}}"#,
+                "drop-rate",
+            ),
+        ] {
+            let err = ScenarioSpec::from_json(bad).expect_err(bad);
+            assert!(
+                err.to_string().contains(fragment),
+                "error for {bad} was `{err}`, expected `{fragment}`"
             );
         }
     }

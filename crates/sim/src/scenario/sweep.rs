@@ -14,9 +14,11 @@
 //!
 //! * **Cell order is part of the schema.** Axes expand nested, protocol
 //!   outermost and `n` innermost:
-//!   `protocol → surface → placement → radius → epsilon → n`. A sweep's cell
-//!   index therefore never changes unless the sweep itself changes, which is
-//!   what lets the lab's results log key checkpoints off `(index, name)`.
+//!   `protocol → faults → surface → placement → radius → epsilon → n`. A
+//!   sweep's cell index therefore never changes unless the sweep itself
+//!   changes, which is what lets the lab's results log key checkpoints off
+//!   `(index, name)`. The `faults` axis defaults to a single no-fault entry,
+//!   so sweeps that never mention faults keep their historical indices.
 //! * **Per-cell seeds derive from `(master_seed, cell_index)`** through a
 //!   splitmix64 finalizer ([`derive_cell_seed`]), and the runner derives every
 //!   per-trial stream from `(cell_seed, trial)` — so the full derivation chain
@@ -50,6 +52,7 @@
 //! (`geogossip validate`) treat any document carrying it as a sweep.
 
 use crate::error::ProtocolError;
+use crate::fault::FaultSpec;
 use crate::field::Field;
 use crate::scenario::spec::{
     decode_placement, decode_protocol, decode_radius, decode_surface, placement_to_json,
@@ -84,6 +87,9 @@ pub struct SweepSpec {
     pub surfaces: Vec<Topology>,
     /// Axis over stop targets ε (defaults to `[0.05]`).
     pub epsilons: Vec<f64>,
+    /// Axis over fault regimes (defaults to a single no-fault entry, which
+    /// keeps historical cell indices and leaves the engine untouched).
+    pub faults: Vec<FaultSpec>,
     /// Initial measurement field shared by every cell.
     pub field: Field,
     /// Tick cap shared by every cell (`None` disables the cap).
@@ -131,6 +137,7 @@ impl SweepSpec {
             radii: vec![RadiusSpec::ConnectivityConstant(STANDARD_RADIUS_CONSTANT)],
             surfaces: vec![Topology::UnitSquare],
             epsilons: vec![0.05],
+            faults: vec![FaultSpec::default()],
             field: Field::SpatialGradient,
             max_ticks: Some(STANDARD_MAX_TICKS),
             max_transmissions: Some(STANDARD_MAX_TRANSMISSIONS),
@@ -157,6 +164,12 @@ impl SweepSpec {
         self
     }
 
+    /// Replaces the fault-regime axis (builder style).
+    pub fn with_faults_axis(mut self, faults: Vec<FaultSpec>) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Replaces the shared field (builder style).
     pub fn with_field(mut self, field: Field) -> Self {
         self.field = field;
@@ -166,6 +179,7 @@ impl SweepSpec {
     /// Number of cells the sweep expands to.
     pub fn cell_count(&self) -> u64 {
         (self.protocols.len()
+            * self.faults.len()
             * self.surfaces.len()
             * self.placements.len()
             * self.radii.len()
@@ -181,34 +195,37 @@ impl SweepSpec {
         let mut cells = Vec::with_capacity(self.cell_count() as usize);
         let mut index = 0u64;
         for protocol in &self.protocols {
-            for &surface in &self.surfaces {
-                for &placement in &self.placements {
-                    for &radius in &self.radii {
-                        for &epsilon in &self.epsilons {
-                            for &n in &self.sizes {
-                                let spec = ScenarioSpec {
-                                    name: format!(
-                                        "{}/c{:04}-{}-n{}",
-                                        self.name, index, protocol.name, n
-                                    ),
-                                    topology: TopologySpec {
-                                        n,
-                                        placement,
-                                        radius,
-                                        surface,
-                                    },
-                                    field: self.field,
-                                    protocol: protocol.clone(),
-                                    stop: StopCondition {
-                                        epsilon,
-                                        max_ticks: self.max_ticks,
-                                        max_transmissions: self.max_transmissions,
-                                    },
-                                    trials: self.trials,
-                                    seed: derive_cell_seed(self.seed, index),
-                                };
-                                cells.push(SweepCell { index, spec });
-                                index += 1;
+            for faults in &self.faults {
+                for &surface in &self.surfaces {
+                    for &placement in &self.placements {
+                        for &radius in &self.radii {
+                            for &epsilon in &self.epsilons {
+                                for &n in &self.sizes {
+                                    let spec = ScenarioSpec {
+                                        name: format!(
+                                            "{}/c{:04}-{}-n{}",
+                                            self.name, index, protocol.name, n
+                                        ),
+                                        topology: TopologySpec {
+                                            n,
+                                            placement,
+                                            radius,
+                                            surface,
+                                        },
+                                        field: self.field,
+                                        protocol: protocol.clone(),
+                                        stop: StopCondition {
+                                            epsilon,
+                                            max_ticks: self.max_ticks,
+                                            max_transmissions: self.max_transmissions,
+                                        },
+                                        faults: faults.clone(),
+                                        trials: self.trials,
+                                        seed: derive_cell_seed(self.seed, index),
+                                    };
+                                    cells.push(SweepCell { index, spec });
+                                    index += 1;
+                                }
                             }
                         }
                     }
@@ -231,6 +248,7 @@ impl SweepSpec {
             ("axes.radius", self.radii.len()),
             ("axes.surface", self.surfaces.len()),
             ("axes.epsilon", self.epsilons.len()),
+            ("axes.faults", self.faults.len()),
         ] {
             if len == 0 {
                 return Err(ProtocolError::invalid(axis, "axis must be non-empty"));
@@ -257,45 +275,51 @@ impl SweepSpec {
         doc.get("sweep").is_some()
     }
 
-    /// Serialises the sweep to its JSON document model.
+    /// Serialises the sweep to its JSON document model. The `faults` axis is
+    /// emitted only when it differs from the single no-fault default, so
+    /// documents written before faults existed render byte-identically.
     pub fn to_json_value(&self) -> JsonValue {
         let optional_cap = |cap: Option<u64>| cap.map_or(JsonValue::Null, JsonValue::from);
+        let mut axes = vec![
+            (
+                "n",
+                JsonValue::Array(self.sizes.iter().map(|&n| n.into()).collect()),
+            ),
+            (
+                "protocol",
+                JsonValue::Array(self.protocols.iter().map(protocol_to_json).collect()),
+            ),
+            (
+                "placement",
+                JsonValue::Array(self.placements.iter().map(placement_to_json).collect()),
+            ),
+            (
+                "radius",
+                JsonValue::Array(self.radii.iter().map(radius_to_json).collect()),
+            ),
+            (
+                "surface",
+                JsonValue::Array(
+                    self.surfaces
+                        .iter()
+                        .map(|s| JsonValue::string(s.token()))
+                        .collect(),
+                ),
+            ),
+            (
+                "epsilon",
+                JsonValue::Array(self.epsilons.iter().map(|&e| e.into()).collect()),
+            ),
+        ];
+        if self.faults != vec![FaultSpec::default()] {
+            axes.push((
+                "faults",
+                JsonValue::Array(self.faults.iter().map(FaultSpec::to_json_value).collect()),
+            ));
+        }
         JsonValue::object(vec![
             ("sweep", JsonValue::string(self.name.clone())),
-            (
-                "axes",
-                JsonValue::object(vec![
-                    (
-                        "n",
-                        JsonValue::Array(self.sizes.iter().map(|&n| n.into()).collect()),
-                    ),
-                    (
-                        "protocol",
-                        JsonValue::Array(self.protocols.iter().map(protocol_to_json).collect()),
-                    ),
-                    (
-                        "placement",
-                        JsonValue::Array(self.placements.iter().map(placement_to_json).collect()),
-                    ),
-                    (
-                        "radius",
-                        JsonValue::Array(self.radii.iter().map(radius_to_json).collect()),
-                    ),
-                    (
-                        "surface",
-                        JsonValue::Array(
-                            self.surfaces
-                                .iter()
-                                .map(|s| JsonValue::string(s.token()))
-                                .collect(),
-                        ),
-                    ),
-                    (
-                        "epsilon",
-                        JsonValue::Array(self.epsilons.iter().map(|&e| e.into()).collect()),
-                    ),
-                ]),
-            ),
+            ("axes", JsonValue::object(axes)),
             ("field", JsonValue::string(self.field.token())),
             (
                 "stop",
@@ -372,10 +396,10 @@ impl SweepSpec {
         for (key, _) in axes_obj {
             if !matches!(
                 key.as_str(),
-                "n" | "protocol" | "placement" | "radius" | "surface" | "epsilon"
+                "n" | "protocol" | "placement" | "radius" | "surface" | "epsilon" | "faults"
             ) {
                 return Err(ProtocolError::malformed(format!(
-                    "unknown axis `{key}` (known: n, protocol, placement, radius, surface, epsilon)"
+                    "unknown axis `{key}` (known: n, protocol, placement, radius, surface, epsilon, faults)"
                 )));
             }
         }
@@ -425,6 +449,13 @@ impl SweepSpec {
                         ProtocolError::malformed("`axes.epsilon` entries must be numbers")
                     })
                 })
+                .collect::<Result<_, _>>()?,
+        };
+        let faults: Vec<FaultSpec> = match axis("faults")? {
+            None => vec![FaultSpec::default()],
+            Some(items) => items
+                .iter()
+                .map(FaultSpec::decode)
                 .collect::<Result<_, _>>()?,
         };
         let field_token = doc
@@ -491,6 +522,7 @@ impl SweepSpec {
             radii,
             surfaces,
             epsilons,
+            faults,
             field,
             max_ticks,
             max_transmissions,
@@ -671,6 +703,67 @@ mod tests {
                 "error for {bad} was `{err}`, expected to mention `{fragment}`"
             );
         }
+    }
+
+    #[test]
+    fn faults_axis_expands_between_protocol_and_surface() {
+        let drop = FaultSpec {
+            drop_rate: 0.2,
+            ..FaultSpec::default()
+        };
+        let sweep = two_axis_sweep().with_faults_axis(vec![FaultSpec::default(), drop.clone()]);
+        assert_eq!(sweep.cell_count(), 2 * 2 * 2);
+        let cells = sweep.expand();
+        // faults sits just inside protocol: per protocol, first all sizes at
+        // no-fault, then all sizes at drop=0.2.
+        assert!(cells[0].spec.faults.is_none());
+        assert!(cells[1].spec.faults.is_none());
+        assert_eq!(cells[2].spec.faults, drop);
+        assert_eq!(cells[3].spec.faults, drop);
+        assert_eq!(cells[0].spec.protocol.name, "pairwise");
+        assert_eq!(cells[3].spec.protocol.name, "pairwise");
+        assert_eq!(cells[4].spec.protocol.name, "geographic");
+        // The default singleton axis leaves historical cells untouched.
+        let plain = two_axis_sweep().expand();
+        let defaulted = two_axis_sweep()
+            .with_faults_axis(vec![FaultSpec::default()])
+            .expand();
+        assert_eq!(plain, defaulted);
+    }
+
+    #[test]
+    fn json_round_trips_the_faults_axis_and_omits_the_default() {
+        let sweep = two_axis_sweep().with_faults_axis(vec![
+            FaultSpec::default(),
+            FaultSpec {
+                drop_rate: 0.25,
+                stale_fraction: 0.1,
+                ..FaultSpec::default()
+            },
+        ]);
+        let json = sweep.to_json();
+        assert!(json.contains("\"faults\""));
+        let parsed = SweepSpec::from_json(&json).expect("faulty sweep parses");
+        assert_eq!(parsed, sweep);
+        assert_eq!(parsed.to_json(), json, "fixed point with a faults axis");
+
+        // A sweep on the default axis renders without the key at all.
+        let plain_json = two_axis_sweep().to_json();
+        assert!(!plain_json.contains("faults"));
+        let plain = SweepSpec::from_json(&plain_json).expect("plain sweep parses");
+        assert_eq!(plain.faults, vec![FaultSpec::default()]);
+
+        // Bad fault entries are rejected with the axis discipline.
+        let err = SweepSpec::from_json(
+            r#"{"sweep": "s", "axes": {"n": [64], "protocol": [{"name": "pairwise"}], "faults": [{"drop-rate": 2.0}]}}"#,
+        )
+        .expect_err("out-of-range drop rate");
+        assert!(err.to_string().contains("drop-rate"), "got `{err}`");
+        let err = SweepSpec::from_json(
+            r#"{"sweep": "s", "axes": {"n": [64], "protocol": [{"name": "pairwise"}], "faults": [{"spoons": 1}]}}"#,
+        )
+        .expect_err("unknown fault key");
+        assert!(err.to_string().contains("spoons"), "got `{err}`");
     }
 
     #[test]

@@ -395,7 +395,12 @@ struct FlagSpec {
 
 impl FlagSpec {
     fn into_spec(self) -> Result<ScenarioSpec, ProtocolError> {
-        let protocol = self.protocol.expect("checked by the caller");
+        let protocol = self.protocol.ok_or_else(|| {
+            ProtocolError::malformed(
+                "flag mode needs `--protocol <name>` (run `geogossip protocols` for the \
+                 registry, or see `geogossip help`)",
+            )
+        })?;
         let n = self.n.unwrap_or(256);
         let mut spec = ScenarioSpec::standard(&protocol, n, self.epsilon.unwrap_or(0.1));
         if let Some(trials) = self.trials {
@@ -442,4 +447,40 @@ fn parse_u64(text: &str, flag: &str) -> Result<u64, ProtocolError> {
 fn parse_f64(text: &str, flag: &str) -> Result<f64, ProtocolError> {
     text.parse()
         .map_err(|_| ProtocolError::malformed(format!("`{flag}` expects a number")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Flag-mode invocations that never name a protocol must produce a CLI
+    /// error (non-zero exit through `main`), not a panic — whatever other
+    /// flags ride along.
+    #[test]
+    fn flag_mode_without_protocol_errors_instead_of_panicking() {
+        let err = FlagSpec::default()
+            .into_spec()
+            .expect_err("no protocol given");
+        assert!(err.to_string().contains("--protocol"), "got `{err}`");
+
+        let err = FlagSpec {
+            n: Some(64),
+            epsilon: Some(0.1),
+            trials: Some(2),
+            ..FlagSpec::default()
+        }
+        .into_spec()
+        .expect_err("flags without --protocol");
+        assert!(err.to_string().contains("--protocol"), "got `{err}`");
+    }
+
+    /// The `run` dispatcher itself: flag-ish arguments without `--protocol`
+    /// or a spec file surface the usage hint as an error.
+    #[test]
+    fn run_without_protocol_or_spec_is_a_usage_error() {
+        let err = run(&[]).expect_err("nothing to run");
+        assert!(err.to_string().contains("--protocol"), "got `{err}`");
+        let err = run(&["--n".to_string(), "64".to_string()]).expect_err("no protocol");
+        assert!(err.to_string().contains("--protocol"), "got `{err}`");
+    }
 }

@@ -1,0 +1,193 @@
+//! Fault-stream isolation pins for the fault-injection subsystem.
+//!
+//! The fault model is strictly additive: a spec with no `faults` key, a spec
+//! carrying an explicit all-default `faults` object, and a raw protocol
+//! wrapped in [`FaultyActivation`] with a default [`FaultSpec`] must all be
+//! **bit-identical** to today's engine — same `EngineReport` (reason, ticks,
+//! simulation time, transmissions, final error, every trace point), same
+//! scenario reports, and the same protocol-RNG end state — across protocols
+//! and topologies. All fault randomness comes from the dedicated
+//! `(seed, trial, "faults")` stream, so enabling faults never perturbs the
+//! placement, field, or protocol draws, and a faulty run is reproducible
+//! from its spec alone.
+
+use geogossip::analysis::json::JsonValue;
+use geogossip::core::prelude::*;
+use geogossip::core::registry::builtin_runner;
+use geogossip::graph::GeometricGraph;
+use geogossip::sim::scenario::ScenarioSpec;
+use geogossip::sim::{AsyncEngine, EngineReport, FaultSpec, FaultyActivation, StopCondition};
+use geogossip_geometry::sampling::sample_unit_square;
+use geogossip_geometry::Topology;
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn graph(n: usize, topology: Topology, seed: u64) -> GeometricGraph {
+    let pts = sample_unit_square(n, &mut ChaCha8Rng::seed_from_u64(seed));
+    let radius = geogossip_geometry::connectivity_radius(n, 2.0).min(0.49);
+    GeometricGraph::build_with_topology(pts, radius, topology)
+}
+
+/// Runs `build_protocol`'s instance bare and wrapped in a default-spec
+/// [`FaultyActivation`], from identically seeded protocol RNGs, and asserts
+/// the engine reports and RNG end states match bit-for-bit. This is the
+/// engine-level statement that the wrapper is a no-op when no fault is
+/// configured — the runner skips the wrapper entirely in that case, and this
+/// pin keeps the two paths interchangeable.
+fn assert_default_wrap_is_identity<'a, P, F>(
+    n: usize,
+    stop: StopCondition,
+    run_seed: u64,
+    mut build_protocol: F,
+) where
+    P: geogossip::sim::Activation + 'a,
+    F: FnMut() -> P,
+{
+    let mut rng_bare = ChaCha8Rng::seed_from_u64(run_seed);
+    let mut rng_wrapped = rng_bare.clone();
+
+    let mut bare_protocol = build_protocol();
+    let bare: EngineReport = AsyncEngine::new(n).run(&mut bare_protocol, stop, &mut rng_bare);
+
+    let spec = FaultSpec::default();
+    let mut wrapped_protocol = FaultyActivation::new(
+        Box::new(build_protocol()),
+        &spec,
+        n,
+        ChaCha8Rng::seed_from_u64(run_seed ^ 0xfa17),
+    );
+    let wrapped: EngineReport =
+        AsyncEngine::new(n).run(&mut wrapped_protocol, stop, &mut rng_wrapped);
+
+    assert_eq!(
+        bare, wrapped,
+        "EngineReports diverged under a default-fault wrapper"
+    );
+    assert_eq!(
+        bare.time.to_bits(),
+        wrapped.time.to_bits(),
+        "simulation time not bit-identical"
+    );
+    for _ in 0..4 {
+        assert_eq!(
+            rng_bare.next_u64(),
+            rng_wrapped.next_u64(),
+            "protocol RNG consumption diverged"
+        );
+    }
+    assert_eq!(wrapped.transmissions, bare.transmissions);
+}
+
+#[test]
+fn default_fault_wrapper_is_an_engine_level_identity() {
+    for (seed, topology) in [(7u64, Topology::UnitSquare), (8, Topology::Torus)] {
+        let n = 96;
+        let g = graph(n, topology, seed);
+        let values =
+            InitialCondition::Spike.generate(n, &mut ChaCha8Rng::seed_from_u64(seed ^ 0x5fa));
+        let stop = StopCondition::at_epsilon(0.05).with_max_ticks(400_000);
+
+        assert_default_wrap_is_identity(n, stop, seed ^ 0x11, || {
+            PairwiseGossip::new(&g, values.clone()).expect("valid instance")
+        });
+        assert_default_wrap_is_identity(n, stop, seed ^ 0x22, || {
+            GeographicGossip::new(&g, values.clone()).expect("valid instance")
+        });
+        assert_default_wrap_is_identity(n, stop, seed ^ 0x33, || {
+            AffineStateMachine::practical(&g, values.clone()).expect("valid instance")
+        });
+    }
+}
+
+/// Renders `spec` to JSON, splices in an explicit `faults` object, and parses
+/// it back. Decoding must land on the very same spec when the object carries
+/// only default values.
+fn respec_with_faults_json(spec: &ScenarioSpec, faults: JsonValue) -> ScenarioSpec {
+    let mut doc = JsonValue::parse(&spec.to_json()).expect("spec renders valid JSON");
+    match &mut doc {
+        JsonValue::Object(entries) => entries.push(("faults".into(), faults)),
+        _ => panic!("spec JSON is an object"),
+    }
+    ScenarioSpec::from_json(&doc.render()).expect("spec with explicit faults parses")
+}
+
+#[test]
+fn explicit_default_faults_produce_bit_identical_reports() {
+    let runner = builtin_runner();
+    for name in ["pairwise", "geographic", "affine-state-machine"] {
+        for surface in [Topology::UnitSquare, Topology::Torus] {
+            let mut base = ScenarioSpec::standard(name, 96, 0.1)
+                .with_trials(2)
+                .with_seed(61);
+            base.topology.surface = surface;
+            base.stop = base.stop.with_max_ticks(2_000_000);
+
+            // Two explicit spellings of "no faults": an empty object and an
+            // all-default drop rate. Both must decode to the keyless spec.
+            let empty = respec_with_faults_json(&base, JsonValue::Object(vec![]));
+            let zero_drop = respec_with_faults_json(
+                &base,
+                JsonValue::Object(vec![("drop-rate".into(), JsonValue::Number(0.0))]),
+            );
+            assert_eq!(
+                empty, base,
+                "{name}/{surface:?}: `faults: {{}}` decodes to the bare spec"
+            );
+            assert_eq!(
+                zero_drop, base,
+                "{name}/{surface:?}: zero drop-rate is the default"
+            );
+
+            let bare_report = runner.run(&base).expect("bare spec runs");
+            let empty_report = runner.run(&empty).expect("explicit-default spec runs");
+            // `TrialCost` equality covers converged/transmissions/rounds/
+            // final-error bits/trace/metrics (wall-clock excluded); in
+            // particular the explicit-default run must carry NO fault metrics.
+            assert_eq!(
+                bare_report, empty_report,
+                "{name}/{surface:?}: explicit default faults changed the run"
+            );
+            assert!(bare_report
+                .trials
+                .iter()
+                .all(|t| t.metric("dropped_activations").is_none()));
+        }
+    }
+}
+
+#[test]
+fn faulty_runs_are_reproducible_and_leave_fault_free_streams_untouched() {
+    let runner = builtin_runner();
+    let mut base = ScenarioSpec::standard("pairwise", 96, 0.1)
+        .with_trials(2)
+        .with_seed(62);
+    base.stop = base.stop.with_max_ticks(4_000_000);
+    let lossy = base.clone().with_faults(FaultSpec {
+        drop_rate: 0.25,
+        ..FaultSpec::default()
+    });
+
+    // Determinism: the same lossy spec twice is bit-identical.
+    let first = runner.run(&lossy).expect("lossy spec runs");
+    let second = runner.run(&lossy).expect("lossy spec runs again");
+    assert_eq!(
+        first, second,
+        "lossy runs must be reproducible from the spec"
+    );
+
+    // Isolation: faults draw from their own stream, so the lossy run walks
+    // the same graph and values — every exchange that does land is the same
+    // convex average the fault-free run would have made, and the lossy run
+    // can only need MORE transmissions to hit the same epsilon.
+    let bare = runner.run(&base).expect("bare spec runs");
+    for (lossy_trial, bare_trial) in first.trials.iter().zip(&bare.trials) {
+        assert!(lossy_trial.converged && bare_trial.converged);
+        assert!(
+            lossy_trial.transmissions.total() > bare_trial.transmissions.total(),
+            "drops must inflate the transmission bill: lossy {} vs bare {}",
+            lossy_trial.transmissions.total(),
+            bare_trial.transmissions.total()
+        );
+        assert!(lossy_trial.metric("dropped_activations").unwrap_or(0.0) > 0.0);
+    }
+}
