@@ -38,6 +38,13 @@
 //!   member of `scenarios/large_n.json` through the scenario `Runner` and
 //!   **appends** whole-trial wall clock and tick throughput to the file's
 //!   `trial_wall_clock` array.
+//! * `… --bin bench_baseline -- --append-net [output.json]` — drives whole
+//!   fixed-tick-budget geographic-gossip runs at `n ∈ {1024, 4096}` through
+//!   the message-passing scheduler (`NetScheduler` + `GeographicNet` on the
+//!   instant schedule) and the shared-memory engine (`AsyncEngine` +
+//!   `GeographicGossip`), asserts the reports are **bit-identical** (the net
+//!   layer's oracle pin), and **appends** per-tick medians and the overhead
+//!   ratio to the file's `net_runtime` array.
 //! * `--smoke` (combinable with every mode) shrinks sizes and sample counts
 //!   to seconds-scale so CI can exercise each append mode — and the
 //!   never-clobber JSON parsing they share — against a scratch file on every
@@ -54,10 +61,12 @@ use geogossip_geometry::point::NodeId;
 use geogossip_geometry::sampling::sample_unit_square;
 use geogossip_geometry::Point;
 use geogossip_graph::GeometricGraph;
+use geogossip_net::{GeographicNet, NetScheduler};
 use geogossip_routing::greedy::route_terminus;
 use geogossip_sim::clock::Tick;
 use geogossip_sim::engine::Activation;
 use geogossip_sim::scenario::ScenarioSpec;
+use geogossip_sim::transport::LatencyModel;
 use geogossip_sim::{AsyncEngine, SeedStream, StopCondition, StopReason};
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -336,6 +345,125 @@ fn measure_tick_loop(
     }
 }
 
+/// One net-scheduler-vs-engine measurement at size `n`: whole fixed-budget
+/// runs on both execution layers, reduced to per-tick medians.
+struct NetBaseline {
+    n: usize,
+    ticks_per_run: u64,
+    samples: usize,
+    net_ns: f64,
+    engine_ns: f64,
+}
+
+/// Times complete geographic-gossip runs capped at `ticks_per_run` ticks on
+/// the message-passing scheduler (instant schedule, so no net-stream draws)
+/// and the shared-memory engine, from identical seeds on the same instance.
+/// The two reports are asserted **bit-identical** — the instant-schedule
+/// oracle pin — so the ratio prices exactly the actor/event-queue machinery:
+/// message envelopes, the delivery heap, and the per-hop charge bookkeeping.
+fn measure_net(n: usize, ticks_per_run: u64, samples: usize, seeds: &SeedStream) -> NetBaseline {
+    let positions = sample_unit_square(n, &mut seeds.trial("bench-placement", n as u64));
+    let graph = GeometricGraph::build_at_connectivity_radius(positions, 2.0);
+    let values: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+    let stop = StopCondition::at_epsilon(1e-12).with_max_ticks(ticks_per_run);
+
+    let run_once = |net: bool| -> (f64, geogossip_sim::EngineReport) {
+        let mut rng = ChaCha8Rng::seed_from_u64(4242);
+        let start;
+        let report = if net {
+            let mut actors = GeographicNet::new(&graph, values.clone()).expect("valid actors");
+            let mut net_rng = ChaCha8Rng::seed_from_u64(4243);
+            start = Instant::now();
+            NetScheduler::new(n)
+                .run(
+                    &mut actors,
+                    stop,
+                    LatencyModel::Instant,
+                    &mut rng,
+                    &mut net_rng,
+                )
+                .0
+        } else {
+            let mut protocol =
+                GeographicGossip::new(&graph, values.clone()).expect("valid instance");
+            start = Instant::now();
+            AsyncEngine::new(n).run(&mut protocol, stop, &mut rng)
+        };
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(report.reason, StopReason::TickBudgetExhausted);
+        assert_eq!(report.ticks, ticks_per_run);
+        (elapsed * 1e9 / ticks_per_run as f64, report)
+    };
+
+    let median = |timings: &mut Vec<f64>| -> f64 {
+        timings.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        timings[timings.len() / 2]
+    };
+    // Alternate the layers so slow drift affects both medians equally, and
+    // hold the comparison to bit-identical work.
+    let mut net_timings = Vec::with_capacity(samples);
+    let mut engine_timings = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let (net_ns, net_report) = run_once(true);
+        let (engine_ns, engine_report) = run_once(false);
+        assert_eq!(
+            net_report, engine_report,
+            "net scheduler diverged from the engine oracle at n={n}"
+        );
+        net_timings.push(net_ns);
+        engine_timings.push(engine_ns);
+    }
+    NetBaseline {
+        n,
+        ticks_per_run,
+        samples,
+        net_ns: median(&mut net_timings),
+        engine_ns: median(&mut engine_timings),
+    }
+}
+
+/// Appends the net-scheduler-vs-engine medians to `out_path`'s `net_runtime`
+/// array, preserving every existing entry of the file.
+fn append_net_baseline(out_path: &str, smoke: bool) {
+    let seeds = SeedStream::new(20070612);
+    // Budgets stay well short of convergence to 1e-12 (a handful of
+    // activations per node), so both layers execute exactly the same ticks.
+    let sizes: &[(usize, u64, usize)] = if smoke {
+        &[(256, 2_000, 3), (512, 2_000, 3)]
+    } else {
+        &[(1_024, 8_192, 5), (4_096, 16_384, 5)]
+    };
+    let records: Vec<JsonValue> = sizes
+        .iter()
+        .map(|&(n, ticks_per_run, samples)| {
+            let b = measure_net(n, ticks_per_run, samples, &seeds);
+            let overhead = b.net_ns / b.engine_ns;
+            let net_ticks_per_sec = 1e9 / b.net_ns;
+            let engine_ticks_per_sec = 1e9 / b.engine_ns;
+            println!(
+                "n={:5}  net tick {:>8.0} ns ({:>9.0} ticks/s) | engine tick {:>8.0} ns ({:>9.0} ticks/s) | overhead {:.2}x",
+                b.n, b.net_ns, net_ticks_per_sec, b.engine_ns, engine_ticks_per_sec, overhead
+            );
+            JsonValue::object(vec![
+                ("n", b.n.into()),
+                ("ticks_per_sample", b.ticks_per_run.into()),
+                ("samples", b.samples.into()),
+                ("smoke", JsonValue::Bool(smoke)),
+                ("net_tick_median_ns", b.net_ns.round().into()),
+                ("engine_tick_median_ns", b.engine_ns.round().into()),
+                ("net_ticks_per_sec", net_ticks_per_sec.round().into()),
+                ("engine_ticks_per_sec", engine_ticks_per_sec.round().into()),
+                (
+                    "overhead_vs_engine",
+                    ((overhead * 100.0).round() / 100.0).into(),
+                ),
+            ])
+        })
+        .collect();
+    append_records(out_path, "net_runtime", records);
+    println!("appended net-runtime baseline to {out_path}");
+}
+
 /// Appends the overhauled-vs-reference tick-loop medians to `out_path`'s
 /// `tick_loop_large` array, preserving every existing entry of the file.
 fn append_tick_large_baseline(out_path: &str, smoke: bool) {
@@ -540,6 +668,7 @@ fn main() {
     let mut append_build = false;
     let mut append_tick_large = false;
     let mut append_trial = false;
+    let mut append_net = false;
     let mut smoke = false;
     let mut out_path: Option<String> = None;
     for arg in std::env::args().skip(1) {
@@ -551,12 +680,14 @@ fn main() {
             append_tick_large = true;
         } else if arg == "--append-trial" {
             append_trial = true;
+        } else if arg == "--append-net" {
+            append_net = true;
         } else if arg == "--smoke" {
             smoke = true;
         } else if arg.starts_with('-') {
             eprintln!(
                 "unknown flag `{arg}` (supported: --append-dyn, --append-build, \
-                 --append-tick-large, --append-trial, --smoke)"
+                 --append-tick-large, --append-trial, --append-net, --smoke)"
             );
             std::process::exit(2);
         } else if out_path.replace(arg).is_some() {
@@ -571,7 +702,7 @@ fn main() {
         eprintln!("--smoke requires an explicit scratch output path");
         std::process::exit(2);
     }
-    if append_dyn || append_build || append_tick_large || append_trial {
+    if append_dyn || append_build || append_tick_large || append_trial || append_net {
         if append_dyn {
             append_dyn_baseline(&out_path, smoke);
         }
@@ -583,6 +714,9 @@ fn main() {
         }
         if append_trial {
             append_trial_baseline(&out_path, smoke);
+        }
+        if append_net {
+            append_net_baseline(&out_path, smoke);
         }
         return;
     }

@@ -228,6 +228,7 @@ impl SweepAggregator {
         }
         let mut verdicts = derive_verdicts(&fits);
         verdicts.extend(derive_degradation_verdicts(&self.cells));
+        verdicts.extend(derive_latency_verdicts(&self.cells));
         SweepAggregate {
             cells: self.cells,
             fits,
@@ -501,6 +502,177 @@ fn derive_degradation_verdicts(cells: &[CellSummary]) -> Vec<Verdict> {
         }
     }
     verdicts
+}
+
+/// Upper bound on transmission-cost inflation across a latency ladder,
+/// relative to the ladder's zero-latency rung: message delay staleness wastes
+/// some exchanges but must not blow the cost up by more than this factor at
+/// the mean latencies the committed sweeps probe (≲ a few clock slots).
+pub const LATENCY_COST_CEILING: f64 = 3.0;
+
+/// One rung of a latency ladder, parsed back out of a group key's `lat=`
+/// tail (or the bare group, which is the shared-memory zero-latency rung).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct LatencyCoords {
+    /// Mean per-message latency (0 for instant and shared-memory).
+    mean: f64,
+    /// Whether the cell actually ran on the message-passing transport.
+    transported: bool,
+}
+
+/// Splits a group key into its transport-free base and the latency rung its
+/// final segment encodes (`…/eps=0.05/lat=exp:0.01`). Groups without a
+/// `lat=` tail are the shared-memory rung of their own base.
+fn split_latency_group(group: &str) -> (&str, LatencyCoords) {
+    let shared_memory = LatencyCoords {
+        mean: 0.0,
+        transported: false,
+    };
+    let Some((base, tail)) = group.rsplit_once('/') else {
+        return (group, shared_memory);
+    };
+    let Some(model) = tail.strip_prefix("lat=") else {
+        return (group, shared_memory);
+    };
+    let mean = match model {
+        "instant" => Some(0.0),
+        other => other
+            .strip_prefix("fixed:")
+            .or_else(|| other.strip_prefix("exp:"))
+            .and_then(|v| v.parse().ok()),
+    };
+    match mean {
+        Some(mean) => (
+            base,
+            LatencyCoords {
+                mean,
+                transported: true,
+            },
+        ),
+        None => (group, shared_memory),
+    }
+}
+
+/// Derives the latency-degradation verdicts, one triple per
+/// `(protocol, transport-free group, n)` ladder holding at least two rungs of
+/// which at least one ran on the message-passing transport:
+///
+/// * **convergence retained** — every rung converges on all trials (the
+///   committed sweeps keep mean latency within a few clock slots, where
+///   staleness slows gossip but cannot stall it);
+/// * **cost monotone** — ordering rungs by mean latency, mean transmissions
+///   never *drop* by more than [`DEGRADATION_SLACK`]: delay can only waste
+///   exchanges, never save them;
+/// * **cost bounded** — no rung costs more than [`LATENCY_COST_CEILING`]
+///   times the ladder's zero-latency rung.
+fn derive_latency_verdicts(cells: &[CellSummary]) -> Vec<Verdict> {
+    fn base_name(protocol: &str) -> &str {
+        protocol.split('{').next().unwrap_or(protocol)
+    }
+    type LadderKey = (String, String, usize);
+    let mut ladders: Vec<(LadderKey, Vec<(LatencyCoords, &CellSummary)>)> = Vec::new();
+    for cell in cells {
+        let (base_group, coords) = split_latency_group(&cell.group);
+        // Fault-ladder cells have their own verdict family; a fault tail is
+        // not a latency rung (and transport + faults cannot combine anyway).
+        if !coords.transported && split_fault_group(&cell.group).0 != cell.group.as_str() {
+            continue;
+        }
+        let key = (
+            base_name(&cell.protocol).to_string(),
+            base_group.to_string(),
+            cell.n,
+        );
+        match ladders.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, rungs)) => rungs.push((coords, cell)),
+            None => ladders.push((key, vec![(coords, cell)])),
+        }
+    }
+    let mut verdicts = Vec::new();
+    for ((protocol, base_group, n), mut rungs) in ladders {
+        if rungs.len() < 2 || !rungs.iter().any(|(coords, _)| coords.transported) {
+            continue;
+        }
+        rungs.sort_by(|a, b| {
+            a.0.mean
+                .partial_cmp(&b.0.mean)
+                .expect("latency means are finite")
+        });
+        let label = format!("{protocol}, {base_group}, n={n}");
+
+        // L1: every rung still converges.
+        let conv_holds = rungs
+            .iter()
+            .all(|(_, cell)| cell.trials > 0 && cell.converged == cell.trials);
+        let conv_details: Vec<String> = rungs
+            .iter()
+            .map(|(coords, cell)| {
+                format!(
+                    "{}: {}/{} trials converged",
+                    latency_token(coords),
+                    cell.converged,
+                    cell.trials
+                )
+            })
+            .collect();
+        verdicts.push(Verdict {
+            claim: format!("convergence retained at every latency rung ({label})"),
+            holds: conv_holds,
+            details: conv_details.join("; "),
+        });
+
+        // L2: cost is monotone in mean latency, up to slack.
+        let mut monotone_holds = true;
+        let mut monotone_details = Vec::new();
+        for pair in rungs.windows(2) {
+            let (lo, hi) = (&pair[0], &pair[1]);
+            if hi.1.mean_transmissions * DEGRADATION_SLACK < lo.1.mean_transmissions {
+                monotone_holds = false;
+            }
+            monotone_details.push(format!(
+                "tx({}) = {:.0} → tx({}) = {:.0}",
+                latency_token(&lo.0),
+                lo.1.mean_transmissions,
+                latency_token(&hi.0),
+                hi.1.mean_transmissions
+            ));
+        }
+        verdicts.push(Verdict {
+            claim: format!("transmission cost monotone in mean latency ({label})"),
+            holds: monotone_holds,
+            details: monotone_details.join("; "),
+        });
+
+        // L3: cost inflation over the zero-latency rung stays bounded.
+        let baseline = rungs[0].1.mean_transmissions;
+        let bound = baseline * LATENCY_COST_CEILING;
+        let worst = rungs
+            .iter()
+            .map(|(_, cell)| cell.mean_transmissions)
+            .fold(f64::NEG_INFINITY, f64::max);
+        verdicts.push(Verdict {
+            claim: format!(
+                "transmission cost inflation bounded by {LATENCY_COST_CEILING}x at every \
+                 latency rung ({label})"
+            ),
+            holds: worst <= bound,
+            details: format!(
+                "worst rung {worst:.0} tx vs bound {bound:.0} (zero-latency baseline \
+                 {baseline:.0})"
+            ),
+        });
+    }
+    verdicts
+}
+
+/// Compact human token for one latency rung (`shared-memory`, `lat=0`,
+/// `lat=0.01`, …).
+fn latency_token(coords: &LatencyCoords) -> String {
+    if coords.transported {
+        format!("lat={}", coords.mean)
+    } else {
+        "shared-memory".into()
+    }
 }
 
 /// Compact human token for one fault level (`none`, `drop=0.3`, …).
@@ -795,6 +967,113 @@ mod tests {
     fn degradation_verdicts_need_at_least_two_fault_levels() {
         let mut agg = SweepAggregator::new();
         agg.push(&fault_record(0, "", 1000, 0.048, true));
+        let result = agg.finish();
+        assert!(result.verdicts.is_empty(), "{:#?}", result.verdicts);
+    }
+
+    /// A record at one rung of a latency ladder (empty tail = shared-memory).
+    fn latency_record(
+        index: u64,
+        latency_tail: &str,
+        cost: u64,
+        final_error: f64,
+        converged: bool,
+    ) -> CellRecord {
+        let group = if latency_tail.is_empty() {
+            "unit-square/uniform-square/cc=1.5/eps=0.05".to_string()
+        } else {
+            format!("unit-square/uniform-square/cc=1.5/eps=0.05/{latency_tail}")
+        };
+        let mut t = trial(cost, 100);
+        t.final_error = final_error;
+        t.converged = converged;
+        CellRecord {
+            index,
+            name: format!("s/c{index:04}-pairwise-n96"),
+            protocol: "pairwise".into(),
+            group,
+            n: 96,
+            epsilon: 0.05,
+            trials: vec![t],
+        }
+    }
+
+    #[test]
+    fn latency_groups_split_into_base_and_rungs() {
+        let (base, coords) =
+            split_latency_group("unit-square/uniform-square/cc=1.5/eps=0.05/lat=exp:0.01");
+        assert_eq!(base, "unit-square/uniform-square/cc=1.5/eps=0.05");
+        assert_eq!(coords.mean, 0.01);
+        assert!(coords.transported);
+        let (_, coords) = split_latency_group("a/b/lat=instant");
+        assert_eq!(coords.mean, 0.0);
+        assert!(coords.transported);
+        let (_, coords) = split_latency_group("a/b/lat=fixed:0.25");
+        assert_eq!(coords.mean, 0.25);
+        // Plain and fault-tailed groups are the shared-memory rung of
+        // themselves.
+        for group in ["a/b/eps=0.05", "a/b/eps=0.05/drop=0.1"] {
+            let (base, coords) = split_latency_group(group);
+            assert_eq!(base, group);
+            assert!(!coords.transported);
+        }
+    }
+
+    #[test]
+    fn latency_verdicts_pass_on_a_well_behaved_ladder() {
+        let mut agg = SweepAggregator::new();
+        agg.push(&latency_record(0, "", 1000, 0.048, true));
+        agg.push(&latency_record(1, "lat=instant", 1000, 0.048, true));
+        agg.push(&latency_record(2, "lat=fixed:0.005", 1200, 0.047, true));
+        agg.push(&latency_record(3, "lat=exp:0.01", 1600, 0.049, true));
+        let result = agg.finish();
+        let latency: Vec<&Verdict> = result
+            .verdicts
+            .iter()
+            .filter(|v| v.claim.contains("latency"))
+            .collect();
+        assert_eq!(latency.len(), 3, "{:#?}", result.verdicts);
+        assert!(latency.iter().all(|v| v.holds), "{:#?}", result.verdicts);
+        assert!(latency.iter().any(|v| v
+            .claim
+            .contains("convergence retained at every latency rung")));
+        assert!(latency
+            .iter()
+            .any(|v| v.claim.contains("cost monotone in mean latency")));
+        assert!(latency
+            .iter()
+            .any(|v| v.claim.contains("cost inflation bounded")));
+        // No fault-degradation verdicts piggy-back on a pure latency ladder.
+        assert_eq!(result.verdicts.len(), 3, "{:#?}", result.verdicts);
+    }
+
+    #[test]
+    fn latency_verdicts_flag_each_failure_mode() {
+        // A rung that fails to converge, costs *less* than a lower rung by
+        // more than slack, and blows through the inflation ceiling.
+        let mut agg = SweepAggregator::new();
+        agg.push(&latency_record(0, "lat=instant", 9000, 0.048, true));
+        agg.push(&latency_record(1, "lat=exp:0.01", 1000, 0.2, false));
+        let mut failing = latency_record(2, "lat=exp:0.02", 40000, 0.3, true);
+        failing.trials[0].transmissions = 40000;
+        agg.push(&failing);
+        let result = agg.finish();
+        let latency: Vec<&Verdict> = result
+            .verdicts
+            .iter()
+            .filter(|v| v.claim.contains("latency"))
+            .collect();
+        assert_eq!(latency.len(), 3);
+        assert!(latency.iter().all(|v| !v.holds), "{:#?}", result.verdicts);
+    }
+
+    #[test]
+    fn latency_verdicts_need_a_transported_rung() {
+        // Two shared-memory cells in the same group never form a ladder
+        // (they are one cell's group in real sweeps anyway), and a single
+        // transported cell has nothing to compare against.
+        let mut agg = SweepAggregator::new();
+        agg.push(&latency_record(0, "lat=instant", 1000, 0.048, true));
         let result = agg.finish();
         assert!(result.verdicts.is_empty(), "{:#?}", result.verdicts);
     }

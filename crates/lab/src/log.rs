@@ -73,9 +73,11 @@ pub struct CellRecord {
     /// Protocol key: registry name plus rendered params when present.
     pub protocol: String,
     /// The non-protocol, non-`n` axis coordinates
-    /// (`surface/placement/radius/eps=…`, plus the fault token as a final
-    /// `/drop=…+stale=…` segment when the cell injects faults) — the
-    /// fit-grouping key. No-fault cells keep the historical four-segment key.
+    /// (`surface/placement/radius/eps=…`, plus the fault token as a
+    /// `/drop=…+stale=…` segment when the cell injects faults, plus the
+    /// transport token as a `/lat=…` segment when the cell runs on the
+    /// message-passing transport) — the fit-grouping key. Default cells keep
+    /// the historical four-segment key.
     pub group: String,
     /// Network size of the cell.
     pub n: usize,
@@ -137,6 +139,10 @@ impl CellRecord {
         if !spec.faults.is_none() {
             group.push('/');
             group.push_str(&spec.faults.token());
+        }
+        if let Some(transport) = &spec.transport {
+            group.push('/');
+            group.push_str(&transport.token());
         }
         let trials = report
             .trials
@@ -418,6 +424,38 @@ mod tests {
                 seconds: 0.5,
                 engine_seconds: 0.4,
             }],
+        }
+    }
+
+    /// The group key of a transport cell carries the `lat=` token as its
+    /// final segment (the latency-ladder coordinate the aggregator parses).
+    #[test]
+    fn transport_cells_append_the_latency_token_to_the_group() {
+        use geogossip_sim::scenario::{ScenarioReport, ScenarioSpec, SweepCell};
+        use geogossip_sim::transport::{LatencyModel, TransportSpec};
+        let bare = ScenarioSpec::standard("pairwise", 16, 0.1);
+        let transported = bare.clone().with_transport(TransportSpec {
+            latency: LatencyModel::Exponential { mean: 0.01 },
+        });
+        for (spec, suffix) in [(bare, None), (transported, Some("/lat=exp:0.01"))] {
+            let cell = SweepCell {
+                index: 0,
+                spec: spec.clone(),
+            };
+            let report = ScenarioReport::new(spec, "pairwise (Boyd)".into(), Vec::new());
+            let record = CellRecord::new(&cell, &report);
+            match suffix {
+                Some(suffix) => assert!(
+                    record.group.ends_with(suffix),
+                    "group `{}` lacks `{suffix}`",
+                    record.group
+                ),
+                None => assert!(
+                    !record.group.contains("lat="),
+                    "default cell got a transport tail: `{}`",
+                    record.group
+                ),
+            }
         }
     }
 

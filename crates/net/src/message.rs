@@ -1,0 +1,73 @@
+//! The typed protocol messages exchanged between sensor actors.
+//!
+//! Every network interaction in the message-passing runtime is one of these
+//! variants. The shared-memory protocols in `geogossip-core` read and write
+//! their partners' values directly; here the same exchanges are decomposed
+//! into explicit messages that travel through the scheduler's event queue and
+//! are subject to the latency model.
+//!
+//! Transmission accounting mirrors the shared-memory oracle exactly:
+//!
+//! * [`Message::Exchange`] and [`Message::AveragingReply`] are the two halves
+//!   of a pairwise exchange — one local transmission each, matching the
+//!   oracle's `charge_local(2)`.
+//! * [`Message::RouteRequest`] and [`Message::RouteReply`] are charged one
+//!   routing transmission **per hop**; summed over a round trip this equals
+//!   the oracle's lump `charge_routing(outbound + back)`.
+//! * [`Message::Commit`] is the uncharged completion handshake. The
+//!   shared-memory protocols write both endpoints from the activated node in
+//!   a single step; the commit ack reproduces that write *order* (activated
+//!   node first, partner second) without inventing a transmission the oracle
+//!   never counted.
+
+use geogossip_geometry::point::NodeId;
+use geogossip_geometry::Point;
+
+/// A protocol message addressed to a single sensor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Message {
+    /// Pairwise gossip, leg 1: the activated sensor `origin` offers its
+    /// current value to a uniformly chosen neighbor.
+    Exchange {
+        /// The activated sensor that initiated the exchange.
+        origin: NodeId,
+        /// `origin`'s value at activation time.
+        value: f64,
+    },
+    /// Pairwise gossip, leg 2: the neighbor answers with the convex average;
+    /// nobody has committed yet.
+    AveragingReply {
+        /// The neighbor that computed the average.
+        origin: NodeId,
+        /// The convex average of the two values.
+        value: f64,
+    },
+    /// Geographic gossip, outbound leg: a greedy-routed request forwarded one
+    /// hop at a time toward `target`.
+    RouteRequest {
+        /// The activated sensor that initiated the round.
+        origin: NodeId,
+        /// The geographic routing target.
+        target: Point,
+        /// For node-addressed routing (`uniform-index`), the intended
+        /// destination; `None` for position-addressed routing
+        /// (`nearest-position`), where the greedy terminus *is* the partner.
+        dest: Option<NodeId>,
+    },
+    /// Geographic gossip, return leg: the terminus' value greedy-routed back
+    /// toward the activated sensor.
+    RouteReply {
+        /// The route terminus answering the request.
+        origin: NodeId,
+        /// The activated sensor the reply is routed back to.
+        dest: NodeId,
+        /// `origin`'s value when the request arrived.
+        value: f64,
+    },
+    /// Uncharged completion handshake: the recipient commits `value` and the
+    /// round is counted as an exchange.
+    Commit {
+        /// The averaged value the recipient must adopt.
+        value: f64,
+    },
+}

@@ -1,0 +1,370 @@
+//! Message-passing actors for the pairwise and geographic gossip protocols.
+//!
+//! Each actor mirrors its shared-memory oracle (`geogossip_core::PairwiseGossip`,
+//! `geogossip_core::GeographicGossip`) *exactly* on the instant-lossless
+//! schedule: the same activation-stream RNG draws in the same order, the same
+//! [`convex_average`] argument order, the same [`GossipState::set`] **write
+//! order** (activated node first, partner second — the incremental error
+//! accumulator makes write order bit-significant), the same transmission
+//! charges, and the same counter semantics. `tests/net_parity.rs` pins all of
+//! it against the oracle.
+//!
+//! Under non-instant schedules the decomposition changes behavior in exactly
+//! the ways a real network would: values carried by messages can be stale by
+//! the time they arrive, commits can overwrite writes that happened while the
+//! round was in flight (so exact mass conservation is no longer guaranteed —
+//! that loss *is* the measured degradation), and rounds still in flight when
+//! the run stops are abandoned.
+
+use crate::message::Message;
+use crate::scheduler::{NetContext, NetProtocol};
+use geogossip_core::prelude::convex_average;
+use geogossip_core::GossipState;
+use geogossip_geometry::point::NodeId;
+use geogossip_graph::GeometricGraph;
+use geogossip_routing::greedy::greedy_step;
+use geogossip_routing::TargetSelector;
+use geogossip_sim::engine::SquaredError;
+use geogossip_sim::ProtocolError;
+use rand::{Rng, RngCore};
+
+/// Validation shared by both actors, mirroring the oracle constructors.
+fn check_network(graph: &GeometricGraph, values: &[f64]) -> Result<(), ProtocolError> {
+    if graph.is_empty() {
+        return Err(ProtocolError::EmptyNetwork);
+    }
+    if values.len() != graph.len() {
+        return Err(ProtocolError::ValueLengthMismatch {
+            nodes: graph.len(),
+            values: values.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Pairwise nearest-neighbor gossip (Boyd et al.) as message-passing actors.
+///
+/// A round is three messages: the activated sensor offers its value to a
+/// uniform neighbor ([`Message::Exchange`], one local transmission), the
+/// neighbor answers with the convex average without committing
+/// ([`Message::AveragingReply`], one local transmission), and the activated
+/// sensor commits first then releases the neighbor's commit
+/// ([`Message::Commit`], uncharged). Total charge: `charge_local(2)`, like
+/// the oracle; commit order: activated node before neighbor, like the
+/// oracle's single-step double write.
+pub struct PairwiseNet<'a> {
+    graph: &'a GeometricGraph,
+    state: GossipState,
+    exchanges: u64,
+    isolated_activations: u64,
+}
+
+impl<'a> PairwiseNet<'a> {
+    /// Creates the actor set over `graph` with one initial value per sensor.
+    pub fn new(graph: &'a GeometricGraph, values: Vec<f64>) -> Result<Self, ProtocolError> {
+        check_network(graph, &values)?;
+        Ok(PairwiseNet {
+            graph,
+            state: GossipState::new(values),
+            exchanges: 0,
+            isolated_activations: 0,
+        })
+    }
+
+    /// Read access to the value state (for tests and inspection).
+    pub fn state(&self) -> &GossipState {
+        &self.state
+    }
+}
+
+impl NetProtocol for PairwiseNet<'_> {
+    fn on_activation(&mut self, node: NodeId, ctx: &mut NetContext<'_>, rng: &mut dyn RngCore) {
+        let neighbors = self.graph.neighbors(node);
+        if neighbors.is_empty() {
+            self.isolated_activations += 1;
+            return;
+        }
+        let v = neighbors[rng.gen_range(0..neighbors.len())] as usize;
+        ctx.send_local(
+            NodeId(v),
+            Message::Exchange {
+                origin: node,
+                value: self.state.value(node.index()),
+            },
+        );
+    }
+
+    fn on_message(&mut self, at: NodeId, message: Message, ctx: &mut NetContext<'_>) {
+        match message {
+            Message::Exchange { origin, value } => {
+                // Oracle argument order: activated node's value first.
+                let (avg, _) = convex_average(value, self.state.value(at.index()));
+                ctx.send_local(
+                    origin,
+                    Message::AveragingReply {
+                        origin: at,
+                        value: avg,
+                    },
+                );
+            }
+            Message::AveragingReply { origin, value } => {
+                self.state.set(at.index(), value);
+                ctx.send_free(origin, Message::Commit { value });
+            }
+            Message::Commit { value } => {
+                self.state.set(at.index(), value);
+                self.exchanges += 1;
+            }
+            other => unreachable!("pairwise actors never receive routing messages: {other:?}"),
+        }
+    }
+
+    fn relative_error(&self) -> f64 {
+        self.state.relative_error()
+    }
+
+    fn squared_error(&self) -> Option<SquaredError> {
+        Some(SquaredError {
+            current_sq: self.state.deviation_sq(),
+            initial: self.state.initial_deviation(),
+        })
+    }
+
+    fn name(&self) -> &str {
+        "pairwise (Boyd)"
+    }
+
+    fn metrics(&self) -> Vec<(String, f64)> {
+        vec![
+            ("exchanges".to_string(), self.exchanges as f64),
+            (
+                "isolated_activations".to_string(),
+                self.isolated_activations as f64,
+            ),
+        ]
+    }
+}
+
+/// Geographic gossip (Dimakis et al.) as message-passing actors.
+///
+/// A round is a greedy-routed request forwarded hop by hop toward the target
+/// ([`Message::RouteRequest`], one routing transmission per hop), a reply
+/// carrying the terminus' value greedy-routed back ([`Message::RouteReply`],
+/// one routing transmission per hop), and the commit handshake
+/// ([`Message::Commit`], uncharged). Per-hop charges over the round trip sum
+/// to the oracle's lump `charge_routing(outbound + back)`.
+///
+/// Route failures mirror the oracle's accounting: a node-addressed request
+/// whose greedy walk dead-ends short of its destination counts one failed
+/// route (the exchange still happens with the terminus), and a return walk
+/// that dead-ends counts another — the oracle then completes the exchange
+/// through shared memory, modeled here as an uncharged direct handoff.
+pub struct GeographicNet<'a> {
+    graph: &'a GeometricGraph,
+    state: GossipState,
+    selector: TargetSelector,
+    exchanges: u64,
+    failed_routes: u64,
+}
+
+impl<'a> GeographicNet<'a> {
+    /// Creates the actor set with the paper's default partner selection
+    /// (nearest node to a uniform position), mirroring
+    /// `GeographicGossip::new`.
+    pub fn new(graph: &'a GeometricGraph, values: Vec<f64>) -> Result<Self, ProtocolError> {
+        GeographicNet::with_selector(graph, values, TargetSelector::NearestToUniformPosition)
+    }
+
+    /// Creates the actor set with the given partner-selection rule.
+    ///
+    /// Supported selectors: [`TargetSelector::NearestToUniformPosition`] and
+    /// [`TargetSelector::UniformByIndex`]. The rejection-sampled selector is
+    /// a shared-memory precomputation and has no message-passing form; the
+    /// runtime rejects it before construction.
+    pub fn with_selector(
+        graph: &'a GeometricGraph,
+        values: Vec<f64>,
+        selector: TargetSelector,
+    ) -> Result<Self, ProtocolError> {
+        check_network(graph, &values)?;
+        Ok(GeographicNet {
+            graph,
+            state: GossipState::new(values),
+            selector,
+            exchanges: 0,
+            failed_routes: 0,
+        })
+    }
+
+    /// Read access to the value state (for tests and inspection).
+    pub fn state(&self) -> &GossipState {
+        &self.state
+    }
+
+    /// Starts the return leg from terminus `p` back to the activated sensor
+    /// `s`, carrying `p`'s current value.
+    fn begin_reply(&mut self, p: NodeId, s: NodeId, ctx: &mut NetContext<'_>) {
+        let reply = Message::RouteReply {
+            origin: p,
+            dest: s,
+            value: self.state.value(p.index()),
+        };
+        match greedy_step(self.graph, p, self.graph.position(s)) {
+            Some(next) => ctx.send_routed(next, reply),
+            None => {
+                // Zero-hop dead end on the return walk: the oracle counts the
+                // failed route and reads through shared memory (back.hops = 0,
+                // nothing charged). Model the read as an uncharged handoff.
+                self.failed_routes += 1;
+                ctx.send_free(s, reply);
+            }
+        }
+    }
+}
+
+impl NetProtocol for GeographicNet<'_> {
+    fn on_activation(&mut self, node: NodeId, ctx: &mut NetContext<'_>, rng: &mut dyn RngCore) {
+        if self.graph.len() < 2 {
+            return;
+        }
+        match &self.selector {
+            TargetSelector::NearestToUniformPosition => {
+                // Same two uniform draws as the oracle's target sample.
+                let target = geogossip_geometry::sampling::uniform_point_in(
+                    geogossip_geometry::unit_square(),
+                    rng,
+                );
+                match greedy_step(self.graph, node, target) {
+                    // The activated sensor is already the greedy terminus:
+                    // the oracle's partner == s early return, uncharged.
+                    None => {}
+                    Some(next) => ctx.send_routed(
+                        next,
+                        Message::RouteRequest {
+                            origin: node,
+                            target,
+                            dest: None,
+                        },
+                    ),
+                }
+            }
+            selector => {
+                let Some(partner) = selector.draw(self.graph, node, rng) else {
+                    return;
+                };
+                let target = self.graph.position(partner);
+                match greedy_step(self.graph, node, target) {
+                    None => {
+                        // Dead end at hop zero: the terminus is the activated
+                        // sensor itself, so the route is undelivered (partner
+                        // is a distinct node) and the oracle then drops the
+                        // round at its partner == s check, uncharged.
+                        self.failed_routes += 1;
+                    }
+                    Some(next) => ctx.send_routed(
+                        next,
+                        Message::RouteRequest {
+                            origin: node,
+                            target,
+                            dest: Some(partner),
+                        },
+                    ),
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, at: NodeId, message: Message, ctx: &mut NetContext<'_>) {
+        match message {
+            Message::RouteRequest {
+                origin,
+                target,
+                dest,
+            } => match greedy_step(self.graph, at, target) {
+                Some(next) => ctx.send_routed(
+                    next,
+                    Message::RouteRequest {
+                        origin,
+                        target,
+                        dest,
+                    },
+                ),
+                None => {
+                    // `at` is the greedy terminus. A node-addressed route that
+                    // stopped short of its destination is a failed delivery
+                    // (the exchange still proceeds with the terminus).
+                    if dest.is_some_and(|d| d != at) {
+                        self.failed_routes += 1;
+                    }
+                    self.begin_reply(at, origin, ctx);
+                }
+            },
+            Message::RouteReply {
+                origin,
+                dest,
+                value,
+            } => {
+                if at == dest {
+                    // The activated sensor completes the round: oracle
+                    // argument order (its own value first) and oracle write
+                    // order (itself first, partner second via the commit).
+                    let (new_s, new_p) = convex_average(self.state.value(at.index()), value);
+                    self.state.set(at.index(), new_s);
+                    ctx.send_free(origin, Message::Commit { value: new_p });
+                } else {
+                    match greedy_step(self.graph, at, self.graph.position(dest)) {
+                        Some(next) => ctx.send_routed(
+                            next,
+                            Message::RouteReply {
+                                origin,
+                                dest,
+                                value,
+                            },
+                        ),
+                        None => {
+                            // Return walk dead-ends mid-route: count the
+                            // failure and hand off unchanged, like the
+                            // oracle's shared-memory completion.
+                            self.failed_routes += 1;
+                            ctx.send_free(
+                                dest,
+                                Message::RouteReply {
+                                    origin,
+                                    dest,
+                                    value,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            Message::Commit { value } => {
+                self.state.set(at.index(), value);
+                self.exchanges += 1;
+            }
+            other => unreachable!("geographic actors never receive pairwise messages: {other:?}"),
+        }
+    }
+
+    fn relative_error(&self) -> f64 {
+        self.state.relative_error()
+    }
+
+    fn squared_error(&self) -> Option<SquaredError> {
+        Some(SquaredError {
+            current_sq: self.state.deviation_sq(),
+            initial: self.state.initial_deviation(),
+        })
+    }
+
+    fn name(&self) -> &str {
+        "geographic (Dimakis)"
+    }
+
+    fn metrics(&self) -> Vec<(String, f64)> {
+        vec![
+            ("exchanges".to_string(), self.exchanges as f64),
+            ("failed_routes".to_string(), self.failed_routes as f64),
+        ]
+    }
+}

@@ -1,0 +1,254 @@
+//! The [`TransportRuntime`] implementation plugged into the scenario runner.
+//!
+//! [`NetRuntime`] maps a protocol spec onto the message-passing actors,
+//! mirroring the shared-memory registry's parameter validation (same known
+//! keys, same unknown-selector wording), runs the [`NetScheduler`], and
+//! returns the oracle-keyed metrics with the message ledger appended.
+
+use crate::protocols::{GeographicNet, PairwiseNet};
+use crate::scheduler::{MessageLedger, NetProtocol, NetScheduler};
+use geogossip_graph::GeometricGraph;
+use geogossip_routing::TargetSelector;
+use geogossip_sim::engine::{EngineReport, StopCondition};
+use geogossip_sim::scenario::ProtocolSpec;
+use geogossip_sim::transport::{TransportRuntime, TransportSpec, TransportTrial};
+use geogossip_sim::ProtocolError;
+use rand::RngCore;
+
+/// The message-passing runtime for the scenario runner's `transport` key.
+///
+/// Protocols with message-passing implementations: `pairwise` and
+/// `geographic` (selectors `nearest-position` and `uniform-index`). The
+/// hierarchical affine protocols are round-based — they do not run on the
+/// asynchronous activation clock this runtime simulates — and
+/// `rejection-sampled` partner selection is a shared-memory precomputation;
+/// both are rejected with errors naming the offending spec path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetRuntime;
+
+impl NetRuntime {
+    /// Creates the runtime (stateless; one instance serves every trial).
+    pub fn new() -> Self {
+        NetRuntime
+    }
+}
+
+fn finish(
+    protocol: &dyn NetProtocol,
+    report: EngineReport,
+    ledger: MessageLedger,
+) -> TransportTrial {
+    let mut metrics = protocol.metrics();
+    metrics.extend(ledger.metrics());
+    TransportTrial {
+        label: protocol.name().to_string(),
+        report,
+        rounds: None,
+        metrics,
+    }
+}
+
+impl TransportRuntime for NetRuntime {
+    fn run_trial(
+        &self,
+        protocol: &ProtocolSpec,
+        transport: &TransportSpec,
+        graph: &GeometricGraph,
+        values: Vec<f64>,
+        stop: StopCondition,
+        rng: &mut dyn RngCore,
+        net_rng: &mut dyn RngCore,
+    ) -> Result<TransportTrial, ProtocolError> {
+        transport.validate()?;
+        match protocol.name.as_str() {
+            "pairwise" => {
+                protocol.reject_unknown(&[])?;
+                let mut net = PairwiseNet::new(graph, values)?;
+                let (report, ledger) = NetScheduler::new(graph.len()).run(
+                    &mut net,
+                    stop,
+                    transport.latency,
+                    rng,
+                    net_rng,
+                );
+                Ok(finish(&net, report, ledger))
+            }
+            "geographic" => {
+                // Same known keys as the shared-memory registry builder, so a
+                // spec that validates there validates here (and vice versa).
+                protocol.reject_unknown(&["selector", "probes", "cap"])?;
+                let selector = match protocol.text("selector", "nearest-position")?.as_str() {
+                    "nearest-position" => TargetSelector::NearestToUniformPosition,
+                    "uniform-index" => TargetSelector::UniformByIndex,
+                    "rejection-sampled" => {
+                        return Err(ProtocolError::invalid(
+                            "protocol.selector",
+                            "`rejection-sampled` has no message-passing implementation \
+                             (its acceptance table is a shared-memory precomputation); \
+                             use nearest-position or uniform-index, or drop the \
+                             `transport` key",
+                        ))
+                    }
+                    other => {
+                        return Err(ProtocolError::invalid(
+                            "selector",
+                            format!(
+                                "unknown selector `{other}` (known: nearest-position, \
+                                 uniform-index, rejection-sampled)"
+                            ),
+                        ))
+                    }
+                };
+                let mut net = GeographicNet::with_selector(graph, values, selector)?;
+                let (report, ledger) = NetScheduler::new(graph.len()).run(
+                    &mut net,
+                    stop,
+                    transport.latency,
+                    rng,
+                    net_rng,
+                );
+                Ok(finish(&net, report, ledger))
+            }
+            other => Err(ProtocolError::invalid(
+                "transport",
+                format!(
+                    "protocol `{other}` has no message-passing implementation \
+                     (available: pairwise, geographic)"
+                ),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geogossip_sim::transport::LatencyModel;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn graph(n: usize, seed: u64) -> GeometricGraph {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let positions = geogossip_geometry::sampling::sample_unit_square(n, &mut rng);
+        GeometricGraph::build_at_connectivity_radius(positions, 2.0)
+    }
+
+    fn spike(n: usize) -> Vec<f64> {
+        let mut values = vec![0.0; n];
+        values[0] = n as f64;
+        values
+    }
+
+    fn run(
+        protocol: &ProtocolSpec,
+        transport: &TransportSpec,
+        graph: &GeometricGraph,
+    ) -> Result<TransportTrial, ProtocolError> {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut net_rng = ChaCha8Rng::seed_from_u64(12);
+        NetRuntime::new().run_trial(
+            protocol,
+            transport,
+            graph,
+            spike(graph.len()),
+            StopCondition::at_epsilon(0.25).with_max_ticks(200_000),
+            &mut rng,
+            &mut net_rng,
+        )
+    }
+
+    #[test]
+    fn pairwise_and_geographic_run_and_report_ledger_metrics() {
+        let graph = graph(48, 1);
+        for (spec, label) in [
+            (ProtocolSpec::named("pairwise"), "pairwise (Boyd)"),
+            (ProtocolSpec::named("geographic"), "geographic (Dimakis)"),
+        ] {
+            let trial = run(&spec, &TransportSpec::default(), &graph).unwrap();
+            assert_eq!(trial.label, label);
+            assert!(trial.report.converged());
+            assert!(trial.rounds.is_none());
+            let keys: Vec<&str> = trial.metrics.iter().map(|(k, _)| k.as_str()).collect();
+            assert!(keys.contains(&"exchanges"));
+            assert!(keys.contains(&"messages_sent"));
+            assert!(keys.contains(&"messages_delivered"));
+            assert!(keys.contains(&"messages_in_flight_peak"));
+        }
+    }
+
+    #[test]
+    fn unknown_protocols_and_selectors_name_the_spec_path() {
+        let graph = graph(16, 2);
+        let err = run(
+            &ProtocolSpec::named("affine-complete"),
+            &TransportSpec::default(),
+            &graph,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("transport"), "{err}");
+        assert!(err.to_string().contains("affine-complete"), "{err}");
+
+        let err = run(
+            &ProtocolSpec::named("geographic").with_text("selector", "rejection-sampled"),
+            &TransportSpec::default(),
+            &graph,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("protocol.selector"), "{err}");
+
+        let err = run(
+            &ProtocolSpec::named("geographic").with_text("selector", "bogus"),
+            &TransportSpec::default(),
+            &graph,
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("unknown selector `bogus`"),
+            "{err}"
+        );
+
+        let err = run(
+            &ProtocolSpec::named("pairwise").with_number("cap", 3.0),
+            &TransportSpec::default(),
+            &graph,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown parameter"), "{err}");
+    }
+
+    #[test]
+    fn bad_transport_specs_are_rejected_before_running() {
+        let graph = graph(16, 3);
+        let bad = TransportSpec {
+            latency: LatencyModel::Fixed(-1.0),
+        };
+        let err = run(&ProtocolSpec::named("pairwise"), &bad, &graph).unwrap_err();
+        assert!(err.to_string().contains("transport.latency.fixed"), "{err}");
+    }
+
+    #[test]
+    fn exponential_latency_still_converges_and_uses_the_net_stream() {
+        let graph = graph(48, 4);
+        let transport = TransportSpec {
+            latency: LatencyModel::Exponential { mean: 0.001 },
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let mut net_rng = ChaCha8Rng::seed_from_u64(22);
+        let pristine = net_rng.clone();
+        let trial = NetRuntime::new()
+            .run_trial(
+                &ProtocolSpec::named("pairwise"),
+                &transport,
+                &graph,
+                spike(graph.len()),
+                StopCondition::at_epsilon(0.25).with_max_ticks(200_000),
+                &mut rng,
+                &mut net_rng,
+            )
+            .unwrap();
+        assert!(trial.report.converged());
+        // The latency model drew from the dedicated net stream.
+        let mut pristine = pristine;
+        assert_ne!(net_rng.next_u64(), pristine.next_u64());
+    }
+}

@@ -1,0 +1,482 @@
+//! The deterministic simulated scheduler driving sensor actors.
+//!
+//! [`NetScheduler::run`] is a message-passing re-implementation of the
+//! shared-memory engine loop (`geogossip_sim::engine::AsyncEngine::run`):
+//! the same stop checks in the same order, the same squared-domain
+//! convergence fast path (including [`geogossip_sim::engine::SQ_THRESHOLD_SLACK`]),
+//! the same trace stride/thinning discipline, and a Poisson activation clock
+//! consuming the identical `"run"` RNG stream. On the instant-lossless
+//! schedule every message a tick produces is delivered before the next loop
+//! iteration observes anything, so reports are **bit-identical** to the
+//! shared-memory oracle — pinned by `tests/net_parity.rs`.
+//!
+//! # Determinism contract
+//!
+//! * Activations (clock gaps, tick→node assignment, protocol partner draws)
+//!   consume the caller's `rng` — the same `"run"`-stream generator the
+//!   shared-memory engine would use, in the same order.
+//! * Message *latency* draws consume a separate `net_rng` (the dedicated
+//!   `"net"` seed stream). The [`LatencyModel::Instant`] and
+//!   [`LatencyModel::Fixed`] schedules draw **nothing** from it, so switching
+//!   among them can never perturb activation randomness.
+//! * Messages scheduled for the same delivery time are delivered in send
+//!   order ([`geogossip_sim::EventQueue`]'s FIFO sequence tie-break); distinct
+//!   times are delivered in time order, which under random latency reorders
+//!   messages in flight exactly as a real network would.
+
+use crate::message::Message;
+use geogossip_geometry::point::NodeId;
+use geogossip_sim::engine::{EngineReport, SquaredError, StopCondition, StopReason};
+use geogossip_sim::engine::{DEFAULT_MAX_TRACE_POINTS, SQ_THRESHOLD_SLACK};
+use geogossip_sim::metrics::{ConvergenceTrace, TracePoint, TransmissionCounter};
+use geogossip_sim::transport::LatencyModel;
+use geogossip_sim::{EventQueue, GlobalPoissonClock};
+use rand::RngCore;
+
+/// An in-flight message: who it is addressed to and what it carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Envelope {
+    /// The sensor the message is addressed to.
+    pub to: NodeId,
+    /// The message payload.
+    pub message: Message,
+}
+
+/// Message-economy accounting for one run: everything the transport layer
+/// moved, independent of what the protocol chose to charge.
+///
+/// `sent - delivered` messages were still in flight when the run stopped
+/// (abandoned; their effects never apply). On the instant schedule the queue
+/// drains within every tick, so `sent == delivered` and the in-flight peak
+/// only reflects intra-tick cascades.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MessageLedger {
+    /// Messages handed to the transport (including uncharged commits).
+    pub sent: u64,
+    /// Messages delivered to their recipient's actor.
+    pub delivered: u64,
+    /// Largest number of messages simultaneously in flight.
+    pub in_flight_peak: u64,
+}
+
+impl MessageLedger {
+    /// Messages still in flight (sent but not delivered).
+    pub fn in_flight(&self) -> u64 {
+        self.sent - self.delivered
+    }
+
+    /// The ledger as named metrics, appended to a trial's metric list.
+    pub fn metrics(&self) -> Vec<(String, f64)> {
+        vec![
+            ("messages_sent".to_string(), self.sent as f64),
+            ("messages_delivered".to_string(), self.delivered as f64),
+            (
+                "messages_in_flight_peak".to_string(),
+                self.in_flight_peak as f64,
+            ),
+        ]
+    }
+}
+
+/// The sending surface handed to actors during activations and message
+/// deliveries. `now` is the activation tick time (for activations) or the
+/// message's own arrival time (for deliveries), so cascaded sends are
+/// scheduled relative to when the sender actually acted.
+pub struct NetContext<'a> {
+    pub(crate) now: f64,
+    pub(crate) latency: LatencyModel,
+    pub(crate) net_rng: &'a mut dyn RngCore,
+    pub(crate) queue: &'a mut EventQueue<Envelope>,
+    pub(crate) tx: &'a mut TransmissionCounter,
+    pub(crate) ledger: &'a mut MessageLedger,
+}
+
+impl NetContext<'_> {
+    /// The simulation time the current activation or delivery runs at.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Sends a one-hop local message, charged as one local transmission.
+    pub fn send_local(&mut self, to: NodeId, message: Message) {
+        self.tx.charge_local(1);
+        self.dispatch(to, message);
+    }
+
+    /// Forwards a message one routing hop, charged as one routing
+    /// transmission. Per-hop charges over a greedy round trip sum to exactly
+    /// the lump `charge_routing(outbound + back)` of the shared-memory oracle.
+    pub fn send_routed(&mut self, to: NodeId, message: Message) {
+        self.tx.charge_routing(1);
+        self.dispatch(to, message);
+    }
+
+    /// Sends a message without charging any transmission: commit handshakes
+    /// (the oracle's single-step double write never counted a transmission)
+    /// and dead-end handoffs (the oracle's shared-memory fallback read). The
+    /// message still travels through the queue and the ledger counts it.
+    pub fn send_free(&mut self, to: NodeId, message: Message) {
+        self.dispatch(to, message);
+    }
+
+    fn dispatch(&mut self, to: NodeId, message: Message) {
+        let delay = self.latency.sample(self.net_rng);
+        self.ledger.sent += 1;
+        let in_flight = self.ledger.sent - self.ledger.delivered;
+        self.ledger.in_flight_peak = self.ledger.in_flight_peak.max(in_flight);
+        self.queue
+            .schedule(self.now + delay, Envelope { to, message });
+    }
+}
+
+/// A gossip protocol expressed as per-sensor actors: activations initiate
+/// rounds, message handlers advance them. The scheduler owns time, the event
+/// queue, and transmission/trace accounting; the protocol owns values and its
+/// own round counters.
+///
+/// Handlers deliberately receive no activation RNG: the shared-memory oracle
+/// consumes all of a tick's randomness inside the activation, so denying
+/// handlers access to it makes stream divergence unrepresentable.
+pub trait NetProtocol {
+    /// A sensor's Poisson clock ticked: start a round (or record why not).
+    fn on_activation(&mut self, node: NodeId, ctx: &mut NetContext<'_>, rng: &mut dyn RngCore);
+
+    /// A message addressed to `at` arrived.
+    fn on_message(&mut self, at: NodeId, message: Message, ctx: &mut NetContext<'_>);
+
+    /// Current ℓ₂ error relative to the initial error (the stop metric).
+    fn relative_error(&self) -> f64;
+
+    /// Squared-domain error pair for the engine's convergence fast path.
+    fn squared_error(&self) -> Option<SquaredError>;
+
+    /// Display name; matches the shared-memory protocol it mirrors.
+    fn name(&self) -> &str;
+
+    /// Protocol counters (same keys as the shared-memory oracle).
+    fn metrics(&self) -> Vec<(String, f64)>;
+}
+
+/// The simulated event-driven scheduler.
+///
+/// Construction mirrors `AsyncEngine::new`: the trace sampling stride
+/// defaults to one point per `n` ticks and traces are thinned geometrically
+/// above [`DEFAULT_MAX_TRACE_POINTS`].
+#[derive(Debug, Clone)]
+pub struct NetScheduler {
+    n: usize,
+    sample_every: u64,
+    max_trace_points: usize,
+}
+
+impl NetScheduler {
+    /// A scheduler for a network of `n` sensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero (protocol constructors reject empty networks
+    /// before a scheduler is ever built).
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "the net scheduler needs at least one sensor");
+        NetScheduler {
+            n,
+            sample_every: (n as u64).max(1),
+            max_trace_points: DEFAULT_MAX_TRACE_POINTS,
+        }
+    }
+
+    /// Runs `protocol` under the given latency schedule until `stop` is met.
+    ///
+    /// `rng` is the activation stream (the runner's `"run"` trial stream);
+    /// `net_rng` is the dedicated `"net"` trial stream consumed only by
+    /// latency models that actually draw (see the module docs).
+    ///
+    /// The loop replicates the shared-memory engine body statement for
+    /// statement; the only additions are the two `deliver_due` drains —
+    /// pending messages due by the tick's exact time are delivered *before*
+    /// the tick's activation (network catches up to the clock), and the
+    /// activation's own cascade is drained *after* it (instant messages land
+    /// within their tick). Stop checks therefore observe exactly the oracle's
+    /// transmission totals on the instant schedule.
+    pub fn run(
+        &mut self,
+        protocol: &mut dyn NetProtocol,
+        stop: StopCondition,
+        latency: LatencyModel,
+        rng: &mut dyn RngCore,
+        net_rng: &mut dyn RngCore,
+    ) -> (EngineReport, MessageLedger) {
+        let mut clock = GlobalPoissonClock::new(self.n);
+        let mut queue: EventQueue<Envelope> = EventQueue::new();
+        let mut tx = TransmissionCounter::new();
+        let mut ledger = MessageLedger::default();
+        let mut trace = ConvergenceTrace::new();
+        let mut ticks: u64 = 0;
+        let mut stride = self.sample_every.max(1);
+
+        trace.push(TracePoint {
+            transmissions: 0,
+            ticks: 0,
+            relative_error: protocol.relative_error(),
+        });
+
+        let threshold_hi = protocol.squared_error().map(|sq| {
+            let target = stop.epsilon * sq.initial;
+            (target * target) * SQ_THRESHOLD_SLACK
+        });
+
+        let reason = loop {
+            let clearly_above = match (threshold_hi, protocol.squared_error()) {
+                (Some(hi), Some(sq)) => sq.current_sq > hi,
+                _ => false,
+            };
+            if !clearly_above && protocol.relative_error() <= stop.epsilon {
+                break StopReason::Converged;
+            }
+            if stop.max_ticks.is_some_and(|m| ticks >= m) {
+                break StopReason::TickBudgetExhausted;
+            }
+            if stop.max_transmissions.is_some_and(|m| tx.total() >= m) {
+                break StopReason::TransmissionBudgetExhausted;
+            }
+
+            let tick = clock.next_tick(&mut *rng);
+            ticks = tick.index;
+
+            deliver_due(
+                protocol,
+                &mut queue,
+                tick.time,
+                latency,
+                net_rng,
+                &mut tx,
+                &mut ledger,
+            );
+            {
+                let mut ctx = NetContext {
+                    now: tick.time,
+                    latency,
+                    net_rng: &mut *net_rng,
+                    queue: &mut queue,
+                    tx: &mut tx,
+                    ledger: &mut ledger,
+                };
+                protocol.on_activation(tick.node, &mut ctx, rng);
+            }
+            deliver_due(
+                protocol,
+                &mut queue,
+                tick.time,
+                latency,
+                net_rng,
+                &mut tx,
+                &mut ledger,
+            );
+
+            if tick.index.is_multiple_of(stride) {
+                while trace.len() >= self.max_trace_points {
+                    stride = stride.saturating_mul(2);
+                    trace.thin_to_stride(stride);
+                }
+                if tick.index.is_multiple_of(stride) {
+                    trace.push(TracePoint {
+                        transmissions: tx.total(),
+                        ticks: tick.index,
+                        relative_error: protocol.relative_error(),
+                    });
+                }
+            }
+        };
+
+        trace.push(TracePoint {
+            transmissions: tx.total(),
+            ticks,
+            relative_error: protocol.relative_error(),
+        });
+
+        (
+            EngineReport {
+                reason,
+                transmissions: tx,
+                ticks,
+                time: clock.now(),
+                final_error: protocol.relative_error(),
+                trace,
+            },
+            ledger,
+        )
+    }
+}
+
+/// Delivers every queued message due at or before `horizon`, in (time, send
+/// sequence) order. Deliveries run at the message's own arrival time, so a
+/// handler's cascaded sends schedule from that moment — an instant cascade
+/// keeps landing inside the same drain.
+fn deliver_due(
+    protocol: &mut dyn NetProtocol,
+    queue: &mut EventQueue<Envelope>,
+    horizon: f64,
+    latency: LatencyModel,
+    net_rng: &mut dyn RngCore,
+    tx: &mut TransmissionCounter,
+    ledger: &mut MessageLedger,
+) {
+    while queue.peek_time().is_some_and(|t| t <= horizon) {
+        let event = queue.pop().expect("peek_time saw a due event");
+        ledger.delivered += 1;
+        let Envelope { to, message } = event.payload;
+        let mut ctx = NetContext {
+            now: event.time,
+            latency,
+            net_rng: &mut *net_rng,
+            queue,
+            tx,
+            ledger,
+        };
+        protocol.on_message(to, message, &mut ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// A sensor pair that ping-pongs one message per activation, for ledger
+    /// and drain-order checks without any gossip semantics.
+    struct PingPong {
+        bounces: u64,
+        error: f64,
+    }
+
+    impl NetProtocol for PingPong {
+        fn on_activation(
+            &mut self,
+            node: NodeId,
+            ctx: &mut NetContext<'_>,
+            _rng: &mut dyn RngCore,
+        ) {
+            let peer = NodeId(1 - node.index());
+            ctx.send_local(peer, Message::Commit { value: 1.0 });
+        }
+
+        fn on_message(&mut self, _at: NodeId, _message: Message, _ctx: &mut NetContext<'_>) {
+            self.bounces += 1;
+            self.error *= 0.5;
+        }
+
+        fn relative_error(&self) -> f64 {
+            self.error
+        }
+
+        fn squared_error(&self) -> Option<SquaredError> {
+            None
+        }
+
+        fn name(&self) -> &str {
+            "ping-pong"
+        }
+
+        fn metrics(&self) -> Vec<(String, f64)> {
+            vec![("bounces".to_string(), self.bounces as f64)]
+        }
+    }
+
+    #[test]
+    fn instant_schedule_delivers_within_the_tick() {
+        let mut protocol = PingPong {
+            bounces: 0,
+            error: 1.0,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut net_rng = ChaCha8Rng::seed_from_u64(2);
+        let (report, ledger) = NetScheduler::new(2).run(
+            &mut protocol,
+            StopCondition::at_epsilon(0.1),
+            LatencyModel::Instant,
+            &mut rng,
+            &mut net_rng,
+        );
+        assert!(report.converged());
+        // One message per tick, delivered the same tick: nothing in flight.
+        assert_eq!(ledger.sent, ledger.delivered);
+        assert_eq!(ledger.in_flight_peak, 1);
+        assert_eq!(ledger.in_flight(), 0);
+        assert_eq!(ledger.sent, report.ticks);
+        assert_eq!(protocol.bounces, report.ticks);
+        // Each send_local charged one transmission.
+        assert_eq!(report.transmissions.local(), report.ticks);
+    }
+
+    #[test]
+    fn instant_and_fixed_schedules_never_touch_the_net_stream() {
+        for latency in [LatencyModel::Instant, LatencyModel::Fixed(0.25)] {
+            let mut protocol = PingPong {
+                bounces: 0,
+                error: 1.0,
+            };
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            let mut net_rng = ChaCha8Rng::seed_from_u64(4);
+            let mut untouched = net_rng.clone();
+            let _ = NetScheduler::new(2).run(
+                &mut protocol,
+                StopCondition::at_epsilon(0.1),
+                latency,
+                &mut rng,
+                &mut net_rng,
+            );
+            assert_eq!(net_rng.next_u64(), untouched.next_u64());
+        }
+    }
+
+    #[test]
+    fn fixed_latency_keeps_messages_in_flight_at_stop() {
+        let mut protocol = PingPong {
+            bounces: 0,
+            error: 1.0,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut net_rng = ChaCha8Rng::seed_from_u64(6);
+        // A latency much longer than the whole run: no message ever lands.
+        let (report, ledger) = NetScheduler::new(2).run(
+            &mut protocol,
+            StopCondition::at_epsilon(0.1).with_max_ticks(10),
+            LatencyModel::Fixed(1.0e6),
+            &mut rng,
+            &mut net_rng,
+        );
+        assert_eq!(report.reason, StopReason::TickBudgetExhausted);
+        assert_eq!(ledger.sent, 10);
+        assert_eq!(ledger.delivered, 0);
+        assert_eq!(ledger.in_flight(), 10);
+        assert_eq!(ledger.in_flight_peak, 10);
+        assert_eq!(protocol.bounces, 0);
+    }
+
+    #[test]
+    fn ledger_metrics_use_the_documented_keys() {
+        let ledger = MessageLedger {
+            sent: 5,
+            delivered: 3,
+            in_flight_peak: 2,
+        };
+        let metrics = ledger.metrics();
+        let keys: Vec<&str> = metrics.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "messages_sent",
+                "messages_delivered",
+                "messages_in_flight_peak"
+            ]
+        );
+        assert_eq!(ledger.in_flight(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sensor")]
+    fn zero_population_rejected() {
+        let _ = NetScheduler::new(0);
+    }
+}

@@ -637,6 +637,60 @@ pub fn round_trip(graph: &GeometricGraph, a: NodeId, b: NodeId) -> (usize, bool)
     )
 }
 
+/// One hop of the greedy walk, **stateless**: the neighbor of `current` that
+/// is strictly closer to `target` than `current` itself (lowest neighbor
+/// index on ties), or `None` when `current` is a local minimum and the packet
+/// stops here.
+///
+/// This is the per-node forwarding decision of the message-passing runtime
+/// (`geogossip-net`), where no walker carries state between hops. Iterating
+/// it from a source reproduces [`route_terminus`] **bit-identically** (same
+/// terminus, same hop count): the walk's carried current-distance is exactly
+/// the chosen neighbor's `f64` squared distance, which this function
+/// recomputes from [`GeometricGraph::position`] — the same value, bit for
+/// bit, because the CSR coordinate mirror stores the same `f64` coordinates.
+/// The parity is pinned by `iterated_greedy_step_matches_route_terminus`.
+///
+/// # Panics
+///
+/// Panics if `current` is out of range for the graph.
+pub fn greedy_step(graph: &GeometricGraph, current: NodeId, target: Point) -> Option<NodeId> {
+    match graph.topology() {
+        Topology::UnitSquare => greedy_step_metric(graph, current, target, EuclideanMetric),
+        Topology::Torus => greedy_step_metric(graph, current, target, TorusMetric),
+    }
+}
+
+/// Monomorphised body of [`greedy_step`]: a single strict-`<` scan over the
+/// CSR neighbor block, identical in arithmetic and tie-breaking to one
+/// iteration of [`greedy_walk_reference`] (first-encountered minimum = lowest
+/// neighbor index, CSR rows being sorted).
+#[inline]
+fn greedy_step_metric<M: RouteMetric>(
+    graph: &GeometricGraph,
+    current: NodeId,
+    target: Point,
+    metric: M,
+) -> Option<NodeId> {
+    let pos = graph.position(current);
+    let current_dist = metric.d2(pos.x - target.x, pos.y - target.y);
+    let (nbrs, xs, ys) = graph.neighbor_block(current);
+    let mut min_dist = f64::INFINITY;
+    let mut best = 0u32;
+    for k in 0..nbrs.len() {
+        let d = metric.d2(xs[k] - target.x, ys[k] - target.y);
+        if d < min_dist {
+            min_dist = d;
+            best = nbrs[k];
+        }
+    }
+    if min_dist >= current_dist {
+        None
+    } else {
+        Some(NodeId(best as usize))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -850,5 +904,46 @@ mod tests {
             hops > 0.4 * expected && hops < 4.0 * expected,
             "hops {hops} not within a small factor of {expected}"
         );
+    }
+
+    #[test]
+    fn iterated_greedy_step_matches_route_terminus() {
+        // The message-passing runtime forwards packets with the stateless
+        // per-hop decision; iterating it must reproduce the stateful walk
+        // bit-for-bit (terminus AND hop count), on both topologies, including
+        // routes that dead-end short of a node destination.
+        use geogossip_geometry::Topology;
+        for (seed, topology) in [
+            (3u64, Topology::UnitSquare),
+            (4, Topology::Torus),
+            (5, Topology::UnitSquare),
+            (6, Topology::Torus),
+        ] {
+            let pts = sample_unit_square(300, &mut ChaCha8Rng::seed_from_u64(seed));
+            let radius = geogossip_geometry::connectivity_radius(300, 1.5).min(0.49);
+            let g = GeometricGraph::build_with_topology(pts, radius, topology);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x57e9);
+            for trial in 0..40 {
+                let pts = sample_unit_square(2, &mut rng);
+                let src = g.nearest_node(pts[0]).unwrap();
+                // Alternate position targets and node targets (the two
+                // forwarding modes of the net layer).
+                let target = if trial % 2 == 0 {
+                    pts[1]
+                } else {
+                    g.position(NodeId((trial * 31) % g.len()))
+                };
+                let walk = route_terminus(&g, src, target);
+                let mut current = src;
+                let mut hops = 0usize;
+                while let Some(next) = greedy_step(&g, current, target) {
+                    current = next;
+                    hops += 1;
+                    assert!(hops <= g.len(), "stateless walk failed to terminate");
+                }
+                assert_eq!(current, walk.terminus, "terminus diverged (seed {seed})");
+                assert_eq!(hops, walk.hops, "hop count diverged (seed {seed})");
+            }
+        }
     }
 }

@@ -298,7 +298,11 @@ pub const DEFAULT_MAX_TRACE_POINTS: usize = 4096;
 /// magnitude more slack than the accumulated rounding) can never reject a
 /// state the exact check would accept. States inside the slack band simply
 /// fall through to the exact check.
-const SQ_THRESHOLD_SLACK: f64 = 1.0 + 1e-9;
+///
+/// Public so alternative drivers that must stop **bit-identically** to this
+/// engine (the `geogossip-net` scheduler) reuse the same slack rather than
+/// re-deriving it.
+pub const SQ_THRESHOLD_SLACK: f64 = 1.0 + 1e-9;
 
 /// The asynchronous engine: a Poisson clock plus bookkeeping.
 #[derive(Debug, Clone)]

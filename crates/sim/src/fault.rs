@@ -142,15 +142,17 @@ impl FaultSpec {
         protocol: &str,
         support: FaultSupport,
     ) -> Result<(), ProtocolError> {
+        // Unsupported kinds are reported by *spec path* (the key the user
+        // must delete), the same convention every validation error follows.
         let mut missing = Vec::new();
         if self.drop_rate > 0.0 && !support.loss {
-            missing.push("loss (drop-rate)");
+            missing.push("faults.drop-rate");
         }
         if !self.churn.is_empty() && !support.churn {
-            missing.push("churn");
+            missing.push("faults.churn");
         }
         if self.stale_fraction > 0.0 && !support.stale {
-            missing.push("stale (stale-fraction)");
+            missing.push("faults.stale-fraction");
         }
         if missing.is_empty() {
             Ok(())

@@ -22,6 +22,9 @@
 //!   churn, stale-value nodes) layered over any fault-aware protocol; a
 //!   no-fault spec runs the bare protocol, bit-identically to before faults
 //!   existed.
+//! * [`transport`] — the optional execution-transport schema (latency models,
+//!   the dedicated `"net"` seed stream) plus the [`transport::TransportRuntime`]
+//!   trait the message-passing `geogossip-net` crate implements.
 //! * [`rng`] — deterministic seed management so experiments are reproducible.
 //! * [`field`] — initial measurement fields (spike, ramp, spatial gradient…).
 //! * [`error`] — the [`ProtocolError`] shared by protocol constructors and
@@ -57,6 +60,7 @@ pub mod field;
 pub mod metrics;
 pub mod rng;
 pub mod scenario;
+pub mod transport;
 
 pub use clock::{BatchedPoissonClock, GlobalPoissonClock, Tick};
 pub use engine::{
@@ -68,3 +72,6 @@ pub use fault::{ChurnEvent, FaultContext, FaultSpec, FaultSupport, FaultyActivat
 pub use field::{Field, InitialCondition};
 pub use metrics::{ConvergenceTrace, TracePoint, TransmissionCounter};
 pub use rng::SeedStream;
+pub use transport::{
+    LatencyModel, TransportRuntime, TransportSpec, TransportTrial, NET_STREAM_LABEL,
+};

@@ -8,6 +8,7 @@ use crate::fault::{FaultyActivation, FAULT_STREAM_LABEL};
 use crate::rng::SeedStream;
 use crate::scenario::report::{ScenarioReport, TrialCost};
 use crate::scenario::spec::{ProtocolSpec, ScenarioSpec};
+use crate::transport::{TransportRuntime, NET_STREAM_LABEL};
 use geogossip_graph::GeometricGraph;
 use rand::RngCore;
 use rayon::prelude::*;
@@ -60,12 +61,27 @@ pub trait ProtocolFactory: Send + Sync {
 /// the historical `run_protocol` contract.
 pub struct Runner {
     factory: Box<dyn ProtocolFactory>,
+    transport: Option<Box<dyn TransportRuntime>>,
 }
 
 impl Runner {
-    /// Creates a runner over the given protocol factory.
+    /// Creates a runner over the given protocol factory. Specs carrying a
+    /// `transport` key are rejected until a message-passing runtime is
+    /// attached with [`Runner::with_transport`].
     pub fn new(factory: Box<dyn ProtocolFactory>) -> Self {
-        Runner { factory }
+        Runner {
+            factory,
+            transport: None,
+        }
+    }
+
+    /// Attaches a message-passing runtime (builder style), enabling specs
+    /// with a `transport` key. The canonical wiring is
+    /// `geogossip::builtin_runner()`, which pairs the built-in protocol
+    /// registry with `geogossip_net::NetRuntime`.
+    pub fn with_transport(mut self, runtime: Box<dyn TransportRuntime>) -> Self {
+        self.transport = Some(runtime);
+        self
     }
 
     /// The factory backing this runner (for listing protocols).
@@ -166,6 +182,52 @@ impl Runner {
         let graph = spec.topology.build(&seeds, trial);
         let values = spec.field.values(&graph, &mut seeds.trial("values", trial));
         let mut rng = seeds.trial("run", trial ^ (tag << 32));
+        if let Some(transport) = &spec.transport {
+            // The message-passing transport replaces the factory/engine path
+            // wholesale. Its protocol builders consume the run stream exactly
+            // as the factory's would, and all latency randomness comes from
+            // the dedicated net stream, so the default-transport path below
+            // stays byte-identical whether or not a runtime is attached.
+            if !spec.faults.is_none() {
+                return Err(ProtocolError::invalid(
+                    "transport",
+                    "fault injection is not supported on the message-passing \
+                     transport yet; drop the `faults` key or the `transport` key",
+                ));
+            }
+            let runtime = self.transport.as_deref().ok_or_else(|| {
+                ProtocolError::invalid(
+                    "transport",
+                    "this runner has no message-passing runtime attached \
+                     (use `geogossip::builtin_runner()`)",
+                )
+            })?;
+            let mut net_rng = seeds.trial(NET_STREAM_LABEL, trial);
+            let engine_start = std::time::Instant::now();
+            let outcome = runtime.run_trial(
+                &spec.protocol,
+                transport,
+                &graph,
+                values,
+                spec.stop,
+                &mut rng,
+                &mut net_rng,
+            )?;
+            let engine_seconds = engine_start.elapsed().as_secs_f64();
+            let report = outcome.report;
+            let cost = TrialCost {
+                converged: report.converged(),
+                transmissions: report.transmissions,
+                rounds: outcome.rounds.unwrap_or(report.ticks),
+                ticks: report.ticks,
+                final_error: report.final_error,
+                metrics: outcome.metrics,
+                trace: report.trace,
+                seconds: trial_start.elapsed().as_secs_f64(),
+                engine_seconds,
+            };
+            return Ok((cost, outcome.label));
+        }
         let mut protocol =
             self.factory
                 .build(&spec.protocol, &graph, values, spec.stop.epsilon, &mut rng)?;
@@ -367,6 +429,35 @@ mod tests {
         });
         let err = runner.run(&churny).expect_err("drift cannot churn");
         assert!(err.to_string().contains("churn"), "got `{err}`");
+    }
+
+    #[test]
+    fn transport_specs_need_an_attached_runtime() {
+        let runner = Runner::new(Box::new(DriftFactory));
+        let netted = spec(1, 5).with_transport(crate::transport::TransportSpec::default());
+        let err = runner.run(&netted).expect_err("no runtime attached");
+        assert!(matches!(
+            &err,
+            ProtocolError::InvalidParameter { name, .. } if name == "transport"
+        ));
+        assert!(err.to_string().contains("runtime"), "got `{err}`");
+    }
+
+    #[test]
+    fn transport_plus_faults_is_rejected_with_the_spec_path() {
+        let runner = Runner::new(Box::new(DriftFactory));
+        let both = spec(1, 5)
+            .with_faults(FaultSpec {
+                drop_rate: 0.5,
+                ..FaultSpec::default()
+            })
+            .with_transport(crate::transport::TransportSpec::default());
+        let err = runner.run(&both).expect_err("faults + transport");
+        assert!(matches!(
+            &err,
+            ProtocolError::InvalidParameter { name, .. } if name == "transport"
+        ));
+        assert!(err.to_string().contains("fault"), "got `{err}`");
     }
 
     #[test]

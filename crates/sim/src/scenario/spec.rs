@@ -6,6 +6,7 @@ use crate::error::ProtocolError;
 use crate::fault::FaultSpec;
 use crate::field::Field;
 use crate::rng::SeedStream;
+use crate::transport::TransportSpec;
 use crate::StopCondition;
 use geogossip_analysis::json::JsonValue;
 use geogossip_geometry::sampling::{sample_clustered, sample_perforated, sample_unit_square};
@@ -309,6 +310,14 @@ pub struct ScenarioSpec {
     /// `faults` key is optional in the JSON schema and omitted from the
     /// rendering when default, per the schema-stability invariant).
     pub faults: FaultSpec,
+    /// Execution transport (`None` = shared-memory engine; `Some` = the
+    /// message-passing runtime with the given latency model). The `transport`
+    /// key is optional in the JSON schema and omitted from the rendering when
+    /// absent, per the schema-stability invariant. Note that
+    /// `Some(TransportSpec::default())` is *not* `None`: it runs the net
+    /// layer on the instant schedule (bit-identical output, plus the message
+    /// ledger metrics).
+    pub transport: Option<TransportSpec>,
     /// Number of independent trials (run in parallel, deterministically).
     pub trials: u64,
     /// Master seed; every per-trial stream derives from it.
@@ -328,6 +337,7 @@ impl ScenarioSpec {
             protocol: ProtocolSpec::named(protocol),
             stop: StopCondition::at_epsilon(epsilon).with_max_ticks(STANDARD_MAX_TICKS),
             faults: FaultSpec::default(),
+            transport: None,
             trials: 1,
             seed: STANDARD_SEED,
         }
@@ -357,6 +367,12 @@ impl ScenarioSpec {
         self
     }
 
+    /// Replaces the execution transport (builder style).
+    pub fn with_transport(mut self, transport: TransportSpec) -> Self {
+        self.transport = Some(transport);
+        self
+    }
+
     /// Checks every parameter of the spec, returning the first violation.
     ///
     /// In particular the stop target must satisfy `epsilon > 0` and be
@@ -366,6 +382,9 @@ impl ScenarioSpec {
         self.topology.validate()?;
         self.stop.validate()?;
         self.faults.validate()?;
+        if let Some(transport) = &self.transport {
+            transport.validate()?;
+        }
         if self.trials == 0 {
             return Err(ProtocolError::invalid("trials", "need at least one trial"));
         }
@@ -411,6 +430,9 @@ impl ScenarioSpec {
         ];
         if !self.faults.is_none() {
             fields.push(("faults", self.faults.to_json_value()));
+        }
+        if let Some(transport) = &self.transport {
+            fields.push(("transport", transport.to_json_value()));
         }
         fields.push(("trials", self.trials.into()));
         fields.push(("seed", self.seed.into()));
@@ -476,7 +498,15 @@ impl ScenarioSpec {
         for (key, _) in obj {
             if !matches!(
                 key.as_str(),
-                "name" | "topology" | "field" | "protocol" | "stop" | "faults" | "trials" | "seed"
+                "name"
+                    | "topology"
+                    | "field"
+                    | "protocol"
+                    | "stop"
+                    | "faults"
+                    | "transport"
+                    | "trials"
+                    | "seed"
             ) {
                 return Err(ProtocolError::malformed(format!(
                     "unknown scenario key `{key}`"
@@ -513,6 +543,10 @@ impl ScenarioSpec {
             None => FaultSpec::default(),
             Some(value) => FaultSpec::decode(value)?,
         };
+        let transport = match doc.get("transport") {
+            None => None,
+            Some(value) => Some(TransportSpec::decode(value)?),
+        };
         let trials = match doc.get("trials") {
             None => 1,
             Some(v) => v
@@ -537,6 +571,7 @@ impl ScenarioSpec {
             protocol,
             stop,
             faults,
+            transport,
             trials,
             seed,
         })

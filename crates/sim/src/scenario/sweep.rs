@@ -14,11 +14,13 @@
 //!
 //! * **Cell order is part of the schema.** Axes expand nested, protocol
 //!   outermost and `n` innermost:
-//!   `protocol → faults → surface → placement → radius → epsilon → n`. A
-//!   sweep's cell index therefore never changes unless the sweep itself
-//!   changes, which is what lets the lab's results log key checkpoints off
-//!   `(index, name)`. The `faults` axis defaults to a single no-fault entry,
-//!   so sweeps that never mention faults keep their historical indices.
+//!   `protocol → transport → faults → surface → placement → radius → epsilon
+//!   → n`. A sweep's cell index therefore never changes unless the sweep
+//!   itself changes, which is what lets the lab's results log key checkpoints
+//!   off `(index, name)`. The `faults` axis defaults to a single no-fault
+//!   entry and the `transport` axis to a single default-transport (shared
+//!   memory) entry, so sweeps that never mention either keep their
+//!   historical indices.
 //! * **Per-cell seeds derive from `(master_seed, cell_index)`** through a
 //!   splitmix64 finalizer ([`derive_cell_seed`]), and the runner derives every
 //!   per-trial stream from `(cell_seed, trial)` — so the full derivation chain
@@ -59,6 +61,7 @@ use crate::scenario::spec::{
     protocol_to_json, radius_to_json, PlacementSpec, ProtocolSpec, RadiusSpec, ScenarioSpec,
     TopologySpec, STANDARD_MAX_TICKS, STANDARD_RADIUS_CONSTANT, STANDARD_SEED,
 };
+use crate::transport::TransportSpec;
 use crate::StopCondition;
 use geogossip_analysis::json::JsonValue;
 use geogossip_geometry::Topology;
@@ -87,6 +90,10 @@ pub struct SweepSpec {
     pub surfaces: Vec<Topology>,
     /// Axis over stop targets ε (defaults to `[0.05]`).
     pub epsilons: Vec<f64>,
+    /// Axis over execution transports (`None` = shared-memory engine;
+    /// defaults to a single `None` entry, which keeps historical cell
+    /// indices and never constructs the net layer).
+    pub transports: Vec<Option<TransportSpec>>,
     /// Axis over fault regimes (defaults to a single no-fault entry, which
     /// keeps historical cell indices and leaves the engine untouched).
     pub faults: Vec<FaultSpec>,
@@ -137,6 +144,7 @@ impl SweepSpec {
             radii: vec![RadiusSpec::ConnectivityConstant(STANDARD_RADIUS_CONSTANT)],
             surfaces: vec![Topology::UnitSquare],
             epsilons: vec![0.05],
+            transports: vec![None],
             faults: vec![FaultSpec::default()],
             field: Field::SpatialGradient,
             max_ticks: Some(STANDARD_MAX_TICKS),
@@ -170,6 +178,12 @@ impl SweepSpec {
         self
     }
 
+    /// Replaces the transport axis (builder style).
+    pub fn with_transport_axis(mut self, transports: Vec<Option<TransportSpec>>) -> Self {
+        self.transports = transports;
+        self
+    }
+
     /// Replaces the shared field (builder style).
     pub fn with_field(mut self, field: Field) -> Self {
         self.field = field;
@@ -179,6 +193,7 @@ impl SweepSpec {
     /// Number of cells the sweep expands to.
     pub fn cell_count(&self) -> u64 {
         (self.protocols.len()
+            * self.transports.len()
             * self.faults.len()
             * self.surfaces.len()
             * self.placements.len()
@@ -195,36 +210,39 @@ impl SweepSpec {
         let mut cells = Vec::with_capacity(self.cell_count() as usize);
         let mut index = 0u64;
         for protocol in &self.protocols {
-            for faults in &self.faults {
-                for &surface in &self.surfaces {
-                    for &placement in &self.placements {
-                        for &radius in &self.radii {
-                            for &epsilon in &self.epsilons {
-                                for &n in &self.sizes {
-                                    let spec = ScenarioSpec {
-                                        name: format!(
-                                            "{}/c{:04}-{}-n{}",
-                                            self.name, index, protocol.name, n
-                                        ),
-                                        topology: TopologySpec {
-                                            n,
-                                            placement,
-                                            radius,
-                                            surface,
-                                        },
-                                        field: self.field,
-                                        protocol: protocol.clone(),
-                                        stop: StopCondition {
-                                            epsilon,
-                                            max_ticks: self.max_ticks,
-                                            max_transmissions: self.max_transmissions,
-                                        },
-                                        faults: faults.clone(),
-                                        trials: self.trials,
-                                        seed: derive_cell_seed(self.seed, index),
-                                    };
-                                    cells.push(SweepCell { index, spec });
-                                    index += 1;
+            for &transport in &self.transports {
+                for faults in &self.faults {
+                    for &surface in &self.surfaces {
+                        for &placement in &self.placements {
+                            for &radius in &self.radii {
+                                for &epsilon in &self.epsilons {
+                                    for &n in &self.sizes {
+                                        let spec = ScenarioSpec {
+                                            name: format!(
+                                                "{}/c{:04}-{}-n{}",
+                                                self.name, index, protocol.name, n
+                                            ),
+                                            topology: TopologySpec {
+                                                n,
+                                                placement,
+                                                radius,
+                                                surface,
+                                            },
+                                            field: self.field,
+                                            protocol: protocol.clone(),
+                                            stop: StopCondition {
+                                                epsilon,
+                                                max_ticks: self.max_ticks,
+                                                max_transmissions: self.max_transmissions,
+                                            },
+                                            faults: faults.clone(),
+                                            transport,
+                                            trials: self.trials,
+                                            seed: derive_cell_seed(self.seed, index),
+                                        };
+                                        cells.push(SweepCell { index, spec });
+                                        index += 1;
+                                    }
                                 }
                             }
                         }
@@ -248,6 +266,7 @@ impl SweepSpec {
             ("axes.radius", self.radii.len()),
             ("axes.surface", self.surfaces.len()),
             ("axes.epsilon", self.epsilons.len()),
+            ("axes.transport", self.transports.len()),
             ("axes.faults", self.faults.len()),
         ] {
             if len == 0 {
@@ -311,6 +330,20 @@ impl SweepSpec {
                 JsonValue::Array(self.epsilons.iter().map(|&e| e.into()).collect()),
             ),
         ];
+        if self.transports != vec![None] {
+            axes.push((
+                "transport",
+                JsonValue::Array(
+                    self.transports
+                        .iter()
+                        .map(|t| {
+                            t.as_ref()
+                                .map_or(JsonValue::Null, TransportSpec::to_json_value)
+                        })
+                        .collect(),
+                ),
+            ));
+        }
         if self.faults != vec![FaultSpec::default()] {
             axes.push((
                 "faults",
@@ -396,10 +429,16 @@ impl SweepSpec {
         for (key, _) in axes_obj {
             if !matches!(
                 key.as_str(),
-                "n" | "protocol" | "placement" | "radius" | "surface" | "epsilon" | "faults"
+                "n" | "protocol"
+                    | "placement"
+                    | "radius"
+                    | "surface"
+                    | "epsilon"
+                    | "transport"
+                    | "faults"
             ) {
                 return Err(ProtocolError::malformed(format!(
-                    "unknown axis `{key}` (known: n, protocol, placement, radius, surface, epsilon, faults)"
+                    "unknown axis `{key}` (known: n, protocol, placement, radius, surface, epsilon, transport, faults)"
                 )));
             }
         }
@@ -448,6 +487,18 @@ impl SweepSpec {
                     v.as_f64().ok_or_else(|| {
                         ProtocolError::malformed("`axes.epsilon` entries must be numbers")
                     })
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        let transports: Vec<Option<TransportSpec>> = match axis("transport")? {
+            None => vec![None],
+            Some(items) => items
+                .iter()
+                .map(|v| match v {
+                    // `null` = the default shared-memory engine, so one axis
+                    // can compare it against net transports directly.
+                    JsonValue::Null => Ok(None),
+                    other => TransportSpec::decode(other).map(Some),
                 })
                 .collect::<Result<_, _>>()?,
         };
@@ -522,6 +573,7 @@ impl SweepSpec {
             radii,
             surfaces,
             epsilons,
+            transports,
             faults,
             field,
             max_ticks,
@@ -764,6 +816,50 @@ mod tests {
         )
         .expect_err("unknown fault key");
         assert!(err.to_string().contains("spoons"), "got `{err}`");
+    }
+
+    #[test]
+    fn transport_axis_expands_between_protocol_and_faults() {
+        use crate::transport::{LatencyModel, TransportSpec};
+        let net = TransportSpec::default();
+        let sweep = two_axis_sweep().with_transport_axis(vec![None, Some(net)]);
+        assert_eq!(sweep.cell_count(), 2 * 2 * 2);
+        let cells = sweep.expand();
+        // transport sits just inside protocol: per protocol, first all sizes
+        // on the default engine, then all sizes on the net transport.
+        assert_eq!(cells[0].spec.transport, None);
+        assert_eq!(cells[1].spec.transport, None);
+        assert_eq!(cells[2].spec.transport, Some(net));
+        assert_eq!(cells[3].spec.transport, Some(net));
+        assert_eq!(cells[3].spec.protocol.name, "pairwise");
+        assert_eq!(cells[4].spec.protocol.name, "geographic");
+        // The default singleton axis leaves historical cells untouched.
+        let plain = two_axis_sweep().expand();
+        let defaulted = two_axis_sweep().with_transport_axis(vec![None]).expand();
+        assert_eq!(plain, defaulted);
+
+        // JSON round trip, including the null = shared-memory spelling.
+        let rich = two_axis_sweep().with_transport_axis(vec![
+            None,
+            Some(TransportSpec::default()),
+            Some(TransportSpec {
+                latency: LatencyModel::Exponential { mean: 0.25 },
+            }),
+        ]);
+        let json = rich.to_json();
+        assert!(json.contains("\"transport\""));
+        let parsed = SweepSpec::from_json(&json).expect("transport sweep parses");
+        assert_eq!(parsed, rich);
+        assert_eq!(parsed.to_json(), json, "fixed point with a transport axis");
+        let plain_json = two_axis_sweep().to_json();
+        assert!(!plain_json.contains("transport"));
+
+        // Bad transport entries are rejected with the axis discipline.
+        let err = SweepSpec::from_json(
+            r#"{"sweep": "s", "axes": {"n": [64], "protocol": [{"name": "pairwise"}], "transport": [{"latency": "warp"}]}}"#,
+        )
+        .expect_err("unknown latency model");
+        assert!(err.to_string().contains("transport.latency"), "got `{err}`");
     }
 
     #[test]

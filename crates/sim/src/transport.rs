@@ -1,0 +1,402 @@
+//! The transport schema: how a scenario's protocol is *executed*.
+//!
+//! By default every scenario runs on the shared-memory [`AsyncEngine`]: one
+//! `GossipState`, activations mutating it in place. The optional `transport`
+//! key on a [`ScenarioSpec`] switches the trial onto a **message-passing
+//! runtime** (implemented by `geogossip-net` and attached to the runner as a
+//! [`TransportRuntime`]): each sensor becomes an actor with an inbox,
+//! protocol steps become typed messages with per-message delivery times drawn
+//! from a [`LatencyModel`], and the trial additionally reports a message cost
+//! ledger (sent / delivered / in-flight peak).
+//!
+//! # Schema stability
+//!
+//! The `transport` key is strictly additive, like `faults` before it: a spec
+//! without the key never constructs the net layer and is bit-identical to the
+//! pre-transport output. All transport randomness (latency draws) comes from
+//! the dedicated `(seed, trial, `[`NET_STREAM_LABEL`]`)` stream, and the
+//! instant and fixed models draw **nothing** from it — the stream's
+//! consumption pattern is part of the schema, exactly like the fault stream.
+//!
+//! [`AsyncEngine`]: crate::engine::AsyncEngine
+//! [`ScenarioSpec`]: crate::scenario::ScenarioSpec
+
+use crate::engine::{EngineReport, StopCondition};
+use crate::error::ProtocolError;
+use crate::scenario::spec::ProtocolSpec;
+use geogossip_analysis::json::JsonValue;
+use geogossip_graph::GeometricGraph;
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+/// The dedicated seed-stream label for transport-layer randomness
+/// (per-message latency draws): `seeds.trial(NET_STREAM_LABEL, trial)`.
+///
+/// Changing this constant (or what is drawn from the stream on a given
+/// latency model) is a **schema change**: it silently alters every committed
+/// net-transport scenario. The instant and fixed models must consume nothing
+/// from it — `tests/net_parity.rs` pins that discipline.
+pub const NET_STREAM_LABEL: &str = "net";
+
+/// Per-message delivery-delay model of the simulated network.
+///
+/// Delays are in simulation-time units (the global Poisson clock ticks at
+/// rate `n`, so one unit of time ≈ one activation per sensor).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Zero-delay delivery: every message sent during an activation is
+    /// delivered (and its cascade fully drained) before the next clock tick.
+    /// This is the oracle schedule — bit-identical to the shared-memory
+    /// engine — and draws nothing from the net stream.
+    #[default]
+    Instant,
+    /// Every message takes exactly this many time units. Deterministic, so
+    /// it also draws nothing from the net stream.
+    Fixed(f64),
+    /// Exponentially distributed delay with the given mean, drawn per
+    /// message from the dedicated net stream.
+    Exponential {
+        /// Mean delay in simulation-time units (must be positive).
+        mean: f64,
+    },
+}
+
+impl LatencyModel {
+    /// Draws one delivery delay. Only [`LatencyModel::Exponential`] consumes
+    /// randomness; the other models leave `net_rng` untouched (part of the
+    /// stream-label-as-schema contract).
+    pub fn sample<R: Rng + ?Sized>(&self, net_rng: &mut R) -> f64 {
+        match self {
+            LatencyModel::Instant => 0.0,
+            LatencyModel::Fixed(delay) => *delay,
+            LatencyModel::Exponential { mean } => {
+                geogossip_geometry::sampling::exponential(1.0 / mean, net_rng)
+            }
+        }
+    }
+
+    /// The mean delay of the model — the severity coordinate used by the
+    /// lab's latency-degradation verdicts.
+    pub fn mean(&self) -> f64 {
+        match self {
+            LatencyModel::Instant => 0.0,
+            LatencyModel::Fixed(delay) => *delay,
+            LatencyModel::Exponential { mean } => *mean,
+        }
+    }
+}
+
+/// The declarative transport model of a scenario. Absent from the JSON
+/// schema = shared-memory engine; present = message-passing runtime with the
+/// given latency model (`{"latency": "instant"}` runs the net layer on the
+/// oracle schedule).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TransportSpec {
+    /// Per-message delivery-delay model.
+    pub latency: LatencyModel,
+}
+
+impl TransportSpec {
+    /// Validates every transport parameter. Errors name the offending spec
+    /// path (`transport.latency.…`), matching the fault-spec convention.
+    pub fn validate(&self) -> Result<(), ProtocolError> {
+        match self.latency {
+            LatencyModel::Instant => Ok(()),
+            LatencyModel::Fixed(delay) => {
+                if !delay.is_finite() || delay < 0.0 {
+                    return Err(ProtocolError::invalid(
+                        "transport.latency.fixed",
+                        "must be a finite non-negative delay",
+                    ));
+                }
+                Ok(())
+            }
+            LatencyModel::Exponential { mean } => {
+                if !mean.is_finite() || mean <= 0.0 {
+                    return Err(ProtocolError::invalid(
+                        "transport.latency.exp.mean",
+                        "must be a finite positive mean delay",
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Compact coordinate token for group keys and reports, e.g.
+    /// `lat=instant`, `lat=fixed:0.5` or `lat=exp:0.25`.
+    pub fn token(&self) -> String {
+        match self.latency {
+            LatencyModel::Instant => "lat=instant".to_string(),
+            LatencyModel::Fixed(delay) => format!("lat=fixed:{delay}"),
+            LatencyModel::Exponential { mean } => format!("lat=exp:{mean}"),
+        }
+    }
+
+    /// Serialises to the JSON `transport` object.
+    pub fn to_json_value(&self) -> JsonValue {
+        let latency = match self.latency {
+            LatencyModel::Instant => JsonValue::string("instant"),
+            LatencyModel::Fixed(delay) => JsonValue::object(vec![("fixed", delay.into())]),
+            LatencyModel::Exponential { mean } => JsonValue::object(vec![(
+                "exp",
+                JsonValue::object(vec![("mean", mean.into())]),
+            )]),
+        };
+        JsonValue::object(vec![("latency", latency)])
+    }
+
+    /// Decodes a `transport` object; unknown keys hard-error (the same
+    /// typos-fail-loudly rule as every other schema object).
+    pub fn decode(doc: &JsonValue) -> Result<Self, ProtocolError> {
+        let obj = doc
+            .as_object()
+            .ok_or_else(|| ProtocolError::malformed("`transport` must be an object"))?;
+        for (key, _) in obj {
+            if key.as_str() != "latency" {
+                return Err(ProtocolError::malformed(format!(
+                    "unknown transport key `{key}` (known: latency)"
+                )));
+            }
+        }
+        let latency = match doc.get("latency") {
+            None => LatencyModel::Instant,
+            Some(JsonValue::String(token)) if token == "instant" => LatencyModel::Instant,
+            Some(JsonValue::String(token)) => {
+                return Err(ProtocolError::malformed(format!(
+                    "unknown `transport.latency` model `{token}` (known: \"instant\", \
+                     {{\"fixed\": seconds}}, {{\"exp\": {{\"mean\": seconds}}}})"
+                )));
+            }
+            Some(value) => {
+                let fields = value.as_object().ok_or_else(|| {
+                    ProtocolError::malformed("`transport.latency` must be \"instant\" or an object")
+                })?;
+                for (key, _) in fields {
+                    if !matches!(key.as_str(), "fixed" | "exp") {
+                        return Err(ProtocolError::malformed(format!(
+                            "unknown transport.latency key `{key}` (known: fixed, exp)"
+                        )));
+                    }
+                }
+                match (value.get("fixed"), value.get("exp")) {
+                    (Some(delay), None) => {
+                        LatencyModel::Fixed(delay.as_f64().ok_or_else(|| {
+                            ProtocolError::malformed("`transport.latency.fixed` must be a number")
+                        })?)
+                    }
+                    (None, Some(exp)) => {
+                        let exp_obj = exp.as_object().ok_or_else(|| {
+                            ProtocolError::malformed("`transport.latency.exp` must be an object")
+                        })?;
+                        for (key, _) in exp_obj {
+                            if key.as_str() != "mean" {
+                                return Err(ProtocolError::malformed(format!(
+                                    "unknown transport.latency.exp key `{key}` (known: mean)"
+                                )));
+                            }
+                        }
+                        let mean =
+                            exp.get("mean").and_then(JsonValue::as_f64).ok_or_else(|| {
+                                ProtocolError::malformed(
+                                    "`transport.latency.exp.mean` must be a number",
+                                )
+                            })?;
+                        LatencyModel::Exponential { mean }
+                    }
+                    _ => {
+                        return Err(ProtocolError::malformed(
+                            "`transport.latency` must hold exactly one of `fixed` or `exp`",
+                        ));
+                    }
+                }
+            }
+        };
+        Ok(TransportSpec { latency })
+    }
+}
+
+/// One trial's outcome from a [`TransportRuntime`]: the engine-shaped report
+/// plus the protocol-level observables the runner folds into a `TrialCost`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransportTrial {
+    /// The run report, shaped exactly like the shared-memory engine's (on the
+    /// instant schedule it must be bit-identical to it).
+    pub report: EngineReport,
+    /// Display label of the protocol that ran (e.g. `pairwise (Boyd)`).
+    pub label: String,
+    /// Protocol-defined round count, or `None` to fall back to ticks.
+    pub rounds: Option<u64>,
+    /// Protocol metrics, with the message cost ledger appended
+    /// (`messages_sent`, `messages_delivered`, `messages_in_flight_peak`).
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// A message-passing execution backend for scenario trials.
+///
+/// The canonical implementation is `geogossip_net::NetRuntime`; the trait
+/// lives here (below the net crate) so the scenario [`Runner`] can dispatch
+/// to it without `geogossip-sim` depending on `geogossip-net`. `rng` is the
+/// trial's run stream (clock ticks and protocol draws — consumed exactly as
+/// the shared-memory engine would); `net_rng` is the dedicated
+/// [`NET_STREAM_LABEL`] stream (latency draws only).
+///
+/// [`Runner`]: crate::scenario::Runner
+pub trait TransportRuntime: Send + Sync {
+    /// Runs one trial of `protocol` over the simulated network.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] when the protocol has no message-passing
+    /// implementation or its parameters are invalid; implementations name
+    /// the offending spec path (`transport`, `protocol.…`).
+    #[allow(clippy::too_many_arguments)]
+    fn run_trial(
+        &self,
+        protocol: &ProtocolSpec,
+        transport: &TransportSpec,
+        graph: &GeometricGraph,
+        values: Vec<f64>,
+        stop: StopCondition,
+        rng: &mut dyn RngCore,
+        net_rng: &mut dyn RngCore,
+    ) -> Result<TransportTrial, ProtocolError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn decode(json: &str) -> Result<TransportSpec, ProtocolError> {
+        let doc = JsonValue::parse(json).expect("test JSON parses");
+        TransportSpec::decode(&doc)
+    }
+
+    #[test]
+    fn default_is_instant_and_valid() {
+        let spec = TransportSpec::default();
+        assert_eq!(spec.latency, LatencyModel::Instant);
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.token(), "lat=instant");
+    }
+
+    #[test]
+    fn json_round_trips_every_model() {
+        for spec in [
+            TransportSpec::default(),
+            TransportSpec {
+                latency: LatencyModel::Fixed(0.25),
+            },
+            TransportSpec {
+                latency: LatencyModel::Exponential { mean: 0.125 },
+            },
+        ] {
+            let rendered = spec.to_json_value().render();
+            let reparsed = decode(&rendered).expect("rendered spec decodes");
+            assert_eq!(reparsed, spec, "round trip changed {rendered}");
+        }
+    }
+
+    #[test]
+    fn empty_object_decodes_to_instant() {
+        assert_eq!(decode("{}").unwrap(), TransportSpec::default());
+        assert_eq!(
+            decode(r#"{"latency": "instant"}"#).unwrap(),
+            TransportSpec::default()
+        );
+    }
+
+    #[test]
+    fn unknown_keys_hard_error_with_path() {
+        let err = decode(r#"{"latencyy": "instant"}"#).unwrap_err();
+        assert!(err.to_string().contains("unknown transport key `latencyy`"));
+        let err = decode(r#"{"latency": {"fixd": 0.5}}"#).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("unknown transport.latency key `fixd`"),
+            "got `{err}`"
+        );
+        let err = decode(r#"{"latency": {"exp": {"mena": 0.5}}}"#).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("unknown transport.latency.exp key `mena`"),
+            "got `{err}`"
+        );
+    }
+
+    #[test]
+    fn bad_values_hard_error_with_path() {
+        let err = decode(r#"{"latency": "warp"}"#).unwrap_err();
+        assert!(err.to_string().contains("transport.latency"), "got `{err}`");
+        let err = decode(r#"{"latency": {"fixed": "slow"}}"#).unwrap_err();
+        assert!(
+            err.to_string().contains("`transport.latency.fixed`"),
+            "got `{err}`"
+        );
+        let err = decode(r#"{"latency": {"fixed": 0.1, "exp": {"mean": 0.1}}}"#).unwrap_err();
+        assert!(err.to_string().contains("exactly one of"), "got `{err}`");
+    }
+
+    #[test]
+    fn validation_names_spec_paths() {
+        let bad = TransportSpec {
+            latency: LatencyModel::Fixed(-1.0),
+        };
+        let err = bad.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            ProtocolError::InvalidParameter { ref name, .. } if name == "transport.latency.fixed"
+        ));
+        let bad = TransportSpec {
+            latency: LatencyModel::Exponential { mean: 0.0 },
+        };
+        let err = bad.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            ProtocolError::InvalidParameter { ref name, .. }
+                if name == "transport.latency.exp.mean"
+        ));
+    }
+
+    #[test]
+    fn only_the_exponential_model_consumes_the_net_stream() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let before = rng.clone();
+        LatencyModel::Instant.sample(&mut rng);
+        LatencyModel::Fixed(0.5).sample(&mut rng);
+        let mut check = before.clone();
+        for _ in 0..4 {
+            assert_eq!(rng.next_u64(), check.next_u64(), "instant/fixed drew");
+        }
+        let mut exp_rng = before.clone();
+        let delay = LatencyModel::Exponential { mean: 0.5 }.sample(&mut exp_rng);
+        assert!(delay > 0.0);
+        assert_ne!(exp_rng.next_u64(), {
+            let mut c = before.clone();
+            c.next_u64()
+        });
+    }
+
+    #[test]
+    fn mean_and_tokens_are_stable() {
+        assert_eq!(LatencyModel::Instant.mean(), 0.0);
+        assert_eq!(LatencyModel::Fixed(0.25).mean(), 0.25);
+        assert_eq!(LatencyModel::Exponential { mean: 0.5 }.mean(), 0.5);
+        assert_eq!(
+            TransportSpec {
+                latency: LatencyModel::Fixed(0.25)
+            }
+            .token(),
+            "lat=fixed:0.25"
+        );
+        assert_eq!(
+            TransportSpec {
+                latency: LatencyModel::Exponential { mean: 0.5 }
+            }
+            .token(),
+            "lat=exp:0.5"
+        );
+    }
+}

@@ -24,12 +24,15 @@
 # With `--append-trial`, it APPENDS whole-trial wall clock and ticks/sec for
 # every member of scenarios/large_n.json to the `trial_wall_clock` array —
 # expect minutes (a 262 144-node scenario runs to convergence).
+# With `--append-net`, it APPENDS message-passing-scheduler vs shared-memory
+# engine tick medians at n ∈ {1024, 4096} (geographic gossip on the instant
+# schedule, reports asserted bit-identical) to the `net_runtime` array.
 #
 # `--smoke` shrinks every mode to seconds-scale for CI; it requires an
 # explicit scratch output path and must never target the committed JSON.
 #
 # Usage: scripts/bench_baseline.sh [--append-build] [--append-tick-large]
-#        [--append-trial] [--smoke] [output.json]
+#        [--append-trial] [--append-net] [--smoke] [output.json]
 #        (default output: BENCH_baseline.json)
 # Force a fresh classic baseline by deleting the file first.
 #
@@ -46,10 +49,10 @@ SMOKE=()
 OUT="BENCH_baseline.json"
 for arg in "$@"; do
     case "$arg" in
-        --append-build | --append-tick-large | --append-trial) MODES+=("$arg") ;;
+        --append-build | --append-tick-large | --append-trial | --append-net) MODES+=("$arg") ;;
         --smoke) SMOKE=(--smoke) ;;
         -*)
-            echo "unknown flag \`$arg\` (supported: --append-build, --append-tick-large, --append-trial, --smoke)" >&2
+            echo "unknown flag \`$arg\` (supported: --append-build, --append-tick-large, --append-trial, --append-net, --smoke)" >&2
             exit 2
             ;;
         *) OUT="$arg" ;;

@@ -18,7 +18,7 @@
 //! See `geogossip_sim::scenario` for both schemas.
 
 use geogossip::analysis::json::JsonValue;
-use geogossip::core::registry::builtin_runner;
+use geogossip::builtin_runner;
 use geogossip::lab::{run_sweep, SweepAggregator, SweepOptions, SweepProgress, SweepReport};
 use geogossip::sim::field::Field;
 use geogossip::sim::scenario::{
@@ -40,7 +40,7 @@ fn main() -> ExitCode {
             Ok(())
         }
         Some("template") => {
-            println!("{}", template_spec().to_json());
+            println!("{}", template_json());
             Ok(())
         }
         Some("--help" | "-h" | "help") | None => {
@@ -92,7 +92,34 @@ fn list_protocols() {
 }
 
 fn template_spec() -> ScenarioSpec {
-    ScenarioSpec::standard("geographic", 512, 0.05).with_trials(2)
+    ScenarioSpec::standard("geographic", 512, 0.05)
+        .with_trials(2)
+        // Example transport: the message-passing runtime on the instant
+        // schedule (bit-identical to the shared-memory engine, plus message
+        // ledger metrics). Delete the key to run shared-memory directly.
+        .with_transport(geogossip::sim::TransportSpec::default())
+}
+
+/// The template spec as JSON, with an example default-valued `faults` object
+/// spliced in so the printed spec shows every optional schema key. The
+/// result round-trips: it validates and runs as printed (zero-valued faults
+/// decode to "no faults").
+fn template_json() -> String {
+    let mut doc = template_spec().to_json_value();
+    if let JsonValue::Object(fields) = &mut doc {
+        let at = fields
+            .iter()
+            .position(|(key, _)| key == "transport")
+            .unwrap_or(fields.len());
+        fields.insert(
+            at,
+            (
+                "faults".to_string(),
+                JsonValue::object(vec![("drop-rate", 0.0.into())]),
+            ),
+        );
+    }
+    doc.pretty()
 }
 
 fn run(args: &[String]) -> Result<(), ProtocolError> {
@@ -472,6 +499,26 @@ mod tests {
         .into_spec()
         .expect_err("flags without --protocol");
         assert!(err.to_string().contains("--protocol"), "got `{err}`");
+    }
+
+    /// The printed template must show every optional schema key (`faults`,
+    /// `transport`) with example/default values, and still parse + validate
+    /// as printed.
+    #[test]
+    fn template_shows_faults_and_transport_and_round_trips() {
+        let text = template_json();
+        assert!(text.contains("\"faults\""), "template:\n{text}");
+        assert!(text.contains("\"drop-rate\""), "template:\n{text}");
+        assert!(text.contains("\"transport\""), "template:\n{text}");
+        assert!(text.contains("\"latency\""), "template:\n{text}");
+        let spec = ScenarioSpec::from_json(&text).expect("template must validate as printed");
+        // Zero-valued example faults decode to "no faults"; the example
+        // transport decodes to the instant message-passing schedule.
+        assert!(spec.faults.is_none());
+        assert_eq!(
+            spec.transport,
+            Some(geogossip::sim::TransportSpec::default())
+        );
     }
 
     /// The `run` dispatcher itself: flag-ish arguments without `--protocol`

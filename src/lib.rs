@@ -16,6 +16,7 @@
 //! | [`routing`] | `geogossip-routing` | greedy geographic routing, cell flooding, partner selection |
 //! | [`sim`] | `geogossip-sim` | Poisson clocks, the asynchronous engine, transmission accounting |
 //! | [`core`] | `geogossip-core` | the gossip protocols (pairwise, geographic, hierarchical affine) and the Lemma 1/2 models |
+//! | [`net`] | `geogossip-net` | message-passing runtime: sensor actors, typed messages, the deterministic simulated scheduler |
 //! | [`analysis`] | `geogossip-analysis` | statistics, power-law fits, occupancy checks, table rendering |
 //! | [`lab`] | `geogossip-lab` | sweep lab: checkpointed parameter-grid campaigns, streaming aggregation, scaling verdicts |
 //!
@@ -63,5 +64,16 @@ pub use geogossip_core as core;
 pub use geogossip_geometry as geometry;
 pub use geogossip_graph as graph;
 pub use geogossip_lab as lab;
+pub use geogossip_net as net;
 pub use geogossip_routing as routing;
 pub use geogossip_sim as sim;
+
+/// The builtin protocol registry with the message-passing runtime attached.
+///
+/// This is [`geogossip_core::builtin_runner`] plus [`net::NetRuntime`]: specs
+/// without a `transport` key run on the shared-memory engine exactly as
+/// before (bit-identically — the net layer is never constructed), and specs
+/// with one run on the simulated message-passing scheduler.
+pub fn builtin_runner() -> sim::scenario::Runner {
+    geogossip_core::builtin_runner().with_transport(Box::new(geogossip_net::NetRuntime))
+}

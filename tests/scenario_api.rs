@@ -180,6 +180,96 @@ fn runner_is_bit_identical_to_the_legacy_harness() {
     }
 }
 
+/// Splices a raw `transport` JSON fragment into an otherwise valid spec and
+/// parses the result — the spec-level path for transport hard errors.
+fn parse_spec_with_transport(transport_json: &str) -> Result<ScenarioSpec, String> {
+    let base = ScenarioSpec::standard("pairwise", 64, 0.1).to_json();
+    let doc = base
+        .trim_end()
+        .strip_suffix('}')
+        .expect("spec JSON ends with a brace");
+    let spliced = format!("{doc},\n  \"transport\": {transport_json}\n}}");
+    ScenarioSpec::from_json(&spliced).map_err(|e| e.to_string())
+}
+
+/// Unknown keys and malformed shapes under `transport` hard-error at parse
+/// time, and every message names the offending spec path — the same contract
+/// the `faults` schema pins.
+#[test]
+fn transport_unknown_keys_and_bad_shapes_hard_error_with_spec_paths() {
+    for (bad, fragment) in [
+        (r#"{"latencyy": "instant"}"#, "unknown transport key"),
+        (r#"[1, 2]"#, "`transport` must be an object"),
+        (
+            r#"{"latency": "warp"}"#,
+            "unknown `transport.latency` model",
+        ),
+        (
+            r#"{"latency": {"fixd": 0.1}}"#,
+            "unknown transport.latency key",
+        ),
+        (
+            r#"{"latency": {"fixed": "fast"}}"#,
+            "`transport.latency.fixed` must be a number",
+        ),
+        (
+            r#"{"latency": {"exp": {"mena": 0.1}}}"#,
+            "unknown transport.latency.exp key",
+        ),
+    ] {
+        let err = parse_spec_with_transport(bad)
+            .expect_err(&format!("spec with transport {bad} was accepted"));
+        assert!(
+            err.contains(fragment),
+            "error for {bad} was `{err}`, expected `{fragment}`"
+        );
+    }
+}
+
+/// Out-of-range latency parameters are rejected by validation with the
+/// `transport.latency.…` spec path in the message.
+#[test]
+fn transport_out_of_range_values_name_the_spec_path() {
+    for (bad, path) in [
+        (r#"{"latency": {"fixed": -0.5}}"#, "transport.latency.fixed"),
+        (
+            r#"{"latency": {"exp": {"mean": 0.0}}}"#,
+            "transport.latency.exp.mean",
+        ),
+    ] {
+        let err = parse_spec_with_transport(bad)
+            .expect_err(&format!("spec with transport {bad} was accepted"));
+        assert!(err.contains(path), "error for {bad} was `{err}`");
+    }
+    // The happy paths still parse, for contrast.
+    for good in [
+        r#"{"latency": "instant"}"#,
+        r#"{"latency": {"fixed": 0.5}}"#,
+        r#"{"latency": {"exp": {"mean": 0.25}}}"#,
+    ] {
+        let spec = parse_spec_with_transport(good).expect(good);
+        assert!(spec.transport.is_some());
+    }
+}
+
+/// A transport spec cannot be combined with fault injection (the net layer
+/// has no fault hooks yet), and the refusal names the `transport` path.
+#[test]
+fn transport_refuses_to_combine_with_faults() {
+    let runner = geogossip::builtin_runner();
+    let mut spec = ScenarioSpec::standard("pairwise", 64, 0.2)
+        .with_transport(geogossip::sim::TransportSpec::default());
+    spec.stop = spec.stop.with_max_ticks(100_000);
+    spec.faults = geogossip::sim::FaultSpec {
+        drop_rate: 0.1,
+        ..geogossip::sim::FaultSpec::default()
+    };
+    let err = runner.run(&spec).expect_err("faults + transport accepted");
+    let text = err.to_string();
+    assert!(text.contains("transport"), "got `{text}`");
+    assert!(text.contains("fault"), "got `{text}`");
+}
+
 #[test]
 fn torus_scenarios_run_and_use_denser_adjacency() {
     let runner = builtin_runner();
