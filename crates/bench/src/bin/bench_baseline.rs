@@ -45,6 +45,13 @@
 //!   `GeographicGossip`), asserts the reports are **bit-identical** (the net
 //!   layer's oracle pin), and **appends** per-tick medians and the overhead
 //!   ratio to the file's `net_runtime` array.
+//! * `… --bin bench_baseline -- --append-intra [output.json]` — drives whole
+//!   fixed-tick-budget geographic-gossip runs at `n ∈ {65 536, 262 144}`
+//!   through the parallel engine (`AsyncEngine::run_parallel` on the
+//!   work-stealing pool, all available workers) and the sequential engine
+//!   (`AsyncEngine::run`), asserts the reports are **bit-identical** every
+//!   sample, and **appends** the whole-loop medians — thread count recorded
+//!   per row — to the file's `intra_trial` array.
 //! * `--smoke` (combinable with every mode) shrinks sizes and sample counts
 //!   to seconds-scale so CI can exercise each append mode — and the
 //!   never-clobber JSON parsing they share — against a scratch file on every
@@ -422,6 +429,130 @@ fn measure_net(n: usize, ticks_per_run: u64, samples: usize, seeds: &SeedStream)
     }
 }
 
+/// One intra-trial parallelism measurement at size `n`: whole fixed-budget
+/// runs through the parallel engine and the sequential engine, reduced to
+/// per-tick medians.
+struct IntraBaseline {
+    n: usize,
+    ticks_per_run: u64,
+    samples: usize,
+    threads: usize,
+    parallel_ns: f64,
+    sequential_ns: f64,
+}
+
+/// Times complete geographic-gossip runs capped at `ticks_per_run` ticks on
+/// the parallel engine (`AsyncEngine::run_parallel`: pre-drawn tick batches,
+/// batch-wide concurrent route resolution on the work-stealing pool) and the
+/// sequential engine (`AsyncEngine::run`), from identical seeds on the same
+/// instance. The two reports are asserted **bit-identical** every sample —
+/// parallelism is an execution strategy, never a semantics change — so the
+/// speedup compares exactly the same work. The worker count is whatever the
+/// pool actually has (`RAYON_NUM_THREADS`-capped available parallelism) and
+/// is recorded per row: the `≥ 1.5×` acceptance threshold applies to
+/// multi-core rows, a single-worker row prices the batching overhead alone.
+fn measure_intra(
+    n: usize,
+    ticks_per_run: u64,
+    samples: usize,
+    seeds: &SeedStream,
+) -> IntraBaseline {
+    let threads = geogossip_sim::batch::available_threads();
+    let par = geogossip_sim::ParallelSpec::with_threads(threads);
+    let positions = sample_unit_square(n, &mut seeds.trial("bench-placement", n as u64));
+    let graph = GeometricGraph::build_at_connectivity_radius(positions, 2.0);
+    let values: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+    let stop = StopCondition::at_epsilon(1e-12).with_max_ticks(ticks_per_run);
+
+    let run_once = |parallel: bool| -> (f64, geogossip_sim::EngineReport) {
+        let mut rng = ChaCha8Rng::seed_from_u64(4242);
+        let mut engine = AsyncEngine::new(n);
+        let mut protocol = GeographicGossip::new(&graph, values.clone()).expect("valid instance");
+        let start = Instant::now();
+        let report = if parallel {
+            engine.run_parallel(&mut protocol, stop, &mut rng, par)
+        } else {
+            engine.run(&mut protocol, stop, &mut rng)
+        };
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(report.reason, StopReason::TickBudgetExhausted);
+        assert_eq!(report.ticks, ticks_per_run);
+        (elapsed * 1e9 / ticks_per_run as f64, report)
+    };
+
+    let median = |timings: &mut Vec<f64>| -> f64 {
+        timings.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        timings[timings.len() / 2]
+    };
+    // Alternate the two paths so slow drift affects both medians equally, and
+    // hold the comparison to bit-identical work.
+    let mut parallel_timings = Vec::with_capacity(samples);
+    let mut sequential_timings = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let (parallel_ns, parallel_report) = run_once(true);
+        let (sequential_ns, sequential_report) = run_once(false);
+        assert_eq!(
+            parallel_report, sequential_report,
+            "parallel engine diverged from the sequential oracle at n={n}"
+        );
+        parallel_timings.push(parallel_ns);
+        sequential_timings.push(sequential_ns);
+    }
+    IntraBaseline {
+        n,
+        ticks_per_run,
+        samples,
+        threads,
+        parallel_ns: median(&mut parallel_timings),
+        sequential_ns: median(&mut sequential_timings),
+    }
+}
+
+/// Appends the parallel-vs-sequential whole-loop medians to `out_path`'s
+/// `intra_trial` array, preserving every existing entry of the file.
+fn append_intra_baseline(out_path: &str, smoke: bool) {
+    let seeds = SeedStream::new(20070612);
+    // Budgets stay well short of convergence to 1e-12, so both paths execute
+    // exactly the same ticks; sizes match the tick-loop series so the rows
+    // stay comparable.
+    let sizes: &[(usize, u64, usize)] = if smoke {
+        &[(512, 2_000, 3), (1_024, 2_000, 3)]
+    } else {
+        &[(65_536, 16_384, 5), (262_144, 8_192, 5)]
+    };
+    let records: Vec<JsonValue> = sizes
+        .iter()
+        .map(|&(n, ticks_per_run, samples)| {
+            let b = measure_intra(n, ticks_per_run, samples, &seeds);
+            let speedup = b.sequential_ns / b.parallel_ns;
+            println!(
+                "n={:7}  parallel tick {:>9.0} ns ({} thread{}) | sequential tick {:>9.0} ns | speedup {:.2}x",
+                b.n,
+                b.parallel_ns,
+                b.threads,
+                if b.threads == 1 { "" } else { "s" },
+                b.sequential_ns,
+                speedup
+            );
+            JsonValue::object(vec![
+                ("n", b.n.into()),
+                ("ticks_per_sample", b.ticks_per_run.into()),
+                ("samples", b.samples.into()),
+                ("threads", b.threads.into()),
+                ("smoke", JsonValue::Bool(smoke)),
+                ("parallel_tick_median_ns", b.parallel_ns.round().into()),
+                ("sequential_tick_median_ns", b.sequential_ns.round().into()),
+                (
+                    "speedup_vs_sequential",
+                    ((speedup * 100.0).round() / 100.0).into(),
+                ),
+            ])
+        })
+        .collect();
+    append_records(out_path, "intra_trial", records);
+    println!("appended intra-trial parallelism baseline to {out_path}");
+}
+
 /// Appends the net-scheduler-vs-engine medians to `out_path`'s `net_runtime`
 /// array, preserving every existing entry of the file.
 fn append_net_baseline(out_path: &str, smoke: bool) {
@@ -669,6 +800,7 @@ fn main() {
     let mut append_tick_large = false;
     let mut append_trial = false;
     let mut append_net = false;
+    let mut append_intra = false;
     let mut smoke = false;
     let mut out_path: Option<String> = None;
     for arg in std::env::args().skip(1) {
@@ -682,12 +814,15 @@ fn main() {
             append_trial = true;
         } else if arg == "--append-net" {
             append_net = true;
+        } else if arg == "--append-intra" {
+            append_intra = true;
         } else if arg == "--smoke" {
             smoke = true;
         } else if arg.starts_with('-') {
             eprintln!(
                 "unknown flag `{arg}` (supported: --append-dyn, --append-build, \
-                 --append-tick-large, --append-trial, --append-net, --smoke)"
+                 --append-tick-large, --append-trial, --append-net, \
+                 --append-intra, --smoke)"
             );
             std::process::exit(2);
         } else if out_path.replace(arg).is_some() {
@@ -702,7 +837,8 @@ fn main() {
         eprintln!("--smoke requires an explicit scratch output path");
         std::process::exit(2);
     }
-    if append_dyn || append_build || append_tick_large || append_trial || append_net {
+    if append_dyn || append_build || append_tick_large || append_trial || append_net || append_intra
+    {
         if append_dyn {
             append_dyn_baseline(&out_path, smoke);
         }
@@ -717,6 +853,9 @@ fn main() {
         }
         if append_net {
             append_net_baseline(&out_path, smoke);
+        }
+        if append_intra {
+            append_intra_baseline(&out_path, smoke);
         }
         return;
     }

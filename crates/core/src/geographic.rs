@@ -16,6 +16,7 @@ use geogossip_routing::greedy::{
     route_terminus, route_terminus_masked, route_terminus_to_node, route_terminus_to_node_masked,
 };
 use geogossip_routing::target::TargetSelector;
+use geogossip_sim::batch::{BatchActivation, ResolvedPlan, TickPlan};
 use geogossip_sim::clock::Tick;
 use geogossip_sim::engine::{Activation, SquaredError};
 use geogossip_sim::fault::{FaultContext, FaultSupport};
@@ -252,6 +253,10 @@ impl Activation for GeographicGossip<'_> {
         self.step(tick, tx, rng);
     }
 
+    fn as_batch(&mut self) -> Option<&mut dyn BatchActivation> {
+        Some(self)
+    }
+
     fn fault_support(&self) -> FaultSupport {
         FaultSupport::all()
     }
@@ -290,6 +295,67 @@ impl Activation for GeographicGossip<'_> {
             ("exchanges".into(), self.exchanges as f64),
             ("failed_routes".into(), self.failed_routes as f64),
         ]
+    }
+}
+
+impl BatchActivation for GeographicGossip<'_> {
+    fn network(&self) -> &GeometricGraph {
+        self.graph
+    }
+
+    fn draw_plan(&self, tick: Tick, rng: &mut dyn RngCore) -> TickPlan {
+        if self.graph.len() < 2 {
+            return TickPlan::Skip { isolated: false };
+        }
+        match &self.selector {
+            TargetSelector::NearestToUniformPosition => {
+                let target = geogossip_geometry::sampling::uniform_point_in(
+                    geogossip_geometry::unit_square(),
+                    rng,
+                );
+                TickPlan::RoutePosition { target }
+            }
+            selector => match selector.draw(self.graph, tick.node, rng) {
+                Some(target) => TickPlan::RouteNode { target },
+                None => TickPlan::Skip { isolated: false },
+            },
+        }
+    }
+
+    fn commit_plan(&mut self, tick: Tick, resolved: &ResolvedPlan, tx: &mut TransmissionCounter) {
+        match *resolved {
+            ResolvedPlan::Skip { .. } => {}
+            ResolvedPlan::Route {
+                partner,
+                outbound_hops,
+                outbound_failed,
+                back,
+            } => {
+                // Failed-route accounting happens before the partner-is-self
+                // early return, exactly as in the sequential step.
+                if outbound_failed {
+                    self.failed_routes += 1;
+                }
+                let Some((back_hops, back_delivered)) = back else {
+                    return;
+                };
+                if !back_delivered {
+                    self.failed_routes += 1;
+                }
+                let s = tick.node;
+                let (new_s, new_p) = convex_average(
+                    self.state.value(s.index()),
+                    self.state.value(partner.index()),
+                );
+                self.state.set(s.index(), new_s);
+                self.state.set(partner.index(), new_p);
+                tx.charge_routing((outbound_hops + back_hops) as u64);
+                self.exchanges += 1;
+            }
+            ResolvedPlan::Pair { .. } => {
+                unreachable!("geographic gossip never plans a pairwise exchange")
+            }
+        }
     }
 }
 
@@ -472,6 +538,42 @@ mod tests {
             if !alive[i] {
                 assert_eq!(b, a, "dead sensor {i} changed value");
             }
+        }
+    }
+
+    #[test]
+    fn draw_and_commit_replay_the_sequential_step_bit_for_bit() {
+        use rand::RngCore;
+        let g = graph(128, 18);
+        for selector in [
+            TargetSelector::NearestToUniformPosition,
+            TargetSelector::UniformByIndex,
+        ] {
+            let mut rng_seq = ChaCha8Rng::seed_from_u64(19);
+            let mut rng_batch = rng_seq.clone();
+            let values = InitialCondition::Spike.generate(g.len(), &mut rng_seq);
+            let _ = InitialCondition::Spike.generate(g.len(), &mut rng_batch);
+            let mut seq =
+                GeographicGossip::with_selector(&g, values.clone(), selector.clone()).unwrap();
+            let mut batch = GeographicGossip::with_selector(&g, values, selector).unwrap();
+            let mut clock_seq = geogossip_sim::GlobalPoissonClock::new(g.len());
+            let mut clock_batch = clock_seq.clone();
+            let mut tx_seq = TransmissionCounter::new();
+            let mut tx_batch = TransmissionCounter::new();
+            for _ in 0..2_000 {
+                let ta = clock_seq.next_tick(&mut rng_seq);
+                seq.step(ta, &mut tx_seq, &mut rng_seq);
+                let tb = clock_batch.next_tick(&mut rng_batch);
+                let plan = batch.draw_plan(tb, &mut rng_batch);
+                let resolved = geogossip_sim::batch::resolve_plan(&g, tb.node, &plan);
+                batch.commit_plan(tb, &resolved, &mut tx_batch);
+                // The RNG streams must stay in lockstep after every tick.
+                assert_eq!(rng_seq.next_u64(), rng_batch.next_u64());
+            }
+            assert_eq!(seq.state().values(), batch.state().values());
+            assert_eq!(tx_seq.total(), tx_batch.total());
+            assert_eq!(seq.exchanges(), batch.exchanges());
+            assert_eq!(seq.failed_routes(), batch.failed_routes());
         }
     }
 

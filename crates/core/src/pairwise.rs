@@ -10,7 +10,9 @@
 use crate::error::ProtocolError;
 use crate::state::GossipState;
 use crate::update::convex_average;
+use geogossip_geometry::point::NodeId;
 use geogossip_graph::GeometricGraph;
+use geogossip_sim::batch::{BatchActivation, ResolvedPlan, TickPlan};
 use geogossip_sim::clock::Tick;
 use geogossip_sim::engine::{Activation, SquaredError};
 use geogossip_sim::fault::{FaultContext, FaultSupport};
@@ -173,6 +175,10 @@ impl Activation for PairwiseGossip<'_> {
         self.step(tick, tx, rng);
     }
 
+    fn as_batch(&mut self) -> Option<&mut dyn BatchActivation> {
+        Some(self)
+    }
+
     fn fault_support(&self) -> FaultSupport {
         FaultSupport::all()
     }
@@ -210,6 +216,40 @@ impl Activation for PairwiseGossip<'_> {
                 self.isolated_activations as f64,
             ),
         ]
+    }
+}
+
+impl BatchActivation for PairwiseGossip<'_> {
+    fn network(&self) -> &GeometricGraph {
+        self.graph
+    }
+
+    fn draw_plan(&self, tick: Tick, rng: &mut dyn RngCore) -> TickPlan {
+        let neighbors = self.graph.neighbors(tick.node);
+        if neighbors.is_empty() {
+            return TickPlan::Skip { isolated: true };
+        }
+        let v = neighbors[rng.gen_range(0..neighbors.len())] as usize;
+        TickPlan::Pair { partner: NodeId(v) }
+    }
+
+    fn commit_plan(&mut self, tick: Tick, resolved: &ResolvedPlan, tx: &mut TransmissionCounter) {
+        match *resolved {
+            ResolvedPlan::Skip { isolated: true } => self.isolated_activations += 1,
+            ResolvedPlan::Skip { isolated: false } => {}
+            ResolvedPlan::Pair { partner } => {
+                let s = tick.node.index();
+                let v = partner.index();
+                let (new_s, new_v) = convex_average(self.state.value(s), self.state.value(v));
+                self.state.set(s, new_s);
+                self.state.set(v, new_v);
+                tx.charge_local(2);
+                self.exchanges += 1;
+            }
+            ResolvedPlan::Route { .. } => {
+                unreachable!("pairwise gossip never plans a routed round")
+            }
+        }
     }
 }
 
@@ -404,6 +444,35 @@ mod tests {
             "the live partner still averages"
         );
         assert_eq!(gossip.exchanges(), 1);
+    }
+
+    #[test]
+    fn draw_and_commit_replay_the_sequential_step_bit_for_bit() {
+        let g = graph(96, 14);
+        let mut rng_seq = ChaCha8Rng::seed_from_u64(15);
+        let mut rng_batch = rng_seq.clone();
+        let values = InitialCondition::Bimodal.generate(g.len(), &mut rng_seq);
+        let _ = InitialCondition::Bimodal.generate(g.len(), &mut rng_batch);
+        let mut seq = PairwiseGossip::new(&g, values.clone()).unwrap();
+        let mut batch = PairwiseGossip::new(&g, values).unwrap();
+        let mut clock_seq = geogossip_sim::GlobalPoissonClock::new(g.len());
+        let mut clock_batch = clock_seq.clone();
+        let mut tx_seq = TransmissionCounter::new();
+        let mut tx_batch = TransmissionCounter::new();
+        for _ in 0..3_000 {
+            let ta = clock_seq.next_tick(&mut rng_seq);
+            seq.step(ta, &mut tx_seq, &mut rng_seq);
+            let tb = clock_batch.next_tick(&mut rng_batch);
+            let plan = batch.draw_plan(tb, &mut rng_batch);
+            let resolved = geogossip_sim::batch::resolve_plan(&g, tb.node, &plan);
+            batch.commit_plan(tb, &resolved, &mut tx_batch);
+            // The RNG streams must stay in lockstep after every tick.
+            assert_eq!(rng_seq.next_u64(), rng_batch.next_u64());
+        }
+        assert_eq!(seq.state().values(), batch.state().values());
+        assert_eq!(tx_seq.total(), tx_batch.total());
+        assert_eq!(seq.exchanges(), batch.exchanges());
+        assert_eq!(seq.isolated_activations(), batch.isolated_activations());
     }
 
     #[test]

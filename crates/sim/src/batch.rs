@@ -1,0 +1,649 @@
+//! Conflict-partitioned tick batching: the engine's intra-trial parallel path.
+//!
+//! The Poisson tick stream of the paper's gossip protocols has a structural
+//! property this module exploits: **every random decision of a tick is
+//! value-independent**. Which sensor wakes, which neighbor or target position
+//! it draws, and where greedy routing delivers the packet depend only on the
+//! static graph and the RNG stream — never on the gossip values. Only the
+//! *averaging* (and the stop condition watching it) reads mutable state. A
+//! batch of ticks can therefore be
+//!
+//! 1. **drawn** sequentially (cheap: a handful of RNG draws per tick, in
+//!    exactly the order the sequential engine draws them),
+//! 2. **resolved** concurrently (the expensive greedy route walks — pure
+//!    functions of the static graph, parallelised over the whole batch with
+//!    an order-preserving map), and
+//! 3. **committed** sequentially in draw order (required bit-for-bit: the
+//!    gossip state's incremental `Σ(x−x̄)²` cache folds non-associative
+//!    floating-point deltas, so commits must replay in the exact order the
+//!    sequential engine applies them — the *batch draw-order contract*).
+//!
+//! On top of this, a [`WavePartitioner`] groups consecutive ticks into
+//! **conflict-free waves** by footprint disjointness: the footprint of a tick
+//! conservatively over-approximates every sensor its round may read, write,
+//! or relay through (exact partner pairs for pairwise gossip; grid-cell route
+//! corridors for geographic gossip — the disk around the target of radius
+//! `d(s, t)` contains every greedy hop, and the disk around the caller of
+//! radius `2·d(s, t)` contains the return path, by the triangle inequality).
+//! Within a wave the write-sets are provably disjoint, so each tick's average
+//! reads exactly the wave-start values no matter how the wave's commits are
+//! interleaved — which is what makes the batch-wide concurrent resolution
+//! sound to *overlap* with earlier waves' effects conceptually, and what a
+//! conflicting tick (a singleton wave, the *sequential replay residue*)
+//! cannot guarantee. The engine walks waves in order and commits each tick in
+//! draw order either way, so the partition is a proof structure, not a
+//! scheduling freedom: reports, traces, metrics, and RNG end state stay
+//! bit-identical to [`crate::engine::AsyncEngine::run`].
+
+use crate::clock::Tick;
+use crate::engine::Activation;
+use crate::error::ProtocolError;
+use crate::metrics::TransmissionCounter;
+use geogossip_geometry::point::NodeId;
+use geogossip_geometry::{Point, Topology};
+use geogossip_graph::GeometricGraph;
+use geogossip_routing::greedy::{route_terminus, route_terminus_to_node};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Default number of ticks pre-drawn per batch by the parallel engine path.
+pub const DEFAULT_TICK_BATCH: usize = 1024;
+
+/// Worker threads of the global pool — what a `threads: 0`-style "auto"
+/// setting should resolve to (honours `RAYON_NUM_THREADS`).
+pub fn available_threads() -> usize {
+    rayon::current_num_threads()
+}
+
+/// Intra-trial parallelism settings: how many threads may work on one trial
+/// and how many ticks the engine pre-draws per batch.
+///
+/// Carried by the optional `parallelism` key of a scenario spec; when the key
+/// is absent the sequential path runs and no partitioner is ever constructed
+/// (the no-key-no-wrapper convention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParallelSpec {
+    /// Maximum worker threads for one trial's tick loop (≥ 1; 1 keeps the
+    /// batched structure but resolves inline on the calling thread).
+    pub threads: usize,
+    /// Ticks pre-drawn per batch (≥ 1). Larger batches amortise the
+    /// snapshot/partition overhead; smaller ones waste fewer pre-drawn ticks
+    /// when a run stops mid-batch. Defaults to [`DEFAULT_TICK_BATCH`].
+    pub batch: usize,
+}
+
+impl ParallelSpec {
+    /// Settings with the given thread cap and the default batch size.
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelSpec {
+            threads,
+            batch: DEFAULT_TICK_BATCH,
+        }
+    }
+
+    /// Replaces the batch size (builder style).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Checks both knobs are usable (strictly positive).
+    pub fn validate(&self) -> Result<(), ProtocolError> {
+        if self.threads == 0 {
+            return Err(ProtocolError::invalid(
+                "parallelism.threads",
+                "thread count must be at least 1",
+            ));
+        }
+        if self.batch == 0 {
+            return Err(ProtocolError::invalid(
+                "parallelism.batch",
+                "tick batch size must be at least 1",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The value-independent decisions of one tick, drawn sequentially from the
+/// run RNG with **exactly** the draws the protocol's `on_tick` would consume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TickPlan {
+    /// The tick has no effect on values or transmissions.
+    Skip {
+        /// Whether the activated sensor was isolated (pairwise gossip counts
+        /// these activations; geographic sub-2-node no-ops do not).
+        isolated: bool,
+    },
+    /// Pairwise exchange with a neighbor already known at draw time.
+    Pair {
+        /// The drawn neighbor.
+        partner: NodeId,
+    },
+    /// Geographic round towards a uniformly drawn position; the partner is
+    /// whoever greedy routing stops at (resolved later, off the RNG stream).
+    RoutePosition {
+        /// The drawn target position.
+        target: Point,
+    },
+    /// Geographic round towards a selector-drawn node.
+    RouteNode {
+        /// The drawn destination node.
+        target: NodeId,
+    },
+}
+
+/// A [`TickPlan`] with its heavy, value-independent work done: greedy routes
+/// walked, partner and hop counts known. Producing one reads only the static
+/// graph, so a whole batch resolves concurrently.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ResolvedPlan {
+    /// No state effect (see [`TickPlan::Skip`]).
+    Skip {
+        /// Forwarded isolation flag.
+        isolated: bool,
+    },
+    /// Pairwise exchange (nothing to resolve).
+    Pair {
+        /// The drawn neighbor.
+        partner: NodeId,
+    },
+    /// A routed geographic round.
+    Route {
+        /// The exchange partner (the outbound route's terminus).
+        partner: NodeId,
+        /// Hops of the outbound route.
+        outbound_hops: usize,
+        /// Whether the outbound route dead-ended short of a selector-drawn
+        /// destination (counted as a failed route *before* the
+        /// partner-is-self check, matching the sequential step exactly).
+        outbound_failed: bool,
+        /// Return route `(hops, delivered)`; `None` when the partner is the
+        /// caller itself (a free no-op round — no packet leaves the caller).
+        back: Option<(usize, bool)>,
+    },
+}
+
+/// A protocol whose ticks can be split into a sequential RNG-draw stage and a
+/// concurrent resolution stage (see the module docs for the contract).
+///
+/// Implementations must guarantee, for every tick:
+///
+/// * [`BatchActivation::draw_plan`] consumes **exactly** the RNG draws
+///   [`Activation::on_tick`] would, in the same order, and
+/// * [`BatchActivation::commit_plan`] applied to the resolved plan reproduces
+///   `on_tick`'s state mutations, transmission charges, and metric counters
+///   **exactly**, including the order of error-cache updates.
+pub trait BatchActivation: Activation {
+    /// The static network the protocol runs on (the footprint geometry and
+    /// route resolution source).
+    fn network(&self) -> &GeometricGraph;
+
+    /// Draws the tick's value-independent decisions from `rng`.
+    fn draw_plan(&self, tick: Tick, rng: &mut dyn RngCore) -> TickPlan;
+
+    /// Applies a resolved tick to the protocol state, bit-identically to what
+    /// [`Activation::on_tick`] would have done for the same draws.
+    fn commit_plan(&mut self, tick: Tick, resolved: &ResolvedPlan, tx: &mut TransmissionCounter);
+}
+
+/// Resolves a plan's heavy work: pure in the static graph, no RNG, no state.
+pub fn resolve_plan(graph: &GeometricGraph, source: NodeId, plan: &TickPlan) -> ResolvedPlan {
+    match *plan {
+        TickPlan::Skip { isolated } => ResolvedPlan::Skip { isolated },
+        TickPlan::Pair { partner } => ResolvedPlan::Pair { partner },
+        TickPlan::RoutePosition { target } => {
+            let outcome = route_terminus(graph, source, target);
+            finish_route(graph, source, outcome.terminus, outcome.hops, false)
+        }
+        TickPlan::RouteNode { target } => {
+            let (outcome, delivered) = route_terminus_to_node(graph, source, target);
+            finish_route(graph, source, outcome.terminus, outcome.hops, !delivered)
+        }
+    }
+}
+
+fn finish_route(
+    graph: &GeometricGraph,
+    source: NodeId,
+    partner: NodeId,
+    outbound_hops: usize,
+    outbound_failed: bool,
+) -> ResolvedPlan {
+    let back = if partner == source {
+        None
+    } else {
+        let (route, delivered) = route_terminus_to_node(graph, partner, source);
+        Some((route.hops, delivered))
+    };
+    ResolvedPlan::Route {
+        partner,
+        outbound_hops,
+        outbound_failed,
+        back,
+    }
+}
+
+/// Side length (in cells) of the coarse occupancy grid footprints are stamped
+/// onto. 32×32 = 1024 cells fit in sixteen `u64` words, so clearing and
+/// intersection tests are a handful of word operations.
+const COARSE: usize = 32;
+const CELL_WORDS: usize = COARSE * COARSE / 64;
+
+/// One axis of a disk's bounding box on the coarse grid: a wrapped cell
+/// interval, or `None` when the disk covers the whole axis.
+type AxisSpan = Option<(usize, usize)>;
+
+/// The conservatively over-approximated read/write/relay set of one tick.
+enum Footprint {
+    /// No sensors touched.
+    Empty,
+    /// Exactly the two endpoints of a pairwise exchange.
+    Nodes(NodeId, NodeId),
+    /// Grid cells covering the round's route corridors: the disk of radius
+    /// `d(s, t)` around the target `t` (every greedy hop is strictly closer
+    /// to `t` than the caller `s`, so the whole outbound route and the
+    /// partner lie inside) united with the disk of radius `2·d(s, t)` around
+    /// `s` (the return route, by the triangle inequality). Covers relays,
+    /// not just endpoints, so the rule stays valid if relay-local state is
+    /// ever added.
+    Cells([(AxisSpan, AxisSpan); 2]),
+    /// The corridors cover most of the square; conflicts with everything.
+    Full,
+}
+
+/// Groups consecutive planned ticks into conflict-free waves.
+///
+/// Constructed only when a scenario opts into parallelism (the sequential
+/// path never builds one). Scratch bitsets are reused across batches.
+pub struct WavePartitioner {
+    topology: Topology,
+    /// One bit per sensor, for exact pairwise footprints.
+    node_words: Vec<u64>,
+    touched_node_words: Vec<usize>,
+    /// One bit per coarse grid cell, for geographic corridor footprints.
+    cell_words: [u64; CELL_WORDS],
+    nodes_used: bool,
+    cells_used: bool,
+    full: bool,
+}
+
+impl WavePartitioner {
+    /// Creates a partitioner for the given network.
+    pub fn new(graph: &GeometricGraph) -> Self {
+        WavePartitioner {
+            topology: graph.topology(),
+            node_words: vec![0; graph.len().div_ceil(64)],
+            touched_node_words: Vec::new(),
+            cell_words: [0; CELL_WORDS],
+            nodes_used: false,
+            cells_used: false,
+            full: false,
+        }
+    }
+
+    /// Splits `planned` into maximal runs of consecutive ticks with pairwise
+    /// disjoint footprints. Concatenating the returned ranges yields
+    /// `0..planned.len()` exactly — the partition never reorders or drops a
+    /// tick, it only marks where conflict boundaries fall.
+    pub fn partition(
+        &mut self,
+        graph: &GeometricGraph,
+        planned: &[(Tick, TickPlan)],
+    ) -> Vec<Range<usize>> {
+        let mut waves = Vec::new();
+        if planned.is_empty() {
+            return waves;
+        }
+        self.clear();
+        let mut start = 0usize;
+        for (i, (tick, plan)) in planned.iter().enumerate() {
+            let footprint = self.footprint(graph, tick.node, plan);
+            if i > start && self.conflicts(&footprint) {
+                waves.push(start..i);
+                self.clear();
+                start = i;
+            }
+            self.mark(&footprint);
+        }
+        waves.push(start..planned.len());
+        waves
+    }
+
+    fn clear(&mut self) {
+        for &w in &self.touched_node_words {
+            self.node_words[w] = 0;
+        }
+        self.touched_node_words.clear();
+        self.cell_words = [0; CELL_WORDS];
+        self.nodes_used = false;
+        self.cells_used = false;
+        self.full = false;
+    }
+
+    fn footprint(&self, graph: &GeometricGraph, source: NodeId, plan: &TickPlan) -> Footprint {
+        match *plan {
+            TickPlan::Skip { .. } => Footprint::Empty,
+            TickPlan::Pair { partner } => Footprint::Nodes(source, partner),
+            TickPlan::RoutePosition { target } => self.corridor(graph.position(source), target),
+            TickPlan::RouteNode { target } => {
+                self.corridor(graph.position(source), graph.position(target))
+            }
+        }
+    }
+
+    /// The two-disk corridor footprint (see [`Footprint::Cells`]).
+    fn corridor(&self, source: Point, target: Point) -> Footprint {
+        let d = self.topology.distance(source, target);
+        let wrap = self.topology == Topology::Torus;
+        let disks = [(target, d), (source, 2.0 * d)];
+        let mut spans = [(None, None); 2];
+        let mut cells = 0usize;
+        for (i, &(center, radius)) in disks.iter().enumerate() {
+            let cols = axis_span(center.x, radius, wrap);
+            let rows = axis_span(center.y, radius, wrap);
+            cells += cols.map_or(COARSE, |(_, c)| c) * rows.map_or(COARSE, |(_, c)| c);
+            spans[i] = (cols, rows);
+        }
+        // Corridors covering most of the grid conflict with ~everything
+        // anyway; collapsing them to `Full` keeps the per-tick partition cost
+        // O(1) instead of O(cells) for the common long-range round.
+        if cells >= COARSE * COARSE / 2 {
+            Footprint::Full
+        } else {
+            Footprint::Cells(spans)
+        }
+    }
+
+    fn conflicts(&self, footprint: &Footprint) -> bool {
+        let any = self.nodes_used || self.cells_used || self.full;
+        match footprint {
+            Footprint::Empty => false,
+            Footprint::Full => any,
+            // Mixed node/cell footprints never share a run (one protocol per
+            // run), but if they did, their domains are incomparable — treat
+            // any mix as a conflict rather than reason about it.
+            Footprint::Nodes(a, b) => {
+                self.full || self.cells_used || self.node_bit(*a) || self.node_bit(*b)
+            }
+            Footprint::Cells(spans) => {
+                self.full
+                    || self.nodes_used
+                    || spans.iter().any(|(cols, rows)| {
+                        let mut hit = false;
+                        for_each_cell(*cols, *rows, |word, bit| {
+                            hit |= self.cell_words[word] & (1 << bit) != 0;
+                        });
+                        hit
+                    })
+            }
+        }
+    }
+
+    fn mark(&mut self, footprint: &Footprint) {
+        match footprint {
+            Footprint::Empty => {}
+            Footprint::Full => self.full = true,
+            Footprint::Nodes(a, b) => {
+                self.set_node_bit(*a);
+                self.set_node_bit(*b);
+                self.nodes_used = true;
+            }
+            Footprint::Cells(spans) => {
+                for (cols, rows) in spans {
+                    for_each_cell(*cols, *rows, |word, bit| {
+                        self.cell_words[word] |= 1 << bit;
+                    });
+                }
+                self.cells_used = true;
+            }
+        }
+    }
+
+    fn node_bit(&self, node: NodeId) -> bool {
+        self.node_words[node.index() / 64] & (1 << (node.index() % 64)) != 0
+    }
+
+    fn set_node_bit(&mut self, node: NodeId) {
+        let word = node.index() / 64;
+        if self.node_words[word] == 0 {
+            self.touched_node_words.push(word);
+        }
+        self.node_words[word] |= 1 << (node.index() % 64);
+    }
+}
+
+/// Cell interval of `[center − radius, center + radius]` on one axis of the
+/// coarse grid: `None` when the interval covers the whole axis, otherwise a
+/// `(start, count)` pair (wrapped on the torus, clamped on the square).
+fn axis_span(center: f64, radius: f64, wrap: bool) -> AxisSpan {
+    if 2.0 * radius >= 1.0 {
+        return None;
+    }
+    let lo = center - radius;
+    let hi = center + radius;
+    let cells = COARSE as f64;
+    if wrap {
+        let start = ((lo.rem_euclid(1.0) * cells).floor() as usize).min(COARSE - 1);
+        let end = ((hi.rem_euclid(1.0) * cells).floor() as usize).min(COARSE - 1);
+        let count = if end >= start {
+            end - start + 1
+        } else {
+            COARSE - start + end + 1
+        };
+        Some((start, count))
+    } else {
+        let start = ((lo * cells).floor().max(0.0) as usize).min(COARSE - 1);
+        let end = ((hi * cells).floor().max(0.0) as usize).min(COARSE - 1);
+        Some((start, end - start + 1))
+    }
+}
+
+/// Visits every `(word, bit)` of the rectangle spanned by the two axis spans.
+fn for_each_cell(cols: AxisSpan, rows: AxisSpan, mut f: impl FnMut(usize, usize)) {
+    let (col0, col_count) = cols.unwrap_or((0, COARSE));
+    let (row0, row_count) = rows.unwrap_or((0, COARSE));
+    for r in 0..row_count {
+        let row = (row0 + r) % COARSE;
+        for c in 0..col_count {
+            let col = (col0 + c) % COARSE;
+            let cell = row * COARSE + col;
+            f(cell / 64, cell % 64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geogossip_geometry::sampling::sample_unit_square;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn graph(n: usize, seed: u64) -> GeometricGraph {
+        let pts = sample_unit_square(n, &mut ChaCha8Rng::seed_from_u64(seed));
+        GeometricGraph::build_at_connectivity_radius(pts, 2.0)
+    }
+
+    fn tick(index: u64, node: usize) -> Tick {
+        Tick {
+            time: 0.0,
+            index,
+            node: NodeId(node),
+        }
+    }
+
+    #[test]
+    fn parallel_spec_validates_its_knobs() {
+        assert!(ParallelSpec::with_threads(4).validate().is_ok());
+        assert!(ParallelSpec::with_threads(0).validate().is_err());
+        assert!(ParallelSpec::with_threads(2)
+            .with_batch(0)
+            .validate()
+            .is_err());
+        assert_eq!(ParallelSpec::with_threads(1).batch, DEFAULT_TICK_BATCH);
+    }
+
+    #[test]
+    fn resolve_skip_and_pair_pass_through() {
+        let g = graph(32, 1);
+        assert_eq!(
+            resolve_plan(&g, NodeId(3), &TickPlan::Skip { isolated: true }),
+            ResolvedPlan::Skip { isolated: true }
+        );
+        assert_eq!(
+            resolve_plan(&g, NodeId(3), &TickPlan::Pair { partner: NodeId(5) }),
+            ResolvedPlan::Pair { partner: NodeId(5) }
+        );
+    }
+
+    #[test]
+    fn resolve_route_to_node_matches_direct_routing() {
+        let g = graph(128, 2);
+        let source = NodeId(0);
+        let target = NodeId(100);
+        let plan = TickPlan::RouteNode { target };
+        let ResolvedPlan::Route {
+            partner,
+            outbound_hops,
+            outbound_failed,
+            back,
+        } = resolve_plan(&g, source, &plan)
+        else {
+            panic!("routed plan must resolve to a route");
+        };
+        let (outcome, delivered) = route_terminus_to_node(&g, source, target);
+        assert_eq!(partner, outcome.terminus);
+        assert_eq!(outbound_hops, outcome.hops);
+        assert_eq!(outbound_failed, !delivered);
+        if partner != source {
+            let (expected_back, expected_delivered) = route_terminus_to_node(&g, partner, source);
+            assert_eq!(back, Some((expected_back.hops, expected_delivered)));
+        } else {
+            assert_eq!(back, None);
+        }
+    }
+
+    #[test]
+    fn disjoint_pairs_share_a_wave_and_overlapping_pairs_split() {
+        let g = graph(64, 3);
+        let mut partitioner = WavePartitioner::new(&g);
+        let disjoint = vec![
+            (tick(1, 0), TickPlan::Pair { partner: NodeId(1) }),
+            (tick(2, 2), TickPlan::Pair { partner: NodeId(3) }),
+            (tick(3, 4), TickPlan::Pair { partner: NodeId(5) }),
+        ];
+        assert_eq!(partitioner.partition(&g, &disjoint), vec![0..3]);
+
+        let overlapping = vec![
+            (tick(1, 0), TickPlan::Pair { partner: NodeId(1) }),
+            (tick(2, 1), TickPlan::Pair { partner: NodeId(2) }),
+            (tick(3, 5), TickPlan::Pair { partner: NodeId(6) }),
+        ];
+        // Tick 2 reuses sensor 1, so it starts a new wave (and sensor 5/6 can
+        // join it).
+        assert_eq!(partitioner.partition(&g, &overlapping), vec![0..1, 1..3]);
+    }
+
+    #[test]
+    fn skips_never_break_a_wave() {
+        let g = graph(64, 4);
+        let mut partitioner = WavePartitioner::new(&g);
+        let planned = vec![
+            (tick(1, 0), TickPlan::Pair { partner: NodeId(1) }),
+            (tick(2, 7), TickPlan::Skip { isolated: true }),
+            (tick(3, 0), TickPlan::Skip { isolated: true }),
+            (tick(4, 2), TickPlan::Pair { partner: NodeId(3) }),
+        ];
+        assert_eq!(partitioner.partition(&g, &planned), vec![0..4]);
+    }
+
+    #[test]
+    fn long_range_rounds_conflict_conservatively() {
+        let g = graph(256, 5);
+        let mut partitioner = WavePartitioner::new(&g);
+        // Two long-range rounds: corridors cover most of the square, so the
+        // second must start its own wave (the sequential replay residue).
+        let far = Point::new(0.95, 0.95);
+        let planned = vec![
+            (tick(1, 0), TickPlan::RoutePosition { target: far }),
+            (tick(2, 1), TickPlan::RoutePosition { target: far }),
+        ];
+        let waves = partitioner.partition(&g, &planned);
+        assert_eq!(waves, vec![0..1, 1..2]);
+    }
+
+    #[test]
+    fn short_disjoint_corridors_share_a_wave() {
+        use geogossip_geometry::Point;
+        // A dense grid-free graph: sensors at two far-apart clusters; each
+        // round stays within its own cluster, so corridors are tiny disks in
+        // opposite corners that must not conflict.
+        let mut pts = Vec::new();
+        for i in 0..8 {
+            pts.push(Point::new(0.05 + 0.004 * i as f64, 0.05));
+            pts.push(Point::new(0.9 + 0.004 * i as f64, 0.9));
+        }
+        let g = GeometricGraph::build(pts, 0.05);
+        let mut partitioner = WavePartitioner::new(&g);
+        let planned = vec![
+            (
+                tick(1, 0),
+                TickPlan::RoutePosition {
+                    target: Point::new(0.06, 0.05),
+                },
+            ),
+            (
+                tick(2, 1),
+                TickPlan::RoutePosition {
+                    target: Point::new(0.91, 0.9),
+                },
+            ),
+        ];
+        assert_eq!(partitioner.partition(&g, &planned), vec![0..2]);
+    }
+
+    #[test]
+    fn partition_covers_the_batch_exactly() {
+        let g = graph(128, 6);
+        let mut partitioner = WavePartitioner::new(&g);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let planned: Vec<(Tick, TickPlan)> = (0..200)
+            .map(|i| {
+                use rand::Rng;
+                let node = rng.gen_range(0..g.len());
+                let neighbors = g.neighbors(NodeId(node));
+                let plan = if neighbors.is_empty() {
+                    TickPlan::Skip { isolated: true }
+                } else {
+                    let v = neighbors[rng.gen_range(0..neighbors.len())] as usize;
+                    TickPlan::Pair { partner: NodeId(v) }
+                };
+                (tick(i + 1, node), plan)
+            })
+            .collect();
+        let waves = partitioner.partition(&g, &planned);
+        assert!(!waves.is_empty());
+        let mut next = 0usize;
+        for wave in &waves {
+            assert_eq!(wave.start, next, "waves must be contiguous");
+            assert!(wave.end > wave.start, "waves must be non-empty");
+            next = wave.end;
+        }
+        assert_eq!(next, planned.len());
+    }
+
+    #[test]
+    fn axis_span_wraps_on_the_torus_and_clamps_on_the_square() {
+        // A disk near the left edge wraps on the torus...
+        let wrapped = axis_span(0.01, 0.05, true).unwrap();
+        assert!(wrapped.1 >= 2);
+        // ...and clamps to the first cells on the square.
+        let clamped = axis_span(0.01, 0.05, false).unwrap();
+        assert_eq!(clamped.0, 0);
+        // A huge radius covers the whole axis either way.
+        assert_eq!(axis_span(0.5, 0.6, true), None);
+        assert_eq!(axis_span(0.5, 0.6, false), None);
+    }
+}

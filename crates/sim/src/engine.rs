@@ -188,6 +188,16 @@ pub trait Activation {
         let _ = faults;
         self.on_tick(tick, tx, rng);
     }
+
+    /// The protocol's batched view, when its ticks can be split into a
+    /// sequential RNG-draw stage and a concurrent resolution stage (see
+    /// [`crate::batch::BatchActivation`]). The default declares no support,
+    /// so wrappers (fault injection) and protocols with value-dependent
+    /// randomness fall back to the sequential engine path automatically —
+    /// parallelism is an execution strategy, never a semantics change.
+    fn as_batch(&mut self) -> Option<&mut dyn crate::batch::BatchActivation> {
+        None
+    }
 }
 
 /// When the engine should stop driving a protocol.
@@ -471,6 +481,191 @@ impl AsyncEngine {
         }
     }
 
+    /// Drives `protocol` like [`AsyncEngine::run`], but with intra-trial
+    /// parallelism: ticks are pre-drawn in batches, their value-independent
+    /// heavy work (greedy route walks) is resolved concurrently across the
+    /// batch, the batch is partitioned into conflict-free waves by footprint
+    /// disjointness, and commits replay sequentially in draw order (see
+    /// [`crate::batch`] for why each stage is where it is).
+    ///
+    /// **Bit-identical to the sequential paths**: reports, traces, metric
+    /// counters, and the RNG end state match [`AsyncEngine::run`] and
+    /// [`AsyncEngine::run_reference`] exactly, for every thread count and
+    /// batch size — pinned by `tests/parallel_engine_parity.rs`. The RNG must
+    /// be `Clone` because a run that stops mid-batch rewinds to the batch
+    /// start and redraws exactly the committed ticks, leaving the generator
+    /// in the same state the sequential engine leaves it in.
+    ///
+    /// Self-paced protocols have no Poisson tick stream to batch and are
+    /// delegated to [`AsyncEngine::run`] unchanged.
+    pub fn run_parallel<P, R>(
+        &mut self,
+        protocol: &mut P,
+        stop: StopCondition,
+        rng: &mut R,
+        par: crate::batch::ParallelSpec,
+    ) -> EngineReport
+    where
+        P: crate::batch::BatchActivation + ?Sized,
+        R: RngCore + Clone,
+    {
+        use crate::batch::{resolve_plan, ResolvedPlan, TickPlan, WavePartitioner};
+        use rayon::prelude::*;
+
+        if protocol.clocking() == Clocking::SelfPaced {
+            return self.run(protocol, stop, rng);
+        }
+        let mut stride = protocol
+            .trace_interval()
+            .unwrap_or(self.sample_every)
+            .max(1);
+        let mut clock = BatchedPoissonClock::new(self.n);
+        let mut ticks: u64 = 0;
+        let mut tx = TransmissionCounter::new();
+        let mut trace = ConvergenceTrace::new();
+        trace.push(TracePoint {
+            transmissions: 0,
+            ticks: 0,
+            relative_error: protocol.relative_error(),
+        });
+        let threshold_hi = protocol.squared_error().map(|sq| {
+            let target = stop.epsilon * sq.initial;
+            (target * target) * SQ_THRESHOLD_SLACK
+        });
+
+        let batch_cap = par.batch.max(1);
+        let mut partitioner = WavePartitioner::new(protocol.network());
+        let mut planned: Vec<(Tick, TickPlan)> = Vec::with_capacity(batch_cap);
+
+        let reason = 'outer: loop {
+            // Pre-tick stop check for the first tick of the batch; ticks
+            // after it are checked inside the commit loop, so every tick sees
+            // the exact per-tick check order of the sequential engine.
+            if let Some(reason) = check_stop(protocol, &stop, threshold_hi, ticks, &tx) {
+                break 'outer reason;
+            }
+
+            // Snapshot the randomness so a mid-batch stop can rewind: the
+            // batched clock clones its pending gap buffer, so replaying the
+            // committed ticks reproduces the identical reduction schedule.
+            let rng_snapshot = rng.clone();
+            let clock_snapshot = clock.clone();
+
+            // Stage 1 (sequential): draw the batch's randomness in exactly
+            // the order the sequential loop draws it — clock gap + node, then
+            // the protocol's own draws, per tick. Capping the batch at the
+            // remaining tick budget is an optimisation only; the rewind
+            // below stays the general fallback.
+            let remaining = stop
+                .max_ticks
+                .map_or(u64::MAX, |m| m.saturating_sub(ticks))
+                .max(1);
+            let batch = (batch_cap as u64).min(remaining) as usize;
+            planned.clear();
+            for _ in 0..batch {
+                let tick = clock.next_tick(&mut *rng);
+                let mut reborrow = &mut *rng;
+                let plan = protocol.draw_plan(tick, &mut reborrow);
+                planned.push((tick, plan));
+            }
+
+            // Conflict partition: contiguous waves with provably disjoint
+            // footprints (a proof structure — commits below still replay in
+            // draw order; see the batch module docs).
+            let waves = partitioner.partition(protocol.network(), &planned);
+
+            // Stage 2 (concurrent): resolve the whole batch's routing. Route
+            // walks are pure functions of the static graph — value- and
+            // order-independent — so they need no wave gating, and the
+            // order-preserving parallel map keeps results bit-identical for
+            // every thread count. Batches with no routed work skip the pool.
+            let graph = protocol.network();
+            let needs_routing = planned.iter().any(|(_, p)| {
+                matches!(
+                    p,
+                    TickPlan::RoutePosition { .. } | TickPlan::RouteNode { .. }
+                )
+            });
+            let resolved: Vec<ResolvedPlan> = if needs_routing {
+                let plans = &planned;
+                rayon::with_max_threads(par.threads, || {
+                    (0..plans.len())
+                        .into_par_iter()
+                        .map(|i| resolve_plan(graph, plans[i].0.node, &plans[i].1))
+                        .collect()
+                })
+            } else {
+                planned
+                    .iter()
+                    .map(|(tick, plan)| resolve_plan(graph, tick.node, plan))
+                    .collect()
+            };
+
+            // Stage 3 (sequential): commit wave by wave in draw order — the
+            // batch draw-order contract — with the sequential engine's exact
+            // pre-tick stop check ahead of every tick after the first.
+            let mut committed = 0usize;
+            let mut stop_reason = None;
+            'commit: for wave in waves {
+                for i in wave {
+                    if i > 0 {
+                        if let Some(reason) = check_stop(protocol, &stop, threshold_hi, ticks, &tx)
+                        {
+                            stop_reason = Some(reason);
+                            break 'commit;
+                        }
+                    }
+                    let (tick, _) = planned[i];
+                    protocol.commit_plan(tick, &resolved[i], &mut tx);
+                    ticks = tick.index;
+                    committed += 1;
+                    if tick.index.is_multiple_of(stride) {
+                        while trace.len() >= self.max_trace_points {
+                            stride = stride.saturating_mul(2);
+                            trace.thin_to_stride(stride);
+                        }
+                        if tick.index.is_multiple_of(stride) {
+                            trace.push(TracePoint {
+                                transmissions: tx.total(),
+                                ticks: tick.index,
+                                relative_error: protocol.relative_error(),
+                            });
+                        }
+                    }
+                }
+            }
+
+            if let Some(reason) = stop_reason {
+                // The batch over-drew the RNG: rewind to the batch start and
+                // redraw exactly the committed ticks (plans discarded — the
+                // draws are what matters), leaving generator and clock in the
+                // states the sequential engine would leave them in.
+                *rng = rng_snapshot;
+                clock = clock_snapshot;
+                for _ in 0..committed {
+                    let tick = clock.next_tick(&mut *rng);
+                    let mut reborrow = &mut *rng;
+                    let _ = protocol.draw_plan(tick, &mut reborrow);
+                }
+                break 'outer reason;
+            }
+        };
+
+        trace.push(TracePoint {
+            transmissions: tx.total(),
+            ticks,
+            relative_error: protocol.relative_error(),
+        });
+        EngineReport {
+            reason,
+            transmissions: tx,
+            ticks,
+            time: clock.now(),
+            final_error: protocol.relative_error(),
+            trace,
+        }
+    }
+
     /// The pre-overhaul tick loop, preserved **verbatim** (sequential
     /// [`GlobalPoissonClock`], exact `relative_error` comparison every tick,
     /// unbounded trace) for the engine parity property tests and the
@@ -569,6 +764,35 @@ impl AsyncEngine {
             trace,
         }
     }
+}
+
+/// The per-tick stop check of the overhauled loop, factored for the parallel
+/// path: squared-domain pre-filter, exact confirmation, then halt/budget
+/// checks, in exactly the order [`AsyncEngine::run`] evaluates them.
+fn check_stop<P: Activation + ?Sized>(
+    protocol: &P,
+    stop: &StopCondition,
+    threshold_hi: Option<f64>,
+    ticks: u64,
+    tx: &TransmissionCounter,
+) -> Option<StopReason> {
+    let clearly_above = match (threshold_hi, protocol.squared_error()) {
+        (Some(hi), Some(sq)) => sq.current_sq > hi,
+        _ => false,
+    };
+    if !clearly_above && protocol.relative_error() <= stop.epsilon {
+        return Some(StopReason::Converged);
+    }
+    if protocol.halted() {
+        return Some(StopReason::ProtocolStalled);
+    }
+    if stop.max_ticks.is_some_and(|m| ticks >= m) {
+        return Some(StopReason::TickBudgetExhausted);
+    }
+    if stop.max_transmissions.is_some_and(|m| tx.total() >= m) {
+        return Some(StopReason::TransmissionBudgetExhausted);
+    }
+    None
 }
 
 #[cfg(test)]

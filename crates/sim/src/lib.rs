@@ -11,6 +11,10 @@
 //! This crate provides:
 //!
 //! * [`clock`] — Poisson clock processes (global-clock and per-node views).
+//! * [`batch`] — conflict-partitioned tick batching: the engine's intra-trial
+//!   parallel path (pre-drawn tick plans, concurrent route resolution,
+//!   footprint-disjoint waves, draw-order commits), bit-identical to the
+//!   sequential engine and opted into per scenario via the `parallelism` key.
 //! * [`event`] — a time-ordered event queue for protocols that need to
 //!   schedule future work (timeouts, deferred deactivations).
 //! * [`metrics`] — transmission accounting and error-vs-cost trace recording;
@@ -51,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod clock;
 pub mod engine;
 pub mod error;
@@ -62,6 +67,7 @@ pub mod rng;
 pub mod scenario;
 pub mod transport;
 
+pub use batch::{BatchActivation, ParallelSpec, ResolvedPlan, TickPlan, DEFAULT_TICK_BATCH};
 pub use clock::{BatchedPoissonClock, GlobalPoissonClock, Tick};
 pub use engine::{
     Activation, AsyncEngine, Clocking, EngineReport, SquaredError, StopCondition, StopReason,

@@ -245,7 +245,20 @@ impl Runner {
             ));
         }
         let engine_start = std::time::Instant::now();
-        let report = AsyncEngine::new(graph.len()).run(&mut *protocol, spec.stop, &mut rng);
+        // The parallel path engages only when the spec asks for it AND the
+        // protocol exposes the batched interface; a fault-wrapped or
+        // batch-unaware protocol falls through to the sequential loop, which
+        // is bit-identical anyway (parallelism is an execution strategy,
+        // never a semantics change).
+        let report = match spec.parallelism {
+            Some(par) => match protocol.as_batch() {
+                Some(batch) => {
+                    AsyncEngine::new(graph.len()).run_parallel(batch, spec.stop, &mut rng, par)
+                }
+                None => AsyncEngine::new(graph.len()).run(&mut *protocol, spec.stop, &mut rng),
+            },
+            None => AsyncEngine::new(graph.len()).run(&mut *protocol, spec.stop, &mut rng),
+        };
         let engine_seconds = engine_start.elapsed().as_secs_f64();
         let label = protocol.name().to_string();
         let cost = TrialCost {

@@ -2,6 +2,7 @@
 //! condition × trials, with hand-rendered JSON serde (the workspace's vendored
 //! `serde` is a marker stand-in; see `geogossip_analysis::json`).
 
+use crate::batch::{ParallelSpec, DEFAULT_TICK_BATCH};
 use crate::error::ProtocolError;
 use crate::fault::FaultSpec;
 use crate::field::Field;
@@ -318,6 +319,13 @@ pub struct ScenarioSpec {
     /// layer on the instant schedule (bit-identical output, plus the message
     /// ledger metrics).
     pub transport: Option<TransportSpec>,
+    /// Intra-trial parallelism (`None` = the sequential tick loop; `Some` =
+    /// the batched parallel path, bit-identical by construction). The
+    /// `parallelism` key is optional in the JSON schema and omitted from the
+    /// rendering when absent, per the schema-stability invariant — and when
+    /// the key is absent no partitioner or thread pool is ever engaged
+    /// (the no-key-no-partitioner convention).
+    pub parallelism: Option<ParallelSpec>,
     /// Number of independent trials (run in parallel, deterministically).
     pub trials: u64,
     /// Master seed; every per-trial stream derives from it.
@@ -338,6 +346,7 @@ impl ScenarioSpec {
             stop: StopCondition::at_epsilon(epsilon).with_max_ticks(STANDARD_MAX_TICKS),
             faults: FaultSpec::default(),
             transport: None,
+            parallelism: None,
             trials: 1,
             seed: STANDARD_SEED,
         }
@@ -373,6 +382,12 @@ impl ScenarioSpec {
         self
     }
 
+    /// Enables intra-trial parallelism (builder style).
+    pub fn with_parallelism(mut self, parallelism: ParallelSpec) -> Self {
+        self.parallelism = Some(parallelism);
+        self
+    }
+
     /// Checks every parameter of the spec, returning the first violation.
     ///
     /// In particular the stop target must satisfy `epsilon > 0` and be
@@ -384,6 +399,16 @@ impl ScenarioSpec {
         self.faults.validate()?;
         if let Some(transport) = &self.transport {
             transport.validate()?;
+        }
+        if let Some(parallelism) = &self.parallelism {
+            parallelism.validate()?;
+            if self.transport.is_some() {
+                return Err(ProtocolError::invalid(
+                    "parallelism",
+                    "intra-trial parallelism applies to the shared-memory engine \
+                     and cannot be combined with a `transport`",
+                ));
+            }
         }
         if self.trials == 0 {
             return Err(ProtocolError::invalid("trials", "need at least one trial"));
@@ -433,6 +458,15 @@ impl ScenarioSpec {
         }
         if let Some(transport) = &self.transport {
             fields.push(("transport", transport.to_json_value()));
+        }
+        if let Some(parallelism) = &self.parallelism {
+            fields.push((
+                "parallelism",
+                JsonValue::object(vec![
+                    ("threads", parallelism.threads.into()),
+                    ("batch", parallelism.batch.into()),
+                ]),
+            ));
         }
         fields.push(("trials", self.trials.into()));
         fields.push(("seed", self.seed.into()));
@@ -505,6 +539,7 @@ impl ScenarioSpec {
                     | "stop"
                     | "faults"
                     | "transport"
+                    | "parallelism"
                     | "trials"
                     | "seed"
             ) {
@@ -547,6 +582,10 @@ impl ScenarioSpec {
             None => None,
             Some(value) => Some(TransportSpec::decode(value)?),
         };
+        let parallelism = match doc.get("parallelism") {
+            None => None,
+            Some(value) => Some(decode_parallelism(value)?),
+        };
         let trials = match doc.get("trials") {
             None => 1,
             Some(v) => v
@@ -572,10 +611,40 @@ impl ScenarioSpec {
             stop,
             faults,
             transport,
+            parallelism,
             trials,
             seed,
         })
     }
+}
+
+/// Decodes the optional `parallelism` key: `{"threads": t, "batch": b}`,
+/// where `batch` defaults to [`DEFAULT_TICK_BATCH`] when omitted (shared
+/// with the sweep schema, so the parallelism grammar cannot drift).
+pub(crate) fn decode_parallelism(doc: &JsonValue) -> Result<ParallelSpec, ProtocolError> {
+    let obj = doc
+        .as_object()
+        .ok_or_else(|| ProtocolError::malformed("`parallelism` must be an object"))?;
+    for (key, _) in obj {
+        if !matches!(key.as_str(), "threads" | "batch") {
+            return Err(ProtocolError::malformed(format!(
+                "unknown parallelism key `{key}` (known: threads, batch)"
+            )));
+        }
+    }
+    let threads = doc
+        .get("threads")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| ProtocolError::malformed("`parallelism.threads` must be a whole number"))?
+        as usize;
+    let batch = match doc.get("batch") {
+        None => DEFAULT_TICK_BATCH,
+        Some(value) => value
+            .as_u64()
+            .ok_or_else(|| ProtocolError::malformed("`parallelism.batch` must be a whole number"))?
+            as usize,
+    };
+    Ok(ParallelSpec { threads, batch })
 }
 
 /// Renders a [`PlacementSpec`] to its JSON form (shared with the sweep
@@ -954,6 +1023,76 @@ mod tests {
                 r#"{"topology": {"n": 64}, "protocol": {"name": "pairwise"},
                     "stop": {"epsilon": 0.5}, "faults": {"drop-rate": 1.5}}"#,
                 "drop-rate",
+            ),
+        ] {
+            let err = ScenarioSpec::from_json(bad).expect_err(bad);
+            assert!(
+                err.to_string().contains(fragment),
+                "error for {bad} was `{err}`, expected `{fragment}`"
+            );
+        }
+    }
+
+    #[test]
+    fn json_round_trips_parallelism_and_defaults_to_none() {
+        let spec = ScenarioSpec::standard("geographic", 256, 0.05)
+            .with_parallelism(ParallelSpec::with_threads(4).with_batch(512));
+        let json = spec.to_json();
+        assert!(json.contains("\"parallelism\""));
+        let parsed = ScenarioSpec::from_json(&json).expect("parallel spec round trips");
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.to_json(), json);
+
+        // No parallelism → no key in the rendering (schema stability), and a
+        // missing key decodes to the sequential path.
+        let plain = ScenarioSpec::standard("geographic", 256, 0.05);
+        assert!(!plain.to_json().contains("parallelism"));
+        let parsed = ScenarioSpec::from_json(&plain.to_json()).unwrap();
+        assert_eq!(parsed.parallelism, None);
+
+        // `batch` is optional and defaults to the engine's batch size.
+        let defaulted = ScenarioSpec::from_json(
+            r#"{"topology": {"n": 64}, "protocol": {"name": "pairwise"},
+                "stop": {"epsilon": 0.5}, "parallelism": {"threads": 2}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            defaulted.parallelism,
+            Some(ParallelSpec {
+                threads: 2,
+                batch: DEFAULT_TICK_BATCH
+            })
+        );
+    }
+
+    #[test]
+    fn json_rejects_bad_parallelism_specs() {
+        for (bad, fragment) in [
+            (
+                r#"{"topology": {"n": 64}, "protocol": {"name": "pairwise"},
+                    "stop": {"epsilon": 0.5}, "parallelism": {"threads": 2, "oops": 1}}"#,
+                "unknown parallelism key",
+            ),
+            (
+                r#"{"topology": {"n": 64}, "protocol": {"name": "pairwise"},
+                    "stop": {"epsilon": 0.5}, "parallelism": {"batch": 64}}"#,
+                "parallelism.threads",
+            ),
+            (
+                r#"{"topology": {"n": 64}, "protocol": {"name": "pairwise"},
+                    "stop": {"epsilon": 0.5}, "parallelism": {"threads": 0}}"#,
+                "parallelism.threads",
+            ),
+            (
+                r#"{"topology": {"n": 64}, "protocol": {"name": "pairwise"},
+                    "stop": {"epsilon": 0.5}, "parallelism": {"threads": 2, "batch": 0}}"#,
+                "parallelism.batch",
+            ),
+            (
+                r#"{"topology": {"n": 64}, "protocol": {"name": "pairwise"},
+                    "stop": {"epsilon": 0.5}, "parallelism": {"threads": 2},
+                    "transport": {"latency": "instant"}}"#,
+                "cannot be combined with a `transport`",
             ),
         ] {
             let err = ScenarioSpec::from_json(bad).expect_err(bad);

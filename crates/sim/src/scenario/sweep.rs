@@ -53,13 +53,14 @@
 //! top-level `"sweep"` key doubles as the document discriminator: loaders
 //! (`geogossip validate`) treat any document carrying it as a sweep.
 
+use crate::batch::ParallelSpec;
 use crate::error::ProtocolError;
 use crate::fault::FaultSpec;
 use crate::field::Field;
 use crate::scenario::spec::{
-    decode_placement, decode_protocol, decode_radius, decode_surface, placement_to_json,
-    protocol_to_json, radius_to_json, PlacementSpec, ProtocolSpec, RadiusSpec, ScenarioSpec,
-    TopologySpec, STANDARD_MAX_TICKS, STANDARD_RADIUS_CONSTANT, STANDARD_SEED,
+    decode_parallelism, decode_placement, decode_protocol, decode_radius, decode_surface,
+    placement_to_json, protocol_to_json, radius_to_json, PlacementSpec, ProtocolSpec, RadiusSpec,
+    ScenarioSpec, TopologySpec, STANDARD_MAX_TICKS, STANDARD_RADIUS_CONSTANT, STANDARD_SEED,
 };
 use crate::transport::TransportSpec;
 use crate::StopCondition;
@@ -99,6 +100,10 @@ pub struct SweepSpec {
     pub faults: Vec<FaultSpec>,
     /// Initial measurement field shared by every cell.
     pub field: Field,
+    /// Intra-trial parallelism shared by every cell (`None` = sequential).
+    /// An execution knob, not an axis: parallel execution is bit-identical
+    /// to sequential, so sweeping over it would duplicate every cell.
+    pub parallelism: Option<ParallelSpec>,
     /// Tick cap shared by every cell (`None` disables the cap).
     pub max_ticks: Option<u64>,
     /// Transmission cap shared by every cell (`None` disables the cap).
@@ -147,6 +152,7 @@ impl SweepSpec {
             transports: vec![None],
             faults: vec![FaultSpec::default()],
             field: Field::SpatialGradient,
+            parallelism: None,
             max_ticks: Some(STANDARD_MAX_TICKS),
             max_transmissions: Some(STANDARD_MAX_TRANSMISSIONS),
             trials: 1,
@@ -187,6 +193,12 @@ impl SweepSpec {
     /// Replaces the shared field (builder style).
     pub fn with_field(mut self, field: Field) -> Self {
         self.field = field;
+        self
+    }
+
+    /// Enables intra-trial parallelism in every cell (builder style).
+    pub fn with_parallelism(mut self, parallelism: ParallelSpec) -> Self {
+        self.parallelism = Some(parallelism);
         self
     }
 
@@ -237,6 +249,7 @@ impl SweepSpec {
                                             },
                                             faults: faults.clone(),
                                             transport,
+                                            parallelism: self.parallelism,
                                             trials: self.trials,
                                             seed: derive_cell_seed(self.seed, index),
                                         };
@@ -350,7 +363,7 @@ impl SweepSpec {
                 JsonValue::Array(self.faults.iter().map(FaultSpec::to_json_value).collect()),
             ));
         }
-        JsonValue::object(vec![
+        let mut fields = vec![
             ("sweep", JsonValue::string(self.name.clone())),
             ("axes", JsonValue::object(axes)),
             ("field", JsonValue::string(self.field.token())),
@@ -361,9 +374,19 @@ impl SweepSpec {
                     ("max-transmissions", optional_cap(self.max_transmissions)),
                 ]),
             ),
-            ("trials", self.trials.into()),
-            ("seed", self.seed.into()),
-        ])
+        ];
+        if let Some(parallelism) = &self.parallelism {
+            fields.push((
+                "parallelism",
+                JsonValue::object(vec![
+                    ("threads", parallelism.threads.into()),
+                    ("batch", parallelism.batch.into()),
+                ]),
+            ));
+        }
+        fields.push(("trials", self.trials.into()));
+        fields.push(("seed", self.seed.into()));
+        JsonValue::object(fields)
     }
 
     /// Renders the sweep as pretty-printed JSON.
@@ -406,7 +429,7 @@ impl SweepSpec {
         for (key, _) in obj {
             if !matches!(
                 key.as_str(),
-                "sweep" | "axes" | "field" | "stop" | "trials" | "seed"
+                "sweep" | "axes" | "field" | "stop" | "parallelism" | "trials" | "seed"
             ) {
                 return Err(ProtocolError::malformed(format!(
                     "unknown sweep key `{key}`"
@@ -553,6 +576,10 @@ impl SweepSpec {
                 )
             }
         };
+        let parallelism = match doc.get("parallelism") {
+            None => None,
+            Some(value) => Some(decode_parallelism(value)?),
+        };
         let trials = match doc.get("trials") {
             None => 1,
             Some(v) => v
@@ -576,6 +603,7 @@ impl SweepSpec {
             transports,
             faults,
             field,
+            parallelism,
             max_ticks,
             max_transmissions,
             trials,
@@ -655,6 +683,24 @@ mod tests {
         assert_eq!(cells[0].spec.stop.epsilon, cells[1].spec.stop.epsilon);
         // epsilon changes next.
         assert_eq!(cells[2].spec.stop.epsilon, 0.2);
+    }
+
+    #[test]
+    fn parallelism_is_a_shared_knob_that_round_trips() {
+        let sweep = two_axis_sweep().with_parallelism(ParallelSpec::with_threads(4));
+        for cell in sweep.expand() {
+            assert_eq!(cell.spec.parallelism, Some(ParallelSpec::with_threads(4)));
+        }
+        let json = sweep.to_json();
+        assert!(json.contains("\"parallelism\""));
+        let parsed = SweepSpec::from_json(&json).expect("parallel sweep round trips");
+        assert_eq!(parsed, sweep);
+        assert_eq!(parsed.to_json(), json);
+
+        // Absent key → sequential cells and no key in the rendering.
+        let plain = two_axis_sweep();
+        assert!(!plain.to_json().contains("parallelism"));
+        assert!(plain.expand().iter().all(|c| c.spec.parallelism.is_none()));
     }
 
     #[test]

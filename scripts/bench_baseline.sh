@@ -27,12 +27,16 @@
 # With `--append-net`, it APPENDS message-passing-scheduler vs shared-memory
 # engine tick medians at n ∈ {1024, 4096} (geographic gossip on the instant
 # schedule, reports asserted bit-identical) to the `net_runtime` array.
+# With `--append-intra`, it APPENDS parallel-engine vs sequential-engine
+# whole-loop medians at n ∈ {65 536, 262 144} (intra-trial parallelism on the
+# work-stealing pool, thread count recorded per row, reports asserted
+# bit-identical) to the `intra_trial` array.
 #
 # `--smoke` shrinks every mode to seconds-scale for CI; it requires an
 # explicit scratch output path and must never target the committed JSON.
 #
 # Usage: scripts/bench_baseline.sh [--append-build] [--append-tick-large]
-#        [--append-trial] [--append-net] [--smoke] [output.json]
+#        [--append-trial] [--append-net] [--append-intra] [--smoke] [output.json]
 #        (default output: BENCH_baseline.json)
 # Force a fresh classic baseline by deleting the file first.
 #
@@ -49,10 +53,10 @@ SMOKE=()
 OUT="BENCH_baseline.json"
 for arg in "$@"; do
     case "$arg" in
-        --append-build | --append-tick-large | --append-trial | --append-net) MODES+=("$arg") ;;
+        --append-build | --append-tick-large | --append-trial | --append-net | --append-intra) MODES+=("$arg") ;;
         --smoke) SMOKE=(--smoke) ;;
         -*)
-            echo "unknown flag \`$arg\` (supported: --append-build, --append-tick-large, --append-trial, --append-net, --smoke)" >&2
+            echo "unknown flag \`$arg\` (supported: --append-build, --append-tick-large, --append-trial, --append-net, --append-intra, --smoke)" >&2
             exit 2
             ;;
         *) OUT="$arg" ;;

@@ -20,11 +20,12 @@
 use geogossip::analysis::json::JsonValue;
 use geogossip::builtin_runner;
 use geogossip::lab::{run_sweep, SweepAggregator, SweepOptions, SweepProgress, SweepReport};
+use geogossip::sim::batch::available_threads;
 use geogossip::sim::field::Field;
 use geogossip::sim::scenario::{
     reports_table, ScenarioReport, ScenarioSpec, SweepSpec, TopologySpec,
 };
-use geogossip::sim::ProtocolError;
+use geogossip::sim::{ParallelSpec, ProtocolError};
 use geogossip_geometry::Topology;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -66,10 +67,10 @@ fn print_usage() {
          \n\
          USAGE:\n\
          \x20 geogossip run <spec.json> [--only <name>] [--json <out.json>]\n\
-         \x20               [--trace-csv <dir>]\n\
+         \x20               [--trace-csv <dir>] [--threads T]\n\
          \x20 geogossip run --protocol <name> [--n N] [--epsilon E] [--trials T]\n\
          \x20               [--seed S] [--field F] [--radius-constant C] [--torus]\n\
-         \x20               [--param key=value]... [--json <out.json>]\n\
+         \x20               [--param key=value]... [--json <out.json>] [--threads T]\n\
          \x20 geogossip sweep <sweep.json> [--resume] [--report <dir>]\n\
          \x20               [--log <path.jsonl>] [--max-cells K]\n\
          \x20 geogossip validate <spec.json>   parse + validate a scenario or\n\
@@ -79,7 +80,9 @@ fn print_usage() {
          \n\
          A spec file holds one scenario object or {{\"scenarios\": [...]}};\n\
          a sweep file carries the top-level \"sweep\" key.\n\
-         Fields: spike, uniform, ramp, bimodal, spatial-gradient."
+         Fields: spike, uniform, ramp, bimodal, spatial-gradient.\n\
+         --threads sets intra-trial parallelism (0 = all cores); results are\n\
+         bit-identical at any thread count."
     );
 }
 
@@ -127,6 +130,7 @@ fn run(args: &[String]) -> Result<(), ProtocolError> {
     let mut json_out: Option<String> = None;
     let mut trace_csv: Option<String> = None;
     let mut only: Option<String> = None;
+    let mut threads: Option<usize> = None;
     let mut flags = FlagSpec::default();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -151,6 +155,7 @@ fn run(args: &[String]) -> Result<(), ProtocolError> {
             }
             "--torus" => flags.torus = true,
             "--param" => flags.params.push(take("--param")?),
+            "--threads" => threads = Some(parse_u64(&take("--threads")?, "--threads")? as usize),
             other if other.starts_with('-') => {
                 return Err(ProtocolError::malformed(format!("unknown flag `{other}`")))
             }
@@ -188,6 +193,19 @@ fn run(args: &[String]) -> Result<(), ProtocolError> {
             )));
         }
     }
+    if let Some(threads) = threads {
+        // `--threads 0` = all pool workers. The flag overrides any
+        // `parallelism` key in the spec; validation (below, in the runner)
+        // still rejects the combination with a `transport`.
+        let threads = if threads == 0 {
+            available_threads()
+        } else {
+            threads
+        };
+        for spec in &mut specs {
+            spec.parallelism = Some(ParallelSpec::with_threads(threads));
+        }
+    }
 
     let runner = builtin_runner();
     let reports = runner.run_all(&specs)?;
@@ -202,14 +220,17 @@ fn run(args: &[String]) -> Result<(), ProtocolError> {
             .ticks_per_second()
             .map(|t| format!("{t:.0}"))
             .unwrap_or_else(|| "-".into());
+        let engine_threads = report.spec.parallelism.map_or(1, |p| p.threads);
         println!(
-            "timing: `{}` {:.2}s trial time ({} trial{}, parallel), {} ticks, {} ticks/s per trial",
+            "timing: `{}` {:.2}s trial time ({} trial{}, parallel), {} ticks, {} ticks/s per trial, {} engine thread{}",
             report.spec.name,
             report.total_seconds(),
             report.summary.trials,
             if report.summary.trials == 1 { "" } else { "s" },
             report.total_ticks(),
-            ticks_per_sec
+            ticks_per_sec,
+            engine_threads,
+            if engine_threads == 1 { "" } else { "s" }
         );
     }
     for report in &reports {

@@ -1,0 +1,60 @@
+//! Thread-count invariance over the committed scenario files.
+//!
+//! Every scenario in `scenarios/smoke.json` must produce a **byte-identical**
+//! `ScenarioReport` JSON document at every thread count and batch size —
+//! including a batch-unaware protocol (`affine-idealized`) that silently falls
+//! through to the sequential loop. Wall-clock fields (`seconds`,
+//! `engine-seconds`) and the spec's `parallelism` key are the only permitted
+//! differences, and they are normalized away before comparison. This is the
+//! scenario-level twin of `tests/parallel_engine_parity.rs`: that file pins
+//! the engine, this one pins the whole runner pipeline (seed derivation,
+//! graph construction, metrics, trace serialization).
+
+use geogossip::builtin_runner;
+use geogossip::sim::batch::available_threads;
+use geogossip::sim::scenario::{ScenarioReport, ScenarioSpec};
+use geogossip::sim::ParallelSpec;
+
+/// Zeroes wall-clock fields and drops the parallelism knob so reports from
+/// different execution strategies can be compared byte-for-byte.
+fn normalized_json(mut report: ScenarioReport) -> String {
+    report.spec.parallelism = None;
+    for trial in &mut report.trials {
+        trial.seconds = 0.0;
+        trial.engine_seconds = 0.0;
+    }
+    report.to_json()
+}
+
+#[test]
+fn committed_scenarios_are_invariant_under_threads_and_batch() {
+    let runner = builtin_runner();
+    let specs = ScenarioSpec::load_file("scenarios/smoke.json").expect("smoke.json loads");
+    assert!(specs.len() >= 4, "expected the committed smoke bundle");
+
+    let mut threads: Vec<usize> = vec![1, 2, 7, available_threads()];
+    threads.dedup();
+
+    for spec in specs {
+        let baseline = normalized_json(
+            runner
+                .run(&spec)
+                .unwrap_or_else(|e| panic!("`{}` failed sequentially: {e}", spec.name)),
+        );
+        for &t in &threads {
+            for batch in [1usize, 64, 4096] {
+                let mut parallel_spec = spec.clone();
+                parallel_spec.parallelism = Some(ParallelSpec::with_threads(t).with_batch(batch));
+                let report = runner.run(&parallel_spec).unwrap_or_else(|e| {
+                    panic!("`{}` failed with threads={t} batch={batch}: {e}", spec.name)
+                });
+                assert_eq!(
+                    normalized_json(report),
+                    baseline,
+                    "`{}` report diverged at threads={t} batch={batch}",
+                    spec.name
+                );
+            }
+        }
+    }
+}

@@ -2,10 +2,41 @@
 //!
 //! Implements the small slice of rayon's API the workspace uses —
 //! `into_par_iter()` on ranges and vectors, `map`, and order-preserving
-//! `collect` — on top of `std::thread::scope`. Items are split into one
-//! contiguous chunk per available core; results are reassembled in input
-//! order, so `collect::<Vec<_>>()` is deterministic regardless of thread
-//! scheduling (the property the bench crate's determinism tests rely on).
+//! `collect` — on top of a **persistent work-stealing pool**:
+//!
+//! - One global pool of worker threads is spawned lazily on first use and
+//!   reused for the life of the process (no per-call thread spawn).
+//! - The worker count honours `RAYON_NUM_THREADS` (read once, at pool
+//!   initialisation) and falls back to `std::thread::available_parallelism`.
+//! - Each worker owns a deque; it pops its own work front-first and steals
+//!   from the back of other workers' deques (or the shared injector) when
+//!   idle. Threads that are not pool workers submit through the injector.
+//! - The submitting thread *participates*: while waiting for its batch it
+//!   executes queued tasks instead of blocking, so nested parallelism
+//!   (e.g. a parallel engine batch inside a parallel trial map) cannot
+//!   deadlock on pool capacity.
+//! - [`with_max_threads`] installs a thread-local cap consulted by the map
+//!   splitter: with a cap of `t` a batch is split into at most `t` tasks,
+//!   so at most `t` threads ever work on it — and a cap of 1 runs inline
+//!   on the caller with no pool involvement at all.
+//!
+//! Determinism contract (relied on by the bench crate and the simulation
+//! engine's parallel path): `map` applies a pure function and `collect`
+//! reassembles results in input order, so outputs are bit-identical for
+//! every worker count, cap, and steal schedule. Worker panics are caught,
+//! forwarded to the submitting thread, and re-raised there.
+//!
+//! This crate is the one place in the workspace allowed to use `unsafe`:
+//! task closures borrow the submitting caller's stack frame and are
+//! lifetime-erased before entering the queues. This is sound because the
+//! caller blocks (helping) until the batch latch counts every task complete
+//! — the borrowed frame outlives every task, even a stolen one.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
 
 /// The traits users import, mirroring `rayon::prelude`.
 pub mod prelude {
@@ -108,16 +139,209 @@ where
     }
 }
 
-/// Maps `items` through `f` across threads, preserving order.
-fn par_map_ordered<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
-    let threads = std::thread::available_parallelism()
+// ---------------------------------------------------------------------------
+// Pool plumbing
+// ---------------------------------------------------------------------------
+
+/// A unit of queued work. The boxed closure has been lifetime-erased from the
+/// submitting caller's frame to `'static`; see the module docs for why this
+/// is sound (the caller waits on the batch latch before its frame unwinds).
+struct Task {
+    run: Box<dyn FnOnce() + Send + 'static>,
+}
+
+impl Task {
+    fn execute(self) {
+        (self.run)();
+    }
+}
+
+/// State shared between the workers and submitting threads.
+struct Shared {
+    /// Queue for tasks submitted from outside the pool.
+    injector: Mutex<VecDeque<Task>>,
+    /// Per-worker deques: the owner pops the front, thieves pop the back.
+    locals: Vec<Mutex<VecDeque<Task>>>,
+    /// Idle workers park here (paired with the `injector` mutex). Waits use
+    /// a timeout so a push-then-notify that races a worker's emptiness check
+    /// costs at most one timeout period, never a lost task.
+    wakeup: Condvar,
+}
+
+impl Shared {
+    /// Finds one task to run: own deque first (front), then the injector,
+    /// then stealing from the back of every other worker's deque.
+    /// `own` is `None` for threads that are not pool workers.
+    fn find_task(&self, own: Option<usize>) -> Option<Task> {
+        if let Some(i) = own {
+            if let Some(task) = self.locals[i].lock().unwrap().pop_front() {
+                return Some(task);
+            }
+        }
+        if let Some(task) = self.injector.lock().unwrap().pop_front() {
+            return Some(task);
+        }
+        for (i, local) in self.locals.iter().enumerate() {
+            if own == Some(i) {
+                continue;
+            }
+            if let Some(task) = local.lock().unwrap().pop_back() {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Enqueues a batch: onto the submitting worker's own deque when called
+    /// from inside the pool (classic work-stealing), otherwise onto the
+    /// shared injector. Wakes every parked worker.
+    fn submit(&self, tasks: Vec<Task>) {
+        match current_worker() {
+            Some(i) => self.locals[i].lock().unwrap().extend(tasks),
+            None => self.injector.lock().unwrap().extend(tasks),
+        }
+        self.wakeup.notify_all();
+    }
+}
+
+/// Counts outstanding tasks of one submitted batch; the submitting thread
+/// helps execute pool work until the count reaches zero.
+struct Latch {
+    remaining: AtomicUsize,
+    mutex: Mutex<()>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            remaining: AtomicUsize::new(count),
+            mutex: Mutex::new(()),
+            done: Condvar::new(),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+
+    fn complete_one(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.mutex.lock().unwrap();
+            self.done.notify_all();
+        }
+    }
+}
+
+/// The global pool: worker threads plus the shared queues.
+struct Pool {
+    shared: Arc<Shared>,
+    workers: usize,
+}
+
+impl Pool {
+    fn start(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            wakeup: Condvar::new(),
+        });
+        for index in 0..workers {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("geogossip-pool-{index}"))
+                .spawn(move || worker_loop(shared, index))
+                .expect("failed to spawn pool worker");
+        }
+        Pool { shared, workers }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, index: usize) {
+    WORKER_INDEX.with(|w| w.set(Some(index)));
+    loop {
+        if let Some(task) = shared.find_task(Some(index)) {
+            task.execute();
+        } else {
+            let guard = shared.injector.lock().unwrap();
+            if guard.is_empty() {
+                let _ = shared.wakeup.wait_timeout(guard, Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// Index of the pool worker running on this thread (`None` elsewhere).
+    static WORKER_INDEX: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+    /// Thread-local cap installed by [`with_max_threads`].
+    static THREAD_CAP: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+}
+
+fn current_worker() -> Option<usize> {
+    WORKER_INDEX.with(|w| w.get())
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn global_pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool::start(configured_threads()))
+}
+
+/// Worker count for the global pool: `RAYON_NUM_THREADS` when set to a
+/// positive integer, otherwise the machine's available parallelism.
+fn configured_threads() -> usize {
+    let fallback = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    if threads <= 1 || items.len() <= 1 {
+    parse_thread_env(std::env::var("RAYON_NUM_THREADS").ok().as_deref(), fallback)
+}
+
+/// Pure parsing rule for `RAYON_NUM_THREADS`: positive integers are taken
+/// verbatim; zero, garbage, and absence fall back.
+fn parse_thread_env(value: Option<&str>, fallback: usize) -> usize {
+    match value.and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) if n > 0 => n,
+        _ => fallback,
+    }
+}
+
+/// Runs `f` with parallel maps on this thread capped at `limit` concurrent
+/// tasks (a limit of 1 executes inline with no pool involvement). The cap is
+/// thread-local and restored on exit, so nested caps compose: the innermost
+/// one wins for work submitted inside it.
+pub fn with_max_threads<R>(limit: usize, f: impl FnOnce() -> R) -> R {
+    let limit = limit.max(1);
+    let previous = THREAD_CAP.with(|c| c.replace(Some(limit)));
+    let result = f();
+    THREAD_CAP.with(|c| c.set(previous));
+    result
+}
+
+fn effective_threads() -> usize {
+    let cap = THREAD_CAP.with(|c| c.get()).unwrap_or(usize::MAX);
+    current_num_threads().min(cap)
+}
+
+/// Maps `items` through `f` across the pool, preserving input order.
+///
+/// The batch is split into at most `effective_threads()` contiguous chunks;
+/// each chunk is one task, so a [`with_max_threads`] cap of `t` structurally
+/// bounds the batch's concurrency at `t`. Results are written into per-chunk
+/// slots and reassembled in input order, making the output independent of
+/// which thread ran which chunk.
+fn par_map_ordered<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
+    let len = items.len();
+    let threads = effective_threads();
+    if threads <= 1 || len <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let chunk_len = items.len().div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let pool = global_pool();
+    let chunk_count = threads.min(len);
+    let chunk_len = len.div_ceil(chunk_count);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(chunk_count);
     let mut items = items.into_iter();
     loop {
         let chunk: Vec<T> = items.by_ref().take(chunk_len).collect();
@@ -126,28 +350,85 @@ fn par_map_ordered<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F)
         }
         chunks.push(chunk);
     }
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("parallel map worker panicked"))
-            .collect()
-    })
+
+    let slots: Vec<Mutex<Option<Vec<R>>>> = (0..chunks.len()).map(|_| Mutex::new(None)).collect();
+    let latch = Arc::new(Latch::new(chunks.len()));
+    let panic_slot: Arc<Mutex<Option<Box<dyn std::any::Any + Send>>>> = Arc::new(Mutex::new(None));
+
+    let tasks: Vec<Task> = chunks
+        .into_iter()
+        .zip(slots.iter())
+        .map(|(chunk, slot)| {
+            let latch = Arc::clone(&latch);
+            let panic_slot = Arc::clone(&panic_slot);
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    chunk.into_iter().map(f).collect::<Vec<R>>()
+                }));
+                match outcome {
+                    Ok(results) => *slot.lock().unwrap() = Some(results),
+                    Err(payload) => {
+                        let mut first = panic_slot.lock().unwrap();
+                        if first.is_none() {
+                            *first = Some(payload);
+                        }
+                    }
+                }
+                latch.complete_one();
+            });
+            // SAFETY: the closure borrows `f` and `slots` from this frame;
+            // `help_until` below does not return until the latch has counted
+            // every task, so the borrows outlive every execution of the job
+            // — including on worker threads — before this frame unwinds.
+            let job: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(job) };
+            Task { run: job }
+        })
+        .collect();
+
+    pool.shared.submit(tasks);
+    help_until_done(pool, &latch);
+
+    if let Some(payload) = panic_slot.lock().unwrap().take() {
+        resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .flat_map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("pool chunk finished without a result")
+        })
+        .collect()
 }
 
-/// Returns the number of worker threads the stand-in will use.
+/// The submitting thread's wait loop: run queued tasks until the batch latch
+/// is done, parking briefly only when the queues are empty (its own tasks may
+/// still be running on workers).
+fn help_until_done(pool: &Pool, latch: &Latch) {
+    let own = current_worker();
+    while !latch.is_done() {
+        if let Some(task) = pool.shared.find_task(own) {
+            task.execute();
+        } else {
+            let guard = latch.mutex.lock().unwrap();
+            if !latch.is_done() {
+                let _ = latch.done.wait_timeout(guard, Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+/// Returns the global pool's worker count: `RAYON_NUM_THREADS` when set,
+/// otherwise the machine's available parallelism. Initialises the pool on
+/// first call so the reported count is the actual worker count.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    global_pool().workers
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::{parse_thread_env, with_max_threads};
 
     #[test]
     fn map_collect_preserves_order() {
@@ -166,5 +447,82 @@ mod tests {
     fn empty_input_yields_empty_output() {
         let out: Vec<u64> = (0..0u64).into_par_iter().map(|i| i).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pool_is_reused_across_calls() {
+        // Repeated batches must not exhaust anything (the old stand-in
+        // spawned fresh threads every call; the pool spawns once).
+        for round in 0..200u64 {
+            let out: Vec<u64> = (0..64u64).into_par_iter().map(|i| i + round).collect();
+            assert_eq!(out[0], round);
+            assert_eq!(out[63], 63 + round);
+        }
+    }
+
+    #[test]
+    fn nested_parallelism_does_not_deadlock() {
+        let out: Vec<usize> = (0..8usize)
+            .into_par_iter()
+            .map(|i| {
+                let inner: Vec<usize> = (0..100usize).into_par_iter().map(|j| i * j).collect();
+                inner.iter().sum()
+            })
+            .collect();
+        let expected: Vec<usize> = (0..8).map(|i| (0..100).map(|j| i * j).sum()).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn max_threads_cap_preserves_results() {
+        let unlimited: Vec<u64> = (0..500u64).into_par_iter().map(|i| i * i).collect();
+        for cap in [1, 2, 7] {
+            let capped: Vec<u64> =
+                with_max_threads(cap, || (0..500u64).into_par_iter().map(|i| i * i).collect());
+            assert_eq!(capped, unlimited, "cap {cap} changed results");
+        }
+    }
+
+    #[test]
+    fn max_threads_cap_is_restored_after_use() {
+        with_max_threads(1, || {
+            let _: Vec<u64> = (0..10u64).into_par_iter().map(|i| i).collect();
+        });
+        // Outside the closure the cap is gone; a large batch still works.
+        let out: Vec<u64> = (0..1000u64).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<u64> = (0..100u64)
+                .into_par_iter()
+                .map(|i| {
+                    if i == 57 {
+                        panic!("boom at {i}");
+                    }
+                    i
+                })
+                .collect();
+        });
+        assert!(result.is_err(), "panic inside a task must reach the caller");
+        // The pool must remain usable afterwards.
+        let out: Vec<u64> = (0..100u64).into_par_iter().map(|i| i).collect();
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn thread_env_parsing_rules() {
+        assert_eq!(parse_thread_env(Some("4"), 8), 4);
+        assert_eq!(parse_thread_env(Some(" 2 "), 8), 2);
+        assert_eq!(parse_thread_env(Some("0"), 8), 8);
+        assert_eq!(parse_thread_env(Some("nope"), 8), 8);
+        assert_eq!(parse_thread_env(None, 8), 8);
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
     }
 }
