@@ -229,6 +229,7 @@ impl SweepAggregator {
         let mut verdicts = derive_verdicts(&fits);
         verdicts.extend(derive_degradation_verdicts(&self.cells));
         verdicts.extend(derive_latency_verdicts(&self.cells));
+        verdicts.extend(derive_reliability_verdicts(&self.cells));
         SweepAggregate {
             cells: self.cells,
             fits,
@@ -573,9 +574,12 @@ fn derive_latency_verdicts(cells: &[CellSummary]) -> Vec<Verdict> {
     let mut ladders: Vec<(LadderKey, Vec<(LatencyCoords, &CellSummary)>)> = Vec::new();
     for cell in cells {
         let (base_group, coords) = split_latency_group(&cell.group);
-        // Fault-ladder cells have their own verdict family; a fault tail is
-        // not a latency rung (and transport + faults cannot combine anyway).
+        // Fault-ladder and reliability-ladder cells have their own verdict
+        // families; neither tail is a latency rung.
         if !coords.transported && split_fault_group(&cell.group).0 != cell.group.as_str() {
+            continue;
+        }
+        if split_reliability_group(&cell.group).1.is_some() {
             continue;
         }
         let key = (
@@ -673,6 +677,213 @@ fn latency_token(coords: &LatencyCoords) -> String {
     } else {
         "shared-memory".into()
     }
+}
+
+/// Upper drop rate below which an unreliable wire with retries must still
+/// reach convergence (verdict R1): with the default retry budget a message's
+/// end-to-end loss probability at `p = 0.3` is `p⁴ < 1%`, so nearly every
+/// round completes and gossip keeps contracting.
+pub const RELIABILITY_DROP_CEILING: f64 = 0.3;
+
+/// One rung of a reliability ladder, parsed back out of a group key's `rel=`
+/// tail (absence of a tail is the lossless rung of its own base group).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+struct ReliabilityCoords {
+    /// Per-message drop probability.
+    drop: f64,
+    /// Per-message duplication probability.
+    dup: f64,
+}
+
+impl ReliabilityCoords {
+    fn is_lossless(&self) -> bool {
+        self.drop == 0.0 && self.dup == 0.0
+    }
+
+    /// Severity order: drop dominates (it costs retransmissions and rounds),
+    /// duplication breaks ties (it only wastes uncharged wire copies).
+    fn severity(&self) -> (f64, f64) {
+        (self.drop, self.dup)
+    }
+}
+
+/// Splits a group key into its reliability-free base and the wire coordinates
+/// its final segment encodes (`…/lat=instant/rel=drop:0.3+dup:0.05` — note
+/// the colon-separated values, which keep the `rel=` tail unambiguous to the
+/// `=`-keyed fault parser). Groups without a `rel=` tail return `None`: they
+/// are the lossless rung of their own base.
+fn split_reliability_group(group: &str) -> (&str, Option<ReliabilityCoords>) {
+    let Some((base, tail)) = group.rsplit_once('/') else {
+        return (group, None);
+    };
+    let Some(parts) = tail.strip_prefix("rel=") else {
+        return (group, None);
+    };
+    let mut coords = ReliabilityCoords::default();
+    for part in parts.split('+') {
+        let parsed = match part.split_once(':') {
+            Some(("drop", v)) => v.parse().ok().map(|p| coords.drop = p),
+            Some(("dup", v)) => v.parse().ok().map(|p| coords.dup = p),
+            _ => None,
+        };
+        if parsed.is_none() {
+            return (group, None);
+        }
+    }
+    (base, Some(coords))
+}
+
+/// Derives the reliability-degradation verdicts, one triple per
+/// `(protocol, reliability-free group, n)` ladder holding a lossless baseline
+/// plus at least one lossy rung (the baseline is the same latency rung with a
+/// reliable wire — `rel=` tails stack on top of `lat=` segments):
+///
+/// * **convergence retained** — every rung with drop rate
+///   `p ≤` [`RELIABILITY_DROP_CEILING`] converges on all trials: the retry
+///   budget makes end-to-end message loss rare, so loss slows gossip but
+///   cannot stall it;
+/// * **cost bounded** — a rung at drop rate `p` costs at most
+///   `1/(1-p)² ·` [`DEGRADATION_SLACK`] times the lossless baseline: every
+///   attempt is charged and the expected attempt count per delivered message
+///   is below `1/(1-p)`, while retry timeouts stall in-flight exchange
+///   chains and stretch the round count by roughly another `1/(1-p)`;
+/// * **error floor monotone** — ordering rungs by severity (drop, then
+///   duplication), the mean final error never *drops* by more than
+///   [`DEGRADATION_SLACK`]: an unreliable wire can only hurt accuracy.
+fn derive_reliability_verdicts(cells: &[CellSummary]) -> Vec<Verdict> {
+    fn base_name(protocol: &str) -> &str {
+        protocol.split('{').next().unwrap_or(protocol)
+    }
+    type LadderKey = (String, String, usize);
+    let mut ladders: Vec<(LadderKey, Vec<(ReliabilityCoords, &CellSummary)>)> = Vec::new();
+    for cell in cells {
+        let (base_group, coords) = split_reliability_group(&cell.group);
+        // Cells without a rel= tail join as the lossless rung of their own
+        // group; ladders that never gain a lossy rung are skipped below.
+        let coords = coords.unwrap_or_default();
+        let key = (
+            base_name(&cell.protocol).to_string(),
+            base_group.to_string(),
+            cell.n,
+        );
+        match ladders.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, rungs)) => rungs.push((coords, cell)),
+            None => ladders.push((key, vec![(coords, cell)])),
+        }
+    }
+    let mut verdicts = Vec::new();
+    for ((protocol, base_group, n), mut rungs) in ladders {
+        if rungs.len() < 2 || rungs.iter().all(|(coords, _)| coords.is_lossless()) {
+            continue;
+        }
+        rungs.sort_by(|a, b| {
+            a.0.severity()
+                .partial_cmp(&b.0.severity())
+                .expect("reliability coordinates are finite")
+        });
+        let label = format!("{protocol}, {base_group}, n={n}");
+
+        // R1: loss below the ceiling never costs convergence (retries hold).
+        let mut conv_holds = true;
+        let mut conv_details = Vec::new();
+        for (coords, cell) in &rungs {
+            if coords.drop <= RELIABILITY_DROP_CEILING {
+                if cell.trials == 0 || cell.converged != cell.trials {
+                    conv_holds = false;
+                }
+                conv_details.push(format!(
+                    "{}: {}/{} trials converged",
+                    reliability_token(coords),
+                    cell.converged,
+                    cell.trials
+                ));
+            }
+        }
+        verdicts.push(Verdict {
+            claim: format!(
+                "convergence retained with retries at drop rates ≤ \
+                 {RELIABILITY_DROP_CEILING} ({label})"
+            ),
+            holds: conv_holds,
+            details: conv_details.join("; "),
+        });
+
+        // R2: retransmissions inflate cost by at most 1/(1-p)² up to slack —
+        // one 1/(1-p) factor for charged attempts per delivered message, one
+        // for rounds stalled behind retry timeouts.
+        let baseline = rungs
+            .iter()
+            .find(|(coords, _)| coords.is_lossless())
+            .map(|(_, cell)| cell.mean_transmissions);
+        let mut cost_holds = true;
+        let mut cost_details = Vec::new();
+        if let Some(baseline) = baseline {
+            for (coords, cell) in &rungs {
+                if coords.drop > 0.0 {
+                    let keep = 1.0 - coords.drop;
+                    let bound = baseline * DEGRADATION_SLACK / (keep * keep);
+                    if cell.mean_transmissions > bound {
+                        cost_holds = false;
+                    }
+                    cost_details.push(format!(
+                        "tx({}) = {:.0} vs bound {:.0} (lossless baseline {:.0})",
+                        reliability_token(coords),
+                        cell.mean_transmissions,
+                        bound,
+                        baseline
+                    ));
+                }
+            }
+        }
+        verdicts.push(Verdict {
+            claim: format!("retransmission cost inflation bounded by 1/(1-p)\u{b2} ({label})"),
+            holds: cost_holds && baseline.is_some(),
+            details: if cost_details.is_empty() {
+                "no lossless baseline rung in the ladder".into()
+            } else {
+                cost_details.join("; ")
+            },
+        });
+
+        // R3: the error floor is monotone in wire severity.
+        let mut floor_holds = true;
+        let mut floor_details = Vec::new();
+        for pair in rungs.windows(2) {
+            let (lo, hi) = (&pair[0], &pair[1]);
+            if hi.1.mean_final_error * DEGRADATION_SLACK < lo.1.mean_final_error {
+                floor_holds = false;
+            }
+            floor_details.push(format!(
+                "err({}) = {:.4} → err({}) = {:.4}",
+                reliability_token(&lo.0),
+                lo.1.mean_final_error,
+                reliability_token(&hi.0),
+                hi.1.mean_final_error
+            ));
+        }
+        verdicts.push(Verdict {
+            claim: format!("error floor monotone in wire loss severity ({label})"),
+            holds: floor_holds,
+            details: floor_details.join("; "),
+        });
+    }
+    verdicts
+}
+
+/// Compact human token for one reliability rung (`lossless`, `drop=0.3`,
+/// `drop=0.3+dup=0.05`, …).
+fn reliability_token(coords: &ReliabilityCoords) -> String {
+    if coords.is_lossless() {
+        return "lossless".into();
+    }
+    let mut parts = Vec::new();
+    if coords.drop > 0.0 {
+        parts.push(format!("drop={}", coords.drop));
+    }
+    if coords.dup > 0.0 {
+        parts.push(format!("dup={}", coords.dup));
+    }
+    parts.join("+")
 }
 
 /// Compact human token for one fault level (`none`, `drop=0.3`, …).
@@ -1074,6 +1285,141 @@ mod tests {
         // transported cell has nothing to compare against.
         let mut agg = SweepAggregator::new();
         agg.push(&latency_record(0, "lat=instant", 1000, 0.048, true));
+        let result = agg.finish();
+        assert!(result.verdicts.is_empty(), "{:#?}", result.verdicts);
+    }
+
+    fn reliability_record(
+        index: u64,
+        rel_tail: &str,
+        cost: u64,
+        final_error: f64,
+        converged: bool,
+    ) -> CellRecord {
+        let group = if rel_tail.is_empty() {
+            "unit-square/uniform-square/cc=1.5/eps=0.05/lat=instant".to_string()
+        } else {
+            format!("unit-square/uniform-square/cc=1.5/eps=0.05/lat=instant/{rel_tail}")
+        };
+        let mut t = trial(cost, 100);
+        t.final_error = final_error;
+        t.converged = converged;
+        CellRecord {
+            index,
+            name: format!("s/c{index:04}-pairwise-n96"),
+            protocol: "pairwise".into(),
+            group,
+            n: 96,
+            epsilon: 0.05,
+            trials: vec![t],
+        }
+    }
+
+    #[test]
+    fn reliability_groups_split_into_base_and_coordinates() {
+        let (base, coords) = split_reliability_group(
+            "unit-square/uniform-square/cc=1.5/eps=0.05/lat=instant/rel=drop:0.3+dup:0.05",
+        );
+        assert_eq!(
+            base,
+            "unit-square/uniform-square/cc=1.5/eps=0.05/lat=instant"
+        );
+        let coords = coords.expect("rel tail parses");
+        assert_eq!(coords.drop, 0.3);
+        assert_eq!(coords.dup, 0.05);
+        let (_, coords) = split_reliability_group("a/b/rel=drop:0.1");
+        assert_eq!(
+            coords,
+            Some(ReliabilityCoords {
+                drop: 0.1,
+                dup: 0.0
+            })
+        );
+        // Plain, latency-tailed, and fault-tailed groups carry no wire
+        // coordinates; a malformed tail is treated the same way.
+        for group in [
+            "a/b/eps=0.05",
+            "a/b/eps=0.05/lat=instant",
+            "a/b/eps=0.05/drop=0.1",
+            "a/b/eps=0.05/rel=drop=0.1",
+        ] {
+            let (base, coords) = split_reliability_group(group);
+            assert_eq!(base, group);
+            assert_eq!(coords, None);
+        }
+    }
+
+    #[test]
+    fn reliability_verdicts_pass_on_a_well_behaved_ladder() {
+        let mut agg = SweepAggregator::new();
+        agg.push(&reliability_record(0, "", 1000, 0.048, true));
+        agg.push(&reliability_record(1, "rel=drop:0.1", 1150, 0.048, true));
+        agg.push(&reliability_record(2, "rel=drop:0.3", 1500, 0.049, true));
+        agg.push(&reliability_record(
+            3,
+            "rel=drop:0.3+dup:0.05",
+            1550,
+            0.049,
+            true,
+        ));
+        let result = agg.finish();
+        let reliability: Vec<&Verdict> = result
+            .verdicts
+            .iter()
+            .filter(|v| {
+                v.claim.contains("retries")
+                    || v.claim.contains("retransmission")
+                    || v.claim.contains("wire loss")
+            })
+            .collect();
+        assert_eq!(reliability.len(), 3, "{:#?}", result.verdicts);
+        assert!(
+            reliability.iter().all(|v| v.holds),
+            "{:#?}",
+            result.verdicts
+        );
+        assert!(reliability
+            .iter()
+            .any(|v| v.claim.contains("convergence retained with retries")));
+        assert!(reliability
+            .iter()
+            .any(|v| v.claim.contains("cost inflation bounded by 1/(1-p)")));
+        assert!(reliability.iter().any(|v| v
+            .claim
+            .contains("error floor monotone in wire loss severity")));
+        // The lossless rungs do not double as a latency ladder.
+        assert_eq!(result.verdicts.len(), 3, "{:#?}", result.verdicts);
+    }
+
+    #[test]
+    fn reliability_verdicts_flag_each_failure_mode() {
+        // A below-ceiling rung that fails to converge, costs far beyond the
+        // 1/(1-p) bound, and *improves* the error floor by more than slack.
+        let mut agg = SweepAggregator::new();
+        agg.push(&reliability_record(0, "", 1000, 0.048, true));
+        agg.push(&reliability_record(1, "rel=drop:0.3", 10_000, 0.01, false));
+        let result = agg.finish();
+        let reliability: Vec<&Verdict> = result
+            .verdicts
+            .iter()
+            .filter(|v| {
+                v.claim.contains("retries")
+                    || v.claim.contains("retransmission")
+                    || v.claim.contains("wire loss")
+            })
+            .collect();
+        assert_eq!(reliability.len(), 3, "{:#?}", result.verdicts);
+        assert!(
+            reliability.iter().all(|v| !v.holds),
+            "{:#?}",
+            result.verdicts
+        );
+    }
+
+    #[test]
+    fn reliability_verdicts_need_a_lossy_rung() {
+        let mut agg = SweepAggregator::new();
+        agg.push(&reliability_record(0, "", 1000, 0.048, true));
         let result = agg.finish();
         assert!(result.verdicts.is_empty(), "{:#?}", result.verdicts);
     }

@@ -434,9 +434,11 @@ mod tests {
         use geogossip_sim::scenario::{ScenarioReport, ScenarioSpec, SweepCell};
         use geogossip_sim::transport::{LatencyModel, TransportSpec};
         let bare = ScenarioSpec::standard("pairwise", 16, 0.1);
-        let transported = bare.clone().with_transport(TransportSpec {
-            latency: LatencyModel::Exponential { mean: 0.01 },
-        });
+        let transported =
+            bare.clone()
+                .with_transport(TransportSpec::with_latency(LatencyModel::Exponential {
+                    mean: 0.01,
+                }));
         for (spec, suffix) in [(bare, None), (transported, Some("/lat=exp:0.01"))] {
             let cell = SweepCell {
                 index: 0,

@@ -1,0 +1,141 @@
+//! Node-fault state for the message-passing runtime.
+//!
+//! [`NetFaultPlan`] rebuilds the *exact* fault state the shared-memory
+//! orchestrator (`geogossip_sim::fault::FaultyActivation`) would hold for the
+//! same `(seed, trial)`: the stale set is drawn first (`⌊stale_fraction·n⌋`
+//! distinct nodes by partial Fisher–Yates via
+//! [`geogossip_sim::fault::draw_distinct`]), then each churn event's node set
+//! in spec order, all from the dedicated `"faults"` trial stream. The churn
+//! schedule is stable-sorted by tick so simultaneous actions apply in
+//! (rejoin-before-kill, spec) order — the same tie-break the oracle uses.
+//!
+//! Activation loss (`faults.drop-rate`) deliberately has **no** net-side
+//! representation: on the wire, loss is a per-message property
+//! (`transport.reliability.drop`), and the scenario schema rejects specs that
+//! ask for both (see `ScenarioSpec::validate`). Because the drop rate is
+//! always zero here, the fault stream is consumed only at construction time —
+//! exactly what the oracle does when `drop_rate == 0` — so instant-schedule
+//! faulted runs stay bit-identical to the shared-memory engine.
+
+use geogossip_graph::LivenessMask;
+use geogossip_sim::fault::{draw_distinct, FaultSpec};
+use rand_chacha::ChaCha8Rng;
+
+/// What a churn schedule entry does when its tick arrives. (A private mirror
+/// of the orchestrator's schedule entries; the type itself is not exported by
+/// `geogossip_sim`, but the *behavior* is pinned by `tests/net_reliability.rs`.)
+#[derive(Debug, Clone)]
+enum ChurnAction {
+    Kill(Vec<u32>),
+    Revive(Vec<u32>),
+}
+
+/// Per-trial node-fault state for the net scheduler: the liveness mask, the
+/// frozen stale set, and the churn schedule, advanced tick by tick exactly
+/// like the shared-memory orchestrator.
+pub struct NetFaultPlan {
+    mask: LivenessMask,
+    stale: Vec<bool>,
+    stale_count: usize,
+    schedule: Vec<(u64, ChurnAction)>,
+    next_event: usize,
+    dead_activations: u64,
+}
+
+impl NetFaultPlan {
+    /// Builds the plan for `spec` over an `n`-node network.
+    ///
+    /// `fault_rng` must be the dedicated fault stream
+    /// (`seeds.trial(FAULT_STREAM_LABEL, trial)`); the construction draw
+    /// order (stale set, then churn sets in spec order) is frozen and shared
+    /// with `FaultyActivation::new`.
+    pub fn new(spec: &FaultSpec, n: usize, fault_rng: ChaCha8Rng) -> Self {
+        let mut fault_rng = fault_rng;
+        let stale_nodes = draw_distinct(
+            n,
+            (spec.stale_fraction * n as f64).floor() as usize,
+            &mut fault_rng,
+        );
+        let mut stale = vec![false; if stale_nodes.is_empty() { 0 } else { n }];
+        for &i in &stale_nodes {
+            stale[i as usize] = true;
+        }
+        let mut schedule: Vec<(u64, ChurnAction)> = Vec::new();
+        for event in &spec.churn {
+            let nodes = draw_distinct(
+                n,
+                (event.fraction * n as f64).floor() as usize,
+                &mut fault_rng,
+            );
+            if let Some(rejoin) = event.rejoin_tick {
+                schedule.push((rejoin, ChurnAction::Revive(nodes.clone())));
+            }
+            schedule.push((event.at_tick, ChurnAction::Kill(nodes)));
+        }
+        schedule.sort_by_key(|(tick, _)| *tick);
+        NetFaultPlan {
+            mask: LivenessMask::all_alive(n),
+            stale_count: stale_nodes.len(),
+            stale,
+            schedule,
+            next_event: 0,
+            dead_activations: 0,
+        }
+    }
+
+    /// Applies every churn action scheduled at or before `tick_index`, in
+    /// the frozen (tick, rejoin-before-kill, spec) order.
+    pub fn advance_schedule(&mut self, tick_index: u64) {
+        while let Some((at, action)) = self.schedule.get(self.next_event) {
+            if *at > tick_index {
+                break;
+            }
+            match action {
+                ChurnAction::Kill(nodes) => {
+                    for &i in nodes {
+                        self.mask.kill(i as usize);
+                    }
+                }
+                ChurnAction::Revive(nodes) => {
+                    for &i in nodes {
+                        self.mask.revive(i as usize);
+                    }
+                }
+            }
+            self.next_event += 1;
+        }
+    }
+
+    /// Whether sensor `node` is currently alive.
+    pub fn is_alive(&self, node: usize) -> bool {
+        self.mask.is_alive(node)
+    }
+
+    /// Records a dead sensor's consumed tick (clock advances, nothing else).
+    pub fn record_dead_activation(&mut self) {
+        self.dead_activations += 1;
+    }
+
+    /// Activations of dead sensors so far.
+    pub fn dead_activations(&self) -> u64 {
+        self.dead_activations
+    }
+
+    /// Number of sensors frozen as stale-value nodes.
+    pub fn stale_count(&self) -> usize {
+        self.stale_count
+    }
+
+    /// The `(alive, stale)` slices handed to protocol handlers: `alive` is
+    /// empty while every sensor lives (so masked code paths stay dormant,
+    /// like the oracle's `FaultContext`), `stale` is empty when no node is
+    /// stale.
+    pub fn slices(&self) -> (&[bool], &[bool]) {
+        let alive: &[bool] = if self.mask.any_dead() {
+            self.mask.as_slice()
+        } else {
+            &[]
+        };
+        (alive, &self.stale)
+    }
+}

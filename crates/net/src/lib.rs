@@ -28,19 +28,29 @@
 //! (sent / delivered / in-flight peak) next to the protocol's transmission
 //! charges. The sweep lab's `transport` axis measures how convergence and
 //! cost degrade as mean latency grows.
+//!
+//! The wire itself can be unreliable: a `transport.reliability` block adds
+//! per-message drop and duplication probabilities with a timeout / backoff /
+//! retry-cap ARQ (see the frozen draw order on [`scheduler`]), and the
+//! `faults` block's node churn and stale-value sensors run on this layer via
+//! [`NetFaultPlan`] — rebuilt draw-for-draw from the same `"faults"` stream
+//! the shared-memory orchestrator uses, so a `transport` key never changes
+//! *which* sensors fail.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod message;
 pub mod protocols;
 pub mod runtime;
 pub mod scheduler;
 
+pub use fault::NetFaultPlan;
 pub use message::Message;
 pub use protocols::{GeographicNet, PairwiseNet};
 pub use runtime::NetRuntime;
-pub use scheduler::{Envelope, MessageLedger, NetContext, NetProtocol, NetScheduler};
+pub use scheduler::{ChargeKind, Envelope, MessageLedger, NetContext, NetProtocol, NetScheduler};
 
 #[cfg(test)]
 mod parity_smoke {

@@ -20,9 +20,9 @@ use crate::message::Message;
 use crate::scheduler::{NetContext, NetProtocol};
 use geogossip_core::prelude::convex_average;
 use geogossip_core::GossipState;
-use geogossip_geometry::point::NodeId;
+use geogossip_geometry::point::{NodeId, Point};
 use geogossip_graph::GeometricGraph;
-use geogossip_routing::greedy::greedy_step;
+use geogossip_routing::greedy::{greedy_step, greedy_step_masked};
 use geogossip_routing::TargetSelector;
 use geogossip_sim::engine::SquaredError;
 use geogossip_sim::ProtocolError;
@@ -80,11 +80,32 @@ impl<'a> PairwiseNet<'a> {
 impl NetProtocol for PairwiseNet<'_> {
     fn on_activation(&mut self, node: NodeId, ctx: &mut NetContext<'_>, rng: &mut dyn RngCore) {
         let neighbors = self.graph.neighbors(node);
-        if neighbors.is_empty() {
-            self.isolated_activations += 1;
-            return;
-        }
-        let v = neighbors[rng.gen_range(0..neighbors.len())] as usize;
+        // Partner draw order mirrors the oracle's faulty step exactly: the
+        // masked (count-live, gen_range, nth) draw runs only while some
+        // sensor is dead, so fault-free runs keep the unmasked single draw.
+        let v = if ctx.any_dead() {
+            let live = neighbors
+                .iter()
+                .filter(|&&v| ctx.is_alive(v as usize))
+                .count();
+            if live == 0 {
+                self.isolated_activations += 1;
+                return;
+            }
+            let pick = rng.gen_range(0..live);
+            neighbors
+                .iter()
+                .copied()
+                .filter(|&v| ctx.is_alive(v as usize))
+                .nth(pick)
+                .expect("pick is below the live-neighbor count") as usize
+        } else {
+            if neighbors.is_empty() {
+                self.isolated_activations += 1;
+                return;
+            }
+            neighbors[rng.gen_range(0..neighbors.len())] as usize
+        };
         ctx.send_local(
             NodeId(v),
             Message::Exchange {
@@ -108,11 +129,17 @@ impl NetProtocol for PairwiseNet<'_> {
                 );
             }
             Message::AveragingReply { origin, value } => {
-                self.state.set(at.index(), value);
+                // A stale sensor skips its own write but still releases the
+                // partner's commit — the oracle's stale-guarded double write.
+                if !ctx.is_stale(at.index()) {
+                    self.state.set(at.index(), value);
+                }
                 ctx.send_free(origin, Message::Commit { value });
             }
             Message::Commit { value } => {
-                self.state.set(at.index(), value);
+                if !ctx.is_stale(at.index()) {
+                    self.state.set(at.index(), value);
+                }
                 self.exchanges += 1;
             }
             other => unreachable!("pairwise actors never receive routing messages: {other:?}"),
@@ -201,6 +228,18 @@ impl<'a> GeographicNet<'a> {
         &self.state
     }
 
+    /// One greedy hop toward `target`, detouring around dead sensors while
+    /// any exist (an empty mask keeps the unmasked step, so fault-free runs
+    /// are untouched). Iterating this reproduces the oracle's masked walk
+    /// hop for hop.
+    fn step(&self, from: NodeId, target: Point, alive: &[bool]) -> Option<NodeId> {
+        if alive.is_empty() {
+            greedy_step(self.graph, from, target)
+        } else {
+            greedy_step_masked(self.graph, from, target, alive)
+        }
+    }
+
     /// Starts the return leg from terminus `p` back to the activated sensor
     /// `s`, carrying `p`'s current value.
     fn begin_reply(&mut self, p: NodeId, s: NodeId, ctx: &mut NetContext<'_>) {
@@ -209,7 +248,7 @@ impl<'a> GeographicNet<'a> {
             dest: s,
             value: self.state.value(p.index()),
         };
-        match greedy_step(self.graph, p, self.graph.position(s)) {
+        match self.step(p, self.graph.position(s), ctx.alive_mask()) {
             Some(next) => ctx.send_routed(next, reply),
             None => {
                 // Zero-hop dead end on the return walk: the oracle counts the
@@ -234,7 +273,7 @@ impl NetProtocol for GeographicNet<'_> {
                     geogossip_geometry::unit_square(),
                     rng,
                 );
-                match greedy_step(self.graph, node, target) {
+                match self.step(node, target, ctx.alive_mask()) {
                     // The activated sensor is already the greedy terminus:
                     // the oracle's partner == s early return, uncharged.
                     None => {}
@@ -252,8 +291,11 @@ impl NetProtocol for GeographicNet<'_> {
                 let Some(partner) = selector.draw(self.graph, node, rng) else {
                     return;
                 };
+                // The selector draw stays unmasked, like the oracle: a dead
+                // sensor can be the addressed partner — the masked walk then
+                // stops short and the route counts as failed.
                 let target = self.graph.position(partner);
-                match greedy_step(self.graph, node, target) {
+                match self.step(node, target, ctx.alive_mask()) {
                     None => {
                         // Dead end at hop zero: the terminus is the activated
                         // sensor itself, so the route is undelivered (partner
@@ -280,7 +322,7 @@ impl NetProtocol for GeographicNet<'_> {
                 origin,
                 target,
                 dest,
-            } => match greedy_step(self.graph, at, target) {
+            } => match self.step(at, target, ctx.alive_mask()) {
                 Some(next) => ctx.send_routed(
                     next,
                     Message::RouteRequest {
@@ -307,12 +349,15 @@ impl NetProtocol for GeographicNet<'_> {
                 if at == dest {
                     // The activated sensor completes the round: oracle
                     // argument order (its own value first) and oracle write
-                    // order (itself first, partner second via the commit).
+                    // order (itself first, partner second via the commit) —
+                    // each write stale-guarded like the oracle's.
                     let (new_s, new_p) = convex_average(self.state.value(at.index()), value);
-                    self.state.set(at.index(), new_s);
+                    if !ctx.is_stale(at.index()) {
+                        self.state.set(at.index(), new_s);
+                    }
                     ctx.send_free(origin, Message::Commit { value: new_p });
                 } else {
-                    match greedy_step(self.graph, at, self.graph.position(dest)) {
+                    match self.step(at, self.graph.position(dest), ctx.alive_mask()) {
                         Some(next) => ctx.send_routed(
                             next,
                             Message::RouteReply {
@@ -339,7 +384,9 @@ impl NetProtocol for GeographicNet<'_> {
                 }
             }
             Message::Commit { value } => {
-                self.state.set(at.index(), value);
+                if !ctx.is_stale(at.index()) {
+                    self.state.set(at.index(), value);
+                }
                 self.exchanges += 1;
             }
             other => unreachable!("geographic actors never receive pairwise messages: {other:?}"),

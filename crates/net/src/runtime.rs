@@ -2,18 +2,25 @@
 //!
 //! [`NetRuntime`] maps a protocol spec onto the message-passing actors,
 //! mirroring the shared-memory registry's parameter validation (same known
-//! keys, same unknown-selector wording), runs the [`NetScheduler`], and
-//! returns the oracle-keyed metrics with the message ledger appended.
+//! keys, same unknown-selector wording), builds the node-fault plan from the
+//! dedicated `"faults"` trial stream when the spec asks for churn or stale
+//! nodes, runs the [`NetScheduler`], and returns the oracle-keyed metrics
+//! with the fault counters (when faulted) and the message ledger appended —
+//! the unreliable-wire counters only when the reliability block is lossy, so
+//! lossless runs keep the exact metric schema of a bare transport run.
 
+use crate::fault::NetFaultPlan;
 use crate::protocols::{GeographicNet, PairwiseNet};
 use crate::scheduler::{MessageLedger, NetProtocol, NetScheduler};
 use geogossip_graph::GeometricGraph;
 use geogossip_routing::TargetSelector;
 use geogossip_sim::engine::{EngineReport, StopCondition};
+use geogossip_sim::fault::FaultSpec;
 use geogossip_sim::scenario::ProtocolSpec;
-use geogossip_sim::transport::{TransportRuntime, TransportSpec, TransportTrial};
+use geogossip_sim::transport::{ReliabilitySpec, TransportRuntime, TransportSpec, TransportTrial};
 use geogossip_sim::ProtocolError;
 use rand::RngCore;
+use rand_chacha::ChaCha8Rng;
 
 /// The message-passing runtime for the scenario runner's `transport` key.
 ///
@@ -37,9 +44,25 @@ fn finish(
     protocol: &dyn NetProtocol,
     report: EngineReport,
     ledger: MessageLedger,
+    plan: Option<&NetFaultPlan>,
+    reliability: ReliabilitySpec,
 ) -> TransportTrial {
     let mut metrics = protocol.metrics();
+    if let Some(plan) = plan {
+        // Same keys, same order as the shared-memory orchestrator's metric
+        // tail. Activation loss has no wire form (the schema rejects the
+        // combination), so dropped_activations is always zero here.
+        metrics.push(("dropped_activations".to_string(), 0.0));
+        metrics.push((
+            "dead_activations".to_string(),
+            plan.dead_activations() as f64,
+        ));
+        metrics.push(("stale_nodes".to_string(), plan.stale_count() as f64));
+    }
     metrics.extend(ledger.metrics());
+    if !reliability.is_lossless() {
+        metrics.extend(ledger.reliability_metrics());
+    }
     TransportTrial {
         label: protocol.name().to_string(),
         report,
@@ -53,25 +76,47 @@ impl TransportRuntime for NetRuntime {
         &self,
         protocol: &ProtocolSpec,
         transport: &TransportSpec,
+        faults: &FaultSpec,
         graph: &GeometricGraph,
         values: Vec<f64>,
         stop: StopCondition,
         rng: &mut dyn RngCore,
         net_rng: &mut dyn RngCore,
+        fault_rng: ChaCha8Rng,
     ) -> Result<TransportTrial, ProtocolError> {
         transport.validate()?;
+        if faults.drop_rate > 0.0 {
+            // Defense in depth: `ScenarioSpec::validate` rejects this
+            // combination before any trial runs; a direct caller gets the
+            // same spec-path-named refusal.
+            return Err(ProtocolError::invalid(
+                "faults.drop-rate",
+                "activation loss has no message-passing form; use \
+                 `transport.reliability.drop` for wire-level loss",
+            ));
+        }
+        let mut plan =
+            (!faults.is_none()).then(|| NetFaultPlan::new(faults, graph.len(), fault_rng));
         match protocol.name.as_str() {
             "pairwise" => {
                 protocol.reject_unknown(&[])?;
                 let mut net = PairwiseNet::new(graph, values)?;
-                let (report, ledger) = NetScheduler::new(graph.len()).run(
+                let (report, ledger) = NetScheduler::new(graph.len()).run_wire(
                     &mut net,
                     stop,
                     transport.latency,
+                    transport.reliability,
+                    plan.as_mut(),
                     rng,
                     net_rng,
                 );
-                Ok(finish(&net, report, ledger))
+                Ok(finish(
+                    &net,
+                    report,
+                    ledger,
+                    plan.as_ref(),
+                    transport.reliability,
+                ))
             }
             "geographic" => {
                 // Same known keys as the shared-memory registry builder, so a
@@ -100,14 +145,22 @@ impl TransportRuntime for NetRuntime {
                     }
                 };
                 let mut net = GeographicNet::with_selector(graph, values, selector)?;
-                let (report, ledger) = NetScheduler::new(graph.len()).run(
+                let (report, ledger) = NetScheduler::new(graph.len()).run_wire(
                     &mut net,
                     stop,
                     transport.latency,
+                    transport.reliability,
+                    plan.as_mut(),
                     rng,
                     net_rng,
                 );
-                Ok(finish(&net, report, ledger))
+                Ok(finish(
+                    &net,
+                    report,
+                    ledger,
+                    plan.as_ref(),
+                    transport.reliability,
+                ))
             }
             other => Err(ProtocolError::invalid(
                 "transport",
@@ -123,7 +176,8 @@ impl TransportRuntime for NetRuntime {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use geogossip_sim::transport::LatencyModel;
+    use geogossip_sim::fault::ChurnEvent;
+    use geogossip_sim::transport::{LatencyModel, RetryPolicy};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
@@ -139,9 +193,10 @@ mod tests {
         values
     }
 
-    fn run(
+    fn run_faulted(
         protocol: &ProtocolSpec,
         transport: &TransportSpec,
+        faults: &FaultSpec,
         graph: &GeometricGraph,
     ) -> Result<TransportTrial, ProtocolError> {
         let mut rng = ChaCha8Rng::seed_from_u64(11);
@@ -149,12 +204,26 @@ mod tests {
         NetRuntime::new().run_trial(
             protocol,
             transport,
+            faults,
             graph,
             spike(graph.len()),
             StopCondition::at_epsilon(0.25).with_max_ticks(200_000),
             &mut rng,
             &mut net_rng,
+            ChaCha8Rng::seed_from_u64(13),
         )
+    }
+
+    fn run(
+        protocol: &ProtocolSpec,
+        transport: &TransportSpec,
+        graph: &GeometricGraph,
+    ) -> Result<TransportTrial, ProtocolError> {
+        run_faulted(protocol, transport, &FaultSpec::default(), graph)
+    }
+
+    fn keys(trial: &TransportTrial) -> Vec<&str> {
+        trial.metrics.iter().map(|(k, _)| k.as_str()).collect()
     }
 
     #[test]
@@ -168,12 +237,100 @@ mod tests {
             assert_eq!(trial.label, label);
             assert!(trial.report.converged());
             assert!(trial.rounds.is_none());
-            let keys: Vec<&str> = trial.metrics.iter().map(|(k, _)| k.as_str()).collect();
+            let keys = keys(&trial);
             assert!(keys.contains(&"exchanges"));
             assert!(keys.contains(&"messages_sent"));
             assert!(keys.contains(&"messages_delivered"));
             assert!(keys.contains(&"messages_in_flight_peak"));
+            // Lossless, fault-free runs keep the historical metric schema.
+            assert!(!keys.contains(&"messages_dropped"));
+            assert!(!keys.contains(&"dead_activations"));
         }
+    }
+
+    #[test]
+    fn lossy_reliability_appends_the_wire_counters() {
+        let graph = graph(48, 5);
+        let transport = TransportSpec {
+            reliability: ReliabilitySpec {
+                drop: 0.2,
+                duplicate: 0.05,
+                retry: RetryPolicy::default(),
+            },
+            ..TransportSpec::default()
+        };
+        let trial = run(&ProtocolSpec::named("pairwise"), &transport, &graph).unwrap();
+        assert!(trial.report.converged());
+        let keys = keys(&trial);
+        for key in [
+            "messages_dropped",
+            "messages_duplicated",
+            "messages_retried",
+            "rounds_abandoned",
+        ] {
+            assert!(keys.contains(&key), "missing {key}: {keys:?}");
+        }
+        let dropped = trial
+            .metrics
+            .iter()
+            .find(|(k, _)| k == "messages_dropped")
+            .unwrap()
+            .1;
+        assert!(dropped > 0.0);
+    }
+
+    #[test]
+    fn faulted_runs_append_the_oracle_fault_counters() {
+        let graph = graph(48, 6);
+        let faults = FaultSpec {
+            drop_rate: 0.0,
+            stale_fraction: 0.1,
+            churn: vec![ChurnEvent {
+                fraction: 0.2,
+                at_tick: 50,
+                rejoin_tick: Some(500),
+            }],
+        };
+        let trial = run_faulted(
+            &ProtocolSpec::named("geographic"),
+            &TransportSpec::default(),
+            &faults,
+            &graph,
+        )
+        .unwrap();
+        let keys = keys(&trial);
+        for key in ["dropped_activations", "dead_activations", "stale_nodes"] {
+            assert!(keys.contains(&key), "missing {key}: {keys:?}");
+        }
+        let stale = trial
+            .metrics
+            .iter()
+            .find(|(k, _)| k == "stale_nodes")
+            .unwrap()
+            .1;
+        assert_eq!(stale, (0.1f64 * 48.0).floor());
+    }
+
+    #[test]
+    fn activation_loss_is_refused_by_the_runtime_itself() {
+        let graph = graph(16, 7);
+        let faults = FaultSpec {
+            drop_rate: 0.5,
+            stale_fraction: 0.0,
+            churn: Vec::new(),
+        };
+        let err = run_faulted(
+            &ProtocolSpec::named("pairwise"),
+            &TransportSpec::default(),
+            &faults,
+            &graph,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("faults.drop-rate"), "{err}");
+        assert!(
+            err.to_string().contains("transport.reliability.drop"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -219,19 +376,23 @@ mod tests {
     #[test]
     fn bad_transport_specs_are_rejected_before_running() {
         let graph = graph(16, 3);
-        let bad = TransportSpec {
-            latency: LatencyModel::Fixed(-1.0),
-        };
+        let bad = TransportSpec::with_latency(LatencyModel::Fixed(-1.0));
         let err = run(&ProtocolSpec::named("pairwise"), &bad, &graph).unwrap_err();
         assert!(err.to_string().contains("transport.latency.fixed"), "{err}");
+
+        let mut bad = TransportSpec::default();
+        bad.reliability.drop = 1.5;
+        let err = run(&ProtocolSpec::named("pairwise"), &bad, &graph).unwrap_err();
+        assert!(
+            err.to_string().contains("transport.reliability.drop"),
+            "{err}"
+        );
     }
 
     #[test]
     fn exponential_latency_still_converges_and_uses_the_net_stream() {
         let graph = graph(48, 4);
-        let transport = TransportSpec {
-            latency: LatencyModel::Exponential { mean: 0.001 },
-        };
+        let transport = TransportSpec::with_latency(LatencyModel::Exponential { mean: 0.001 });
         let mut rng = ChaCha8Rng::seed_from_u64(21);
         let mut net_rng = ChaCha8Rng::seed_from_u64(22);
         let pristine = net_rng.clone();
@@ -239,11 +400,13 @@ mod tests {
             .run_trial(
                 &ProtocolSpec::named("pairwise"),
                 &transport,
+                &FaultSpec::default(),
                 &graph,
                 spike(graph.len()),
                 StopCondition::at_epsilon(0.25).with_max_ticks(200_000),
                 &mut rng,
                 &mut net_rng,
+                ChaCha8Rng::seed_from_u64(23),
             )
             .unwrap();
         assert!(trial.report.converged());

@@ -23,15 +23,65 @@
 //!   order ([`geogossip_sim::EventQueue`]'s FIFO sequence tie-break); distinct
 //!   times are delivered in time order, which under random latency reorders
 //!   messages in flight exactly as a real network would.
+//!
+//! # Reliability draw order (frozen)
+//!
+//! With a [`ReliabilitySpec`] in play, every dispatch consumes draws from the
+//! `"net"` stream in this order: the **latency** sample first (whatever the
+//! schedule draws — nothing for instant/fixed), then the **drop** draw *only
+//! if* `drop > 0`, then the **duplicate** draw *only if* `duplicate > 0` and
+//! the message survived the wire. A lossless reliability block
+//! (`drop == duplicate == 0`) therefore consumes exactly the draws a bare
+//! transport does and stays bit-identical to it — pinned by
+//! `tests/net_reliability.rs`.
+//!
+//! Dropped messages were already **charged** by their `send_*` call
+//! (charge-before-drop, like activation loss in the shared-memory engine);
+//! if the retry budget allows, a retransmission timer is scheduled at
+//! `timeout · backoff^(attempt-1)` after the send, and when it fires the
+//! retransmission charges the same transmission kind again and re-enters the
+//! wire with the **same message id**. A duplicated message schedules its copy
+//! at the *same* delivery time (no second latency draw), immediately after
+//! the original in FIFO order; receivers suppress redeliveries of an
+//! already-processed id, so handlers stay exactly-once.
 
+use crate::fault::NetFaultPlan;
 use crate::message::Message;
 use geogossip_geometry::point::NodeId;
 use geogossip_sim::engine::{EngineReport, SquaredError, StopCondition, StopReason};
 use geogossip_sim::engine::{DEFAULT_MAX_TRACE_POINTS, SQ_THRESHOLD_SLACK};
 use geogossip_sim::metrics::{ConvergenceTrace, TracePoint, TransmissionCounter};
-use geogossip_sim::transport::LatencyModel;
+use geogossip_sim::transport::{LatencyModel, ReliabilitySpec};
 use geogossip_sim::{EventQueue, GlobalPoissonClock};
-use rand::RngCore;
+use rand::{Rng, RngCore};
+use std::collections::HashSet;
+
+/// How a message's transmission was charged, so a retransmission can charge
+/// the same kind again (charge-before-drop extends to every attempt).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChargeKind {
+    /// One local transmission per attempt (`charge_local(1)`).
+    Local,
+    /// One routing transmission per attempt (`charge_routing(1)`).
+    Routed,
+    /// Uncharged (commit handshakes and dead-end handoffs).
+    Free,
+}
+
+/// What a queued envelope does when its time arrives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum EnvelopeKind {
+    /// Deliver the message to its recipient's actor.
+    Deliver,
+    /// A retransmission timer: re-charge `charge` and re-enter the wire as
+    /// attempt number `attempt` (same message id as the original).
+    Retry {
+        /// The attempt number this retransmission will be (original = 1).
+        attempt: u32,
+        /// The transmission kind the original send charged.
+        charge: ChargeKind,
+    },
+}
 
 /// An in-flight message: who it is addressed to and what it carries.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,32 +90,50 @@ pub struct Envelope {
     pub to: NodeId,
     /// The message payload.
     pub message: Message,
+    /// Deduplication id (0 on the lossless path, where ids are never needed).
+    pub(crate) id: u64,
+    /// Delivery vs. retransmission timer.
+    pub(crate) kind: EnvelopeKind,
 }
 
 /// Message-economy accounting for one run: everything the transport layer
 /// moved, independent of what the protocol chose to charge.
 ///
-/// `sent - delivered` messages were still in flight when the run stopped
-/// (abandoned; their effects never apply). On the instant schedule the queue
-/// drains within every tick, so `sent == delivered` and the in-flight peak
-/// only reflects intra-tick cascades.
+/// `sent - delivered - dropped` messages were still in flight when the run
+/// stopped (abandoned; their effects never apply). On the instant-lossless
+/// schedule the queue drains within every tick, so `sent == delivered` and
+/// the in-flight peak only reflects intra-tick cascades. Duplicate copies
+/// count in `sent` (and `duplicated`); suppressed redeliveries and messages
+/// discarded at a dead recipient still count in `delivered` — they left the
+/// wire, their handler just never ran.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MessageLedger {
-    /// Messages handed to the transport (including uncharged commits).
+    /// Messages handed to the transport (including uncharged commits and
+    /// duplicate copies).
     pub sent: u64,
-    /// Messages delivered to their recipient's actor.
+    /// Messages that left the wire at their recipient (including suppressed
+    /// duplicates and deliveries discarded at dead sensors).
     pub delivered: u64,
     /// Largest number of messages simultaneously in flight.
     pub in_flight_peak: u64,
+    /// Messages the unreliable wire dropped (every attempt counts).
+    pub dropped: u64,
+    /// Duplicate copies the wire injected.
+    pub duplicated: u64,
+    /// Retransmissions (re-charged re-entries of a dropped message).
+    pub retried: u64,
+    /// Messages abandoned after their last permitted attempt was dropped.
+    pub rounds_abandoned: u64,
 }
 
 impl MessageLedger {
-    /// Messages still in flight (sent but not delivered).
+    /// Messages still in flight (sent but neither delivered nor dropped).
     pub fn in_flight(&self) -> u64 {
-        self.sent - self.delivered
+        self.sent - self.delivered - self.dropped
     }
 
     /// The ledger as named metrics, appended to a trial's metric list.
+    /// These three keys are historical and appear on every net trial.
     pub fn metrics(&self) -> Vec<(String, f64)> {
         vec![
             ("messages_sent".to_string(), self.sent as f64),
@@ -74,6 +142,18 @@ impl MessageLedger {
                 "messages_in_flight_peak".to_string(),
                 self.in_flight_peak as f64,
             ),
+        ]
+    }
+
+    /// The unreliable-wire counters, appended **only** when the transport's
+    /// reliability block is lossy (a lossless run must keep the exact metric
+    /// list of a bare transport run — the schema-stability invariant).
+    pub fn reliability_metrics(&self) -> Vec<(String, f64)> {
+        vec![
+            ("messages_dropped".to_string(), self.dropped as f64),
+            ("messages_duplicated".to_string(), self.duplicated as f64),
+            ("messages_retried".to_string(), self.retried as f64),
+            ("rounds_abandoned".to_string(), self.rounds_abandoned as f64),
         ]
     }
 }
@@ -85,22 +165,49 @@ impl MessageLedger {
 pub struct NetContext<'a> {
     pub(crate) now: f64,
     pub(crate) latency: LatencyModel,
+    pub(crate) reliability: ReliabilitySpec,
     pub(crate) net_rng: &'a mut dyn RngCore,
     pub(crate) queue: &'a mut EventQueue<Envelope>,
     pub(crate) tx: &'a mut TransmissionCounter,
     pub(crate) ledger: &'a mut MessageLedger,
+    pub(crate) next_id: &'a mut u64,
+    pub(crate) alive: &'a [bool],
+    pub(crate) stale: &'a [bool],
 }
 
-impl NetContext<'_> {
+impl<'a> NetContext<'a> {
     /// The simulation time the current activation or delivery runs at.
     pub fn now(&self) -> f64 {
         self.now
     }
 
+    /// Whether any sensor is currently dead (empty mask means all alive).
+    pub fn any_dead(&self) -> bool {
+        !self.alive.is_empty()
+    }
+
+    /// Whether sensor `i` is currently alive.
+    pub fn is_alive(&self, i: usize) -> bool {
+        self.alive.get(i).copied().unwrap_or(true)
+    }
+
+    /// Whether sensor `i` is frozen as a stale-value node.
+    pub fn is_stale(&self, i: usize) -> bool {
+        self.stale.get(i).copied().unwrap_or(false)
+    }
+
+    /// The liveness mask for masked routing — empty while every sensor
+    /// lives, so masked code paths stay dormant (same convention as the
+    /// shared-memory `FaultContext`).
+    pub fn alive_mask(&self) -> &'a [bool] {
+        self.alive
+    }
+
     /// Sends a one-hop local message, charged as one local transmission.
     pub fn send_local(&mut self, to: NodeId, message: Message) {
         self.tx.charge_local(1);
-        self.dispatch(to, message);
+        let id = self.fresh_id();
+        self.dispatch(to, message, ChargeKind::Local, id, 1);
     }
 
     /// Forwards a message one routing hop, charged as one routing
@@ -108,7 +215,8 @@ impl NetContext<'_> {
     /// the lump `charge_routing(outbound + back)` of the shared-memory oracle.
     pub fn send_routed(&mut self, to: NodeId, message: Message) {
         self.tx.charge_routing(1);
-        self.dispatch(to, message);
+        let id = self.fresh_id();
+        self.dispatch(to, message, ChargeKind::Routed, id, 1);
     }
 
     /// Sends a message without charging any transmission: commit handshakes
@@ -116,16 +224,97 @@ impl NetContext<'_> {
     /// and dead-end handoffs (the oracle's shared-memory fallback read). The
     /// message still travels through the queue and the ledger counts it.
     pub fn send_free(&mut self, to: NodeId, message: Message) {
-        self.dispatch(to, message);
+        let id = self.fresh_id();
+        self.dispatch(to, message, ChargeKind::Free, id, 1);
     }
 
-    fn dispatch(&mut self, to: NodeId, message: Message) {
+    /// A fresh dedup id on the lossy path; 0 (never checked) when lossless.
+    fn fresh_id(&mut self) -> u64 {
+        if self.reliability.is_lossless() {
+            0
+        } else {
+            *self.next_id += 1;
+            *self.next_id
+        }
+    }
+
+    /// Puts one attempt of a message on the wire. The draw order documented
+    /// on the module is frozen here: latency, then drop (only if `drop > 0`),
+    /// then duplicate (only if `duplicate > 0` and the message survived).
+    pub(crate) fn dispatch(
+        &mut self,
+        to: NodeId,
+        message: Message,
+        charge: ChargeKind,
+        id: u64,
+        attempt: u32,
+    ) {
         let delay = self.latency.sample(self.net_rng);
         self.ledger.sent += 1;
-        let in_flight = self.ledger.sent - self.ledger.delivered;
-        self.ledger.in_flight_peak = self.ledger.in_flight_peak.max(in_flight);
-        self.queue
-            .schedule(self.now + delay, Envelope { to, message });
+        self.ledger.in_flight_peak = self.ledger.in_flight_peak.max(self.ledger.in_flight());
+        let rel = self.reliability;
+        if rel.is_lossless() {
+            self.queue.schedule(
+                self.now + delay,
+                Envelope {
+                    to,
+                    message,
+                    id,
+                    kind: EnvelopeKind::Deliver,
+                },
+            );
+            return;
+        }
+        let dropped = rel.drop > 0.0 && self.net_rng.gen::<f64>() < rel.drop;
+        if dropped {
+            self.ledger.dropped += 1;
+            if attempt <= rel.retry.max_retries {
+                // Exponential backoff: the k-th retransmission fires
+                // timeout·backoff^(k-1) after the attempt it replaces.
+                let pause = rel.retry.timeout * rel.retry.backoff.powi(attempt as i32 - 1);
+                self.queue.schedule(
+                    self.now + pause,
+                    Envelope {
+                        to,
+                        message,
+                        id,
+                        kind: EnvelopeKind::Retry {
+                            attempt: attempt + 1,
+                            charge,
+                        },
+                    },
+                );
+            } else {
+                self.ledger.rounds_abandoned += 1;
+            }
+            return;
+        }
+        self.queue.schedule(
+            self.now + delay,
+            Envelope {
+                to,
+                message,
+                id,
+                kind: EnvelopeKind::Deliver,
+            },
+        );
+        if rel.duplicate > 0.0 && self.net_rng.gen::<f64>() < rel.duplicate {
+            // The copy shares the original's delivery time (no second
+            // latency draw) and lands right behind it in FIFO order; the
+            // receiver's dedup makes it a no-op.
+            self.ledger.duplicated += 1;
+            self.ledger.sent += 1;
+            self.ledger.in_flight_peak = self.ledger.in_flight_peak.max(self.ledger.in_flight());
+            self.queue.schedule(
+                self.now + delay,
+                Envelope {
+                    to,
+                    message,
+                    id,
+                    kind: EnvelopeKind::Deliver,
+                },
+            );
+        }
     }
 }
 
@@ -185,24 +374,56 @@ impl NetScheduler {
         }
     }
 
-    /// Runs `protocol` under the given latency schedule until `stop` is met.
-    ///
-    /// `rng` is the activation stream (the runner's `"run"` trial stream);
-    /// `net_rng` is the dedicated `"net"` trial stream consumed only by
-    /// latency models that actually draw (see the module docs).
-    ///
-    /// The loop replicates the shared-memory engine body statement for
-    /// statement; the only additions are the two `deliver_due` drains —
-    /// pending messages due by the tick's exact time are delivered *before*
-    /// the tick's activation (network catches up to the clock), and the
-    /// activation's own cascade is drained *after* it (instant messages land
-    /// within their tick). Stop checks therefore observe exactly the oracle's
-    /// transmission totals on the instant schedule.
+    /// Runs `protocol` on a reliable wire with no node faults — the
+    /// historical entry point; shorthand for [`NetScheduler::run_wire`] with
+    /// a default (lossless) reliability block and no fault plan.
     pub fn run(
         &mut self,
         protocol: &mut dyn NetProtocol,
         stop: StopCondition,
         latency: LatencyModel,
+        rng: &mut dyn RngCore,
+        net_rng: &mut dyn RngCore,
+    ) -> (EngineReport, MessageLedger) {
+        self.run_wire(
+            protocol,
+            stop,
+            latency,
+            ReliabilitySpec::default(),
+            None,
+            rng,
+            net_rng,
+        )
+    }
+
+    /// Runs `protocol` under the given latency schedule, wire reliability,
+    /// and optional node-fault plan until `stop` is met.
+    ///
+    /// `rng` is the activation stream (the runner's `"run"` trial stream);
+    /// `net_rng` is the dedicated `"net"` trial stream consumed only by
+    /// latency models that actually draw and by the drop/duplicate decisions
+    /// of a lossy reliability block (see the module docs for the frozen draw
+    /// order). `faults`, when present, must be pre-built from the dedicated
+    /// `"faults"` trial stream; churn advances before each tick's activation
+    /// and dead sensors consume their tick without acting, exactly like the
+    /// shared-memory orchestrator.
+    ///
+    /// The loop replicates the shared-memory engine body statement for
+    /// statement; the only additions are the two `deliver_due` drains —
+    /// pending messages (and retransmission timers) due by the tick's exact
+    /// time are processed *before* the tick's activation (network catches up
+    /// to the clock), and the activation's own cascade is drained *after* it
+    /// (instant messages land within their tick). Stop checks therefore
+    /// observe exactly the oracle's transmission totals on the instant
+    /// schedule.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_wire(
+        &mut self,
+        protocol: &mut dyn NetProtocol,
+        stop: StopCondition,
+        latency: LatencyModel,
+        reliability: ReliabilitySpec,
+        mut faults: Option<&mut NetFaultPlan>,
         rng: &mut dyn RngCore,
         net_rng: &mut dyn RngCore,
     ) -> (EngineReport, MessageLedger) {
@@ -213,6 +434,14 @@ impl NetScheduler {
         let mut trace = ConvergenceTrace::new();
         let mut ticks: u64 = 0;
         let mut stride = self.sample_every.max(1);
+        let mut next_id: u64 = 0;
+        // Per-sensor seen-id sets, allocated only on the lossy path (the
+        // lossless path never assigns a nonzero id, so it never looks here).
+        let mut seen: Vec<HashSet<u64>> = if reliability.is_lossless() {
+            Vec::new()
+        } else {
+            vec![HashSet::new(); self.n]
+        };
 
         trace.push(TracePoint {
             transmissions: 0,
@@ -243,23 +472,50 @@ impl NetScheduler {
             let tick = clock.next_tick(&mut *rng);
             ticks = tick.index;
 
+            // Churn applies before the tick's activation is processed, then a
+            // dead sensor's tick is consumed with nothing else — the same
+            // ordering as the shared-memory orchestrator.
+            if let Some(plan) = faults.as_deref_mut() {
+                plan.advance_schedule(tick.index);
+            }
+            let node_dead = faults
+                .as_deref()
+                .is_some_and(|plan| !plan.is_alive(tick.node.index()));
+            if node_dead {
+                if let Some(plan) = faults.as_deref_mut() {
+                    plan.record_dead_activation();
+                }
+            }
+            let (alive, stale): (&[bool], &[bool]) = faults
+                .as_deref()
+                .map_or((&[][..], &[][..]), |plan| plan.slices());
+
             deliver_due(
                 protocol,
                 &mut queue,
                 tick.time,
                 latency,
+                reliability,
                 net_rng,
                 &mut tx,
                 &mut ledger,
+                &mut next_id,
+                &mut seen,
+                alive,
+                stale,
             );
-            {
+            if !node_dead {
                 let mut ctx = NetContext {
                     now: tick.time,
                     latency,
+                    reliability,
                     net_rng: &mut *net_rng,
                     queue: &mut queue,
                     tx: &mut tx,
                     ledger: &mut ledger,
+                    next_id: &mut next_id,
+                    alive,
+                    stale,
                 };
                 protocol.on_activation(tick.node, &mut ctx, rng);
             }
@@ -268,9 +524,14 @@ impl NetScheduler {
                 &mut queue,
                 tick.time,
                 latency,
+                reliability,
                 net_rng,
                 &mut tx,
                 &mut ledger,
+                &mut next_id,
+                &mut seen,
+                alive,
+                stale,
             );
 
             if tick.index.is_multiple_of(stride) {
@@ -308,38 +569,95 @@ impl NetScheduler {
     }
 }
 
-/// Delivers every queued message due at or before `horizon`, in (time, send
-/// sequence) order. Deliveries run at the message's own arrival time, so a
-/// handler's cascaded sends schedule from that moment — an instant cascade
-/// keeps landing inside the same drain.
+/// Processes every queued event due at or before `horizon`, in (time, send
+/// sequence) order. Deliveries run at the event's own time, so a handler's
+/// cascaded sends schedule from that moment — an instant cascade keeps
+/// landing inside the same drain. Retransmission timers re-charge and
+/// re-dispatch; deliveries to dead sensors are discarded; redeliveries of an
+/// already-processed id are suppressed (both still count as `delivered` —
+/// they left the wire).
+#[allow(clippy::too_many_arguments)]
 fn deliver_due(
     protocol: &mut dyn NetProtocol,
     queue: &mut EventQueue<Envelope>,
     horizon: f64,
     latency: LatencyModel,
+    reliability: ReliabilitySpec,
     net_rng: &mut dyn RngCore,
     tx: &mut TransmissionCounter,
     ledger: &mut MessageLedger,
+    next_id: &mut u64,
+    seen: &mut [HashSet<u64>],
+    alive: &[bool],
+    stale: &[bool],
 ) {
     while queue.peek_time().is_some_and(|t| t <= horizon) {
         let event = queue.pop().expect("peek_time saw a due event");
-        ledger.delivered += 1;
-        let Envelope { to, message } = event.payload;
-        let mut ctx = NetContext {
-            now: event.time,
-            latency,
-            net_rng: &mut *net_rng,
-            queue,
-            tx,
-            ledger,
-        };
-        protocol.on_message(to, message, &mut ctx);
+        let Envelope {
+            to,
+            message,
+            id,
+            kind,
+        } = event.payload;
+        match kind {
+            EnvelopeKind::Retry { attempt, charge } => {
+                ledger.retried += 1;
+                match charge {
+                    ChargeKind::Local => tx.charge_local(1),
+                    ChargeKind::Routed => tx.charge_routing(1),
+                    ChargeKind::Free => {}
+                }
+                let mut ctx = NetContext {
+                    now: event.time,
+                    latency,
+                    reliability,
+                    net_rng: &mut *net_rng,
+                    queue,
+                    tx,
+                    ledger,
+                    next_id,
+                    alive,
+                    stale,
+                };
+                ctx.dispatch(to, message, charge, id, attempt);
+            }
+            EnvelopeKind::Deliver => {
+                ledger.delivered += 1;
+                if !alive.get(to.index()).copied().unwrap_or(true) {
+                    // The recipient died while the message was in flight: the
+                    // delivery is discarded (a dead sensor cannot act), and —
+                    // deliberately — not retried: the ARQ covers wire loss,
+                    // not crashed endpoints, which churn may later revive.
+                    continue;
+                }
+                if id != 0 && !seen[to.index()].insert(id) {
+                    // Redelivery of an already-processed message (wire
+                    // duplicate or a retransmission racing its original):
+                    // exactly-once handlers, at-least-once wire.
+                    continue;
+                }
+                let mut ctx = NetContext {
+                    now: event.time,
+                    latency,
+                    reliability,
+                    net_rng: &mut *net_rng,
+                    queue,
+                    tx,
+                    ledger,
+                    next_id,
+                    alive,
+                    stale,
+                };
+                protocol.on_message(to, message, &mut ctx);
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use geogossip_sim::transport::RetryPolicy;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
@@ -383,12 +701,16 @@ mod tests {
         }
     }
 
-    #[test]
-    fn instant_schedule_delivers_within_the_tick() {
-        let mut protocol = PingPong {
+    fn ping_pong() -> PingPong {
+        PingPong {
             bounces: 0,
             error: 1.0,
-        };
+        }
+    }
+
+    #[test]
+    fn instant_schedule_delivers_within_the_tick() {
+        let mut protocol = ping_pong();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let mut net_rng = ChaCha8Rng::seed_from_u64(2);
         let (report, ledger) = NetScheduler::new(2).run(
@@ -412,10 +734,7 @@ mod tests {
     #[test]
     fn instant_and_fixed_schedules_never_touch_the_net_stream() {
         for latency in [LatencyModel::Instant, LatencyModel::Fixed(0.25)] {
-            let mut protocol = PingPong {
-                bounces: 0,
-                error: 1.0,
-            };
+            let mut protocol = ping_pong();
             let mut rng = ChaCha8Rng::seed_from_u64(3);
             let mut net_rng = ChaCha8Rng::seed_from_u64(4);
             let mut untouched = net_rng.clone();
@@ -432,10 +751,7 @@ mod tests {
 
     #[test]
     fn fixed_latency_keeps_messages_in_flight_at_stop() {
-        let mut protocol = PingPong {
-            bounces: 0,
-            error: 1.0,
-        };
+        let mut protocol = ping_pong();
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let mut net_rng = ChaCha8Rng::seed_from_u64(6);
         // A latency much longer than the whole run: no message ever lands.
@@ -455,11 +771,114 @@ mod tests {
     }
 
     #[test]
+    fn total_loss_charges_every_attempt_then_abandons() {
+        let mut protocol = ping_pong();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut net_rng = ChaCha8Rng::seed_from_u64(8);
+        let reliability = ReliabilitySpec {
+            drop: 0.999_999_999, // `gen::<f64>() < drop` fails with prob ~1e-9
+            duplicate: 0.0,
+            retry: RetryPolicy {
+                timeout: 0.01,
+                backoff: 2.0,
+                max_retries: 2,
+            },
+        };
+        let (report, ledger) = NetScheduler::new(2).run_wire(
+            &mut protocol,
+            StopCondition::at_epsilon(0.1).with_max_ticks(200),
+            LatencyModel::Instant,
+            reliability,
+            None,
+            &mut rng,
+            &mut net_rng,
+        );
+        assert_eq!(report.reason, StopReason::TickBudgetExhausted);
+        // Everything dropped: nothing delivered, nothing left in flight
+        // except retry timers (which are not messages).
+        assert_eq!(ledger.delivered, 0);
+        assert_eq!(ledger.dropped, ledger.sent);
+        assert_eq!(protocol.bounces, 0);
+        // One original per tick; the rest of `sent` are retransmissions.
+        assert_eq!(ledger.retried, ledger.sent - report.ticks);
+        // Charge-before-drop on every attempt: each send and each
+        // retransmission charged one local transmission.
+        assert_eq!(report.transmissions.local(), ledger.sent);
+        // With 200 ticks and 2 retries per message, chains exhaust.
+        assert!(ledger.rounds_abandoned > 0);
+        // No chain can retire more attempts than the policy allows.
+        assert!(ledger.retried <= report.ticks * 2);
+        assert_eq!(ledger.duplicated, 0);
+    }
+
+    #[test]
+    fn certain_duplication_is_suppressed_by_receivers() {
+        let mut protocol = ping_pong();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut net_rng = ChaCha8Rng::seed_from_u64(10);
+        let reliability = ReliabilitySpec {
+            drop: 0.0,
+            duplicate: 0.999_999_999,
+            retry: RetryPolicy::default(),
+        };
+        let (report, ledger) = NetScheduler::new(2).run_wire(
+            &mut protocol,
+            StopCondition::at_epsilon(0.1),
+            LatencyModel::Instant,
+            reliability,
+            None,
+            &mut rng,
+            &mut net_rng,
+        );
+        assert!(report.converged());
+        // Every original got one wire copy; both left the wire, but the
+        // handler ran exactly once per message id.
+        assert_eq!(ledger.duplicated, report.ticks);
+        assert_eq!(ledger.sent, 2 * report.ticks);
+        assert_eq!(ledger.delivered, ledger.sent);
+        assert_eq!(protocol.bounces, report.ticks);
+        assert_eq!(ledger.in_flight(), 0);
+        // Duplicate copies are uncharged: still one transmission per tick.
+        assert_eq!(report.transmissions.local(), report.ticks);
+    }
+
+    #[test]
+    fn moderate_loss_with_retries_still_converges() {
+        let mut protocol = ping_pong();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut net_rng = ChaCha8Rng::seed_from_u64(12);
+        let reliability = ReliabilitySpec {
+            drop: 0.3,
+            duplicate: 0.05,
+            retry: RetryPolicy::default(),
+        };
+        let (report, ledger) = NetScheduler::new(2).run_wire(
+            &mut protocol,
+            // Deep target: enough bounces (~100) to exercise drops, retries,
+            // and duplicates with certainty at these rates.
+            StopCondition::at_epsilon(1e-30).with_max_ticks(100_000),
+            LatencyModel::Instant,
+            reliability,
+            None,
+            &mut rng,
+            &mut net_rng,
+        );
+        assert!(report.converged(), "{:?}", report.reason);
+        assert!(ledger.dropped > 0);
+        assert!(ledger.retried > 0);
+        assert_eq!(
+            ledger.sent,
+            ledger.delivered + ledger.dropped + ledger.in_flight()
+        );
+    }
+
+    #[test]
     fn ledger_metrics_use_the_documented_keys() {
         let ledger = MessageLedger {
             sent: 5,
             delivered: 3,
             in_flight_peak: 2,
+            ..MessageLedger::default()
         };
         let metrics = ledger.metrics();
         let keys: Vec<&str> = metrics.iter().map(|(k, _)| k.as_str()).collect();
@@ -472,6 +891,28 @@ mod tests {
             ]
         );
         assert_eq!(ledger.in_flight(), 2);
+    }
+
+    #[test]
+    fn reliability_metrics_use_the_documented_keys() {
+        let ledger = MessageLedger {
+            dropped: 4,
+            duplicated: 3,
+            retried: 2,
+            rounds_abandoned: 1,
+            ..MessageLedger::default()
+        };
+        let metrics = ledger.reliability_metrics();
+        let keys: Vec<&str> = metrics.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "messages_dropped",
+                "messages_duplicated",
+                "messages_retried",
+                "rounds_abandoned"
+            ]
+        );
     }
 
     #[test]

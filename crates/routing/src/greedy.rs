@@ -691,6 +691,66 @@ fn greedy_step_metric<M: RouteMetric>(
     }
 }
 
+/// [`greedy_step`] restricted to live neighbors: the per-hop forwarding
+/// decision of the message-passing runtime under node churn. Same mask
+/// semantics as [`greedy_walk_masked`] (indices beyond `alive`'s length count
+/// as alive, so the empty mask degenerates to the unmasked step), same
+/// progress rule and tie-breaking — iterating it from a live source
+/// reproduces [`route_terminus_masked`] **bit-identically** (same terminus,
+/// same hop count), pinned by
+/// `iterated_greedy_step_masked_matches_route_terminus_masked`.
+///
+/// # Panics
+///
+/// Panics if `current` is out of range for the graph.
+pub fn greedy_step_masked(
+    graph: &GeometricGraph,
+    current: NodeId,
+    target: Point,
+    alive: &[bool],
+) -> Option<NodeId> {
+    match graph.topology() {
+        Topology::UnitSquare => {
+            greedy_step_masked_metric(graph, current, target, EuclideanMetric, alive)
+        }
+        Topology::Torus => greedy_step_masked_metric(graph, current, target, TorusMetric, alive),
+    }
+}
+
+/// Monomorphised body of [`greedy_step_masked`]: one iteration of
+/// [`greedy_walk_masked`]'s scan, recomputing the current distance from
+/// [`GeometricGraph::position`] (the same `f64` the walk carries, bit for
+/// bit — the CSR coordinate mirror stores identical coordinates).
+#[inline]
+fn greedy_step_masked_metric<M: RouteMetric>(
+    graph: &GeometricGraph,
+    current: NodeId,
+    target: Point,
+    metric: M,
+    alive: &[bool],
+) -> Option<NodeId> {
+    let pos = graph.position(current);
+    let current_dist = metric.d2(pos.x - target.x, pos.y - target.y);
+    let (nbrs, xs, ys) = graph.neighbor_block(current);
+    let mut min_dist = f64::INFINITY;
+    let mut best = 0u32;
+    for k in 0..nbrs.len() {
+        if !alive.get(nbrs[k] as usize).copied().unwrap_or(true) {
+            continue;
+        }
+        let d = metric.d2(xs[k] - target.x, ys[k] - target.y);
+        if d < min_dist {
+            min_dist = d;
+            best = nbrs[k];
+        }
+    }
+    if min_dist >= current_dist {
+        None
+    } else {
+        Some(NodeId(best as usize))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -943,6 +1003,54 @@ mod tests {
                 }
                 assert_eq!(current, walk.terminus, "terminus diverged (seed {seed})");
                 assert_eq!(hops, walk.hops, "hop count diverged (seed {seed})");
+            }
+        }
+    }
+
+    #[test]
+    fn iterated_greedy_step_masked_matches_route_terminus_masked() {
+        // The net layer's per-hop forwarding under churn must reproduce the
+        // stateful masked walk bit-for-bit, and with an empty mask it must
+        // degenerate to the unmasked step.
+        use geogossip_geometry::Topology;
+        for (seed, topology) in [(13u64, Topology::UnitSquare), (14, Topology::Torus)] {
+            let pts = sample_unit_square(300, &mut ChaCha8Rng::seed_from_u64(seed));
+            let radius = geogossip_geometry::connectivity_radius(300, 1.5).min(0.49);
+            let g = GeometricGraph::build_with_topology(pts, radius, topology);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x6d2b);
+            // Kill a third of the nodes.
+            let alive: Vec<bool> = (0..g.len()).map(|i| i % 3 != 0).collect();
+            for trial in 0..40 {
+                let pts = sample_unit_square(2, &mut rng);
+                let src = {
+                    let mut s = g.nearest_node(pts[0]).unwrap();
+                    // Masked walks start at a live node in production (dead
+                    // sensors are never activated and never forward).
+                    while !alive[s.index()] {
+                        s = NodeId((s.index() + 1) % g.len());
+                    }
+                    s
+                };
+                let target = if trial % 2 == 0 {
+                    pts[1]
+                } else {
+                    g.position(NodeId((trial * 31) % g.len()))
+                };
+                let walk = route_terminus_masked(&g, src, target, &alive);
+                let mut current = src;
+                let mut hops = 0usize;
+                while let Some(next) = greedy_step_masked(&g, current, target, &alive) {
+                    current = next;
+                    hops += 1;
+                    assert!(hops <= g.len(), "stateless masked walk failed to terminate");
+                }
+                assert_eq!(current, walk.terminus, "terminus diverged (seed {seed})");
+                assert_eq!(hops, walk.hops, "hop count diverged (seed {seed})");
+                // Empty mask ⇔ unmasked step, hop by hop from the source.
+                assert_eq!(
+                    greedy_step_masked(&g, src, target, &[]),
+                    greedy_step(&g, src, target)
+                );
             }
         }
     }

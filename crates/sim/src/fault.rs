@@ -498,7 +498,11 @@ impl<'a> FaultyActivation<'a> {
 
 /// `k` distinct node indices by partial Fisher–Yates over `0..n`, from the
 /// fault stream. `O(n)` per call — construction-time only.
-fn draw_distinct(n: usize, k: usize, rng: &mut ChaCha8Rng) -> Vec<u32> {
+///
+/// Public because the net runtime rebuilds the same stale/churn node sets
+/// from the same fault stream: both layers must draw identically or a
+/// `transport` key would silently change which sensors fail.
+pub fn draw_distinct(n: usize, k: usize, rng: &mut ChaCha8Rng) -> Vec<u32> {
     let k = k.min(n);
     let mut pool: Vec<u32> = (0..n as u32).collect();
     for i in 0..k {

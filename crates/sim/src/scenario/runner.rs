@@ -185,16 +185,13 @@ impl Runner {
         if let Some(transport) = &spec.transport {
             // The message-passing transport replaces the factory/engine path
             // wholesale. Its protocol builders consume the run stream exactly
-            // as the factory's would, and all latency randomness comes from
-            // the dedicated net stream, so the default-transport path below
-            // stays byte-identical whether or not a runtime is attached.
-            if !spec.faults.is_none() {
-                return Err(ProtocolError::invalid(
-                    "transport",
-                    "fault injection is not supported on the message-passing \
-                     transport yet; drop the `faults` key or the `transport` key",
-                ));
-            }
+            // as the factory's would, all latency/wire-reliability randomness
+            // comes from the dedicated net stream, and node-fault (stale set,
+            // churn schedule) construction draws come from the dedicated
+            // fault stream — so the default-transport path below stays
+            // byte-identical whether or not a runtime is attached. The
+            // incoherent overlap (activation loss + transport) is rejected by
+            // `ScenarioSpec::validate` before any trial starts.
             let runtime = self.transport.as_deref().ok_or_else(|| {
                 ProtocolError::invalid(
                     "transport",
@@ -203,15 +200,18 @@ impl Runner {
                 )
             })?;
             let mut net_rng = seeds.trial(NET_STREAM_LABEL, trial);
+            let fault_rng = seeds.trial(FAULT_STREAM_LABEL, trial);
             let engine_start = std::time::Instant::now();
             let outcome = runtime.run_trial(
                 &spec.protocol,
                 transport,
+                &spec.faults,
                 &graph,
                 values,
                 spec.stop,
                 &mut rng,
                 &mut net_rng,
+                fault_rng,
             )?;
             let engine_seconds = engine_start.elapsed().as_secs_f64();
             let report = outcome.report;
@@ -457,7 +457,10 @@ mod tests {
     }
 
     #[test]
-    fn transport_plus_faults_is_rejected_with_the_spec_path() {
+    fn transport_plus_activation_loss_is_rejected_with_the_spec_path() {
+        // Wire-level loss lives in `transport.reliability.drop`; activation
+        // loss riding along would double-model the lossy medium, so the
+        // overlap is rejected at validation with the `faults` path named.
         let runner = Runner::new(Box::new(DriftFactory));
         let both = spec(1, 5)
             .with_faults(FaultSpec {
@@ -465,12 +468,32 @@ mod tests {
                 ..FaultSpec::default()
             })
             .with_transport(crate::transport::TransportSpec::default());
-        let err = runner.run(&both).expect_err("faults + transport");
+        let err = runner.run(&both).expect_err("loss + transport");
+        assert!(matches!(
+            &err,
+            ProtocolError::InvalidParameter { name, .. } if name == "faults.drop-rate"
+        ));
+        assert!(err.to_string().contains("reliability"), "got `{err}`");
+    }
+
+    #[test]
+    fn transport_plus_stale_faults_passes_validation() {
+        // Node-level faults (stale, churn) are coherent with a transport; on
+        // this runtime-less runner the spec must sail past validation and
+        // fail only on the missing runtime.
+        let runner = Runner::new(Box::new(DriftFactory));
+        let both = spec(1, 5)
+            .with_faults(FaultSpec {
+                stale_fraction: 0.1,
+                ..FaultSpec::default()
+            })
+            .with_transport(crate::transport::TransportSpec::default());
+        let err = runner.run(&both).expect_err("no runtime attached");
         assert!(matches!(
             &err,
             ProtocolError::InvalidParameter { name, .. } if name == "transport"
         ));
-        assert!(err.to_string().contains("fault"), "got `{err}`");
+        assert!(err.to_string().contains("runtime"), "got `{err}`");
     }
 
     #[test]

@@ -399,6 +399,17 @@ impl ScenarioSpec {
         self.faults.validate()?;
         if let Some(transport) = &self.transport {
             transport.validate()?;
+            if self.faults.drop_rate > 0.0 {
+                // Activation loss and the unreliable wire model the same
+                // physical phenomenon; letting both ride would double-drop.
+                // Node-level faults (stale, churn) stay coherent and combine.
+                return Err(ProtocolError::invalid(
+                    "faults.drop-rate",
+                    "activation loss overlaps the message-passing transport: \
+                     wire-level loss lives in `transport.reliability.drop`; \
+                     keep node churn/stale in `faults`",
+                ));
+            }
         }
         if let Some(parallelism) = &self.parallelism {
             parallelism.validate()?;

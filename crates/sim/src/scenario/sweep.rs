@@ -888,9 +888,9 @@ mod tests {
         let rich = two_axis_sweep().with_transport_axis(vec![
             None,
             Some(TransportSpec::default()),
-            Some(TransportSpec {
-                latency: LatencyModel::Exponential { mean: 0.25 },
-            }),
+            Some(TransportSpec::with_latency(LatencyModel::Exponential {
+                mean: 0.25,
+            })),
         ]);
         let json = rich.to_json();
         assert!(json.contains("\"transport\""));

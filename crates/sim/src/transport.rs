@@ -13,20 +13,31 @@
 //!
 //! The `transport` key is strictly additive, like `faults` before it: a spec
 //! without the key never constructs the net layer and is bit-identical to the
-//! pre-transport output. All transport randomness (latency draws) comes from
-//! the dedicated `(seed, trial, `[`NET_STREAM_LABEL`]`)` stream, and the
-//! instant and fixed models draw **nothing** from it — the stream's
-//! consumption pattern is part of the schema, exactly like the fault stream.
+//! pre-transport output. All transport randomness (latency draws, wire drop
+//! and duplication decisions) comes from the dedicated
+//! `(seed, trial, `[`NET_STREAM_LABEL`]`)` stream, and the instant and fixed
+//! models draw **nothing** from it — the stream's consumption pattern is part
+//! of the schema, exactly like the fault stream.
+//!
+//! The optional `reliability` block makes the wire itself unreliable. Its
+//! per-message draw order is frozen: **latency first, then drop, then
+//! duplicate** — and the drop (duplicate) draw only happens when the drop
+//! (duplication) probability is strictly positive, so a lossless
+//! `reliability` block consumes exactly the draws the no-reliability
+//! schedule consumes and stays bit-identical to it (pinned by
+//! `tests/net_reliability.rs`).
 //!
 //! [`AsyncEngine`]: crate::engine::AsyncEngine
 //! [`ScenarioSpec`]: crate::scenario::ScenarioSpec
 
 use crate::engine::{EngineReport, StopCondition};
 use crate::error::ProtocolError;
+use crate::fault::FaultSpec;
 use crate::scenario::spec::ProtocolSpec;
 use geogossip_analysis::json::JsonValue;
 use geogossip_graph::GeometricGraph;
 use rand::{Rng, RngCore};
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 /// The dedicated seed-stream label for transport-layer randomness
@@ -86,22 +97,225 @@ impl LatencyModel {
     }
 }
 
+/// Timeout/retry policy of the unreliable wire: how a sender reacts to a
+/// message the wire dropped. The first retransmission fires `timeout` after
+/// the drop, the `k`-th after `timeout · backoff^(k-1)`, up to `max_retries`
+/// retransmissions; exhausting the budget abandons the message (and with it
+/// the gossip round it carried).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Base retransmission delay in simulation-time units (finite, > 0).
+    pub timeout: f64,
+    /// Exponential backoff multiplier applied per retransmission (finite,
+    /// ≥ 1; `1.0` = constant timeout).
+    pub backoff: f64,
+    /// Retransmission budget per message; `0` disables retries entirely.
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            timeout: 0.25,
+            backoff: 2.0,
+            max_retries: 3,
+        }
+    }
+}
+
+/// The unreliable-wire model under `transport.reliability`: per-message drop
+/// and duplication probabilities, plus the [`RetryPolicy`] governing
+/// retransmissions. The default block is lossless and decodes/renders as the
+/// absent key — schema stability, like `faults` and `transport` themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ReliabilitySpec {
+    /// Probability a sent message is dropped by the wire (in `[0, 1)`).
+    pub drop: f64,
+    /// Probability a delivered message arrives twice (in `[0, 1)`).
+    pub duplicate: f64,
+    /// Timeout/retry/backoff policy for dropped messages.
+    pub retry: RetryPolicy,
+}
+
+impl ReliabilitySpec {
+    /// `true` when the wire never drops or duplicates — the configuration
+    /// that must be bit-identical to the no-reliability schedule (the retry
+    /// policy is then irrelevant: no drop ever arms a timer).
+    pub fn is_lossless(&self) -> bool {
+        self.drop == 0.0 && self.duplicate == 0.0
+    }
+
+    /// Validates the block; errors name the `transport.reliability.…` path.
+    pub fn validate(&self) -> Result<(), ProtocolError> {
+        if !self.drop.is_finite() || !(0.0..1.0).contains(&self.drop) {
+            return Err(ProtocolError::invalid(
+                "transport.reliability.drop",
+                "must be a probability in [0, 1)",
+            ));
+        }
+        if !self.duplicate.is_finite() || !(0.0..1.0).contains(&self.duplicate) {
+            return Err(ProtocolError::invalid(
+                "transport.reliability.duplicate",
+                "must be a probability in [0, 1)",
+            ));
+        }
+        if !self.retry.timeout.is_finite() || self.retry.timeout <= 0.0 {
+            return Err(ProtocolError::invalid(
+                "transport.reliability.retry.timeout",
+                "must be a finite positive delay",
+            ));
+        }
+        if !self.retry.backoff.is_finite() || self.retry.backoff < 1.0 {
+            return Err(ProtocolError::invalid(
+                "transport.reliability.retry.backoff",
+                "must be a finite multiplier >= 1",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Compact coordinate token, e.g. `rel=drop:0.3+dup:0.05`. Parts are
+    /// colon-separated (not `=`-separated) so a group key carrying this token
+    /// can never be mistaken for a fault coordinate tail.
+    pub fn token(&self) -> String {
+        format!("rel=drop:{}+dup:{}", self.drop, self.duplicate)
+    }
+
+    /// Serialises to the JSON `reliability` object, omitting default-valued
+    /// keys (an all-default block renders as `{}` and is itself omitted by
+    /// [`TransportSpec::to_json_value`]).
+    pub fn to_json_value(&self) -> JsonValue {
+        let mut fields: Vec<(&str, JsonValue)> = Vec::new();
+        if self.drop != 0.0 {
+            fields.push(("drop", self.drop.into()));
+        }
+        if self.duplicate != 0.0 {
+            fields.push(("duplicate", self.duplicate.into()));
+        }
+        if self.retry != RetryPolicy::default() {
+            let default = RetryPolicy::default();
+            let mut retry: Vec<(&str, JsonValue)> = Vec::new();
+            if self.retry.timeout != default.timeout {
+                retry.push(("timeout", self.retry.timeout.into()));
+            }
+            if self.retry.backoff != default.backoff {
+                retry.push(("backoff", self.retry.backoff.into()));
+            }
+            if self.retry.max_retries != default.max_retries {
+                retry.push(("max-retries", (self.retry.max_retries as f64).into()));
+            }
+            fields.push(("retry", JsonValue::object(retry)));
+        }
+        JsonValue::object(fields)
+    }
+
+    /// Decodes a `transport.reliability` object; unknown keys hard-error.
+    pub fn decode(doc: &JsonValue) -> Result<Self, ProtocolError> {
+        let obj = doc
+            .as_object()
+            .ok_or_else(|| ProtocolError::malformed("`transport.reliability` must be an object"))?;
+        for (key, _) in obj {
+            if !matches!(key.as_str(), "drop" | "duplicate" | "retry") {
+                return Err(ProtocolError::malformed(format!(
+                    "unknown transport.reliability key `{key}` (known: drop, duplicate, retry)"
+                )));
+            }
+        }
+        let number = |key: &str, fallback: f64| -> Result<f64, ProtocolError> {
+            match doc.get(key) {
+                None => Ok(fallback),
+                Some(value) => value.as_f64().ok_or_else(|| {
+                    ProtocolError::malformed(format!(
+                        "`transport.reliability.{key}` must be a number"
+                    ))
+                }),
+            }
+        };
+        let drop = number("drop", 0.0)?;
+        let duplicate = number("duplicate", 0.0)?;
+        let retry = match doc.get("retry") {
+            None => RetryPolicy::default(),
+            Some(value) => {
+                let fields = value.as_object().ok_or_else(|| {
+                    ProtocolError::malformed("`transport.reliability.retry` must be an object")
+                })?;
+                for (key, _) in fields {
+                    if !matches!(key.as_str(), "timeout" | "backoff" | "max-retries") {
+                        return Err(ProtocolError::malformed(format!(
+                            "unknown transport.reliability.retry key `{key}` \
+                             (known: timeout, backoff, max-retries)"
+                        )));
+                    }
+                }
+                let default = RetryPolicy::default();
+                let field = |key: &str, fallback: f64| -> Result<f64, ProtocolError> {
+                    match value.get(key) {
+                        None => Ok(fallback),
+                        Some(v) => v.as_f64().ok_or_else(|| {
+                            ProtocolError::malformed(format!(
+                                "`transport.reliability.retry.{key}` must be a number"
+                            ))
+                        }),
+                    }
+                };
+                let timeout = field("timeout", default.timeout)?;
+                let backoff = field("backoff", default.backoff)?;
+                let max_retries = match value.get("max-retries") {
+                    None => default.max_retries,
+                    Some(v) => match v.as_f64() {
+                        Some(m) if m >= 0.0 && m.fract() == 0.0 && m <= u32::MAX as f64 => m as u32,
+                        _ => {
+                            return Err(ProtocolError::malformed(
+                                "`transport.reliability.retry.max-retries` must be a \
+                                 non-negative whole number",
+                            ))
+                        }
+                    },
+                };
+                RetryPolicy {
+                    timeout,
+                    backoff,
+                    max_retries,
+                }
+            }
+        };
+        Ok(ReliabilitySpec {
+            drop,
+            duplicate,
+            retry,
+        })
+    }
+}
+
 /// The declarative transport model of a scenario. Absent from the JSON
 /// schema = shared-memory engine; present = message-passing runtime with the
 /// given latency model (`{"latency": "instant"}` runs the net layer on the
-/// oracle schedule).
+/// oracle schedule) and wire-reliability model (absent = lossless wire).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct TransportSpec {
     /// Per-message delivery-delay model.
     pub latency: LatencyModel,
+    /// Wire drop/duplication model with its retry policy (default =
+    /// lossless, bit-identical to omitting the key).
+    pub reliability: ReliabilitySpec,
 }
 
 impl TransportSpec {
+    /// A transport with the given latency model and a lossless wire — the
+    /// pre-reliability spelling, kept as the convenient constructor.
+    pub fn with_latency(latency: LatencyModel) -> Self {
+        TransportSpec {
+            latency,
+            ..TransportSpec::default()
+        }
+    }
+
     /// Validates every transport parameter. Errors name the offending spec
-    /// path (`transport.latency.…`), matching the fault-spec convention.
+    /// path (`transport.latency.…`, `transport.reliability.…`), matching the
+    /// fault-spec convention.
     pub fn validate(&self) -> Result<(), ProtocolError> {
         match self.latency {
-            LatencyModel::Instant => Ok(()),
+            LatencyModel::Instant => {}
             LatencyModel::Fixed(delay) => {
                 if !delay.is_finite() || delay < 0.0 {
                     return Err(ProtocolError::invalid(
@@ -109,7 +323,6 @@ impl TransportSpec {
                         "must be a finite non-negative delay",
                     ));
                 }
-                Ok(())
             }
             LatencyModel::Exponential { mean } => {
                 if !mean.is_finite() || mean <= 0.0 {
@@ -118,22 +331,29 @@ impl TransportSpec {
                         "must be a finite positive mean delay",
                     ));
                 }
-                Ok(())
             }
         }
+        self.reliability.validate()
     }
 
     /// Compact coordinate token for group keys and reports, e.g.
-    /// `lat=instant`, `lat=fixed:0.5` or `lat=exp:0.25`.
+    /// `lat=instant`, `lat=fixed:0.5` or `lat=exp:0.25`; an unreliable wire
+    /// appends its own segment: `lat=instant/rel=drop:0.3+dup:0.05`.
     pub fn token(&self) -> String {
-        match self.latency {
+        let latency = match self.latency {
             LatencyModel::Instant => "lat=instant".to_string(),
             LatencyModel::Fixed(delay) => format!("lat=fixed:{delay}"),
             LatencyModel::Exponential { mean } => format!("lat=exp:{mean}"),
+        };
+        if self.reliability.is_lossless() {
+            latency
+        } else {
+            format!("{latency}/{}", self.reliability.token())
         }
     }
 
-    /// Serialises to the JSON `transport` object.
+    /// Serialises to the JSON `transport` object. The `reliability` key is
+    /// omitted when lossless-with-default-retry (schema stability).
     pub fn to_json_value(&self) -> JsonValue {
         let latency = match self.latency {
             LatencyModel::Instant => JsonValue::string("instant"),
@@ -143,7 +363,11 @@ impl TransportSpec {
                 JsonValue::object(vec![("mean", mean.into())]),
             )]),
         };
-        JsonValue::object(vec![("latency", latency)])
+        let mut fields = vec![("latency", latency)];
+        if self.reliability != ReliabilitySpec::default() {
+            fields.push(("reliability", self.reliability.to_json_value()));
+        }
+        JsonValue::object(fields)
     }
 
     /// Decodes a `transport` object; unknown keys hard-error (the same
@@ -153,12 +377,16 @@ impl TransportSpec {
             .as_object()
             .ok_or_else(|| ProtocolError::malformed("`transport` must be an object"))?;
         for (key, _) in obj {
-            if key.as_str() != "latency" {
+            if !matches!(key.as_str(), "latency" | "reliability") {
                 return Err(ProtocolError::malformed(format!(
-                    "unknown transport key `{key}` (known: latency)"
+                    "unknown transport key `{key}` (known: latency, reliability)"
                 )));
             }
         }
+        let reliability = match doc.get("reliability") {
+            None => ReliabilitySpec::default(),
+            Some(value) => ReliabilitySpec::decode(value)?,
+        };
         let latency = match doc.get("latency") {
             None => LatencyModel::Instant,
             Some(JsonValue::String(token)) if token == "instant" => LatencyModel::Instant,
@@ -212,7 +440,10 @@ impl TransportSpec {
                 }
             }
         };
-        Ok(TransportSpec { latency })
+        Ok(TransportSpec {
+            latency,
+            reliability,
+        })
     }
 }
 
@@ -239,27 +470,34 @@ pub struct TransportTrial {
 /// to it without `geogossip-sim` depending on `geogossip-net`. `rng` is the
 /// trial's run stream (clock ticks and protocol draws — consumed exactly as
 /// the shared-memory engine would); `net_rng` is the dedicated
-/// [`NET_STREAM_LABEL`] stream (latency draws only).
+/// [`NET_STREAM_LABEL`] stream (latency and wire-reliability draws only);
+/// `fault_rng` is the dedicated [`FAULT_STREAM_LABEL`] stream, consumed only
+/// when `faults` is non-default (stale/churn node-set construction draws, in
+/// the same frozen order as the shared-memory fault wrapper).
 ///
 /// [`Runner`]: crate::scenario::Runner
+/// [`FAULT_STREAM_LABEL`]: crate::fault::FAULT_STREAM_LABEL
 pub trait TransportRuntime: Send + Sync {
     /// Runs one trial of `protocol` over the simulated network.
     ///
     /// # Errors
     ///
     /// [`ProtocolError`] when the protocol has no message-passing
-    /// implementation or its parameters are invalid; implementations name
-    /// the offending spec path (`transport`, `protocol.…`).
+    /// implementation, its parameters are invalid, or the fault spec asks
+    /// for something the net layer does not model; implementations name the
+    /// offending spec path (`transport`, `faults.…`, `protocol.…`).
     #[allow(clippy::too_many_arguments)]
     fn run_trial(
         &self,
         protocol: &ProtocolSpec,
         transport: &TransportSpec,
+        faults: &FaultSpec,
         graph: &GeometricGraph,
         values: Vec<f64>,
         stop: StopCondition,
         rng: &mut dyn RngCore,
         net_rng: &mut dyn RngCore,
+        fault_rng: ChaCha8Rng,
     ) -> Result<TransportTrial, ProtocolError>;
 }
 
@@ -286,11 +524,26 @@ mod tests {
     fn json_round_trips_every_model() {
         for spec in [
             TransportSpec::default(),
+            TransportSpec::with_latency(LatencyModel::Fixed(0.25)),
+            TransportSpec::with_latency(LatencyModel::Exponential { mean: 0.125 }),
             TransportSpec {
                 latency: LatencyModel::Fixed(0.25),
+                reliability: ReliabilitySpec {
+                    drop: 0.3,
+                    duplicate: 0.05,
+                    retry: RetryPolicy {
+                        timeout: 0.5,
+                        backoff: 1.5,
+                        max_retries: 5,
+                    },
+                },
             },
             TransportSpec {
-                latency: LatencyModel::Exponential { mean: 0.125 },
+                latency: LatencyModel::Instant,
+                reliability: ReliabilitySpec {
+                    drop: 0.1,
+                    ..ReliabilitySpec::default()
+                },
             },
         ] {
             let rendered = spec.to_json_value().render();
@@ -341,17 +594,13 @@ mod tests {
 
     #[test]
     fn validation_names_spec_paths() {
-        let bad = TransportSpec {
-            latency: LatencyModel::Fixed(-1.0),
-        };
+        let bad = TransportSpec::with_latency(LatencyModel::Fixed(-1.0));
         let err = bad.validate().unwrap_err();
         assert!(matches!(
             err,
             ProtocolError::InvalidParameter { ref name, .. } if name == "transport.latency.fixed"
         ));
-        let bad = TransportSpec {
-            latency: LatencyModel::Exponential { mean: 0.0 },
-        };
+        let bad = TransportSpec::with_latency(LatencyModel::Exponential { mean: 0.0 });
         let err = bad.validate().unwrap_err();
         assert!(matches!(
             err,
@@ -385,18 +634,21 @@ mod tests {
         assert_eq!(LatencyModel::Fixed(0.25).mean(), 0.25);
         assert_eq!(LatencyModel::Exponential { mean: 0.5 }.mean(), 0.5);
         assert_eq!(
-            TransportSpec {
-                latency: LatencyModel::Fixed(0.25)
-            }
-            .token(),
+            TransportSpec::with_latency(LatencyModel::Fixed(0.25)).token(),
             "lat=fixed:0.25"
         );
         assert_eq!(
-            TransportSpec {
-                latency: LatencyModel::Exponential { mean: 0.5 }
-            }
-            .token(),
+            TransportSpec::with_latency(LatencyModel::Exponential { mean: 0.5 }).token(),
             "lat=exp:0.5"
         );
+        let lossy = TransportSpec {
+            latency: LatencyModel::Instant,
+            reliability: ReliabilitySpec {
+                drop: 0.3,
+                duplicate: 0.05,
+                ..ReliabilitySpec::default()
+            },
+        };
+        assert_eq!(lossy.token(), "lat=instant/rel=drop:0.3+dup:0.05");
     }
 }

@@ -104,9 +104,10 @@ fn template_spec() -> ScenarioSpec {
 }
 
 /// The template spec as JSON, with an example default-valued `faults` object
-/// spliced in so the printed spec shows every optional schema key. The
-/// result round-trips: it validates and runs as printed (zero-valued faults
-/// decode to "no faults").
+/// and a default-valued `transport.reliability` block spliced in so the
+/// printed spec shows every optional schema key. The result round-trips: it
+/// validates and runs as printed (zero-valued faults decode to "no faults",
+/// the zero-valued reliability block decodes to a lossless wire).
 fn template_json() -> String {
     let mut doc = template_spec().to_json_value();
     if let JsonValue::Object(fields) = &mut doc {
@@ -121,6 +122,27 @@ fn template_json() -> String {
                 JsonValue::object(vec![("drop-rate", 0.0.into())]),
             ),
         );
+        if let Some(JsonValue::Object(transport)) = fields
+            .iter_mut()
+            .find(|(key, _)| key == "transport")
+            .map(|(_, value)| value)
+        {
+            transport.push((
+                "reliability".to_string(),
+                JsonValue::object(vec![
+                    ("drop", 0.0.into()),
+                    ("duplicate", 0.0.into()),
+                    (
+                        "retry",
+                        JsonValue::object(vec![
+                            ("timeout", 0.25.into()),
+                            ("backoff", 2.0.into()),
+                            ("max-retries", 3u64.into()),
+                        ]),
+                    ),
+                ]),
+            ));
+        }
     }
     doc.pretty()
 }
@@ -523,8 +545,8 @@ mod tests {
     }
 
     /// The printed template must show every optional schema key (`faults`,
-    /// `transport`) with example/default values, and still parse + validate
-    /// as printed.
+    /// `transport`, `transport.reliability`) with example/default values, and
+    /// still parse + validate as printed.
     #[test]
     fn template_shows_faults_and_transport_and_round_trips() {
         let text = template_json();
@@ -532,9 +554,21 @@ mod tests {
         assert!(text.contains("\"drop-rate\""), "template:\n{text}");
         assert!(text.contains("\"transport\""), "template:\n{text}");
         assert!(text.contains("\"latency\""), "template:\n{text}");
+        for key in [
+            "reliability",
+            "drop",
+            "duplicate",
+            "retry",
+            "timeout",
+            "backoff",
+            "max-retries",
+        ] {
+            assert!(text.contains(&format!("\"{key}\"")), "template:\n{text}");
+        }
         let spec = ScenarioSpec::from_json(&text).expect("template must validate as printed");
         // Zero-valued example faults decode to "no faults"; the example
-        // transport decodes to the instant message-passing schedule.
+        // transport decodes to the instant message-passing schedule with a
+        // lossless wire (the default-valued reliability block is inert).
         assert!(spec.faults.is_none());
         assert_eq!(
             spec.transport,

@@ -271,7 +271,9 @@ fn json_spelled_transport_matches_the_builder_spelling() {
         ),
     ] {
         let spliced = respec_with_transport_json(&base, JsonValue::object(vec![("latency", json)]));
-        let built = base.clone().with_transport(TransportSpec { latency });
+        let built = base
+            .clone()
+            .with_transport(TransportSpec::with_latency(latency));
         assert_eq!(spliced, built);
     }
 }
@@ -283,9 +285,11 @@ fn non_instant_schedules_are_reproducible_and_account_for_in_flight_mass() {
         .with_trials(2)
         .with_seed(79);
     base.stop = base.stop.with_max_ticks(4_000_000);
-    let delayed = base.clone().with_transport(TransportSpec {
-        latency: LatencyModel::Exponential { mean: 0.002 },
-    });
+    let delayed =
+        base.clone()
+            .with_transport(TransportSpec::with_latency(LatencyModel::Exponential {
+                mean: 0.002,
+            }));
 
     let first = runner.run(&delayed).expect("delayed spec runs");
     let second = runner.run(&delayed).expect("delayed spec runs again");

@@ -1,0 +1,331 @@
+//! Reliability pins for the unreliable wire.
+//!
+//! Three contracts, each machine-checked here:
+//!
+//! 1. **Lossless is free.** A `transport.reliability` block with `drop = 0`
+//!    and `duplicate = 0` — whatever its retry policy says — must be **bit
+//!    identical** to running without the block at all: same reports, same
+//!    traces, same message ledger, same run- and net-stream RNG end states.
+//!    The reliability layer may only consume randomness once it can actually
+//!    lose or duplicate a message.
+//! 2. **Loss degrades, never wedges.** At a 30% drop rate the default
+//!    timeout/retry/backoff policy still converges: retries recover dropped
+//!    exchanges, abandoned rounds release their actors instead of blocking
+//!    them, and the abandonment count stays a small fraction of traffic.
+//! 3. **Lossy runs are reproducible.** The drop and duplication draws come
+//!    from the frozen `(seed, trial, "net")` stream, so a seeded lossy run is
+//!    byte-for-byte repeatable.
+//!
+//! The duplicate-delivery idempotence property (satellite of the same
+//! contract) is checked by proptest at the bottom: a wire that only
+//! duplicates — never drops — leaves the entire run unchanged versus a
+//! lossless wire, because receivers suppress redeliveries by message id
+//! before any handler, charge, or RNG draw can fire.
+
+use geogossip::builtin_runner;
+use geogossip::core::prelude::*;
+use geogossip::graph::GeometricGraph;
+use geogossip::net::{GeographicNet, NetProtocol, NetScheduler, PairwiseNet};
+use geogossip::sim::scenario::ScenarioSpec;
+use geogossip::sim::transport::{LatencyModel, ReliabilitySpec, RetryPolicy, TransportSpec};
+use geogossip::sim::StopCondition;
+use geogossip_geometry::sampling::sample_unit_square;
+use geogossip_geometry::Topology;
+use proptest::prelude::*;
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn graph(n: usize, topology: Topology, seed: u64) -> GeometricGraph {
+    let pts = sample_unit_square(n, &mut ChaCha8Rng::seed_from_u64(seed));
+    let radius = geogossip_geometry::connectivity_radius(n, 2.0).min(0.49);
+    GeometricGraph::build_with_topology(pts, radius, topology)
+}
+
+/// A lossless reliability block with a deliberately non-default retry policy:
+/// with nothing ever dropped, no timer is armed, so the policy must be inert.
+fn lossless_with_loud_retries() -> ReliabilitySpec {
+    ReliabilitySpec {
+        drop: 0.0,
+        duplicate: 0.0,
+        retry: RetryPolicy {
+            timeout: 0.015,
+            backoff: 7.5,
+            max_retries: 11,
+        },
+    }
+}
+
+#[test]
+fn lossless_reliability_is_bit_identical_to_no_reliability() {
+    let n = 96;
+    let g = graph(n, Topology::UnitSquare, 31);
+    let stop = StopCondition::at_epsilon(0.05).with_max_ticks(400_000);
+
+    for pairwise in [true, false] {
+        let values =
+            InitialCondition::Spike.generate(n, &mut ChaCha8Rng::seed_from_u64(0x1ce ^ n as u64));
+        let run = |reliability: Option<ReliabilitySpec>| {
+            let mut rng = ChaCha8Rng::seed_from_u64(0xd1a);
+            let mut net_rng = ChaCha8Rng::seed_from_u64(0xd1b);
+            let (report, ledger, metrics) = if pairwise {
+                let mut actors = PairwiseNet::new(&g, values.clone()).expect("valid actors");
+                let (report, ledger) = match reliability {
+                    Some(spec) => NetScheduler::new(n).run_wire(
+                        &mut actors,
+                        stop,
+                        LatencyModel::Fixed(0.002),
+                        spec,
+                        None,
+                        &mut rng,
+                        &mut net_rng,
+                    ),
+                    None => NetScheduler::new(n).run(
+                        &mut actors,
+                        stop,
+                        LatencyModel::Fixed(0.002),
+                        &mut rng,
+                        &mut net_rng,
+                    ),
+                };
+                (report, ledger, actors.metrics())
+            } else {
+                let mut actors = GeographicNet::new(&g, values.clone()).expect("valid actors");
+                let (report, ledger) = match reliability {
+                    Some(spec) => NetScheduler::new(n).run_wire(
+                        &mut actors,
+                        stop,
+                        LatencyModel::Fixed(0.002),
+                        spec,
+                        None,
+                        &mut rng,
+                        &mut net_rng,
+                    ),
+                    None => NetScheduler::new(n).run(
+                        &mut actors,
+                        stop,
+                        LatencyModel::Fixed(0.002),
+                        &mut rng,
+                        &mut net_rng,
+                    ),
+                };
+                (report, ledger, actors.metrics())
+            };
+            (report, ledger, metrics, rng, net_rng)
+        };
+
+        let (bare_report, bare_ledger, bare_metrics, mut bare_rng, mut bare_net) = run(None);
+        let (rel_report, rel_ledger, rel_metrics, mut rel_rng, mut rel_net) =
+            run(Some(lossless_with_loud_retries()));
+
+        assert_eq!(
+            rel_report, bare_report,
+            "lossless reliability changed the report (pairwise={pairwise})"
+        );
+        assert_eq!(
+            rel_report.final_error.to_bits(),
+            bare_report.final_error.to_bits(),
+            "final error not bit-identical (pairwise={pairwise})"
+        );
+        assert_eq!(rel_report.trace.points(), bare_report.trace.points());
+        assert_eq!(
+            rel_ledger, bare_ledger,
+            "lossless reliability changed the message ledger (pairwise={pairwise})"
+        );
+        assert_eq!(rel_ledger.dropped, 0);
+        assert_eq!(rel_ledger.duplicated, 0);
+        assert_eq!(rel_ledger.retried, 0);
+        assert_eq!(rel_ledger.rounds_abandoned, 0);
+        assert_eq!(rel_metrics, bare_metrics);
+        for _ in 0..4 {
+            assert_eq!(
+                rel_rng.next_u64(),
+                bare_rng.next_u64(),
+                "run-stream RNG consumption diverged (pairwise={pairwise})"
+            );
+            assert_eq!(
+                rel_net.next_u64(),
+                bare_net.next_u64(),
+                "net-stream RNG consumption diverged (pairwise={pairwise})"
+            );
+        }
+    }
+}
+
+#[test]
+fn lossless_reliability_specs_match_bare_transport_at_the_runner_level() {
+    let runner = builtin_runner();
+    for name in ["pairwise", "geographic"] {
+        let base = ScenarioSpec::standard(name, 96, 0.1)
+            .with_trials(2)
+            .with_seed(83);
+        let bare = base
+            .clone()
+            .with_transport(TransportSpec::with_latency(LatencyModel::Instant));
+        let lossless = base.with_transport(TransportSpec {
+            latency: LatencyModel::Instant,
+            reliability: lossless_with_loud_retries(),
+        });
+
+        let bare_report = runner.run(&bare).expect("bare transport runs");
+        let lossless_report = runner.run(&lossless).expect("lossless reliability runs");
+        // The embedded spec echoes differ (the inert retry policy); every
+        // outcome must not.
+        assert_eq!(
+            lossless_report.protocol_label, bare_report.protocol_label,
+            "{name}: a lossless reliability block changed the label"
+        );
+        assert_eq!(
+            lossless_report.trials, bare_report.trials,
+            "{name}: a lossless reliability block changed a trial"
+        );
+        assert_eq!(
+            lossless_report.summary, bare_report.summary,
+            "{name}: a lossless reliability block changed the summary"
+        );
+        // Schema stability: no reliability counters appear on lossless runs.
+        for trial in &lossless_report.trials {
+            assert!(trial.metric("messages_dropped").is_none());
+            assert!(trial.metric("rounds_abandoned").is_none());
+        }
+    }
+}
+
+#[test]
+fn heavy_loss_with_retries_converges_and_releases_every_actor() {
+    let runner = builtin_runner();
+    let mut spec = ScenarioSpec::standard("geographic", 128, 0.1)
+        .with_trials(2)
+        .with_seed(89);
+    spec.stop = spec.stop.with_max_ticks(3_000_000);
+    let spec = spec.with_transport(TransportSpec {
+        latency: LatencyModel::Instant,
+        reliability: ReliabilitySpec {
+            drop: 0.3,
+            duplicate: 0.0,
+            retry: RetryPolicy::default(),
+        },
+    });
+
+    let report = runner.run(&spec).expect("lossy spec runs");
+    for trial in &report.trials {
+        assert!(trial.converged, "30% drop with retries must still converge");
+        let sent = trial.metric("messages_sent").expect("ledger present");
+        let dropped = trial.metric("messages_dropped").expect("wire counters");
+        let retried = trial.metric("messages_retried").expect("wire counters");
+        let abandoned = trial.metric("rounds_abandoned").expect("wire counters");
+        assert!(dropped > 0.0, "a 30% wire must actually drop");
+        assert!(retried > 0.0, "dropped messages must be retried");
+        // With the default cap of 3 retries, a message is abandoned only
+        // after four consecutive drops (0.3⁴ < 1%); anything near that bound
+        // proves abandoned rounds released their actors instead of wedging.
+        assert!(
+            abandoned <= 0.05 * sent,
+            "abandonment is not a small fraction of traffic: {abandoned} of {sent}"
+        );
+    }
+}
+
+#[test]
+fn lossy_runs_are_byte_reproducible() {
+    let runner = builtin_runner();
+    let mut spec = ScenarioSpec::standard("pairwise", 96, 0.1)
+        .with_trials(2)
+        .with_seed(97);
+    spec.stop = spec.stop.with_max_ticks(3_000_000);
+    let spec = spec.with_transport(TransportSpec {
+        latency: LatencyModel::Fixed(0.002),
+        reliability: ReliabilitySpec {
+            drop: 0.2,
+            duplicate: 0.05,
+            retry: RetryPolicy::default(),
+        },
+    });
+
+    // The lossy spelling must also survive the JSON round trip untouched.
+    let reparsed = ScenarioSpec::from_json(&spec.to_json()).expect("lossy spec round-trips");
+    assert_eq!(reparsed, spec);
+
+    let first = runner.run(&spec).expect("lossy spec runs");
+    let second = runner.run(&spec).expect("lossy spec runs again");
+    assert_eq!(first, second, "seeded lossy runs must be reproducible");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Duplicate deliveries are idempotent: a wire that duplicates but never
+    /// drops yields the *same run* as a lossless wire — same report (state
+    /// trajectory, charges, stop), same protocol counters, same run-stream
+    /// RNG end state — with only the ledger recording the extra copies.
+    #[test]
+    fn duplicate_delivery_is_idempotent(
+        seed in 0u64..1024,
+        dup in 0.2f64..0.8,
+    ) {
+        let pairwise = seed % 2 == 0;
+        let n = 48;
+        let g = graph(n, Topology::UnitSquare, seed ^ 0x9e37);
+        let values =
+            InitialCondition::Spike.generate(n, &mut ChaCha8Rng::seed_from_u64(seed ^ 0x79b9));
+        let stop = StopCondition::at_epsilon(0.1).with_max_ticks(500_000);
+        let duplicating = ReliabilitySpec {
+            drop: 0.0,
+            duplicate: dup,
+            retry: RetryPolicy::default(),
+        };
+
+        let run = |reliability: Option<ReliabilitySpec>| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x85eb);
+            let mut net_rng = ChaCha8Rng::seed_from_u64(seed ^ 0xca6b);
+            let (report, ledger, metrics) = if pairwise {
+                let mut actors = PairwiseNet::new(&g, values.clone()).expect("valid actors");
+                let (report, ledger) = NetScheduler::new(n).run_wire(
+                    &mut actors,
+                    stop,
+                    LatencyModel::Fixed(0.001),
+                    reliability.unwrap_or_default(),
+                    None,
+                    &mut rng,
+                    &mut net_rng,
+                );
+                (report, ledger, actors.metrics())
+            } else {
+                let mut actors = GeographicNet::new(&g, values.clone()).expect("valid actors");
+                let (report, ledger) = NetScheduler::new(n).run_wire(
+                    &mut actors,
+                    stop,
+                    LatencyModel::Fixed(0.001),
+                    reliability.unwrap_or_default(),
+                    None,
+                    &mut rng,
+                    &mut net_rng,
+                );
+                (report, ledger, actors.metrics())
+            };
+            (report, ledger, metrics, rng)
+        };
+
+        let (base_report, base_ledger, base_metrics, mut base_rng) = run(None);
+        let (dup_report, dup_ledger, dup_metrics, mut dup_rng) = run(Some(duplicating));
+
+        // Delivering a message twice is delivering it once: nothing a
+        // duplicate-only wire does may reach the protocol layer.
+        prop_assert_eq!(&dup_report, &base_report);
+        prop_assert_eq!(
+            dup_report.final_error.to_bits(),
+            base_report.final_error.to_bits()
+        );
+        prop_assert_eq!(dup_report.transmissions, base_report.transmissions);
+        prop_assert_eq!(dup_metrics, base_metrics);
+        for _ in 0..4 {
+            prop_assert_eq!(base_rng.next_u64(), dup_rng.next_u64());
+        }
+        // Only the ledger sees the copies: every original send is mirrored,
+        // every injected copy is counted, nothing is dropped or retried.
+        prop_assert!(dup_ledger.duplicated > 0);
+        prop_assert_eq!(dup_ledger.sent - dup_ledger.duplicated, base_ledger.sent);
+        prop_assert_eq!(dup_ledger.dropped, 0);
+        prop_assert_eq!(dup_ledger.retried, 0);
+        prop_assert_eq!(dup_ledger.rounds_abandoned, 0);
+    }
+}

@@ -216,6 +216,26 @@ fn transport_unknown_keys_and_bad_shapes_hard_error_with_spec_paths() {
             r#"{"latency": {"exp": {"mena": 0.1}}}"#,
             "unknown transport.latency.exp key",
         ),
+        (
+            r#"{"reliability": [1, 2]}"#,
+            "`transport.reliability` must be an object",
+        ),
+        (
+            r#"{"reliability": {"drp": 0.1}}"#,
+            "unknown transport.reliability key",
+        ),
+        (
+            r#"{"reliability": {"drop": "often"}}"#,
+            "`transport.reliability.drop` must be a number",
+        ),
+        (
+            r#"{"reliability": {"retry": {"timout": 1.0}}}"#,
+            "unknown transport.reliability.retry key",
+        ),
+        (
+            r#"{"reliability": {"retry": {"max-retries": 1.5}}}"#,
+            "`transport.reliability.retry.max-retries` must be a non-negative whole number",
+        ),
     ] {
         let err = parse_spec_with_transport(bad)
             .expect_err(&format!("spec with transport {bad} was accepted"));
@@ -236,6 +256,22 @@ fn transport_out_of_range_values_name_the_spec_path() {
             r#"{"latency": {"exp": {"mean": 0.0}}}"#,
             "transport.latency.exp.mean",
         ),
+        (
+            r#"{"reliability": {"drop": 1.0}}"#,
+            "transport.reliability.drop",
+        ),
+        (
+            r#"{"reliability": {"duplicate": -0.1}}"#,
+            "transport.reliability.duplicate",
+        ),
+        (
+            r#"{"reliability": {"retry": {"timeout": 0.0}}}"#,
+            "transport.reliability.retry.timeout",
+        ),
+        (
+            r#"{"reliability": {"retry": {"backoff": 0.5}}}"#,
+            "transport.reliability.retry.backoff",
+        ),
     ] {
         let err = parse_spec_with_transport(bad)
             .expect_err(&format!("spec with transport {bad} was accepted"));
@@ -246,16 +282,22 @@ fn transport_out_of_range_values_name_the_spec_path() {
         r#"{"latency": "instant"}"#,
         r#"{"latency": {"fixed": 0.5}}"#,
         r#"{"latency": {"exp": {"mean": 0.25}}}"#,
+        r#"{"reliability": {"drop": 0.3, "duplicate": 0.05}}"#,
+        r#"{"latency": {"fixed": 0.002},
+            "reliability": {"drop": 0.1,
+                            "retry": {"timeout": 0.5, "backoff": 2.0, "max-retries": 4}}}"#,
     ] {
         let spec = parse_spec_with_transport(good).expect(good);
         assert!(spec.transport.is_some());
     }
 }
 
-/// A transport spec cannot be combined with fault injection (the net layer
-/// has no fault hooks yet), and the refusal names the `transport` path.
+/// Activation loss (`faults.drop-rate`) cannot be combined with a transport
+/// spec — wire loss lives in `transport.reliability.drop` — and the refusal
+/// names the key the user must delete. Node churn and stale sensors, by
+/// contrast, now run on the net layer.
 #[test]
-fn transport_refuses_to_combine_with_faults() {
+fn transport_refuses_activation_loss_but_runs_churn_and_stale() {
     let runner = geogossip::builtin_runner();
     let mut spec = ScenarioSpec::standard("pairwise", 64, 0.2)
         .with_transport(geogossip::sim::TransportSpec::default());
@@ -266,8 +308,20 @@ fn transport_refuses_to_combine_with_faults() {
     };
     let err = runner.run(&spec).expect_err("faults + transport accepted");
     let text = err.to_string();
-    assert!(text.contains("transport"), "got `{text}`");
-    assert!(text.contains("fault"), "got `{text}`");
+    assert!(text.contains("faults.drop-rate"), "got `{text}`");
+    assert!(text.contains("transport.reliability.drop"), "got `{text}`");
+
+    spec.faults = geogossip::sim::FaultSpec {
+        stale_fraction: 0.1,
+        ..geogossip::sim::FaultSpec::default()
+    };
+    let report = runner.run(&spec).expect("stale faults + transport run");
+    let keys: Vec<&str> = report.trials[0]
+        .metrics
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
+    assert!(keys.contains(&"stale_nodes"), "got {keys:?}");
 }
 
 #[test]
