@@ -1,0 +1,283 @@
+//! Log-bucketed histograms for wall-clock phase profiling.
+//!
+//! Durations span many orders of magnitude (a field draw takes microseconds,
+//! a large engine run minutes), so buckets are powers of two: bucket `i`
+//! covers `[2^(MIN_EXP+i), 2^(MIN_EXP+i+1))` seconds. All state is integer
+//! counts — no floating-point accumulators — so [`LogHistogram::merge`] is
+//! exactly associative and commutative, and a sweep can fold per-trial
+//! histograms in any grouping and land on identical bytes.
+
+use crate::json::JsonValue;
+
+/// Exponent of the lowest finite bucket boundary (`2^-30 s` ≈ 0.93 ns).
+pub const MIN_EXP: i32 = -30;
+
+/// Exponent of the overflow boundary (`2^16 s` ≈ 18.2 h).
+pub const MAX_EXP: i32 = 16;
+
+/// Number of finite buckets.
+pub const BUCKETS: usize = (MAX_EXP - MIN_EXP) as usize;
+
+/// A histogram with power-of-two bucket boundaries plus three out-of-range
+/// counters: `zero` (samples ≤ 0 or NaN), `underflow` (positive but below
+/// `2^MIN_EXP`), and `overflow` (at or above `2^MAX_EXP`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    zero: u64,
+    underflow: u64,
+    overflow: u64,
+    counts: Vec<u64>,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            zero: 0,
+            underflow: 0,
+            overflow: 0,
+            counts: vec![0; BUCKETS],
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        if x.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            // ≤ 0 and NaN both land here: durations are never negative, and
+            // a NaN would otherwise vanish silently.
+            self.zero += 1;
+            return;
+        }
+        let exp = exponent_of(x);
+        if exp < MIN_EXP {
+            self.underflow += 1;
+        } else if exp >= MAX_EXP {
+            self.overflow += 1;
+        } else {
+            self.counts[(exp - MIN_EXP) as usize] += 1;
+        }
+    }
+
+    /// Total number of recorded samples, out-of-range counters included.
+    pub fn count(&self) -> u64 {
+        self.zero + self.underflow + self.overflow + self.counts.iter().copied().sum::<u64>()
+    }
+
+    /// Samples that were ≤ 0 (or NaN).
+    pub fn zero(&self) -> u64 {
+        self.zero
+    }
+
+    /// Positive samples below the lowest bucket boundary.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the overflow boundary.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// The count in finite bucket `i` (see [`bucket_bounds`]).
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Iterates the non-empty finite buckets as `(lo, hi, count)`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = bucket_bounds(i);
+                (lo, hi, c)
+            })
+    }
+
+    /// Adds every counter of `other` into `self`.
+    ///
+    /// Counts are integers, so the merge is exactly associative and
+    /// commutative — folding per-trial histograms in any order produces the
+    /// same histogram.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        self.zero += other.zero;
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+    }
+
+    /// Renders the histogram as JSON: out-of-range counters plus a sparse
+    /// `buckets` array of `[exponent, count]` pairs.
+    pub fn to_json_value(&self) -> JsonValue {
+        let buckets: Vec<JsonValue> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                JsonValue::Array(vec![
+                    JsonValue::Number((MIN_EXP + i as i32) as f64),
+                    JsonValue::from(c),
+                ])
+            })
+            .collect();
+        JsonValue::object(vec![
+            ("zero", JsonValue::from(self.zero)),
+            ("underflow", JsonValue::from(self.underflow)),
+            ("overflow", JsonValue::from(self.overflow)),
+            ("buckets", JsonValue::Array(buckets)),
+        ])
+    }
+
+    /// Parses the [`to_json_value`](Self::to_json_value) form back.
+    pub fn from_json_value(value: &JsonValue) -> Option<LogHistogram> {
+        let mut histogram = LogHistogram::new();
+        histogram.zero = value.get("zero")?.as_u64()?;
+        histogram.underflow = value.get("underflow")?.as_u64()?;
+        histogram.overflow = value.get("overflow")?.as_u64()?;
+        for pair in value.get("buckets")?.as_array()? {
+            let pair = pair.as_array()?;
+            if pair.len() != 2 {
+                return None;
+            }
+            let exp = pair[0].as_f64()? as i32;
+            if !(MIN_EXP..MAX_EXP).contains(&exp) {
+                return None;
+            }
+            histogram.counts[(exp - MIN_EXP) as usize] = pair[1].as_u64()?;
+        }
+        Some(histogram)
+    }
+}
+
+/// The `[lo, hi)` boundaries of finite bucket `i`.
+pub fn bucket_bounds(i: usize) -> (f64, f64) {
+    let exp = MIN_EXP + i as i32;
+    (2f64.powi(exp), 2f64.powi(exp + 1))
+}
+
+/// `floor(log2(x))` for positive finite `x`, computed exactly from the IEEE
+/// exponent field (no floating-point log, so boundaries are never off by an
+/// ulp). Subnormals report their true magnitude, far below [`MIN_EXP`].
+fn exponent_of(x: f64) -> i32 {
+    let biased = ((x.to_bits() >> 52) & 0x7ff) as i32;
+    if biased == 0 {
+        // Subnormal: smaller than 2^-1022, always an underflow sample.
+        return -1075;
+    }
+    biased - 1023
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact() {
+        let mut h = LogHistogram::new();
+        // 2^0 = 1.0 is the *inclusive lower* boundary of the exponent-0
+        // bucket; the value just below it belongs to exponent -1.
+        h.record(1.0);
+        h.record(0.999_999_999);
+        h.record(2.0 - f64::EPSILON);
+        let zero_bucket = (0 - MIN_EXP) as usize;
+        assert_eq!(h.bucket_count(zero_bucket), 2);
+        assert_eq!(h.bucket_count(zero_bucket - 1), 1);
+        assert_eq!(bucket_bounds(zero_bucket), (1.0, 2.0));
+
+        // The lowest finite boundary is inclusive too.
+        let mut low = LogHistogram::new();
+        low.record(2f64.powi(MIN_EXP));
+        assert_eq!(low.bucket_count(0), 1);
+        assert_eq!(low.underflow(), 0);
+    }
+
+    #[test]
+    fn zero_underflow_and_overflow_samples() {
+        let mut h = LogHistogram::new();
+        h.record(0.0);
+        h.record(-1.5);
+        h.record(f64::NAN);
+        h.record(2f64.powi(MIN_EXP) / 2.0);
+        h.record(f64::MIN_POSITIVE / 4.0); // subnormal
+        h.record(2f64.powi(MAX_EXP));
+        h.record(f64::INFINITY);
+        assert_eq!(h.zero(), 3);
+        assert_eq!(h.underflow(), 2);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 7);
+        assert!(h.nonzero_buckets().next().is_none());
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut c = LogHistogram::new();
+        for (h, values) in [
+            (&mut a, vec![0.5, 3.0, 0.0]),
+            (&mut b, vec![1.0e-12, 700.0]),
+            (&mut c, vec![1.0e9, 0.25, 0.26]),
+        ] {
+            for v in values {
+                h.record(v);
+            }
+        }
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+
+        // a ⊕ b == b ⊕ a
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), a.count() + b.count());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut h = LogHistogram::new();
+        for v in [0.0, 1.0e-20, 1.0, 1.5, 4.0, 1.0e30] {
+            h.record(v);
+        }
+        let rendered = h.to_json_value().render();
+        let parsed = JsonValue::parse(&rendered).unwrap();
+        let back = LogHistogram::from_json_value(&parsed).unwrap();
+        assert_eq!(h, back);
+        // And the re-render is byte-identical.
+        assert_eq!(back.to_json_value().render(), rendered);
+    }
+
+    #[test]
+    fn from_json_rejects_out_of_range_exponents() {
+        let bad = format!(
+            r#"{{"zero":0,"underflow":0,"overflow":0,"buckets":[[{},1]]}}"#,
+            MAX_EXP
+        );
+        let parsed = JsonValue::parse(&bad).unwrap();
+        assert!(LogHistogram::from_json_value(&parsed).is_none());
+    }
+}

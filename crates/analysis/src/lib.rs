@@ -12,6 +12,9 @@
 //!   (Section 3's `|#(□_i)/√n − 1| < 1/10` claim);
 //! * [`table`] — plain-text/Markdown table rendering and CSV/JSON emission so
 //!   the benchmark binaries print exactly the rows quoted in EXPERIMENTS.md;
+//! * [`histogram`] — log-bucketed (power-of-two) histograms with exactly
+//!   associative merges, backing the telemetry layer's wall-clock phase
+//!   profiles;
 //! * [`json`] — a minimal JSON document model (parser + writer) backing the
 //!   scenario spec/report serialization and the benchmark baseline file
 //!   (the vendored `serde` is a no-op stand-in, so JSON is hand-rendered
@@ -32,12 +35,14 @@
 #![warn(missing_docs)]
 
 pub mod concentration;
+pub mod histogram;
 pub mod json;
 pub mod regression;
 pub mod stats;
 pub mod table;
 
 pub use concentration::OccupancyCheck;
+pub use histogram::LogHistogram;
 pub use json::JsonValue;
 pub use regression::{
     fit_power_law, fit_power_law_detailed, linear_fit, linear_fit_detailed, LinearFit,

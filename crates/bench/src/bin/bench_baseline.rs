@@ -52,6 +52,13 @@
 //!   (`AsyncEngine::run`), asserts the reports are **bit-identical** every
 //!   sample, and **appends** the whole-loop medians — thread count recorded
 //!   per row — to the file's `intra_trial` array.
+//! * `… --bin bench_baseline -- --append-telemetry [output.json]` — drives
+//!   whole fixed-tick-budget geographic-gossip runs at `n ∈ {1024, 4096}`
+//!   through `AsyncEngine::run_probed` (a counting probe attached) and
+//!   `AsyncEngine::run` (the `NoProbe` monomorphization), asserts the reports
+//!   are **bit-identical** (a probe observes, never steers), and **appends**
+//!   the whole-loop medians and the overhead percentage to the file's
+//!   `telemetry_overhead` array.
 //! * `--smoke` (combinable with every mode) shrinks sizes and sample counts
 //!   to seconds-scale so CI can exercise each append mode — and the
 //!   never-clobber JSON parsing they share — against a scratch file on every
@@ -443,6 +450,99 @@ fn measure_net(
     }
 }
 
+/// One telemetry-overhead measurement at size `n`: whole fixed-budget runs
+/// with a probe attached and absent, reduced to per-tick medians.
+struct TelemetryBaseline {
+    n: usize,
+    ticks_per_run: u64,
+    samples: usize,
+    probed_ns: f64,
+    unprobed_ns: f64,
+    events_per_run: u64,
+}
+
+/// A minimal counting probe: the cheapest real subscriber, so the measured
+/// gap prices the probe plumbing itself (event construction + dyn dispatch),
+/// not any particular sink's I/O.
+#[derive(Default)]
+struct CountingProbe {
+    events: u64,
+}
+
+impl geogossip_telemetry::Probe for CountingProbe {
+    fn on_event(&mut self, event: geogossip_telemetry::Event) {
+        std::hint::black_box(&event);
+        self.events += 1;
+    }
+}
+
+/// Times complete geographic-gossip runs capped at `ticks_per_run` ticks
+/// through `AsyncEngine::run_probed` (counting probe attached) and
+/// `AsyncEngine::run` (the `NoProbe` monomorphization), from identical seeds
+/// on the same instance. The two reports are asserted **bit-identical** every
+/// sample — a probe observes, it never steers — so the ratio prices exactly
+/// the telemetry hook: per-tick event construction plus one dyn call on the
+/// probed side, and on the unprobed side whatever the `NoProbe` path failed
+/// to compile away (the no-probe-no-overhead invariant says: nothing).
+fn measure_telemetry(
+    n: usize,
+    ticks_per_run: u64,
+    samples: usize,
+    seeds: &SeedStream,
+) -> TelemetryBaseline {
+    let positions = sample_unit_square(n, &mut seeds.trial("bench-placement", n as u64));
+    let graph = GeometricGraph::build_at_connectivity_radius(positions, 2.0);
+    let values: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+    let stop = StopCondition::at_epsilon(1e-12).with_max_ticks(ticks_per_run);
+
+    let mut events_per_run = 0u64;
+    let mut run_once = |probed: bool| -> (f64, geogossip_sim::EngineReport) {
+        let mut rng = ChaCha8Rng::seed_from_u64(4242);
+        let mut engine = AsyncEngine::new(n);
+        let mut protocol = GeographicGossip::new(&graph, values.clone()).expect("valid instance");
+        let start = Instant::now();
+        let report = if probed {
+            let mut probe = CountingProbe::default();
+            let report = engine.run_probed(&mut protocol, stop, &mut rng, &mut probe);
+            events_per_run = probe.events;
+            report
+        } else {
+            engine.run(&mut protocol, stop, &mut rng)
+        };
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(report.reason, StopReason::TickBudgetExhausted);
+        assert_eq!(report.ticks, ticks_per_run);
+        (elapsed * 1e9 / ticks_per_run as f64, report)
+    };
+
+    let median = |timings: &mut Vec<f64>| -> f64 {
+        timings.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        timings[timings.len() / 2]
+    };
+    // Alternate the two paths so slow drift affects both medians equally, and
+    // hold the comparison to bit-identical work.
+    let mut probed_timings = Vec::with_capacity(samples);
+    let mut unprobed_timings = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let (probed_ns, probed_report) = run_once(true);
+        let (unprobed_ns, unprobed_report) = run_once(false);
+        assert_eq!(
+            probed_report, unprobed_report,
+            "probed engine diverged from the unprobed oracle at n={n}"
+        );
+        probed_timings.push(probed_ns);
+        unprobed_timings.push(unprobed_ns);
+    }
+    TelemetryBaseline {
+        n,
+        ticks_per_run,
+        samples,
+        probed_ns: median(&mut probed_timings),
+        unprobed_ns: median(&mut unprobed_timings),
+        events_per_run,
+    }
+}
+
 /// One intra-trial parallelism measurement at size `n`: whole fixed-budget
 /// runs through the parallel engine and the sequential engine, reduced to
 /// per-tick medians.
@@ -565,6 +665,45 @@ fn append_intra_baseline(out_path: &str, smoke: bool) {
         .collect();
     append_records(out_path, "intra_trial", records);
     println!("appended intra-trial parallelism baseline to {out_path}");
+}
+
+/// Appends the probed-vs-unprobed whole-loop medians to `out_path`'s
+/// `telemetry_overhead` array, preserving every existing entry of the file.
+fn append_telemetry_baseline(out_path: &str, smoke: bool) {
+    let seeds = SeedStream::new(20070612);
+    // Budgets stay well short of convergence to 1e-12, so both paths execute
+    // exactly the same ticks; sizes match the classic hot-path series.
+    let sizes: &[(usize, u64, usize)] = if smoke {
+        &[(256, 2_000, 3), (512, 2_000, 3)]
+    } else {
+        &[(1_024, 8_192, 5), (4_096, 16_384, 5)]
+    };
+    let records: Vec<JsonValue> = sizes
+        .iter()
+        .map(|&(n, ticks_per_run, samples)| {
+            let b = measure_telemetry(n, ticks_per_run, samples, &seeds);
+            let overhead_pct = (b.probed_ns / b.unprobed_ns - 1.0) * 100.0;
+            println!(
+                "n={:5}  probed tick {:>8.0} ns ({} events/run) | unprobed tick {:>8.0} ns | overhead {:+.1}%",
+                b.n, b.probed_ns, b.events_per_run, b.unprobed_ns, overhead_pct
+            );
+            JsonValue::object(vec![
+                ("n", b.n.into()),
+                ("ticks_per_sample", b.ticks_per_run.into()),
+                ("samples", b.samples.into()),
+                ("smoke", JsonValue::Bool(smoke)),
+                ("events_per_run", b.events_per_run.into()),
+                ("probed_tick_median_ns", b.probed_ns.round().into()),
+                ("unprobed_tick_median_ns", b.unprobed_ns.round().into()),
+                (
+                    "overhead_pct",
+                    ((overhead_pct * 10.0).round() / 10.0).into(),
+                ),
+            ])
+        })
+        .collect();
+    append_records(out_path, "telemetry_overhead", records);
+    println!("appended telemetry-overhead baseline to {out_path}");
 }
 
 /// Appends the net-scheduler-vs-engine medians to `out_path`'s `net_runtime`
@@ -835,6 +974,7 @@ fn main() {
     let mut append_trial = false;
     let mut append_net = false;
     let mut append_intra = false;
+    let mut append_telemetry = false;
     let mut smoke = false;
     let mut out_path: Option<String> = None;
     for arg in std::env::args().skip(1) {
@@ -850,13 +990,15 @@ fn main() {
             append_net = true;
         } else if arg == "--append-intra" {
             append_intra = true;
+        } else if arg == "--append-telemetry" {
+            append_telemetry = true;
         } else if arg == "--smoke" {
             smoke = true;
         } else if arg.starts_with('-') {
             eprintln!(
                 "unknown flag `{arg}` (supported: --append-dyn, --append-build, \
                  --append-tick-large, --append-trial, --append-net, \
-                 --append-intra, --smoke)"
+                 --append-intra, --append-telemetry, --smoke)"
             );
             std::process::exit(2);
         } else if out_path.replace(arg).is_some() {
@@ -871,7 +1013,13 @@ fn main() {
         eprintln!("--smoke requires an explicit scratch output path");
         std::process::exit(2);
     }
-    if append_dyn || append_build || append_tick_large || append_trial || append_net || append_intra
+    if append_dyn
+        || append_build
+        || append_tick_large
+        || append_trial
+        || append_net
+        || append_intra
+        || append_telemetry
     {
         if append_dyn {
             append_dyn_baseline(&out_path, smoke);
@@ -890,6 +1038,9 @@ fn main() {
         }
         if append_intra {
             append_intra_baseline(&out_path, smoke);
+        }
+        if append_telemetry {
+            append_telemetry_baseline(&out_path, smoke);
         }
         return;
     }

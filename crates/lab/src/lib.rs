@@ -44,4 +44,4 @@ pub use aggregate::{
 };
 pub use log::{CellRecord, LogContents, ResultsLog, TrialOutcome};
 pub use report::SweepReport;
-pub use run::{run_sweep, SweepOptions, SweepOutcome, SweepProgress};
+pub use run::{run_sweep, run_sweep_probed, SweepOptions, SweepOutcome, SweepProgress};

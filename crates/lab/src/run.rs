@@ -11,6 +11,7 @@
 use crate::log::{CellRecord, ResultsLog};
 use geogossip_sim::scenario::{Runner, SweepSpec};
 use geogossip_sim::ProtocolError;
+use geogossip_telemetry::{Event, Probe};
 use std::collections::BTreeMap;
 use std::path::Path;
 
@@ -74,7 +75,34 @@ pub fn run_sweep(
     sweep: &SweepSpec,
     log_path: Option<&Path>,
     options: &SweepOptions,
+    progress: impl FnMut(SweepProgress<'_>),
+) -> Result<SweepOutcome, ProtocolError> {
+    run_sweep_inner(runner, sweep, log_path, options, progress, None)
+}
+
+/// Runs (or resumes) a sweep exactly like [`run_sweep`] while streaming
+/// telemetry into `probe`: each *executed* cell is bracketed by
+/// `cell-started` / `cell-finished` events (the latter carrying the per-cell
+/// summary counters), with the cell's per-trial event stream in between.
+/// Cells skipped from the results log emit nothing — they did not run.
+pub fn run_sweep_probed(
+    runner: &Runner,
+    sweep: &SweepSpec,
+    log_path: Option<&Path>,
+    options: &SweepOptions,
+    progress: impl FnMut(SweepProgress<'_>),
+    probe: &mut dyn Probe,
+) -> Result<SweepOutcome, ProtocolError> {
+    run_sweep_inner(runner, sweep, log_path, options, progress, Some(probe))
+}
+
+fn run_sweep_inner(
+    runner: &Runner,
+    sweep: &SweepSpec,
+    log_path: Option<&Path>,
+    options: &SweepOptions,
     mut progress: impl FnMut(SweepProgress<'_>),
+    mut probe: Option<&mut dyn Probe>,
 ) -> Result<SweepOutcome, ProtocolError> {
     sweep.validate()?;
     let cells = sweep.expand();
@@ -137,7 +165,25 @@ pub fn run_sweep(
             continue;
         }
         let start = std::time::Instant::now();
-        let report = runner.run(&cell.spec)?;
+        let report = match probe.as_deref_mut() {
+            Some(probe) => {
+                probe.on_event(Event::CellStarted {
+                    index: cell.index,
+                    name: cell.spec.name.clone(),
+                });
+                let report = runner.run_probed(&cell.spec, probe)?;
+                probe.on_event(Event::CellFinished {
+                    index: cell.index,
+                    name: cell.spec.name.clone(),
+                    trials: report.trials.len() as u64,
+                    converged_trials: report.trials.iter().filter(|t| t.converged).count() as u64,
+                    ticks: report.trials.iter().map(|t| t.ticks).sum(),
+                    transmissions: report.trials.iter().map(|t| t.transmissions.total()).sum(),
+                });
+                report
+            }
+            None => runner.run(&cell.spec)?,
+        };
         let record = CellRecord::new(cell, &report);
         if let Some(path) = log_path {
             ResultsLog::append(path, &record)?;

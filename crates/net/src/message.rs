@@ -53,6 +53,11 @@ pub enum Message {
         /// destination; `None` for position-addressed routing
         /// (`nearest-position`), where the greedy terminus *is* the partner.
         dest: Option<NodeId>,
+        /// Hops taken on the outbound leg so far (1 on the first send, +1 per
+        /// forward). Pure bookkeeping for the `route-resolved` telemetry
+        /// event; the scheduler treats message contents as opaque, so routing
+        /// behavior and parity are untouched.
+        hops: u32,
     },
     /// Geographic gossip, return leg: the terminus' value greedy-routed back
     /// toward the activated sensor.

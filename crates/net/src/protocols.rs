@@ -26,6 +26,7 @@ use geogossip_routing::greedy::{greedy_step, greedy_step_masked};
 use geogossip_routing::TargetSelector;
 use geogossip_sim::engine::SquaredError;
 use geogossip_sim::ProtocolError;
+use geogossip_telemetry::Event;
 use rand::{Rng, RngCore};
 
 /// Validation shared by both actors, mirroring the oracle constructors.
@@ -78,7 +79,7 @@ impl<'a> PairwiseNet<'a> {
 }
 
 impl NetProtocol for PairwiseNet<'_> {
-    fn on_activation(&mut self, node: NodeId, ctx: &mut NetContext<'_>, rng: &mut dyn RngCore) {
+    fn on_activation(&mut self, node: NodeId, ctx: &mut NetContext<'_, '_>, rng: &mut dyn RngCore) {
         let neighbors = self.graph.neighbors(node);
         // Partner draw order mirrors the oracle's faulty step exactly: the
         // masked (count-live, gen_range, nth) draw runs only while some
@@ -115,7 +116,7 @@ impl NetProtocol for PairwiseNet<'_> {
         );
     }
 
-    fn on_message(&mut self, at: NodeId, message: Message, ctx: &mut NetContext<'_>) {
+    fn on_message(&mut self, at: NodeId, message: Message, ctx: &mut NetContext<'_, '_>) {
         match message {
             Message::Exchange { origin, value } => {
                 // Oracle argument order: activated node's value first.
@@ -242,7 +243,7 @@ impl<'a> GeographicNet<'a> {
 
     /// Starts the return leg from terminus `p` back to the activated sensor
     /// `s`, carrying `p`'s current value.
-    fn begin_reply(&mut self, p: NodeId, s: NodeId, ctx: &mut NetContext<'_>) {
+    fn begin_reply(&mut self, p: NodeId, s: NodeId, ctx: &mut NetContext<'_, '_>) {
         let reply = Message::RouteReply {
             origin: p,
             dest: s,
@@ -262,7 +263,7 @@ impl<'a> GeographicNet<'a> {
 }
 
 impl NetProtocol for GeographicNet<'_> {
-    fn on_activation(&mut self, node: NodeId, ctx: &mut NetContext<'_>, rng: &mut dyn RngCore) {
+    fn on_activation(&mut self, node: NodeId, ctx: &mut NetContext<'_, '_>, rng: &mut dyn RngCore) {
         if self.graph.len() < 2 {
             return;
         }
@@ -283,6 +284,7 @@ impl NetProtocol for GeographicNet<'_> {
                             origin: node,
                             target,
                             dest: None,
+                            hops: 1,
                         },
                     ),
                 }
@@ -302,6 +304,13 @@ impl NetProtocol for GeographicNet<'_> {
                         // is a distinct node) and the oracle then drops the
                         // round at its partner == s check, uncharged.
                         self.failed_routes += 1;
+                        ctx.emit(Event::RouteResolved {
+                            origin: node.index() as u32,
+                            terminus: node.index() as u32,
+                            hops: 0,
+                            delivered: false,
+                            sim_time: ctx.now(),
+                        });
                     }
                     Some(next) => ctx.send_routed(
                         next,
@@ -309,6 +318,7 @@ impl NetProtocol for GeographicNet<'_> {
                             origin: node,
                             target,
                             dest: Some(partner),
+                            hops: 1,
                         },
                     ),
                 }
@@ -316,12 +326,13 @@ impl NetProtocol for GeographicNet<'_> {
         }
     }
 
-    fn on_message(&mut self, at: NodeId, message: Message, ctx: &mut NetContext<'_>) {
+    fn on_message(&mut self, at: NodeId, message: Message, ctx: &mut NetContext<'_, '_>) {
         match message {
             Message::RouteRequest {
                 origin,
                 target,
                 dest,
+                hops,
             } => match self.step(at, target, ctx.alive_mask()) {
                 Some(next) => ctx.send_routed(
                     next,
@@ -329,15 +340,24 @@ impl NetProtocol for GeographicNet<'_> {
                         origin,
                         target,
                         dest,
+                        hops: hops + 1,
                     },
                 ),
                 None => {
                     // `at` is the greedy terminus. A node-addressed route that
                     // stopped short of its destination is a failed delivery
                     // (the exchange still proceeds with the terminus).
-                    if dest.is_some_and(|d| d != at) {
+                    let delivered = dest.is_none_or(|d| d == at);
+                    if !delivered {
                         self.failed_routes += 1;
                     }
+                    ctx.emit(Event::RouteResolved {
+                        origin: origin.index() as u32,
+                        terminus: at.index() as u32,
+                        hops,
+                        delivered,
+                        sim_time: ctx.now(),
+                    });
                     self.begin_reply(at, origin, ctx);
                 }
             },

@@ -19,6 +19,7 @@ use geogossip_sim::fault::FaultSpec;
 use geogossip_sim::scenario::ProtocolSpec;
 use geogossip_sim::transport::{ReliabilitySpec, TransportRuntime, TransportSpec, TransportTrial};
 use geogossip_sim::ProtocolError;
+use geogossip_telemetry::Probe;
 use rand::RngCore;
 use rand_chacha::ChaCha8Rng;
 
@@ -83,6 +84,7 @@ impl TransportRuntime for NetRuntime {
         rng: &mut dyn RngCore,
         net_rng: &mut dyn RngCore,
         fault_rng: ChaCha8Rng,
+        probe: Option<&mut (dyn Probe + '_)>,
     ) -> Result<TransportTrial, ProtocolError> {
         transport.validate()?;
         if faults.drop_rate > 0.0 {
@@ -101,7 +103,7 @@ impl TransportRuntime for NetRuntime {
             "pairwise" => {
                 protocol.reject_unknown(&[])?;
                 let mut net = PairwiseNet::new(graph, values)?;
-                let (report, ledger) = NetScheduler::new(graph.len()).run_wire(
+                let (report, ledger) = NetScheduler::new(graph.len()).run_wire_probed(
                     &mut net,
                     stop,
                     transport.latency,
@@ -109,6 +111,7 @@ impl TransportRuntime for NetRuntime {
                     plan.as_mut(),
                     rng,
                     net_rng,
+                    probe,
                 );
                 Ok(finish(
                     &net,
@@ -145,7 +148,7 @@ impl TransportRuntime for NetRuntime {
                     }
                 };
                 let mut net = GeographicNet::with_selector(graph, values, selector)?;
-                let (report, ledger) = NetScheduler::new(graph.len()).run_wire(
+                let (report, ledger) = NetScheduler::new(graph.len()).run_wire_probed(
                     &mut net,
                     stop,
                     transport.latency,
@@ -153,6 +156,7 @@ impl TransportRuntime for NetRuntime {
                     plan.as_mut(),
                     rng,
                     net_rng,
+                    probe,
                 );
                 Ok(finish(
                     &net,
@@ -211,6 +215,7 @@ mod tests {
             &mut rng,
             &mut net_rng,
             ChaCha8Rng::seed_from_u64(13),
+            None,
         )
     }
 
@@ -407,6 +412,7 @@ mod tests {
                 &mut rng,
                 &mut net_rng,
                 ChaCha8Rng::seed_from_u64(23),
+                None,
             )
             .unwrap();
         assert!(trial.report.converged());

@@ -53,6 +53,7 @@ use geogossip_sim::engine::{DEFAULT_MAX_TRACE_POINTS, SQ_THRESHOLD_SLACK};
 use geogossip_sim::metrics::{ConvergenceTrace, TracePoint, TransmissionCounter};
 use geogossip_sim::transport::{LatencyModel, ReliabilitySpec};
 use geogossip_sim::{EventQueue, GlobalPoissonClock};
+use geogossip_telemetry::{Event, Probe};
 use rand::{Rng, RngCore};
 use std::collections::HashSet;
 
@@ -162,7 +163,7 @@ impl MessageLedger {
 /// deliveries. `now` is the activation tick time (for activations) or the
 /// message's own arrival time (for deliveries), so cascaded sends are
 /// scheduled relative to when the sender actually acted.
-pub struct NetContext<'a> {
+pub struct NetContext<'a, 'p> {
     pub(crate) now: f64,
     pub(crate) latency: LatencyModel,
     pub(crate) reliability: ReliabilitySpec,
@@ -173,9 +174,10 @@ pub struct NetContext<'a> {
     pub(crate) next_id: &'a mut u64,
     pub(crate) alive: &'a [bool],
     pub(crate) stale: &'a [bool],
+    pub(crate) probe: Option<&'a mut (dyn Probe + 'p)>,
 }
 
-impl<'a> NetContext<'a> {
+impl<'a, 'p> NetContext<'a, 'p> {
     /// The simulation time the current activation or delivery runs at.
     pub fn now(&self) -> f64 {
         self.now
@@ -201,6 +203,21 @@ impl<'a> NetContext<'a> {
     /// shared-memory `FaultContext`).
     pub fn alive_mask(&self) -> &'a [bool] {
         self.alive
+    }
+
+    /// Emits a telemetry event to the attached probe, if any. Events must
+    /// derive only from simulation state (sim-time, ids, counters) — never
+    /// the wall clock — so probed streams stay byte-identical across reruns.
+    pub fn emit(&mut self, event: Event) {
+        if let Some(probe) = self.probe.as_deref_mut() {
+            probe.on_event(event);
+        }
+    }
+
+    /// Whether a telemetry probe is attached and enabled (lets handlers skip
+    /// building events that would go nowhere).
+    pub fn probed(&self) -> bool {
+        self.probe.as_ref().is_some_and(|p| p.enabled())
     }
 
     /// Sends a one-hop local message, charged as one local transmission.
@@ -252,6 +269,11 @@ impl<'a> NetContext<'a> {
         let delay = self.latency.sample(self.net_rng);
         self.ledger.sent += 1;
         self.ledger.in_flight_peak = self.ledger.in_flight_peak.max(self.ledger.in_flight());
+        self.emit(Event::MessageDispatched {
+            id,
+            to: to.index() as u32,
+            sim_time: self.now,
+        });
         let rel = self.reliability;
         if rel.is_lossless() {
             self.queue.schedule(
@@ -268,6 +290,12 @@ impl<'a> NetContext<'a> {
         let dropped = rel.drop > 0.0 && self.net_rng.gen::<f64>() < rel.drop;
         if dropped {
             self.ledger.dropped += 1;
+            self.emit(Event::MessageDropped {
+                id,
+                to: to.index() as u32,
+                attempt,
+                sim_time: self.now,
+            });
             if attempt <= rel.retry.max_retries {
                 // Exponential backoff: the k-th retransmission fires
                 // timeout·backoff^(k-1) after the attempt it replaces.
@@ -305,6 +333,11 @@ impl<'a> NetContext<'a> {
             self.ledger.duplicated += 1;
             self.ledger.sent += 1;
             self.ledger.in_flight_peak = self.ledger.in_flight_peak.max(self.ledger.in_flight());
+            self.emit(Event::MessageDispatched {
+                id,
+                to: to.index() as u32,
+                sim_time: self.now,
+            });
             self.queue.schedule(
                 self.now + delay,
                 Envelope {
@@ -328,10 +361,10 @@ impl<'a> NetContext<'a> {
 /// handlers access to it makes stream divergence unrepresentable.
 pub trait NetProtocol {
     /// A sensor's Poisson clock ticked: start a round (or record why not).
-    fn on_activation(&mut self, node: NodeId, ctx: &mut NetContext<'_>, rng: &mut dyn RngCore);
+    fn on_activation(&mut self, node: NodeId, ctx: &mut NetContext<'_, '_>, rng: &mut dyn RngCore);
 
     /// A message addressed to `at` arrived.
-    fn on_message(&mut self, at: NodeId, message: Message, ctx: &mut NetContext<'_>);
+    fn on_message(&mut self, at: NodeId, message: Message, ctx: &mut NetContext<'_, '_>);
 
     /// Current ℓ₂ error relative to the initial error (the stop metric).
     fn relative_error(&self) -> f64;
@@ -396,6 +429,34 @@ impl NetScheduler {
         )
     }
 
+    /// Runs `protocol` exactly like [`NetScheduler::run_wire`] — same loop,
+    /// same draws, same report — while streaming telemetry events into
+    /// `probe`. `run_wire` is this with `probe = None`; the unprobed path
+    /// never constructs an event.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_wire_probed(
+        &mut self,
+        protocol: &mut dyn NetProtocol,
+        stop: StopCondition,
+        latency: LatencyModel,
+        reliability: ReliabilitySpec,
+        faults: Option<&mut NetFaultPlan>,
+        rng: &mut dyn RngCore,
+        net_rng: &mut dyn RngCore,
+        probe: Option<&mut (dyn Probe + '_)>,
+    ) -> (EngineReport, MessageLedger) {
+        self.run_wire_inner(
+            protocol,
+            stop,
+            latency,
+            reliability,
+            faults,
+            rng,
+            net_rng,
+            probe,
+        )
+    }
+
     /// Runs `protocol` under the given latency schedule, wire reliability,
     /// and optional node-fault plan until `stop` is met.
     ///
@@ -423,9 +484,33 @@ impl NetScheduler {
         stop: StopCondition,
         latency: LatencyModel,
         reliability: ReliabilitySpec,
+        faults: Option<&mut NetFaultPlan>,
+        rng: &mut dyn RngCore,
+        net_rng: &mut dyn RngCore,
+    ) -> (EngineReport, MessageLedger) {
+        self.run_wire_inner(
+            protocol,
+            stop,
+            latency,
+            reliability,
+            faults,
+            rng,
+            net_rng,
+            None,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_wire_inner(
+        &mut self,
+        protocol: &mut dyn NetProtocol,
+        stop: StopCondition,
+        latency: LatencyModel,
+        reliability: ReliabilitySpec,
         mut faults: Option<&mut NetFaultPlan>,
         rng: &mut dyn RngCore,
         net_rng: &mut dyn RngCore,
+        mut probe: Option<&mut (dyn Probe + '_)>,
     ) -> (EngineReport, MessageLedger) {
         let mut clock = GlobalPoissonClock::new(self.n);
         let mut queue: EventQueue<Envelope> = EventQueue::new();
@@ -460,6 +545,13 @@ impl NetScheduler {
                 _ => false,
             };
             if !clearly_above && protocol.relative_error() <= stop.epsilon {
+                if let Some(probe) = probe.as_deref_mut() {
+                    probe.on_event(Event::ConvergenceCrossed {
+                        tick: ticks,
+                        transmissions: tx.total(),
+                        relative_error: protocol.relative_error(),
+                    });
+                }
                 break StopReason::Converged;
             }
             if stop.max_ticks.is_some_and(|m| ticks >= m) {
@@ -485,6 +577,12 @@ impl NetScheduler {
                 if let Some(plan) = faults.as_deref_mut() {
                     plan.record_dead_activation();
                 }
+                if let Some(probe) = probe.as_deref_mut() {
+                    probe.on_event(Event::ActivationDead {
+                        tick: tick.index,
+                        node: tick.node.index() as u32,
+                    });
+                }
             }
             let (alive, stale): (&[bool], &[bool]) = faults
                 .as_deref()
@@ -503,8 +601,17 @@ impl NetScheduler {
                 &mut seen,
                 alive,
                 stale,
+                probe.as_deref_mut(),
             );
             if !node_dead {
+                if stale.get(tick.node.index()).copied().unwrap_or(false) {
+                    if let Some(probe) = probe.as_deref_mut() {
+                        probe.on_event(Event::ActivationStale {
+                            tick: tick.index,
+                            node: tick.node.index() as u32,
+                        });
+                    }
+                }
                 let mut ctx = NetContext {
                     now: tick.time,
                     latency,
@@ -516,6 +623,7 @@ impl NetScheduler {
                     next_id: &mut next_id,
                     alive,
                     stale,
+                    probe: probe.as_deref_mut(),
                 };
                 protocol.on_activation(tick.node, &mut ctx, rng);
             }
@@ -532,7 +640,16 @@ impl NetScheduler {
                 &mut seen,
                 alive,
                 stale,
+                probe.as_deref_mut(),
             );
+            if let Some(probe) = probe.as_deref_mut() {
+                probe.on_event(Event::TickCommitted {
+                    tick: tick.index,
+                    node: tick.node.index() as u32,
+                    sim_time: tick.time,
+                    transmissions: tx.total(),
+                });
+            }
 
             if tick.index.is_multiple_of(stride) {
                 while trace.len() >= self.max_trace_points {
@@ -590,6 +707,7 @@ fn deliver_due(
     seen: &mut [HashSet<u64>],
     alive: &[bool],
     stale: &[bool],
+    mut probe: Option<&mut (dyn Probe + '_)>,
 ) {
     while queue.peek_time().is_some_and(|t| t <= horizon) {
         let event = queue.pop().expect("peek_time saw a due event");
@@ -607,6 +725,14 @@ fn deliver_due(
                     ChargeKind::Routed => tx.charge_routing(1),
                     ChargeKind::Free => {}
                 }
+                if let Some(probe) = probe.as_deref_mut() {
+                    probe.on_event(Event::MessageRetried {
+                        id,
+                        to: to.index() as u32,
+                        attempt,
+                        sim_time: event.time,
+                    });
+                }
                 let mut ctx = NetContext {
                     now: event.time,
                     latency,
@@ -618,11 +744,22 @@ fn deliver_due(
                     next_id,
                     alive,
                     stale,
+                    probe: probe.as_deref_mut(),
                 };
                 ctx.dispatch(to, message, charge, id, attempt);
             }
             EnvelopeKind::Deliver => {
                 ledger.delivered += 1;
+                if let Some(probe) = probe.as_deref_mut() {
+                    // Discarded and suppressed deliveries still emit: like the
+                    // ledger, the event records that the message left the
+                    // wire, not that a handler ran.
+                    probe.on_event(Event::MessageDelivered {
+                        id,
+                        to: to.index() as u32,
+                        sim_time: event.time,
+                    });
+                }
                 if !alive.get(to.index()).copied().unwrap_or(true) {
                     // The recipient died while the message was in flight: the
                     // delivery is discarded (a dead sensor cannot act), and —
@@ -647,6 +784,7 @@ fn deliver_due(
                     next_id,
                     alive,
                     stale,
+                    probe: probe.as_deref_mut(),
                 };
                 protocol.on_message(to, message, &mut ctx);
             }
@@ -672,14 +810,14 @@ mod tests {
         fn on_activation(
             &mut self,
             node: NodeId,
-            ctx: &mut NetContext<'_>,
+            ctx: &mut NetContext<'_, '_>,
             _rng: &mut dyn RngCore,
         ) {
             let peer = NodeId(1 - node.index());
             ctx.send_local(peer, Message::Commit { value: 1.0 });
         }
 
-        fn on_message(&mut self, _at: NodeId, _message: Message, _ctx: &mut NetContext<'_>) {
+        fn on_message(&mut self, _at: NodeId, _message: Message, _ctx: &mut NetContext<'_, '_>) {
             self.bounces += 1;
             self.error *= 0.5;
         }

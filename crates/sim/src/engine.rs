@@ -41,6 +41,7 @@
 use crate::clock::{BatchedPoissonClock, GlobalPoissonClock, Tick};
 use crate::metrics::{ConvergenceTrace, TracePoint, TransmissionCounter};
 use geogossip_geometry::point::NodeId;
+use geogossip_telemetry::{Event, NoProbe, Probe};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
@@ -189,6 +190,25 @@ pub trait Activation {
         self.on_tick(tick, tx, rng);
     }
 
+    /// Handles a tick with a live telemetry probe attached: like
+    /// [`Activation::on_tick`], plus the probe, so wrappers that observe
+    /// per-tick outcomes (the fault layer's dead/lost/stale activations) can
+    /// emit events. Engines call this **only** when a probe is attached and
+    /// enabled; the unprobed hot path still calls `on_tick`, so the default
+    /// forward here costs nothing when telemetry is off. Overrides must keep
+    /// the simulation behaviour (state changes, charges, RNG draws) identical
+    /// to `on_tick` — a probe is a pure observer.
+    fn on_tick_probed(
+        &mut self,
+        tick: Tick,
+        tx: &mut TransmissionCounter,
+        rng: &mut dyn RngCore,
+        probe: &mut dyn Probe,
+    ) {
+        let _ = probe;
+        self.on_tick(tick, tx, rng);
+    }
+
     /// The protocol's batched view, when its ticks can be split into a
     /// sequential RNG-draw stage and a concurrent resolution stage (see
     /// [`crate::batch::BatchActivation`]). The default declares no support,
@@ -266,6 +286,18 @@ pub enum StopReason {
     /// The protocol reported ([`Activation::halted`]) that it can make no
     /// further progress (stall detector or internal round cap).
     ProtocolStalled,
+}
+
+impl StopReason {
+    /// Stable kebab-case token used by telemetry event streams.
+    pub fn token(self) -> &'static str {
+        match self {
+            StopReason::Converged => "converged",
+            StopReason::TickBudgetExhausted => "tick-budget-exhausted",
+            StopReason::TransmissionBudgetExhausted => "transmission-budget-exhausted",
+            StopReason::ProtocolStalled => "protocol-stalled",
+        }
+    }
 }
 
 /// Summary of one engine run.
@@ -383,6 +415,45 @@ impl AsyncEngine {
         P: Activation + ?Sized,
         R: RngCore + ?Sized,
     {
+        // `NoProbe::enabled()` is a compile-time `false`: this call
+        // monomorphizes to exactly the pre-telemetry loop, with no event
+        // construction and no probe branch surviving codegen (pinned by
+        // `tests/telemetry_parity.rs`).
+        self.run_with(protocol, stop, rng, NoProbe)
+    }
+
+    /// Like [`AsyncEngine::run`], but streaming deterministic events into
+    /// `probe`: one [`Event::TickCommitted`] per tick, plus
+    /// [`Event::ConvergenceCrossed`] when the stop check first confirms the
+    /// threshold. Event content derives only from simulation state, so the
+    /// stream is byte-identical across reruns; the report and RNG consumption
+    /// are identical to the unprobed run.
+    pub fn run_probed<P, R>(
+        &mut self,
+        protocol: &mut P,
+        stop: StopCondition,
+        rng: &mut R,
+        probe: &mut dyn Probe,
+    ) -> EngineReport
+    where
+        P: Activation + ?Sized,
+        R: RngCore + ?Sized,
+    {
+        self.run_with(protocol, stop, rng, probe)
+    }
+
+    fn run_with<P, R, Pr>(
+        &mut self,
+        protocol: &mut P,
+        stop: StopCondition,
+        rng: &mut R,
+        mut probe: Pr,
+    ) -> EngineReport
+    where
+        P: Activation + ?Sized,
+        R: RngCore + ?Sized,
+        Pr: Probe,
+    {
         let self_paced = protocol.clocking() == Clocking::SelfPaced;
         let mut stride = protocol
             .trace_interval()
@@ -417,6 +488,13 @@ impl AsyncEngine {
                 _ => false,
             };
             if !clearly_above && protocol.relative_error() <= stop.epsilon {
+                if probe.enabled() {
+                    probe.on_event(Event::ConvergenceCrossed {
+                        tick: ticks,
+                        transmissions: tx.total(),
+                        relative_error: protocol.relative_error(),
+                    });
+                }
                 break StopReason::Converged;
             }
             if protocol.halted() {
@@ -443,7 +521,17 @@ impl AsyncEngine {
             // `&mut &mut R` coerces to `&mut dyn RngCore` via the blanket
             // `RngCore for &mut R` impl, without requiring `R: Sized`.
             let mut reborrow = &mut *rng;
-            protocol.on_tick(tick, &mut tx, &mut reborrow);
+            if probe.enabled() {
+                protocol.on_tick_probed(tick, &mut tx, &mut reborrow, &mut probe);
+                probe.on_event(Event::TickCommitted {
+                    tick: tick.index,
+                    node: tick.node.index() as u32,
+                    sim_time: tick.time,
+                    transmissions: tx.total(),
+                });
+            } else {
+                protocol.on_tick(tick, &mut tx, &mut reborrow);
+            }
             if tick.index.is_multiple_of(stride) {
                 // Cap the trace by stride doubling: beyond the cap, halve the
                 // sampling density (thinning what was already recorded so the
@@ -509,11 +597,47 @@ impl AsyncEngine {
         P: crate::batch::BatchActivation + ?Sized,
         R: RngCore + Clone,
     {
+        self.run_parallel_with(protocol, stop, rng, par, NoProbe)
+    }
+
+    /// Like [`AsyncEngine::run_parallel`], but streaming deterministic events
+    /// into `probe`. Events are emitted from the sequential commit loop in
+    /// draw order, so the stream is byte-identical to
+    /// [`AsyncEngine::run_probed`]'s for every thread count and batch size;
+    /// a mid-batch stop emits nothing for the rewound (uncommitted) ticks.
+    pub fn run_parallel_probed<P, R>(
+        &mut self,
+        protocol: &mut P,
+        stop: StopCondition,
+        rng: &mut R,
+        par: crate::batch::ParallelSpec,
+        probe: &mut dyn Probe,
+    ) -> EngineReport
+    where
+        P: crate::batch::BatchActivation + ?Sized,
+        R: RngCore + Clone,
+    {
+        self.run_parallel_with(protocol, stop, rng, par, probe)
+    }
+
+    fn run_parallel_with<P, R, Pr>(
+        &mut self,
+        protocol: &mut P,
+        stop: StopCondition,
+        rng: &mut R,
+        par: crate::batch::ParallelSpec,
+        mut probe: Pr,
+    ) -> EngineReport
+    where
+        P: crate::batch::BatchActivation + ?Sized,
+        R: RngCore + Clone,
+        Pr: Probe,
+    {
         use crate::batch::{resolve_plan, ResolvedPlan, TickPlan, WavePartitioner};
         use rayon::prelude::*;
 
         if protocol.clocking() == Clocking::SelfPaced {
-            return self.run(protocol, stop, rng);
+            return self.run_with(protocol, stop, rng, probe);
         }
         let mut stride = protocol
             .trace_interval()
@@ -542,6 +666,13 @@ impl AsyncEngine {
             // after it are checked inside the commit loop, so every tick sees
             // the exact per-tick check order of the sequential engine.
             if let Some(reason) = check_stop(protocol, &stop, threshold_hi, ticks, &tx) {
+                if probe.enabled() && reason == StopReason::Converged {
+                    probe.on_event(Event::ConvergenceCrossed {
+                        tick: ticks,
+                        transmissions: tx.total(),
+                        relative_error: protocol.relative_error(),
+                    });
+                }
                 break 'outer reason;
             }
 
@@ -611,6 +742,13 @@ impl AsyncEngine {
                     if i > 0 {
                         if let Some(reason) = check_stop(protocol, &stop, threshold_hi, ticks, &tx)
                         {
+                            if probe.enabled() && reason == StopReason::Converged {
+                                probe.on_event(Event::ConvergenceCrossed {
+                                    tick: ticks,
+                                    transmissions: tx.total(),
+                                    relative_error: protocol.relative_error(),
+                                });
+                            }
                             stop_reason = Some(reason);
                             break 'commit;
                         }
@@ -619,6 +757,18 @@ impl AsyncEngine {
                     protocol.commit_plan(tick, &resolved[i], &mut tx);
                     ticks = tick.index;
                     committed += 1;
+                    if probe.enabled() {
+                        // Same position and content as the sequential loop's
+                        // post-`on_tick` emission: committed ticks replay in
+                        // draw order, so the stream matches `run_probed`'s
+                        // byte for byte at every thread count.
+                        probe.on_event(Event::TickCommitted {
+                            tick: tick.index,
+                            node: tick.node.index() as u32,
+                            sim_time: tick.time,
+                            transmissions: tx.total(),
+                        });
+                    }
                     if tick.index.is_multiple_of(stride) {
                         while trace.len() >= self.max_trace_points {
                             stride = stride.saturating_mul(2);

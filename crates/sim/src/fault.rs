@@ -55,6 +55,7 @@ use crate::error::ProtocolError;
 use crate::metrics::TransmissionCounter;
 use geogossip_analysis::json::JsonValue;
 use geogossip_graph::LivenessMask;
+use geogossip_telemetry::{Event, NoProbe, Probe};
 use rand::{Rng, RngCore};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -494,6 +495,55 @@ impl<'a> FaultyActivation<'a> {
             self.next_event += 1;
         }
     }
+
+    /// The single tick body behind both `on_tick` and `on_tick_probed`:
+    /// identical fault semantics and RNG draws, with event emission folding
+    /// away entirely when monomorphized over `NoProbe` (the unprobed trait
+    /// path), exactly like the engine's own hot loop.
+    fn tick_impl<Pr: Probe>(
+        &mut self,
+        tick: Tick,
+        tx: &mut TransmissionCounter,
+        rng: &mut dyn RngCore,
+        mut probe: Pr,
+    ) {
+        self.advance_schedule(tick.index);
+        if !self.mask.is_alive(tick.node.index()) {
+            // A dead sensor's clock still ticks, but nothing happens — and
+            // crucially no protocol randomness is consumed.
+            self.dead_activations += 1;
+            if probe.enabled() {
+                probe.on_event(Event::ActivationDead {
+                    tick: tick.index,
+                    node: tick.node.index() as u32,
+                });
+            }
+            return;
+        }
+        if probe.enabled() && self.stale.get(tick.node.index()).copied().unwrap_or(false) {
+            probe.on_event(Event::ActivationStale {
+                tick: tick.index,
+                node: tick.node.index() as u32,
+            });
+        }
+        let dropped = self.drop_rate > 0.0 && self.fault_rng.gen::<f64>() < self.drop_rate;
+        if dropped {
+            self.dropped_activations += 1;
+            if probe.enabled() {
+                probe.on_event(Event::ActivationLost {
+                    tick: tick.index,
+                    node: tick.node.index() as u32,
+                });
+            }
+        }
+        let alive = if self.mask.any_dead() {
+            self.mask.as_slice()
+        } else {
+            &[]
+        };
+        let context = FaultContext::new(dropped, alive, &self.stale);
+        self.inner.on_tick_faulty(tick, tx, rng, &context);
+    }
 }
 
 /// `k` distinct node indices by partial Fisher–Yates over `0..n`, from the
@@ -515,24 +565,17 @@ pub fn draw_distinct(n: usize, k: usize, rng: &mut ChaCha8Rng) -> Vec<u32> {
 
 impl Activation for FaultyActivation<'_> {
     fn on_tick(&mut self, tick: Tick, tx: &mut TransmissionCounter, rng: &mut dyn RngCore) {
-        self.advance_schedule(tick.index);
-        if !self.mask.is_alive(tick.node.index()) {
-            // A dead sensor's clock still ticks, but nothing happens — and
-            // crucially no protocol randomness is consumed.
-            self.dead_activations += 1;
-            return;
-        }
-        let dropped = self.drop_rate > 0.0 && self.fault_rng.gen::<f64>() < self.drop_rate;
-        if dropped {
-            self.dropped_activations += 1;
-        }
-        let alive = if self.mask.any_dead() {
-            self.mask.as_slice()
-        } else {
-            &[]
-        };
-        let context = FaultContext::new(dropped, alive, &self.stale);
-        self.inner.on_tick_faulty(tick, tx, rng, &context);
+        self.tick_impl(tick, tx, rng, NoProbe);
+    }
+
+    fn on_tick_probed(
+        &mut self,
+        tick: Tick,
+        tx: &mut TransmissionCounter,
+        rng: &mut dyn RngCore,
+        probe: &mut dyn Probe,
+    ) {
+        self.tick_impl(tick, tx, rng, probe);
     }
 
     fn relative_error(&self) -> f64 {

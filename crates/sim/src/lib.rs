@@ -30,6 +30,12 @@
 //!   the dedicated `"net"` seed stream) plus the [`transport::TransportRuntime`]
 //!   trait the message-passing `geogossip-net` crate implements.
 //! * [`rng`] — deterministic seed management so experiments are reproducible.
+//!
+//! The engine, the fault layer, and the scenario runner also accept a
+//! telemetry [`Probe`](geogossip_telemetry::Probe) (`run_probed` /
+//! `run_parallel_probed` / `Runner::run_probed`): deterministic structured
+//! events streamed off the hot path. An unprobed run monomorphizes over the
+//! zero-sized `NoProbe` and stays bit-identical to a probe-free build.
 //! * [`field`] — initial measurement fields (spike, ramp, spatial gradient…).
 //! * [`error`] — the [`ProtocolError`] shared by protocol constructors and
 //!   scenario validation.

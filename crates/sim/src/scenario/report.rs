@@ -35,6 +35,12 @@ pub struct TrialCost {
     /// Wall-clock seconds of the engine run alone; `ticks / engine_seconds`
     /// is the trial's tick throughput.
     pub engine_seconds: f64,
+    /// Wall-clock phase laps of the trial, in execution order (`graph`,
+    /// `field`, `build`, `engine`), from the telemetry `PhaseTimer`. Like
+    /// `seconds`/`engine_seconds` this is timing, not semantics: excluded
+    /// from equality and from report JSON (the telemetry sinks aggregate
+    /// phases into their own log-bucketed CSV instead).
+    pub phases: Vec<(&'static str, f64)>,
 }
 
 impl TrialCost {
@@ -149,6 +155,23 @@ impl ScenarioReport {
     /// Total engine ticks across trials.
     pub fn total_ticks(&self) -> u64 {
         self.trials.iter().map(|t| t.ticks).sum()
+    }
+
+    /// Wall-clock seconds summed per phase across trials, in first-seen
+    /// phase order — the source of the CLI's single `timing:` line. Like
+    /// [`ScenarioReport::total_seconds`], a sum of parallel trials (aggregate
+    /// compute time, not elapsed time).
+    pub fn phase_totals(&self) -> Vec<(&'static str, f64)> {
+        let mut totals: Vec<(&'static str, f64)> = Vec::new();
+        for trial in &self.trials {
+            for (phase, seconds) in &trial.phases {
+                match totals.iter_mut().find(|(name, _)| name == phase) {
+                    Some((_, sum)) => *sum += seconds,
+                    None => totals.push((phase, *seconds)),
+                }
+            }
+        }
+        totals
     }
 
     /// Per-trial engine tick throughput: total ticks over summed engine
@@ -273,6 +296,7 @@ mod tests {
             trace: ConvergenceTrace::new(),
             seconds: 0.25,
             engine_seconds: 0.2,
+            phases: vec![("graph", 0.05), ("engine", 0.2)],
         }
     }
 

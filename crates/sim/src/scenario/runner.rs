@@ -10,6 +10,7 @@ use crate::scenario::report::{ScenarioReport, TrialCost};
 use crate::scenario::spec::{ProtocolSpec, ScenarioSpec};
 use crate::transport::{TransportRuntime, NET_STREAM_LABEL};
 use geogossip_graph::GeometricGraph;
+use geogossip_telemetry::{Event, EventBuffer, PhaseTimer, Probe};
 use rand::RngCore;
 use rayon::prelude::*;
 
@@ -95,7 +96,7 @@ impl Runner {
         let tag = self.resolve_tag(spec)?;
         let outcomes: Vec<Result<(TrialCost, String), ProtocolError>> = (0..spec.trials)
             .into_par_iter()
-            .map(|trial| self.run_trial(spec, tag, trial))
+            .map(|trial| self.run_trial(spec, tag, trial, None))
             .collect();
         let mut label = spec.protocol.name.clone();
         let mut trials = Vec::with_capacity(outcomes.len());
@@ -134,7 +135,7 @@ impl Runner {
         let flat: Vec<Result<(TrialCost, String), ProtocolError>> = grid
             .clone()
             .into_par_iter()
-            .map(|(i, trial)| self.run_trial(&specs[i], tags[i], trial))
+            .map(|(i, trial)| self.run_trial(&specs[i], tags[i], trial, None))
             .collect();
 
         // Reassemble per scenario in trial order.
@@ -159,6 +160,40 @@ impl Runner {
             .collect())
     }
 
+    /// Runs one scenario with a telemetry probe attached.
+    ///
+    /// Trials still execute in parallel; each one records into a private
+    /// [`EventBuffer`] and the buffers are replayed into `probe` in trial
+    /// order after the join, so the observed stream is byte-identical to a
+    /// sequential run regardless of thread count. The report is identical to
+    /// [`Runner::run`]'s — events observe the simulation, never steer it.
+    pub fn run_probed(
+        &self,
+        spec: &ScenarioSpec,
+        probe: &mut dyn Probe,
+    ) -> Result<ScenarioReport, ProtocolError> {
+        spec.validate()?;
+        let tag = self.resolve_tag(spec)?;
+        let outcomes: Vec<Result<(TrialCost, String, EventBuffer), ProtocolError>> = (0..spec
+            .trials)
+            .into_par_iter()
+            .map(|trial| {
+                let mut buffer = EventBuffer::new();
+                self.run_trial(spec, tag, trial, Some(&mut buffer))
+                    .map(|(cost, label)| (cost, label, buffer))
+            })
+            .collect();
+        let mut label = spec.protocol.name.clone();
+        let mut trials = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            let (cost, trial_label, buffer) = outcome?;
+            label = trial_label;
+            trials.push(cost);
+            buffer.replay(probe);
+        }
+        Ok(ScenarioReport::new(spec.clone(), label, trials))
+    }
+
     fn resolve_tag(&self, spec: &ScenarioSpec) -> Result<u64, ProtocolError> {
         self.factory
             .seed_tag(&spec.protocol.name)
@@ -168,19 +203,35 @@ impl Runner {
     }
 
     /// One trial: placement → field → protocol → engine, every stream derived
-    /// from `(spec.seed, trial)`. Wall-clock timings (whole trial and engine
-    /// run) ride along in the [`TrialCost`]; they are observability only and
-    /// excluded from report equality.
+    /// from `(spec.seed, trial)`. Wall-clock timings (whole trial and the
+    /// `graph`/`field`/`build`/`engine` phase laps) ride along in the
+    /// [`TrialCost`]; they are observability only and excluded from report
+    /// equality.
+    ///
+    /// `probe = None` is the hot path: the engine monomorphizes over the
+    /// zero-sized `NoProbe` and the trial is bit-identical to a probe-free
+    /// build. A probed trial emits `TrialStarted` first and `TrialFinished`
+    /// last, bracketing the engine's own stream.
     fn run_trial(
         &self,
         spec: &ScenarioSpec,
         tag: u64,
         trial: u64,
+        mut probe: Option<&mut dyn Probe>,
     ) -> Result<(TrialCost, String), ProtocolError> {
         let trial_start = std::time::Instant::now();
+        let mut timer = PhaseTimer::start();
+        if let Some(probe) = probe.as_deref_mut() {
+            probe.on_event(Event::TrialStarted {
+                scenario: spec.name.clone(),
+                trial,
+            });
+        }
         let seeds = SeedStream::new(spec.seed);
         let graph = spec.topology.build(&seeds, trial);
+        timer.lap("graph");
         let values = spec.field.values(&graph, &mut seeds.trial("values", trial));
+        timer.lap("field");
         let mut rng = seeds.trial("run", trial ^ (tag << 32));
         if let Some(transport) = &spec.transport {
             // The message-passing transport replaces the factory/engine path
@@ -201,7 +252,10 @@ impl Runner {
             })?;
             let mut net_rng = seeds.trial(NET_STREAM_LABEL, trial);
             let fault_rng = seeds.trial(FAULT_STREAM_LABEL, trial);
-            let engine_start = std::time::Instant::now();
+            // The runtime builds its own protocol actors inside the run, so
+            // the `build` lap is ≈0 here and the `engine` lap covers the
+            // whole scheduler run — matching `engine_seconds`.
+            timer.lap("build");
             let outcome = runtime.run_trial(
                 &spec.protocol,
                 transport,
@@ -212,9 +266,19 @@ impl Runner {
                 &mut rng,
                 &mut net_rng,
                 fault_rng,
+                probe.as_deref_mut(),
             )?;
-            let engine_seconds = engine_start.elapsed().as_secs_f64();
+            let engine_seconds = timer.lap("engine");
             let report = outcome.report;
+            if let Some(probe) = probe.as_deref_mut() {
+                probe.on_event(Event::TrialFinished {
+                    scenario: spec.name.clone(),
+                    trial,
+                    reason: report.reason.token().to_string(),
+                    ticks: report.ticks,
+                    transmissions: report.transmissions.total(),
+                });
+            }
             let cost = TrialCost {
                 converged: report.converged(),
                 transmissions: report.transmissions,
@@ -225,6 +289,7 @@ impl Runner {
                 trace: report.trace,
                 seconds: trial_start.elapsed().as_secs_f64(),
                 engine_seconds,
+                phases: timer.into_laps(),
             };
             return Ok((cost, outcome.label));
         }
@@ -244,22 +309,43 @@ impl Runner {
                 seeds.trial(FAULT_STREAM_LABEL, trial),
             ));
         }
-        let engine_start = std::time::Instant::now();
+        timer.lap("build");
         // The parallel path engages only when the spec asks for it AND the
         // protocol exposes the batched interface; a fault-wrapped or
         // batch-unaware protocol falls through to the sequential loop, which
         // is bit-identical anyway (parallelism is an execution strategy,
-        // never a semantics change).
-        let report = match spec.parallelism {
-            Some(par) => match protocol.as_batch() {
-                Some(batch) => {
-                    AsyncEngine::new(graph.len()).run_parallel(batch, spec.stop, &mut rng, par)
-                }
-                None => AsyncEngine::new(graph.len()).run(&mut *protocol, spec.stop, &mut rng),
+        // never a semantics change). The probed and unprobed arms call
+        // distinct monomorphizations of the same loop; their reports are
+        // identical.
+        let mut engine = AsyncEngine::new(graph.len());
+        let report = match probe.as_deref_mut() {
+            Some(probe) => match spec.parallelism {
+                Some(par) => match protocol.as_batch() {
+                    Some(batch) => {
+                        engine.run_parallel_probed(batch, spec.stop, &mut rng, par, probe)
+                    }
+                    None => engine.run_probed(&mut *protocol, spec.stop, &mut rng, probe),
+                },
+                None => engine.run_probed(&mut *protocol, spec.stop, &mut rng, probe),
             },
-            None => AsyncEngine::new(graph.len()).run(&mut *protocol, spec.stop, &mut rng),
+            None => match spec.parallelism {
+                Some(par) => match protocol.as_batch() {
+                    Some(batch) => engine.run_parallel(batch, spec.stop, &mut rng, par),
+                    None => engine.run(&mut *protocol, spec.stop, &mut rng),
+                },
+                None => engine.run(&mut *protocol, spec.stop, &mut rng),
+            },
         };
-        let engine_seconds = engine_start.elapsed().as_secs_f64();
+        let engine_seconds = timer.lap("engine");
+        if let Some(probe) = probe {
+            probe.on_event(Event::TrialFinished {
+                scenario: spec.name.clone(),
+                trial,
+                reason: report.reason.token().to_string(),
+                ticks: report.ticks,
+                transmissions: report.transmissions.total(),
+            });
+        }
         let label = protocol.name().to_string();
         let cost = TrialCost {
             converged: report.converged(),
@@ -271,6 +357,7 @@ impl Runner {
             trace: report.trace,
             seconds: trial_start.elapsed().as_secs_f64(),
             engine_seconds,
+            phases: timer.into_laps(),
         };
         Ok((cost, label))
     }

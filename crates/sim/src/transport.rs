@@ -36,6 +36,7 @@ use crate::fault::FaultSpec;
 use crate::scenario::spec::ProtocolSpec;
 use geogossip_analysis::json::JsonValue;
 use geogossip_graph::GeometricGraph;
+use geogossip_telemetry::Probe;
 use rand::{Rng, RngCore};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -486,6 +487,11 @@ pub trait TransportRuntime: Send + Sync {
     /// implementation, its parameters are invalid, or the fault spec asks
     /// for something the net layer does not model; implementations name the
     /// offending spec path (`transport`, `faults.…`, `protocol.…`).
+    ///
+    /// `probe` is the optional telemetry observer: `None` must leave the
+    /// trial bit-identical to a probe-free build, and a probed trial must
+    /// emit only simulation-state-derived events (never wall clock) so its
+    /// stream is byte-identical across reruns.
     #[allow(clippy::too_many_arguments)]
     fn run_trial(
         &self,
@@ -498,6 +504,7 @@ pub trait TransportRuntime: Send + Sync {
         rng: &mut dyn RngCore,
         net_rng: &mut dyn RngCore,
         fault_rng: ChaCha8Rng,
+        probe: Option<&mut (dyn Probe + '_)>,
     ) -> Result<TransportTrial, ProtocolError>;
 }
 

@@ -1,0 +1,45 @@
+//! # geogossip-telemetry
+//!
+//! The observability layer: deterministic structured events, wall-clock phase
+//! timers, and the unified metrics registry.
+//!
+//! The design splits telemetry along the repo's reproducibility equality
+//! line:
+//!
+//! * **Events** ([`Event`], emitted through a [`Probe`]) derive *only* from
+//!   simulation state — seeds, tick indices, sim-time, message ids, counter
+//!   values. They never read the wall clock, so a probed run's event stream
+//!   is byte-identical across reruns and thread counts.
+//! * **Phase timings** ([`PhaseTimer`], aggregated into [`PhaseProfile`]
+//!   log-bucketed histograms) are wall-clock measurements and live strictly
+//!   on the `timing.csv` side of the line: they are never part of report
+//!   equality and never appear in the event stream.
+//!
+//! The hook idiom mirrors the rest of the workspace's "no key, no code" rule:
+//! engines accept a probe generically and the zero-sized [`NoProbe`] is the
+//! default, so an unprobed run monomorphizes to exactly the pre-telemetry
+//! machine code and stays bit-identical (pinned by `tests/telemetry_parity.rs`
+//! the same way `tests/fault_parity.rs` pins the fault layer).
+//!
+//! Two built-in sinks ship with the crate: [`JsonlSink`] (append-only JSONL
+//! event log, one compact JSON object per line) and [`MetricsRegistry`] (a
+//! namespaced key/value store unifying the transmission counter, the message
+//! ledger, and the fault counters under `engine.*` / `tx.*` / `net.*` /
+//! `fault.*` / `protocol.*`). [`EventBuffer`] records events in memory so
+//! rayon-parallel trials can each capture their own stream and replay them
+//! into a single sink in trial order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod phase;
+pub mod probe;
+pub mod registry;
+pub mod sink;
+
+pub use event::Event;
+pub use phase::{PhaseProfile, PhaseTimer, PHASE_CSV_HEADER};
+pub use probe::{EventBuffer, NoProbe, Probe};
+pub use registry::MetricsRegistry;
+pub use sink::JsonlSink;

@@ -1,0 +1,181 @@
+//! Wall-clock phase timing: the side of telemetry that is *not* part of the
+//! reproducibility equality set.
+//!
+//! [`PhaseTimer`] measures consecutive phases of a trial (graph build, field
+//! draw, protocol build, engine run) with `std::time::Instant`;
+//! [`PhaseProfile`] folds per-trial lap lists into log-bucketed
+//! [`LogHistogram`]s per phase. Like `TrialCost` seconds and the sweep lab's
+//! `timing.csv`, none of this data ever enters report equality or the event
+//! stream — events are forbidden from reading the wall clock.
+
+use std::time::Instant;
+
+use geogossip_analysis::histogram::LogHistogram;
+
+/// Header for the CSV emitted by [`PhaseProfile::csv_rows`].
+pub const PHASE_CSV_HEADER: &str = "scope,phase,bucket_lo,bucket_hi,count";
+
+/// Measures consecutive named phases as wall-clock lap times.
+#[derive(Debug)]
+pub struct PhaseTimer {
+    mark: Instant,
+    laps: Vec<(&'static str, f64)>,
+}
+
+impl PhaseTimer {
+    /// Starts the timer; the first [`lap`](Self::lap) measures from here.
+    pub fn start() -> Self {
+        PhaseTimer {
+            mark: Instant::now(),
+            laps: Vec::new(),
+        }
+    }
+
+    /// Ends the current phase, recording the seconds since the previous lap
+    /// (or since [`start`](Self::start)) under `phase`, and returns them.
+    pub fn lap(&mut self, phase: &'static str) -> f64 {
+        let now = Instant::now();
+        let seconds = now.duration_since(self.mark).as_secs_f64();
+        self.mark = now;
+        self.laps.push((phase, seconds));
+        seconds
+    }
+
+    /// The laps recorded so far, in order.
+    pub fn laps(&self) -> &[(&'static str, f64)] {
+        &self.laps
+    }
+
+    /// Consumes the timer, returning its laps.
+    pub fn into_laps(self) -> Vec<(&'static str, f64)> {
+        self.laps
+    }
+
+    /// Sum of all recorded laps, in seconds.
+    pub fn total(&self) -> f64 {
+        self.laps.iter().map(|(_, s)| s).sum()
+    }
+}
+
+/// Per-phase duration histograms, aggregated across trials.
+///
+/// Phases keep first-recorded order (the natural trial phase order), so CSV
+/// output is stable; the underlying histogram merge is exactly associative,
+/// so folding trials in any grouping yields identical profiles.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseProfile {
+    phases: Vec<(String, LogHistogram)>,
+}
+
+impl PhaseProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        PhaseProfile::default()
+    }
+
+    /// Records one duration sample for `phase`.
+    pub fn record(&mut self, phase: &str, seconds: f64) {
+        self.entry(phase).record(seconds);
+    }
+
+    /// Records a whole lap list (e.g. [`PhaseTimer::into_laps`]).
+    pub fn record_laps(&mut self, laps: &[(&'static str, f64)]) {
+        for (phase, seconds) in laps {
+            self.record(phase, *seconds);
+        }
+    }
+
+    /// Merges another profile into this one.
+    pub fn merge(&mut self, other: &PhaseProfile) {
+        for (phase, histogram) in &other.phases {
+            self.entry(phase).merge(histogram);
+        }
+    }
+
+    /// The phases in first-recorded order.
+    pub fn phases(&self) -> impl Iterator<Item = (&str, &LogHistogram)> {
+        self.phases.iter().map(|(name, h)| (name.as_str(), h))
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Renders CSV rows (no header; see [`PHASE_CSV_HEADER`]), one row per
+    /// non-empty bucket, with the out-of-range counters as pseudo-buckets
+    /// `zero`, `underflow`, and `overflow`.
+    pub fn csv_rows(&self, scope: &str) -> String {
+        let mut out = String::new();
+        for (phase, histogram) in &self.phases {
+            let mut push = |lo: String, hi: String, count: u64| {
+                out.push_str(&format!("{scope},{phase},{lo},{hi},{count}\n"));
+            };
+            if histogram.zero() > 0 {
+                push("0".into(), "0".into(), histogram.zero());
+            }
+            if histogram.underflow() > 0 {
+                push(
+                    "0".into(),
+                    format!("{:e}", geogossip_analysis::histogram::bucket_bounds(0).0),
+                    histogram.underflow(),
+                );
+            }
+            for (lo, hi, count) in histogram.nonzero_buckets() {
+                push(format!("{lo:e}"), format!("{hi:e}"), count);
+            }
+            if histogram.overflow() > 0 {
+                let top = 2f64.powi(geogossip_analysis::histogram::MAX_EXP);
+                push(format!("{top:e}"), "inf".into(), histogram.overflow());
+            }
+        }
+        out
+    }
+
+    fn entry(&mut self, phase: &str) -> &mut LogHistogram {
+        if let Some(i) = self.phases.iter().position(|(name, _)| name == phase) {
+            return &mut self.phases[i].1;
+        }
+        self.phases.push((phase.to_string(), LogHistogram::new()));
+        &mut self.phases.last_mut().expect("just pushed").1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_records_consecutive_laps() {
+        let mut timer = PhaseTimer::start();
+        let a = timer.lap("graph");
+        let b = timer.lap("engine");
+        assert!(a >= 0.0 && b >= 0.0);
+        let laps = timer.into_laps();
+        assert_eq!(laps.len(), 2);
+        assert_eq!(laps[0].0, "graph");
+        assert_eq!(laps[1].0, "engine");
+    }
+
+    #[test]
+    fn profile_merges_and_renders_stable_csv() {
+        let mut a = PhaseProfile::new();
+        a.record("graph", 0.5);
+        a.record("engine", 3.0);
+        let mut b = PhaseProfile::new();
+        b.record("engine", 3.1);
+        b.record("graph", 0.0);
+
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let csv = merged.csv_rows("trial");
+        // Phase order follows first recording; the zero pseudo-bucket shows.
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("trial,graph,0,0,1"));
+        assert!(lines[1].starts_with("trial,graph,"));
+        assert!(lines[2].starts_with("trial,engine,"));
+        // 3.0 and 3.1 share the [2,4) bucket.
+        assert!(lines[2].contains(",2e0,4e0,2"));
+    }
+}

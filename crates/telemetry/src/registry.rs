@@ -1,0 +1,139 @@
+//! The unified, namespaced metrics registry.
+//!
+//! Counters from the whole stack land in one sorted key space:
+//!
+//! | namespace   | source                                                    |
+//! |-------------|-----------------------------------------------------------|
+//! | `engine.*`  | `EngineReport` (ticks, transmissions, final error, …)     |
+//! | `tx.*`      | `TransmissionCounter` (local / routing / control / total) |
+//! | `net.*`     | `MessageLedger` (`messages_*`, `rounds_abandoned`)        |
+//! | `fault.*`   | fault-plan counters (`*_activations`, `stale_nodes`)      |
+//! | `protocol.*`| everything a protocol reports from its own `metrics()`    |
+//!
+//! [`MetricsRegistry::record_trial_metrics`] applies the routing rules so the
+//! flat name lists protocols and runtimes already produce (see
+//! `TransportTrial::metrics`) cannot drift into ad-hoc namespaces; the CI
+//! golden-key check (`scenarios/golden/telemetry_metrics_keys.txt`) pins the
+//! resulting key set.
+
+use std::collections::BTreeMap;
+
+use geogossip_analysis::json::JsonValue;
+
+/// A sorted map of namespaced metric keys to values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    entries: BTreeMap<String, f64>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Sets `key` to `value`, replacing any previous value.
+    pub fn set(&mut self, key: impl Into<String>, value: f64) {
+        self.entries.insert(key.into(), value);
+    }
+
+    /// Adds `delta` to `key` (starting from zero if absent).
+    pub fn add(&mut self, key: impl Into<String>, delta: f64) {
+        *self.entries.entry(key.into()).or_insert(0.0) += delta;
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.entries.get(key).copied()
+    }
+
+    /// Number of registered keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// The sorted key list.
+    pub fn keys(&self) -> Vec<&str> {
+        self.entries.keys().map(String::as_str).collect()
+    }
+
+    /// Records a flat metric list produced by a trial (protocol metrics plus
+    /// the ledger and fault counters appended by the runtimes), routing each
+    /// name into its namespace:
+    ///
+    /// * `messages_*` and `rounds_abandoned` → `net.*` (with the redundant
+    ///   `messages_` prefix stripped);
+    /// * `dropped_activations`, `dead_activations`, `stale_nodes` →
+    ///   `fault.*`;
+    /// * everything else → `protocol.*`.
+    pub fn record_trial_metrics(&mut self, metrics: &[(String, f64)]) {
+        for (name, value) in metrics {
+            let key = match name.as_str() {
+                n if n.starts_with("messages_") => {
+                    format!("net.{}", n.trim_start_matches("messages_"))
+                }
+                "rounds_abandoned" => "net.rounds_abandoned".to_string(),
+                "dropped_activations" | "dead_activations" | "stale_nodes" => {
+                    format!("fault.{name}")
+                }
+                _ => format!("protocol.{name}"),
+            };
+            self.set(key, *value);
+        }
+    }
+
+    /// Renders the registry as a sorted JSON object.
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(
+            self.entries
+                .iter()
+                .map(|(k, v)| (k.as_str(), JsonValue::from(*v)))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn namespacing_routes_known_counter_families() {
+        let mut registry = MetricsRegistry::new();
+        registry.record_trial_metrics(&[
+            ("exchanges".to_string(), 10.0),
+            ("messages_sent".to_string(), 40.0),
+            ("rounds_abandoned".to_string(), 1.0),
+            ("dead_activations".to_string(), 3.0),
+            ("stale_nodes".to_string(), 2.0),
+        ]);
+        assert_eq!(registry.get("protocol.exchanges"), Some(10.0));
+        assert_eq!(registry.get("net.sent"), Some(40.0));
+        assert_eq!(registry.get("net.rounds_abandoned"), Some(1.0));
+        assert_eq!(registry.get("fault.dead_activations"), Some(3.0));
+        assert_eq!(registry.get("fault.stale_nodes"), Some(2.0));
+    }
+
+    #[test]
+    fn keys_are_sorted_and_json_is_sorted() {
+        let mut registry = MetricsRegistry::new();
+        registry.set("tx.total", 5.0);
+        registry.set("engine.ticks", 9.0);
+        registry.add("engine.ticks", 1.0);
+        assert_eq!(registry.keys(), vec!["engine.ticks", "tx.total"]);
+        assert_eq!(
+            registry.to_json_value().render(),
+            r#"{"engine.ticks":10,"tx.total":5}"#
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! The append-only JSONL event sink.
+
+use std::io::Write;
+
+use crate::event::Event;
+use crate::probe::Probe;
+
+/// Writes one compact JSON object per event, newline-delimited.
+///
+/// The byte stream is a pure function of the event sequence: field order is
+/// fixed by [`Event::to_json_value`] and numbers use shortest-round-trip
+/// formatting, so two identical runs produce identical files (the CI
+/// determinism job relies on this).
+///
+/// I/O errors are latched rather than panicking mid-simulation: the first
+/// failure is kept and every later event is dropped; [`JsonlSink::finish`]
+/// surfaces it.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    out: W,
+    written: u64,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer. Callers that write to files should pass a
+    /// `BufWriter` — the sink emits one small write per event.
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            out,
+            written: 0,
+            error: None,
+        }
+    }
+
+    /// Number of events successfully written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and returns the writer, or the first latched I/O error.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        if let Some(error) = self.error {
+            return Err(error);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write> Probe for JsonlSink<W> {
+    fn on_event(&mut self, event: Event) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = event.to_jsonl();
+        line.push('\n');
+        match self.out.write_all(line.as_bytes()) {
+            Ok(()) => self.written += 1,
+            Err(error) => self.error = Some(error),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_one_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.on_event(Event::TrialStarted {
+            scenario: "s".into(),
+            trial: 0,
+        });
+        sink.on_event(Event::ActivationDead { tick: 4, node: 1 });
+        assert_eq!(sink.written(), 2);
+        let bytes = sink.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(
+            text,
+            "{\"event\":\"trial-started\",\"scenario\":\"s\",\"trial\":0}\n\
+             {\"event\":\"activation-dead\",\"tick\":4,\"node\":1}\n"
+        );
+    }
+}

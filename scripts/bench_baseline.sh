@@ -31,12 +31,17 @@
 # whole-loop medians at n ∈ {65 536, 262 144} (intra-trial parallelism on the
 # work-stealing pool, thread count recorded per row, reports asserted
 # bit-identical) to the `intra_trial` array.
+# With `--append-telemetry`, it APPENDS probe-attached vs probe-absent
+# whole-loop medians at n ∈ {1024, 4096} (counting probe on the engine loop,
+# reports asserted bit-identical — a probe observes, never steers) to the
+# `telemetry_overhead` array.
 #
 # `--smoke` shrinks every mode to seconds-scale for CI; it requires an
 # explicit scratch output path and must never target the committed JSON.
 #
 # Usage: scripts/bench_baseline.sh [--append-build] [--append-tick-large]
-#        [--append-trial] [--append-net] [--append-intra] [--smoke] [output.json]
+#        [--append-trial] [--append-net] [--append-intra] [--append-telemetry]
+#        [--smoke] [output.json]
 #        (default output: BENCH_baseline.json)
 # Force a fresh classic baseline by deleting the file first.
 #
@@ -53,10 +58,10 @@ SMOKE=()
 OUT="BENCH_baseline.json"
 for arg in "$@"; do
     case "$arg" in
-        --append-build | --append-tick-large | --append-trial | --append-net | --append-intra) MODES+=("$arg") ;;
+        --append-build | --append-tick-large | --append-trial | --append-net | --append-intra | --append-telemetry) MODES+=("$arg") ;;
         --smoke) SMOKE=(--smoke) ;;
         -*)
-            echo "unknown flag \`$arg\` (supported: --append-build, --append-tick-large, --append-trial, --append-net, --append-intra, --smoke)" >&2
+            echo "unknown flag \`$arg\` (supported: --append-build, --append-tick-large, --append-trial, --append-net, --append-intra, --append-telemetry, --smoke)" >&2
             exit 2
             ;;
         *) OUT="$arg" ;;

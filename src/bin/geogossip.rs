@@ -23,9 +23,10 @@ use geogossip::lab::{run_sweep, SweepAggregator, SweepOptions, SweepProgress, Sw
 use geogossip::sim::batch::available_threads;
 use geogossip::sim::field::Field;
 use geogossip::sim::scenario::{
-    reports_table, ScenarioReport, ScenarioSpec, SweepSpec, TopologySpec,
+    reports_table, Runner, ScenarioReport, ScenarioSpec, SweepSpec, TopologySpec,
 };
 use geogossip::sim::{ParallelSpec, ProtocolError};
+use geogossip::telemetry::{JsonlSink, MetricsRegistry, PhaseProfile, PHASE_CSV_HEADER};
 use geogossip_geometry::Topology;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -42,6 +43,9 @@ fn main() -> ExitCode {
         }
         Some("template") => {
             println!("{}", template_json());
+            // Usage hints ride on stderr so stdout stays a valid spec file
+            // when piped (`geogossip template > spec.json`).
+            eprintln!("{TEMPLATE_HINT}");
             Ok(())
         }
         Some("--help" | "-h" | "help") | None => {
@@ -61,16 +65,27 @@ fn main() -> ExitCode {
     }
 }
 
+/// Printed (on stderr) after `geogossip template` so the example spec comes
+/// with its observability entry points.
+const TEMPLATE_HINT: &str = "\
+hint: save this spec and run it with\n\
+\x20 geogossip run <spec.json>                  run as-is\n\
+\x20 geogossip run <spec.json> --telemetry <dir>  also capture the deterministic\n\
+\x20                                            event log, metrics registry and\n\
+\x20                                            phase histograms (dir must be\n\
+\x20                                            new or empty)";
+
 fn print_usage() {
     println!(
         "geogossip — gossip averaging scenarios on geometric random graphs\n\
          \n\
          USAGE:\n\
          \x20 geogossip run <spec.json> [--only <name>] [--json <out.json>]\n\
-         \x20               [--trace-csv <dir>] [--threads T]\n\
+         \x20               [--trace-csv <dir>] [--threads T] [--telemetry <dir>]\n\
          \x20 geogossip run --protocol <name> [--n N] [--epsilon E] [--trials T]\n\
          \x20               [--seed S] [--field F] [--radius-constant C] [--torus]\n\
          \x20               [--param key=value]... [--json <out.json>] [--threads T]\n\
+         \x20               [--telemetry <dir>]\n\
          \x20 geogossip sweep <sweep.json> [--resume] [--report <dir>]\n\
          \x20               [--log <path.jsonl>] [--max-cells K]\n\
          \x20 geogossip validate <spec.json>   parse + validate a scenario or\n\
@@ -82,7 +97,11 @@ fn print_usage() {
          a sweep file carries the top-level \"sweep\" key.\n\
          Fields: spike, uniform, ramp, bimodal, spatial-gradient.\n\
          --threads sets intra-trial parallelism (0 = all cores); results are\n\
-         bit-identical at any thread count."
+         bit-identical at any thread count.\n\
+         --telemetry <dir> captures a deterministic event log (events.jsonl,\n\
+         byte-identical across reruns and thread counts), a namespaced metrics\n\
+         registry (metrics.json, metrics-keys.txt) and wall-clock phase\n\
+         histograms (phases.csv); the directory must be new or empty."
     );
 }
 
@@ -153,6 +172,7 @@ fn run(args: &[String]) -> Result<(), ProtocolError> {
     let mut trace_csv: Option<String> = None;
     let mut only: Option<String> = None;
     let mut threads: Option<usize> = None;
+    let mut telemetry: Option<String> = None;
     let mut flags = FlagSpec::default();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -178,6 +198,7 @@ fn run(args: &[String]) -> Result<(), ProtocolError> {
             "--torus" => flags.torus = true,
             "--param" => flags.params.push(take("--param")?),
             "--threads" => threads = Some(parse_u64(&take("--threads")?, "--threads")? as usize),
+            "--telemetry" => telemetry = Some(take("--telemetry")?),
             other if other.starts_with('-') => {
                 return Err(ProtocolError::malformed(format!("unknown flag `{other}`")))
             }
@@ -230,7 +251,10 @@ fn run(args: &[String]) -> Result<(), ProtocolError> {
     }
 
     let runner = builtin_runner();
-    let reports = runner.run_all(&specs)?;
+    let reports = match &telemetry {
+        Some(dir) => run_with_telemetry(&runner, &specs, Path::new(dir))?,
+        None => runner.run_all(&specs)?,
+    };
     println!("{}", reports_table(&reports).to_markdown());
     // Per-scenario throughput, straight off the trial reports — large-n
     // sweeps show throughput without a separate bench run. Trials run in
@@ -238,22 +262,7 @@ fn run(args: &[String]) -> Result<(), ProtocolError> {
     // only for single-trial scenarios) and ticks/s is the per-trial engine
     // rate.
     for report in &reports {
-        let ticks_per_sec = report
-            .ticks_per_second()
-            .map(|t| format!("{t:.0}"))
-            .unwrap_or_else(|| "-".into());
-        let engine_threads = report.spec.parallelism.map_or(1, |p| p.threads);
-        println!(
-            "timing: `{}` {:.2}s trial time ({} trial{}, parallel), {} ticks, {} ticks/s per trial, {} engine thread{}",
-            report.spec.name,
-            report.total_seconds(),
-            report.summary.trials,
-            if report.summary.trials == 1 { "" } else { "s" },
-            report.total_ticks(),
-            ticks_per_sec,
-            engine_threads,
-            if engine_threads == 1 { "" } else { "s" }
-        );
+        println!("{}", timing_line(report));
     }
     for report in &reports {
         if !report.all_converged() {
@@ -276,6 +285,200 @@ fn run(args: &[String]) -> Result<(), ProtocolError> {
         write_trace_csvs(Path::new(&dir), &reports)?;
     }
     Ok(())
+}
+
+/// The per-scenario `timing:` line, sourced from the telemetry phase timers.
+///
+/// Every wall-clock second lands in exactly one phase lap (`graph`, `field`,
+/// `build`, `engine`), so the line's total is an unambiguous sum. The old
+/// line printed whole-trial seconds *and* a ticks/s figure whose denominator
+/// (`engine_seconds`) was a different, overlapping slice of the same clock —
+/// and for transport specs that slice silently included actor construction,
+/// so engine time was effectively reported twice under two definitions. Now
+/// ticks/s divides by the engine phase alone and the breakdown shows where
+/// the rest went.
+fn timing_line(report: &ScenarioReport) -> String {
+    let phases = report.phase_totals();
+    let total: f64 = phases.iter().map(|(_, s)| s).sum();
+    let engine: f64 = phases
+        .iter()
+        .filter(|(phase, _)| *phase == "engine")
+        .map(|(_, s)| s)
+        .sum();
+    let breakdown: Vec<String> = phases
+        .iter()
+        .map(|(phase, s)| format!("{phase} {s:.2}s"))
+        .collect();
+    let ticks_per_sec = if engine > 0.0 {
+        format!("{:.0}", report.total_ticks() as f64 / engine)
+    } else {
+        "-".into()
+    };
+    let engine_threads = report.spec.parallelism.map_or(1, |p| p.threads);
+    format!(
+        "timing: `{}` {} = {:.2}s over {} parallel trial{}, {} ticks, {} ticks/s per trial, {} engine thread{}",
+        report.spec.name,
+        if breakdown.is_empty() {
+            "(no phase laps)".to_string()
+        } else {
+            breakdown.join(" + ")
+        },
+        total,
+        report.summary.trials,
+        if report.summary.trials == 1 { "" } else { "s" },
+        report.total_ticks(),
+        ticks_per_sec,
+        engine_threads,
+        if engine_threads == 1 { "" } else { "s" }
+    )
+}
+
+/// Runs `specs` with the telemetry sinks attached, writing four files into
+/// `dir` (which must not already hold anything — telemetry runs never
+/// silently clobber a previous capture):
+///
+/// * `events.jsonl` — the deterministic structured event stream, one compact
+///   JSON object per line, byte-identical across reruns and thread counts;
+/// * `metrics.json` — per-scenario [`MetricsRegistry`] snapshots (namespaced
+///   `engine.*` / `tx.*` / `net.*` / `fault.*` / `protocol.*` keys, counters
+///   summed across trials);
+/// * `metrics-keys.txt` — the sorted union of metric keys (what CI diffs
+///   against the committed golden list);
+/// * `phases.csv` — log-bucketed wall-clock phase histograms per scenario
+///   (the only file wall-clock data touches).
+fn run_with_telemetry(
+    runner: &Runner,
+    specs: &[ScenarioSpec],
+    dir: &Path,
+) -> Result<Vec<ScenarioReport>, ProtocolError> {
+    match std::fs::read_dir(dir) {
+        Ok(mut entries) => {
+            if entries.next().is_some() {
+                return Err(ProtocolError::malformed(format!(
+                    "--telemetry directory `{}` already exists and is not empty \
+                     (pass a new or empty directory; telemetry never overwrites)",
+                    dir.display()
+                )));
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            std::fs::create_dir_all(dir).map_err(|e| {
+                ProtocolError::malformed(format!("cannot create `{}`: {e}", dir.display()))
+            })?;
+        }
+        Err(e) => {
+            return Err(ProtocolError::malformed(format!(
+                "cannot use `{}` as a telemetry directory: {e}",
+                dir.display()
+            )))
+        }
+    }
+    let events_path = dir.join("events.jsonl");
+    let file = std::fs::File::create(&events_path).map_err(|e| {
+        ProtocolError::malformed(format!("cannot write `{}`: {e}", events_path.display()))
+    })?;
+    let mut sink = JsonlSink::new(std::io::BufWriter::new(file));
+    let mut reports = Vec::with_capacity(specs.len());
+    for spec in specs {
+        reports.push(runner.run_probed(spec, &mut sink)?);
+    }
+    let events = sink.written();
+    sink.finish().map_err(|e| {
+        ProtocolError::malformed(format!("cannot write `{}`: {e}", events_path.display()))
+    })?;
+
+    let mut scenarios: Vec<(&str, JsonValue)> = Vec::new();
+    let mut keys: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut phases_csv = format!("{PHASE_CSV_HEADER}\n");
+    for report in &reports {
+        let registry = report_registry(report);
+        keys.extend(registry.keys().iter().map(|k| k.to_string()));
+        scenarios.push((report.spec.name.as_str(), registry.to_json_value()));
+        let mut profile = PhaseProfile::new();
+        for trial in &report.trials {
+            profile.record_laps(&trial.phases);
+        }
+        phases_csv.push_str(&profile.csv_rows(&report.spec.name));
+    }
+    let write = |name: &str, contents: String| -> Result<(), ProtocolError> {
+        let path = dir.join(name);
+        std::fs::write(&path, contents).map_err(|e| {
+            ProtocolError::malformed(format!("cannot write `{}`: {e}", path.display()))
+        })
+    };
+    write("metrics.json", JsonValue::object(scenarios).pretty() + "\n")?;
+    write(
+        "metrics-keys.txt",
+        keys.iter().fold(String::new(), |mut acc, key| {
+            acc.push_str(key);
+            acc.push('\n');
+            acc
+        }),
+    )?;
+    write("phases.csv", phases_csv)?;
+    println!(
+        "telemetry: wrote events.jsonl ({events} events), metrics.json, \
+         metrics-keys.txt, phases.csv to {}",
+        dir.display()
+    );
+    Ok(reports)
+}
+
+/// Folds one scenario report into a namespaced metrics registry: engine and
+/// transmission counters summed across trials, plus every per-trial protocol
+/// metric routed through [`MetricsRegistry::record_trial_metrics`].
+fn report_registry(report: &ScenarioReport) -> MetricsRegistry {
+    let mut registry = MetricsRegistry::new();
+    let trials = &report.trials;
+    registry.set("engine.trials", trials.len() as f64);
+    registry.set(
+        "engine.converged_trials",
+        trials.iter().filter(|t| t.converged).count() as f64,
+    );
+    registry.set(
+        "engine.ticks",
+        trials.iter().map(|t| t.ticks).sum::<u64>() as f64,
+    );
+    registry.set(
+        "engine.rounds",
+        trials.iter().map(|t| t.rounds).sum::<u64>() as f64,
+    );
+    registry.set("engine.mean_final_error", report.summary.mean_final_error);
+    registry.set(
+        "tx.local",
+        trials.iter().map(|t| t.transmissions.local()).sum::<u64>() as f64,
+    );
+    registry.set(
+        "tx.routing",
+        trials
+            .iter()
+            .map(|t| t.transmissions.routing())
+            .sum::<u64>() as f64,
+    );
+    registry.set(
+        "tx.control",
+        trials
+            .iter()
+            .map(|t| t.transmissions.control())
+            .sum::<u64>() as f64,
+    );
+    registry.set(
+        "tx.total",
+        trials.iter().map(|t| t.transmissions.total()).sum::<u64>() as f64,
+    );
+    // Sum the flat per-trial metric lists by name before routing, so the
+    // registry holds whole-scenario counters, not last-trial values.
+    let mut summed: Vec<(String, f64)> = Vec::new();
+    for trial in trials {
+        for (name, value) in &trial.metrics {
+            match summed.iter_mut().find(|(n, _)| n == name) {
+                Some((_, sum)) => *sum += value,
+                None => summed.push((name.clone(), *value)),
+            }
+        }
+    }
+    registry.record_trial_metrics(&summed);
+    registry
 }
 
 /// Writes one CSV per trial (`<scenario>-t<trial>.csv`, `/` sanitised to
@@ -584,5 +787,73 @@ mod tests {
         assert!(err.to_string().contains("--protocol"), "got `{err}`");
         let err = run(&["--n".to_string(), "64".to_string()]).expect_err("no protocol");
         assert!(err.to_string().contains("--protocol"), "got `{err}`");
+    }
+
+    /// `--telemetry` into an existing non-empty directory is a usage error
+    /// (telemetry captures are never silently overwritten), surfaced before
+    /// any scenario runs.
+    #[test]
+    fn telemetry_into_nonempty_directory_is_a_usage_error() {
+        let dir = std::env::temp_dir().join("geogossip-cli-telemetry-nonempty");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("previous.jsonl"), "{}\n").unwrap();
+        let err = run(&[
+            "scenarios/smoke.json".to_string(),
+            "--telemetry".to_string(),
+            dir.display().to_string(),
+        ])
+        .expect_err("non-empty telemetry dir must be rejected");
+        assert!(err.to_string().contains("not empty"), "got `{err}`");
+        // The prior capture is untouched.
+        assert_eq!(
+            std::fs::read_to_string(dir.join("previous.jsonl")).unwrap(),
+            "{}\n"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The `timing:` line is sourced from the phase timers: each phase shows
+    /// once, the total is their sum, and ticks/s divides by the engine phase
+    /// alone (the old line mixed whole-trial seconds with an overlapping
+    /// engine-seconds denominator, double-covering engine time for transport
+    /// specs).
+    #[test]
+    fn timing_line_reports_each_phase_exactly_once() {
+        use geogossip::sim::metrics::{ConvergenceTrace, TransmissionCounter};
+        use geogossip::sim::scenario::TrialCost;
+        let spec = ScenarioSpec::standard("pairwise", 64, 0.1).with_trials(1);
+        let trial = TrialCost {
+            converged: true,
+            transmissions: TransmissionCounter::new(),
+            rounds: 500,
+            ticks: 500,
+            final_error: 0.05,
+            metrics: Vec::new(),
+            trace: ConvergenceTrace::new(),
+            seconds: 0.85,
+            engine_seconds: 0.25,
+            phases: vec![
+                ("graph", 0.5),
+                ("field", 0.05),
+                ("build", 0.05),
+                ("engine", 0.25),
+            ],
+        };
+        let report = ScenarioReport::new(spec, "pairwise".into(), vec![trial]);
+        let line = timing_line(&report);
+        assert_eq!(
+            line,
+            "timing: `pairwise-n64` graph 0.50s + field 0.05s + build 0.05s + engine 0.25s \
+             = 0.85s over 1 parallel trial, 500 ticks, 2000 ticks/s per trial, \
+             1 engine thread"
+        );
+    }
+
+    /// Both help surfaces advertise the telemetry capture flag.
+    #[test]
+    fn help_text_mentions_telemetry() {
+        assert!(TEMPLATE_HINT.contains("--telemetry"));
+        assert!(TEMPLATE_HINT.contains("event log"));
     }
 }

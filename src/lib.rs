@@ -19,6 +19,7 @@
 //! | [`net`] | `geogossip-net` | message-passing runtime: sensor actors, typed messages, the deterministic simulated scheduler |
 //! | [`analysis`] | `geogossip-analysis` | statistics, power-law fits, occupancy checks, table rendering |
 //! | [`lab`] | `geogossip-lab` | sweep lab: checkpointed parameter-grid campaigns, streaming aggregation, scaling verdicts |
+//! | [`telemetry`] | `geogossip-telemetry` | deterministic structured events, phase timers, the unified metrics registry |
 //!
 //! # Quickstart
 //!
@@ -67,6 +68,7 @@ pub use geogossip_lab as lab;
 pub use geogossip_net as net;
 pub use geogossip_routing as routing;
 pub use geogossip_sim as sim;
+pub use geogossip_telemetry as telemetry;
 
 /// The builtin protocol registry with the message-passing runtime attached.
 ///

@@ -9,8 +9,11 @@
 //!    previous invocation committed.
 
 use geogossip::core::registry::builtin_runner;
-use geogossip::lab::{run_sweep, ResultsLog, SweepAggregator, SweepOptions, SweepReport};
+use geogossip::lab::{
+    run_sweep, run_sweep_probed, ResultsLog, SweepAggregator, SweepOptions, SweepReport,
+};
 use geogossip::sim::scenario::{derive_cell_seed, ProtocolSpec, RadiusSpec, SweepSpec};
+use geogossip::telemetry::{Event, EventBuffer};
 use geogossip_geometry::Topology;
 use std::path::PathBuf;
 
@@ -175,6 +178,132 @@ fn parallel_rerun_and_resumed_runs_are_bit_identical() {
     };
     assert_eq!(render(&reference.records), render(&resumed.records));
 
+    let _ = std::fs::remove_file(&log);
+}
+
+#[test]
+fn probed_sweep_brackets_each_executed_cell_with_its_summary() {
+    let runner = builtin_runner();
+    let sweep = tiny_sweep();
+
+    // The probe is a pure observer: a probed sweep produces the same outcome
+    // as the unprobed reference.
+    let reference =
+        run_sweep(&runner, &sweep, None, &SweepOptions::default(), |_| {}).expect("reference run");
+    let mut buffer = EventBuffer::new();
+    let probed = run_sweep_probed(
+        &runner,
+        &sweep,
+        None,
+        &SweepOptions::default(),
+        |_| {},
+        &mut buffer,
+    )
+    .expect("probed run");
+    assert_eq!(probed.records, reference.records);
+
+    // Walk the stream: every executed cell is bracketed by cell-started /
+    // cell-finished carrying the cell's index and name, with only that cell's
+    // trial events in between; the cell-finished counters reconcile with the
+    // cell record.
+    let mut events = buffer.events().iter();
+    for record in &reference.records {
+        match events.next() {
+            Some(Event::CellStarted { index, name }) => {
+                assert_eq!(*index, record.index);
+                assert_eq!(*name, record.name);
+            }
+            other => panic!("expected cell-started for `{}`, got {other:?}", record.name),
+        }
+        let mut trials_finished = 0u64;
+        loop {
+            match events.next() {
+                Some(Event::CellFinished {
+                    index,
+                    name,
+                    trials,
+                    converged_trials,
+                    ticks,
+                    transmissions,
+                }) => {
+                    assert_eq!(*index, record.index);
+                    assert_eq!(*name, record.name);
+                    assert_eq!(*trials, record.trials.len() as u64);
+                    assert_eq!(trials_finished, *trials, "trial stream inside the brackets");
+                    assert_eq!(
+                        *converged_trials,
+                        record.trials.iter().filter(|t| t.converged).count() as u64
+                    );
+                    assert_eq!(*ticks, record.trials.iter().map(|t| t.ticks).sum::<u64>());
+                    assert_eq!(
+                        *transmissions,
+                        record.trials.iter().map(|t| t.transmissions).sum::<u64>()
+                    );
+                    break;
+                }
+                Some(Event::CellStarted { name, .. }) => {
+                    panic!("cell `{name}` started before `{}` finished", record.name)
+                }
+                Some(Event::TrialFinished { .. }) => trials_finished += 1,
+                Some(_) => {}
+                None => panic!("stream ended before cell-finished for `{}`", record.name),
+            }
+        }
+    }
+    assert_eq!(events.next(), None, "events past the last cell-finished");
+
+    // A probed rerun records the identical event stream — the sweep layer
+    // inherits the byte-determinism contract of the trial layer.
+    let mut rerun = EventBuffer::new();
+    run_sweep_probed(
+        &runner,
+        &sweep,
+        None,
+        &SweepOptions::default(),
+        |_| {},
+        &mut rerun,
+    )
+    .expect("probed rerun");
+    assert_eq!(buffer, rerun);
+
+    // Cells skipped from a results log emit nothing: resume a half-done log
+    // under a probe and only the re-executed cells appear in the stream.
+    let log = temp_path("probed-resume.jsonl");
+    run_sweep(
+        &runner,
+        &sweep,
+        Some(&log),
+        &SweepOptions {
+            resume: false,
+            max_cells: Some(2),
+        },
+        |_| {},
+    )
+    .expect("partial run");
+    let mut resumed_buffer = EventBuffer::new();
+    let resumed = run_sweep_probed(
+        &runner,
+        &sweep,
+        Some(&log),
+        &SweepOptions {
+            resume: true,
+            max_cells: None,
+        },
+        |_| {},
+        &mut resumed_buffer,
+    )
+    .expect("probed resume");
+    assert_eq!(resumed.skipped, 2);
+    assert_eq!(resumed.records, reference.records);
+    let started: Vec<u64> = resumed_buffer
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            Event::CellStarted { index, .. } => Some(*index),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(started, vec![2, 3], "skipped cells must not emit events");
     let _ = std::fs::remove_file(&log);
 }
 
